@@ -1,0 +1,295 @@
+//! Generational evolutionary autotuner.
+
+use crate::objective::Objective;
+use intune_core::{ConfigSpace, Configuration, ExecutionReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budget and operator settings for [`EvolutionaryTuner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerOptions {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Number of elites copied unchanged each generation.
+    pub elites: usize,
+    /// Probability that a child is produced by crossover (else cloned parent).
+    pub crossover_rate: f64,
+    /// RNG seed; the tuner is fully deterministic given the seed and a
+    /// deterministic evaluation function.
+    pub seed: u64,
+}
+
+impl TunerOptions {
+    /// A small budget suitable for unit tests and CI-scale pipelines.
+    pub fn quick(seed: u64) -> Self {
+        TunerOptions {
+            population: 24,
+            generations: 30,
+            mutation_rate: 0.25,
+            tournament: 3,
+            elites: 2,
+            crossover_rate: 0.7,
+            seed,
+        }
+    }
+
+    /// A heavier budget for paper-scale landmark creation.
+    pub fn thorough(seed: u64) -> Self {
+        TunerOptions {
+            population: 60,
+            generations: 120,
+            mutation_rate: 0.2,
+            tournament: 4,
+            elites: 3,
+            crossover_rate: 0.8,
+            seed,
+        }
+    }
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions::quick(0)
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The best configuration found.
+    pub best: Configuration,
+    /// Its evaluation report.
+    pub best_report: ExecutionReport,
+    /// Best-so-far cost after each generation (monotone under the
+    /// objective's feasible ordering; used by convergence tests/benches).
+    pub history: Vec<f64>,
+    /// Total number of evaluations spent.
+    pub evaluations: usize,
+}
+
+/// A budgeted generational EA with tournament selection, uniform crossover,
+/// per-gene mutation and elitism — the workspace stand-in for the PetaBricks
+/// evolutionary autotuner.
+#[derive(Debug, Clone)]
+pub struct EvolutionaryTuner {
+    opts: TunerOptions,
+}
+
+impl EvolutionaryTuner {
+    /// Creates a tuner with the given options.
+    pub fn new(opts: TunerOptions) -> Self {
+        EvolutionaryTuner { opts }
+    }
+
+    /// Searches `space` for a configuration minimizing `objective` under the
+    /// evaluation function `eval` (typically: run the benchmark on the
+    /// cluster-representative input).
+    ///
+    /// # Panics
+    /// Panics if the space is empty or the population is zero.
+    pub fn tune<F>(&self, space: &ConfigSpace, objective: Objective, mut eval: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> ExecutionReport,
+    {
+        assert!(!space.is_empty(), "cannot tune an empty space");
+        assert!(self.opts.population > 0, "population must be positive");
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut evaluations = 0usize;
+
+        // Initial population: default config plus random samples, so the
+        // search always contains a sane starting point.
+        let mut population: Vec<(Configuration, ExecutionReport)> = Vec::new();
+        let default = space.default_config();
+        let default_report = eval(&default);
+        evaluations += 1;
+        population.push((default, default_report));
+        while population.len() < self.opts.population {
+            let cfg = space.random(&mut rng);
+            let report = eval(&cfg);
+            evaluations += 1;
+            population.push((cfg, report));
+        }
+
+        let mut history = Vec::with_capacity(self.opts.generations);
+        for _gen in 0..self.opts.generations {
+            population.sort_by(|a, b| objective.compare(&a.1, &b.1));
+            history.push(population[0].1.cost);
+
+            let mut next: Vec<(Configuration, ExecutionReport)> = population
+                .iter()
+                .take(self.opts.elites.min(population.len()))
+                .cloned()
+                .collect();
+
+            while next.len() < self.opts.population {
+                let parent_a = self.select(&population, objective, &mut rng);
+                let child = if rng.gen::<f64>() < self.opts.crossover_rate {
+                    let parent_b = self.select(&population, objective, &mut rng);
+                    space.crossover(&population[parent_a].0, &population[parent_b].0, &mut rng)
+                } else {
+                    population[parent_a].0.clone()
+                };
+                let child = space.mutate(&child, self.opts.mutation_rate, &mut rng);
+                let report = eval(&child);
+                evaluations += 1;
+                next.push((child, report));
+            }
+            population = next;
+        }
+
+        population.sort_by(|a, b| objective.compare(&a.1, &b.1));
+        let (best, best_report) = population.into_iter().next().expect("nonempty population");
+        history.push(best_report.cost);
+        TuningResult {
+            best,
+            best_report,
+            history,
+            evaluations,
+        }
+    }
+
+    fn select(
+        &self,
+        population: &[(Configuration, ExecutionReport)],
+        objective: Objective,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mut best = rng.gen_range(0..population.len());
+        for _ in 1..self.opts.tournament.max(1) {
+            let challenger = rng.gen_range(0..population.len());
+            if objective.better(&population[challenger].1, &population[best].1) {
+                best = challenger;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::ExecutionReport;
+
+    fn quadratic_space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .int("x", -100, 100)
+            .int("y", -100, 100)
+            .build()
+    }
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let space = quadratic_space();
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(1));
+        let result = tuner.tune(&space, Objective::cost_only(), |cfg| {
+            let x = cfg.int(0) as f64 - 13.0;
+            let y = cfg.int(1) as f64 + 27.0;
+            ExecutionReport::of_cost(x * x + y * y)
+        });
+        assert!(
+            result.best_report.cost < 50.0,
+            "EA stuck at cost {}",
+            result.best_report.cost
+        );
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing_for_cost_only() {
+        let space = quadratic_space();
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(2));
+        let result = tuner.tune(&space, Objective::cost_only(), |cfg| {
+            ExecutionReport::of_cost((cfg.int(0) as f64).abs())
+        });
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "history regressed: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn respects_accuracy_target() {
+        // Accuracy grows with x, cost grows with x: the tuner must pay just
+        // enough cost to clear the target.
+        let space = ConfigSpace::builder().int("x", 0, 100).build();
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(3));
+        let objective = Objective::with_accuracy_target(0.7);
+        let result = tuner.tune(&space, objective, |cfg| {
+            let x = cfg.int(0) as f64;
+            ExecutionReport::with_accuracy(x, x / 100.0)
+        });
+        let acc = result.best_report.accuracy.unwrap();
+        assert!(acc >= 0.7, "missed accuracy target: {acc}");
+        assert!(
+            result.best_report.cost <= 80.0,
+            "overpaid for accuracy: cost {}",
+            result.best_report.cost
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = quadratic_space();
+        let run = || {
+            EvolutionaryTuner::new(TunerOptions::quick(7)).tune(
+                &space,
+                Objective::cost_only(),
+                |cfg| ExecutionReport::of_cost((cfg.int(0) * cfg.int(0)) as f64),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn evaluation_budget_accounted() {
+        let space = quadratic_space();
+        let opts = TunerOptions {
+            population: 10,
+            generations: 5,
+            ..TunerOptions::quick(0)
+        };
+        let tuner = EvolutionaryTuner::new(opts);
+        let result = tuner.tune(&space, Objective::cost_only(), |_| {
+            ExecutionReport::of_cost(1.0)
+        });
+        // initial pop + (pop - elites) per generation
+        let expected = 10 + 5 * (10 - opts.elites);
+        assert_eq!(result.evaluations, expected);
+    }
+
+    #[test]
+    fn beats_random_sampling_on_same_budget() {
+        let space = ConfigSpace::builder()
+            .int("a", 0, 1000)
+            .int("b", 0, 1000)
+            .int("c", 0, 1000)
+            .build();
+        let f = |cfg: &Configuration| {
+            let a = cfg.int(0) as f64 - 777.0;
+            let b = cfg.int(1) as f64 - 111.0;
+            let c = cfg.int(2) as f64 - 444.0;
+            ExecutionReport::of_cost(a.abs() + b.abs() + c.abs())
+        };
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(9));
+        let ea = tuner.tune(&space, Objective::cost_only(), f);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut best_random = f64::INFINITY;
+        for _ in 0..ea.evaluations {
+            let cfg = space.random(&mut rng);
+            best_random = best_random.min(f(&cfg).cost);
+        }
+        assert!(
+            ea.best_report.cost < best_random,
+            "EA {} not better than random {best_random}",
+            ea.best_report.cost
+        );
+    }
+}

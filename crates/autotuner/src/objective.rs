@@ -1,0 +1,113 @@
+//! The two-dimensional autotuning objective: accuracy first, cost second.
+//!
+//! PetaBricks variable-accuracy autotuning optimizes "a two dimensional
+//! objective space, where its first objective is to meet the accuracy target
+//! … and the second objective is to maximize performance". [`Objective`]
+//! encodes that lexicographic comparison between [`ExecutionReport`]s.
+
+use intune_core::ExecutionReport;
+use std::cmp::Ordering;
+
+/// Comparison policy for execution reports during search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    accuracy_target: Option<f64>,
+}
+
+impl Objective {
+    /// Pure cost minimization (fixed-accuracy programs such as sort).
+    pub fn cost_only() -> Self {
+        Objective {
+            accuracy_target: None,
+        }
+    }
+
+    /// Meet `target` accuracy first, then minimize cost.
+    pub fn with_accuracy_target(target: f64) -> Self {
+        Objective {
+            accuracy_target: Some(target),
+        }
+    }
+
+    /// The accuracy target, if any.
+    pub fn accuracy_target(&self) -> Option<f64> {
+        self.accuracy_target
+    }
+
+    /// Whether a report meets the accuracy target (trivially true when no
+    /// target is set).
+    pub fn feasible(&self, report: &ExecutionReport) -> bool {
+        report.meets(self.accuracy_target)
+    }
+
+    /// Total (lexicographic) ordering: feasible beats infeasible; among
+    /// feasible, lower cost is better; among infeasible, higher accuracy is
+    /// better (cost as tie-break). `Ordering::Less` means `a` is better.
+    pub fn compare(&self, a: &ExecutionReport, b: &ExecutionReport) -> Ordering {
+        match (self.feasible(a), self.feasible(b)) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (true, true) => a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal),
+            (false, false) => {
+                let aa = a.accuracy.unwrap_or(f64::NEG_INFINITY);
+                let ba = b.accuracy.unwrap_or(f64::NEG_INFINITY);
+                ba.partial_cmp(&aa)
+                    .unwrap_or(Ordering::Equal)
+                    .then(a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal))
+            }
+        }
+    }
+
+    /// Whether `a` is strictly better than `b`.
+    pub fn better(&self, a: &ExecutionReport, b: &ExecutionReport) -> bool {
+        self.compare(a, b) == Ordering::Less
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_only_prefers_cheaper() {
+        let o = Objective::cost_only();
+        let fast = ExecutionReport::of_cost(1.0);
+        let slow = ExecutionReport::of_cost(2.0);
+        assert!(o.better(&fast, &slow));
+        assert!(!o.better(&slow, &fast));
+        assert_eq!(o.compare(&fast, &fast), Ordering::Equal);
+    }
+
+    #[test]
+    fn feasibility_dominates_cost() {
+        let o = Objective::with_accuracy_target(0.9);
+        let accurate_slow = ExecutionReport::with_accuracy(100.0, 0.95);
+        let sloppy_fast = ExecutionReport::with_accuracy(1.0, 0.5);
+        assert!(o.better(&accurate_slow, &sloppy_fast));
+    }
+
+    #[test]
+    fn among_feasible_cheaper_wins() {
+        let o = Objective::with_accuracy_target(0.9);
+        let a = ExecutionReport::with_accuracy(10.0, 0.92);
+        let b = ExecutionReport::with_accuracy(20.0, 0.99);
+        assert!(o.better(&a, &b));
+    }
+
+    #[test]
+    fn among_infeasible_higher_accuracy_wins() {
+        let o = Objective::with_accuracy_target(0.9);
+        let closer = ExecutionReport::with_accuracy(50.0, 0.8);
+        let farther = ExecutionReport::with_accuracy(1.0, 0.2);
+        assert!(o.better(&closer, &farther));
+    }
+
+    #[test]
+    fn missing_accuracy_is_infeasible_under_target() {
+        let o = Objective::with_accuracy_target(0.5);
+        let no_acc = ExecutionReport::of_cost(1.0);
+        assert!(!o.feasible(&no_acc));
+        let with_acc = ExecutionReport::with_accuracy(99.0, 0.6);
+        assert!(o.better(&with_acc, &no_acc));
+    }
+}

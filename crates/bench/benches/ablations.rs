@@ -1,0 +1,84 @@
+//! Ablation benches: the design choices DESIGN.md calls out — K-means vs
+//! random landmark selection (§3.1), the λ cost-matrix weight (§3.2), and
+//! cluster-count scaling (§4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intune_autotuner::TunerOptions;
+use intune_learning::labels::{cost_matrix, label_inputs};
+use intune_learning::level1::{run_level1, LandmarkStrategy, Level1Options};
+use intune_sortlib::{PolySort, SortCorpus};
+use std::time::Duration;
+
+fn bench_landmark_strategies(c: &mut Criterion) {
+    let program = PolySort::new(256);
+    let corpus = SortCorpus::synthetic(24, 64, 256, 1);
+    let mut group = c.benchmark_group("ablation_landmark_strategy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for (name, strategy) in [
+        ("kmeans", LandmarkStrategy::KMeansMedoids),
+        ("random", LandmarkStrategy::UniformRandom),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_level1(
+                    &program,
+                    &corpus.inputs,
+                    &Level1Options {
+                        clusters: 4,
+                        tuner: TunerOptions {
+                            population: 6,
+                            generations: 3,
+                            ..TunerOptions::quick(0)
+                        },
+                        strategy,
+                        seed: 0,
+                        parallel: true,
+                    },
+                );
+                criterion::black_box(r.landmarks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lambda_sweep(c: &mut Criterion) {
+    // Precompute the Level-1 evidence once; sweep only the cost-matrix
+    // construction + labeling, which is what λ parameterizes.
+    let program = PolySort::new(256);
+    let corpus = SortCorpus::synthetic(32, 64, 256, 2);
+    let r = run_level1(
+        &program,
+        &corpus.inputs,
+        &Level1Options {
+            clusters: 4,
+            tuner: TunerOptions {
+                population: 6,
+                generations: 3,
+                ..TunerOptions::quick(1)
+            },
+            parallel: true,
+            ..Level1Options::default()
+        },
+    );
+    let labels = label_inputs(&r.perf, None);
+
+    let mut group = c.benchmark_group("ablation_lambda");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for lambda in [0.001, 0.5, 1.0] {
+        group.bench_function(format!("lambda_{lambda}"), |b| {
+            b.iter(|| {
+                let cm = cost_matrix(&r.perf, &labels, None, lambda);
+                criterion::black_box(cm[0].iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_landmark_strategies, bench_lambda_sweep);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure benches: the computation kernels behind Figures 6, 7, and 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intune_bench::micro_config;
+use intune_eval::model::{lost_speedup, worst_case_fraction};
+use intune_eval::{run_case, TestCase};
+use intune_learning::pipeline::subset_oracle_speedup;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    // Precompute one case's artifacts outside the timing loops.
+    let outcome = run_case(TestCase::Sort2, &micro_config());
+    let perf = outcome.perf_train;
+    let k = perf.num_landmarks();
+
+    // Figure 6: computing the sorted per-input speedup distribution is part
+    // of `evaluate`; here we track the end-to-end distribution derivation.
+    c.benchmark_group("figure6")
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .bench_function("per_input_distribution", |b| {
+            b.iter(|| {
+                let mut speedups: Vec<f64> = (0..perf.num_inputs())
+                    .map(|i| {
+                        let best = (0..k)
+                            .map(|l| perf.cost(l, i))
+                            .fold(f64::INFINITY, f64::min);
+                        perf.cost(0, i) / best.max(1e-300)
+                    })
+                    .collect();
+                speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                criterion::black_box(speedups)
+            })
+        });
+
+    // Figure 7: the analytic model over the full (p, k) grid.
+    c.benchmark_group("figure7")
+        .bench_function("model_grid", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for step in 0..=100 {
+                    let p = step as f64 / 100.0;
+                    for kk in 2..=9 {
+                        acc += lost_speedup(p, kk);
+                    }
+                }
+                for kk in 1..=100 {
+                    acc += worst_case_fraction(kk);
+                }
+                criterion::black_box(acc)
+            })
+        });
+
+    // Figure 8: one full subset-size sweep with 50 random subsets per size.
+    c.benchmark_group("figure8")
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .bench_function("subset_sweep", |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let all: Vec<usize> = (0..k).collect();
+                let mut total = 0.0;
+                for size in 1..=k {
+                    for _ in 0..50 {
+                        let mut pool = all.clone();
+                        pool.shuffle(&mut rng);
+                        total += subset_oracle_speedup(
+                            &perf,
+                            &pool[..size],
+                            outcome.accuracy_threshold,
+                            0.95,
+                        );
+                    }
+                }
+                criterion::black_box(total)
+            })
+        });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

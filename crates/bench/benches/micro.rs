@@ -1,0 +1,219 @@
+//! Micro-benchmarks for the underlying algorithms: the five sorts across
+//! input classes, the 13 packers, the PDE solver menu, SVD methods, and the
+//! ML/EA substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intune_autotuner::{EvolutionaryTuner, Objective, TunerOptions};
+use intune_binpacklib::{Heuristic, PackInputClass};
+use intune_core::{Benchmark, Cost, ExecutionReport};
+use intune_linalg::svd::{svd_jacobi, svd_lanczos, svd_subspace};
+use intune_linalg::Matrix;
+use intune_ml::{DecisionTree, KMeans, KMeansOptions, TreeOptions};
+use intune_pde::dim2::Grid2d;
+use intune_pde::level::{cg_solve, mg_solve, smooth_solve, MgOptions, Smoother};
+use intune_sortlib::algorithms::{bitonic_sort, insertion_sort, radix_sort};
+use intune_sortlib::{PolySort, SortInputClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("sort_algorithms");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for class in [
+        SortInputClass::Random,
+        SortInputClass::Sorted,
+        SortInputClass::FewDistinct,
+    ] {
+        let input = class.generate(4096, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("insertion", format!("{class:?}")),
+            &input,
+            |b, input| {
+                // Insertion on random 4096 is quadratic; bound it via a
+                // smaller slice to keep the bench affordable.
+                let slice = &input[..512.min(input.len())];
+                b.iter(|| {
+                    let mut v = slice.to_vec();
+                    let mut cost = Cost::new();
+                    insertion_sort(&mut v, &mut cost);
+                    criterion::black_box(cost.total())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("radix", format!("{class:?}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    let mut cost = Cost::new();
+                    radix_sort(&mut v, &mut cost);
+                    criterion::black_box(cost.total())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitonic", format!("{class:?}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    let mut cost = Cost::new();
+                    bitonic_sort(&mut v, &mut cost);
+                    criterion::black_box(cost.total())
+                })
+            },
+        );
+        let program = PolySort::new(4096);
+        let cfg = program.space().default_config();
+        group.bench_with_input(
+            BenchmarkId::new("polyalgorithm_default", format!("{class:?}")),
+            &input,
+            |b, input| b.iter(|| criterion::black_box(program.run(&cfg, input).cost)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_packers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let items = PackInputClass::Uniform.generate(1000, &mut rng);
+    let mut group = c.benchmark_group("binpacking_heuristics");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for h in [
+        Heuristic::NextFit,
+        Heuristic::FirstFit,
+        Heuristic::BestFitDecreasing,
+        Heuristic::ModifiedFirstFitDecreasing,
+    ] {
+        group.bench_function(h.name(), |b| {
+            b.iter(|| criterion::black_box(h.pack(&items).occupancy()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pde_solvers(c: &mut Criterion) {
+    let n = 31;
+    let grid = Grid2d::poisson(n);
+    let mut rng = StdRng::seed_from_u64(3);
+    let f: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut group = c.benchmark_group("pde_solvers_n31");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("mg_v22_x8", |b| {
+        b.iter(|| criterion::black_box(mg_solve(&grid, &f, 8, &MgOptions::default()).1))
+    });
+    group.bench_function("cg_x200", |b| {
+        b.iter(|| criterion::black_box(cg_solve(&grid, &f, 200).1))
+    });
+    group.bench_function("gauss_seidel_x100", |b| {
+        b.iter(|| criterion::black_box(smooth_solve(&grid, &f, Smoother::GaussSeidel, 1.0, 100).1))
+    });
+    group.finish();
+}
+
+fn bench_svd_methods(c: &mut Criterion) {
+    let a = Matrix::from_fn(32, 24, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+    let mut group = c.benchmark_group("svd_methods_32x24");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("jacobi_full", |b| {
+        b.iter(|| criterion::black_box(svd_jacobi(&a).sigma[0]))
+    });
+    group.bench_function("subspace_k4_i6", |b| {
+        b.iter(|| criterion::black_box(svd_subspace(&a, 4, 6, 0).sigma[0]))
+    });
+    group.bench_function("lanczos_k4", |b| {
+        b.iter(|| criterion::black_box(svd_lanczos(&a, 4, 0).sigma[0]))
+    });
+    group.finish();
+}
+
+fn bench_ml_and_ea(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let points: Vec<Vec<f64>> = (0..400)
+        .map(|_| (0..6).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let labels: Vec<usize> = (0..400).map(|i| i % 4).collect();
+    let cost: Vec<Vec<f64>> = (0..4)
+        .map(|i| (0..4).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("ml_substrate");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("kmeans_k8_400x6", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                KMeans::fit(
+                    &points,
+                    KMeansOptions {
+                        k: 8,
+                        ..KMeansOptions::default()
+                    },
+                )
+                .inertia(),
+            )
+        })
+    });
+    group.bench_function("tree_fit_400x6_k4", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                DecisionTree::fit(&points, &labels, 4, &cost, TreeOptions::default()).num_leaves(),
+            )
+        })
+    });
+    group.bench_function("ea_quadratic_bowl", |b| {
+        let space = intune_core::ConfigSpace::builder()
+            .int("x", -100, 100)
+            .int("y", -100, 100)
+            .build();
+        b.iter(|| {
+            let tuner = EvolutionaryTuner::new(TunerOptions::quick(1));
+            let r = tuner.tune(&space, Objective::cost_only(), |cfg| {
+                let x = cfg.int(0) as f64;
+                let y = cfg.int(1) as f64;
+                ExecutionReport::of_cost(x * x + y * y)
+            });
+            criterion::black_box(r.best_report.cost)
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let input = SortInputClass::CcrLike.generate(8192, &mut rng);
+    let program = PolySort::new(8192);
+    let mut group = c.benchmark_group("feature_extraction_levels");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for level in 0..3 {
+        group.bench_function(format!("all_props_level{level}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in 0..4 {
+                    acc += program.extract(p, level, &input).value;
+                }
+                criterion::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sorts,
+    bench_packers,
+    bench_pde_solvers,
+    bench_svd_methods,
+    bench_ml_and_ea,
+    bench_feature_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 benches: one end-to-end learn+evaluate case per benchmark at
+//! micro scale. `cargo run --release -p intune-eval --bin table1` produces
+//! the full table; this target tracks the cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intune_bench::micro_config;
+use intune_eval::{run_case, TestCase};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for case in TestCase::all() {
+        group.bench_function(case.name(), |b| {
+            b.iter(|| {
+                let outcome = run_case(case, &cfg);
+                criterion::black_box(outcome.row.two_level);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! # intune-bench
+//!
+//! Criterion benches for the `intune` workspace. Each paper table/figure
+//! has a corresponding bench target that exercises the code path which
+//! regenerates it (at micro scale — the `intune-eval` binaries produce the
+//! full artifacts):
+//!
+//! * `table1` — the eight end-to-end learn+evaluate cases.
+//! * `figures` — Figure 6 distribution computation, Figure 7 model,
+//!   Figure 8 landmark-subset sweeps.
+//! * `micro` — the underlying algorithms (sorts, packers, solvers, SVD
+//!   methods, K-means, trees, the EA).
+//! * `ablations` — λ sweep and landmark-selection strategies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use intune_eval::SuiteConfig;
+
+/// A micro-scale suite configuration for benches: one case runs in tens of
+/// milliseconds so Criterion can sample it meaningfully.
+pub fn micro_config() -> SuiteConfig {
+    SuiteConfig {
+        train: 16,
+        test: 8,
+        clusters: 3,
+        ea_population: 6,
+        ea_generations: 3,
+        folds: 2,
+        sort_n: (64, 256),
+        cluster_n: (60, 120),
+        pack_n: (60, 150),
+        svd_n: (8, 12),
+        pde2_sizes: vec![7],
+        pde3_sizes: vec![3],
+        ..SuiteConfig::ci()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_config_is_tiny() {
+        let cfg = micro_config();
+        assert!(cfg.train <= 16);
+        assert!(cfg.clusters <= 3);
+    }
+}

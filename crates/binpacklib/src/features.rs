@@ -1,0 +1,109 @@
+//! Input feature extractors for the Bin Packing benchmark: average item
+//! size, deviation, value range and sortedness, each at three sampling
+//! levels (the paper's four `input_feature` extractors).
+
+use intune_core::FeatureSample;
+
+/// Property indices (order matches `BinPacking::properties`).
+pub mod prop {
+    /// Mean item size.
+    pub const AVERAGE: usize = 0;
+    /// Standard deviation of item sizes.
+    pub const DEVIATION: usize = 1;
+    /// max − min item size.
+    pub const RANGE: usize = 2;
+    /// Fraction of correctly ordered adjacent sampled pairs.
+    pub const SORTEDNESS: usize = 3;
+}
+
+fn sample(input: &[f64], level: usize) -> (Vec<f64>, f64) {
+    let n = input.len();
+    if n == 0 {
+        return (vec![0.0], 1.0);
+    }
+    let m = match level {
+        0 => n.min(32),
+        1 => n.min(256),
+        _ => n,
+    }
+    .max(1);
+    let out: Vec<f64> = (0..m).map(|i| input[i * n / m]).collect();
+    (out, m as f64)
+}
+
+/// Extracts property `property` at sampling `level`.
+///
+/// # Panics
+/// Panics if `property` is out of range (Bin Packing declares 4).
+pub fn extract(property: usize, level: usize, input: &[f64]) -> FeatureSample {
+    let (s, cost) = sample(input, level);
+    let m = s.len() as f64;
+    match property {
+        prop::AVERAGE => FeatureSample::new(s.iter().sum::<f64>() / m, cost),
+        prop::DEVIATION => {
+            let mean = s.iter().sum::<f64>() / m;
+            let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m;
+            FeatureSample::new(var.sqrt(), 2.0 * cost)
+        }
+        prop::RANGE => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &s {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let value = if hi >= lo { hi - lo } else { 0.0 };
+            FeatureSample::new(value, cost)
+        }
+        prop::SORTEDNESS => {
+            if s.len() < 2 {
+                return FeatureSample::new(1.0, cost);
+            }
+            let ordered = s.windows(2).filter(|w| w[0] <= w[1]).count();
+            FeatureSample::new(ordered as f64 / (s.len() - 1) as f64, cost)
+        }
+        other => panic!("binpacking has 4 properties, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_and_range() {
+        let items = vec![0.2, 0.4, 0.6, 0.8];
+        assert!((extract(prop::AVERAGE, 2, &items).value - 0.5).abs() < 1e-12);
+        assert!((extract(prop::RANGE, 2, &items).value - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_zero_for_constant() {
+        let items = vec![0.5; 100];
+        assert_eq!(extract(prop::DEVIATION, 2, &items).value, 0.0);
+    }
+
+    #[test]
+    fn sortedness_extremes() {
+        let asc: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+        let desc: Vec<f64> = (1..100).rev().map(|i| i as f64 / 100.0).collect();
+        assert_eq!(extract(prop::SORTEDNESS, 2, &asc).value, 1.0);
+        assert_eq!(extract(prop::SORTEDNESS, 2, &desc).value, 0.0);
+    }
+
+    #[test]
+    fn level_controls_cost() {
+        let items: Vec<f64> = (0..1000).map(|i| ((i % 97) as f64 + 1.0) / 98.0).collect();
+        for p in 0..4 {
+            assert!(extract(p, 0, &items).cost < extract(p, 2, &items).cost);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        for p in 0..4 {
+            let s = extract(p, 1, &[]);
+            assert!(s.value.is_finite());
+        }
+    }
+}

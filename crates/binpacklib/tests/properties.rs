@@ -1,0 +1,76 @@
+//! Property-based tests for the bin-packing benchmark.
+
+use intune_binpacklib::{BinPacking, Heuristic, PackInputClass};
+use intune_core::Benchmark;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every heuristic: valid packing, mass conservation, and the trivial
+    /// lower bound on bins.
+    #[test]
+    fn packing_invariants(
+        items in prop::collection::vec(0.01f64..1.0, 1..150),
+        h_idx in 0usize..13,
+    ) {
+        let h = Heuristic::ALL[h_idx];
+        let p = h.pack(&items);
+        p.assert_valid(items.len());
+        let mass: f64 = items.iter().sum();
+        let packed: f64 = p.bins.iter().sum();
+        prop_assert!((mass - packed).abs() < 1e-9, "mass not conserved");
+        prop_assert!(p.bins.len() >= mass.ceil() as usize);
+        // Any-fit guarantee: never more than twice the optimal bin count
+        // (all listed heuristics are any-fit or better, except NextFit
+        // which is exactly 2-competitive too).
+        prop_assert!(
+            (p.bins.len() as f64) <= 2.0 * mass.ceil() + 1.0,
+            "{} used {} bins for mass {}", h.name(), p.bins.len(), mass
+        );
+    }
+
+    /// Decreasing variants never use more bins than their online versions
+    /// on adversarially ascending inputs.
+    #[test]
+    fn decreasing_helps_on_ascending(
+        mut items in prop::collection::vec(0.05f64..0.95, 4..120),
+    ) {
+        items.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (online, offline) in [
+            (Heuristic::FirstFit, Heuristic::FirstFitDecreasing),
+            (Heuristic::BestFit, Heuristic::BestFitDecreasing),
+        ] {
+            let on = online.pack(&items).bins.len();
+            let off = offline.pack(&items).bins.len();
+            prop_assert!(off <= on, "{}: {} vs {}", offline.name(), off, on);
+        }
+    }
+
+    /// The benchmark's accuracy equals mass / bins for any config.
+    #[test]
+    fn benchmark_accuracy_is_occupancy(
+        items in prop::collection::vec(0.01f64..1.0, 1..100),
+        seed in 0u64..1000,
+    ) {
+        let b = BinPacking::new(256);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = b.space().random(&mut rng);
+        let report = b.run(&cfg, &items);
+        let packing = b.pack(&cfg, &items);
+        let expected = items.iter().sum::<f64>() / packing.bins.len().max(1) as f64;
+        prop_assert!((report.accuracy.unwrap() - expected).abs() < 1e-9);
+    }
+
+    /// Generator classes produce items in (0, 1] only.
+    #[test]
+    fn generators_in_range(seed in 0u64..2000, class_idx in 0usize..8, n in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = PackInputClass::all()[class_idx];
+        let items = class.generate(n, &mut rng);
+        prop_assert_eq!(items.len(), n);
+        prop_assert!(items.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+}

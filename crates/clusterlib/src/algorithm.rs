@@ -1,0 +1,263 @@
+//! The tunable k-means variant with three initialization strategies.
+//!
+//! Determinism: "random" initialization derives its seed from the input
+//! itself (length + first coordinates), so the same configuration on the
+//! same input always produces the same outcome — a requirement of the
+//! `Benchmark` contract.
+
+/// A 2-D point.
+pub type Point = [f64; 2];
+
+/// Initialization strategies (the benchmark's `either…or` choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// Deterministically pseudo-random sample of k points.
+    Random,
+    /// The first k points of the input (cheapest, order-sensitive).
+    Prefix,
+    /// Greedy farthest-point seeding (k-means++-flavored "centerplus";
+    /// costs an extra pass per center).
+    CenterPlus,
+}
+
+impl InitStrategy {
+    /// Decodes a switch gene value.
+    ///
+    /// # Panics
+    /// Panics if `idx > 2`.
+    pub fn from_index(idx: usize) -> Self {
+        match idx {
+            0 => InitStrategy::Random,
+            1 => InitStrategy::Prefix,
+            2 => InitStrategy::CenterPlus,
+            other => panic!("init strategy index {other} out of range"),
+        }
+    }
+}
+
+/// Result of one configured k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansOutcome {
+    /// Final cluster centers.
+    pub centers: Vec<Point>,
+    /// Sum of point-to-assigned-center distances (the paper's Σdᵢ).
+    pub total_dist: f64,
+    /// Deterministic abstract cost (distance evaluations).
+    pub cost: f64,
+}
+
+fn dist(a: Point, b: Point) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// A tiny deterministic LCG used for the Random init (seeded from data).
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn input_seed(points: &[Point]) -> u64 {
+    let mut h = points.len() as u64;
+    for p in points.iter().take(8) {
+        h = h
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(p[0].to_bits() ^ p[1].to_bits().rotate_left(17));
+    }
+    h
+}
+
+fn init_centers(points: &[Point], k: usize, strategy: InitStrategy, cost: &mut f64) -> Vec<Point> {
+    let n = points.len();
+    let k = k.min(n).max(1);
+    match strategy {
+        InitStrategy::Random => {
+            let mut state = input_seed(points);
+            let mut centers = Vec::with_capacity(k);
+            for _ in 0..k {
+                let idx = (lcg_next(&mut state) as usize) % n;
+                centers.push(points[idx]);
+            }
+            *cost += k as f64;
+            centers
+        }
+        InitStrategy::Prefix => {
+            *cost += k as f64;
+            points.iter().take(k).copied().collect()
+        }
+        InitStrategy::CenterPlus => {
+            // Farthest-point ("center plus") greedy seeding: one pass over
+            // the data per center.
+            let mut centers = vec![points[0]];
+            let mut min_d: Vec<f64> = points.iter().map(|&p| dist(p, centers[0])).collect();
+            *cost += n as f64;
+            while centers.len() < k {
+                let (best, _) = min_d
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("nonempty");
+                centers.push(points[best]);
+                for (i, &p) in points.iter().enumerate() {
+                    min_d[i] = min_d[i].min(dist(p, *centers.last().unwrap()));
+                }
+                *cost += n as f64;
+            }
+            centers
+        }
+    }
+}
+
+/// Runs k-means with the given init, `k`, and iteration budget, charging one
+/// cost unit per distance evaluation.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans_run(points: &[Point], k: usize, iters: usize, init: InitStrategy) -> KmeansOutcome {
+    assert!(!points.is_empty(), "kmeans needs points");
+    assert!(k > 0, "kmeans needs k > 0");
+    let k = k.min(points.len());
+    let mut cost = 0.0;
+    let mut centers = init_centers(points, k, init, &mut cost);
+    let mut labels = vec![0usize; points.len()];
+
+    for _ in 0..iters.max(1) {
+        // Assign.
+        for (i, &p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &center) in centers.iter().enumerate() {
+                let d = dist(p, center);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            labels[i] = best.0;
+        }
+        cost += (points.len() * centers.len()) as f64;
+        // Update.
+        let mut sums = vec![[0.0f64; 2]; k];
+        let mut counts = vec![0usize; k];
+        for (&l, &p) in labels.iter().zip(points) {
+            sums[l][0] += p[0];
+            sums[l][1] += p[1];
+            counts[l] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centers[c] = [sums[c][0] / counts[c] as f64, sums[c][1] / counts[c] as f64];
+            }
+        }
+        cost += points.len() as f64;
+    }
+
+    // Final assignment distance sum.
+    let mut total = 0.0;
+    for &p in points {
+        let mut best = f64::INFINITY;
+        for &c in &centers {
+            best = best.min(dist(p, c));
+        }
+        total += best;
+    }
+    cost += (points.len() * centers.len()) as f64;
+
+    KmeansOutcome {
+        centers,
+        total_dist: total,
+        cost,
+    }
+}
+
+/// A thorough reference clustering: center-plus seeding, generous iteration
+/// budget. Generators call this once per input to precompute the canonical
+/// distance sum `Σd̂ᵢ` used by the accuracy metric.
+pub fn canonical_dist(points: &[Point], true_k: usize) -> f64 {
+    kmeans_run(points, true_k.max(1), 40, InitStrategy::CenterPlus).total_dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)] {
+            for i in 0..25 {
+                pts.push([
+                    cx + ((i * 13) % 5) as f64 * 0.1,
+                    cy + ((i * 7) % 5) as f64 * 0.1,
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn centerplus_recovers_four_blobs() {
+        let pts = square_blobs();
+        let out = kmeans_run(&pts, 4, 15, InitStrategy::CenterPlus);
+        // Tight blobs: total distance should be tiny relative to spread.
+        assert!(out.total_dist < 60.0, "total {}", out.total_dist);
+        assert_eq!(out.centers.len(), 4);
+    }
+
+    #[test]
+    fn prefix_init_is_cheapest_centerplus_most_expensive() {
+        let pts = square_blobs();
+        let p = kmeans_run(&pts, 4, 5, InitStrategy::Prefix);
+        let c = kmeans_run(&pts, 4, 5, InitStrategy::CenterPlus);
+        assert!(p.cost < c.cost);
+    }
+
+    #[test]
+    fn prefix_init_underperforms_on_ordered_blobs() {
+        // Prefix takes all seeds from the first blob; with 1 iteration it
+        // cannot recover.
+        let pts = square_blobs();
+        let p = kmeans_run(&pts, 4, 1, InitStrategy::Prefix);
+        let c = kmeans_run(&pts, 4, 1, InitStrategy::CenterPlus);
+        assert!(
+            p.total_dist > 2.0 * c.total_dist,
+            "prefix {} vs centerplus {}",
+            p.total_dist,
+            c.total_dist
+        );
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_much() {
+        let pts = square_blobs();
+        let few = kmeans_run(&pts, 4, 1, InitStrategy::Random);
+        let many = kmeans_run(&pts, 4, 20, InitStrategy::Random);
+        assert!(many.total_dist <= few.total_dist + 1e-9);
+        assert!(many.cost > few.cost);
+    }
+
+    #[test]
+    fn deterministic_per_input() {
+        let pts = square_blobs();
+        let a = kmeans_run(&pts, 3, 5, InitStrategy::Random);
+        let b = kmeans_run(&pts, 3, 5, InitStrategy::Random);
+        assert_eq!(a.total_dist, b.total_dist);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let pts: Vec<Point> = vec![[0.0, 0.0], [1.0, 1.0]];
+        let out = kmeans_run(&pts, 10, 3, InitStrategy::CenterPlus);
+        assert!(out.centers.len() <= 2);
+        assert!(out.total_dist < 1e-9);
+    }
+
+    #[test]
+    fn canonical_is_tight() {
+        let pts = square_blobs();
+        let canon = canonical_dist(&pts, 4);
+        let sloppy = kmeans_run(&pts, 2, 2, InitStrategy::Prefix);
+        assert!(canon < sloppy.total_dist);
+    }
+}

@@ -1,0 +1,233 @@
+//! Input feature extractors for the Clustering benchmark: radius, centers,
+//! density and range at three sampling levels.
+//!
+//! The *centers* extractor (grid-density peak counting) is deliberately the
+//! most expensive relative to execution time — the paper observes exactly
+//! this on `clustering2`, where paying for the centers feature lowers the
+//! effective speedup from 1.45× to 1.18×.
+
+use crate::algorithm::Point;
+use intune_core::FeatureSample;
+
+/// Property indices (order matches `Clustering::properties`).
+pub mod prop {
+    /// Max distance from the sample mean.
+    pub const RADIUS: usize = 0;
+    /// Estimated number of cluster centers (grid-density peaks).
+    pub const CENTERS: usize = 1;
+    /// Points per occupied grid cell.
+    pub const DENSITY: usize = 2;
+    /// Bounding-box diagonal.
+    pub const RANGE: usize = 3;
+}
+
+fn sample(points: &[Point], level: usize) -> (Vec<Point>, f64) {
+    let n = points.len();
+    if n == 0 {
+        return (vec![[0.0, 0.0]], 1.0);
+    }
+    let m = match level {
+        0 => n.min(64),
+        1 => n.min(512),
+        _ => n,
+    }
+    .max(1);
+    let out: Vec<Point> = (0..m).map(|i| points[i * n / m]).collect();
+    (out, m as f64)
+}
+
+fn bbox(points: &[Point]) -> (Point, Point) {
+    let mut lo = [f64::INFINITY, f64::INFINITY];
+    let mut hi = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+    for p in points {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Extracts property `property` at sampling `level`.
+///
+/// # Panics
+/// Panics if `property` is out of range (Clustering declares 4).
+pub fn extract(property: usize, level: usize, points: &[Point]) -> FeatureSample {
+    let (s, m) = sample(points, level);
+    match property {
+        prop::RADIUS => {
+            let cx = s.iter().map(|p| p[0]).sum::<f64>() / s.len() as f64;
+            let cy = s.iter().map(|p| p[1]).sum::<f64>() / s.len() as f64;
+            let r = s
+                .iter()
+                .map(|p| ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt())
+                .fold(0.0, f64::max);
+            FeatureSample::new(r, 2.0 * m)
+        }
+        prop::CENTERS => centers_estimate(&s, level, m),
+        prop::DENSITY => {
+            // Points per occupied cell of a g × g grid.
+            let g = 8usize;
+            let (lo, hi) = bbox(&s);
+            let w = (hi[0] - lo[0]).max(1e-12);
+            let h = (hi[1] - lo[1]).max(1e-12);
+            let mut occupied = std::collections::HashSet::new();
+            for p in &s {
+                let gx = (((p[0] - lo[0]) / w) * (g as f64 - 1.0)) as usize;
+                let gy = (((p[1] - lo[1]) / h) * (g as f64 - 1.0)) as usize;
+                occupied.insert((gx, gy));
+            }
+            FeatureSample::new(s.len() as f64 / occupied.len().max(1) as f64, 2.0 * m)
+        }
+        prop::RANGE => {
+            let (lo, hi) = bbox(&s);
+            let dx = (hi[0] - lo[0]).max(0.0);
+            let dy = (hi[1] - lo[1]).max(0.0);
+            FeatureSample::new((dx * dx + dy * dy).sqrt(), m)
+        }
+        other => panic!("clustering has 4 properties, got {other}"),
+    }
+}
+
+/// Estimates the number of clusters by counting local maxima of a smoothed
+/// grid histogram. Grid resolution grows with the level, and the smoothing
+/// pass makes this the costliest extractor (≈ m + g² · 9 work).
+fn centers_estimate(s: &[Point], level: usize, m: f64) -> FeatureSample {
+    let g = match level {
+        0 => 6,
+        1 => 12,
+        _ => 24,
+    };
+    let (lo, hi) = bbox(s);
+    let w = (hi[0] - lo[0]).max(1e-12);
+    let h = (hi[1] - lo[1]).max(1e-12);
+    let mut grid = vec![vec![0.0f64; g]; g];
+    for p in s {
+        let gx = (((p[0] - lo[0]) / w) * (g as f64 - 1.0)) as usize;
+        let gy = (((p[1] - lo[1]) / h) * (g as f64 - 1.0)) as usize;
+        grid[gx][gy] += 1.0;
+    }
+    // 3x3 box smoothing.
+    let mut smooth = vec![vec![0.0f64; g]; g];
+    for x in 0..g {
+        for y in 0..g {
+            let mut acc = 0.0;
+            let mut cnt = 0.0;
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx >= 0 && ny >= 0 && (nx as usize) < g && (ny as usize) < g {
+                        acc += grid[nx as usize][ny as usize];
+                        cnt += 1.0;
+                    }
+                }
+            }
+            smooth[x][y] = acc / cnt;
+        }
+    }
+    // Count strict local maxima above the mean density.
+    let mean = s.len() as f64 / (g * g) as f64;
+    let mut peaks = 0usize;
+    for x in 0..g {
+        for y in 0..g {
+            if smooth[x][y] <= mean {
+                continue;
+            }
+            let mut is_peak = true;
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx >= 0 && ny >= 0 && (nx as usize) < g && (ny as usize) < g {
+                        if smooth[nx as usize][ny as usize] > smooth[x][y] {
+                            is_peak = false;
+                        }
+                    }
+                }
+            }
+            if is_peak {
+                peaks += 1;
+            }
+        }
+    }
+    let cost = m + (g * g * 18) as f64;
+    FeatureSample::new(peaks as f64, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ClusterInputClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(k: usize, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(5);
+        ClusterInputClass::Blobs { k }.generate(n, &mut rng).points
+    }
+
+    #[test]
+    fn radius_and_range_scale_with_spread() {
+        let tight: Vec<Point> = (0..100)
+            .map(|i| [((i % 10) as f64) * 0.01, ((i / 10) as f64) * 0.01])
+            .collect();
+        let wide: Vec<Point> = tight.iter().map(|p| [p[0] * 100.0, p[1] * 100.0]).collect();
+        assert!(
+            extract(prop::RADIUS, 2, &wide).value > 50.0 * extract(prop::RADIUS, 2, &tight).value
+        );
+        assert!(
+            extract(prop::RANGE, 2, &wide).value > 50.0 * extract(prop::RANGE, 2, &tight).value
+        );
+    }
+
+    #[test]
+    fn centers_tracks_cluster_count() {
+        let few = blobs(2, 600);
+        let many = blobs(9, 600);
+        let few_est = extract(prop::CENTERS, 2, &few).value;
+        let many_est = extract(prop::CENTERS, 2, &many).value;
+        assert!(
+            many_est > few_est,
+            "9-blob estimate {many_est} should exceed 2-blob estimate {few_est}"
+        );
+    }
+
+    #[test]
+    fn centers_is_most_expensive_at_low_levels() {
+        let pts = blobs(4, 64);
+        let centers_cost = extract(prop::CENTERS, 0, &pts).cost;
+        for p in [prop::RADIUS, prop::DENSITY, prop::RANGE] {
+            assert!(
+                centers_cost > extract(p, 0, &pts).cost,
+                "centers should cost more than property {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_high_for_duplicated_lattice() {
+        let lattice: Vec<Point> = (0..400)
+            .map(|i| [(i % 4) as f64, ((i / 4) % 2) as f64])
+            .collect();
+        let spread = blobs(8, 400);
+        assert!(
+            extract(prop::DENSITY, 2, &lattice).value > extract(prop::DENSITY, 2, &spread).value
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_safe() {
+        for pts in [vec![], vec![[1.0, 1.0]]] {
+            for p in 0..4 {
+                for level in 0..3 {
+                    let s = extract(p, level, &pts);
+                    assert!(s.value.is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Input generators for the Clustering benchmark.
+//!
+//! `clustering2` uses synthetic generators spanning the feature space;
+//! `clustering1` in the paper clusters the UCI Poker Hand dataset —
+//! [`ClusterInputClass::PokerLike`] simulates its relevant structure
+//! (discrete low-cardinality rank/suit axes with heavy coordinate
+//! repetition) since the learner only ever sees 2-D geometry (DESIGN.md §4).
+
+use crate::algorithm::{canonical_dist, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One clustering input: the points plus the precomputed canonical distance
+/// sum `Σd̂ᵢ` that anchors the accuracy metric.
+#[derive(Debug, Clone)]
+pub struct ClusterInput {
+    /// The 2-D points to cluster.
+    pub points: Vec<Point>,
+    /// Σ point-to-center distance under the canonical (thorough) clustering.
+    pub canonical_dist: f64,
+    /// The cluster count the canonical run used (diagnostics).
+    pub canonical_k: usize,
+}
+
+/// Families of clustering inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterInputClass {
+    /// `k` Gaussian blobs with varied spreads.
+    Blobs {
+        /// Number of blobs.
+        k: usize,
+    },
+    /// Uniform noise over a square (no real clusters).
+    Uniform,
+    /// Two concentric rings (k-means-hostile geometry).
+    Rings,
+    /// A regular grid of tight clumps.
+    Grid,
+    /// Elongated diagonal stripes (anisotropic).
+    Stripes,
+    /// Poker-Hand-like discrete lattice with repeated coordinates
+    /// (the `clustering1` stand-in).
+    PokerLike,
+}
+
+impl ClusterInputClass {
+    /// The synthetic (`clustering2`) class mix.
+    pub fn all() -> Vec<ClusterInputClass> {
+        vec![
+            ClusterInputClass::Blobs { k: 3 },
+            ClusterInputClass::Blobs { k: 8 },
+            ClusterInputClass::Blobs { k: 16 },
+            ClusterInputClass::Uniform,
+            ClusterInputClass::Rings,
+            ClusterInputClass::Grid,
+            ClusterInputClass::Stripes,
+            ClusterInputClass::PokerLike,
+        ]
+    }
+
+    /// The cluster count a canonical run should use for this class.
+    fn true_k(self) -> usize {
+        match self {
+            ClusterInputClass::Blobs { k } => k,
+            ClusterInputClass::Uniform => 8,
+            ClusterInputClass::Rings => 8,
+            ClusterInputClass::Grid => 9,
+            ClusterInputClass::Stripes => 6,
+            ClusterInputClass::PokerLike => 13,
+        }
+    }
+
+    /// Generates one input with `n` points and precomputes its canonical
+    /// clustering distance.
+    pub fn generate(self, n: usize, rng: &mut StdRng) -> ClusterInput {
+        let points = self.points(n, rng);
+        let k = self.true_k();
+        ClusterInput {
+            canonical_dist: canonical_dist(&points, k),
+            canonical_k: k,
+            points,
+        }
+    }
+
+    fn points(self, n: usize, rng: &mut StdRng) -> Vec<Point> {
+        use ClusterInputClass::*;
+        match self {
+            Blobs { k } => {
+                let centers: Vec<Point> = (0..k)
+                    .map(|_| [rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)])
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let c = centers[i % k];
+                        let spread = 2.0 + (i % k) as f64;
+                        [c[0] + gaussian(rng) * spread, c[1] + gaussian(rng) * spread]
+                    })
+                    .collect()
+            }
+            Uniform => (0..n)
+                .map(|_| [rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)])
+                .collect(),
+            Rings => (0..n)
+                .map(|i| {
+                    let r = if i % 2 == 0 { 30.0 } else { 80.0 };
+                    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                    [
+                        r * theta.cos() + gaussian(rng) * 2.0,
+                        r * theta.sin() + gaussian(rng) * 2.0,
+                    ]
+                })
+                .collect(),
+            Grid => (0..n)
+                .map(|i| {
+                    let cell = i % 9;
+                    let cx = ((cell % 3) as f64 - 1.0) * 60.0;
+                    let cy = ((cell / 3) as f64 - 1.0) * 60.0;
+                    [cx + gaussian(rng) * 1.5, cy + gaussian(rng) * 1.5]
+                })
+                .collect(),
+            Stripes => (0..n)
+                .map(|i| {
+                    let stripe = (i % 6) as f64;
+                    let t = rng.gen_range(-50.0..50.0);
+                    [
+                        t + stripe * 30.0 + gaussian(rng),
+                        t - stripe * 30.0 + gaussian(rng),
+                    ]
+                })
+                .collect(),
+            PokerLike => {
+                // Rank (1..13) x suit (1..4) lattice, scaled; hands cluster
+                // around a handful of popular rank/suit combinations.
+                let popular: Vec<Point> = (0..13)
+                    .map(|r| [(r + 1) as f64 * 10.0, ((r % 4) + 1) as f64 * 10.0])
+                    .collect();
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(0.7) {
+                            let p = popular[rng.gen_range(0..popular.len())];
+                            // Exact duplicates are common in discrete data.
+                            p
+                        } else {
+                            [
+                                rng.gen_range(1..=13) as f64 * 10.0,
+                                rng.gen_range(1..=4) as f64 * 10.0,
+                            ]
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A corpus of clustering inputs.
+#[derive(Debug, Clone)]
+pub struct ClusterCorpus {
+    /// The inputs (with canonical distances precomputed).
+    pub inputs: Vec<ClusterInput>,
+    /// Generator class per input (diagnostics only).
+    pub classes: Vec<ClusterInputClass>,
+}
+
+impl ClusterCorpus {
+    /// The `clustering2` corpus: cycles through all synthetic classes.
+    pub fn synthetic(count: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = ClusterInputClass::all();
+        let mut inputs = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let class = classes[i % classes.len()];
+            let n = rng.gen_range(min_n..=max_n.max(min_n));
+            inputs.push(class.generate(n, &mut rng));
+            labels.push(class);
+        }
+        ClusterCorpus {
+            inputs,
+            classes: labels,
+        }
+    }
+
+    /// The `clustering1` stand-in corpus: all Poker-like inputs.
+    pub fn poker(count: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let n = rng.gen_range(min_n..=max_n.max(min_n));
+            inputs.push(ClusterInputClass::PokerLike.generate(n, &mut rng));
+        }
+        ClusterCorpus {
+            classes: vec![ClusterInputClass::PokerLike; inputs.len()],
+            inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_generate_sized_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in ClusterInputClass::all() {
+            let input = class.generate(150, &mut rng);
+            assert_eq!(input.points.len(), 150, "{class:?}");
+            assert!(input.canonical_dist.is_finite(), "{class:?}");
+            assert!(input.canonical_dist >= 0.0, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn blobs_have_smaller_canonical_dist_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let blobs = ClusterInputClass::Blobs { k: 4 }.generate(300, &mut rng);
+        let uniform = ClusterInputClass::Uniform.generate(300, &mut rng);
+        assert!(blobs.canonical_dist < uniform.canonical_dist);
+    }
+
+    #[test]
+    fn poker_like_has_exact_duplicates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = ClusterInputClass::PokerLike.generate(500, &mut rng);
+        let distinct: std::collections::HashSet<_> = input
+            .points
+            .iter()
+            .map(|p| (p[0].to_bits(), p[1].to_bits()))
+            .collect();
+        assert!(
+            distinct.len() < 100,
+            "poker-like data should be heavily duplicated, got {} distinct",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let a = ClusterCorpus::synthetic(10, 100, 200, 4);
+        let b = ClusterCorpus::synthetic(10, 100, 200, 4);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.points, y.points);
+            assert_eq!(x.canonical_dist, y.canonical_dist);
+        }
+    }
+}

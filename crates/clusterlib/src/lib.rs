@@ -1,0 +1,175 @@
+//! # intune-clusterlib
+//!
+//! The paper's **Clustering** benchmark: assign 2-D points to clusters with
+//! a k-means variant whose *initialization strategy* (random, prefix, or
+//! center-plus), *cluster count* `k` and *iteration budget* are all set by
+//! the autotuner.
+//!
+//! The accuracy metric is the paper's `Σd̂ᵢ / Σdᵢ`, where `d̂ᵢ` is the
+//! point-to-center distance under a canonical clustering (a thorough
+//! k-means++ run computed once per input at generation time) and `dᵢ` the
+//! distance under the configured run; the threshold is 0.8. Cheap
+//! configurations (few iterations, naive init) are fast but may fall below
+//! the bar on hard geometries — the benchmark's input sensitivity.
+//!
+//! Input features: *radius*, *centers* (a grid-density peak count — the
+//! expensive feature the paper calls out), *density*, and *range*, each at
+//! three sampling levels ([`features`]). Generators include a Poker-Hand-like
+//! discrete lattice simulator standing in for the paper's `clustering1`
+//! real-world dataset (DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod features;
+pub mod generators;
+
+pub use algorithm::{kmeans_run, InitStrategy, KmeansOutcome};
+pub use generators::{ClusterCorpus, ClusterInput, ClusterInputClass};
+
+use intune_core::{
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+};
+
+/// The Clustering benchmark.
+#[derive(Debug, Clone)]
+pub struct Clustering;
+
+impl Clustering {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Clustering
+    }
+}
+
+impl Default for Clustering {
+    fn default() -> Self {
+        Clustering::new()
+    }
+}
+
+impl Benchmark for Clustering {
+    type Input = ClusterInput;
+
+    fn name(&self) -> &str {
+        "clustering"
+    }
+
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("cluster.init", 3)
+            .int("cluster.k", 2, 32)
+            .int("cluster.iters", 1, 25)
+            .build()
+    }
+
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let space = self.space();
+        let init = InitStrategy::from_index(cfg.choice(space.require("cluster.init").unwrap()));
+        let k = cfg.int(space.require("cluster.k").unwrap()) as usize;
+        let iters = cfg.int(space.require("cluster.iters").unwrap()) as usize;
+        let outcome = kmeans_run(&input.points, k, iters, init);
+        // Accuracy = Σ canonical distances / Σ our distances, epsilon-floored
+        // so exact-duplicate (lattice) inputs cannot divide by zero.
+        let eps = 1e-9;
+        let accuracy = ((input.canonical_dist + eps) / (outcome.total_dist + eps)).min(10.0);
+        ExecutionReport::with_accuracy(outcome.cost, accuracy)
+    }
+
+    fn accuracy(&self) -> Option<AccuracySpec> {
+        Some(AccuracySpec::new(0.8))
+    }
+
+    fn properties(&self) -> Vec<FeatureDef> {
+        vec![
+            FeatureDef::new("radius", 3),
+            FeatureDef::new("centers", 3),
+            FeatureDef::new("density", 3),
+            FeatureDef::new("range", 3),
+        ]
+    }
+
+    fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+        features::extract(property, level, &input.points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{BenchmarkExt, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_input() -> ClusterInput {
+        let mut rng = StdRng::seed_from_u64(3);
+        ClusterInputClass::Blobs { k: 4 }.generate(400, &mut rng)
+    }
+
+    #[test]
+    fn thorough_config_is_accurate() {
+        let b = Clustering::new();
+        let space = b.space();
+        let mut cfg = space.default_config();
+        cfg.set(
+            space.index_of("cluster.init").unwrap(),
+            ParamValue::Choice(2),
+        ); // centerplus
+        cfg.set(space.index_of("cluster.k").unwrap(), ParamValue::Int(4));
+        cfg.set(
+            space.index_of("cluster.iters").unwrap(),
+            ParamValue::Int(20),
+        );
+        let report = b.run(&cfg, &blob_input());
+        assert!(
+            report.accuracy.unwrap() > 0.8,
+            "accuracy {}",
+            report.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn starved_config_is_fast_but_inaccurate() {
+        let b = Clustering::new();
+        let space = b.space();
+        let input = blob_input();
+
+        let mut starved = space.default_config();
+        starved.set(
+            space.index_of("cluster.init").unwrap(),
+            ParamValue::Choice(1),
+        ); // prefix
+        starved.set(space.index_of("cluster.k").unwrap(), ParamValue::Int(2));
+        starved.set(space.index_of("cluster.iters").unwrap(), ParamValue::Int(1));
+
+        let mut thorough = space.default_config();
+        thorough.set(
+            space.index_of("cluster.init").unwrap(),
+            ParamValue::Choice(2),
+        );
+        thorough.set(space.index_of("cluster.k").unwrap(), ParamValue::Int(4));
+        thorough.set(
+            space.index_of("cluster.iters").unwrap(),
+            ParamValue::Int(20),
+        );
+
+        let r_starved = b.run(&starved, &input);
+        let r_thorough = b.run(&thorough, &input);
+        assert!(r_starved.cost < r_thorough.cost);
+        assert!(r_starved.accuracy.unwrap() < r_thorough.accuracy.unwrap());
+    }
+
+    #[test]
+    fn features_extractable() {
+        let b = Clustering::new();
+        let fv = b.extract_all(&blob_input());
+        assert_eq!(fv.len(), 12);
+        assert!(fv.dense().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_threshold_is_papers() {
+        assert_eq!(Clustering::new().accuracy().unwrap().threshold, 0.8);
+    }
+}

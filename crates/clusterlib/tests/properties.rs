@@ -1,0 +1,77 @@
+//! Property-based tests for the clustering benchmark.
+
+use intune_clusterlib::algorithm::{kmeans_run, InitStrategy};
+use intune_clusterlib::{ClusterInputClass, Clustering};
+use intune_core::Benchmark;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// k-means runs are deterministic, cost-positive, and the distance sum
+    /// never increases when iterations grow.
+    #[test]
+    fn kmeans_run_invariants(
+        pts in prop::collection::vec(
+            (prop::num::f64::NORMAL, prop::num::f64::NORMAL)
+                .prop_map(|(a, b)| [a % 100.0, b % 100.0]),
+            3..80),
+        k in 1usize..8,
+        init_idx in 0usize..3,
+    ) {
+        let init = InitStrategy::from_index(init_idx);
+        let short = kmeans_run(&pts, k, 2, init);
+        let long = kmeans_run(&pts, k, 12, init);
+        prop_assert!(short.cost > 0.0);
+        prop_assert!(long.cost > short.cost);
+        // Lloyd iterations monotonically decrease Σd² — the paper's Σd
+        // metric may wiggle slightly, so allow a small relative band.
+        prop_assert!(
+            long.total_dist <= short.total_dist * 1.05 + 1e-9,
+            "12 iters ({}) much worse than 2 ({})",
+            long.total_dist,
+            short.total_dist
+        );
+        let again = kmeans_run(&pts, k, 2, init);
+        prop_assert_eq!(short.total_dist, again.total_dist);
+    }
+
+    /// The benchmark's accuracy is positive, capped, and improves (or holds)
+    /// as the iteration budget grows.
+    #[test]
+    fn accuracy_monotone_in_iterations(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = ClusterInputClass::Blobs { k: 4 }.generate(120, &mut rng);
+        let b = Clustering::new();
+        let space = b.space();
+        let mut starved = space.default_config();
+        starved.set(space.index_of("cluster.iters").unwrap(), intune_core::ParamValue::Int(1));
+        starved.set(space.index_of("cluster.k").unwrap(), intune_core::ParamValue::Int(4));
+        starved.set(space.index_of("cluster.init").unwrap(), intune_core::ParamValue::Choice(2));
+        let mut generous = starved.clone();
+        generous.set(space.index_of("cluster.iters").unwrap(), intune_core::ParamValue::Int(20));
+        let r1 = b.run(&starved, &input);
+        let r2 = b.run(&generous, &input);
+        let (a1, a2) = (r1.accuracy.unwrap(), r2.accuracy.unwrap());
+        prop_assert!(a1 > 0.0 && a1 <= 10.0);
+        // Same Σd-vs-Σd² caveat as above: a generous band, not strict
+        // monotonicity.
+        prop_assert!(
+            a2 >= a1 * 0.95 - 1e-9,
+            "more iterations substantially lowered accuracy: {} -> {}", a1, a2
+        );
+    }
+
+    /// Generated inputs carry consistent canonical metadata.
+    #[test]
+    fn generated_inputs_consistent(seed in 0u64..500, class_idx in 0usize..8, n in 10usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = ClusterInputClass::all();
+        let input = classes[class_idx % classes.len()].generate(n, &mut rng);
+        prop_assert_eq!(input.points.len(), n);
+        prop_assert!(input.canonical_dist.is_finite() && input.canonical_dist >= 0.0);
+        prop_assert!(input.canonical_k >= 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`Benchmark`] trait: a program with algorithmic choices, input
+//! features and (optionally) variable accuracy.
+//!
+//! Everything the two-level learner does — clustering, landmark autotuning,
+//! performance measurement, classifier training — is generic over this trait,
+//! mirroring how the paper's learner interacts with PetaBricks programs only
+//! through their configuration space, execution outcomes and declared
+//! `input_feature` extractors.
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::cost::ExecutionReport;
+use crate::features::{FeatureDef, FeatureId, FeatureSample, FeatureSet, FeatureVector};
+use serde::{Deserialize, Serialize};
+
+/// A benchmark's variable-accuracy contract: the programmer-specified
+/// accuracy threshold H1 (the satisfaction threshold H2 — the fraction of
+/// inputs that must meet H1, 95 % in the paper — lives in the learner's
+/// options since it is a property of the training process, not the program).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySpec {
+    /// Minimum accuracy-metric value for an output to count as accurate.
+    pub threshold: f64,
+}
+
+impl AccuracySpec {
+    /// Convenience constructor.
+    pub fn new(threshold: f64) -> Self {
+        AccuracySpec { threshold }
+    }
+}
+
+/// A program with algorithmic choices: the unit of autotuning.
+///
+/// Implementations must be deterministic: `run` with the same configuration
+/// and input must produce the same report (benchmarks thread explicit RNG
+/// seeds through their inputs where randomized algorithms are involved).
+pub trait Benchmark {
+    /// The input type the program processes.
+    type Input;
+
+    /// Stable, short name (used in reports and file names).
+    fn name(&self) -> &str;
+
+    /// The configuration (choice) space this program exposes.
+    fn space(&self) -> ConfigSpace;
+
+    /// Runs the program on `input` under `cfg`, reporting deterministic cost
+    /// and, for variable-accuracy programs, the accuracy metric.
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport;
+
+    /// The accuracy contract, or `None` for fixed-accuracy programs (sort).
+    fn accuracy(&self) -> Option<AccuracySpec> {
+        None
+    }
+
+    /// Declares the feature properties (`input_feature` functions) and their
+    /// sampling-level counts.
+    fn properties(&self) -> Vec<FeatureDef>;
+
+    /// Extracts one property at one sampling level from an input, reporting
+    /// both the value and the extraction cost.
+    ///
+    /// # Panics
+    /// Implementations may panic if `property`/`level` are out of the range
+    /// declared by [`Benchmark::properties`]; callers should stay in range.
+    fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample;
+}
+
+/// Blanket convenience methods for benchmarks.
+pub trait BenchmarkExt: Benchmark {
+    /// Runs the benchmark and attaches wall-clock time to the report. The
+    /// deterministic `cost` stays the primary metric (DESIGN.md §4); the
+    /// timing is informational, used by the Criterion benches.
+    fn run_timed(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let sw = crate::cost::Stopwatch::start();
+        let report = self.run(cfg, input);
+        report.timed(sw.elapsed_ns())
+    }
+
+    /// Extracts *all* features (every property at every level) into a dense
+    /// [`FeatureVector`]. Used at training time, where the full matrix is
+    /// needed; at deployment only the production classifier's subset is paid
+    /// for.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for (p, def) in defs.iter().enumerate() {
+            for level in 0..def.levels {
+                let sample = self.extract(p, level, input);
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
+
+    /// Extracts only the features in `set`, returning the samples in
+    /// `set.iter()` order together with the summed extraction cost.
+    fn extract_set(&self, set: &FeatureSet, input: &Self::Input) -> (Vec<f64>, f64) {
+        let mut values = Vec::with_capacity(set.count());
+        let mut cost = 0.0;
+        for id in set.iter() {
+            let s = self.extract(id.property, id.level, input);
+            values.push(s.value);
+            cost += s.cost;
+        }
+        (values, cost)
+    }
+}
+
+impl<B: Benchmark + ?Sized> BenchmarkExt for B {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use crate::cost::ExecutionReport;
+
+    /// A toy benchmark: "sorts" by charging n·log n or n² depending on the
+    /// switch, with a single two-level feature (input length at two costs).
+    struct Toy;
+
+    impl Benchmark for Toy {
+        type Input = Vec<f64>;
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder().switch("alg", 2).build()
+        }
+
+        fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            let n = input.len() as f64;
+            let cost = match cfg.choice(0) {
+                0 => n * n.max(2.0).log2(),
+                _ => n * n,
+            };
+            ExecutionReport::of_cost(cost)
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("length", 2)]
+        }
+
+        fn extract(&self, _property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+            FeatureSample::new(input.len() as f64, (level + 1) as f64)
+        }
+    }
+
+    #[test]
+    fn extract_all_fills_every_slot() {
+        let b = Toy;
+        let fv = b.extract_all(&vec![1.0; 10]);
+        assert_eq!(fv.len(), 2);
+        assert!(fv.dense().iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn extract_set_sums_costs() {
+        let b = Toy;
+        let set = FeatureSet::from_choices(vec![Some(1)]);
+        let (values, cost) = b.extract_set(&set, &vec![1.0; 10]);
+        assert_eq!(values, vec![10.0]);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn run_reflects_choice() {
+        let b = Toy;
+        let space = b.space();
+        let mut fast = space.default_config();
+        fast.set(0, crate::config::ParamValue::Choice(0));
+        let mut slow = space.default_config();
+        slow.set(0, crate::config::ParamValue::Choice(1));
+        let input = vec![0.0; 1024];
+        assert!(b.run(&fast, &input).cost < b.run(&slow, &input).cost);
+    }
+
+    #[test]
+    fn default_accuracy_is_none() {
+        assert!(Toy.accuracy().is_none());
+    }
+
+    #[test]
+    fn run_timed_preserves_report_and_adds_time() {
+        let b = Toy;
+        let cfg = b.space().default_config();
+        let input = vec![0.0; 64];
+        let plain = b.run(&cfg, &input);
+        let timed = b.run_timed(&cfg, &input);
+        assert_eq!(timed.cost, plain.cost);
+        assert_eq!(timed.accuracy, plain.accuracy);
+        assert!(timed.time_ns.is_some());
+    }
+}

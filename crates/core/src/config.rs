@@ -1,0 +1,585 @@
+//! Configuration spaces and configurations (genomes).
+//!
+//! A [`ConfigSpace`] is the set of all algorithmic configurations a program
+//! exposes: algorithm switches (PetaBricks `either…or`), integer tunables
+//! (cutoffs, iteration counts), and floating tunables (sampling levels,
+//! relaxation factors). A [`Configuration`] is one point in that space — the
+//! genome the evolutionary autotuner mutates and the artifact the two-level
+//! learner ships as a *landmark*.
+
+use crate::error::{Error, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kind (domain) of a single tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A categorical algorithmic choice with `choices` alternatives
+    /// (the `either…or` construct). Values are `0..choices`.
+    Switch {
+        /// Number of alternatives; must be at least 1.
+        choices: usize,
+    },
+    /// An integer tunable in `[min, max]`, mutated uniformly.
+    Int {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// An integer tunable in `[min, max]` mutated in log space — appropriate
+    /// for cutoffs and sizes spanning orders of magnitude.
+    LogInt {
+        /// Inclusive lower bound; must be at least 1.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A floating-point tunable in `[min, max]`.
+    Float {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+impl ParamKind {
+    /// Number of distinct values for size accounting. Floats are counted at a
+    /// nominal resolution of 1000 steps (documented in `ConfigSpace::log10_size`).
+    fn cardinality(&self) -> f64 {
+        match *self {
+            ParamKind::Switch { choices } => choices as f64,
+            ParamKind::Int { min, max } | ParamKind::LogInt { min, max } => (max - min + 1) as f64,
+            ParamKind::Float { .. } => 1000.0,
+        }
+    }
+}
+
+/// A named parameter in a configuration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Unique name within the space (e.g. `"sort.cutoff0"`).
+    pub name: String,
+    /// Domain of the parameter.
+    pub kind: ParamKind,
+}
+
+/// The value of a single parameter inside a [`Configuration`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Value of a [`ParamKind::Switch`].
+    Choice(usize),
+    /// Value of a [`ParamKind::Int`] or [`ParamKind::LogInt`].
+    Int(i64),
+    /// Value of a [`ParamKind::Float`].
+    Float(f64),
+}
+
+/// One point in a [`ConfigSpace`]: the genome that autotuners search over and
+/// that the learning pipeline stores as a *landmark configuration*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    values: Vec<ParamValue>,
+}
+
+impl Configuration {
+    /// Creates a configuration directly from values. Prefer
+    /// [`ConfigSpace::random`] or [`ConfigSpace::default_config`]; this is for
+    /// tests and deserialization.
+    pub fn from_values(values: Vec<ParamValue>) -> Self {
+        Configuration { values }
+    }
+
+    /// Number of parameter values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the configuration holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in parameter order.
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// The switch value at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range or the value is not a `Choice`.
+    pub fn choice(&self, idx: usize) -> usize {
+        match self.values[idx] {
+            ParamValue::Choice(c) => c,
+            other => panic!("parameter {idx} is {other:?}, not a switch"),
+        }
+    }
+
+    /// The integer value at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range or the value is not an `Int`.
+    pub fn int(&self, idx: usize) -> i64 {
+        match self.values[idx] {
+            ParamValue::Int(v) => v,
+            other => panic!("parameter {idx} is {other:?}, not an int"),
+        }
+    }
+
+    /// The float value at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range or the value is not a `Float`.
+    pub fn float(&self, idx: usize) -> f64 {
+        match self.values[idx] {
+            ParamValue::Float(v) => v,
+            other => panic!("parameter {idx} is {other:?}, not a float"),
+        }
+    }
+
+    /// Replaces the value at `idx`. Used by search algorithms.
+    pub fn set(&mut self, idx: usize, value: ParamValue) {
+        self.values[idx] = value;
+    }
+}
+
+/// Builder for [`ConfigSpace`]; see [`ConfigSpace::builder`].
+#[derive(Debug, Default)]
+pub struct ConfigSpaceBuilder {
+    params: Vec<ParamSpec>,
+}
+
+impl ConfigSpaceBuilder {
+    /// Adds a categorical switch (`either…or`) with `choices` alternatives.
+    pub fn switch(mut self, name: impl Into<String>, choices: usize) -> Self {
+        self.params.push(ParamSpec {
+            name: name.into(),
+            kind: ParamKind::Switch { choices },
+        });
+        self
+    }
+
+    /// Adds a uniform integer tunable in `[min, max]`.
+    pub fn int(mut self, name: impl Into<String>, min: i64, max: i64) -> Self {
+        self.params.push(ParamSpec {
+            name: name.into(),
+            kind: ParamKind::Int { min, max },
+        });
+        self
+    }
+
+    /// Adds a log-scaled integer tunable in `[min, max]` (cutoffs, sizes).
+    pub fn log_int(mut self, name: impl Into<String>, min: i64, max: i64) -> Self {
+        self.params.push(ParamSpec {
+            name: name.into(),
+            kind: ParamKind::LogInt { min, max },
+        });
+        self
+    }
+
+    /// Adds a floating-point tunable in `[min, max]`.
+    pub fn float(mut self, name: impl Into<String>, min: f64, max: f64) -> Self {
+        self.params.push(ParamSpec {
+            name: name.into(),
+            kind: ParamKind::Float { min, max },
+        });
+        self
+    }
+
+    /// Adds an already-constructed spec (used by [`crate::SelectorSpec`]).
+    pub fn spec(mut self, spec: ParamSpec) -> Self {
+        self.params.push(spec);
+        self
+    }
+
+    /// Finalizes the space.
+    ///
+    /// # Panics
+    /// Panics if any parameter is malformed (empty switch, inverted bounds,
+    /// duplicate names). Use [`ConfigSpaceBuilder::try_build`] for a fallible
+    /// variant.
+    pub fn build(self) -> ConfigSpace {
+        self.try_build().expect("malformed configuration space")
+    }
+
+    /// Finalizes the space, reporting malformed parameters as errors.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParam`] for empty switches, inverted or
+    /// non-finite bounds, `LogInt` bounds below 1, and duplicate names.
+    pub fn try_build(self) -> Result<ConfigSpace> {
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.params {
+            if !seen.insert(p.name.clone()) {
+                return Err(Error::InvalidParam {
+                    name: p.name.clone(),
+                    reason: "duplicate parameter name".into(),
+                });
+            }
+            match p.kind {
+                ParamKind::Switch { choices } if choices == 0 => {
+                    return Err(Error::InvalidParam {
+                        name: p.name.clone(),
+                        reason: "switch must have at least one choice".into(),
+                    });
+                }
+                ParamKind::Int { min, max } if min > max => {
+                    return Err(Error::InvalidParam {
+                        name: p.name.clone(),
+                        reason: format!("min {min} exceeds max {max}"),
+                    });
+                }
+                ParamKind::LogInt { min, max } if min < 1 || min > max => {
+                    return Err(Error::InvalidParam {
+                        name: p.name.clone(),
+                        reason: format!("log-int bounds [{min}, {max}] invalid"),
+                    });
+                }
+                ParamKind::Float { min, max }
+                    if !(min.is_finite() && max.is_finite()) || min > max =>
+                {
+                    return Err(Error::InvalidParam {
+                        name: p.name.clone(),
+                        reason: format!("float bounds [{min}, {max}] invalid"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(ConfigSpace {
+            params: self.params,
+        })
+    }
+}
+
+/// The space of all configurations a benchmark exposes.
+///
+/// Spaces in the paper's benchmarks have between 10^312 and 10^1016 points;
+/// [`ConfigSpace::log10_size`] reports the analogous statistic here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    params: Vec<ParamSpec>,
+}
+
+impl ConfigSpace {
+    /// Starts building a space.
+    pub fn builder() -> ConfigSpaceBuilder {
+        ConfigSpaceBuilder::default()
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// All parameter specs in order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// The spec at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn param(&self, idx: usize) -> &ParamSpec {
+        &self.params[idx]
+    }
+
+    /// Index of the parameter named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Index of the parameter named `name`, as an error if missing.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownParam`] when no parameter has that name.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| Error::UnknownParam {
+            name: name.to_string(),
+        })
+    }
+
+    /// log10 of the number of points in the space (floats counted at a
+    /// nominal resolution of 1000 steps). This is the statistic the paper
+    /// quotes as "10^312 to 10^1016 possible configurations".
+    pub fn log10_size(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.kind.cardinality().log10())
+            .sum()
+    }
+
+    /// Draws a uniformly random configuration.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        let values = self
+            .params
+            .iter()
+            .map(|p| Self::sample(&p.kind, rng))
+            .collect();
+        Configuration { values }
+    }
+
+    /// A deterministic "reasonable default" configuration: switch choice 0,
+    /// numeric tunables at the midpoint (geometric midpoint for `LogInt`).
+    pub fn default_config(&self) -> Configuration {
+        let values = self
+            .params
+            .iter()
+            .map(|p| match p.kind {
+                ParamKind::Switch { .. } => ParamValue::Choice(0),
+                ParamKind::Int { min, max } => ParamValue::Int(min + (max - min) / 2),
+                ParamKind::LogInt { min, max } => {
+                    let mid = ((min as f64).ln() + (max as f64).ln()) / 2.0;
+                    ParamValue::Int((mid.exp().round() as i64).clamp(min, max))
+                }
+                ParamKind::Float { min, max } => ParamValue::Float((min + max) / 2.0),
+            })
+            .collect();
+        Configuration { values }
+    }
+
+    fn sample<R: Rng + ?Sized>(kind: &ParamKind, rng: &mut R) -> ParamValue {
+        match *kind {
+            ParamKind::Switch { choices } => ParamValue::Choice(rng.gen_range(0..choices)),
+            ParamKind::Int { min, max } => ParamValue::Int(rng.gen_range(min..=max)),
+            ParamKind::LogInt { min, max } => {
+                let lo = (min as f64).ln();
+                let hi = (max as f64).ln();
+                let v = rng.gen_range(lo..=hi).exp().round() as i64;
+                ParamValue::Int(v.clamp(min, max))
+            }
+            ParamKind::Float { min, max } => ParamValue::Float(rng.gen_range(min..=max)),
+        }
+    }
+
+    /// Checks that `cfg` is well-formed for this space (length, kinds, ranges).
+    ///
+    /// # Errors
+    /// Returns [`Error::ConfigMismatch`] describing the first violation.
+    pub fn validate(&self, cfg: &Configuration) -> Result<()> {
+        if cfg.values.len() != self.params.len() {
+            return Err(Error::ConfigMismatch {
+                expected: format!("{} values", self.params.len()),
+                got: format!("{} values", cfg.values.len()),
+            });
+        }
+        for (p, v) in self.params.iter().zip(&cfg.values) {
+            let ok = match (&p.kind, v) {
+                (ParamKind::Switch { choices }, ParamValue::Choice(c)) => c < choices,
+                (ParamKind::Int { min, max }, ParamValue::Int(v))
+                | (ParamKind::LogInt { min, max }, ParamValue::Int(v)) => v >= min && v <= max,
+                (ParamKind::Float { min, max }, ParamValue::Float(v)) => {
+                    v.is_finite() && *v >= *min && *v <= *max
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(Error::ConfigMismatch {
+                    expected: format!("{:?} for `{}`", p.kind, p.name),
+                    got: format!("{v:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of `cfg` with each gene independently re-sampled or
+    /// perturbed with probability `rate`. Numeric genes take a local step
+    /// (Gaussian-ish walk) half of the time and a global re-sample otherwise,
+    /// the standard PetaBricks-style mutation mix.
+    pub fn mutate<R: Rng + ?Sized>(
+        &self,
+        cfg: &Configuration,
+        rate: f64,
+        rng: &mut R,
+    ) -> Configuration {
+        let mut out = cfg.clone();
+        for (idx, p) in self.params.iter().enumerate() {
+            if rng.gen::<f64>() >= rate {
+                continue;
+            }
+            let local = rng.gen::<f64>() < 0.5;
+            let value = if local {
+                Self::local_step(&p.kind, &out.values[idx], rng)
+            } else {
+                Self::sample(&p.kind, rng)
+            };
+            out.values[idx] = value;
+        }
+        out
+    }
+
+    fn local_step<R: Rng + ?Sized>(kind: &ParamKind, cur: &ParamValue, rng: &mut R) -> ParamValue {
+        match (kind, cur) {
+            (ParamKind::Switch { choices }, _) => ParamValue::Choice(rng.gen_range(0..*choices)),
+            (ParamKind::Int { min, max }, ParamValue::Int(v)) => {
+                let span = ((max - min) / 8).max(1);
+                ParamValue::Int((v + rng.gen_range(-span..=span)).clamp(*min, *max))
+            }
+            (ParamKind::LogInt { min, max }, ParamValue::Int(v)) => {
+                let factor = rng.gen_range(0.5_f64..2.0);
+                let stepped = ((*v as f64) * factor).round() as i64;
+                ParamValue::Int(stepped.clamp(*min, *max))
+            }
+            (ParamKind::Float { min, max }, ParamValue::Float(v)) => {
+                let span = (max - min) / 8.0;
+                ParamValue::Float((v + rng.gen_range(-span..=span)).clamp(*min, *max))
+            }
+            // Mismatch should be impossible for validated configs; fall back
+            // to a fresh sample rather than panicking inside search.
+            _ => Self::sample(kind, rng),
+        }
+    }
+
+    /// Uniform crossover: each gene is taken from `a` or `b` with equal
+    /// probability.
+    pub fn crossover<R: Rng + ?Sized>(
+        &self,
+        a: &Configuration,
+        b: &Configuration,
+        rng: &mut R,
+    ) -> Configuration {
+        let values = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(x, y)| if rng.gen::<bool>() { *x } else { *y })
+            .collect();
+        Configuration { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("alg", 5)
+            .int("iters", 1, 100)
+            .log_int("cutoff", 1, 65536)
+            .float("level", 0.0, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn random_configs_validate() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let cfg = s.random(&mut rng);
+            s.validate(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn default_config_validates_and_is_deterministic() {
+        let s = space();
+        let a = s.default_config();
+        let b = s.default_config();
+        assert_eq!(a, b);
+        s.validate(&a).unwrap();
+        assert_eq!(a.choice(0), 0);
+    }
+
+    #[test]
+    fn mutation_stays_in_space() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = s.default_config();
+        for _ in 0..500 {
+            cfg = s.mutate(&cfg, 0.5, &mut rng);
+            s.validate(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = s.random(&mut rng);
+        let b = s.random(&mut rng);
+        let child = s.crossover(&a, &b, &mut rng);
+        s.validate(&child).unwrap();
+        for (idx, v) in child.values().iter().enumerate() {
+            assert!(*v == a.values()[idx] || *v == b.values()[idx]);
+        }
+    }
+
+    #[test]
+    fn log10_size_accumulates() {
+        let s = space();
+        // 5 * 100 * 65536 * 1000 ≈ 10^10.5
+        let size = s.log10_size();
+        assert!(size > 10.0 && size < 11.0, "got {size}");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length_and_kind() {
+        let s = space();
+        let too_short = Configuration::from_values(vec![ParamValue::Choice(0)]);
+        assert!(s.validate(&too_short).is_err());
+        let mut wrong_kind = s.default_config();
+        wrong_kind.set(0, ParamValue::Float(0.5));
+        assert!(s.validate(&wrong_kind).is_err());
+        let mut out_of_range = s.default_config();
+        out_of_range.set(0, ParamValue::Choice(99));
+        assert!(s.validate(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_malformed() {
+        assert!(ConfigSpace::builder().switch("s", 0).try_build().is_err());
+        assert!(ConfigSpace::builder().int("i", 5, 2).try_build().is_err());
+        assert!(ConfigSpace::builder()
+            .log_int("l", 0, 10)
+            .try_build()
+            .is_err());
+        assert!(ConfigSpace::builder()
+            .float("f", 1.0, 0.0)
+            .try_build()
+            .is_err());
+        assert!(ConfigSpace::builder()
+            .int("x", 0, 1)
+            .int("x", 0, 1)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let s = space();
+        assert_eq!(s.require("alg").unwrap(), 0);
+        assert!(matches!(s.require("nope"), Err(Error::UnknownParam { .. })));
+    }
+
+    #[test]
+    fn log_int_sampling_spans_orders_of_magnitude() {
+        let s = ConfigSpace::builder().log_int("c", 1, 1_000_000).build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..1000 {
+            let v = s.random(&mut rng).int(0);
+            if v <= 1000 {
+                small += 1;
+            }
+            if v > 1000 {
+                large += 1;
+            }
+        }
+        // Log-uniform: roughly half the mass below sqrt(max) = 1000.
+        assert!(small > 300, "small={small}");
+        assert!(large > 300, "large={large}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the `intune` crates.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or using configuration spaces and features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter specification was invalid (e.g. `min > max`, zero choices).
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration does not match the space it is being used with.
+    ConfigMismatch {
+        /// What the space expected.
+        expected: String,
+        /// What the configuration contained.
+        got: String,
+    },
+    /// A parameter was looked up by a name that does not exist in the space.
+    UnknownParam {
+        /// The missing name.
+        name: String,
+    },
+    /// A feature property or level index was out of range.
+    UnknownFeature {
+        /// Property index requested.
+        property: usize,
+        /// Level index requested.
+        level: usize,
+    },
+    /// An operation required a non-empty collection but got an empty one.
+    Empty {
+        /// What was empty.
+        what: String,
+    },
+    /// An invariant of the learning pipeline was violated.
+    Invariant {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::ConfigMismatch { expected, got } => {
+                write!(f, "configuration mismatch: expected {expected}, got {got}")
+            }
+            Error::UnknownParam { name } => write!(f, "unknown parameter `{name}`"),
+            Error::UnknownFeature { property, level } => {
+                write!(f, "unknown feature (property {property}, level {level})")
+            }
+            Error::Empty { what } => write!(f, "{what} must not be empty"),
+            Error::Invariant { message } => write!(f, "invariant violated: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = Error::InvalidParam {
+            name: "cutoff".into(),
+            reason: "min 10 exceeds max 2".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("cutoff"));
+        assert!(text.contains("min 10 exceeds max 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn unknown_param_display() {
+        let err = Error::UnknownParam { name: "x".into() };
+        assert_eq!(err.to_string(), "unknown parameter `x`");
+    }
+}

@@ -1,0 +1,343 @@
+//! Input features: the `input_feature` keyword as a library.
+//!
+//! A benchmark declares `u` *properties* (domain-specific feature extractors
+//! such as *sortedness* or *residual measure*), each available at `z`
+//! *sampling levels* of increasing cost and fidelity — the paper's `level`
+//! tunable inside a feature extractor. The full feature set therefore has
+//! `M = u × z` entries; the learner's job includes choosing which of the
+//! `(z+1)^u` property/level subsets to pay for at deployment time.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Declaration of one feature property with its number of sampling levels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// Human-readable property name (e.g. `"sortedness"`).
+    pub property: String,
+    /// Number of sampling levels `z` (level 0 = cheapest).
+    pub levels: usize,
+}
+
+impl FeatureDef {
+    /// Convenience constructor.
+    pub fn new(property: impl Into<String>, levels: usize) -> Self {
+        FeatureDef {
+            property: property.into(),
+            levels,
+        }
+    }
+}
+
+/// Identifies one concrete feature: a property at a sampling level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureId {
+    /// Index of the property in the benchmark's `properties()` list.
+    pub property: usize,
+    /// Sampling level, `0..levels` (0 = cheapest).
+    pub level: usize,
+}
+
+/// One extracted feature value together with its extraction cost, which the
+/// classifier-selection objective charges at deployment time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSample {
+    /// The scalar feature value.
+    pub value: f64,
+    /// Abstract extraction cost (same units as execution cost).
+    pub cost: f64,
+}
+
+impl FeatureSample {
+    /// Convenience constructor.
+    pub fn new(value: f64, cost: f64) -> Self {
+        FeatureSample { value, cost }
+    }
+}
+
+/// A subset of features: for each property, either a chosen sampling level or
+/// absent. This is the unit the exhaustive-subset classifier enumerates —
+/// `(z+1)^u` possibilities for `u` properties × `z` levels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// `chosen[p] = Some(level)` if property `p` participates.
+    chosen: Vec<Option<usize>>,
+}
+
+impl FeatureSet {
+    /// The empty subset over `u` properties (used by the max-a-priori
+    /// classifier, which extracts nothing).
+    pub fn none(props: usize) -> Self {
+        FeatureSet {
+            chosen: vec![None; props],
+        }
+    }
+
+    /// Every property at the same level.
+    pub fn all_at_level(props: usize, level: usize) -> Self {
+        FeatureSet {
+            chosen: vec![Some(level); props],
+        }
+    }
+
+    /// Builds from explicit per-property choices.
+    pub fn from_choices(chosen: Vec<Option<usize>>) -> Self {
+        FeatureSet { chosen }
+    }
+
+    /// Number of properties covered (chosen or not).
+    pub fn num_properties(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// The chosen level for property `p`, if any.
+    pub fn level_of(&self, p: usize) -> Option<usize> {
+        self.chosen.get(p).copied().flatten()
+    }
+
+    /// Number of properties actually selected.
+    pub fn count(&self) -> usize {
+        self.chosen.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether no property is selected.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Iterates over `(property, level)` pairs of selected features.
+    pub fn iter(&self) -> impl Iterator<Item = FeatureId> + '_ {
+        self.chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(property, lvl)| lvl.map(|level| FeatureId { property, level }))
+    }
+
+    /// Enumerates all `(z+1)^u` subsets for `u` properties with `z` levels
+    /// each (including the empty subset). `defs[p].levels` gives `z` for each
+    /// property; properties may have different level counts.
+    ///
+    /// The paper's example: 4 properties × 3 levels ⇒ 4^4 = 256 subsets.
+    pub fn enumerate_all(defs: &[FeatureDef]) -> Vec<FeatureSet> {
+        let mut out = vec![FeatureSet::none(defs.len())];
+        for (p, def) in defs.iter().enumerate() {
+            let mut next = Vec::with_capacity(out.len() * (def.levels + 1));
+            for partial in &out {
+                next.push(partial.clone());
+                for level in 0..def.levels {
+                    let mut with = partial.clone();
+                    with.chosen[p] = Some(level);
+                    next.push(with);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// A dense feature vector over the full `M = Σ levels` feature space, with
+/// per-entry extraction costs. Missing entries (features never extracted) are
+/// `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    slots: Vec<Option<FeatureSample>>,
+    offsets: Vec<usize>,
+}
+
+impl FeatureVector {
+    /// Creates an empty vector shaped for `defs`.
+    pub fn empty(defs: &[FeatureDef]) -> Self {
+        let mut offsets = Vec::with_capacity(defs.len());
+        let mut total = 0;
+        for d in defs {
+            offsets.push(total);
+            total += d.levels;
+        }
+        FeatureVector {
+            slots: vec![None; total],
+            offsets,
+        }
+    }
+
+    /// Total number of feature slots `M`.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot(&self, id: FeatureId) -> Result<usize> {
+        let base = *self.offsets.get(id.property).ok_or(Error::UnknownFeature {
+            property: id.property,
+            level: id.level,
+        })?;
+        let end = self
+            .offsets
+            .get(id.property + 1)
+            .copied()
+            .unwrap_or(self.slots.len());
+        let idx = base + id.level;
+        if idx >= end {
+            return Err(Error::UnknownFeature {
+                property: id.property,
+                level: id.level,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Stores a sample.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownFeature`] when the id is out of range.
+    pub fn insert(&mut self, id: FeatureId, sample: FeatureSample) -> Result<()> {
+        let idx = self.slot(id)?;
+        self.slots[idx] = Some(sample);
+        Ok(())
+    }
+
+    /// Fetches a sample if it has been extracted.
+    pub fn get(&self, id: FeatureId) -> Option<FeatureSample> {
+        self.slot(id).ok().and_then(|idx| self.slots[idx])
+    }
+
+    /// The values of the features in `set`, in `set.iter()` order.
+    /// Missing features yield `None` entries.
+    pub fn values_for(&self, set: &FeatureSet) -> Vec<Option<f64>> {
+        set.iter().map(|id| self.get(id).map(|s| s.value)).collect()
+    }
+
+    /// Total extraction cost of the features in `set` (0 for missing ones).
+    pub fn extraction_cost(&self, set: &FeatureSet) -> f64 {
+        set.iter()
+            .filter_map(|id| self.get(id).map(|s| s.cost))
+            .sum()
+    }
+
+    /// Total extraction cost of every stored sample — what the one-level
+    /// baseline pays, since it always extracts the full predefined set.
+    pub fn total_cost(&self) -> f64 {
+        self.slots.iter().flatten().map(|s| s.cost).sum()
+    }
+
+    /// All extracted values as a dense vector (missing slots as NaN); used by
+    /// the one-level baseline, which clusters on the full predefined feature
+    /// space.
+    pub fn dense(&self) -> Vec<f64> {
+        self.slots
+            .iter()
+            .map(|s| s.map(|x| x.value).unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs() -> Vec<FeatureDef> {
+        vec![
+            FeatureDef::new("sortedness", 3),
+            FeatureDef::new("duplication", 3),
+            FeatureDef::new("deviation", 2),
+        ]
+    }
+
+    #[test]
+    fn enumerate_counts_match_formula() {
+        // (3+1) * (3+1) * (2+1) = 48 subsets.
+        let all = FeatureSet::enumerate_all(&defs());
+        assert_eq!(all.len(), 48);
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 48);
+        // Exactly one empty subset.
+        assert_eq!(all.iter().filter(|s| s.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn paper_example_256_subsets() {
+        let four_props: Vec<_> = (0..4)
+            .map(|i| FeatureDef::new(format!("p{i}"), 3))
+            .collect();
+        assert_eq!(FeatureSet::enumerate_all(&four_props).len(), 256);
+    }
+
+    #[test]
+    fn feature_vector_round_trip() {
+        let d = defs();
+        let mut fv = FeatureVector::empty(&d);
+        assert_eq!(fv.len(), 8);
+        let id = FeatureId {
+            property: 1,
+            level: 2,
+        };
+        fv.insert(id, FeatureSample::new(0.7, 3.0)).unwrap();
+        assert_eq!(fv.get(id).unwrap().value, 0.7);
+        assert_eq!(
+            fv.get(FeatureId {
+                property: 0,
+                level: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = defs();
+        let mut fv = FeatureVector::empty(&d);
+        let bad = FeatureId {
+            property: 2,
+            level: 2, // deviation has only 2 levels (0, 1)
+        };
+        assert!(fv.insert(bad, FeatureSample::new(0.0, 0.0)).is_err());
+        assert!(fv.get(bad).is_none());
+        let bad_prop = FeatureId {
+            property: 9,
+            level: 0,
+        };
+        assert!(fv.insert(bad_prop, FeatureSample::new(0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn extraction_cost_sums_selected() {
+        let d = defs();
+        let mut fv = FeatureVector::empty(&d);
+        for (p, def) in d.iter().enumerate() {
+            for level in 0..def.levels {
+                fv.insert(
+                    FeatureId { property: p, level },
+                    FeatureSample::new(1.0, (level + 1) as f64),
+                )
+                .unwrap();
+            }
+        }
+        let set = FeatureSet::from_choices(vec![Some(0), None, Some(1)]);
+        assert_eq!(fv.extraction_cost(&set), 1.0 + 2.0);
+        assert_eq!(set.count(), 2);
+        assert_eq!(fv.values_for(&set), vec![Some(1.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn dense_has_nan_for_missing() {
+        let d = defs();
+        let fv = FeatureVector::empty(&d);
+        assert!(fv.dense().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn set_accessors() {
+        let s = FeatureSet::all_at_level(3, 1);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.level_of(2), Some(1));
+        assert_eq!(s.level_of(9), None);
+        let n = FeatureSet::none(3);
+        assert!(n.is_empty());
+        assert_eq!(n.num_properties(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Recursive algorithm selectors (PetaBricks decision trees, Figure 2).
+//!
+//! A polyalgorithm makes one algorithmic decision per *recursive invocation*
+//! of a choice point, keyed on the current problem size. The paper's Figure 2
+//! shows a selector that uses MergeSort above 1420 elements, QuickSort from
+//! 600–1420, and InsertionSort below 600. [`SelectorSpec`] contributes the
+//! genes (cutoffs + per-interval choices) to a [`ConfigSpace`];
+//! [`Selector::from_config`] decodes a genome into the runtime decision
+//! structure.
+
+use crate::config::{ConfigSpace, ConfigSpaceBuilder, Configuration};
+use crate::error::Result;
+use serde::{Deserialize, Serialize};
+
+/// Describes the genes of one recursive selector inside a configuration
+/// space: `levels` size cutoffs (log-scaled in `[1, max_input]`) with an
+/// algorithm choice per interval, plus a choice above the last cutoff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectorSpec {
+    /// Gene name prefix (e.g. `"sort"` yields `sort.cutoff0`, `sort.alg0`, …).
+    pub name: String,
+    /// Number of cutoff levels (intervals below the top).
+    pub levels: usize,
+    /// Maximum input size the cutoffs may take.
+    pub max_input: i64,
+    /// Number of algorithms to choose between.
+    pub algorithms: usize,
+}
+
+impl SelectorSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, levels: usize, max_input: i64, algorithms: usize) -> Self {
+        SelectorSpec {
+            name: name.into(),
+            levels,
+            max_input,
+            algorithms,
+        }
+    }
+
+    /// Adds this selector's genes to a space being built.
+    pub fn add_to(&self, mut builder: ConfigSpaceBuilder) -> ConfigSpaceBuilder {
+        for i in 0..self.levels {
+            builder = builder.log_int(format!("{}.cutoff{i}", self.name), 1, self.max_input);
+            builder = builder.switch(format!("{}.alg{i}", self.name), self.algorithms);
+        }
+        builder.switch(format!("{}.top", self.name), self.algorithms)
+    }
+
+    /// Decodes the selector from a configuration over a space that contains
+    /// this spec's genes.
+    ///
+    /// # Errors
+    /// Returns an error if any gene is missing from `space`.
+    pub fn decode(&self, space: &ConfigSpace, cfg: &Configuration) -> Result<Selector> {
+        let mut rules: Vec<(i64, usize)> = Vec::with_capacity(self.levels);
+        for i in 0..self.levels {
+            let cut = cfg.int(space.require(&format!("{}.cutoff{i}", self.name))?);
+            let alg = cfg.choice(space.require(&format!("{}.alg{i}", self.name))?);
+            rules.push((cut, alg));
+        }
+        let top = cfg.choice(space.require(&format!("{}.top", self.name))?);
+        Ok(Selector::new(rules, top))
+    }
+}
+
+/// A decoded, canonicalized decision list: ascending cutoffs each paired with
+/// an algorithm used for inputs *below* that cutoff, and a `top` algorithm
+/// for everything at or above the largest cutoff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selector {
+    /// `(cutoff, algorithm)` sorted by ascending cutoff.
+    rules: Vec<(i64, usize)>,
+    top: usize,
+}
+
+impl Selector {
+    /// Builds a selector, canonicalizing rules into ascending-cutoff order.
+    /// (Genomes carry unordered cutoffs; sorting makes the phenotype
+    /// well-defined for any genome, which keeps mutation closed over valid
+    /// polyalgorithms.)
+    pub fn new(mut rules: Vec<(i64, usize)>, top: usize) -> Self {
+        rules.sort_by_key(|&(cut, _)| cut);
+        Selector { rules, top }
+    }
+
+    /// Decodes from a config; forwards to [`SelectorSpec::decode`].
+    ///
+    /// # Errors
+    /// Returns an error if the spec's genes are missing from `space`.
+    pub fn from_config(
+        spec: &SelectorSpec,
+        space: &ConfigSpace,
+        cfg: &Configuration,
+    ) -> Result<Self> {
+        spec.decode(space, cfg)
+    }
+
+    /// The algorithm to use for a (sub)problem of size `n`: the first rule
+    /// whose cutoff exceeds `n`, else the top algorithm. Matches Figure 2
+    /// semantics (`N < 600 → insertion`, `N < 1420 → quick`, else merge).
+    pub fn decide(&self, n: usize) -> usize {
+        for &(cut, alg) in &self.rules {
+            if (n as i64) < cut {
+                return alg;
+            }
+        }
+        self.top
+    }
+
+    /// The rules in ascending-cutoff order.
+    pub fn rules(&self) -> &[(i64, usize)] {
+        &self.rules
+    }
+
+    /// The algorithm used above the highest cutoff.
+    pub fn top(&self) -> usize {
+        self.top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The Figure 2 selector: insertion (< 600), quick (< 1420), merge above.
+    fn figure2() -> Selector {
+        Selector::new(vec![(1420, 1), (600, 0)], 2)
+    }
+
+    #[test]
+    fn figure2_semantics() {
+        let s = figure2();
+        assert_eq!(s.decide(10), 0, "small lists use insertion sort");
+        assert_eq!(s.decide(599), 0);
+        assert_eq!(s.decide(600), 1, "mid lists use quick sort");
+        assert_eq!(s.decide(1419), 1);
+        assert_eq!(s.decide(1420), 2, "large lists use merge sort");
+        assert_eq!(s.decide(1_000_000), 2);
+    }
+
+    #[test]
+    fn rules_are_canonicalized_ascending() {
+        let s = figure2();
+        assert_eq!(s.rules(), &[(600, 0), (1420, 1)]);
+        assert_eq!(s.top(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_config_space() {
+        let spec = SelectorSpec::new("sort", 2, 1 << 20, 5);
+        let space = spec.add_to(ConfigSpace::builder()).build();
+        assert_eq!(space.len(), 5); // 2 cutoffs + 2 algs + top
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let cfg = space.random(&mut rng);
+            let sel = spec.decode(&space, &cfg).unwrap();
+            // Phenotype must be total: decide on any size returns a valid alg.
+            for n in [0usize, 1, 17, 1000, 1 << 20, 1 << 24] {
+                assert!(sel.decide(n) < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_missing_genes_is_error() {
+        let spec = SelectorSpec::new("sort", 1, 100, 3);
+        let other = ConfigSpace::builder().int("unrelated", 0, 1).build();
+        let cfg = other.default_config();
+        assert!(spec.decode(&other, &cfg).is_err());
+    }
+
+    #[test]
+    fn monotone_partition() {
+        // decide() must partition sizes into contiguous intervals: once the
+        // selector switches away from an algorithm as n grows past a cutoff,
+        // it never switches back to a *lower* interval's rule.
+        let s = Selector::new(vec![(10, 0), (100, 1), (1000, 0)], 2);
+        let mut decisions = Vec::new();
+        let mut last = usize::MAX;
+        for n in 0..2000 {
+            let d = s.decide(n);
+            if d != last {
+                decisions.push((n, d));
+                last = d;
+            }
+        }
+        // Exactly one transition at each cutoff, ending at the top algorithm.
+        assert_eq!(decisions, vec![(0, 0), (10, 1), (100, 0), (1000, 2)]);
+    }
+
+    #[test]
+    fn zero_level_selector_always_top() {
+        let s = Selector::new(vec![], 4);
+        for n in [0usize, 5, 500000] {
+            assert_eq!(s.decide(n), 4);
+        }
+    }
+}

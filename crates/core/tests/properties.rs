@@ -1,0 +1,109 @@
+//! Property-based tests for configuration spaces, selectors and features.
+
+use intune_core::{ConfigSpace, FeatureDef, FeatureSet, Selector, SelectorSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_space(switches: usize, ints: usize, floats: usize) -> ConfigSpace {
+    let mut b = ConfigSpace::builder();
+    for s in 0..switches {
+        b = b.switch(format!("s{s}"), 2 + s % 5);
+    }
+    for i in 0..ints {
+        b = b.int(format!("i{i}"), -(i as i64) - 1, (i as i64 + 1) * 10);
+    }
+    for f in 0..floats {
+        b = b.float(format!("f{f}"), -1.0, f as f64 + 1.0);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random configurations always validate; defaults always validate.
+    #[test]
+    fn sampling_is_closed(
+        switches in 1usize..5, ints in 0usize..5, floats in 0usize..4, seed in 0u64..10_000,
+    ) {
+        let space = arbitrary_space(switches, ints, floats);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(space.validate(&space.default_config()).is_ok());
+        for _ in 0..10 {
+            prop_assert!(space.validate(&space.random(&mut rng)).is_ok());
+        }
+    }
+
+    /// Mutation at any rate is closed; rate 0 is the identity.
+    #[test]
+    fn mutation_closure_and_identity(
+        switches in 1usize..4, ints in 0usize..4, seed in 0u64..10_000, rate in 0.0f64..1.0,
+    ) {
+        let space = arbitrary_space(switches, ints, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.random(&mut rng);
+        let mutated = space.mutate(&cfg, rate, &mut rng);
+        prop_assert!(space.validate(&mutated).is_ok());
+        let unchanged = space.mutate(&cfg, 0.0, &mut rng);
+        prop_assert_eq!(unchanged, cfg);
+    }
+
+    /// Crossover takes every gene from one of the two parents.
+    #[test]
+    fn crossover_gene_provenance(seed in 0u64..10_000) {
+        let space = arbitrary_space(3, 3, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.random(&mut rng);
+        let b = space.random(&mut rng);
+        let child = space.crossover(&a, &b, &mut rng);
+        for (idx, v) in child.values().iter().enumerate() {
+            prop_assert!(*v == a.values()[idx] || *v == b.values()[idx]);
+        }
+    }
+
+    /// log10 size grows monotonically as parameters are added.
+    #[test]
+    fn space_size_monotone(extra in 1usize..6) {
+        let small = arbitrary_space(2, 1, 1);
+        let large = arbitrary_space(2 + extra, 1 + extra, 1);
+        prop_assert!(large.log10_size() > small.log10_size());
+    }
+
+    /// Feature-subset enumeration matches the (z+1)^u formula and contains
+    /// no duplicates.
+    #[test]
+    fn subset_enumeration_formula(levels in prop::collection::vec(1usize..4, 1..5)) {
+        let defs: Vec<FeatureDef> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| FeatureDef::new(format!("p{i}"), z))
+            .collect();
+        let all = FeatureSet::enumerate_all(&defs);
+        let expected: usize = levels.iter().map(|z| z + 1).product();
+        prop_assert_eq!(all.len(), expected);
+        let distinct: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(distinct.len(), expected);
+    }
+
+    /// A selector partitions sizes into at most `levels + 1` contiguous
+    /// decision intervals.
+    #[test]
+    fn selector_interval_count(seed in 0u64..10_000, levels in 1usize..6) {
+        let spec = SelectorSpec::new("t", levels, 10_000, 4);
+        let space = spec.add_to(ConfigSpace::builder()).build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.random(&mut rng);
+        let sel = Selector::from_config(&spec, &space, &cfg).unwrap();
+        let mut switches = 0;
+        let mut last = sel.decide(0);
+        for n in 1..11_000usize {
+            let d = sel.decide(n);
+            if d != last {
+                switches += 1;
+                last = d;
+            }
+        }
+        prop_assert!(switches <= levels, "selector switched {switches} times");
+    }
+}

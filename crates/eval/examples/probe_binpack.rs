@@ -1,0 +1,25 @@
+use intune_binpacklib::{Heuristic, PackInputClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for class in PackInputClass::all() {
+        let mut worst: f64 = 1.0;
+        let mut fails = 0;
+        for _ in 0..30 {
+            for &n in &[100usize, 250, 400] {
+                let items = class.generate(n, &mut rng);
+                let best = Heuristic::ALL
+                    .iter()
+                    .map(|h| h.pack(&items).occupancy())
+                    .fold(0.0, f64::max);
+                worst = worst.min(best);
+                if best < 0.95 {
+                    fails += 1;
+                }
+            }
+        }
+        println!("{class:?}: worst-best-occupancy {worst:.4}, infeasible {fails}/90");
+    }
+}

@@ -1,0 +1,29 @@
+//! Diagnostic: print the candidate table (objective / satisfaction / valid)
+//! for one suite case. Usage: `probe_candidates [case-name]`.
+
+use intune_eval::{run_case, SuiteConfig, TestCase};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "svd".into());
+    let case = TestCase::all()
+        .into_iter()
+        .find(|c| c.name() == name)
+        .expect("unknown case");
+    let outcome = run_case(case, &SuiteConfig::ci());
+    let mut cands = outcome.candidates.clone();
+    cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("case {} — top 20 candidates by objective:", name);
+    for (name, objective, satisfaction, valid) in cands.iter().take(20) {
+        println!(
+            "  {:<44} obj={objective:<12.1} sat={:.3} valid={valid}",
+            name, satisfaction
+        );
+    }
+    println!(
+        "\nrow: dyn={:.2} 2lvl={:.2} acc={:.1}%  chosen={}",
+        outcome.row.dynamic_oracle,
+        outcome.row.two_level,
+        outcome.row.two_level_accuracy_pct,
+        outcome.row.production_classifier
+    );
+}

@@ -1,0 +1,49 @@
+//! Diagnostic: inspect sort1 landmark diversity and per-input best costs.
+
+use intune_autotuner::TunerOptions;
+use intune_core::Benchmark;
+use intune_eval::SuiteConfig;
+use intune_learning::labels::label_inputs;
+use intune_learning::level1::{run_level1, Level1Options};
+use intune_sortlib::{PolySort, SortCorpus};
+
+fn main() {
+    let cfg = SuiteConfig::ci();
+    let b = PolySort::new(cfg.sort_n.1);
+    let corpus = SortCorpus::ccr(48, cfg.sort_n.0, cfg.sort_n.1, 1);
+    let opts = Level1Options {
+        clusters: 8,
+        tuner: TunerOptions {
+            population: cfg.ea_population,
+            generations: cfg.ea_generations,
+            ..TunerOptions::quick(0)
+        },
+        parallel: true,
+        ..Level1Options::default()
+    };
+    let r = run_level1(&b, &corpus.inputs, &opts);
+    let space = b.space();
+    for (c, lm) in r.landmarks.iter().enumerate() {
+        let sel = intune_core::SelectorSpec::new("sort", 3, cfg.sort_n.1 as i64, 5)
+            .decode(&space, lm)
+            .unwrap();
+        println!(
+            "landmark {c}: rules {:?} top {} ways {}",
+            sel.rules(),
+            sel.top(),
+            lm.int(space.index_of("sort.merge_ways").unwrap())
+        );
+    }
+    let labels = label_inputs(&r.perf, None);
+    for i in 0..12 {
+        let costs: Vec<String> = (0..8)
+            .map(|l| format!("{:.0}", r.perf.cost(l, i)))
+            .collect();
+        let n = corpus.inputs[i].len();
+        let sortedness = b.extract(0, 2, &corpus.inputs[i]).value;
+        println!(
+            "input {i} n={n} sortedness={sortedness:.2} best={} costs={costs:?}",
+            labels[i]
+        );
+    }
+}

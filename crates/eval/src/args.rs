@@ -1,0 +1,115 @@
+//! Minimal CLI argument handling shared by the reproduction binaries.
+
+use crate::suite::SuiteConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Use paper-scale corpora and budgets (much slower).
+    pub paper: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+    /// Restrict to benchmarks whose name contains this substring.
+    pub only: Option<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, understanding `--paper`, `--seed N`,
+    /// `--out DIR` and `--only NAME`. Unknown flags abort with usage help.
+    pub fn parse() -> Args {
+        let mut out = Args {
+            paper: false,
+            seed: 0,
+            out_dir: "results".to_string(),
+            only: None,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--paper" => out.paper = true,
+                "--seed" => {
+                    i += 1;
+                    out.seed = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--out" => {
+                    i += 1;
+                    out.out_dir = argv
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a directory"));
+                }
+                "--only" => {
+                    i += 1;
+                    out.only = Some(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--only needs a name")),
+                    );
+                }
+                "--help" | "-h" => {
+                    usage("");
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The suite configuration implied by the flags.
+    pub fn config(&self) -> SuiteConfig {
+        let mut cfg = if self.paper {
+            SuiteConfig::paper_scale()
+        } else {
+            SuiteConfig::ci()
+        };
+        cfg.seed = cfg.seed.wrapping_add(self.seed);
+        cfg
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <binary> [--paper] [--seed N] [--out DIR] [--only NAME]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_scales_with_paper_flag() {
+        let ci = Args {
+            paper: false,
+            seed: 0,
+            out_dir: "results".into(),
+            only: None,
+        };
+        let paper = Args {
+            paper: true,
+            ..ci.clone()
+        };
+        assert!(paper.config().train > ci.config().train);
+        assert!(paper.config().clusters > ci.config().clusters);
+    }
+
+    #[test]
+    fn seed_offsets_base_config() {
+        let a = Args {
+            paper: false,
+            seed: 7,
+            out_dir: "results".into(),
+            only: None,
+        };
+        assert_eq!(a.config().seed, SuiteConfig::ci().seed.wrapping_add(7));
+    }
+}

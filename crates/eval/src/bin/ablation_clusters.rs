@@ -1,0 +1,88 @@
+//! §4.2 ablation: sensitivity to the number of first-level clusters K
+//! (the paper uses 100 and discusses the choice's sensitivity; Figure 8
+//! covers the landmark-count dimension, this sweep covers the full
+//! two-level pipeline including classifier training).
+
+use intune_autotuner::TunerOptions;
+use intune_eval::csvout::write_csv;
+use intune_eval::{Args, SuiteConfig};
+use intune_learning::pipeline::{evaluate, learn};
+use intune_learning::selection::SelectionOptions;
+use intune_learning::{Level1Options, TwoLevelOptions};
+use intune_ml::TreeOptions;
+use intune_sortlib::{PolySort, SortCorpus};
+
+fn options(cfg: &SuiteConfig, clusters: usize) -> TwoLevelOptions {
+    TwoLevelOptions {
+        level1: Level1Options {
+            clusters,
+            tuner: TunerOptions {
+                population: cfg.ea_population,
+                generations: cfg.ea_generations,
+                ..TunerOptions::quick(cfg.seed)
+            },
+            seed: cfg.seed,
+            parallel: cfg.parallel,
+            ..Level1Options::default()
+        },
+        lambda: cfg.lambda,
+        selection: SelectionOptions {
+            folds: cfg.folds,
+            tree: TreeOptions {
+                max_depth: 10,
+                max_thresholds: 24,
+                ..TreeOptions::default()
+            },
+            seed: cfg.seed,
+            ..SelectionOptions::default()
+        },
+        selection_fraction: 0.3,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.config();
+
+    let b = PolySort::new(cfg.sort_n.1);
+    let train = SortCorpus::synthetic(cfg.train, cfg.sort_n.0, cfg.sort_n.1, cfg.seed ^ 0x61);
+    let test = SortCorpus::synthetic(cfg.test, cfg.sort_n.0, cfg.sort_n.1, cfg.seed ^ 0x62);
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "K", "2lvl+fx", "dyn-oracle", "relabel%"
+    );
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "clusters".into(),
+        "two_level_fx_speedup".into(),
+        "dynamic_oracle_speedup".into(),
+        "relabel_pct".into(),
+    ]];
+
+    let ks: &[usize] = if args.paper {
+        &[2, 5, 10, 20, 50, 100]
+    } else {
+        &[2, 4, 6, 10]
+    };
+    for &k in ks {
+        let result = learn(&b, &train.inputs, &options(&cfg, k));
+        let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
+        println!(
+            "{:<6} {:>11.3}x {:>11.3}x {:>9.1}%",
+            k,
+            row.two_level_fx,
+            row.dynamic_oracle,
+            100.0 * row.relabel_fraction
+        );
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.6}", row.two_level_fx),
+            format!("{:.6}", row.dynamic_oracle),
+            format!("{:.2}", 100.0 * row.relabel_fraction),
+        ]);
+    }
+
+    let path = write_csv(&args.out_dir, "ablation_clusters.csv", &rows);
+    println!("\nwrote {path}");
+    println!("Expected shape: speedup grows with K then plateaus (diminishing returns, cf. Figure 7b/8).");
+}

@@ -1,0 +1,81 @@
+//! §3.2 ablation: sweep the cost-matrix accuracy weight λ from 0.001 to 1.
+//! The paper tried this range and settled on λ = 0.5.
+
+use intune_autotuner::TunerOptions;
+use intune_clusterlib::{ClusterCorpus, Clustering};
+use intune_eval::csvout::write_csv;
+use intune_eval::{Args, SuiteConfig};
+use intune_learning::pipeline::{evaluate, learn};
+use intune_learning::selection::SelectionOptions;
+use intune_learning::{Level1Options, TwoLevelOptions};
+use intune_ml::TreeOptions;
+
+fn options(cfg: &SuiteConfig, lambda: f64) -> TwoLevelOptions {
+    TwoLevelOptions {
+        level1: Level1Options {
+            clusters: cfg.clusters,
+            tuner: TunerOptions {
+                population: cfg.ea_population,
+                generations: cfg.ea_generations,
+                ..TunerOptions::quick(cfg.seed)
+            },
+            seed: cfg.seed,
+            parallel: cfg.parallel,
+            ..Level1Options::default()
+        },
+        lambda,
+        selection: SelectionOptions {
+            folds: cfg.folds,
+            tree: TreeOptions {
+                max_depth: 10,
+                max_thresholds: 24,
+                ..TreeOptions::default()
+            },
+            seed: cfg.seed,
+            ..SelectionOptions::default()
+        },
+        selection_fraction: 0.3,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.config();
+
+    // Clustering is the most accuracy-stressed benchmark: use it for the sweep.
+    let b = Clustering::new();
+    let train =
+        ClusterCorpus::synthetic(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, cfg.seed ^ 0x51);
+    let test =
+        ClusterCorpus::synthetic(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, cfg.seed ^ 0x52);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "lambda", "2lvl+fx", "accuracy%", "classifier"
+    );
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "lambda".into(),
+        "two_level_fx_speedup".into(),
+        "two_level_accuracy_pct".into(),
+        "production_classifier".into(),
+    ]];
+
+    for lambda in [0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 1.0] {
+        let result = learn(&b, &train.inputs, &options(&cfg, lambda));
+        let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
+        println!(
+            "{:<8} {:>11.3}x {:>11.1}% {:>10}",
+            lambda, row.two_level_fx, row.two_level_accuracy_pct, row.production_classifier
+        );
+        rows.push(vec![
+            lambda.to_string(),
+            format!("{:.6}", row.two_level_fx),
+            format!("{:.2}", row.two_level_accuracy_pct),
+            row.production_classifier,
+        ]);
+    }
+
+    let path = write_csv(&args.out_dir, "ablation_lambda.csv", &rows);
+    println!("\nwrote {path}");
+    println!("Expected shape (paper §3.2): mid-range λ (≈0.5) balances accuracy and speed best.");
+}

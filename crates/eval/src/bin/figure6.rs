@@ -1,0 +1,58 @@
+//! Regenerates **Figure 6**: the distribution of per-input speedups over
+//! the static oracle (two-level method including feature-extraction time),
+//! sorted ascending — the paper's point being the heavy right tail: a small
+//! set of inputs enjoys very large speedups.
+
+use intune_eval::csvout::write_csv;
+use intune_eval::{run_case, Args, TestCase};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.config();
+
+    for case in TestCase::all() {
+        if let Some(only) = &args.only {
+            if !case.name().contains(only.as_str()) {
+                continue;
+            }
+        }
+        let outcome = run_case(case, &cfg);
+        let sp = &outcome.row.per_input_speedups; // already ascending
+        let n = sp.len();
+        let q = |f: f64| sp[((n - 1) as f64 * f) as usize];
+        println!(
+            "{:<12} n={:<5} min={:<8.3} p25={:<8.3} median={:<8.3} p75={:<8.3} p90={:<8.3} max={:<8.3}",
+            outcome.row.name,
+            n,
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(0.9),
+            q(1.0)
+        );
+        // ASCII sparkline of the sorted distribution (paper plots the same).
+        let buckets = 48.min(n);
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let max = q(1.0).max(1e-9);
+        let line: String = (0..buckets)
+            .map(|b| {
+                let v = sp[b * n / buckets] / max;
+                glyphs[((v * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+            })
+            .collect();
+        println!("             [{line}]");
+
+        let mut rows: Vec<Vec<String>> =
+            vec![vec!["rank".into(), "speedup_over_static_oracle".into()]];
+        for (i, s) in sp.iter().enumerate() {
+            rows.push(vec![i.to_string(), format!("{s:.6}")]);
+        }
+        let path = write_csv(
+            &args.out_dir,
+            &format!("figure6_{}.csv", outcome.row.name),
+            &rows,
+        );
+        println!("             wrote {path}");
+    }
+}

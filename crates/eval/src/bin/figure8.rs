@@ -1,0 +1,83 @@
+//! Regenerates **Figure 8**: measured speedup over the static oracle as the
+//! number of landmark configurations varies, using random subsets of the
+//! trained landmarks (the paper samples 1000 subsets of its 100 landmarks;
+//! error bars show min, quartiles, median, max).
+//!
+//! As in the paper's setup, the per-subset speedup is the best-feasible
+//! (dynamic-oracle) choice within the subset, measured against the global
+//! static oracle — the quantity the theoretical model of Figure 7 predicts.
+
+use intune_eval::csvout::write_csv;
+use intune_eval::{run_case, Args, TestCase};
+use intune_learning::pipeline::subset_oracle_speedup;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn quartiles(xs: &mut [f64]) -> (f64, f64, f64, f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |f: f64| xs[((xs.len() - 1) as f64 * f) as usize];
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.config();
+    let subsets_per_size = if args.paper { 1000 } else { 200 };
+
+    for case in TestCase::all() {
+        if let Some(only) = &args.only {
+            if !case.name().contains(only.as_str()) {
+                continue;
+            }
+        }
+        let outcome = run_case(case, &cfg);
+        let perf = &outcome.perf_train;
+        let k_total = perf.num_landmarks();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf18);
+
+        println!("{} (of {} landmarks):", outcome.row.name, k_total);
+        let mut rows: Vec<Vec<String>> = vec![vec![
+            "landmarks".into(),
+            "min".into(),
+            "q1".into(),
+            "median".into(),
+            "q3".into(),
+            "max".into(),
+        ]];
+        let sizes: Vec<usize> = (1..=k_total).collect();
+        for k in sizes {
+            let mut speedups = Vec::with_capacity(subsets_per_size);
+            let all: Vec<usize> = (0..k_total).collect();
+            for _ in 0..subsets_per_size {
+                let mut pool = all.clone();
+                pool.shuffle(&mut rng);
+                let subset = &pool[..k];
+                speedups.push(subset_oracle_speedup(
+                    perf,
+                    subset,
+                    outcome.accuracy_threshold,
+                    0.95,
+                ));
+            }
+            let (min, q1, med, q3, max) = quartiles(&mut speedups);
+            println!(
+                "  k={k:<3} min={min:<8.3} q1={q1:<8.3} median={med:<8.3} q3={q3:<8.3} max={max:<8.3}"
+            );
+            rows.push(vec![
+                k.to_string(),
+                format!("{min:.6}"),
+                format!("{q1:.6}"),
+                format!("{med:.6}"),
+                format!("{q3:.6}"),
+                format!("{max:.6}"),
+            ]);
+        }
+        let path = write_csv(
+            &args.out_dir,
+            &format!("figure8_{}.csv", outcome.row.name),
+            &rows,
+        );
+        println!("  wrote {path}\n");
+    }
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Table 1**: mean speedup over the static oracle for the
+//! dynamic oracle, the two-level method (with/without feature-extraction
+//! time) and the one-level method (with/without), plus the one-level
+//! accuracy column — for all eight tests. Also prints the §4.2 second-level
+//! relabeling statistic and the production classifier chosen per test.
+
+use intune_eval::csvout::{speedup, write_csv};
+use intune_eval::{run_case, Args, TestCase};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.config();
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}  {}",
+        "benchmark",
+        "dyn-orc",
+        "2lvl",
+        "2lvl+fx",
+        "1lvl",
+        "1lvl+fx",
+        "1lvl-acc",
+        "2lvl-acc",
+        "dyn-acc",
+        "relabel%",
+        "production classifier"
+    );
+
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "benchmark".into(),
+        "dynamic_oracle".into(),
+        "two_level".into(),
+        "two_level_fx".into(),
+        "one_level".into(),
+        "one_level_fx".into(),
+        "one_level_accuracy_pct".into(),
+        "two_level_accuracy_pct".into(),
+        "relabel_fraction".into(),
+        "production_classifier".into(),
+    ]];
+
+    let mut training = None;
+    for case in TestCase::all() {
+        if let Some(only) = &args.only {
+            if !case.name().contains(only.as_str()) {
+                continue;
+            }
+        }
+        let outcome = run_case(case, &cfg);
+        training = Some(outcome.stats);
+        let r = &outcome.row;
+        println!(
+            "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>8.1}%  {}",
+            r.name,
+            speedup(r.dynamic_oracle),
+            speedup(r.two_level),
+            speedup(r.two_level_fx),
+            speedup(r.one_level),
+            speedup(r.one_level_fx),
+            r.one_level_accuracy_pct,
+            r.two_level_accuracy_pct,
+            r.dynamic_accuracy_pct,
+            100.0 * r.relabel_fraction,
+            r.production_classifier,
+        );
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.4}", r.dynamic_oracle),
+            format!("{:.4}", r.two_level),
+            format!("{:.4}", r.two_level_fx),
+            format!("{:.4}", r.one_level),
+            format!("{:.4}", r.one_level_fx),
+            format!("{:.2}", r.one_level_accuracy_pct),
+            format!("{:.2}", r.two_level_accuracy_pct),
+            format!("{:.4}", r.relabel_fraction),
+            r.production_classifier.clone(),
+        ]);
+    }
+
+    let path = write_csv(&args.out_dir, "table1.csv", &rows);
+    println!("\nwrote {path}");
+    if let Some(s) = training {
+        println!(
+            "training cost per test (§4.2): {} tuner evaluations + {} \
+             measurement runs; an exhaustive per-input search would cost \
+             ~{:.0}x more tuner work (paper: 'over 200 times longer')",
+            s.tuner_evaluations,
+            s.measurement_runs,
+            s.exhaustive_ratio()
+        );
+    }
+}

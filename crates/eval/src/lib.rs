@@ -1,0 +1,31 @@
+//! # intune-eval
+//!
+//! The evaluation harness: corpora for the paper's eight tests (sort1,
+//! sort2, clustering1, clustering2, binpacking, svd, poisson2d,
+//! helmholtz3d), a unified suite runner, the Figure-7 analytic model, and
+//! small CSV/CLI utilities shared by the reproduction binaries:
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (+ §4.2 relabel statistic) |
+//! | `figure6` | Figure 6 per-input speedup distributions |
+//! | `figure7` | Figure 7a/7b model curves |
+//! | `figure8` | Figure 8 speedup vs. #landmarks |
+//! | `ablation_landmarks` | §3.1 K-means vs. random landmark selection |
+//! | `ablation_lambda` | §3.2 λ sweep for the cost matrix |
+//! | `ablation_clusters` | §4.2 cluster-count sensitivity |
+//! | `space_size` | §1/§4 configuration-space sizes |
+//!
+//! Every binary accepts `--paper` (larger corpora, K = 100 landmarks),
+//! `--seed N`, and writes CSV into `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod csvout;
+pub mod model;
+pub mod suite;
+
+pub use args::Args;
+pub use suite::{run_case, CaseOutcome, SuiteConfig, TestCase};

@@ -1,0 +1,105 @@
+//! The paper's §4.3 analytic model of diminishing returns from more
+//! landmark configurations.
+//!
+//! Regions of the input space of size `pᵢ` are dominated by distinct optimal
+//! configurations with speedups `sᵢ`. With `k` landmarks sampled uniformly
+//! at random, the chance of missing region `i` is `(1 − pᵢ)^k`, so the
+//! expected lost speedup is `L = Σᵢ (1 − pᵢ)^k · pᵢ·sᵢ / Σᵢ sᵢ`.
+
+/// Expected lost speedup for equal-speedup regions all of size `p`
+/// (Figure 7a's curves): `L(p, k) = p(1 − p)^k`.
+pub fn lost_speedup(p: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "region size must be in [0,1]");
+    p * (1.0 - p).powi(k as i32)
+}
+
+/// The worst-case region size for `k` landmarks: `p* = 1/(k+1)`
+/// (from `dL/dp = 0`).
+pub fn worst_case_region(k: usize) -> f64 {
+    1.0 / (k as f64 + 1.0)
+}
+
+/// Fraction of the full speedup retained at the worst-case region size
+/// (Figure 7b's curve): `1 − L(p*, k)`.
+pub fn worst_case_fraction(k: usize) -> f64 {
+    1.0 - lost_speedup(worst_case_region(k), k)
+}
+
+/// General form: expected lost speedup for explicit regions
+/// `(pᵢ, sᵢ)`.
+///
+/// # Panics
+/// Panics if regions are empty or sizes are not in `[0, 1]`.
+pub fn lost_speedup_general(regions: &[(f64, f64)], k: usize) -> f64 {
+    assert!(!regions.is_empty(), "need at least one region");
+    let total_s: f64 = regions.iter().map(|r| r.1).sum();
+    regions
+        .iter()
+        .map(|&(p, s)| {
+            assert!((0.0..=1.0).contains(&p), "region size must be in [0,1]");
+            (1.0 - p).powi(k as i32) * p * s
+        })
+        .sum::<f64>()
+        / total_s.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_lose_nothing() {
+        for k in 1..10 {
+            assert_eq!(lost_speedup(0.0, k), 0.0);
+            assert_eq!(lost_speedup(1.0, k), 0.0);
+        }
+    }
+
+    #[test]
+    fn worst_case_maximizes_loss() {
+        for k in 2..10 {
+            let p_star = worst_case_region(k);
+            let at_star = lost_speedup(p_star, k);
+            for p in [p_star / 2.0, p_star * 1.5, 0.9] {
+                assert!(
+                    lost_speedup(p, k) <= at_star + 1e-12,
+                    "k={k}: L({p}) exceeds L(p*)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_with_more_landmarks() {
+        let mut last = 0.0;
+        for k in 1..=100 {
+            let f = worst_case_fraction(k);
+            assert!(f >= last - 1e-12, "fraction must be nondecreasing at k={k}");
+            last = f;
+        }
+        // A few landmarks already retain most of the speedup…
+        assert!(worst_case_fraction(10) > 0.95);
+        // …and the curve saturates: the 10→100 gain is tiny.
+        assert!(worst_case_fraction(100) - worst_case_fraction(10) < 0.04);
+    }
+
+    #[test]
+    fn general_model_reduces_to_uniform() {
+        let uniform: Vec<(f64, f64)> = (0..4).map(|_| (0.25, 2.0)).collect();
+        let g = lost_speedup_general(&uniform, 3);
+        let direct = lost_speedup(0.25, 3);
+        assert!((g - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_easy_regions_found_quickly() {
+        // One dominant region (p=0.9) and one rare region (p=0.1).
+        let regions = vec![(0.9, 5.0), (0.1, 5.0)];
+        let l1 = lost_speedup_general(&regions, 1);
+        let l5 = lost_speedup_general(&regions, 5);
+        assert!(l5 < l1);
+        // After 5 samples the dominant region is almost surely covered; the
+        // residual loss is dominated by the rare region.
+        assert!(lost_speedup_general(&regions, 20) < 0.02);
+    }
+}

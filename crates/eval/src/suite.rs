@@ -1,0 +1,327 @@
+//! The unified suite runner for the paper's eight tests.
+
+use intune_autotuner::TunerOptions;
+use intune_binpacklib::{BinPacking, PackCorpus};
+use intune_clusterlib::{ClusterCorpus, Clustering};
+use intune_core::Benchmark;
+use intune_learning::pipeline::{evaluate, learn, EvaluationRow};
+use intune_learning::selection::SelectionOptions;
+use intune_learning::{Level1Options, PerfMatrix, TwoLevelOptions};
+use intune_ml::TreeOptions;
+use intune_pde::{Helmholtz3d, PdeCorpus2d, PdeCorpus3d, Poisson2d};
+use intune_sortlib::{PolySort, SortCorpus};
+use intune_svdlib::{SvdBench, SvdCorpus};
+
+/// The eight tests of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestCase {
+    /// Sorting, CCR-FOIA-like real-world stand-in inputs.
+    Sort1,
+    /// Sorting, synthetic generator mix.
+    Sort2,
+    /// Clustering, Poker-Hand-like real-world stand-in inputs.
+    Clustering1,
+    /// Clustering, synthetic generator mix.
+    Clustering2,
+    /// Bin packing, synthetic mix.
+    Binpacking,
+    /// SVD low-rank approximation.
+    Svd,
+    /// Poisson 2D.
+    Poisson2d,
+    /// Helmholtz 3D.
+    Helmholtz3d,
+}
+
+impl TestCase {
+    /// All eight tests in Table-1 order.
+    pub fn all() -> [TestCase; 8] {
+        [
+            TestCase::Sort1,
+            TestCase::Sort2,
+            TestCase::Clustering1,
+            TestCase::Clustering2,
+            TestCase::Binpacking,
+            TestCase::Svd,
+            TestCase::Poisson2d,
+            TestCase::Helmholtz3d,
+        ]
+    }
+
+    /// Table-1 row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestCase::Sort1 => "sort1",
+            TestCase::Sort2 => "sort2",
+            TestCase::Clustering1 => "clustering1",
+            TestCase::Clustering2 => "clustering2",
+            TestCase::Binpacking => "binpacking",
+            TestCase::Svd => "svd",
+            TestCase::Poisson2d => "poisson2d",
+            TestCase::Helmholtz3d => "helmholtz3d",
+        }
+    }
+}
+
+/// Corpus sizes and learning budgets for a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Training inputs per test.
+    pub train: usize,
+    /// Held-out test inputs per test.
+    pub test: usize,
+    /// Number of clusters / landmarks K.
+    pub clusters: usize,
+    /// EA population per landmark.
+    pub ea_population: usize,
+    /// EA generations per landmark.
+    pub ea_generations: usize,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Cost-matrix λ.
+    pub lambda: f64,
+    /// Sort input length range.
+    pub sort_n: (usize, usize),
+    /// Clustering point-count range.
+    pub cluster_n: (usize, usize),
+    /// Bin-packing item-count range.
+    pub pack_n: (usize, usize),
+    /// SVD column-count range.
+    pub svd_n: (usize, usize),
+    /// Poisson grid sizes (must be 2^k − 1).
+    pub pde2_sizes: Vec<usize>,
+    /// Helmholtz grid sizes (must be 2^k − 1).
+    pub pde3_sizes: Vec<usize>,
+    /// Base seed.
+    pub seed: u64,
+    /// Parallel landmark measurement.
+    pub parallel: bool,
+}
+
+impl SuiteConfig {
+    /// CI-scale defaults: minutes, not hours.
+    pub fn ci() -> Self {
+        SuiteConfig {
+            train: 96,
+            test: 64,
+            clusters: 8,
+            ea_population: 12,
+            ea_generations: 8,
+            folds: 3,
+            lambda: 0.5,
+            sort_n: (256, 2048),
+            cluster_n: (200, 700),
+            pack_n: (200, 500),
+            svd_n: (12, 18),
+            pde2_sizes: vec![15],
+            pde3_sizes: vec![7, 11],
+            seed: 0,
+            parallel: true,
+        }
+    }
+
+    /// Paper-scale settings: K = 100 landmarks, thousands of inputs.
+    pub fn paper_scale() -> Self {
+        SuiteConfig {
+            train: 1200,
+            test: 800,
+            clusters: 100,
+            ea_population: 30,
+            ea_generations: 30,
+            folds: 10,
+            lambda: 0.5,
+            sort_n: (512, 16384),
+            cluster_n: (300, 2000),
+            pack_n: (400, 3000),
+            svd_n: (16, 40),
+            pde2_sizes: vec![15, 31, 63],
+            pde3_sizes: vec![7, 15],
+            seed: 0,
+            parallel: true,
+        }
+    }
+
+    fn two_level(&self, case_seed: u64) -> TwoLevelOptions {
+        TwoLevelOptions {
+            level1: Level1Options {
+                clusters: self.clusters,
+                tuner: TunerOptions {
+                    population: self.ea_population,
+                    generations: self.ea_generations,
+                    ..TunerOptions::quick(self.seed ^ case_seed)
+                },
+                seed: self.seed ^ case_seed,
+                parallel: self.parallel,
+                ..Level1Options::default()
+            },
+            lambda: self.lambda,
+            selection: SelectionOptions {
+                folds: self.folds,
+                tree: TreeOptions {
+                    max_depth: 8,
+                    min_leaf: 2,
+                    max_thresholds: 24,
+                    ..TreeOptions::default()
+                },
+                seed: self.seed ^ case_seed,
+                ..SelectionOptions::default()
+            },
+            selection_fraction: 0.3,
+        }
+    }
+}
+
+/// The artifacts of one suite case, enough for Table 1 and Figures 6/8.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Table-1 row (plus Figure-6 distribution).
+    pub row: EvaluationRow,
+    /// Landmark × training-input performance (Figure 8 resampling).
+    pub perf_train: PerfMatrix,
+    /// The benchmark's accuracy threshold H1, if any.
+    pub accuracy_threshold: Option<f64>,
+    /// `(name, objective, satisfaction, valid)` per candidate classifier.
+    pub candidates: Vec<(String, f64, f64, bool)>,
+    /// Training-cost accounting (§4.2: landmark autotuning dominates; an
+    /// exhaustive per-input search costs `inputs/clusters` times more).
+    pub stats: intune_learning::pipeline::TrainingStats,
+}
+
+fn run_generic<B: Benchmark + Sync>(
+    benchmark: &B,
+    name: &str,
+    train: &[B::Input],
+    test: &[B::Input],
+    cfg: &SuiteConfig,
+    case_seed: u64,
+) -> CaseOutcome
+where
+    B::Input: Sync,
+{
+    let opts = cfg.two_level(case_seed);
+    let result = learn(benchmark, train, &opts);
+    let mut row = evaluate(benchmark, &result, test, cfg.parallel);
+    row.name = name.to_string();
+    CaseOutcome {
+        perf_train: result.level1.perf.clone(),
+        accuracy_threshold: benchmark.accuracy().map(|a| a.threshold),
+        candidates: result
+            .candidates
+            .iter()
+            .zip(&result.scores)
+            .map(|(c, s)| (c.name.clone(), s.objective, s.satisfaction, s.valid))
+            .collect(),
+        stats: result.stats,
+        row,
+    }
+}
+
+/// Runs one of the eight tests end to end.
+pub fn run_case(case: TestCase, cfg: &SuiteConfig) -> CaseOutcome {
+    let seed = cfg.seed;
+    match case {
+        TestCase::Sort1 => {
+            let b = PolySort::new(cfg.sort_n.1);
+            let train = SortCorpus::ccr(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x01);
+            let test = SortCorpus::ccr(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x02);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x11)
+        }
+        TestCase::Sort2 => {
+            let b = PolySort::new(cfg.sort_n.1);
+            let train = SortCorpus::synthetic(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x03);
+            let test = SortCorpus::synthetic(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x04);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x12)
+        }
+        TestCase::Clustering1 => {
+            let b = Clustering::new();
+            let train =
+                ClusterCorpus::poker(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x05);
+            let test =
+                ClusterCorpus::poker(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x06);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x13)
+        }
+        TestCase::Clustering2 => {
+            let b = Clustering::new();
+            let train =
+                ClusterCorpus::synthetic(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x07);
+            let test =
+                ClusterCorpus::synthetic(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x08);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x14)
+        }
+        TestCase::Binpacking => {
+            let b = BinPacking::new(cfg.pack_n.1);
+            let train = PackCorpus::synthetic(cfg.train, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x09);
+            let test = PackCorpus::synthetic(cfg.test, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x0a);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x15)
+        }
+        TestCase::Svd => {
+            let b = SvdBench::new();
+            let train = SvdCorpus::synthetic(cfg.train, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0b);
+            let test = SvdCorpus::synthetic(cfg.test, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0c);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x16)
+        }
+        TestCase::Poisson2d => {
+            let b = Poisson2d::new();
+            let train = PdeCorpus2d::synthetic(cfg.train, &cfg.pde2_sizes, seed ^ 0x0d);
+            let test = PdeCorpus2d::synthetic(cfg.test, &cfg.pde2_sizes, seed ^ 0x0e);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x17)
+        }
+        TestCase::Helmholtz3d => {
+            let b = Helmholtz3d::new();
+            let train = PdeCorpus3d::synthetic(cfg.train, &cfg.pde3_sizes, seed ^ 0x0f);
+            let test = PdeCorpus3d::synthetic(cfg.test, &cfg.pde3_sizes, seed ^ 0x10);
+            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x18)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuiteConfig {
+        SuiteConfig {
+            train: 24,
+            test: 16,
+            clusters: 4,
+            ea_population: 8,
+            ea_generations: 4,
+            folds: 2,
+            sort_n: (64, 256),
+            cluster_n: (60, 120),
+            pack_n: (40, 120),
+            svd_n: (8, 12),
+            pde2_sizes: vec![7],
+            pde3_sizes: vec![3],
+            ..SuiteConfig::ci()
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            TestCase::all().iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn binpacking_case_runs_end_to_end() {
+        let outcome = run_case(TestCase::Binpacking, &tiny());
+        assert_eq!(outcome.row.name, "binpacking");
+        assert_eq!(outcome.perf_train.num_landmarks(), 4);
+        assert!(!outcome.candidates.is_empty());
+        assert!(outcome.row.dynamic_oracle >= 1.0 - 1e-9);
+        assert_eq!(outcome.row.per_input_speedups.len(), 16);
+        assert_eq!(outcome.accuracy_threshold, Some(0.95));
+    }
+
+    #[test]
+    fn sort2_case_runs_end_to_end() {
+        let outcome = run_case(TestCase::Sort2, &tiny());
+        assert_eq!(outcome.row.name, "sort2");
+        // Sort is fixed-accuracy: both methods trivially satisfy.
+        assert_eq!(outcome.accuracy_threshold, None);
+        assert!(outcome.row.two_level_accuracy_pct >= 99.0);
+        assert!(outcome.row.dynamic_oracle >= outcome.row.two_level - 1e-9);
+    }
+}

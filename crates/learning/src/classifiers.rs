@@ -1,0 +1,266 @@
+//! The candidate classifier family of Level 2 (Figure 5).
+//!
+//! * **Max-a-priori** — always the most common training label; extracts no
+//!   features at all.
+//! * **Feature-subset decision tree** — a cost-sensitive tree over one
+//!   property/level subset (the exhaustive enumeration trains one per
+//!   subset; the *all-features* classifier is the full-subset member).
+//! * **Incremental feature examination** — discretized naive Bayes that
+//!   acquires features one at a time, cheapest first, updating the class
+//!   posterior (Eq. 1) and stopping as soon as it clears the confidence
+//!   threshold Λ — so its feature-extraction cost varies per input.
+
+use intune_core::{FeatureSample, FeatureSet};
+use intune_ml::{DecisionTree, NaiveBayes};
+
+/// A trained candidate classifier mapping input features to a landmark.
+#[derive(Debug, Clone)]
+pub enum Classifier {
+    /// Predicts the majority training label; no features needed.
+    MaxApriori {
+        /// The constant prediction.
+        class: usize,
+        /// Number of properties (for a correctly-shaped empty feature set).
+        num_properties: usize,
+    },
+    /// A cost-sensitive decision tree over the subset `set`.
+    Tree {
+        /// Which property/levels the tree consumes (in `set.iter()` order).
+        set: FeatureSet,
+        /// The fitted tree.
+        tree: DecisionTree,
+    },
+    /// Sequential naive-Bayes over `set`, acquiring features in `order`
+    /// (indices into `set.iter()` order, cheapest extraction first) until
+    /// the posterior clears `threshold`.
+    Incremental {
+        /// Feature pool the classifier may draw from.
+        set: FeatureSet,
+        /// The fitted discretized naive Bayes model.
+        nb: NaiveBayes,
+        /// Acquisition order (indices into `set.iter()` order).
+        order: Vec<usize>,
+        /// Posterior confidence threshold Λ.
+        threshold: f64,
+    },
+}
+
+impl Classifier {
+    /// The feature subset this classifier may request.
+    pub fn feature_set(&self) -> FeatureSet {
+        match self {
+            Classifier::MaxApriori { num_properties, .. } => FeatureSet::none(*num_properties),
+            Classifier::Tree { set, .. } | Classifier::Incremental { set, .. } => set.clone(),
+        }
+    }
+
+    /// Short display name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Classifier::MaxApriori { .. } => "max-apriori",
+            Classifier::Tree { .. } => "subset-tree",
+            Classifier::Incremental { .. } => "incremental",
+        }
+    }
+
+    /// Classifies from pre-extracted samples (one per feature in
+    /// `feature_set().iter()` order), returning the predicted landmark and
+    /// the extraction cost *actually incurred* — all features for trees,
+    /// a confidence-dependent prefix for the incremental classifier, zero
+    /// for max-a-priori.
+    ///
+    /// # Panics
+    /// Panics if `samples.len()` does not match the feature set size.
+    pub fn classify_costed(&self, samples: &[FeatureSample]) -> (usize, f64) {
+        match self {
+            Classifier::MaxApriori { class, .. } => (*class, 0.0),
+            Classifier::Tree { tree, set } => {
+                assert_eq!(samples.len(), set.count(), "sample/feature mismatch");
+                let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+                let cost: f64 = samples.iter().map(|s| s.cost).sum();
+                (tree.predict(&values), cost)
+            }
+            Classifier::Incremental {
+                set,
+                nb,
+                order,
+                threshold,
+            } => {
+                assert_eq!(samples.len(), set.count(), "sample/feature mismatch");
+                let mut posterior = nb.start();
+                let mut cost = 0.0;
+                for &f in order {
+                    posterior.observe(f, samples[f].value);
+                    cost += samples[f].cost;
+                    if let Some(class) = posterior.confident(*threshold) {
+                        return (class, cost);
+                    }
+                }
+                (posterior.argmax(), cost)
+            }
+        }
+    }
+
+    /// Classifies with an on-demand extractor (deployment path): features
+    /// are extracted only when the classifier asks for them. `extract`
+    /// receives `(property, level)` and returns the sample.
+    pub fn classify_lazy(
+        &self,
+        mut extract: impl FnMut(usize, usize) -> FeatureSample,
+    ) -> (usize, f64) {
+        match self {
+            Classifier::MaxApriori { class, .. } => (*class, 0.0),
+            Classifier::Tree { tree, set } => {
+                let mut cost = 0.0;
+                let values: Vec<f64> = set
+                    .iter()
+                    .map(|id| {
+                        let s = extract(id.property, id.level);
+                        cost += s.cost;
+                        s.value
+                    })
+                    .collect();
+                (tree.predict(&values), cost)
+            }
+            Classifier::Incremental {
+                set,
+                nb,
+                order,
+                threshold,
+            } => {
+                let ids: Vec<_> = set.iter().collect();
+                let mut posterior = nb.start();
+                let mut cost = 0.0;
+                for &f in order {
+                    let id = ids[f];
+                    let s = extract(id.property, id.level);
+                    cost += s.cost;
+                    posterior.observe(f, s.value);
+                    if let Some(class) = posterior.confident(*threshold) {
+                        return (class, cost);
+                    }
+                }
+                (posterior.argmax(), cost)
+            }
+        }
+    }
+}
+
+/// Builds an incremental classifier over `set` from training data.
+/// `x` rows are values in `set.iter()` order; `mean_costs[f]` is the mean
+/// extraction cost of feature `f`, which fixes the acquisition order.
+pub fn train_incremental(
+    set: FeatureSet,
+    x: &[Vec<f64>],
+    labels: &[usize],
+    num_classes: usize,
+    mean_costs: &[f64],
+    regions: usize,
+    threshold: f64,
+) -> Classifier {
+    let nb = NaiveBayes::fit(x, labels, num_classes, regions);
+    let mut order: Vec<usize> = (0..set.count()).collect();
+    order.sort_by(|&a, &b| {
+        mean_costs[a]
+            .partial_cmp(&mean_costs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Classifier::Incremental {
+        set,
+        nb,
+        order,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_ml::TreeOptions;
+
+    fn samples(vals: &[(f64, f64)]) -> Vec<FeatureSample> {
+        vals.iter()
+            .map(|&(v, c)| FeatureSample::new(v, c))
+            .collect()
+    }
+
+    #[test]
+    fn max_apriori_costs_nothing() {
+        let c = Classifier::MaxApriori {
+            class: 3,
+            num_properties: 4,
+        };
+        assert_eq!(c.classify_costed(&[]), (3, 0.0));
+        assert!(c.feature_set().is_empty());
+        assert_eq!(c.kind(), "max-apriori");
+    }
+
+    #[test]
+    fn tree_pays_full_subset() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        let c = Classifier::Tree {
+            set: FeatureSet::from_choices(vec![Some(1), None]),
+            tree,
+        };
+        let (class, cost) = c.classify_costed(&samples(&[(10.5, 7.0)]));
+        assert_eq!(class, 1);
+        assert_eq!(cost, 7.0);
+    }
+
+    #[test]
+    fn incremental_stops_early_when_confident() {
+        // Feature 0 (cheap) perfectly separates classes; feature 1 is noise.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 0.0 } else { 10.0 }, (i % 5) as f64])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let set = FeatureSet::from_choices(vec![Some(0), Some(0)]);
+        let c = train_incremental(set, &x, &y, 2, &[1.0, 100.0], 4, 0.9);
+        // The cheap decisive feature comes first; the expensive one is
+        // never extracted.
+        let (class, cost) = c.classify_costed(&samples(&[(10.0, 1.0), (2.0, 100.0)]));
+        assert_eq!(class, 1);
+        assert_eq!(cost, 1.0, "confident after the cheap feature");
+    }
+
+    #[test]
+    fn incremental_falls_back_to_argmax() {
+        // No feature is informative: should extract everything then argmax.
+        let x: Vec<Vec<f64>> = (0..20).map(|_| vec![5.0, 5.0]).collect();
+        let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let set = FeatureSet::from_choices(vec![Some(0), Some(0)]);
+        let c = train_incremental(set, &x, &y, 2, &[1.0, 2.0], 4, 0.99);
+        let (_, cost) = c.classify_costed(&samples(&[(5.0, 1.0), (5.0, 2.0)]));
+        assert_eq!(cost, 3.0, "all features extracted when never confident");
+    }
+
+    #[test]
+    fn lazy_matches_costed_for_tree() {
+        let x = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 3.0],
+            vec![10.0, 3.0],
+            vec![11.0, 3.0],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        let c = Classifier::Tree {
+            set: FeatureSet::from_choices(vec![Some(2), Some(0)]),
+            tree,
+        };
+        let all = samples(&[(10.5, 4.0), (3.0, 2.0)]);
+        let costed = c.classify_costed(&all);
+        let lazy = c.classify_lazy(|p, l| {
+            // property 0 level 2 is the first feature; property 1 level 0 second
+            if p == 0 {
+                assert_eq!(l, 2);
+                FeatureSample::new(10.5, 4.0)
+            } else {
+                FeatureSample::new(3.0, 2.0)
+            }
+        });
+        assert_eq!(costed, lazy);
+    }
+}

@@ -1,0 +1,246 @@
+//! Level 2, part A: performance-based relabeling and the cost matrix.
+//!
+//! The *second-level clustering*: each training input is re-labeled by its
+//! best landmark (its performance-space group), which "directly reflects
+//! the performance of various configurations on those inputs" (paper §3.2)
+//! and closes the mapping-disparity gap of one-level feature clustering.
+
+use crate::perf::PerfMatrix;
+
+/// Labels each input with its best landmark (the paper's label rule):
+///
+/// * time-only problems — `argmin_j T_j(i)`;
+/// * variable-accuracy problems — the cheapest landmark meeting the accuracy
+///   threshold, or the maximum-accuracy landmark if none meets it.
+///
+/// Ties within `tie_margin` (relative cost) are broken toward the landmark
+/// with the highest *global* satisfaction (and then lowest global mean
+/// cost): many inputs have several near-equivalent best landmarks, and
+/// collapsing them onto robust representatives both shrinks the effective
+/// label set (easier classification) and makes misclassifications land on
+/// safer configurations.
+pub fn label_inputs_with_margin(
+    perf: &PerfMatrix,
+    accuracy_threshold: Option<f64>,
+    tie_margin: f64,
+) -> Vec<usize> {
+    let k = perf.num_landmarks();
+    // Global robustness statistics per landmark.
+    let satisfaction: Vec<f64> = (0..k)
+        .map(|l| perf.satisfaction(l, accuracy_threshold))
+        .collect();
+    let mean_cost: Vec<f64> = (0..k).map(|l| perf.mean_cost(l)).collect();
+
+    (0..perf.num_inputs())
+        .map(|i| {
+            let feasible: Vec<usize> = (0..k)
+                .filter(|&l| perf.meets(l, i, accuracy_threshold))
+                .collect();
+            if feasible.is_empty() {
+                // No landmark meets the threshold: take the most accurate.
+                (0..k)
+                    .max_by(|&a, &b| {
+                        let aa = perf.accuracy(a, i).unwrap_or(f64::NEG_INFINITY);
+                        let ab = perf.accuracy(b, i).unwrap_or(f64::NEG_INFINITY);
+                        aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0)
+            } else {
+                let cheapest = feasible
+                    .iter()
+                    .map(|&l| perf.cost(l, i))
+                    .fold(f64::INFINITY, f64::min);
+                let bar = cheapest * (1.0 + tie_margin.max(0.0));
+                feasible
+                    .into_iter()
+                    .filter(|&l| perf.cost(l, i) <= bar)
+                    .max_by(|&a, &b| {
+                        satisfaction[a]
+                            .partial_cmp(&satisfaction[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(
+                                mean_cost[b]
+                                    .partial_cmp(&mean_cost[a])
+                                    .unwrap_or(std::cmp::Ordering::Equal),
+                            )
+                    })
+                    .expect("nonempty near-tie set")
+            }
+        })
+        .collect()
+}
+
+/// [`label_inputs_with_margin`] with the default 10 % tie margin.
+pub fn label_inputs(perf: &PerfMatrix, accuracy_threshold: Option<f64>) -> Vec<usize> {
+    label_inputs_with_margin(perf, accuracy_threshold, 0.10)
+}
+
+/// Fraction of inputs whose second-level label differs from their
+/// first-level (feature-space) cluster — the paper reports 73.4 % for
+/// K-means on its benchmarks, evidence that the refinement matters.
+pub fn relabel_fraction(first_level: &[usize], second_level: &[usize]) -> f64 {
+    assert_eq!(
+        first_level.len(),
+        second_level.len(),
+        "label vectors differ"
+    );
+    if first_level.is_empty() {
+        return 0.0;
+    }
+    first_level
+        .iter()
+        .zip(second_level)
+        .filter(|(a, b)| a != b)
+        .count() as f64
+        / first_level.len() as f64
+}
+
+/// Builds the misclassification cost matrix
+/// `C_ij = λ · Ca_ij · max_t(Cp_it) + Cp_ij` where
+///
+/// * `Cp_ij` — mean execution-cost penalty of running landmark `j` instead
+///   of the label landmark `i`, averaged over inputs labeled `i` (clamped
+///   at 0);
+/// * `Ca_ij` — fraction of inputs labeled `i` on which landmark `j` misses
+///   the accuracy threshold (0 when the benchmark has no threshold);
+/// * `λ` — the accuracy-penalty weight (the paper sweeps 0.001–1 and uses
+///   0.5).
+pub fn cost_matrix(
+    perf: &PerfMatrix,
+    labels: &[usize],
+    accuracy_threshold: Option<f64>,
+    lambda: f64,
+) -> Vec<Vec<f64>> {
+    let k = perf.num_landmarks();
+    let n = perf.num_inputs();
+    assert_eq!(labels.len(), n, "labels must cover every input");
+
+    let mut cp = vec![vec![0.0f64; k]; k];
+    let mut ca = vec![vec![0.0f64; k]; k];
+    let mut counts = vec![0usize; k];
+
+    for i in 0..n {
+        let li = labels[i];
+        counts[li] += 1;
+        for j in 0..k {
+            cp[li][j] += (perf.cost(j, i) - perf.cost(li, i)).max(0.0);
+            if accuracy_threshold.is_some() && !perf.meets(j, i, accuracy_threshold) {
+                ca[li][j] += 1.0;
+            }
+        }
+    }
+    for i in 0..k {
+        if counts[i] > 0 {
+            for j in 0..k {
+                cp[i][j] /= counts[i] as f64;
+                ca[i][j] /= counts[i] as f64;
+            }
+        }
+    }
+
+    let mut c = vec![vec![0.0f64; k]; k];
+    for i in 0..k {
+        let max_cp = cp[i].iter().cloned().fold(0.0, f64::max);
+        for j in 0..k {
+            c[i][j] = lambda * ca[i][j] * max_cp + cp[i][j];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::ExecutionReport;
+
+    fn perf_time_only() -> PerfMatrix {
+        // 2 landmarks, 4 inputs; landmark 0 best on inputs 0-1, landmark 1
+        // best on inputs 2-3.
+        PerfMatrix::from_reports(vec![
+            vec![
+                ExecutionReport::of_cost(1.0),
+                ExecutionReport::of_cost(2.0),
+                ExecutionReport::of_cost(9.0),
+                ExecutionReport::of_cost(8.0),
+            ],
+            vec![
+                ExecutionReport::of_cost(5.0),
+                ExecutionReport::of_cost(6.0),
+                ExecutionReport::of_cost(3.0),
+                ExecutionReport::of_cost(2.0),
+            ],
+        ])
+    }
+
+    #[test]
+    fn time_only_labels_argmin() {
+        let labels = label_inputs(&perf_time_only(), None);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn accuracy_rule_prefers_feasible() {
+        // Landmark 0 is fast but inaccurate on input 0; landmark 1 accurate.
+        let perf = PerfMatrix::from_reports(vec![
+            vec![ExecutionReport::with_accuracy(1.0, 0.2)],
+            vec![ExecutionReport::with_accuracy(10.0, 0.95)],
+        ]);
+        assert_eq!(label_inputs(&perf, Some(0.9)), vec![1]);
+        // Without a threshold the fast one wins.
+        assert_eq!(label_inputs(&perf, None), vec![0]);
+    }
+
+    #[test]
+    fn accuracy_rule_falls_back_to_max_accuracy() {
+        let perf = PerfMatrix::from_reports(vec![
+            vec![ExecutionReport::with_accuracy(1.0, 0.3)],
+            vec![ExecutionReport::with_accuracy(2.0, 0.6)],
+        ]);
+        // Neither meets 0.9: pick the more accurate landmark 1.
+        assert_eq!(label_inputs(&perf, Some(0.9)), vec![1]);
+    }
+
+    #[test]
+    fn cost_matrix_diag_zero_and_penalties_positive() {
+        let perf = perf_time_only();
+        let labels = label_inputs(&perf, None);
+        let c = cost_matrix(&perf, &labels, None, 0.5);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0][0], 0.0);
+        assert_eq!(c[1][1], 0.0);
+        // Misrunning label-0 inputs on landmark 1 costs (5-1 + 6-2)/2 = 4.
+        assert!((c[0][1] - 4.0).abs() < 1e-12);
+        // Misrunning label-1 inputs on landmark 0 costs (9-3 + 8-2)/2 = 6.
+        assert!((c[1][0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_penalty_raises_cost() {
+        let perf = PerfMatrix::from_reports(vec![
+            vec![
+                ExecutionReport::with_accuracy(1.0, 0.99),
+                ExecutionReport::with_accuracy(1.0, 0.99),
+            ],
+            vec![
+                ExecutionReport::with_accuracy(2.0, 0.1),
+                ExecutionReport::with_accuracy(2.0, 0.1),
+            ],
+        ]);
+        let labels = label_inputs(&perf, Some(0.9));
+        assert_eq!(labels, vec![0, 0]);
+        let with_acc = cost_matrix(&perf, &labels, Some(0.9), 0.5);
+        let no_acc = cost_matrix(&perf, &labels, None, 0.5);
+        assert!(
+            with_acc[0][1] > no_acc[0][1],
+            "accuracy violations must add penalty: {} vs {}",
+            with_acc[0][1],
+            no_acc[0][1]
+        );
+    }
+
+    #[test]
+    fn relabel_fraction_counts_changes() {
+        assert_eq!(relabel_fraction(&[0, 1, 2, 0], &[0, 1, 0, 1]), 0.5);
+        assert_eq!(relabel_fraction(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Level 1: feature extraction, input clustering, landmark creation, and
+//! performance measurement (Figure 4 of the paper).
+
+use crate::perf::PerfMatrix;
+use intune_autotuner::{EvolutionaryTuner, Objective, TunerOptions};
+use intune_core::{Benchmark, BenchmarkExt, Configuration, FeatureVector};
+use intune_ml::{KMeans, KMeansOptions, ZScore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How cluster representatives are chosen — K-means medoids (the paper's
+/// method) or uniform random inputs (the §3.1 ablation baseline, which the
+/// paper reports to be ~41 % worse at 5 landmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// K-means++ clustering in normalized feature space; autotune medoids.
+    KMeansMedoids,
+    /// Uniformly random representative inputs.
+    UniformRandom,
+}
+
+/// Options for [`run_level1`].
+#[derive(Debug, Clone)]
+pub struct Level1Options {
+    /// Number of input clusters K (the paper uses 100).
+    pub clusters: usize,
+    /// Budget of the evolutionary autotuner per landmark.
+    pub tuner: TunerOptions,
+    /// Representative-selection strategy.
+    pub strategy: LandmarkStrategy,
+    /// RNG seed (clustering, random strategy).
+    pub seed: u64,
+    /// Measure the landmark × input matrix in parallel.
+    pub parallel: bool,
+}
+
+impl Default for Level1Options {
+    fn default() -> Self {
+        Level1Options {
+            clusters: 10,
+            tuner: TunerOptions::quick(0),
+            strategy: LandmarkStrategy::KMeansMedoids,
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+/// Everything Level 1 produces; the evidence Level 2 consumes.
+#[derive(Debug, Clone)]
+pub struct Level1Result {
+    /// All features of every training input (value + extraction cost).
+    pub features: Vec<FeatureVector>,
+    /// Normalizer fitted on the dense training feature matrix.
+    pub normalizer: ZScore,
+    /// Feature-space cluster centroids (normalized space).
+    pub centroids: Vec<Vec<f64>>,
+    /// Feature-space cluster label per input (the *first-level* grouping).
+    pub cluster_labels: Vec<usize>,
+    /// Index of the representative input autotuned for each cluster.
+    pub representatives: Vec<usize>,
+    /// The landmark configurations, one per cluster.
+    pub landmarks: Vec<Configuration>,
+    /// Landmark × input execution evidence.
+    pub perf: PerfMatrix,
+    /// Total program executions spent by the autotuner across landmarks.
+    pub tuner_evaluations: usize,
+}
+
+/// Runs Level 1 end to end.
+///
+/// # Panics
+/// Panics if `inputs` is empty or `opts.clusters == 0`.
+pub fn run_level1<B: Benchmark + Sync>(
+    benchmark: &B,
+    inputs: &[B::Input],
+    opts: &Level1Options,
+) -> Level1Result
+where
+    B::Input: Sync,
+{
+    assert!(!inputs.is_empty(), "level 1 requires training inputs");
+    assert!(opts.clusters > 0, "level 1 requires at least one cluster");
+
+    // Step 1: feature extraction (all properties at all levels).
+    let features: Vec<FeatureVector> = inputs.iter().map(|i| benchmark.extract_all(i)).collect();
+    let dense: Vec<Vec<f64>> = features.iter().map(|f| f.dense()).collect();
+
+    // Step 2: normalize + cluster.
+    let normalizer = ZScore::fit(&dense);
+    let normalized = normalizer.transform_all(&dense);
+    let km = KMeans::fit(
+        &normalized,
+        KMeansOptions {
+            k: opts.clusters,
+            max_iters: 100,
+            seed: opts.seed,
+            tol: 1e-9,
+        },
+    );
+
+    let (centroids, cluster_labels, representatives) = match opts.strategy {
+        LandmarkStrategy::KMeansMedoids => (
+            km.centroids().to_vec(),
+            km.labels().to_vec(),
+            km.medoids(&normalized),
+        ),
+        LandmarkStrategy::UniformRandom => {
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5eed);
+            let k = opts.clusters.min(inputs.len());
+            let reps: Vec<usize> = (0..k).map(|_| rng.gen_range(0..inputs.len())).collect();
+            // Clusters induced by nearest representative in feature space.
+            let centroids: Vec<Vec<f64>> = reps.iter().map(|&r| normalized[r].clone()).collect();
+            let labels: Vec<usize> = normalized.iter().map(|p| nearest(&centroids, p)).collect();
+            (centroids, labels, reps)
+        }
+    };
+
+    // Step 3: landmark creation — one EA run per representative input.
+    let objective = match benchmark.accuracy() {
+        Some(spec) => Objective::with_accuracy_target(spec.threshold),
+        None => Objective::cost_only(),
+    };
+    let space = benchmark.space();
+    let mut tuner_evaluations = 0usize;
+    let landmarks: Vec<Configuration> = representatives
+        .iter()
+        .enumerate()
+        .map(|(c, &rep)| {
+            let tuner = EvolutionaryTuner::new(TunerOptions {
+                seed: opts.tuner.seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                ..opts.tuner
+            });
+            let result = tuner.tune(&space, objective, |cfg| benchmark.run(cfg, &inputs[rep]));
+            tuner_evaluations += result.evaluations;
+            result.best
+        })
+        .collect();
+
+    // Step 4: performance measurement — every landmark on every input.
+    let perf = measure(benchmark, &landmarks, inputs, opts.parallel);
+
+    Level1Result {
+        features,
+        normalizer,
+        centroids,
+        cluster_labels,
+        representatives,
+        landmarks,
+        perf,
+        tuner_evaluations,
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d: f64 = centroid.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best.0
+}
+
+/// Measures all `landmarks` on all `inputs` (optionally in parallel across
+/// inputs; results are written by index, so the outcome is deterministic
+/// either way).
+pub fn measure<B: Benchmark + Sync>(
+    benchmark: &B,
+    landmarks: &[Configuration],
+    inputs: &[B::Input],
+    parallel: bool,
+) -> PerfMatrix
+where
+    B::Input: Sync,
+{
+    let n = inputs.len();
+    let rows: Vec<Vec<intune_core::ExecutionReport>> = landmarks
+        .iter()
+        .map(|lm| {
+            if parallel && n >= 8 {
+                let threads = std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(4)
+                    .min(8);
+                let chunk = n.div_ceil(threads);
+                let mut row = vec![intune_core::ExecutionReport::of_cost(0.0); n];
+                crossbeam::thread::scope(|scope| {
+                    for (t, slot) in row.chunks_mut(chunk).enumerate() {
+                        let start = t * chunk;
+                        scope.spawn(move |_| {
+                            for (off, out) in slot.iter_mut().enumerate() {
+                                *out = benchmark.run(lm, &inputs[start + off]);
+                            }
+                        });
+                    }
+                })
+                .expect("measurement threads must not panic");
+                row
+            } else {
+                inputs.iter().map(|i| benchmark.run(lm, i)).collect()
+            }
+        })
+        .collect();
+    PerfMatrix::from_reports(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{AccuracySpec, ConfigSpace, ExecutionReport, FeatureDef, FeatureSample};
+
+    /// A synthetic benchmark whose best switch value equals the input's
+    /// "kind" (0, 1, or 2), discoverable from feature 0.
+    struct Synthetic;
+
+    impl Benchmark for Synthetic {
+        type Input = (usize, f64); // (kind, size)
+
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder()
+                .switch("alg", 3)
+                .int("knob", 0, 10)
+                .build()
+        }
+
+        fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            let (kind, size) = *input;
+            let alg = cfg.choice(0);
+            // Matching algorithm: cost = size; mismatched: 3x..5x.
+            let penalty = 1.0 + 2.0 * ((alg + 3 - kind) % 3) as f64;
+            ExecutionReport::with_accuracy(size * penalty, 1.0)
+        }
+
+        fn accuracy(&self) -> Option<AccuracySpec> {
+            Some(AccuracySpec::new(0.5))
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("kind", 2), FeatureDef::new("size", 2)]
+        }
+
+        fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+            let value = match property {
+                0 => input.0 as f64,
+                _ => input.1,
+            };
+            FeatureSample::new(value, (level + 1) as f64)
+        }
+    }
+
+    fn corpus() -> Vec<(usize, f64)> {
+        (0..60)
+            .map(|i| (i % 3, 100.0 + (i % 7) as f64 * 10.0))
+            .collect()
+    }
+
+    fn options() -> Level1Options {
+        Level1Options {
+            clusters: 3,
+            tuner: TunerOptions {
+                population: 10,
+                generations: 8,
+                ..TunerOptions::quick(1)
+            },
+            strategy: LandmarkStrategy::KMeansMedoids,
+            seed: 0,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn level1_shapes_are_consistent() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let r = run_level1(&b, &inputs, &options());
+        assert_eq!(r.features.len(), 60);
+        assert_eq!(r.cluster_labels.len(), 60);
+        assert_eq!(r.landmarks.len(), 3);
+        assert_eq!(r.representatives.len(), 3);
+        assert_eq!(r.perf.num_landmarks(), 3);
+        assert_eq!(r.perf.num_inputs(), 60);
+    }
+
+    #[test]
+    fn landmarks_specialize_to_their_clusters() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let r = run_level1(&b, &inputs, &options());
+        // The three kinds should be separated by clustering (kind feature
+        // dominates), and each cluster's landmark should pick the matching
+        // algorithm for its representative's kind.
+        for (c, &rep) in r.representatives.iter().enumerate() {
+            let kind = inputs[rep].0;
+            assert_eq!(
+                r.landmarks[c].choice(0),
+                kind,
+                "cluster {c} landmark should specialize to kind {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn perf_matrix_reflects_specialization() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let r = run_level1(&b, &inputs, &options());
+        // For each input, the cheapest landmark must be one whose config
+        // matches the input kind.
+        for i in 0..inputs.len() {
+            let best = (0..3)
+                .min_by(|&a, &bb| r.perf.cost(a, i).partial_cmp(&r.perf.cost(bb, i)).unwrap())
+                .unwrap();
+            assert_eq!(r.landmarks[best].choice(0), inputs[i].0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_measurement_agree() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let r = run_level1(&b, &inputs, &options());
+        let serial = measure(&b, &r.landmarks, &inputs, false);
+        let parallel = measure(&b, &r.landmarks, &inputs, true);
+        for l in 0..3 {
+            for i in 0..inputs.len() {
+                assert_eq!(serial.cost(l, i), parallel.cost(l, i));
+            }
+        }
+    }
+
+    #[test]
+    fn random_strategy_produces_valid_shapes() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let opts = Level1Options {
+            strategy: LandmarkStrategy::UniformRandom,
+            ..options()
+        };
+        let r = run_level1(&b, &inputs, &opts);
+        assert_eq!(r.landmarks.len(), 3);
+        assert!(r.cluster_labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = Synthetic;
+        let inputs = corpus();
+        let a = run_level1(&b, &inputs, &options());
+        let c = run_level1(&b, &inputs, &options());
+        assert_eq!(a.landmarks, c.landmarks);
+        assert_eq!(a.cluster_labels, c.cluster_labels);
+    }
+}

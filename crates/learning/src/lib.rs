@@ -1,0 +1,45 @@
+//! # intune-learning
+//!
+//! The paper's contribution: **two-level input learning** for algorithmic
+//! autotuning.
+//!
+//! * **Level 1** ([`level1`]) — extract all declared input features for every
+//!   training input, normalize, K-means-cluster the feature vectors, autotune
+//!   the program once per cluster representative (medoid) with the
+//!   evolutionary autotuner → the *landmark* configurations; then run every
+//!   landmark on every training input, recording cost and accuracy into a
+//!   [`PerfMatrix`].
+//! * **Level 2** ([`labels`], [`classifiers`], [`selection`]) — re-label every
+//!   input by its best landmark (closing the paper's *mapping disparity* gap),
+//!   build the misclassification [`labels::cost_matrix`]
+//!   `C_ij = λ·Ca_ij·max_t(Cp_it) + Cp_ij`, train the candidate classifier
+//!   family (max-a-priori, one cost-sensitive decision tree per feature
+//!   subset, all-features, incremental feature examination), and select the
+//!   production classifier by total objective — predicted-configuration cost
+//!   **plus feature extraction cost**, subject to the ≥ 95 % satisfaction
+//!   threshold.
+//! * **Baselines** ([`oracles`]) — static oracle, dynamic oracle, and the
+//!   traditional one-level method (nearest feature-space centroid, all
+//!   features extracted, accuracy-oblivious).
+//! * **Deployment** ([`pipeline::TunedProgram`]) — classify a fresh input
+//!   (paying only the production classifier's feature subset) and run its
+//!   landmark.
+//!
+//! Everything is generic over [`intune_core::Benchmark`] and fully
+//! deterministic given the seeds in [`pipeline::TwoLevelOptions`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifiers;
+pub mod labels;
+pub mod level1;
+pub mod oracles;
+pub mod perf;
+pub mod pipeline;
+pub mod selection;
+
+pub use classifiers::Classifier;
+pub use level1::{LandmarkStrategy, Level1Options, Level1Result};
+pub use perf::PerfMatrix;
+pub use pipeline::{EvaluationRow, TunedProgram, TwoLevelOptions, TwoLevelResult};

@@ -1,0 +1,153 @@
+//! Baselines: static oracle, dynamic oracle, and the traditional one-level
+//! method.
+
+use crate::labels::label_inputs;
+use crate::perf::PerfMatrix;
+use intune_ml::ZScore;
+
+/// The static oracle: the single landmark used for *all* inputs — best mean
+/// cost among landmarks meeting the satisfaction threshold on the training
+/// set ("selected by trying each input optimized program configuration and
+/// picking the one with the best performance and meeting the satisfying
+/// accuracy threshold when applicable"), falling back to the
+/// most-satisfying landmark when none qualifies.
+pub fn static_oracle(
+    perf: &PerfMatrix,
+    accuracy_threshold: Option<f64>,
+    satisfaction_threshold: f64,
+) -> usize {
+    let k = perf.num_landmarks();
+    assert!(k > 0, "no landmarks");
+    let satisfying: Vec<usize> = (0..k)
+        .filter(|&l| perf.satisfaction(l, accuracy_threshold) >= satisfaction_threshold)
+        .collect();
+    if satisfying.is_empty() {
+        (0..k)
+            .max_by(|&a, &b| {
+                perf.satisfaction(a, accuracy_threshold)
+                    .partial_cmp(&perf.satisfaction(b, accuracy_threshold))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty landmarks")
+    } else {
+        satisfying
+            .into_iter()
+            .min_by(|&a, &b| {
+                perf.mean_cost(a)
+                    .partial_cmp(&perf.mean_cost(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty satisfying set")
+    }
+}
+
+/// The dynamic oracle: per input, the best feasible landmark (the label
+/// rule). "The best that is possible … given the landmarks available"; it
+/// pays no feature-extraction cost.
+pub fn dynamic_oracle(perf: &PerfMatrix, accuracy_threshold: Option<f64>) -> Vec<usize> {
+    label_inputs(perf, accuracy_threshold)
+}
+
+/// The traditional **one-level** classifier: nearest feature-space centroid
+/// (normalized), mapping to that cluster's landmark. It extracts the full
+/// predefined feature set and is oblivious to extraction cost and accuracy
+/// — the paper's baseline that loses up to 29× vs. the static oracle.
+#[derive(Debug, Clone)]
+pub struct OneLevelClassifier {
+    normalizer: ZScore,
+    centroids: Vec<Vec<f64>>,
+}
+
+impl OneLevelClassifier {
+    /// Builds from Level-1 clustering artifacts.
+    pub fn new(normalizer: ZScore, centroids: Vec<Vec<f64>>) -> Self {
+        OneLevelClassifier {
+            normalizer,
+            centroids,
+        }
+    }
+
+    /// Classifies a dense (raw, unnormalized) full feature vector to a
+    /// cluster/landmark index.
+    pub fn classify(&self, dense_features: &[f64]) -> usize {
+        let z = self.normalizer.transform(dense_features);
+        let mut best = (0usize, f64::INFINITY);
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d: f64 = centroid
+                .iter()
+                .zip(&z)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best.0
+    }
+
+    /// Number of clusters/landmarks.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::ExecutionReport;
+
+    fn perf() -> PerfMatrix {
+        // Landmark 0: cheap, accurate half the time. Landmark 1: pricier,
+        // always accurate.
+        PerfMatrix::from_reports(vec![
+            vec![
+                ExecutionReport::with_accuracy(1.0, 0.99),
+                ExecutionReport::with_accuracy(1.0, 0.2),
+                ExecutionReport::with_accuracy(1.0, 0.99),
+                ExecutionReport::with_accuracy(1.0, 0.2),
+            ],
+            vec![
+                ExecutionReport::with_accuracy(3.0, 0.99),
+                ExecutionReport::with_accuracy(3.0, 0.99),
+                ExecutionReport::with_accuracy(3.0, 0.99),
+                ExecutionReport::with_accuracy(3.0, 0.99),
+            ],
+        ])
+    }
+
+    #[test]
+    fn static_oracle_respects_satisfaction() {
+        let p = perf();
+        // With a 95% satisfaction bar, landmark 0 (50%) is out.
+        assert_eq!(static_oracle(&p, Some(0.9), 0.95), 1);
+        // Without accuracy, the cheap one wins.
+        assert_eq!(static_oracle(&p, None, 0.95), 0);
+    }
+
+    #[test]
+    fn static_oracle_fallback_max_satisfaction() {
+        let p = PerfMatrix::from_reports(vec![
+            vec![ExecutionReport::with_accuracy(1.0, 0.2)],
+            vec![ExecutionReport::with_accuracy(2.0, 0.5)],
+        ]);
+        // Nobody meets 0.9; landmark 1 is more accurate more often.
+        assert_eq!(static_oracle(&p, Some(0.9), 0.95), 1);
+    }
+
+    #[test]
+    fn dynamic_oracle_adapts_per_input() {
+        let p = perf();
+        assert_eq!(dynamic_oracle(&p, Some(0.9)), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn one_level_classifies_to_nearest_centroid() {
+        let rows = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let norm = ZScore::fit(&rows);
+        let centroids = norm.transform_all(&rows);
+        let c = OneLevelClassifier::new(norm, centroids);
+        assert_eq!(c.classify(&[1.0, 1.0]), 0);
+        assert_eq!(c.classify(&[9.0, 9.0]), 1);
+        assert_eq!(c.num_clusters(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The landmark × input performance matrix (Level 1, Step 4).
+
+use intune_core::ExecutionReport;
+
+/// Execution cost and accuracy of every landmark configuration on every
+/// training input — the evidence Level 2 learns from. The paper's datatable
+/// of `<F, T, A, E>` tuples: `T` and `A` live here, `F` and `E` in the
+/// cached feature vectors.
+#[derive(Debug, Clone)]
+pub struct PerfMatrix {
+    /// `cost[l][i]` = execution cost of landmark `l` on input `i`.
+    cost: Vec<Vec<f64>>,
+    /// `accuracy[l][i]` = accuracy metric, if the benchmark defines one.
+    accuracy: Vec<Vec<Option<f64>>>,
+}
+
+impl PerfMatrix {
+    /// Builds from per-landmark rows of execution reports.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_reports(rows: Vec<Vec<ExecutionReport>>) -> Self {
+        let n = rows.first().map_or(0, |r| r.len());
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "inconsistent report row lengths"
+        );
+        PerfMatrix {
+            cost: rows
+                .iter()
+                .map(|row| row.iter().map(|r| r.cost).collect())
+                .collect(),
+            accuracy: rows
+                .iter()
+                .map(|row| row.iter().map(|r| r.accuracy).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of landmarks (rows).
+    pub fn num_landmarks(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Number of inputs (columns).
+    pub fn num_inputs(&self) -> usize {
+        self.cost.first().map_or(0, |r| r.len())
+    }
+
+    /// Execution cost of landmark `l` on input `i`.
+    pub fn cost(&self, l: usize, i: usize) -> f64 {
+        self.cost[l][i]
+    }
+
+    /// Accuracy of landmark `l` on input `i` (None for fixed-accuracy).
+    pub fn accuracy(&self, l: usize, i: usize) -> Option<f64> {
+        self.accuracy[l][i]
+    }
+
+    /// Whether landmark `l` meets `threshold` on input `i`
+    /// (trivially true when no threshold).
+    pub fn meets(&self, l: usize, i: usize, threshold: Option<f64>) -> bool {
+        match (threshold, self.accuracy[l][i]) {
+            (None, _) => true,
+            (Some(t), Some(a)) => a >= t,
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Fraction of inputs on which landmark `l` meets `threshold`.
+    pub fn satisfaction(&self, l: usize, threshold: Option<f64>) -> f64 {
+        let n = self.num_inputs();
+        if n == 0 {
+            return 1.0;
+        }
+        (0..n).filter(|&i| self.meets(l, i, threshold)).count() as f64 / n as f64
+    }
+
+    /// Mean execution cost of landmark `l` across inputs.
+    pub fn mean_cost(&self, l: usize) -> f64 {
+        let n = self.num_inputs();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cost[l].iter().sum::<f64>() / n as f64
+    }
+
+    /// Restricts the matrix to a subset of landmarks (used by the
+    /// Figure 8 landmark-count sweep).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_landmarks(&self, keep: &[usize]) -> PerfMatrix {
+        PerfMatrix {
+            cost: keep.iter().map(|&l| self.cost[l].clone()).collect(),
+            accuracy: keep.iter().map(|&l| self.accuracy[l].clone()).collect(),
+        }
+    }
+
+    /// Restricts the matrix to a subset of input columns (train/test split).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_inputs(&self, keep: &[usize]) -> PerfMatrix {
+        PerfMatrix {
+            cost: self
+                .cost
+                .iter()
+                .map(|row| keep.iter().map(|&i| row[i]).collect())
+                .collect(),
+            accuracy: self
+                .accuracy
+                .iter()
+                .map(|row| keep.iter().map(|&i| row[i]).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfMatrix {
+        PerfMatrix::from_reports(vec![
+            vec![
+                ExecutionReport::with_accuracy(10.0, 0.9),
+                ExecutionReport::with_accuracy(20.0, 0.5),
+            ],
+            vec![
+                ExecutionReport::with_accuracy(30.0, 0.99),
+                ExecutionReport::with_accuracy(5.0, 0.97),
+            ],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.num_landmarks(), 2);
+        assert_eq!(m.num_inputs(), 2);
+        assert_eq!(m.cost(1, 1), 5.0);
+        assert_eq!(m.accuracy(0, 0), Some(0.9));
+    }
+
+    #[test]
+    fn satisfaction_counts_threshold() {
+        let m = sample();
+        assert_eq!(m.satisfaction(0, Some(0.8)), 0.5);
+        assert_eq!(m.satisfaction(1, Some(0.8)), 1.0);
+        assert_eq!(m.satisfaction(0, None), 1.0);
+    }
+
+    #[test]
+    fn mean_cost() {
+        let m = sample();
+        assert_eq!(m.mean_cost(0), 15.0);
+    }
+
+    #[test]
+    fn landmark_and_input_selection() {
+        let m = sample();
+        let l = m.select_landmarks(&[1]);
+        assert_eq!(l.num_landmarks(), 1);
+        assert_eq!(l.cost(0, 0), 30.0);
+        let i = m.select_inputs(&[1]);
+        assert_eq!(i.num_inputs(), 1);
+        assert_eq!(i.cost(0, 0), 20.0);
+    }
+
+    #[test]
+    fn missing_accuracy_fails_threshold() {
+        let m = PerfMatrix::from_reports(vec![vec![ExecutionReport::of_cost(1.0)]]);
+        assert!(!m.meets(0, 0, Some(0.5)));
+        assert!(m.meets(0, 0, None));
+    }
+}

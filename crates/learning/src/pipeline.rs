@@ -1,0 +1,606 @@
+//! The end-to-end two-level pipeline, the deployment artifact, and the
+//! Table-1-shaped evaluation.
+
+use crate::classifiers::Classifier;
+use crate::labels::{cost_matrix, label_inputs, relabel_fraction};
+use crate::level1::{measure, run_level1, Level1Options, Level1Result};
+use crate::oracles::{dynamic_oracle, static_oracle, OneLevelClassifier};
+use crate::perf::PerfMatrix;
+use crate::selection::{
+    samples_for, select_production, train_candidates, Candidate, CandidateScore, SelectionOptions,
+};
+use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, FeatureVector};
+
+/// All knobs of the two-level method.
+#[derive(Debug, Clone)]
+pub struct TwoLevelOptions {
+    /// Level-1 options (cluster count, EA budget, strategy, seed).
+    pub level1: Level1Options,
+    /// Cost-matrix accuracy weight λ (paper sweeps 0.001–1; 0.5 best).
+    pub lambda: f64,
+    /// Candidate training / production selection options.
+    pub selection: SelectionOptions,
+    /// Fraction of training inputs held out from classifier fitting and
+    /// used only to score candidates during production selection (the
+    /// paper divides its inputs into a classifier-training set and a set
+    /// the candidates are applied to).
+    pub selection_fraction: f64,
+}
+
+impl Default for TwoLevelOptions {
+    fn default() -> Self {
+        TwoLevelOptions {
+            level1: Level1Options::default(),
+            lambda: 0.5,
+            selection: SelectionOptions::default(),
+            selection_fraction: 0.3,
+        }
+    }
+}
+
+/// Training-cost accounting (the paper's §4.2 training-time discussion:
+/// landmark autotuning dominates, and an exhaustive per-input search would
+/// cost `inputs / clusters` times more).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingStats {
+    /// Program executions spent by the evolutionary autotuner (all
+    /// landmarks).
+    pub tuner_evaluations: usize,
+    /// Program executions spent measuring landmarks × inputs.
+    pub measurement_runs: usize,
+    /// Number of training inputs.
+    pub inputs: usize,
+    /// Number of landmarks (clusters).
+    pub clusters: usize,
+}
+
+impl TrainingStats {
+    /// How many times more tuner work an exhaustive find-the-best-config-
+    /// per-input approach would need (the paper: "over 200 times longer",
+    /// given 20 000–30 000 inputs and 100 landmarks).
+    pub fn exhaustive_ratio(&self) -> f64 {
+        self.inputs as f64 / self.clusters.max(1) as f64
+    }
+
+    /// Total program executions during training.
+    pub fn total_runs(&self) -> usize {
+        self.tuner_evaluations + self.measurement_runs
+    }
+}
+
+/// Everything the two-level method learns.
+#[derive(Debug, Clone)]
+pub struct TwoLevelResult {
+    /// Level-1 artifacts (features, clustering, landmarks, perf matrix).
+    pub level1: Level1Result,
+    /// Second-level (performance-space) label per training input.
+    pub labels: Vec<usize>,
+    /// Fraction of inputs whose cluster changed between the levels
+    /// (the paper's 73.4 % statistic).
+    pub relabel_fraction: f64,
+    /// The misclassification cost matrix `C_ij`.
+    pub cost_matrix: Vec<Vec<f64>>,
+    /// The trained candidate family.
+    pub candidates: Vec<Candidate>,
+    /// Per-candidate selection scores.
+    pub scores: Vec<CandidateScore>,
+    /// Index of the production classifier in `candidates`.
+    pub chosen: usize,
+    /// Training-cost accounting.
+    pub stats: TrainingStats,
+}
+
+impl TwoLevelResult {
+    /// The production classifier.
+    pub fn production(&self) -> &Classifier {
+        &self.candidates[self.chosen].classifier
+    }
+}
+
+/// Runs the full two-level method on a training corpus.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn learn<B: Benchmark + Sync>(
+    benchmark: &B,
+    inputs: &[B::Input],
+    opts: &TwoLevelOptions,
+) -> TwoLevelResult
+where
+    B::Input: Sync,
+{
+    let level1 = run_level1(benchmark, inputs, &opts.level1);
+    let threshold = benchmark.accuracy().map(|a| a.threshold);
+
+    let labels = label_inputs(&level1.perf, threshold);
+    let relabeled = relabel_fraction(&level1.cluster_labels, &labels);
+    let cm = cost_matrix(&level1.perf, &labels, threshold, opts.lambda);
+
+    // Hold out a slice of the training inputs: classifiers are fitted on
+    // the rest, candidates are *scored* on the held-out slice only.
+    let n = inputs.len();
+    let (fit_idx, sel_idx) = intune_ml::crossval::train_test_split(
+        n,
+        opts.selection_fraction.clamp(0.05, 0.5),
+        opts.selection.seed ^ 0x5e1ec7,
+    );
+    let fit_features: Vec<FeatureVector> = fit_idx
+        .iter()
+        .map(|&i| level1.features[i].clone())
+        .collect();
+    let fit_labels: Vec<usize> = fit_idx.iter().map(|&i| labels[i]).collect();
+    let fit_perf = level1.perf.select_inputs(&fit_idx);
+    let sel_features: Vec<FeatureVector> = sel_idx
+        .iter()
+        .map(|&i| level1.features[i].clone())
+        .collect();
+    let sel_perf = level1.perf.select_inputs(&sel_idx);
+
+    let defs = benchmark.properties();
+    let mut candidates = train_candidates(
+        &fit_features,
+        &fit_labels,
+        level1.landmarks.len(),
+        &cm,
+        &defs,
+        &opts.selection,
+    );
+    // Accuracy-conservative tree variants: re-train the subset trees under
+    // a strongly accuracy-weighted cost matrix (λ × 8). When features only
+    // probabilistically determine feasibility, these trees predict safer
+    // landmarks in uncertain regions — candidates the satisfaction gate can
+    // accept where the base-λ trees fall short. (The paper sweeps λ
+    // globally; instantiating both ends and letting selection arbitrate is
+    // the same search, done per candidate.)
+    if threshold.is_some() {
+        let cm_safe = cost_matrix(&level1.perf, &labels, threshold, opts.lambda * 8.0);
+        let safe = train_candidates(
+            &fit_features,
+            &fit_labels,
+            level1.landmarks.len(),
+            &cm_safe,
+            &defs,
+            &opts.selection,
+        );
+        candidates.extend(safe.into_iter().filter_map(|mut c| {
+            if c.classifier.kind() == "subset-tree" {
+                c.name = format!("{}@safe", c.name);
+                Some(c)
+            } else {
+                None
+            }
+        }));
+    }
+    let (chosen, scores) = select_production(
+        &candidates,
+        &fit_features,
+        &fit_perf,
+        &sel_features,
+        &sel_perf,
+        threshold,
+        opts.selection.satisfaction,
+    );
+
+    let stats = TrainingStats {
+        tuner_evaluations: level1.tuner_evaluations,
+        measurement_runs: level1.landmarks.len() * inputs.len(),
+        inputs: inputs.len(),
+        clusters: level1.landmarks.len(),
+    };
+
+    TwoLevelResult {
+        level1,
+        labels,
+        relabel_fraction: relabeled,
+        cost_matrix: cm,
+        candidates,
+        scores,
+        chosen,
+        stats,
+    }
+}
+
+/// The deployment artifact: landmarks + production classifier. At run time
+/// it extracts only the classifier's feature subset (lazily, so the
+/// incremental classifier stops paying as soon as it is confident), picks a
+/// landmark, and runs it.
+#[derive(Debug, Clone)]
+pub struct TunedProgram<'b, B: Benchmark> {
+    benchmark: &'b B,
+    landmarks: Vec<Configuration>,
+    classifier: Classifier,
+}
+
+impl<'b, B: Benchmark> TunedProgram<'b, B> {
+    /// Assembles the artifact from a learning result.
+    pub fn new(benchmark: &'b B, result: &TwoLevelResult) -> Self {
+        TunedProgram {
+            benchmark,
+            landmarks: result.level1.landmarks.clone(),
+            classifier: result.production().clone(),
+        }
+    }
+
+    /// The landmark configurations.
+    pub fn landmarks(&self) -> &[Configuration] {
+        &self.landmarks
+    }
+
+    /// The production classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Classifies an input, returning `(landmark index, extraction cost)`.
+    pub fn select(&self, input: &B::Input) -> (usize, f64) {
+        self.classifier
+            .classify_lazy(|property, level| self.benchmark.extract(property, level, input))
+    }
+
+    /// Classifies and runs: returns the execution report of the chosen
+    /// landmark plus the feature-extraction cost paid to choose it.
+    pub fn run(&self, input: &B::Input) -> (ExecutionReport, f64) {
+        let (landmark, extraction) = self.select(input);
+        (
+            self.benchmark.run(&self.landmarks[landmark], input),
+            extraction,
+        )
+    }
+}
+
+/// One Table-1 row: mean speedups over the static oracle (arithmetic mean
+/// of per-input ratios) plus the satisfaction statistics.
+#[derive(Debug, Clone)]
+pub struct EvaluationRow {
+    /// Benchmark/test name.
+    pub name: String,
+    /// Dynamic-oracle speedup (upper bound; no feature cost).
+    pub dynamic_oracle: f64,
+    /// Two-level speedup without feature-extraction time.
+    pub two_level: f64,
+    /// Two-level speedup with feature-extraction time.
+    pub two_level_fx: f64,
+    /// One-level speedup without feature-extraction time.
+    pub one_level: f64,
+    /// One-level speedup with feature-extraction time.
+    pub one_level_fx: f64,
+    /// Percentage of test inputs on which the one-level method meets the
+    /// accuracy threshold (the paper's rightmost column).
+    pub one_level_accuracy_pct: f64,
+    /// Same for the two-level method (≥ 95 in the paper).
+    pub two_level_accuracy_pct: f64,
+    /// Same for the dynamic oracle — the feasibility ceiling: no method can
+    /// satisfy more inputs than the best landmark per input does.
+    pub dynamic_accuracy_pct: f64,
+    /// Same for the static oracle.
+    pub static_accuracy_pct: f64,
+    /// Fraction of training inputs relabeled by the second level.
+    pub relabel_fraction: f64,
+    /// Per-input two-level (with extraction) speedups, ascending — the
+    /// Figure 6 distribution.
+    pub per_input_speedups: Vec<f64>,
+    /// Chosen production classifier description.
+    pub production_classifier: String,
+}
+
+/// Evaluates a learning result on held-out test inputs, producing the
+/// paper's Table-1 row (plus the Figure 6 distribution).
+///
+/// # Panics
+/// Panics if `test_inputs` is empty.
+pub fn evaluate<B: Benchmark + Sync>(
+    benchmark: &B,
+    result: &TwoLevelResult,
+    test_inputs: &[B::Input],
+    parallel: bool,
+) -> EvaluationRow
+where
+    B::Input: Sync,
+{
+    assert!(!test_inputs.is_empty(), "evaluation needs test inputs");
+    let threshold = benchmark.accuracy().map(|a| a.threshold);
+    let satisfaction = 0.95;
+
+    // Landmark performance on the test set.
+    let perf_test = measure(benchmark, &result.level1.landmarks, test_inputs, parallel);
+    // Full feature vectors for the test set (classification + one-level).
+    let features_test: Vec<FeatureVector> = test_inputs
+        .iter()
+        .map(|i| benchmark.extract_all(i))
+        .collect();
+
+    // Static oracle is chosen on TRAINING evidence, applied to test inputs.
+    let static_lm = static_oracle(&result.level1.perf, threshold, satisfaction);
+    let static_cost: Vec<f64> = (0..test_inputs.len())
+        .map(|i| perf_test.cost(static_lm, i))
+        .collect();
+
+    // Dynamic oracle.
+    let dyn_labels = dynamic_oracle(&perf_test, threshold);
+    let dyn_speedup = mean_ratio(&static_cost, |i| perf_test.cost(dyn_labels[i], i));
+    let dyn_met = (0..test_inputs.len())
+        .filter(|&i| perf_test.meets(dyn_labels[i], i, threshold))
+        .count();
+    let static_met = (0..test_inputs.len())
+        .filter(|&i| perf_test.meets(static_lm, i, threshold))
+        .count();
+
+    // Two-level production classifier.
+    let production = result.production();
+    let set = production.feature_set();
+    let mut tl_cost = Vec::with_capacity(test_inputs.len());
+    let mut tl_fx = Vec::with_capacity(test_inputs.len());
+    let mut tl_met = 0usize;
+    for (i, fv) in features_test.iter().enumerate() {
+        let samples = samples_for(fv, &set);
+        let (class, fx) = production.classify_costed(&samples);
+        tl_cost.push(perf_test.cost(class, i));
+        tl_fx.push(fx);
+        if perf_test.meets(class, i, threshold) {
+            tl_met += 1;
+        }
+    }
+    let two_level = mean_ratio(&static_cost, |i| tl_cost[i]);
+    let two_level_fx = mean_ratio(&static_cost, |i| tl_cost[i] + tl_fx[i]);
+    let mut per_input: Vec<f64> = (0..test_inputs.len())
+        .map(|i| static_cost[i] / (tl_cost[i] + tl_fx[i]).max(1e-300))
+        .collect();
+    per_input.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    // One-level baseline: nearest centroid, full feature set, accuracy-blind.
+    let one_level_clf = OneLevelClassifier::new(
+        result.level1.normalizer.clone(),
+        result.level1.centroids.clone(),
+    );
+    let mut ol_cost = Vec::with_capacity(test_inputs.len());
+    let mut ol_fx = Vec::with_capacity(test_inputs.len());
+    let mut ol_met = 0usize;
+    for (i, fv) in features_test.iter().enumerate() {
+        let class = one_level_clf.classify(&fv.dense());
+        ol_cost.push(perf_test.cost(class, i));
+        // The one-level method extracts every declared feature.
+        ol_fx.push(full_extraction_cost(fv));
+        if perf_test.meets(class, i, threshold) {
+            ol_met += 1;
+        }
+    }
+    let one_level = mean_ratio(&static_cost, |i| ol_cost[i]);
+    let one_level_fx = mean_ratio(&static_cost, |i| ol_cost[i] + ol_fx[i]);
+
+    EvaluationRow {
+        name: benchmark.name().to_string(),
+        dynamic_oracle: dyn_speedup,
+        two_level,
+        two_level_fx,
+        one_level,
+        one_level_fx,
+        one_level_accuracy_pct: 100.0 * ol_met as f64 / test_inputs.len() as f64,
+        two_level_accuracy_pct: 100.0 * tl_met as f64 / test_inputs.len() as f64,
+        dynamic_accuracy_pct: 100.0 * dyn_met as f64 / test_inputs.len() as f64,
+        static_accuracy_pct: 100.0 * static_met as f64 / test_inputs.len() as f64,
+        relabel_fraction: result.relabel_fraction,
+        per_input_speedups: per_input,
+        production_classifier: result.candidates[result.chosen].name.clone(),
+    }
+}
+
+/// Mean over inputs of `static_cost[i] / denom(i)`.
+fn mean_ratio(static_cost: &[f64], denom: impl Fn(usize) -> f64) -> f64 {
+    let n = static_cost.len();
+    (0..n)
+        .map(|i| static_cost[i] / denom(i).max(1e-300))
+        .sum::<f64>()
+        / n.max(1) as f64
+}
+
+/// Extraction cost of the complete feature vector (every property at every
+/// level) — what the one-level method pays.
+fn full_extraction_cost(fv: &FeatureVector) -> f64 {
+    fv.total_cost()
+}
+
+/// Convenience: the mean speedup of the dynamic oracle over the static
+/// oracle for a restricted landmark subset — the quantity swept in
+/// Figure 8 (speedup vs. number of landmark configurations).
+pub fn subset_oracle_speedup(
+    perf: &PerfMatrix,
+    subset: &[usize],
+    accuracy_threshold: Option<f64>,
+    satisfaction: f64,
+) -> f64 {
+    let sub = perf.select_landmarks(subset);
+    let static_full = static_oracle(perf, accuracy_threshold, satisfaction);
+    let labels = dynamic_oracle(&sub, accuracy_threshold);
+    let n = perf.num_inputs();
+    (0..n)
+        .map(|i| perf.cost(static_full, i) / sub.cost(labels[i], i).max(1e-300))
+        .sum::<f64>()
+        / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_autotuner::TunerOptions;
+    use intune_core::{AccuracySpec, ConfigSpace, FeatureDef, FeatureSample};
+    use intune_ml::TreeOptions;
+
+    /// Same synthetic benchmark family as level1 tests: 3 input kinds, the
+    /// matching switch value is 3-5x cheaper, kind readable from feature 0
+    /// (cheap) while feature 1 is an expensive red herring.
+    struct Synthetic;
+
+    impl Benchmark for Synthetic {
+        type Input = (usize, f64);
+
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder()
+                .switch("alg", 3)
+                .int("knob", 0, 10)
+                .build()
+        }
+
+        fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            let (kind, size) = *input;
+            let alg = cfg.choice(0);
+            let penalty = 1.0 + 2.0 * ((alg + 3 - kind) % 3) as f64;
+            ExecutionReport::with_accuracy(size * penalty, 1.0)
+        }
+
+        fn accuracy(&self) -> Option<AccuracySpec> {
+            Some(AccuracySpec::new(0.5))
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("kind", 2), FeatureDef::new("noise", 2)]
+        }
+
+        fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+            match property {
+                0 => FeatureSample::new(input.0 as f64, 1.0 + level as f64),
+                _ => FeatureSample::new((input.1 * 7.0) % 5.0, 200.0 * (level + 1) as f64),
+            }
+        }
+    }
+
+    fn corpus(n: usize, seed: usize) -> Vec<(usize, f64)> {
+        (0..n)
+            .map(|i| ((i + seed) % 3, 100.0 + ((i * 17 + seed) % 9) as f64 * 10.0))
+            .collect()
+    }
+
+    fn options() -> TwoLevelOptions {
+        TwoLevelOptions {
+            level1: Level1Options {
+                clusters: 3,
+                tuner: TunerOptions {
+                    population: 10,
+                    generations: 8,
+                    ..TunerOptions::quick(1)
+                },
+                parallel: false,
+                ..Level1Options::default()
+            },
+            lambda: 0.5,
+            selection: SelectionOptions {
+                folds: 3,
+                tree: TreeOptions {
+                    max_depth: 8,
+                    ..TreeOptions::default()
+                },
+                ..SelectionOptions::default()
+            },
+            selection_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn end_to_end_learn_and_evaluate() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let test = corpus(45, 1);
+        let result = learn(&b, &train, &options());
+        let row = evaluate(&b, &result, &test, false);
+
+        // The synthetic problem is perfectly classifiable from the cheap
+        // feature, so the two-level method should approach the dynamic
+        // oracle and trounce the static oracle.
+        assert!(row.dynamic_oracle > 1.2, "dyn {}", row.dynamic_oracle);
+        assert!(row.two_level > 1.2, "two-level {}", row.two_level);
+        assert!(
+            row.two_level_fx > 1.1,
+            "two-level w/ extraction {}",
+            row.two_level_fx
+        );
+        assert!(
+            row.dynamic_oracle >= row.two_level - 1e-9,
+            "oracle bounds the classifier"
+        );
+        assert!(row.two_level_accuracy_pct >= 95.0);
+    }
+
+    #[test]
+    fn production_classifier_avoids_expensive_noise_feature() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let result = learn(&b, &train, &options());
+        let set = result.production().feature_set();
+        assert_eq!(
+            set.level_of(1),
+            None,
+            "production classifier {} should skip the 200-cost noise property",
+            result.candidates[result.chosen].name
+        );
+    }
+
+    #[test]
+    fn two_level_beats_one_level_with_extraction_costs() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let test = corpus(45, 2);
+        let result = learn(&b, &train, &options());
+        let row = evaluate(&b, &result, &test, false);
+        // One-level pays the 200+400-cost noise features on a ~100-300-cost
+        // program: with extraction it must collapse well below 1x.
+        assert!(
+            row.one_level_fx < 0.7,
+            "one-level with extraction {}",
+            row.one_level_fx
+        );
+        assert!(
+            row.two_level_fx > row.one_level_fx,
+            "two-level {} vs one-level {}",
+            row.two_level_fx,
+            row.one_level_fx
+        );
+    }
+
+    #[test]
+    fn tuned_program_round_trip() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let result = learn(&b, &train, &options());
+        let tuned = TunedProgram::new(&b, &result);
+        // Deployment on fresh inputs: selection must pick the matching
+        // landmark kind for nearly all inputs.
+        let mut correct = 0;
+        let fresh = corpus(30, 5);
+        for input in &fresh {
+            let (lm, fx) = tuned.select(input);
+            assert!(fx >= 0.0);
+            if tuned.landmarks()[lm].choice(0) == input.0 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 28, "only {correct}/30 classified correctly");
+        let (report, _) = tuned.run(&fresh[0]);
+        assert!(report.cost > 0.0);
+    }
+
+    #[test]
+    fn figure8_subset_speedup_increases_with_landmarks() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let result = learn(&b, &train, &options());
+        let perf = &result.level1.perf;
+        let one = subset_oracle_speedup(perf, &[0], Some(0.5), 0.95);
+        let all = subset_oracle_speedup(perf, &[0, 1, 2], Some(0.5), 0.95);
+        assert!(
+            all >= one - 1e-9,
+            "more landmarks cannot hurt: {all} vs {one}"
+        );
+        assert!(all > 1.2, "full subset should show speedup, got {all}");
+    }
+
+    #[test]
+    fn relabel_fraction_in_unit_range() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let result = learn(&b, &train, &options());
+        assert!(result.relabel_fraction >= 0.0 && result.relabel_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ` with
+/// eigenvalues sorted by descending magnitude.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending by absolute value.
+    pub values: Vec<f64>,
+    /// Column `k` of `vectors` is the eigenvector for `values[k]`.
+    pub vectors: Matrix,
+    /// Estimated flops spent.
+    pub flops: f64,
+    /// Number of Jacobi sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with cyclic Jacobi
+/// rotations. Tolerance is on the off-diagonal Frobenius mass.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> SymmetricEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigendecomposition requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let mut flops = 0.0;
+    let mut sweeps = 0;
+
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let scale = a.frobenius_norm().max(1e-300);
+    while sweeps < max_sweeps && off(&m) > tol * scale {
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation on rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+                flops += 18.0 * n as f64;
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending |λ|.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[(j, j)]
+            .abs()
+            .partial_cmp(&m[(i, i)].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+
+    SymmetricEigen {
+        values,
+        vectors,
+        flops,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| if i <= j { f(i, j) } else { f(j, i) })
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(3, 3, &[5.0, 0.0, 0.0, 0.0, -7.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&a, 1e-12, 50);
+        assert!((e.values[0] - -7.0).abs() < 1e-9);
+        assert!((e.values[1] - 5.0).abs() < 1e-9);
+        assert!((e.values[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_random_symmetric() {
+        let a = sym(6, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        // A·v_k = λ_k·v_k for every k.
+        for k in 0..6 {
+            let vk = e.vectors.col(k);
+            let av = a.matvec(&vk);
+            for i in 0..6 {
+                assert!(
+                    (av[i] - e.values[k] * vk[i]).abs() < 1e-8,
+                    "eigenpair {k} fails at {i}: {} vs {}",
+                    av[i],
+                    e.values[k] * vk[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_by_magnitude() {
+        let a = sym(5, |i, j| 1.0 / ((i + j + 1) as f64));
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        for w in e.values.windows(2) {
+            assert!(w[0].abs() >= w[1].abs() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = sym(4, |i, j| (i + j) as f64);
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn looser_tolerance_uses_fewer_sweeps() {
+        let a = sym(8, |i, j| ((i as f64) - (j as f64)).cos());
+        let tight = symmetric_eigen(&a, 1e-14, 100);
+        let loose = symmetric_eigen(&a, 1e-2, 100);
+        assert!(loose.sweeps <= tight.sweeps);
+        assert!(loose.flops <= tight.flops);
+    }
+}

@@ -1,0 +1,37 @@
+//! # intune-linalg
+//!
+//! Dense linear algebra substrate built from scratch for the `intune`
+//! workspace: row-major [`Matrix`], Householder [`qr`], cyclic Jacobi
+//! symmetric eigendecomposition ([`eigen`]), three SVD algorithms of
+//! different cost/accuracy profiles ([`svd`]) — the algorithmic *choices* of
+//! the paper's SVD benchmark — and dense Cholesky ([`cholesky`]) used as the
+//! coarse-grid direct solver in the multigrid PDE substrate.
+//!
+//! Every factorization reports an estimated flop count so benchmarks can
+//! charge deterministic abstract cost (see `intune-core`'s `Cost`).
+//!
+//! ## Example
+//!
+//! ```
+//! use intune_linalg::{Matrix, svd};
+//!
+//! let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+//! let out = svd::svd_jacobi(&a);
+//! let rebuilt = out.reconstruct(3);
+//! assert!((&rebuilt - &a).frobenius_norm() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use svd::{Svd, SvdMethod};

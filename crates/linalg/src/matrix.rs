@@ -1,0 +1,342 @@
+//! Row-major dense matrix with the operations the workspace needs.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix element-wise from `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as an owned vector.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col {j} out of {} cols", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+            .collect()
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Root-mean-square of the entries; the paper's SVD/PDE accuracy metrics
+    /// are ratios of RMS errors.
+    pub fn rms(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            (self.data.iter().map(|v| v * v).sum::<f64>() / self.data.len() as f64).sqrt()
+        }
+    }
+
+    /// Number of exact zeros in the matrix (the `zeros` input feature of the
+    /// SVD and PDE benchmarks counts these on a sample).
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Flop estimate of multiplying `self * other` (2mnk).
+    pub fn matmul_flops(&self, other: &Matrix) -> f64 {
+        2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a vector.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + 2 * j) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let xv = Matrix::from_fn(4, 1, |i, _| x[i]);
+        let full = &a * &xv;
+        let quick = a.matvec(&x);
+        for i in 0..3 {
+            assert!((full[(i, 0)] - quick[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let b = Matrix::from_fn(2, 2, |i, j| ((i + j) * 7) as f64);
+        let sum = &a + &b;
+        let back = &sum - &b;
+        assert!((&back - &a).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_zeros() {
+        let a = Matrix::from_rows(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.count_zeros(), 2);
+        assert!((a.rms() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let x = vec![1.0, 2.0, 2.0];
+        assert_eq!(dot(&x, &x), 9.0);
+        assert_eq!(norm(&x), 3.0);
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_rows_validates() {
+        let _ = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = Matrix::identity(2);
+        a.scale(3.0);
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Householder QR decomposition.
+
+use crate::matrix::Matrix;
+
+/// The result of a QR factorization `A = Q·R` with `Q` orthonormal
+/// (`m × n`, thin) and `R` upper triangular (`n × n`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Thin orthonormal factor, `m × n`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `n × n`.
+    pub r: Matrix,
+    /// Estimated flops spent.
+    pub flops: f64,
+}
+
+/// Computes a thin QR factorization by Householder reflections.
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()` (thin QR needs m ≥ n).
+pub fn qr(a: &Matrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "thin QR requires rows >= cols, got {m} x {n}");
+
+    // Work on a copy of A; accumulate Q explicitly (m x m truncated to m x n).
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    let mut flops = 0.0;
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut x_norm2 = 0.0;
+        for i in k..m {
+            x_norm2 += r[(i, k)] * r[(i, k)];
+        }
+        let x_norm = x_norm2.sqrt();
+        if x_norm == 0.0 {
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -x_norm } else { x_norm };
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        v[0] -= alpha;
+        let v_norm2: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm2 == 0.0 {
+            continue;
+        }
+
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R (columns k..n) and accumulate in Q.
+        for j in k..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += v[i - k] * r[(i, j)];
+            }
+            let beta = 2.0 * s / v_norm2;
+            for i in k..m {
+                r[(i, j)] -= beta * v[i - k];
+            }
+        }
+        for j in 0..m {
+            let mut s = 0.0;
+            for i in k..m {
+                s += v[i - k] * q[(j, i)];
+            }
+            let beta = 2.0 * s / v_norm2;
+            for i in k..m {
+                q[(j, i)] -= beta * v[i - k];
+            }
+        }
+        flops += 4.0 * (m - k) as f64 * (n - k) as f64 + 4.0 * (m - k) as f64 * m as f64;
+    }
+
+    // Thin factors.
+    let q_thin = Matrix::from_fn(m, n, |i, j| q[(i, j)]);
+    let r_thin = Matrix::from_fn(n, n, |i, j| if j >= i { r[(i, j)] } else { 0.0 });
+    Qr {
+        q: q_thin,
+        r: r_thin,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn reconstruct_error(a: &Matrix) -> f64 {
+        let f = qr(a);
+        let rebuilt = &f.q * &f.r;
+        (&rebuilt - a).frobenius_norm()
+    }
+
+    #[test]
+    fn reconstructs_square() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 2.0, 1.0, 3.0, 0.0, 2.0, 0.0, 5.0]);
+        assert!(reconstruct_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstructs_tall() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        assert!(reconstruct_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).sin());
+        let f = qr(&a);
+        for j1 in 0..4 {
+            for j2 in 0..4 {
+                let c1 = f.q.col(j1);
+                let c2 = f.q.col(j2);
+                let expected = if j1 == j2 { 1.0 } else { 0.0 };
+                assert!(
+                    (dot(&c1, &c2) - expected).abs() < 1e-10,
+                    "q columns {j1},{j2} not orthonormal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 5, |i, j| (1 + i * j) as f64);
+        let f = qr(&a);
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn flops_positive() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 + 1.0);
+        assert!(qr(&a).flops > 0.0);
+    }
+
+    #[test]
+    fn handles_rank_deficient() {
+        // Second column is 2x the first; QR must still reconstruct.
+        let a = Matrix::from_fn(4, 2, |i, j| (i + 1) as f64 * (j + 1) as f64);
+        assert!(reconstruct_error(&a) < 1e-10);
+    }
+}

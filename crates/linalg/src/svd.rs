@@ -1,0 +1,477 @@
+//! Three SVD algorithms with different cost/accuracy profiles.
+//!
+//! These are the algorithmic *choices* of the paper's SVD benchmark ("the
+//! choices include … changing the techniques used to find these
+//! eigenvalues"):
+//!
+//! * [`svd_jacobi`] — one-sided Jacobi: full decomposition, most accurate,
+//!   most expensive.
+//! * [`svd_subspace`] — block power (subspace) iteration on `AᵀA`: cheap
+//!   top-`k` approximation whose quality depends on iteration count and
+//!   spectral gaps.
+//! * [`svd_lanczos`] — Golub–Kahan–Lanczos bidiagonalization with full
+//!   reorthogonalization: middle ground.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::{axpy, dot, norm, Matrix};
+use crate::qr::qr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A (possibly truncated) singular value decomposition `A ≈ U·diag(σ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` (column `j` pairs with `sigma[j]`).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × k`.
+    pub v: Matrix,
+    /// Estimated flops spent computing the decomposition.
+    pub flops: f64,
+}
+
+impl Svd {
+    /// Reconstructs the rank-`k` approximation `Σ_{i<k} σᵢ uᵢ vᵢᵀ`
+    /// (clamped to the available rank).
+    pub fn reconstruct(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..k {
+            let s = self.sigma[r];
+            for i in 0..m {
+                let uis = self.u[(i, r)] * s;
+                for j in 0..n {
+                    out[(i, j)] += uis * self.v[(j, r)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Storage (number of floats) needed for a rank-`k` truncation — the
+    /// "less space" objective of the SVD benchmark.
+    pub fn storage(&self, k: usize) -> usize {
+        let k = k.min(self.sigma.len());
+        k * (self.u.rows() + self.v.rows() + 1)
+    }
+}
+
+/// Which SVD algorithm to run; the benchmark's `either…or` alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvdMethod {
+    /// One-sided Jacobi (full, accurate, expensive).
+    Jacobi,
+    /// Subspace iteration with this many power steps.
+    Subspace {
+        /// Number of block power iterations.
+        iters: usize,
+    },
+    /// Golub–Kahan–Lanczos bidiagonalization.
+    Lanczos,
+}
+
+/// Dispatches to the chosen method asking for `k` singular triplets.
+/// `seed` feeds the deterministic starting block of the iterative methods.
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()` (callers should transpose first) or `k == 0`.
+pub fn compute(a: &Matrix, k: usize, method: SvdMethod, seed: u64) -> Svd {
+    match method {
+        SvdMethod::Jacobi => svd_jacobi(a),
+        SvdMethod::Subspace { iters } => svd_subspace(a, k, iters, seed),
+        SvdMethod::Lanczos => svd_lanczos(a, k, seed),
+    }
+}
+
+/// Full SVD by one-sided Jacobi: rotates column pairs of a working copy of
+/// `A` until all columns are mutually orthogonal; column norms become the
+/// singular values.
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()`.
+pub fn svd_jacobi(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "svd_jacobi requires rows >= cols, got {m} x {n}");
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+    let mut flops = 0.0;
+    let eps = 1e-12 * a.frobenius_norm().max(1e-300);
+
+    for _sweep in 0..60 {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for i in 0..m {
+                    alpha += u[(i, p)] * u[(i, p)];
+                    beta += u[(i, q)] * u[(i, q)];
+                    gamma += u[(i, p)] * u[(i, q)];
+                }
+                flops += 6.0 * m as f64;
+                if gamma.abs() <= eps * (alpha.sqrt() * beta.sqrt()).max(1e-300) {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    u[(i, p)] = c * up - s * uq;
+                    u[(i, q)] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+                flops += 6.0 * (m + n) as f64;
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values as column norms; normalize U's columns.
+    let mut triplets: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let s: f64 = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+            (s, j)
+        })
+        .collect();
+    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let sigma: Vec<f64> = triplets.iter().map(|t| t.0).collect();
+    let u_sorted = Matrix::from_fn(m, n, |i, jj| {
+        let (s, j) = triplets[jj];
+        if s > 0.0 {
+            u[(i, j)] / s
+        } else {
+            0.0
+        }
+    });
+    let v_sorted = Matrix::from_fn(n, n, |i, jj| v[(i, triplets[jj].1)]);
+
+    Svd {
+        u: u_sorted,
+        sigma,
+        v: v_sorted,
+        flops,
+    }
+}
+
+fn random_block(n: usize, k: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, k, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Truncated SVD by block power (subspace) iteration on `AᵀA`.
+///
+/// Runs `iters` rounds of `X ← orth(AᵀA·X)` from a seeded random `n × k`
+/// block, then solves the small projected problem exactly. Cheap, but
+/// accuracy degrades when `iters` is small or singular values cluster —
+/// exactly the cost/accuracy dial the autotuner explores.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > a.cols()`.
+pub fn svd_subspace(a: &Matrix, k: usize, iters: usize, seed: u64) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(k >= 1 && k <= n, "rank k={k} out of range for {m} x {n}");
+    let mut x = random_block(n, k, seed);
+    let mut flops = 0.0;
+
+    for _ in 0..iters.max(1) {
+        // y = Aᵀ (A x)
+        let ax = &*a * &x; // m x k
+        let y = &a.transpose() * &ax; // n x k
+        flops += a.matmul_flops(&x) + 2.0 * (n * m * k) as f64;
+        let f = qr(&y);
+        flops += f.flops;
+        x = f.q;
+    }
+
+    // Rayleigh–Ritz on the k-dimensional subspace: B = A·X (m × k), thin SVD
+    // of B via eigen of BᵀB (k × k, tiny).
+    let b = &*a * &x;
+    flops += a.matmul_flops(&x);
+    let btb = &b.transpose() * &b;
+    flops += 2.0 * (k * m * k) as f64;
+    let e = symmetric_eigen(&btb, 1e-13, 60);
+    flops += e.flops;
+
+    let sigma: Vec<f64> = e.values.iter().map(|l| l.max(0.0).sqrt()).collect();
+    // V = X · W, U = B · W / σ  where W are eigenvectors of BᵀB.
+    let v = &x * &e.vectors;
+    let bw = &b * &e.vectors;
+    flops += x.matmul_flops(&e.vectors) + b.matmul_flops(&e.vectors);
+    let u = Matrix::from_fn(m, k, |i, j| {
+        if sigma[j] > 1e-300 {
+            bw[(i, j)] / sigma[j]
+        } else {
+            0.0
+        }
+    });
+
+    Svd { u, sigma, v, flops }
+}
+
+/// Truncated SVD by Golub–Kahan–Lanczos bidiagonalization with full
+/// reorthogonalization, running `k + p` steps (small oversampling `p`) and
+/// then solving the small bidiagonal problem.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > a.cols()`.
+pub fn svd_lanczos(a: &Matrix, k: usize, seed: u64) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(k >= 1 && k <= n, "rank k={k} out of range for {m} x {n}");
+    let steps = (k + 4).min(n);
+    let mut flops = 0.0;
+
+    // Lanczos vectors.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut us: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut alphas = Vec::with_capacity(steps);
+    let mut betas = Vec::with_capacity(steps);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0_f64..1.0)).collect();
+    let nv = norm(&v);
+    for x in &mut v {
+        *x /= nv;
+    }
+
+    let mut beta = 0.0;
+    let mut u_prev = vec![0.0; m];
+    for step in 0..steps {
+        // u = A v - beta * u_prev
+        let mut u = a.matvec(&v);
+        flops += 2.0 * (m * n) as f64;
+        axpy(-beta, &u_prev, &mut u);
+        // Reorthogonalize u against previous us.
+        for prev in &us {
+            let c = dot(prev, &u);
+            axpy(-c, prev, &mut u);
+            flops += 4.0 * m as f64;
+        }
+        let alpha = norm(&u);
+        if alpha < 1e-300 {
+            break;
+        }
+        for x in &mut u {
+            *x /= alpha;
+        }
+        alphas.push(alpha);
+        us.push(u.clone());
+        vs.push(v.clone());
+
+        // w = Aᵀ u - alpha * v
+        let mut w = a.transpose().matvec(&u);
+        flops += 2.0 * (m * n) as f64;
+        axpy(-alpha, &v, &mut w);
+        for prev in &vs {
+            let c = dot(prev, &w);
+            axpy(-c, prev, &mut w);
+            flops += 4.0 * n as f64;
+        }
+        beta = norm(&w);
+        if beta < 1e-300 || step + 1 == steps {
+            betas.push(0.0);
+            break;
+        }
+        betas.push(beta);
+        for x in &mut w {
+            *x /= beta;
+        }
+        u_prev = u;
+        v = w;
+    }
+
+    let t = alphas.len();
+    // Build the small bidiagonal B (t x t) and take its SVD via BᵀB eigen.
+    let mut b_small = Matrix::zeros(t, t);
+    for i in 0..t {
+        b_small[(i, i)] = alphas[i];
+        if i + 1 < t && i < betas.len() {
+            b_small[(i, i + 1)] = betas[i];
+        }
+    }
+    let btb = &b_small.transpose() * &b_small;
+    let e = symmetric_eigen(&btb, 1e-13, 60);
+    flops += e.flops;
+
+    let keep = k.min(t);
+    let sigma: Vec<f64> = e
+        .values
+        .iter()
+        .take(keep)
+        .map(|l| l.max(0.0).sqrt())
+        .collect();
+    // Right small vectors w_j give V = Vt · w; left via U = Us · (B w / σ).
+    let mut v_out = Matrix::zeros(n, keep);
+    let mut u_out = Matrix::zeros(m, keep);
+    for j in 0..keep {
+        let w: Vec<f64> = (0..t).map(|i| e.vectors[(i, j)]).collect();
+        for (i, wv) in w.iter().enumerate() {
+            for r in 0..n {
+                v_out[(r, j)] += vs[i][r] * wv;
+            }
+        }
+        let bw = b_small.matvec(&w);
+        if sigma[j] > 1e-300 {
+            for (i, bwi) in bw.iter().enumerate() {
+                for r in 0..m {
+                    u_out[(r, j)] += us[i][r] * bwi / sigma[j];
+                }
+            }
+        }
+        flops += 2.0 * (t * (m + n)) as f64;
+    }
+
+    Svd {
+        u: u_out,
+        sigma,
+        v: v_out,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_rank(m: usize, n: usize, rank: usize) -> Matrix {
+        // Deterministic low-rank matrix: sum of outer products.
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..rank {
+            let scale = 10.0 / (r + 1) as f64;
+            for i in 0..m {
+                for j in 0..n {
+                    let ui = ((i * (r + 3)) as f64 * 0.7).sin();
+                    let vj = ((j * (r + 5)) as f64 * 0.3).cos();
+                    out[(i, j)] += scale * ui * vj;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn jacobi_reconstructs_exactly() {
+        let a = low_rank(8, 6, 6);
+        let s = svd_jacobi(&a);
+        assert!((&s.reconstruct(6) - &a).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_singular_values_descending() {
+        let a = low_rank(10, 7, 7);
+        let s = svd_jacobi(&a);
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn subspace_captures_dominant_directions() {
+        let a = low_rank(16, 12, 3);
+        let exact = svd_jacobi(&a);
+        let approx = svd_subspace(&a, 3, 12, 42);
+        for j in 0..3 {
+            assert!(
+                (approx.sigma[j] - exact.sigma[j]).abs() < 1e-6 * exact.sigma[0].max(1.0),
+                "sigma {j}: {} vs {}",
+                approx.sigma[j],
+                exact.sigma[j]
+            );
+        }
+        let err = (&approx.reconstruct(3) - &a).frobenius_norm();
+        assert!(err < 1e-6 * a.frobenius_norm().max(1.0), "err {err}");
+    }
+
+    #[test]
+    fn subspace_more_iters_no_worse() {
+        let a = low_rank(20, 15, 6);
+        let few = svd_subspace(&a, 4, 1, 7);
+        let many = svd_subspace(&a, 4, 20, 7);
+        let err_few = (&few.reconstruct(4) - &a).frobenius_norm();
+        let err_many = (&many.reconstruct(4) - &a).frobenius_norm();
+        assert!(err_many <= err_few + 1e-9, "{err_many} vs {err_few}");
+        assert!(many.flops > few.flops);
+    }
+
+    #[test]
+    fn lanczos_matches_jacobi_on_top_values() {
+        let a = low_rank(14, 10, 4);
+        let exact = svd_jacobi(&a);
+        let l = svd_lanczos(&a, 4, 3);
+        for j in 0..4 {
+            assert!(
+                (l.sigma[j] - exact.sigma[j]).abs() < 1e-5 * exact.sigma[0].max(1.0),
+                "sigma {j}: {} vs {}",
+                l.sigma[j],
+                exact.sigma[j]
+            );
+        }
+    }
+
+    #[test]
+    fn rank_truncation_error_decreases_with_k() {
+        let a = low_rank(12, 9, 9);
+        let s = svd_jacobi(&a);
+        let mut last = f64::INFINITY;
+        for k in 1..=9 {
+            let err = (&s.reconstruct(k) - &a).frobenius_norm();
+            assert!(err <= last + 1e-9, "rank {k}: {err} > {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn jacobi_cheaper_methods_cost_less() {
+        let a = low_rank(24, 18, 5);
+        let full = svd_jacobi(&a);
+        let cheap = svd_subspace(&a, 3, 2, 1);
+        assert!(
+            cheap.flops < full.flops,
+            "{} vs {}",
+            cheap.flops,
+            full.flops
+        );
+    }
+
+    #[test]
+    fn storage_accounts_rank() {
+        let a = low_rank(10, 8, 4);
+        let s = svd_jacobi(&a);
+        assert_eq!(s.storage(2), 2 * (10 + 8 + 1));
+        assert!(s.storage(100) <= 8 * (10 + 8 + 1));
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let a = low_rank(8, 6, 3);
+        let via = compute(&a, 3, SvdMethod::Subspace { iters: 5 }, 9);
+        let direct = svd_subspace(&a, 3, 5, 9);
+        assert_eq!(via.sigma, direct.sigma);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = low_rank(8, 6, 3);
+        let s1 = svd_lanczos(&a, 3, 5);
+        let s2 = svd_lanczos(&a, 3, 5);
+        assert_eq!(s1.sigma, s2.sigma);
+    }
+}

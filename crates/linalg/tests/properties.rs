@@ -1,0 +1,104 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use intune_linalg::cholesky::Cholesky;
+use intune_linalg::eigen::symmetric_eigen;
+use intune_linalg::qr::qr;
+use intune_linalg::svd::{svd_jacobi, svd_subspace};
+use intune_linalg::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy(m: usize, n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, m * n)
+        .prop_map(move |data| Matrix::from_rows(m, n, &data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// QR reconstructs any tall matrix and Q is orthonormal.
+    #[test]
+    fn qr_reconstructs(a in matrix_strategy(7, 4)) {
+        let f = qr(&a);
+        let rebuilt = &f.q * &f.r;
+        prop_assert!((&rebuilt - &a).frobenius_norm() < 1e-8);
+        // QᵀQ = I.
+        let qtq = &f.q.transpose() * &f.q;
+        let eye = Matrix::identity(4);
+        prop_assert!((&qtq - &eye).frobenius_norm() < 1e-8);
+    }
+
+    /// Symmetric eigen satisfies A v = λ v for every pair and preserves the
+    /// trace.
+    #[test]
+    fn eigen_equation_holds(raw in matrix_strategy(5, 5)) {
+        // Symmetrize.
+        let a = Matrix::from_fn(5, 5, |i, j| (raw[(i, j)] + raw[(j, i)]) / 2.0);
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        let scale = a.frobenius_norm().max(1.0);
+        for k in 0..5 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v);
+            for i in 0..5 {
+                prop_assert!(
+                    (av[i] - e.values[k] * v[i]).abs() < 1e-7 * scale,
+                    "pair {} residual too large", k
+                );
+            }
+        }
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * scale);
+    }
+
+    /// Full Jacobi SVD reconstructs and its singular values dominate any
+    /// truncation's reconstruction error (Eckart–Young direction).
+    #[test]
+    fn svd_reconstruction_and_truncation(a in matrix_strategy(6, 5)) {
+        let s = svd_jacobi(&a);
+        prop_assert!((&s.reconstruct(5) - &a).frobenius_norm() < 1e-7 * a.frobenius_norm().max(1.0));
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+        // Truncation error equals the tail singular-value energy.
+        for k in 1..5 {
+            let err = (&s.reconstruct(k) - &a).frobenius_norm();
+            let tail: f64 = s.sigma[k..].iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!((err - tail).abs() < 1e-6 * a.frobenius_norm().max(1.0));
+        }
+    }
+
+    /// Subspace iteration never reports singular values above the true ones
+    /// (Rayleigh quotients are bounded by the extremes).
+    #[test]
+    fn subspace_bounded_by_truth(a in matrix_strategy(8, 6), iters in 1usize..8) {
+        let exact = svd_jacobi(&a);
+        let approx = svd_subspace(&a, 3, iters, 7);
+        prop_assert!(approx.sigma[0] <= exact.sigma[0] * (1.0 + 1e-8) + 1e-9);
+    }
+
+    /// Cholesky of BᵀB + I solves linear systems.
+    #[test]
+    fn cholesky_solves_spd(b in matrix_strategy(5, 5)) {
+        let mut a = &b.transpose() * &b;
+        for i in 0..5 {
+            a[(i, i)] += 1.0; // guarantee SPD
+        }
+        let ch = Cholesky::new(&a).expect("BᵀB + I is SPD");
+        let x_true = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        let rhs = a.matvec(&x_true);
+        let x = ch.solve(&rhs);
+        for i in 0..5 {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-6 * (1.0 + a.frobenius_norm()));
+        }
+    }
+
+    /// Matrix add/sub/transpose algebra.
+    #[test]
+    fn matrix_algebra(a in matrix_strategy(4, 6), b in matrix_strategy(4, 6)) {
+        let sum = &a + &b;
+        let back = &sum - &b;
+        prop_assert!((&back - &a).frobenius_norm() < 1e-10);
+        let t = a.transpose().transpose();
+        prop_assert_eq!(t, a);
+    }
+}

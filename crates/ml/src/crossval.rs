@@ -1,0 +1,136 @@
+//! K-fold cross validation.
+//!
+//! Level 2 trains each exhaustive-subset decision tree with 10-fold cross
+//! validation "to avoid any learning to the data" and keeps the tree that
+//! performs best on held-out folds.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A shuffled K-fold splitter over `n` samples.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Splits `0..n` into `k` shuffled, near-equal folds.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= n, "cannot make {k} folds from {n} samples");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (pos, idx) in order.into_iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Iterates `(train_indices, test_indices)` pairs, one per fold.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.folds.len()).map(move |f| {
+            let test = &self.folds[f];
+            let train: Vec<usize> = self
+                .folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, test.as_slice())
+        })
+    }
+}
+
+/// Splits `0..n` into a (train, test) pair with `test_fraction` of samples
+/// held out, shuffled deterministically — the paper divides its 50–60 k
+/// inputs roughly half/half.
+///
+/// # Panics
+/// Panics if `test_fraction` is outside `(0, 1)`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let test_n = ((n as f64) * test_fraction).round() as usize;
+    let test = order[..test_n].to_vec();
+    let train = order[test_n..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_everything() {
+        let kf = KFold::new(103, 10, 7);
+        let mut seen = HashSet::new();
+        for (train, test) in kf.splits() {
+            assert_eq!(train.len() + test.len(), 103);
+            let train_set: HashSet<_> = train.iter().collect();
+            for t in test {
+                assert!(!train_set.contains(t), "test index {t} leaked into train");
+                seen.insert(*t);
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            103,
+            "every index appears in exactly one test fold"
+        );
+    }
+
+    #[test]
+    fn fold_sizes_near_equal() {
+        let kf = KFold::new(100, 10, 0);
+        for (_, test) in kf.splits() {
+            assert_eq!(test.len(), 10);
+        }
+        let kf = KFold::new(101, 10, 0);
+        for (_, test) in kf.splits() {
+            assert!(test.len() == 10 || test.len() == 11);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KFold::new(50, 5, 3);
+        let b = KFold::new(50, 5, 3);
+        let fa: Vec<_> = a.splits().map(|(_, t)| t.to_vec()).collect();
+        let fb: Vec<_> = b.splits().map(|(_, t)| t.to_vec()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (train, test) = train_test_split(1000, 0.5, 11);
+        assert_eq!(train.len(), 500);
+        assert_eq!(test.len(), 500);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn too_many_folds_panics() {
+        let _ = KFold::new(3, 10, 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Cost-sensitive CART decision trees.
+//!
+//! The Exhaustive Feature Subsets classifiers of Level 2 are decision trees
+//! trained per feature subset (the paper cites Quinlan's induction of
+//! decision trees). Because mislabeling input *i* as configuration *j* costs
+//! the performance (and accuracy-penalty) difference `C_ij`, the tree
+//! minimizes *expected misclassification cost* rather than plain error: leaf
+//! predictions pick `argmin_j Σ_i C[label_i][j]`, and splits greedily reduce
+//! total leaf cost (with a small Gini tie-breaker so that cost plateaus do
+//! not stall induction).
+
+/// Hyper-parameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeOptions {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_leaf: usize,
+    /// Maximum number of candidate thresholds examined per feature
+    /// (quantile-spaced); bounds induction cost on large data.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            max_depth: 12,
+            min_split: 4,
+            min_leaf: 1,
+            max_thresholds: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted cost-sensitive decision tree over dense `f64` features and
+/// `usize` class labels.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    num_classes: usize,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x` (rows = samples) and `labels` (`0..num_classes`),
+    /// minimizing expected cost under `cost` — a `num_classes × num_classes`
+    /// matrix where `cost[i][j]` is the penalty for predicting `j` on a
+    /// sample labeled `i`. Pass a 0/1 matrix for plain accuracy.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, row lengths differ, labels are out of range,
+    /// or `cost` is not `num_classes × num_classes`.
+    pub fn fit(
+        x: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        cost: &[Vec<f64>],
+        opts: TreeOptions,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on no samples");
+        assert_eq!(x.len(), labels.len(), "x/labels length mismatch");
+        let num_features = x[0].len();
+        assert!(
+            x.iter().all(|r| r.len() == num_features),
+            "inconsistent feature dimensions"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        assert_eq!(cost.len(), num_classes, "cost matrix rows");
+        assert!(
+            cost.iter().all(|r| r.len() == num_classes),
+            "cost matrix cols"
+        );
+
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = Self::build(x, labels, num_classes, cost, &idx, 0, &opts);
+        DecisionTree {
+            root,
+            num_classes,
+            num_features,
+        }
+    }
+
+    /// Convenience: fit with the 0/1 cost matrix (plain misclassification).
+    pub fn fit_plain(
+        x: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        opts: TreeOptions,
+    ) -> Self {
+        let cost: Vec<Vec<f64>> = (0..num_classes)
+            .map(|i| {
+                (0..num_classes)
+                    .map(|j| if i == j { 0.0 } else { 1.0 })
+                    .collect()
+            })
+            .collect();
+        Self::fit(x, labels, num_classes, &cost, opts)
+    }
+
+    fn class_counts(labels: &[usize], idx: &[usize], num_classes: usize) -> Vec<f64> {
+        let mut counts = vec![0.0; num_classes];
+        for &i in idx {
+            counts[labels[i]] += 1.0;
+        }
+        counts
+    }
+
+    /// Expected cost of the best single prediction for a node, plus that
+    /// prediction. Gini impurity is blended in at 1e-6 weight to break ties.
+    fn node_cost(counts: &[f64], cost: &[Vec<f64>]) -> (f64, usize) {
+        let total: f64 = counts.iter().sum();
+        let mut best = (f64::INFINITY, 0usize);
+        for j in 0..counts.len() {
+            let c: f64 = counts.iter().enumerate().map(|(i, n)| n * cost[i][j]).sum();
+            if c < best.0 {
+                best = (c, j);
+            }
+        }
+        if total > 0.0 {
+            let gini: f64 = 1.0
+                - counts
+                    .iter()
+                    .map(|n| {
+                        let p = n / total;
+                        p * p
+                    })
+                    .sum::<f64>();
+            best.0 += 1e-6 * gini * total;
+        }
+        best
+    }
+
+    fn build(
+        x: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        cost: &[Vec<f64>],
+        idx: &[usize],
+        depth: usize,
+        opts: &TreeOptions,
+    ) -> Node {
+        let counts = Self::class_counts(labels, idx, num_classes);
+        let (parent_cost, majority) = Self::node_cost(&counts, cost);
+        let pure = counts.iter().filter(|&&c| c > 0.0).count() <= 1;
+        if pure || depth >= opts.max_depth || idx.len() < opts.min_split {
+            return Node::Leaf { class: majority };
+        }
+
+        let num_features = x[0].len();
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, feature, threshold)
+        for f in 0..num_features {
+            let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Quantile-spaced candidate thresholds (midpoints).
+            let step = ((values.len() - 1) as f64 / opts.max_thresholds as f64).max(1.0);
+            let mut t = 0.0;
+            while (t as usize) < values.len() - 1 {
+                let v = t as usize;
+                let threshold = (values[v] + values[v + 1]) / 2.0;
+                t += step;
+
+                let mut left_counts = vec![0.0; num_classes];
+                let mut right_counts = vec![0.0; num_classes];
+                let mut left_n = 0usize;
+                for &i in idx {
+                    if x[i][f] <= threshold {
+                        left_counts[labels[i]] += 1.0;
+                        left_n += 1;
+                    } else {
+                        right_counts[labels[i]] += 1.0;
+                    }
+                }
+                let right_n = idx.len() - left_n;
+                if left_n < opts.min_leaf || right_n < opts.min_leaf {
+                    continue;
+                }
+                let (lc, _) = Self::node_cost(&left_counts, cost);
+                let (rc, _) = Self::node_cost(&right_counts, cost);
+                let split_cost = lc + rc;
+                if best.map_or(true, |(b, _, _)| split_cost < b) {
+                    best = Some((split_cost, f, threshold));
+                }
+            }
+        }
+
+        match best {
+            Some((split_cost, feature, threshold)) if split_cost < parent_cost - 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] <= threshold);
+                let left = Self::build(x, labels, num_classes, cost, &left_idx, depth + 1, opts);
+                let right = Self::build(x, labels, num_classes, cost, &right_idx, depth + 1, opts);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+            _ => Node::Leaf { class: majority },
+        }
+    }
+
+    /// Predicts the class of one sample.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the training dimensionality.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.num_features, "dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of classes the tree was trained with.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of input features the tree expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of leaves (model-complexity diagnostic).
+    pub fn num_leaves(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => walk(left) + walk(right),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly separable classes on feature 0.
+    fn separable() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = i as f64;
+            x.push(vec![v, (i % 7) as f64]);
+            y.push(if v < 20.0 { 0 } else { 1 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_separable_data_perfectly() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        for (row, &label) in x.iter().zip(&y) {
+            assert_eq!(t.predict(row), label);
+        }
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let t = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_stump() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_plain(
+            &x,
+            &y,
+            2,
+            TreeOptions {
+                max_depth: 0,
+                ..TreeOptions::default()
+            },
+        );
+        assert_eq!(t.num_leaves(), 1);
+    }
+
+    #[test]
+    fn cost_matrix_biases_leaf_prediction() {
+        // 70% class 0, 30% class 1 — but predicting 0 on a true 1 is 10x
+        // worse than the reverse, so the cost-optimal stump predicts 1.
+        let x: Vec<Vec<f64>> = (0..10).map(|_| vec![0.0]).collect();
+        let y = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let cost = vec![vec![0.0, 1.0], vec![10.0, 0.0]];
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            2,
+            &cost,
+            TreeOptions {
+                max_depth: 0,
+                ..TreeOptions::default()
+            },
+        );
+        assert_eq!(t.predict(&[0.0]), 1);
+    }
+
+    #[test]
+    fn irrelevant_feature_ignored() {
+        // Feature 1 is constant; the split must be on feature 0.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 5.0]).collect();
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let t = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        assert_eq!(t.predict(&[3.0, 5.0]), 0);
+        assert_eq!(t.predict(&[15.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn multiclass_checkerboard() {
+        // Four quadrants, four classes.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                x.push(vec![i as f64, j as f64]);
+                y.push(usize::from(i >= 6) * 2 + usize::from(j >= 6));
+            }
+        }
+        let t = DecisionTree::fit_plain(&x, &y, 4, TreeOptions::default());
+        let errors = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &l)| t.predict(row) != l)
+            .count();
+        assert_eq!(errors, 0);
+        assert!(t.num_leaves() >= 4);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let (x, y) = separable();
+        let t = DecisionTree::fit_plain(
+            &x,
+            &y,
+            2,
+            TreeOptions {
+                min_leaf: 40, // cannot split without starving a side
+                ..TreeOptions::default()
+            },
+        );
+        assert_eq!(t.num_leaves(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = DecisionTree::fit_plain(&[vec![0.0]], &[5], 2, TreeOptions::default());
+    }
+}

@@ -1,0 +1,353 @@
+//! K-means clustering with K-means++ seeding (Lloyd's algorithm).
+//!
+//! Level 1, Step 2 of the pipeline clusters training inputs in normalized
+//! feature space "by running a standard clustering algorithm (e.g., K-means)
+//! on the feature vectors" and takes each cluster's centroid as the
+//! representative input to autotune (100 clusters in the paper).
+
+use crate::stats::euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansOptions {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for K-means++ seeding.
+    pub seed: u64,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+}
+
+impl Default for KMeansOptions {
+    fn default() -> Self {
+        KMeansOptions {
+            k: 8,
+            max_iters: 100,
+            seed: 0,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// A fitted K-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Runs K-means++ seeding followed by Lloyd iterations.
+    ///
+    /// `k` is clamped to the number of points. Empty clusters are repaired by
+    /// re-seeding them at the point farthest from its assigned centroid.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `opts.k == 0`, or rows have inconsistent
+    /// lengths.
+    pub fn fit(points: &[Vec<f64>], opts: KMeansOptions) -> Self {
+        assert!(!points.is_empty(), "kmeans requires at least one point");
+        assert!(opts.k > 0, "kmeans requires k > 0");
+        let dims = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "inconsistent point dimensions"
+        );
+        let k = opts.k.min(points.len());
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        let mut centroids = Self::plus_plus_seeds(points, k, &mut rng);
+        let mut labels = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for _ in 0..opts.max_iters {
+            iterations += 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                labels[i] = Self::nearest(&centroids, p).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dims]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &l) in points.iter().zip(&labels) {
+                counts[l] += 1;
+                for (s, x) in sums[l].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the worst-fitted point.
+                    let (far_idx, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i, euclidean(p, &centroids[labels[i]])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .expect("nonempty points");
+                    movement += euclidean(&centroids[c], &points[far_idx]);
+                    centroids[c] = points[far_idx].clone();
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += euclidean(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement <= opts.tol {
+                break;
+            }
+        }
+
+        // Final assignment + inertia.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (l, d) = Self::nearest(&centroids, p);
+            labels[i] = l;
+            inertia += d * d;
+        }
+
+        KMeans {
+            centroids,
+            labels,
+            inertia,
+            iterations,
+        }
+    }
+
+    fn plus_plus_seeds(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let first = rng.gen_range(0..points.len());
+        let mut centroids = vec![points[first].clone()];
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let d = euclidean(p, &centroids[0]);
+                d * d
+            })
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let idx = if total <= 0.0 {
+                rng.gen_range(0..points.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = points.len() - 1;
+                for (i, w) in d2.iter().enumerate() {
+                    if target < *w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen
+            };
+            centroids.push(points[idx].clone());
+            for (i, p) in points.iter().enumerate() {
+                let d = euclidean(p, centroids.last().expect("just pushed"));
+                d2[i] = d2[i].min(d * d);
+            }
+        }
+        centroids
+    }
+
+    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = euclidean(p, centroid);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster label per training point.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sum of squared distances of points to their centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations actually run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Predicts the nearest cluster for a new point.
+    pub fn predict(&self, p: &[f64]) -> usize {
+        Self::nearest(&self.centroids, p).0
+    }
+
+    /// Index of the training point nearest to each centroid (the *medoid*):
+    /// the realizable representative we autotune on, standing in for the
+    /// paper's "use the centroid as the presumed input".
+    pub fn medoids(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        self.centroids
+            .iter()
+            .map(|c| {
+                points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, euclidean(p, c)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .expect("nonempty points")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Three tight, well-separated blobs.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for i in 0..20 {
+                let dx = (i as f64 * 0.7).sin() * 0.3;
+                let dy = (i as f64 * 1.3).cos() * 0.3;
+                pts.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs();
+        let km = KMeans::fit(
+            &pts,
+            KMeansOptions {
+                k: 3,
+                ..KMeansOptions::default()
+            },
+        );
+        // All points in each blob share a label and labels differ across blobs.
+        for blob in 0..3 {
+            let first = km.labels()[blob * 20];
+            for i in 0..20 {
+                assert_eq!(km.labels()[blob * 20 + i], first, "blob {blob} split");
+            }
+        }
+        let distinct: std::collections::HashSet<_> = km.labels().iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn labels_in_range_and_predict_consistent() {
+        let pts = blobs();
+        let km = KMeans::fit(
+            &pts,
+            KMeansOptions {
+                k: 5,
+                ..KMeansOptions::default()
+            },
+        );
+        for (i, p) in pts.iter().enumerate() {
+            assert!(km.labels()[i] < km.centroids().len());
+            assert_eq!(km.predict(p), km.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(
+            &pts,
+            KMeansOptions {
+                k: 10,
+                ..KMeansOptions::default()
+            },
+        );
+        assert_eq!(km.centroids().len(), 2);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let pts = blobs();
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 3, 6] {
+            let km = KMeans::fit(
+                &pts,
+                KMeansOptions {
+                    k,
+                    seed: 1,
+                    ..KMeansOptions::default()
+                },
+            );
+            assert!(
+                km.inertia() <= last + 1e-9,
+                "k={k} inertia {} above previous {last}",
+                km.inertia()
+            );
+            last = km.inertia();
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blobs();
+        let a = KMeans::fit(&pts, KMeansOptions::default());
+        let b = KMeans::fit(&pts, KMeansOptions::default());
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn medoids_are_members_near_centroids() {
+        let pts = blobs();
+        let km = KMeans::fit(
+            &pts,
+            KMeansOptions {
+                k: 3,
+                ..KMeansOptions::default()
+            },
+        );
+        let medoids = km.medoids(&pts);
+        assert_eq!(medoids.len(), 3);
+        for (c, &m) in medoids.iter().enumerate() {
+            assert!(m < pts.len());
+            // The medoid belongs to the cluster it represents.
+            assert_eq!(km.labels()[m], c);
+        }
+    }
+
+    #[test]
+    fn centroid_is_mean_of_members() {
+        let pts = blobs();
+        let km = KMeans::fit(
+            &pts,
+            KMeansOptions {
+                k: 3,
+                ..KMeansOptions::default()
+            },
+        );
+        for c in 0..3 {
+            let members: Vec<&Vec<f64>> = pts
+                .iter()
+                .zip(km.labels())
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
+            for d in 0..2 {
+                let mean: f64 = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+                assert!((mean - km.centroids()[c][d]).abs() < 1e-9);
+            }
+        }
+    }
+}

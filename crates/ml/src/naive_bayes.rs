@@ -1,0 +1,282 @@
+//! Discretized naive Bayes with incremental posterior evaluation.
+//!
+//! This powers the paper's **Incremental Feature Examination classifier**:
+//! every feature is divided into decision regions `{d₁ … d_j}`, per-region
+//! per-class likelihoods `P(f ∈ d | L = k)` are estimated from training
+//! data (Laplace-smoothed), and at deployment features are acquired *one at
+//! a time* — cheapest first — updating the class posterior (Eq. 1 of the
+//! paper) until it clears a confidence threshold Λ, at which point
+//! classification stops and remaining features are never paid for.
+
+use crate::stats::quantile;
+
+/// Per-feature discretization into decision regions by training-data
+/// quantiles.
+#[derive(Debug, Clone, PartialEq)]
+struct Regions {
+    /// Ascending inner thresholds; region = #thresholds ≤ value.
+    thresholds: Vec<f64>,
+}
+
+impl Regions {
+    fn fit(values: &[f64], regions: usize) -> Self {
+        let mut thresholds = Vec::with_capacity(regions.saturating_sub(1));
+        for r in 1..regions {
+            let q = r as f64 / regions as f64;
+            if let Some(t) = quantile(values, q) {
+                thresholds.push(t);
+            }
+        }
+        thresholds.dedup();
+        Regions { thresholds }
+    }
+
+    fn region_of(&self, value: f64) -> usize {
+        self.thresholds.iter().filter(|t| value > **t).count()
+    }
+
+    fn count(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+}
+
+/// A fitted discretized naive-Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    priors: Vec<f64>,
+    regions: Vec<Regions>,
+    /// `likelihood[f][r][k] = P(feature f in region r | class k)`.
+    likelihood: Vec<Vec<Vec<f64>>>,
+    num_classes: usize,
+}
+
+impl NaiveBayes {
+    /// Fits the model with `regions_per_feature` quantile regions.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, lengths mismatch, or labels out of range.
+    pub fn fit(
+        x: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        regions_per_feature: usize,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit naive bayes on no samples");
+        assert_eq!(x.len(), labels.len(), "x/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        let num_features = x[0].len();
+        let n = x.len() as f64;
+
+        // Priors with Laplace smoothing.
+        let mut class_counts = vec![0.0; num_classes];
+        for &l in labels {
+            class_counts[l] += 1.0;
+        }
+        let priors: Vec<f64> = class_counts
+            .iter()
+            .map(|c| (c + 1.0) / (n + num_classes as f64))
+            .collect();
+
+        // Discretize each feature on the pooled values.
+        let regions: Vec<Regions> = (0..num_features)
+            .map(|f| {
+                let col: Vec<f64> = x.iter().map(|r| r[f]).collect();
+                Regions::fit(&col, regions_per_feature.max(2))
+            })
+            .collect();
+
+        // Likelihoods with Laplace smoothing.
+        let mut likelihood = vec![Vec::new(); num_features];
+        for f in 0..num_features {
+            let r_count = regions[f].count();
+            let mut counts = vec![vec![0.0; num_classes]; r_count];
+            for (row, &l) in x.iter().zip(labels) {
+                counts[regions[f].region_of(row[f])][l] += 1.0;
+            }
+            likelihood[f] = counts
+                .iter()
+                .map(|per_class| {
+                    per_class
+                        .iter()
+                        .enumerate()
+                        .map(|(k, c)| (c + 1.0) / (class_counts[k] + r_count as f64))
+                        .collect()
+                })
+                .collect();
+        }
+
+        NaiveBayes {
+            priors,
+            regions,
+            likelihood,
+            num_classes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Full-evidence prediction using all features of `row`.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the training dimensionality.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut inc = self.start();
+        for (f, v) in row.iter().enumerate() {
+            inc.observe(f, *v);
+        }
+        inc.argmax()
+    }
+
+    /// Starts an incremental evaluation with the class priors.
+    pub fn start(&self) -> IncrementalPosterior<'_> {
+        IncrementalPosterior {
+            model: self,
+            log_posterior: self.priors.iter().map(|p| p.ln()).collect(),
+        }
+    }
+}
+
+/// An in-flight incremental posterior (Eq. 1): observe features one at a
+/// time and stop as soon as [`IncrementalPosterior::confident`] clears the
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct IncrementalPosterior<'m> {
+    model: &'m NaiveBayes,
+    log_posterior: Vec<f64>,
+}
+
+impl IncrementalPosterior<'_> {
+    /// Folds in the observation that feature `f` has `value`.
+    ///
+    /// # Panics
+    /// Panics if `f` is out of range.
+    pub fn observe(&mut self, f: usize, value: f64) {
+        let region = self.model.regions[f].region_of(value);
+        for (k, lp) in self.log_posterior.iter_mut().enumerate() {
+            *lp += self.model.likelihood[f][region][k].ln();
+        }
+    }
+
+    /// The normalized posterior distribution over classes.
+    pub fn posterior(&self) -> Vec<f64> {
+        let max = self
+            .log_posterior
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let unnorm: Vec<f64> = self
+            .log_posterior
+            .iter()
+            .map(|lp| (lp - max).exp())
+            .collect();
+        let z: f64 = unnorm.iter().sum();
+        unnorm.iter().map(|u| u / z).collect()
+    }
+
+    /// The currently most probable class.
+    pub fn argmax(&self) -> usize {
+        self.log_posterior
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    /// Returns `Some(class)` when the posterior of the best class exceeds
+    /// `threshold` (the paper's Λ); `None` means acquire more features.
+    pub fn confident(&self, threshold: f64) -> Option<usize> {
+        let post = self.posterior();
+        let best = self.argmax();
+        (post[best] > threshold).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Class 0 clusters near 0, class 1 near 10 on feature 0; feature 1 is
+    /// uninformative noise.
+    fn data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let noise = (i % 5) as f64;
+            x.push(vec![(i % 3) as f64 * 0.5, noise]);
+            y.push(0);
+            x.push(vec![10.0 + (i % 3) as f64 * 0.5, noise]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn predicts_separable_classes() {
+        let (x, y) = data();
+        let nb = NaiveBayes::fit(&x, &y, 2, 4);
+        for (row, &l) in x.iter().zip(&y) {
+            assert_eq!(nb.predict(row), l);
+        }
+    }
+
+    #[test]
+    fn posterior_normalized() {
+        let (x, y) = data();
+        let nb = NaiveBayes::fit(&x, &y, 2, 4);
+        let mut inc = nb.start();
+        inc.observe(0, 0.3);
+        let p = inc.posterior();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn informative_feature_raises_confidence() {
+        let (x, y) = data();
+        let nb = NaiveBayes::fit(&x, &y, 2, 4);
+        let mut inc = nb.start();
+        // Uninformative feature first: confidence stays moderate.
+        inc.observe(1, 2.0);
+        let before = inc.posterior()[inc.argmax()];
+        // Decisive feature: confidence jumps.
+        inc.observe(0, 10.2);
+        let after = inc.posterior()[inc.argmax()];
+        assert!(after > before);
+        assert_eq!(inc.argmax(), 1);
+        assert_eq!(inc.confident(0.9), Some(1));
+    }
+
+    #[test]
+    fn confidence_gate_blocks_on_priors() {
+        let (x, y) = data();
+        let nb = NaiveBayes::fit(&x, &y, 2, 4);
+        let inc = nb.start();
+        // Balanced priors: no class clears a 0.9 bar without evidence.
+        assert_eq!(inc.confident(0.9), None);
+    }
+
+    #[test]
+    fn skewed_priors_dominate_without_evidence() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let mut y = vec![0; 20];
+        y[0] = 1; // 19:1 prior skew
+        let nb = NaiveBayes::fit(&x, &y, 2, 2);
+        assert_eq!(nb.start().argmax(), 0);
+    }
+
+    #[test]
+    fn region_count_respects_duplicates() {
+        // Constant feature collapses to one region and predicts from priors.
+        let x: Vec<Vec<f64>> = (0..10).map(|_| vec![7.0]).collect();
+        let y: Vec<usize> = (0..10).map(|i| usize::from(i >= 7)).collect();
+        let nb = NaiveBayes::fit(&x, &y, 2, 4);
+        assert_eq!(nb.predict(&[7.0]), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Z-score normalization of feature matrices.
+//!
+//! Level 1 of the pipeline normalizes input feature vectors before
+//! clustering "to avoid biases imposed by the different value scales in
+//! different dimensions".
+
+use crate::stats::{mean, stddev};
+
+/// A fitted per-dimension z-score transform `x ↦ (x − μ) / σ`.
+/// Dimensions with zero variance map to 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScore {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fits means and standard deviations column-wise over `rows`.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a normalizer on no rows");
+        let dims = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == dims),
+            "inconsistent row lengths"
+        );
+        let mut means = Vec::with_capacity(dims);
+        let mut stds = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let col: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+            means.push(mean(&col));
+            stds.push(stddev(&col));
+        }
+        ZScore { means, stds }
+    }
+
+    /// Number of dimensions this normalizer was fitted on.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Transforms many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Inverse transform of one normalized row (zero-variance dims recover
+    /// their mean).
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(z, (m, s))| if *s > 0.0 { z * s + m } else { *m })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn transformed_columns_are_standardized() {
+        let z = ZScore::fit(&rows());
+        let t = z.transform_all(&rows());
+        for d in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[d]).collect();
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((stddev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let z = ZScore::fit(&rows());
+        for r in z.transform_all(&rows()) {
+            assert_eq!(r[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        let z = ZScore::fit(&rows());
+        for r in rows() {
+            let back = z.inverse(&z.transform(&r));
+            for (a, b) in back.iter().zip(&r) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transform_validates_dims() {
+        let z = ZScore::fit(&rows());
+        let _ = z.transform(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn fit_requires_rows() {
+        let _ = ZScore::fit(&[]);
+    }
+}

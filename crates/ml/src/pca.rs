@@ -1,0 +1,150 @@
+//! Principal component analysis.
+//!
+//! Included to reproduce the paper's §1 observation: *"Standard unsupervised
+//! feature selection (e.g., PCA) does not solve the [mapping disparity]
+//! problem"* — PCA finds directions of input-feature variance, which need
+//! not align with configuration-performance behaviour. The ablation harness
+//! contrasts PCA-reduced one-level clustering against the two-level method.
+
+use intune_linalg::eigen::symmetric_eigen;
+use intune_linalg::Matrix;
+
+use crate::stats::mean;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// `components[c]` is the c-th principal axis (unit vector).
+    components: Vec<Vec<f64>>,
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `num_components` principal axes from `rows`.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty, rows have inconsistent lengths, or
+    /// `num_components` exceeds the dimensionality.
+    pub fn fit(rows: &[Vec<f64>], num_components: usize) -> Self {
+        assert!(!rows.is_empty(), "cannot fit PCA on no rows");
+        let dims = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == dims),
+            "inconsistent row lengths"
+        );
+        assert!(
+            num_components >= 1 && num_components <= dims,
+            "components {num_components} out of range for {dims} dims"
+        );
+
+        let means: Vec<f64> = (0..dims)
+            .map(|d| mean(&rows.iter().map(|r| r[d]).collect::<Vec<_>>()))
+            .collect();
+
+        // Covariance matrix.
+        let n = rows.len() as f64;
+        let cov = Matrix::from_fn(dims, dims, |i, j| {
+            rows.iter()
+                .map(|r| (r[i] - means[i]) * (r[j] - means[j]))
+                .sum::<f64>()
+                / n
+        });
+
+        let eig = symmetric_eigen(&cov, 1e-12, 100);
+        let components: Vec<Vec<f64>> = (0..num_components).map(|c| eig.vectors.col(c)).collect();
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let explained: Vec<f64> = eig
+            .values
+            .iter()
+            .take(num_components)
+            .map(|v| if total > 0.0 { v.max(0.0) / total } else { 0.0 })
+            .collect();
+
+        Pca {
+            means,
+            components,
+            explained,
+        }
+    }
+
+    /// Fraction of total variance captured per component, descending.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Projects one row onto the fitted components.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                row.iter()
+                    .zip(axis)
+                    .zip(&self.means)
+                    .map(|((x, a), m)| (x - m) * a)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the y = 2x line with tiny perpendicular noise.
+    fn line_data() -> Vec<Vec<f64>> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64 / 5.0 - 5.0;
+                let noise = ((i * 17) % 7) as f64 * 0.01 - 0.03;
+                vec![t - 2.0 * noise, 2.0 * t + noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let pca = Pca::fit(&line_data(), 2);
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.99, "first PC explains {}", ratios[0]);
+        // First axis parallel to (1, 2)/√5.
+        let axis = &pca.transform(&[1.0, 2.0]);
+        let back = &pca.transform(&[0.0, 0.0]);
+        let along = (axis[0] - back[0]).abs();
+        let across = (axis[1] - back[1]).abs();
+        assert!(along > 10.0 * across, "along {along}, across {across}");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = line_data();
+        let pca = Pca::fit(&data, 1);
+        let projected = pca.transform_all(&data);
+        let m = mean(&projected.iter().map(|p| p[0]).collect::<Vec<_>>());
+        assert!(m.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_sum_to_at_most_one() {
+        let pca = Pca::fit(&line_data(), 2);
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(sum > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_components_panics() {
+        let _ = Pca::fit(&line_data(), 3);
+    }
+}

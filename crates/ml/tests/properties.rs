@@ -1,0 +1,139 @@
+//! Property-based tests for the ML substrate.
+
+use intune_ml::crossval::train_test_split;
+use intune_ml::{DecisionTree, KFold, KMeans, KMeansOptions, NaiveBayes, TreeOptions, ZScore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Trees never predict out-of-range classes and always fit pure data
+    /// perfectly.
+    #[test]
+    fn tree_predictions_in_range(
+        rows in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 4..60),
+        classes in 2usize..5,
+    ) {
+        let labels: Vec<usize> = (0..rows.len()).map(|i| i % classes).collect();
+        let tree = DecisionTree::fit_plain(&rows, &labels, classes, TreeOptions::default());
+        for row in &rows {
+            prop_assert!(tree.predict(row) < classes);
+        }
+        prop_assert!(tree.depth() <= TreeOptions::default().max_depth);
+    }
+
+    /// A tree trained on label = sign(feature 0) learns it exactly whenever
+    /// the feature is duplicate-free.
+    #[test]
+    fn tree_learns_threshold(
+        mut xs in prop::collection::vec(-100.0f64..100.0, 10..80),
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        prop_assume!(xs.len() >= 10);
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let labels: Vec<usize> = xs.iter().map(|&x| usize::from(x > 0.0)).collect();
+        prop_assume!(labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1));
+        // Unregularized tree: one clean threshold exists, so perfect
+        // separation must be reachable (min_split would otherwise leave
+        // small mixed leaves by design).
+        let opts = TreeOptions {
+            min_split: 2,
+            min_leaf: 1,
+            max_thresholds: 128,
+            ..TreeOptions::default()
+        };
+        let tree = DecisionTree::fit_plain(&rows, &labels, 2, opts);
+        for (row, &label) in rows.iter().zip(&labels) {
+            prop_assert_eq!(tree.predict(row), label);
+        }
+    }
+
+    /// K-fold covers every index exactly once across test folds.
+    #[test]
+    fn kfold_partitions(n in 10usize..200, k in 2usize..10, seed in 0u64..100) {
+        prop_assume!(k <= n);
+        let kf = KFold::new(n, k, seed);
+        let mut seen = vec![false; n];
+        for (train, test) in kf.splits() {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &t in test {
+                prop_assert!(!seen[t], "index {} in two test folds", t);
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Train/test split is a disjoint cover with the requested size.
+    #[test]
+    fn split_covers(n in 4usize..500, frac in 0.1f64..0.9, seed in 0u64..100) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Naive Bayes posteriors always normalize and predictions stay in
+    /// range.
+    #[test]
+    fn nb_posterior_normalized(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 2), 6..60),
+        classes in 2usize..4,
+    ) {
+        let labels: Vec<usize> = (0..rows.len()).map(|i| i % classes).collect();
+        let nb = NaiveBayes::fit(&rows, &labels, classes, 4);
+        for row in &rows {
+            let mut inc = nb.start();
+            for (f, v) in row.iter().enumerate() {
+                inc.observe(f, *v);
+                let p = inc.posterior();
+                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(p.iter().all(|x| *x >= 0.0));
+            }
+            prop_assert!(nb.predict(row) < classes);
+        }
+    }
+
+    /// K-means labels agree with predict() and centroids are member means.
+    #[test]
+    fn kmeans_centroid_is_member_mean(
+        pts in prop::collection::vec(prop::collection::vec(-20.0f64..20.0, 2), 6..80),
+        k in 1usize..6,
+    ) {
+        let km = KMeans::fit(&pts, KMeansOptions { k, ..KMeansOptions::default() });
+        for (i, p) in pts.iter().enumerate() {
+            prop_assert_eq!(km.predict(p), km.labels()[i]);
+        }
+        for c in 0..km.centroids().len() {
+            let members: Vec<&Vec<f64>> = pts
+                .iter()
+                .zip(km.labels())
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for d in 0..2 {
+                let mean: f64 = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+                prop_assert!((mean - km.centroids()[c][d]).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Z-score transform standardizes every non-constant column.
+    #[test]
+    fn zscore_standardizes(
+        rows in prop::collection::vec(prop::collection::vec(-1e3f64..1e3, 3), 3..60),
+    ) {
+        let z = ZScore::fit(&rows);
+        let t = z.transform_all(&rows);
+        for d in 0..3 {
+            let col: Vec<f64> = t.iter().map(|r| r[d]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-7, "column {} mean {}", d, mean);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! 2-D discretization: 5-point Laplacian with optional zeroth-order
+//! coefficient on the unit square, homogeneous Dirichlet boundaries,
+//! interior grid of `n × n` points, `h = 1/(n+1)`.
+
+use crate::level::{Level, Smoother};
+use intune_linalg::Matrix;
+
+/// One 2-D grid level of `(-∆ + c)·u = f`.
+#[derive(Debug, Clone)]
+pub struct Grid2d {
+    n: usize,
+    h: f64,
+    /// Optional per-point zeroth-order coefficient `c ≥ 0`.
+    coeff: Option<Vec<f64>>,
+}
+
+impl Grid2d {
+    /// A pure Poisson level (`c = 0`) with `n × n` interior points.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn poisson(n: usize) -> Self {
+        assert!(n > 0, "grid needs at least one interior point");
+        Grid2d {
+            n,
+            h: 1.0 / (n as f64 + 1.0),
+            coeff: None,
+        }
+    }
+
+    /// A screened-Poisson level with per-point coefficient `c` (length n²).
+    ///
+    /// # Panics
+    /// Panics if `coeff.len() != n * n` or any coefficient is negative.
+    pub fn screened(n: usize, coeff: Vec<f64>) -> Self {
+        assert_eq!(coeff.len(), n * n, "coefficient field shape");
+        assert!(
+            coeff.iter().all(|c| *c >= 0.0),
+            "coefficients must be >= 0 for SPD"
+        );
+        Grid2d {
+            n,
+            h: 1.0 / (n as f64 + 1.0),
+            coeff: Some(coeff),
+        }
+    }
+
+    /// Interior points per dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Grid spacing.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    #[inline]
+    fn at(&self, u: &[f64], i: i64, j: i64) -> f64 {
+        let n = self.n as i64;
+        if i < 0 || j < 0 || i >= n || j >= n {
+            0.0 // Dirichlet boundary
+        } else {
+            u[(i * n + j) as usize]
+        }
+    }
+
+    #[inline]
+    fn c(&self, idx: usize) -> f64 {
+        self.coeff.as_ref().map_or(0.0, |c| c[idx])
+    }
+
+    fn gauss_seidel_pass(&self, omega: f64, u: &mut [f64], f: &[f64], parity: Option<usize>) {
+        let n = self.n;
+        let h2 = self.h * self.h;
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(p) = parity {
+                    if (i + j) % 2 != p {
+                        continue;
+                    }
+                }
+                let idx = i * n + j;
+                let nb = self.at(u, i as i64 - 1, j as i64)
+                    + self.at(u, i as i64 + 1, j as i64)
+                    + self.at(u, i as i64, j as i64 - 1)
+                    + self.at(u, i as i64, j as i64 + 1);
+                let diag = 4.0 / h2 + self.c(idx);
+                let gs = (f[idx] + nb / h2) / diag;
+                u[idx] = (1.0 - omega) * u[idx] + omega * gs;
+            }
+        }
+    }
+}
+
+impl Level for Grid2d {
+    fn unknowns(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn apply(&self, u: &[f64], out: &mut [f64]) -> f64 {
+        let n = self.n;
+        let h2 = self.h * self.h;
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                let nb = self.at(u, i as i64 - 1, j as i64)
+                    + self.at(u, i as i64 + 1, j as i64)
+                    + self.at(u, i as i64, j as i64 - 1)
+                    + self.at(u, i as i64, j as i64 + 1);
+                out[idx] = (4.0 * u[idx] - nb) / h2 + self.c(idx) * u[idx];
+            }
+        }
+        8.0 * self.unknowns() as f64
+    }
+
+    fn smooth(
+        &self,
+        smoother: Smoother,
+        omega: f64,
+        u: &mut [f64],
+        f: &[f64],
+        sweeps: usize,
+    ) -> f64 {
+        let n2 = self.unknowns() as f64;
+        let mut flops = 0.0;
+        for _ in 0..sweeps {
+            match smoother {
+                Smoother::Jacobi => {
+                    let mut au = vec![0.0; u.len()];
+                    flops += self.apply(u, &mut au);
+                    let h2 = self.h * self.h;
+                    let w = if omega > 0.0 { omega.min(1.0) } else { 0.8 };
+                    for idx in 0..u.len() {
+                        let diag = 4.0 / h2 + self.c(idx);
+                        u[idx] += w * (f[idx] - au[idx]) / diag;
+                    }
+                    flops += 4.0 * n2;
+                }
+                Smoother::GaussSeidel => {
+                    self.gauss_seidel_pass(1.0, u, f, None);
+                    flops += 8.0 * n2;
+                }
+                Smoother::Sor => {
+                    self.gauss_seidel_pass(omega.clamp(0.1, 1.95), u, f, None);
+                    flops += 10.0 * n2;
+                }
+                Smoother::RedBlack => {
+                    self.gauss_seidel_pass(1.0, u, f, Some(0));
+                    self.gauss_seidel_pass(1.0, u, f, Some(1));
+                    flops += 9.0 * n2;
+                }
+            }
+        }
+        flops
+    }
+
+    fn restrict(&self, fine: &[f64]) -> (Vec<f64>, f64) {
+        let n = self.n;
+        let nc = (n - 1) / 2;
+        let mut coarse = vec![0.0; nc * nc];
+        for ci in 0..nc {
+            for cj in 0..nc {
+                let fi = (2 * ci + 1) as i64;
+                let fj = (2 * cj + 1) as i64;
+                let mut acc = 0.25 * self.at(fine, fi, fj);
+                for (di, dj, w) in [
+                    (-1i64, 0i64, 0.125),
+                    (1, 0, 0.125),
+                    (0, -1, 0.125),
+                    (0, 1, 0.125),
+                    (-1, -1, 0.0625),
+                    (-1, 1, 0.0625),
+                    (1, -1, 0.0625),
+                    (1, 1, 0.0625),
+                ] {
+                    acc += w * self.at(fine, fi + di, fj + dj);
+                }
+                coarse[ci * nc + cj] = acc;
+            }
+        }
+        (coarse, 10.0 * (nc * nc) as f64)
+    }
+
+    fn prolong_add(&self, coarse: &[f64], fine_u: &mut [f64]) -> f64 {
+        let n = self.n;
+        let nc = (n - 1) / 2;
+        let mut add = |i: i64, j: i64, v: f64| {
+            if i >= 0 && j >= 0 && (i as usize) < n && (j as usize) < n {
+                fine_u[i as usize * n + j as usize] += v;
+            }
+        };
+        for ci in 0..nc {
+            for cj in 0..nc {
+                let e = coarse[ci * nc + cj];
+                let fi = (2 * ci + 1) as i64;
+                let fj = (2 * cj + 1) as i64;
+                add(fi, fj, e);
+                add(fi - 1, fj, 0.5 * e);
+                add(fi + 1, fj, 0.5 * e);
+                add(fi, fj - 1, 0.5 * e);
+                add(fi, fj + 1, 0.5 * e);
+                add(fi - 1, fj - 1, 0.25 * e);
+                add(fi - 1, fj + 1, 0.25 * e);
+                add(fi + 1, fj - 1, 0.25 * e);
+                add(fi + 1, fj + 1, 0.25 * e);
+            }
+        }
+        9.0 * (nc * nc) as f64
+    }
+
+    fn coarser(&self) -> Option<Self> {
+        if self.n < 3 {
+            return None;
+        }
+        let nc = (self.n - 1) / 2;
+        if nc == 0 {
+            return None;
+        }
+        let coeff = self.coeff.as_ref().map(|c| {
+            // Injection at coincident points.
+            let n = self.n;
+            let mut out = vec![0.0; nc * nc];
+            for ci in 0..nc {
+                for cj in 0..nc {
+                    out[ci * nc + cj] = c[(2 * ci + 1) * n + (2 * cj + 1)];
+                }
+            }
+            out
+        });
+        Some(Grid2d {
+            n: nc,
+            h: 1.0 / (nc as f64 + 1.0),
+            coeff,
+        })
+    }
+
+    fn dense(&self) -> Matrix {
+        let n = self.n;
+        let un = self.unknowns();
+        let h2 = self.h * self.h;
+        let mut a = Matrix::zeros(un, un);
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                a[(idx, idx)] = 4.0 / h2 + self.c(idx);
+                let mut nb = |ii: i64, jj: i64| {
+                    if ii >= 0 && jj >= 0 && (ii as usize) < n && (jj as usize) < n {
+                        a[(idx, (ii as usize) * n + jj as usize)] = -1.0 / h2;
+                    }
+                };
+                nb(i as i64 - 1, j as i64);
+                nb(i as i64 + 1, j as i64);
+                nb(i as i64, j as i64 - 1);
+                nb(i as i64, j as i64 + 1);
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{mg_solve, residual, rms, MgOptions};
+
+    #[test]
+    fn apply_matches_dense() {
+        let g = Grid2d::poisson(5);
+        let a = g.dense();
+        let u: Vec<f64> = (0..25).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let mut out = vec![0.0; 25];
+        g.apply(&u, &mut out);
+        let via_dense = a.matvec(&u);
+        for i in 0..25 {
+            assert!((out[i] - via_dense[i]).abs() < 1e-9, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn screened_operator_adds_diagonal() {
+        let g0 = Grid2d::poisson(4);
+        let g1 = Grid2d::screened(4, vec![10.0; 16]);
+        let u = vec![1.0; 16];
+        let mut o0 = vec![0.0; 16];
+        let mut o1 = vec![0.0; 16];
+        g0.apply(&u, &mut o0);
+        g1.apply(&u, &mut o1);
+        for i in 0..16 {
+            assert!((o1[i] - o0[i] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchy_descends_to_none() {
+        let g = Grid2d::poisson(31);
+        let mut level = Some(g);
+        let mut sizes = Vec::new();
+        while let Some(l) = level {
+            sizes.push(l.n());
+            level = l.coarser();
+        }
+        assert_eq!(sizes, vec![31, 15, 7, 3, 1]);
+    }
+
+    #[test]
+    fn restriction_then_prolongation_preserves_smooth_mass() {
+        let g = Grid2d::poisson(15);
+        // A smooth field.
+        let fine: Vec<f64> = (0..225)
+            .map(|idx| {
+                let i = idx / 15;
+                let j = idx % 15;
+                ((i as f64) / 16.0 * std::f64::consts::PI).sin()
+                    * ((j as f64) / 16.0 * std::f64::consts::PI).sin()
+            })
+            .collect();
+        let (coarse, _) = g.restrict(&fine);
+        let mut back = vec![0.0; 225];
+        g.prolong_add(&coarse, &mut back);
+        // Smooth fields survive the round trip to within interpolation error.
+        let err: f64 = fine
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 225.0;
+        assert!(err < 0.2, "round-trip error {err}");
+    }
+
+    #[test]
+    fn screened_mg_converges() {
+        let n = 15;
+        let coeff: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64).collect();
+        let g = Grid2d::screened(n, coeff);
+        let f = vec![1.0; n * n];
+        let (u, _) = mg_solve(&g, &f, 10, &MgOptions::default());
+        let (r, _) = residual(&g, &u, &f);
+        assert!(rms(&r) / rms(&f) < 1e-6);
+    }
+}

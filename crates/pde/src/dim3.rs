@@ -1,0 +1,345 @@
+//! 3-D discretization: 7-point Laplacian with a variable zeroth-order
+//! coefficient on the unit cube (the screened-Poisson / SPD form of the
+//! variable-coefficient Helmholtz equation), homogeneous Dirichlet
+//! boundaries, interior grid of `n × n × n` points, `h = 1/(n+1)`.
+
+use crate::level::{Level, Smoother};
+use intune_linalg::Matrix;
+
+/// One 3-D grid level of `(-∆ + c(x))·u = f`.
+#[derive(Debug, Clone)]
+pub struct Grid3d {
+    n: usize,
+    h: f64,
+    coeff: Vec<f64>,
+}
+
+impl Grid3d {
+    /// A level with per-point coefficient `c` (length n³, all ≥ 0).
+    ///
+    /// # Panics
+    /// Panics if shapes mismatch or any coefficient is negative.
+    pub fn new(n: usize, coeff: Vec<f64>) -> Self {
+        assert!(n > 0, "grid needs at least one interior point");
+        assert_eq!(coeff.len(), n * n * n, "coefficient field shape");
+        assert!(
+            coeff.iter().all(|c| *c >= 0.0),
+            "coefficients must be >= 0 for SPD"
+        );
+        Grid3d {
+            n,
+            h: 1.0 / (n as f64 + 1.0),
+            coeff,
+        }
+    }
+
+    /// A constant-coefficient level.
+    pub fn constant(n: usize, c: f64) -> Self {
+        Grid3d::new(n, vec![c.max(0.0); n * n * n])
+    }
+
+    /// Interior points per dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    #[inline]
+    fn at(&self, u: &[f64], i: i64, j: i64, k: i64) -> f64 {
+        let n = self.n as i64;
+        if i < 0 || j < 0 || k < 0 || i >= n || j >= n || k >= n {
+            0.0
+        } else {
+            u[((i * n + j) * n + k) as usize]
+        }
+    }
+
+    fn neighbors_sum(&self, u: &[f64], i: usize, j: usize, k: usize) -> f64 {
+        let (i, j, k) = (i as i64, j as i64, k as i64);
+        self.at(u, i - 1, j, k)
+            + self.at(u, i + 1, j, k)
+            + self.at(u, i, j - 1, k)
+            + self.at(u, i, j + 1, k)
+            + self.at(u, i, j, k - 1)
+            + self.at(u, i, j, k + 1)
+    }
+
+    fn gauss_seidel_pass(&self, omega: f64, u: &mut [f64], f: &[f64], parity: Option<usize>) {
+        let n = self.n;
+        let h2 = self.h * self.h;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if let Some(p) = parity {
+                        if (i + j + k) % 2 != p {
+                            continue;
+                        }
+                    }
+                    let idx = self.idx(i, j, k);
+                    let nb = self.neighbors_sum(u, i, j, k);
+                    let diag = 6.0 / h2 + self.coeff[idx];
+                    let gs = (f[idx] + nb / h2) / diag;
+                    u[idx] = (1.0 - omega) * u[idx] + omega * gs;
+                }
+            }
+        }
+    }
+}
+
+impl Level for Grid3d {
+    fn unknowns(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    fn apply(&self, u: &[f64], out: &mut [f64]) -> f64 {
+        let n = self.n;
+        let h2 = self.h * self.h;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let idx = self.idx(i, j, k);
+                    let nb = self.neighbors_sum(u, i, j, k);
+                    out[idx] = (6.0 * u[idx] - nb) / h2 + self.coeff[idx] * u[idx];
+                }
+            }
+        }
+        10.0 * self.unknowns() as f64
+    }
+
+    fn smooth(
+        &self,
+        smoother: Smoother,
+        omega: f64,
+        u: &mut [f64],
+        f: &[f64],
+        sweeps: usize,
+    ) -> f64 {
+        let un = self.unknowns() as f64;
+        let mut flops = 0.0;
+        for _ in 0..sweeps {
+            match smoother {
+                Smoother::Jacobi => {
+                    let mut au = vec![0.0; u.len()];
+                    flops += self.apply(u, &mut au);
+                    let h2 = self.h * self.h;
+                    let w = if omega > 0.0 { omega.min(1.0) } else { 0.8 };
+                    for idx in 0..u.len() {
+                        let diag = 6.0 / h2 + self.coeff[idx];
+                        u[idx] += w * (f[idx] - au[idx]) / diag;
+                    }
+                    flops += 4.0 * un;
+                }
+                Smoother::GaussSeidel => {
+                    self.gauss_seidel_pass(1.0, u, f, None);
+                    flops += 10.0 * un;
+                }
+                Smoother::Sor => {
+                    self.gauss_seidel_pass(omega.clamp(0.1, 1.95), u, f, None);
+                    flops += 12.0 * un;
+                }
+                Smoother::RedBlack => {
+                    self.gauss_seidel_pass(1.0, u, f, Some(0));
+                    self.gauss_seidel_pass(1.0, u, f, Some(1));
+                    flops += 11.0 * un;
+                }
+            }
+        }
+        flops
+    }
+
+    fn restrict(&self, fine: &[f64]) -> (Vec<f64>, f64) {
+        let n = self.n;
+        let nc = (n - 1) / 2;
+        let mut coarse = vec![0.0; nc * nc * nc];
+        for ci in 0..nc {
+            for cj in 0..nc {
+                for ck in 0..nc {
+                    let (fi, fj, fk) = (
+                        (2 * ci + 1) as i64,
+                        (2 * cj + 1) as i64,
+                        (2 * ck + 1) as i64,
+                    );
+                    let mut acc = 0.0;
+                    for di in -1i64..=1 {
+                        for dj in -1i64..=1 {
+                            for dk in -1i64..=1 {
+                                let manhattan = di.abs() + dj.abs() + dk.abs();
+                                let w = match manhattan {
+                                    0 => 8.0,
+                                    1 => 4.0,
+                                    2 => 2.0,
+                                    _ => 1.0,
+                                } / 64.0;
+                                acc += w * self.at(fine, fi + di, fj + dj, fk + dk);
+                            }
+                        }
+                    }
+                    coarse[(ci * nc + cj) * nc + ck] = acc;
+                }
+            }
+        }
+        (coarse, 28.0 * (nc * nc * nc) as f64)
+    }
+
+    fn prolong_add(&self, coarse: &[f64], fine_u: &mut [f64]) -> f64 {
+        let n = self.n;
+        let nc = (n - 1) / 2;
+        let mut add = |i: i64, j: i64, k: i64, v: f64| {
+            if i >= 0
+                && j >= 0
+                && k >= 0
+                && (i as usize) < n
+                && (j as usize) < n
+                && (k as usize) < n
+            {
+                fine_u[((i as usize) * n + j as usize) * n + k as usize] += v;
+            }
+        };
+        for ci in 0..nc {
+            for cj in 0..nc {
+                for ck in 0..nc {
+                    let e = coarse[(ci * nc + cj) * nc + ck];
+                    let (fi, fj, fk) = (
+                        (2 * ci + 1) as i64,
+                        (2 * cj + 1) as i64,
+                        (2 * ck + 1) as i64,
+                    );
+                    for di in -1i64..=1 {
+                        for dj in -1i64..=1 {
+                            for dk in -1i64..=1 {
+                                let manhattan = di.abs() + dj.abs() + dk.abs();
+                                let w = match manhattan {
+                                    0 => 1.0,
+                                    1 => 0.5,
+                                    2 => 0.25,
+                                    _ => 0.125,
+                                };
+                                add(fi + di, fj + dj, fk + dk, w * e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        27.0 * (nc * nc * nc) as f64
+    }
+
+    fn coarser(&self) -> Option<Self> {
+        if self.n < 3 {
+            return None;
+        }
+        let nc = (self.n - 1) / 2;
+        if nc == 0 {
+            return None;
+        }
+        let n = self.n;
+        let mut coeff = vec![0.0; nc * nc * nc];
+        for ci in 0..nc {
+            for cj in 0..nc {
+                for ck in 0..nc {
+                    coeff[(ci * nc + cj) * nc + ck] =
+                        self.coeff[((2 * ci + 1) * n + (2 * cj + 1)) * n + (2 * ck + 1)];
+                }
+            }
+        }
+        Some(Grid3d::new(nc, coeff))
+    }
+
+    fn dense(&self) -> Matrix {
+        let n = self.n;
+        let un = self.unknowns();
+        let h2 = self.h * self.h;
+        let mut a = Matrix::zeros(un, un);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let idx = self.idx(i, j, k);
+                    a[(idx, idx)] = 6.0 / h2 + self.coeff[idx];
+                    let mut nb = |ii: i64, jj: i64, kk: i64| {
+                        if ii >= 0
+                            && jj >= 0
+                            && kk >= 0
+                            && (ii as usize) < n
+                            && (jj as usize) < n
+                            && (kk as usize) < n
+                        {
+                            let nidx = ((ii as usize) * n + jj as usize) * n + kk as usize;
+                            a[(idx, nidx)] = -1.0 / h2;
+                        }
+                    };
+                    nb(i as i64 - 1, j as i64, k as i64);
+                    nb(i as i64 + 1, j as i64, k as i64);
+                    nb(i as i64, j as i64 - 1, k as i64);
+                    nb(i as i64, j as i64 + 1, k as i64);
+                    nb(i as i64, j as i64, k as i64 - 1);
+                    nb(i as i64, j as i64, k as i64 + 1);
+                }
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{cg_solve, mg_solve, residual, rms, MgOptions};
+
+    #[test]
+    fn apply_matches_dense() {
+        let g = Grid3d::constant(3, 2.0);
+        let a = g.dense();
+        let u: Vec<f64> = (0..27).map(|i| ((i * 11) % 5) as f64 - 2.0).collect();
+        let mut out = vec![0.0; 27];
+        g.apply(&u, &mut out);
+        let via = a.matvec(&u);
+        for i in 0..27 {
+            assert!((out[i] - via[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchy_sizes() {
+        let g = Grid3d::constant(15, 0.0);
+        let mut level = Some(g);
+        let mut sizes = Vec::new();
+        while let Some(l) = level {
+            sizes.push(l.n());
+            level = l.coarser();
+        }
+        assert_eq!(sizes, vec![15, 7, 3, 1]);
+    }
+
+    #[test]
+    fn mg_converges_on_helmholtz() {
+        let n = 15;
+        let coeff: Vec<f64> = (0..n * n * n).map(|i| ((i % 7) as f64) * 3.0).collect();
+        let g = Grid3d::new(n, coeff);
+        let f: Vec<f64> = (0..n * n * n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let (u, _) = mg_solve(&g, &f, 10, &MgOptions::default());
+        let (r, _) = residual(&g, &u, &f);
+        assert!(rms(&r) / rms(&f) < 1e-5, "rel res {}", rms(&r) / rms(&f));
+    }
+
+    #[test]
+    fn cg_agrees_with_mg() {
+        let g = Grid3d::constant(7, 1.0);
+        let f: Vec<f64> = (0..343).map(|i| ((i % 10) as f64) / 10.0).collect();
+        let (u_mg, _) = mg_solve(&g, &f, 12, &MgOptions::default());
+        let (u_cg, _) = cg_solve(&g, &f, 200);
+        let diff: f64 = u_mg
+            .iter()
+            .zip(&u_cg)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            diff < 1e-5 * rms(&u_mg).max(1e-12) * 343.0_f64.sqrt() + 1e-7,
+            "diff {diff}"
+        );
+    }
+}

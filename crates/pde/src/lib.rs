@@ -1,0 +1,41 @@
+//! # intune-pde
+//!
+//! Multigrid PDE substrate plus the paper's **Poisson 2D** and
+//! **Helmholtz 3D** benchmarks.
+//!
+//! The substrate ([`level`]) provides, generically over a [`level::Level`]:
+//! geometric multigrid with tunable *cycle shapes* (V/W, pre/post smoothing
+//! counts, smoother choice, coarse-grid strategy), conjugate gradients,
+//! plain smoother iteration, and a dense-Cholesky direct solver — exactly
+//! the solver menu the paper's benchmarks let the autotuner choose from
+//! ("the choices in this benchmark are multigrid, where cycle shapes are
+//! determined by the autotuner, and a number of iterative and direct
+//! solvers").
+//!
+//! Concrete discretizations: [`dim2::Grid2d`] (5-point Laplacian with an
+//! optional zeroth-order coefficient, homogeneous Dirichlet) and
+//! [`dim3::Grid3d`] (7-point, variable coefficient — the screened-Poisson
+//! form of the Helmholtz equation, kept SPD so every solver choice is
+//! well-posed).
+//!
+//! The accuracy metric of both benchmarks is the paper's
+//! `log₁₀( RMS(err initial) / RMS(err final) )` relative to a reference
+//! solution, threshold 7 (seven orders of error reduction). Input
+//! sensitivity: high-frequency right-hand sides are annihilated cheaply by
+//! plain smoothing, smooth right-hand sides need full multigrid, tiny grids
+//! are direct-solver territory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dim2;
+pub mod dim3;
+pub mod generators;
+pub mod helmholtz;
+pub mod level;
+pub mod poisson;
+
+pub use generators::{PdeCorpus2d, PdeCorpus3d, PdeInput2d, PdeInput3d, PdeInputClass};
+pub use helmholtz::Helmholtz3d;
+pub use level::{CycleKind, MgOptions, Smoother};
+pub use poisson::Poisson2d;

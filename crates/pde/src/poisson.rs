@@ -1,0 +1,332 @@
+//! The **Poisson 2D** benchmark: `-∆u = f` on the unit square.
+//!
+//! Solver choices (the `either…or` of the paper's benchmark): multigrid
+//! with autotuned cycle shape, conjugate gradients, plain smoother
+//! iteration, and a dense direct solver. Accuracy =
+//! `log₁₀(RMS(err initial)/RMS(err final))` against the precomputed
+//! reference solution, threshold 7.
+
+use crate::dim2::Grid2d;
+use crate::generators::PdeInput2d;
+use crate::level::{
+    cg_solve, direct_solve, direct_solve_flops_estimate, mg_solve, rms, smooth_solve, CycleKind,
+    MgOptions, Smoother,
+};
+use intune_core::{
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+};
+
+/// Unknown-count ceiling for actually executing the dense direct solver;
+/// larger instances charge the analytic `n³/3` estimate and are credited
+/// machine-precision accuracy (the solve is exact; see DESIGN.md §4).
+pub const DIRECT_EXEC_LIMIT: usize = 300;
+
+/// Accuracy ceiling (machine precision floor on the error ratio).
+pub const ACCURACY_CAP: f64 = 15.0;
+
+/// Shared solver-gene plumbing for the two PDE benchmarks.
+pub(crate) struct SolverGenes {
+    pub prefix: &'static str,
+}
+
+/// A decoded solver choice.
+pub(crate) enum SolverChoice {
+    Multigrid {
+        cycles: usize,
+        opts: MgOptions,
+    },
+    ConjugateGradient {
+        iters: usize,
+    },
+    SmootherOnly {
+        smoother: Smoother,
+        omega: f64,
+        sweeps: usize,
+    },
+    Direct,
+}
+
+impl SolverGenes {
+    pub fn add_to(&self, b: intune_core::ConfigSpaceBuilder) -> intune_core::ConfigSpaceBuilder {
+        let p = self.prefix;
+        b.switch(format!("{p}.solver"), 4)
+            .switch(format!("{p}.cycle"), 2)
+            .int(format!("{p}.pre"), 0, 4)
+            .int(format!("{p}.post"), 0, 4)
+            .switch(format!("{p}.smoother"), 4)
+            .float(format!("{p}.omega"), 0.5, 1.95)
+            .int(format!("{p}.cycles"), 1, 20)
+            .switch(format!("{p}.coarse"), 2)
+            .log_int(format!("{p}.cg_iters"), 1, 500)
+            .log_int(format!("{p}.sweeps"), 1, 2000)
+    }
+
+    pub fn decode(&self, space: &ConfigSpace, cfg: &Configuration) -> SolverChoice {
+        let p = self.prefix;
+        let g = |name: &str| space.require(&format!("{p}.{name}")).expect("solver gene");
+        let smoother = Smoother::from_index(cfg.choice(g("smoother")));
+        let omega = cfg.float(g("omega"));
+        match cfg.choice(g("solver")) {
+            0 => SolverChoice::Multigrid {
+                cycles: cfg.int(g("cycles")) as usize,
+                opts: MgOptions {
+                    pre: cfg.int(g("pre")) as usize,
+                    post: cfg.int(g("post")) as usize,
+                    smoother,
+                    omega,
+                    cycle: if cfg.choice(g("cycle")) == 0 {
+                        CycleKind::V
+                    } else {
+                        CycleKind::W
+                    },
+                    coarse_direct: cfg.choice(g("coarse")) == 0,
+                },
+            },
+            1 => SolverChoice::ConjugateGradient {
+                iters: cfg.int(g("cg_iters")) as usize,
+            },
+            2 => SolverChoice::SmootherOnly {
+                smoother,
+                omega,
+                sweeps: cfg.int(g("sweeps")) as usize,
+            },
+            _ => SolverChoice::Direct,
+        }
+    }
+}
+
+/// Computes the paper's accuracy metric against a reference solution.
+pub(crate) fn accuracy_vs_reference(reference: &[f64], u: &[f64]) -> f64 {
+    let initial = rms(reference).max(1e-300);
+    let err: Vec<f64> = reference.iter().zip(u).map(|(r, x)| r - x).collect();
+    let final_err = rms(&err).max(1e-300);
+    (initial / final_err).log10().clamp(-5.0, ACCURACY_CAP)
+}
+
+/// Runs a decoded solver on any level type; `None` solution means the
+/// (too-large) direct solve was estimated rather than executed.
+pub(crate) fn run_solver<L: crate::level::Level>(
+    level: &L,
+    f: &[f64],
+    choice: &SolverChoice,
+) -> (Option<Vec<f64>>, f64) {
+    match choice {
+        SolverChoice::Multigrid { cycles, opts } => {
+            let (u, fl) = mg_solve(level, f, *cycles, opts);
+            (Some(u), fl)
+        }
+        SolverChoice::ConjugateGradient { iters } => {
+            let (u, fl) = cg_solve(level, f, *iters);
+            (Some(u), fl)
+        }
+        SolverChoice::SmootherOnly {
+            smoother,
+            omega,
+            sweeps,
+        } => {
+            let (u, fl) = smooth_solve(level, f, *smoother, *omega, *sweeps);
+            (Some(u), fl)
+        }
+        SolverChoice::Direct => {
+            let n = level.unknowns();
+            if n <= DIRECT_EXEC_LIMIT {
+                match direct_solve(level, f) {
+                    Some((u, fl)) => (Some(u), fl),
+                    None => (None, direct_solve_flops_estimate(n)),
+                }
+            } else {
+                (None, direct_solve_flops_estimate(n))
+            }
+        }
+    }
+}
+
+/// The Poisson 2D benchmark.
+#[derive(Debug, Clone)]
+pub struct Poisson2d;
+
+impl Poisson2d {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Poisson2d
+    }
+
+    fn genes() -> SolverGenes {
+        SolverGenes { prefix: "p2" }
+    }
+}
+
+impl Default for Poisson2d {
+    fn default() -> Self {
+        Poisson2d::new()
+    }
+}
+
+impl Benchmark for Poisson2d {
+    type Input = PdeInput2d;
+
+    fn name(&self) -> &str {
+        "poisson2d"
+    }
+
+    fn space(&self) -> ConfigSpace {
+        Self::genes().add_to(ConfigSpace::builder()).build()
+    }
+
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let space = self.space();
+        let choice = Self::genes().decode(&space, cfg);
+        let grid = Grid2d::poisson(input.n);
+        let (u, flops) = run_solver(&grid, &input.rhs, &choice);
+        let accuracy = match u {
+            Some(u) => accuracy_vs_reference(&input.reference, &u),
+            None => ACCURACY_CAP, // estimated exact direct solve
+        };
+        ExecutionReport::with_accuracy(flops, accuracy)
+    }
+
+    fn accuracy(&self) -> Option<AccuracySpec> {
+        Some(AccuracySpec::new(7.0))
+    }
+
+    fn properties(&self) -> Vec<FeatureDef> {
+        vec![
+            FeatureDef::new("residual", 3),
+            FeatureDef::new("deviation", 3),
+            FeatureDef::new("zeros", 3),
+        ]
+    }
+
+    fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+        crate::generators::extract_field_feature(property, level, &input.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::PdeInputClass;
+    use intune_core::{BenchmarkExt, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn smooth_input(n: usize) -> PdeInput2d {
+        let mut rng = StdRng::seed_from_u64(4);
+        PdeInputClass::SmoothLowFreq.generate_2d(n, &mut rng)
+    }
+
+    fn set(cfg: &mut Configuration, space: &ConfigSpace, name: &str, v: ParamValue) {
+        cfg.set(space.index_of(name).unwrap(), v);
+    }
+
+    #[test]
+    fn multigrid_hits_accuracy_target() {
+        let b = Poisson2d::new();
+        let space = b.space();
+        let mut cfg = space.default_config();
+        set(&mut cfg, &space, "p2.solver", ParamValue::Choice(0));
+        set(&mut cfg, &space, "p2.cycles", ParamValue::Int(12));
+        set(&mut cfg, &space, "p2.smoother", ParamValue::Choice(3));
+        let report = b.run(&cfg, &smooth_input(31));
+        assert!(
+            report.accuracy.unwrap() >= 7.0,
+            "accuracy {}",
+            report.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn starved_smoother_misses_target_on_smooth_rhs() {
+        let b = Poisson2d::new();
+        let space = b.space();
+        let mut cfg = space.default_config();
+        set(&mut cfg, &space, "p2.solver", ParamValue::Choice(2));
+        set(&mut cfg, &space, "p2.sweeps", ParamValue::Int(20));
+        set(&mut cfg, &space, "p2.smoother", ParamValue::Choice(1));
+        let report = b.run(&cfg, &smooth_input(31));
+        assert!(
+            report.accuracy.unwrap() < 7.0,
+            "20 GS sweeps cannot clear 7 orders on smooth rhs, got {}",
+            report.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn smoother_cheap_and_sufficient_on_high_freq_rhs() {
+        let b = Poisson2d::new();
+        let space = b.space();
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = PdeInputClass::HighFreq.generate_2d(31, &mut rng);
+
+        let mut smooth_cfg = space.default_config();
+        set(&mut smooth_cfg, &space, "p2.solver", ParamValue::Choice(2));
+        set(&mut smooth_cfg, &space, "p2.sweeps", ParamValue::Int(70));
+        set(
+            &mut smooth_cfg,
+            &space,
+            "p2.smoother",
+            ParamValue::Choice(1),
+        );
+
+        let mut mg_cfg = space.default_config();
+        set(&mut mg_cfg, &space, "p2.solver", ParamValue::Choice(0));
+        set(&mut mg_cfg, &space, "p2.cycles", ParamValue::Int(12));
+
+        let r_smooth = b.run(&smooth_cfg, &input);
+        let r_mg = b.run(&mg_cfg, &input);
+        assert!(
+            r_smooth.accuracy.unwrap() >= 7.0,
+            "smoothing on high-freq rhs reaches {}",
+            r_smooth.accuracy.unwrap()
+        );
+        assert!(
+            r_smooth.cost < r_mg.cost,
+            "smoother {} should be cheaper than MG {}",
+            r_smooth.cost,
+            r_mg.cost
+        );
+    }
+
+    #[test]
+    fn direct_small_exact_large_estimated() {
+        let b = Poisson2d::new();
+        let space = b.space();
+        let mut cfg = space.default_config();
+        set(&mut cfg, &space, "p2.solver", ParamValue::Choice(3));
+        // Small grid: executed, essentially exact.
+        let small = b.run(&cfg, &smooth_input(15));
+        assert!(small.accuracy.unwrap() > 10.0);
+        // Large grid: estimated, exact by construction, cubic cost.
+        let large = b.run(&cfg, &smooth_input(31));
+        assert_eq!(large.accuracy.unwrap(), ACCURACY_CAP);
+        assert!(large.cost > small.cost * 10.0);
+    }
+
+    #[test]
+    fn cg_feasible_between_extremes() {
+        let b = Poisson2d::new();
+        let space = b.space();
+        let mut cfg = space.default_config();
+        set(&mut cfg, &space, "p2.solver", ParamValue::Choice(1));
+        set(&mut cfg, &space, "p2.cg_iters", ParamValue::Int(400));
+        let report = b.run(&cfg, &smooth_input(31));
+        assert!(
+            report.accuracy.unwrap() >= 7.0,
+            "CG(400) accuracy {}",
+            report.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn features_extractable() {
+        let b = Poisson2d::new();
+        let fv = b.extract_all(&smooth_input(15));
+        assert_eq!(fv.len(), 9);
+        assert!(fv.dense().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_threshold_is_papers() {
+        assert_eq!(Poisson2d::new().accuracy().unwrap().threshold, 7.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the multigrid substrate.
+
+use intune_pde::dim2::Grid2d;
+use intune_pde::dim3::Grid3d;
+use intune_pde::level::{cg_solve, mg_solve, residual, rms, Level, MgOptions};
+use proptest::prelude::*;
+
+fn rel_res<L: Level>(g: &L, u: &[f64], f: &[f64]) -> f64 {
+    let (r, _) = residual(g, u, f);
+    rms(&r) / rms(f).max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multigrid contracts the residual monotonically in cycle count on
+    /// arbitrary right-hand sides.
+    #[test]
+    fn mg_contracts(f in prop::collection::vec(-5.0f64..5.0, 225..226)) {
+        let g = Grid2d::poisson(15);
+        prop_assume!(rms(&f) > 1e-6);
+        let (u2, _) = mg_solve(&g, &f, 2, &MgOptions::default());
+        let (u6, _) = mg_solve(&g, &f, 6, &MgOptions::default());
+        let r2 = rel_res(&g, &u2, &f);
+        let r6 = rel_res(&g, &u6, &f);
+        prop_assert!(r6 <= r2 * 1.001, "6 cycles ({r6}) worse than 2 ({r2})");
+        prop_assert!(r6 < 1e-4, "MG failed to contract: {r6}");
+    }
+
+    /// CG and MG agree on the solution for arbitrary right-hand sides.
+    #[test]
+    fn cg_and_mg_agree(f in prop::collection::vec(-5.0f64..5.0, 49..50)) {
+        let g = Grid2d::poisson(7);
+        prop_assume!(rms(&f) > 1e-6);
+        let (u_mg, _) = mg_solve(&g, &f, 14, &MgOptions::default());
+        let (u_cg, _) = cg_solve(&g, &f, 120);
+        let diff: f64 = u_mg
+            .iter()
+            .zip(&u_cg)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale = u_mg.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        prop_assert!(diff / scale < 1e-4, "solver disagreement {}", diff / scale);
+    }
+
+    /// The 2-D operator is symmetric: <Au, v> = <u, Av>.
+    #[test]
+    fn operator_symmetric_2d(
+        u in prop::collection::vec(-3.0f64..3.0, 81..82),
+        v in prop::collection::vec(-3.0f64..3.0, 81..82),
+        c in 0.0f64..10.0,
+    ) {
+        let g = Grid2d::screened(9, vec![c; 81]);
+        let mut au = vec![0.0; 81];
+        let mut av = vec![0.0; 81];
+        g.apply(&u, &mut au);
+        g.apply(&v, &mut av);
+        let left: f64 = au.iter().zip(&v).map(|(a, b)| a * b).sum();
+        let right: f64 = u.iter().zip(&av).map(|(a, b)| a * b).sum();
+        prop_assert!((left - right).abs() < 1e-6 * left.abs().max(1.0));
+    }
+
+    /// Restriction is (1/4)·Pᵀ in 2-D: <P e_c, u_f> = 4·<e_c, R u_f>.
+    #[test]
+    fn transfer_operators_adjoint_2d(
+        coarse in prop::collection::vec(-3.0f64..3.0, 49..50),
+        fine in prop::collection::vec(-3.0f64..3.0, 225..226),
+    ) {
+        let g = Grid2d::poisson(15); // nc = 7 -> 49 coarse unknowns
+        let mut p_coarse = vec![0.0; 225];
+        g.prolong_add(&coarse, &mut p_coarse);
+        let (r_fine, _) = g.restrict(&fine);
+        let left: f64 = p_coarse.iter().zip(&fine).map(|(a, b)| a * b).sum();
+        let right: f64 = coarse.iter().zip(&r_fine).map(|(a, b)| a * b).sum();
+        prop_assert!(
+            (left - 4.0 * right).abs() < 1e-8 * left.abs().max(1.0),
+            "adjoint mismatch: {} vs {}", left, 4.0 * right
+        );
+    }
+
+    /// The 3-D operator is symmetric and positive on nonzero vectors.
+    #[test]
+    fn operator_spd_3d(
+        u in prop::collection::vec(-3.0f64..3.0, 27..28),
+        c in 0.0f64..10.0,
+    ) {
+        let g = Grid3d::constant(3, c);
+        prop_assume!(u.iter().any(|x| x.abs() > 1e-9));
+        let mut au = vec![0.0; 27];
+        g.apply(&u, &mut au);
+        let quad: f64 = au.iter().zip(&u).map(|(a, b)| a * b).sum();
+        prop_assert!(quad > 0.0, "operator not positive definite: {quad}");
+    }
+}

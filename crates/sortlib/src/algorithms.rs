@@ -1,0 +1,330 @@
+//! The five base sorting algorithms with deterministic cost accounting.
+//!
+//! Cost weights (units per operation) are calibrated so the relative costs
+//! reflect the operations each algorithm performs: comparisons and element
+//! moves charge 1.0; radix passes charge per byte-extraction+bucket-move;
+//! bitonic compare-exchanges charge 0.25, modelling the network's
+//! vectorizable/parallel-friendly structure (the reason PetaBricks includes
+//! it as a choice on parallel hardware).
+
+use intune_core::Cost;
+
+/// Weight of one comparison or element move.
+pub const W_CMP: f64 = 1.0;
+/// Weight of one radix digit extraction + bucket move (per element, per
+/// pass). Radix's scattered stores are cache-hostile, so a pass costs more
+/// than a sequential comparison — it still wins on large inputs (8 passes ×
+/// 3 ≈ 24n beats `2n·log n` beyond n ≈ 4096) without flattening the
+/// comparison sorts' niches below that.
+pub const W_RADIX: f64 = 3.0;
+/// Fixed overhead per radix pass (bucket maintenance).
+pub const W_RADIX_PASS: f64 = 256.0;
+/// Discounted weight of a bitonic compare-exchange, modelling its
+/// vectorizable structure; at 0.5 the network is competitive on small-to-mid
+/// power-of-two sizes but loses to merge/quick as `log² n` grows.
+pub const W_BITONIC: f64 = 0.5;
+
+/// In-place insertion sort. Linear on sorted data, quadratic on random.
+pub fn insertion_sort(a: &mut [f64], cost: &mut Cost) {
+    for i in 1..a.len() {
+        let key = a[i];
+        let mut j = i;
+        cost.charge(W_CMP);
+        while j > 0 && a[j - 1] > key {
+            a[j] = a[j - 1];
+            cost.charge(2.0 * W_CMP); // one comparison + one move
+            j -= 1;
+        }
+        a[j] = key;
+        cost.charge(W_CMP);
+    }
+}
+
+/// Lomuto partition with the *first* element as pivot (swapped to the end).
+/// Returns the pivot's final index. Degenerates to `O(n²)` on sorted inputs
+/// (pivot is the minimum) and on heavily duplicated inputs (all elements land
+/// on one side) — the paper's "QuickSort has pathological input cases".
+pub fn lomuto_partition_first(a: &mut [f64], cost: &mut Cost) -> usize {
+    let n = a.len();
+    debug_assert!(n >= 2);
+    a.swap(0, n - 1);
+    let pivot = a[n - 1];
+    let mut store = 0usize;
+    for i in 0..n - 1 {
+        cost.charge(W_CMP);
+        if a[i] <= pivot {
+            a.swap(i, store);
+            cost.charge(W_CMP);
+            store += 1;
+        }
+    }
+    a.swap(store, n - 1);
+    cost.charge(W_CMP);
+    store
+}
+
+/// Splits `a` into `ways` nearly equal contiguous chunks (for k-way merge).
+pub fn chunk_bounds(n: usize, ways: usize) -> Vec<(usize, usize)> {
+    let ways = ways.max(2).min(n.max(1));
+    let base = n / ways;
+    let extra = n % ways;
+    let mut bounds = Vec::with_capacity(ways);
+    let mut start = 0;
+    for w in 0..ways {
+        let len = base + usize::from(w < extra);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    bounds
+}
+
+/// K-way merge of sorted runs (given by `bounds` into `src`) into `dst`,
+/// using a linear scan over the run heads — cheap for small `k`, which makes
+/// the number of ways a genuine tunable trade-off.
+///
+/// # Panics
+/// Panics if `dst.len() != src.len()`.
+pub fn kway_merge(src: &[f64], bounds: &[(usize, usize)], dst: &mut [f64], cost: &mut Cost) {
+    assert_eq!(src.len(), dst.len(), "merge buffers must match");
+    let mut heads: Vec<usize> = bounds.iter().map(|b| b.0).collect();
+    for out in dst.iter_mut() {
+        let mut best: Option<(usize, f64)> = None;
+        for (w, &(_, end)) in bounds.iter().enumerate() {
+            let h = heads[w];
+            if h < end {
+                cost.charge(W_CMP);
+                match best {
+                    Some((_, v)) if src[h] >= v => {}
+                    _ => best = Some((w, src[h])),
+                }
+            }
+        }
+        let (w, v) = best.expect("merge ran out of elements");
+        heads[w] += 1;
+        *out = v;
+        cost.charge(W_CMP); // the move
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order matches the float's total
+/// order (standard sign-flip trick); NaNs sort after everything.
+pub fn f64_to_ordered_bits(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+/// LSD radix sort on 8-bit digits of the order-preserving bit key. Linear in
+/// `n` with a per-pass overhead; completely insensitive to input order or
+/// duplication.
+pub fn radix_sort(a: &mut [f64], cost: &mut Cost) {
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    let mut keys: Vec<(u64, f64)> = a.iter().map(|&x| (f64_to_ordered_bits(x), x)).collect();
+    let mut buf: Vec<(u64, f64)> = vec![(0, 0.0); n];
+    cost.charge(n as f64); // key extraction
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &(k, _) in &keys {
+            counts[((k >> shift) & 0xff) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        for &(k, v) in &keys {
+            let d = ((k >> shift) & 0xff) as usize;
+            buf[offsets[d]] = (k, v);
+            offsets[d] += 1;
+        }
+        std::mem::swap(&mut keys, &mut buf);
+        cost.charge(W_RADIX * n as f64 + W_RADIX_PASS);
+    }
+    for (slot, (_, v)) in a.iter_mut().zip(&keys) {
+        *slot = *v;
+    }
+    cost.charge(n as f64);
+}
+
+/// Bitonic sort as a compare-exchange network (padding to a power of two
+/// with +∞ sentinels). `O(n log² n)` operations at the discounted
+/// [`W_BITONIC`] weight.
+pub fn bitonic_sort(a: &mut [f64], cost: &mut Cost) {
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    let mut work: Vec<f64> = Vec::with_capacity(padded);
+    work.extend_from_slice(a);
+    work.resize(padded, f64::INFINITY);
+    cost.charge(padded as f64);
+
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = i & k == 0;
+                    cost.charge(W_BITONIC);
+                    if (work[i] > work[partner]) == ascending {
+                        work.swap(i, partner);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    a.copy_from_slice(&work[..n]);
+    cost.charge(n as f64);
+}
+
+/// Whether a slice is non-decreasing (test helper, also used by property
+/// tests across the workspace).
+pub fn is_sorted(a: &[f64]) -> bool {
+    a.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> Vec<Vec<f64>> {
+        vec![
+            vec![],
+            vec![1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+            (0..100).map(|i| i as f64).collect(),       // sorted
+            (0..100).rev().map(|i| i as f64).collect(), // reversed
+            (0..100).map(|i| ((i * 37) % 19) as f64).collect(), // duplicates
+            (0..128)
+                .map(|i| ((i * 7919) % 1009) as f64 - 500.0)
+                .collect(), // scrambled with negatives
+            vec![0.0, -0.5, 3.25, -0.5, 1e9, -1e9, 0.125],
+        ]
+    }
+
+    fn check_sorts(f: fn(&mut [f64], &mut Cost)) {
+        for mut v in fixtures() {
+            let mut expect = v.clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut cost = Cost::new();
+            f(&mut v, &mut cost);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn insertion_sorts() {
+        check_sorts(insertion_sort);
+    }
+
+    #[test]
+    fn radix_sorts() {
+        check_sorts(radix_sort);
+    }
+
+    #[test]
+    fn bitonic_sorts() {
+        check_sorts(bitonic_sort);
+    }
+
+    #[test]
+    fn insertion_linear_on_sorted_quadratic_on_reversed() {
+        let mut sorted: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut reversed: Vec<f64> = (0..1000).rev().map(|i| i as f64).collect();
+        let mut c1 = Cost::new();
+        insertion_sort(&mut sorted, &mut c1);
+        let mut c2 = Cost::new();
+        insertion_sort(&mut reversed, &mut c2);
+        assert!(c1.total() < 5_000.0, "sorted cost {}", c1.total());
+        assert!(c2.total() > 500_000.0, "reversed cost {}", c2.total());
+    }
+
+    #[test]
+    fn lomuto_partition_correct() {
+        let mut v = vec![5.0, 2.0, 8.0, 1.0, 9.0, 5.0, 3.0];
+        let mut cost = Cost::new();
+        let p = lomuto_partition_first(&mut v, &mut cost);
+        let pivot = v[p];
+        assert_eq!(pivot, 5.0);
+        for (i, x) in v.iter().enumerate() {
+            if i < p {
+                assert!(*x <= pivot);
+            } else if i > p {
+                assert!(*x > pivot);
+            }
+        }
+    }
+
+    #[test]
+    fn lomuto_degenerate_on_sorted() {
+        let mut v: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut cost = Cost::new();
+        let p = lomuto_partition_first(&mut v, &mut cost);
+        assert_eq!(p, 0, "first-element pivot on sorted data splits 0 / n-1");
+    }
+
+    #[test]
+    fn kway_merge_merges() {
+        // Three sorted runs.
+        let src = vec![1.0, 4.0, 7.0, 2.0, 5.0, 8.0, 0.0, 3.0, 6.0];
+        let bounds = vec![(0, 3), (3, 6), (6, 9)];
+        let mut dst = vec![0.0; 9];
+        let mut cost = Cost::new();
+        kway_merge(&src, &bounds, &mut dst, &mut cost);
+        assert_eq!(dst, (0..9).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(cost.total() > 0.0);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for ways in [2usize, 3, 8] {
+                let b = chunk_bounds(n, ways);
+                assert_eq!(b.first().map(|x| x.0).unwrap_or(0), 0);
+                assert_eq!(b.last().map(|x| x.1).unwrap_or(0), n);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_bits_preserve_order() {
+        let vals = [-1e30, -2.5, -0.0, 0.0, 1e-300, 3.25, 7.0, 1e30];
+        for w in vals.windows(2) {
+            assert!(
+                f64_to_ordered_bits(w[0]) <= f64_to_ordered_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn radix_cost_linear_in_n() {
+        let mut small: Vec<f64> = (0..1000).map(|i| ((i * 37) % 997) as f64).collect();
+        let mut large: Vec<f64> = (0..4000).map(|i| ((i * 37) % 997) as f64).collect();
+        let mut c1 = Cost::new();
+        radix_sort(&mut small, &mut c1);
+        let mut c2 = Cost::new();
+        radix_sort(&mut large, &mut c2);
+        let ratio = c2.total() / c1.total();
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+}

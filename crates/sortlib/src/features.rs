@@ -1,0 +1,221 @@
+//! Input feature extractors for the Sort benchmark.
+//!
+//! Four properties at three sampling levels each (the paper's
+//! `input_feature Sortedness, Duplication, …` with a `level` tunable):
+//!
+//! | property    | value                                            | cost profile |
+//! |-------------|--------------------------------------------------|--------------|
+//! | sortedness  | fraction of correctly ordered sampled pairs      | linear in sample |
+//! | duplication | 1 − distinct/sampled                             | sample sort  |
+//! | deviation   | standard deviation of sampled values             | linear in sample |
+//! | test_sort   | insertion-sort ops per element on a subsequence  | up to quadratic in probe |
+//!
+//! Level 0 samples cheaply and coarsely; level 2 examines (almost) the whole
+//! input. All sampling is deterministic (fixed strides), keeping the entire
+//! pipeline reproducible.
+
+use intune_core::{Cost, FeatureSample};
+
+/// Property indices (order matches `PolySort::properties`).
+pub mod prop {
+    /// Sampled sortedness.
+    pub const SORTEDNESS: usize = 0;
+    /// Sampled duplication ratio.
+    pub const DUPLICATION: usize = 1;
+    /// Sampled standard deviation.
+    pub const DEVIATION: usize = 2;
+    /// Test-sort probe (insertion ops per element on a prefix subsequence).
+    pub const TEST_SORT: usize = 3;
+}
+
+fn sample_size(level: usize, n: usize) -> usize {
+    match level {
+        0 => n.min(64),
+        1 => n.min(512),
+        _ => n,
+    }
+    .max(2)
+    .min(n.max(2))
+}
+
+/// Evenly strided sample of `m` elements.
+fn strided(input: &[f64], m: usize) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return vec![0.0, 0.0];
+    }
+    let m = m.min(n).max(1);
+    (0..m).map(|i| input[i * n / m]).collect()
+}
+
+/// Extracts property `property` at sampling `level`.
+///
+/// # Panics
+/// Panics if `property` is out of range (the Sort benchmark declares 4).
+pub fn extract(property: usize, level: usize, input: &[f64]) -> FeatureSample {
+    match property {
+        prop::SORTEDNESS => sortedness(level, input),
+        prop::DUPLICATION => duplication(level, input),
+        prop::DEVIATION => deviation(level, input),
+        prop::TEST_SORT => test_sort(level, input),
+        other => panic!("sort benchmark has 4 properties, got {other}"),
+    }
+}
+
+/// Fraction of adjacent sampled pairs in non-decreasing order — the paper's
+/// Figure 1 `Sortedness` extractor with `step` controlled by the level.
+fn sortedness(level: usize, input: &[f64]) -> FeatureSample {
+    let n = input.len();
+    if n < 2 {
+        return FeatureSample::new(1.0, 1.0);
+    }
+    let m = sample_size(level, n);
+    let sample = strided(input, m);
+    let mut ordered = 0usize;
+    let mut count = 0usize;
+    for w in sample.windows(2) {
+        if w[0] <= w[1] {
+            ordered += 1;
+        }
+        count += 1;
+    }
+    let value = if count > 0 {
+        ordered as f64 / count as f64
+    } else {
+        0.0
+    };
+    FeatureSample::new(value, m as f64)
+}
+
+/// `1 − distinct/sampled`: 0 for all-unique, approaching 1 for heavy
+/// duplication. Costs a sample sort.
+fn duplication(level: usize, input: &[f64]) -> FeatureSample {
+    let n = input.len();
+    if n == 0 {
+        return FeatureSample::new(0.0, 1.0);
+    }
+    let m = sample_size(level, n);
+    let mut sample = strided(input, m);
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut distinct = 1usize;
+    for w in sample.windows(2) {
+        if w[0] != w[1] {
+            distinct += 1;
+        }
+    }
+    let value = 1.0 - distinct as f64 / m as f64;
+    let cost = m as f64 * (m as f64).log2().max(1.0);
+    FeatureSample::new(value, cost)
+}
+
+/// Standard deviation of the sample.
+fn deviation(level: usize, input: &[f64]) -> FeatureSample {
+    let n = input.len();
+    if n == 0 {
+        return FeatureSample::new(0.0, 1.0);
+    }
+    let m = sample_size(level, n);
+    let sample = strided(input, m);
+    let mean = sample.iter().sum::<f64>() / m as f64;
+    let var = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64;
+    FeatureSample::new(var.sqrt(), 2.0 * m as f64)
+}
+
+/// Runs an insertion sort over a prefix subsequence and reports measured ops
+/// per element — an *executed probe*, the most expensive and most faithful
+/// feature ("the performance of a test sort on a subsequence of the list").
+fn test_sort(level: usize, input: &[f64]) -> FeatureSample {
+    let probe_len = match level {
+        0 => 32,
+        1 => 128,
+        _ => 512,
+    }
+    .min(input.len().max(2));
+    let mut probe = strided(input, probe_len);
+    let mut cost = Cost::new();
+    crate::algorithms::insertion_sort(&mut probe, &mut cost);
+    let value = cost.total() / probe_len as f64;
+    FeatureSample::new(value, cost.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sortedness_detects_order() {
+        let sorted: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let reversed: Vec<f64> = (0..1000).rev().map(|i| i as f64).collect();
+        assert_eq!(extract(prop::SORTEDNESS, 2, &sorted).value, 1.0);
+        assert_eq!(extract(prop::SORTEDNESS, 2, &reversed).value, 0.0);
+    }
+
+    #[test]
+    fn duplication_scales_with_distincts() {
+        let unique: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let dupes: Vec<f64> = (0..500).map(|i| (i % 5) as f64).collect();
+        let u = extract(prop::DUPLICATION, 2, &unique).value;
+        let d = extract(prop::DUPLICATION, 2, &dupes).value;
+        assert!(u < 0.01, "unique dup {u}");
+        assert!(d > 0.95, "dupes dup {d}");
+    }
+
+    #[test]
+    fn deviation_measures_spread() {
+        let tight: Vec<f64> = (0..300).map(|_| 5.0).collect();
+        let wide: Vec<f64> = (0..300).map(|i| (i as f64) * 100.0).collect();
+        assert_eq!(extract(prop::DEVIATION, 1, &tight).value, 0.0);
+        assert!(extract(prop::DEVIATION, 1, &wide).value > 1000.0);
+    }
+
+    #[test]
+    fn test_sort_probe_reflects_disorder() {
+        let sorted: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let scrambled: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 2003) as f64).collect();
+        let s = extract(prop::TEST_SORT, 1, &sorted).value;
+        let r = extract(prop::TEST_SORT, 1, &scrambled).value;
+        assert!(r > 3.0 * s, "scrambled probe {r} vs sorted probe {s}");
+    }
+
+    #[test]
+    fn higher_levels_cost_more() {
+        let input: Vec<f64> = (0..4000).map(|i| ((i * 31) % 997) as f64).collect();
+        for p in 0..4 {
+            let c0 = extract(p, 0, &input).cost;
+            let c2 = extract(p, 2, &input).cost;
+            assert!(
+                c2 > c0,
+                "property {p}: level2 cost {c2} <= level0 cost {c0}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        for input in [vec![], vec![1.0], vec![2.0, 1.0]] {
+            for p in 0..4 {
+                for level in 0..3 {
+                    let s = extract(p, level, &input);
+                    assert!(s.value.is_finite());
+                    assert!(s.cost >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_converge_to_full_scan_value() {
+        // On a half-sorted input the level-2 sortedness is exact; level-0 is
+        // an approximation but must be within a coarse band.
+        let mut input: Vec<f64> = (0..2048).map(|i| i as f64).collect();
+        for i in (1..2048).step_by(4) {
+            input.swap(i - 1, i);
+        }
+        let exact = extract(prop::SORTEDNESS, 2, &input).value;
+        let approx = extract(prop::SORTEDNESS, 0, &input).value;
+        assert!(
+            (exact - approx).abs() < 0.35,
+            "exact {exact} approx {approx}"
+        );
+    }
+}

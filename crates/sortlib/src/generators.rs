@@ -1,0 +1,307 @@
+//! Input generators for the Sort benchmark.
+//!
+//! `sort2` in the paper uses "synthetic inputs generated from a collection
+//! of input generators meant to span the space of features" —
+//! [`SortInputClass::all`] is that collection. `sort1` uses the real-world
+//! CCR FOIA contractor extract; [`SortInputClass::CcrLike`] simulates its
+//! relevant characteristics (heavy duplication from categorical columns,
+//! long nearly-sorted runs from registry ordering, magnitude clusters from
+//! dollar amounts) since the raw dataset is not redistributable — see
+//! DESIGN.md §4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Families of sorting inputs spanning the feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortInputClass {
+    /// Uniform random doubles.
+    Random,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Sorted with a fraction of random adjacent swaps.
+    AlmostSorted,
+    /// Few distinct values (heavy duplication).
+    FewDistinct,
+    /// Gaussian-distributed values.
+    Gaussian,
+    /// Exponentially distributed values (heavy right tail).
+    Exponential,
+    /// Ascending then descending (organ pipe).
+    OrganPipe,
+    /// Concatenation of short sorted runs.
+    Runs,
+    /// Simulated CCR-FOIA-style registry extract (the `sort1` stand-in).
+    CcrLike,
+}
+
+impl SortInputClass {
+    /// All generator classes (the `sort2` collection).
+    pub fn all() -> &'static [SortInputClass] {
+        use SortInputClass::*;
+        &[
+            Random,
+            Sorted,
+            Reversed,
+            AlmostSorted,
+            FewDistinct,
+            Gaussian,
+            Exponential,
+            OrganPipe,
+            Runs,
+            CcrLike,
+        ]
+    }
+
+    /// Generates one input of `n` elements.
+    pub fn generate(self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        use SortInputClass::*;
+        match self {
+            Random => (0..n).map(|_| rng.gen_range(0.0..1e6)).collect(),
+            Sorted => {
+                let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e6)).collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            }
+            Reversed => {
+                let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e6)).collect();
+                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                v
+            }
+            AlmostSorted => {
+                let mut v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let swaps = (n / 20).max(1);
+                for _ in 0..swaps {
+                    let i = rng.gen_range(0..n.saturating_sub(1).max(1));
+                    v.swap(i, (i + 1).min(n - 1));
+                }
+                v
+            }
+            FewDistinct => {
+                let k = rng.gen_range(2..16);
+                let values: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..1e4)).collect();
+                (0..n).map(|_| values[rng.gen_range(0..k)]).collect()
+            }
+            Gaussian => (0..n)
+                .map(|_| {
+                    // Box-Muller.
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * 100.0
+                })
+                .collect(),
+            Exponential => (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    -u.ln() * 1000.0
+                })
+                .collect(),
+            OrganPipe => {
+                let half = n / 2;
+                let mut v: Vec<f64> = (0..half).map(|i| i as f64).collect();
+                v.extend((0..(n - half)).rev().map(|i| i as f64));
+                v
+            }
+            Runs => {
+                let run_len = rng.gen_range(4..64).min(n.max(1));
+                let mut v = Vec::with_capacity(n);
+                while v.len() < n {
+                    let base: f64 = rng.gen_range(0.0..1e6);
+                    let take = run_len.min(n - v.len());
+                    for i in 0..take {
+                        v.push(base + i as f64);
+                    }
+                }
+                v
+            }
+            CcrLike => ccr_like(n, rng),
+        }
+    }
+}
+
+/// Simulates a CCR-FOIA-style registry extract: a mixture of
+/// * categorical code columns (drawn from a small code book → heavy
+///   duplication),
+/// * registry-ordered identifiers (nearly sorted ascending with occasional
+///   out-of-order late registrations),
+/// * dollar-amount-like values (log-normal-ish magnitude clusters).
+///
+/// Real extracts vary by which columns a query slices: some pulls are
+/// mostly codes, others mostly identifiers or amounts. The per-input
+/// mixture proportions are therefore randomized, which is exactly the
+/// input diversity that makes `sort1` benefit from input adaptation.
+fn ccr_like(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    let codes: Vec<f64> = (0..rng.gen_range(8..40)).map(|c| (c * 97) as f64).collect();
+    // Random mixture proportions per input (a query slice of the registry).
+    // Half the extracts are *pure* single-column pulls — just the code
+    // column, just the registry ids, or just the amounts — which is where
+    // adaptation pays the most; the rest are mixed multi-column extracts.
+    let (w_dup, w_seq, w_amt): (f64, f64, f64) = if rng.gen_bool(0.5) {
+        match rng.gen_range(0..3) {
+            0 => (1.0, 0.0, 0.0),
+            1 => (0.0, 1.0, 0.0),
+            _ => (0.0, 0.0, 1.0),
+        }
+    } else {
+        (
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+        )
+    };
+    let total = (w_dup + w_seq + w_amt).max(1e-9);
+    let dup_end = ((w_dup / total) * n as f64) as usize;
+    let seq_end = dup_end + ((w_seq / total) * n as f64) as usize;
+    let seq_end = seq_end.min(n);
+    // Duplicated categorical codes.
+    for _ in 0..dup_end {
+        v.push(codes[rng.gen_range(0..codes.len())]);
+    }
+    // Nearly sorted registration identifiers; the rate of out-of-order
+    // late registrations varies by extract (0 = a perfectly ordered pull).
+    let outlier_rate = if rng.gen_bool(0.3) {
+        0.0
+    } else {
+        rng.gen_range(0.0..0.08)
+    };
+    let mut id = 1_000_000.0_f64;
+    for _ in dup_end..seq_end {
+        id += rng.gen_range(1.0..50.0);
+        if outlier_rate > 0.0 && rng.gen_bool(outlier_rate) {
+            // Late registration filed out of order.
+            v.push(id - rng.gen_range(100.0..5000.0));
+        } else {
+            v.push(id);
+        }
+    }
+    // Contract dollar amounts: magnitude clusters.
+    for _ in seq_end..n {
+        let magnitude = 10f64.powi(rng.gen_range(2..8));
+        v.push((rng.gen_range(1.0..10.0) * magnitude).round());
+    }
+    v
+}
+
+/// A corpus of sorting inputs with per-input class labels.
+#[derive(Debug, Clone)]
+pub struct SortCorpus {
+    /// The inputs.
+    pub inputs: Vec<Vec<f64>>,
+    /// The class each input was drawn from (diagnostics only; the learner
+    /// never sees these).
+    pub classes: Vec<SortInputClass>,
+}
+
+impl SortCorpus {
+    /// The `sort2` corpus: `count` inputs cycling through every generator
+    /// class, sizes drawn log-uniformly from `[min_n, max_n]`.
+    pub fn synthetic(count: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = SortInputClass::all();
+        let mut inputs = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let class = classes[i % classes.len()];
+            let n = log_uniform_size(min_n, max_n, &mut rng);
+            inputs.push(class.generate(n, &mut rng));
+            labels.push(class);
+        }
+        SortCorpus {
+            inputs,
+            classes: labels,
+        }
+    }
+
+    /// The `sort1` stand-in corpus: all CCR-like inputs.
+    pub fn ccr(count: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let n = log_uniform_size(min_n, max_n, &mut rng);
+            inputs.push(SortInputClass::CcrLike.generate(n, &mut rng));
+        }
+        SortCorpus {
+            classes: vec![SortInputClass::CcrLike; inputs.len()],
+            inputs,
+        }
+    }
+}
+
+fn log_uniform_size(min_n: usize, max_n: usize, rng: &mut StdRng) -> usize {
+    let lo = (min_n.max(2) as f64).ln();
+    let hi = (max_n.max(min_n + 1) as f64).ln();
+    rng.gen_range(lo..=hi).exp().round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{extract, prop};
+
+    #[test]
+    fn all_classes_generate_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in SortInputClass::all() {
+            let v = class.generate(333, &mut rng);
+            assert_eq!(v.len(), 333, "{class:?}");
+            assert!(v.iter().all(|x| x.is_finite()), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn classes_span_the_feature_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sorted = SortInputClass::Sorted.generate(1000, &mut rng);
+        let random = SortInputClass::Random.generate(1000, &mut rng);
+        let few = SortInputClass::FewDistinct.generate(1000, &mut rng);
+        assert!(extract(prop::SORTEDNESS, 2, &sorted).value > 0.99);
+        assert!(extract(prop::SORTEDNESS, 2, &random).value < 0.7);
+        assert!(extract(prop::DUPLICATION, 2, &few).value > 0.9);
+        assert!(extract(prop::DUPLICATION, 2, &random).value < 0.1);
+    }
+
+    #[test]
+    fn ccr_like_extracts_are_diverse() {
+        // Registry pulls vary by which columns dominate: across a corpus we
+        // must see duplication-heavy, nearly-sorted, and mixed extracts.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_dup: f64 = 0.0;
+        let mut max_sortedness: f64 = 0.0;
+        let mut min_sortedness: f64 = 1.0;
+        for _ in 0..40 {
+            let v = SortInputClass::CcrLike.generate(3000, &mut rng);
+            max_dup = max_dup.max(extract(prop::DUPLICATION, 2, &v).value);
+            let s = extract(prop::SORTEDNESS, 2, &v).value;
+            max_sortedness = max_sortedness.max(s);
+            min_sortedness = min_sortedness.min(s);
+        }
+        assert!(max_dup > 0.5, "no duplication-heavy extract: {max_dup}");
+        assert!(
+            max_sortedness > 0.95,
+            "no nearly-sorted extract: {max_sortedness}"
+        );
+        assert!(
+            min_sortedness < 0.8,
+            "no disordered extract: {min_sortedness}"
+        );
+    }
+
+    #[test]
+    fn corpus_deterministic_and_sized() {
+        let a = SortCorpus::synthetic(30, 100, 1000, 7);
+        let b = SortCorpus::synthetic(30, 100, 1000, 7);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.inputs.len(), 30);
+        assert!(a.inputs.iter().all(|v| v.len() >= 100 && v.len() <= 1001));
+    }
+
+    #[test]
+    fn corpus_cycles_all_classes() {
+        let c = SortCorpus::synthetic(SortInputClass::all().len(), 64, 128, 0);
+        let distinct: std::collections::HashSet<_> = c.classes.iter().collect();
+        assert_eq!(distinct.len(), SortInputClass::all().len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # intune-sortlib
+//!
+//! The paper's **Sort** benchmark: a polyalgorithm over InsertionSort,
+//! QuickSort, MergeSort, RadixSort and BitonicSort, where a recursive
+//! [`intune_core::Selector`] decides per sub-problem size which algorithm to
+//! apply (Figure 1/2 of the paper). Input sensitivity arises because each
+//! algorithm has pathological and favorable inputs:
+//!
+//! * InsertionSort — linear on (almost-)sorted data, quadratic on random;
+//! * QuickSort — Lomuto partition with first-element pivot: quadratic on
+//!   sorted *and* on heavily duplicated inputs;
+//! * MergeSort — robust `k`-way merge with a tunable number of ways;
+//! * RadixSort — linear passes over bit-keys, insensitive to order, with a
+//!   fixed per-pass overhead that loses on small inputs;
+//! * BitonicSort — `O(n log² n)` compare-exchange network with a discounted
+//!   per-op weight modelling its vector/parallel friendliness.
+//!
+//! Input features ([`features`]) mirror the paper: *sortedness*,
+//! *duplication*, *deviation* and a *test-sort probe*, each at three
+//! sampling levels of increasing cost. Generators ([`generators`]) span the
+//! feature space and include a CCR-FOIA-like simulator standing in for the
+//! paper's real-world `sort1` dataset (see DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod features;
+pub mod generators;
+pub mod poly;
+
+pub use generators::{SortCorpus, SortInputClass};
+pub use poly::PolySort;

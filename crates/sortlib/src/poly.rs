@@ -1,0 +1,420 @@
+//! The Sort polyalgorithm: a recursive selector over the five base sorts.
+//!
+//! Mirrors the paper's Figure 1: every (recursive) invocation consults the
+//! decoded [`Selector`] with the current sub-problem size and runs the chosen
+//! algorithm. QuickSort and MergeSort decompose and re-enter the selector on
+//! their sub-problems, so one configuration denotes a full *polyalgorithm*
+//! (Figure 2). Execution is abortable via a cost cap so that degenerate
+//! configurations explored by the autotuner cannot stall training — the
+//! analogue of the PetaBricks autotuner's execution timeouts.
+
+use crate::algorithms::{
+    bitonic_sort, chunk_bounds, kway_merge, lomuto_partition_first, radix_sort,
+};
+use intune_core::{
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, Cost, ExecutionReport, FeatureDef,
+    FeatureSample, Selector, SelectorSpec,
+};
+
+/// Algorithm indices used in the selector genes.
+pub mod alg {
+    /// InsertionSort.
+    pub const INSERTION: usize = 0;
+    /// QuickSort (Lomuto, first-element pivot).
+    pub const QUICK: usize = 1;
+    /// k-way MergeSort.
+    pub const MERGE: usize = 2;
+    /// LSD RadixSort.
+    pub const RADIX: usize = 3;
+    /// BitonicSort.
+    pub const BITONIC: usize = 4;
+    /// Number of algorithm choices.
+    pub const COUNT: usize = 5;
+}
+
+/// Error used internally to unwind when the cost cap is exceeded.
+struct Aborted;
+
+/// The Sort benchmark (fixed accuracy): configuration space = a recursive
+/// selector over the five algorithms plus the number of merge ways.
+#[derive(Debug, Clone)]
+pub struct PolySort {
+    max_n: usize,
+    selector_levels: usize,
+    /// Cost multiplier for the abort cap (see [`PolySort::run`]).
+    cap_factor: f64,
+}
+
+impl PolySort {
+    /// Creates a Sort benchmark for inputs up to `max_n` elements.
+    pub fn new(max_n: usize) -> Self {
+        PolySort {
+            max_n: max_n.max(16),
+            selector_levels: 3,
+            cap_factor: 500.0,
+        }
+    }
+
+    /// Overrides the number of selector cutoff levels (default 3).
+    pub fn with_selector_levels(mut self, levels: usize) -> Self {
+        self.selector_levels = levels.max(1);
+        self
+    }
+
+    fn selector_spec(&self) -> SelectorSpec {
+        SelectorSpec::new("sort", self.selector_levels, self.max_n as i64, alg::COUNT)
+    }
+
+    /// Sorts `data` under `cfg`, returning the sorted vector and the
+    /// deterministic cost. Never aborts (no cap) — used for correctness
+    /// tests and deployment.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not match this benchmark's space.
+    pub fn sort(&self, cfg: &Configuration, data: &[f64]) -> (Vec<f64>, f64) {
+        let space = self.space();
+        let selector = self
+            .selector_spec()
+            .decode(&space, cfg)
+            .expect("selector genes present");
+        let ways = cfg.int(space.require("sort.merge_ways").expect("gene")) as usize;
+        let mut out = data.to_vec();
+        let mut cost = Cost::new();
+        let _ = Self::dispatch(&selector, ways, &mut out, &mut cost, f64::INFINITY);
+        (out, cost.total())
+    }
+
+    fn dispatch(
+        selector: &Selector,
+        ways: usize,
+        a: &mut [f64],
+        cost: &mut Cost,
+        cap: f64,
+    ) -> Result<(), Aborted> {
+        if cost.total() > cap {
+            return Err(Aborted);
+        }
+        let n = a.len();
+        if n <= 1 {
+            return Ok(());
+        }
+        match selector.decide(n) {
+            alg::INSERTION => {
+                // Charge-per-outer-iteration abort checks keep degenerate
+                // configurations from running the full quadratic course.
+                let chunk = 1024.min(n);
+                let mut done = 1;
+                while done < n {
+                    let upper = (done + chunk).min(n);
+                    // Insertion-sort the prefix [0, upper) incrementally.
+                    for i in done..upper {
+                        let key = a[i];
+                        let mut j = i;
+                        cost.charge(1.0);
+                        while j > 0 && a[j - 1] > key {
+                            a[j] = a[j - 1];
+                            cost.charge(2.0);
+                            j -= 1;
+                        }
+                        a[j] = key;
+                        cost.charge(1.0);
+                    }
+                    done = upper;
+                    if cost.total() > cap {
+                        return Err(Aborted);
+                    }
+                }
+                Ok(())
+            }
+            alg::QUICK => {
+                // Iterate on the larger side so stack depth stays O(log n)
+                // even on degenerate partitions.
+                let mut lo = 0usize;
+                let mut hi = n;
+                while hi - lo >= 2 {
+                    if cost.total() > cap {
+                        return Err(Aborted);
+                    }
+                    let p = lo + lomuto_partition_first(&mut a[lo..hi], cost);
+                    let left = p - lo;
+                    let right = hi - (p + 1);
+                    if left <= right {
+                        Self::recurse(selector, ways, a, lo, p, cost, cap)?;
+                        lo = p + 1;
+                    } else {
+                        Self::recurse(selector, ways, a, p + 1, hi, cost, cap)?;
+                        hi = p;
+                    }
+                }
+                Ok(())
+            }
+            alg::MERGE => {
+                let ways = ways.clamp(2, 16);
+                let bounds = chunk_bounds(n, ways);
+                for &(s, e) in &bounds {
+                    Self::recurse_same(selector, ways, &mut a[s..e], cost, cap)?;
+                }
+                let src = a.to_vec();
+                cost.charge(n as f64); // copy to scratch
+                kway_merge(&src, &bounds, a, cost);
+                Ok(())
+            }
+            alg::RADIX => {
+                radix_sort(a, cost);
+                Ok(())
+            }
+            _ => {
+                bitonic_sort(a, cost);
+                Ok(())
+            }
+        }
+    }
+
+    fn recurse(
+        selector: &Selector,
+        ways: usize,
+        a: &mut [f64],
+        lo: usize,
+        hi: usize,
+        cost: &mut Cost,
+        cap: f64,
+    ) -> Result<(), Aborted> {
+        Self::dispatch(selector, ways, &mut a[lo..hi], cost, cap)
+    }
+
+    fn recurse_same(
+        selector: &Selector,
+        ways: usize,
+        a: &mut [f64],
+        cost: &mut Cost,
+        cap: f64,
+    ) -> Result<(), Aborted> {
+        // A merge chunk of the same size as its parent (ways clamp) must
+        // still terminate: fall back to recursion guard by size check inside
+        // dispatch (chunks are strictly smaller whenever n >= ways >= 2).
+        Self::dispatch(selector, ways, a, cost, cap)
+    }
+}
+
+impl Benchmark for PolySort {
+    type Input = Vec<f64>;
+
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn space(&self) -> ConfigSpace {
+        let builder = self.selector_spec().add_to(ConfigSpace::builder());
+        builder.int("sort.merge_ways", 2, 16).build()
+    }
+
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let space = self.space();
+        let selector = self
+            .selector_spec()
+            .decode(&space, cfg)
+            .expect("selector genes present");
+        let ways = cfg.int(space.require("sort.merge_ways").expect("gene")) as usize;
+        let n = input.len().max(2) as f64;
+        let cap = self.cap_factor * n * n.log2().max(1.0);
+        let mut out = input.clone();
+        let mut cost = Cost::new();
+        let _ = Self::dispatch(&selector, ways, &mut out, &mut cost, cap);
+        ExecutionReport::of_cost(cost.total())
+    }
+
+    fn accuracy(&self) -> Option<AccuracySpec> {
+        None // Sort is the paper's one fixed-accuracy benchmark.
+    }
+
+    fn properties(&self) -> Vec<FeatureDef> {
+        vec![
+            FeatureDef::new("sortedness", 3),
+            FeatureDef::new("duplication", 3),
+            FeatureDef::new("deviation", 3),
+            FeatureDef::new("test_sort", 3),
+        ]
+    }
+
+    fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+        crate::features::extract(property, level, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::BenchmarkExt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bench() -> PolySort {
+        PolySort::new(4096)
+    }
+
+    fn reference_sorted(v: &[f64]) -> Vec<f64> {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s
+    }
+
+    #[test]
+    fn every_random_config_sorts_correctly() {
+        let b = bench();
+        let space = b.space();
+        let mut rng = StdRng::seed_from_u64(17);
+        let input: Vec<f64> = (0..1500).map(|i| ((i * 7919) % 1009) as f64).collect();
+        let expect = reference_sorted(&input);
+        for _ in 0..25 {
+            let cfg = space.random(&mut rng);
+            let (sorted, cost) = b.sort(&cfg, &input);
+            assert_eq!(sorted, expect);
+            assert!(cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn selector_cutoffs_change_cost() {
+        let b = bench();
+        let space = b.space();
+        // All-insertion config vs merge-at-top config on random data.
+        let mut all_insertion = space.default_config();
+        for i in 0..3 {
+            all_insertion.set(
+                space.index_of(&format!("sort.cutoff{i}")).unwrap(),
+                intune_core::ParamValue::Int(4096),
+            );
+            all_insertion.set(
+                space.index_of(&format!("sort.alg{i}")).unwrap(),
+                intune_core::ParamValue::Choice(alg::INSERTION),
+            );
+        }
+        all_insertion.set(
+            space.index_of("sort.top").unwrap(),
+            intune_core::ParamValue::Choice(alg::INSERTION),
+        );
+
+        let mut merge_top = all_insertion.clone();
+        merge_top.set(
+            space.index_of("sort.cutoff0").unwrap(),
+            intune_core::ParamValue::Int(32),
+        );
+        merge_top.set(
+            space.index_of("sort.alg0").unwrap(),
+            intune_core::ParamValue::Choice(alg::INSERTION),
+        );
+        for i in 1..3 {
+            merge_top.set(
+                space.index_of(&format!("sort.cutoff{i}")).unwrap(),
+                intune_core::ParamValue::Int(33),
+            );
+        }
+        merge_top.set(
+            space.index_of("sort.top").unwrap(),
+            intune_core::ParamValue::Choice(alg::MERGE),
+        );
+
+        let input: Vec<f64> = (0..2000)
+            .map(|i| ((i * 2654435761_u64) % 4093) as f64)
+            .collect();
+        let slow = b.run(&all_insertion, &input).cost;
+        let fast = b.run(&merge_top, &input).cost;
+        assert!(
+            fast < slow / 5.0,
+            "merge-with-insertion-leaves {fast} should trounce pure insertion {slow}"
+        );
+    }
+
+    #[test]
+    fn quick_on_sorted_is_pathological_radix_is_not() {
+        let b = bench();
+        let space = b.space();
+        let sorted: Vec<f64> = (0..3000).map(|i| i as f64).collect();
+
+        let mk = |top: usize| {
+            let mut cfg = space.default_config();
+            for i in 0..3 {
+                cfg.set(
+                    space.index_of(&format!("sort.cutoff{i}")).unwrap(),
+                    intune_core::ParamValue::Int(1),
+                );
+            }
+            cfg.set(
+                space.index_of("sort.top").unwrap(),
+                intune_core::ParamValue::Choice(top),
+            );
+            cfg
+        };
+        let quick_cost = b.run(&mk(alg::QUICK), &sorted).cost;
+        let radix_cost = b.run(&mk(alg::RADIX), &sorted).cost;
+        let insertion_cost = b.run(&mk(alg::INSERTION), &sorted).cost;
+        assert!(
+            quick_cost > 10.0 * radix_cost,
+            "quick {quick_cost} vs radix {radix_cost}"
+        );
+        assert!(
+            insertion_cost < radix_cost,
+            "insertion on sorted {insertion_cost} should beat radix {radix_cost}"
+        );
+    }
+
+    #[test]
+    fn run_report_matches_sort_cost_when_no_abort() {
+        let b = bench();
+        let space = b.space();
+        let cfg = space.default_config();
+        let input: Vec<f64> = (0..500).map(|i| ((i * 31) % 101) as f64).collect();
+        let (_, cost) = b.sort(&cfg, &input);
+        let report = b.run(&cfg, &input);
+        assert_eq!(report.cost, cost);
+        assert!(report.accuracy.is_none());
+    }
+
+    #[test]
+    fn cap_aborts_degenerate_configs() {
+        // Pure insertion at the top of a large reversed input exceeds the
+        // cap; the report must carry cost >= cap rather than running the
+        // full quadratic course.
+        let b = PolySort {
+            cap_factor: 1.0, // aggressive cap for the test
+            ..PolySort::new(4096)
+        };
+        let space = b.space();
+        let mut cfg = space.default_config();
+        for i in 0..3 {
+            cfg.set(
+                space.index_of(&format!("sort.cutoff{i}")).unwrap(),
+                intune_core::ParamValue::Int(1),
+            );
+        }
+        cfg.set(
+            space.index_of("sort.top").unwrap(),
+            intune_core::ParamValue::Choice(alg::INSERTION),
+        );
+        let reversed: Vec<f64> = (0..4000).rev().map(|i| i as f64).collect();
+        let n = 4000.0_f64;
+        let cap = 1.0 * n * n.log2();
+        let report = b.run(&cfg, &reversed);
+        assert!(report.cost >= cap, "cost {} below cap {cap}", report.cost);
+        assert!(
+            report.cost < n * n, // did NOT run to quadratic completion
+            "cost {} suggests no abort",
+            report.cost
+        );
+    }
+
+    #[test]
+    fn features_declared_and_extractable() {
+        let b = bench();
+        let input: Vec<f64> = (0..256).map(|i| (i % 17) as f64).collect();
+        let fv = b.extract_all(&input);
+        assert_eq!(fv.len(), 12); // 4 properties x 3 levels
+        assert!(fv.dense().iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn space_size_is_large() {
+        let b = PolySort::new(1 << 20).with_selector_levels(8);
+        assert!(b.space().log10_size() > 30.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the sort benchmark.
+
+use intune_core::{Benchmark, Cost};
+use intune_sortlib::algorithms::{
+    bitonic_sort, f64_to_ordered_bits, insertion_sort, is_sorted, radix_sort,
+};
+use intune_sortlib::{PolySort, SortInputClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Each base algorithm sorts and preserves the multiset of elements.
+    #[test]
+    fn base_algorithms_sort_and_permute(
+        data in prop::collection::vec(-1e9f64..1e9, 0..200),
+        which in 0usize..3,
+    ) {
+        let mut v = data.clone();
+        let mut cost = Cost::new();
+        match which {
+            0 => insertion_sort(&mut v, &mut cost),
+            1 => radix_sort(&mut v, &mut cost),
+            _ => bitonic_sort(&mut v, &mut cost),
+        }
+        prop_assert!(is_sorted(&v));
+        let mut expect = data;
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(v, expect);
+    }
+
+    /// The ordered-bits key is a strict monotone embedding of f64 order.
+    #[test]
+    fn ordered_bits_monotone(a in -1e300f64..1e300, b in -1e300f64..1e300) {
+        let (ka, kb) = (f64_to_ordered_bits(a), f64_to_ordered_bits(b));
+        match a.partial_cmp(&b).unwrap() {
+            std::cmp::Ordering::Less => prop_assert!(ka < kb),
+            std::cmp::Ordering::Greater => prop_assert!(ka > kb),
+            std::cmp::Ordering::Equal => prop_assert_eq!(ka, kb),
+        }
+    }
+
+    /// The polyalgorithm's reported cost is deterministic and positive for
+    /// nonempty inputs, for any configuration.
+    #[test]
+    fn poly_cost_deterministic(seed in 0u64..5_000, class_idx in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = SortInputClass::all()[class_idx];
+        let input = class.generate(300, &mut rng);
+        let program = PolySort::new(512);
+        let mut cfg_rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        let cfg = program.space().random(&mut cfg_rng);
+        let a = program.run(&cfg, &input);
+        let b = program.run(&cfg, &input);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.cost > 0.0);
+    }
+
+    /// Feature values live in their documented ranges.
+    #[test]
+    fn feature_ranges(seed in 0u64..5_000, class_idx in 0usize..10, level in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = SortInputClass::all()[class_idx];
+        let input = class.generate(200, &mut rng);
+        let program = PolySort::new(512);
+        let sortedness = program.extract(0, level, &input).value;
+        let duplication = program.extract(1, level, &input).value;
+        prop_assert!((0.0..=1.0).contains(&sortedness), "sortedness {}", sortedness);
+        prop_assert!((0.0..=1.0).contains(&duplication), "duplication {}", duplication);
+        prop_assert!(program.extract(2, level, &input).value >= 0.0);
+        prop_assert!(program.extract(3, level, &input).value >= 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Input feature extractors for the SVD benchmark: value range, standard
+//! deviation, and zeros count, each at three sampling levels over the
+//! matrix entries (the paper's three cheap features that indirectly reflect
+//! the expensive-to-measure eigenvalue structure).
+
+use intune_core::FeatureSample;
+use intune_linalg::Matrix;
+
+/// Property indices (order matches `SvdBench::properties`).
+pub mod prop {
+    /// max − min over sampled entries.
+    pub const RANGE: usize = 0;
+    /// Standard deviation over sampled entries.
+    pub const DEVIATION: usize = 1;
+    /// Fraction of exact zeros over sampled entries.
+    pub const ZEROS: usize = 2;
+    /// Energy concentration of the top singular direction on a sampled
+    /// submatrix (power-iteration probe). The paper notes SVD "is sensitive
+    /// to the number of eigenvalues … but this feature is expensive to
+    /// measure"; this extractor makes that trade-off explicit — the deeper
+    /// sampling levels probe larger submatrices at sharply growing cost.
+    pub const SPECTRAL: usize = 3;
+}
+
+fn sample(a: &Matrix, level: usize) -> (Vec<f64>, f64) {
+    let data = a.data();
+    let n = data.len();
+    if n == 0 {
+        return (vec![0.0], 1.0);
+    }
+    let m = match level {
+        0 => n.min(64),
+        1 => n.min(512),
+        _ => n,
+    }
+    .max(1);
+    let out: Vec<f64> = (0..m).map(|i| data[i * n / m]).collect();
+    (out, m as f64)
+}
+
+/// Extracts property `property` at sampling `level`.
+///
+/// # Panics
+/// Panics if `property` is out of range (SVD declares 3).
+pub fn extract(property: usize, level: usize, a: &Matrix) -> FeatureSample {
+    let (s, m) = sample(a, level);
+    match property {
+        prop::RANGE => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &s {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            FeatureSample::new(if hi >= lo { hi - lo } else { 0.0 }, m)
+        }
+        prop::DEVIATION => {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+            FeatureSample::new(var.sqrt(), 2.0 * m)
+        }
+        prop::ZEROS => {
+            let zeros = s.iter().filter(|x| **x == 0.0).count();
+            FeatureSample::new(zeros as f64 / s.len() as f64, m)
+        }
+        prop::SPECTRAL => spectral_probe(a, level),
+        other => panic!("svd has 4 properties, got {other}"),
+    }
+}
+
+/// Power-iteration probe: fraction of the (sub)matrix's Frobenius energy
+/// captured by its top singular direction. Near 1 ⇒ effectively rank-1 ⇒
+/// cheap low-rank configurations suffice; near `1/n` ⇒ flat spectrum.
+fn spectral_probe(a: &Matrix, level: usize) -> FeatureSample {
+    let s = match level {
+        0 => 6,
+        1 => 12,
+        _ => usize::MAX,
+    };
+    let rows = a.rows().min(s);
+    let cols = a.cols().min(s);
+    if rows == 0 || cols == 0 {
+        return FeatureSample::new(0.0, 1.0);
+    }
+    // Strided submatrix.
+    let sub = Matrix::from_fn(rows, cols, |i, j| {
+        a[(i * a.rows() / rows, j * a.cols() / cols)]
+    });
+    let fro2: f64 = sub.data().iter().map(|x| x * x).sum();
+    if fro2 <= 0.0 {
+        return FeatureSample::new(0.0, (rows * cols) as f64);
+    }
+    // 4 power iterations of AᵀA on a deterministic start vector.
+    let mut v: Vec<f64> = (0..cols).map(|j| ((j as f64) * 0.7).sin() + 1.1).collect();
+    let mut sigma2 = 0.0;
+    let mut cost = (rows * cols) as f64;
+    for _ in 0..4 {
+        let av = sub.matvec(&v);
+        let atav = sub.transpose().matvec(&av);
+        let norm = atav.iter().map(|x| x * x).sum::<f64>().sqrt();
+        cost += 4.0 * (rows * cols) as f64;
+        if norm <= 1e-300 {
+            break;
+        }
+        sigma2 = av.iter().map(|x| x * x).sum::<f64>();
+        v = atav.iter().map(|x| x / norm).collect();
+        let vn = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vn > 1e-300 {
+            for x in &mut v {
+                *x /= vn;
+            }
+        }
+    }
+    FeatureSample::new((sigma2 / fro2).clamp(0.0, 1.0), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_fraction_detected() {
+        let a = Matrix::from_fn(10, 10, |i, j| if (i + j) % 2 == 0 { 0.0 } else { 1.0 });
+        let z = extract(prop::ZEROS, 2, &a).value;
+        assert!((z - 0.5).abs() < 0.05, "zeros {z}");
+    }
+
+    #[test]
+    fn range_and_deviation() {
+        let a = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(extract(prop::RANGE, 2, &a).value, 24.0);
+        assert!(extract(prop::DEVIATION, 2, &a).value > 5.0);
+    }
+
+    #[test]
+    fn levels_cost_ordering() {
+        let a = Matrix::from_fn(40, 40, |i, j| ((i * j) % 11) as f64);
+        for p in 0..3 {
+            assert!(extract(p, 0, &a).cost < extract(p, 2, &a).cost);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Input generators for the SVD benchmark: matrices whose spectra (and
+//! zero-structure) vary enough to separate the method/rank choices.
+
+use intune_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One SVD input.
+#[derive(Debug, Clone)]
+pub struct SvdInput {
+    /// The matrix to approximate (rows ≥ cols).
+    pub matrix: Matrix,
+}
+
+/// Families of SVD inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SvdInputClass {
+    /// Exactly rank-`rank` plus tiny noise: cheap methods at tiny rank win.
+    LowRank {
+        /// The true rank.
+        rank: usize,
+    },
+    /// Exponentially decaying spectrum: moderate rank suffices.
+    FastDecay,
+    /// Near-flat spectrum: needs high rank / accurate method.
+    SlowDecay,
+    /// Sparse (many exact zeros) — low effective rank, cheap feature signal.
+    Sparse,
+    /// Block-diagonal structure.
+    Block,
+    /// Dense uniform random (hard: flat-ish spectrum).
+    Dense,
+}
+
+impl SvdInputClass {
+    /// All generator classes.
+    pub fn all() -> Vec<SvdInputClass> {
+        vec![
+            SvdInputClass::LowRank { rank: 2 },
+            SvdInputClass::LowRank { rank: 5 },
+            SvdInputClass::FastDecay,
+            SvdInputClass::SlowDecay,
+            SvdInputClass::Sparse,
+            SvdInputClass::Block,
+            SvdInputClass::Dense,
+        ]
+    }
+
+    /// Generates an `m × n` input (clamped so `m ≥ n`).
+    pub fn generate(self, m: usize, n: usize, rng: &mut StdRng) -> SvdInput {
+        let m = m.max(n);
+        use SvdInputClass::*;
+        let matrix = match self {
+            LowRank { rank } => {
+                let r = rank.min(n).max(1);
+                let mut out = Matrix::zeros(m, n);
+                for k in 0..r {
+                    let scale = 20.0 / (k + 1) as f64;
+                    let u: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    for i in 0..m {
+                        for j in 0..n {
+                            out[(i, j)] += scale * u[i] * v[j];
+                        }
+                    }
+                }
+                // Tiny noise floor.
+                for i in 0..m {
+                    for j in 0..n {
+                        out[(i, j)] += rng.gen_range(-1e-4..1e-4);
+                    }
+                }
+                out
+            }
+            FastDecay => spectrum_matrix(m, n, rng, |k| 10.0 * 0.5f64.powi(k as i32)),
+            SlowDecay => spectrum_matrix(m, n, rng, |k| 10.0 / (1.0 + k as f64)),
+            Sparse => {
+                let density = rng.gen_range(0.05..0.2);
+                Matrix::from_fn(m, n, |_, _| {
+                    if rng.gen_bool(density) {
+                        rng.gen_range(-10.0..10.0)
+                    } else {
+                        0.0
+                    }
+                })
+            }
+            Block => {
+                let blocks = rng.gen_range(2..5usize);
+                let bw = n / blocks + 1;
+                Matrix::from_fn(m, n, |i, j| {
+                    if i % (m / blocks + 1) / bw.max(1) == j / bw.max(1) || (i / bw) == (j / bw) {
+                        rng.gen_range(-5.0..5.0)
+                    } else {
+                        0.0
+                    }
+                })
+            }
+            Dense => Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0)),
+        };
+        SvdInput { matrix }
+    }
+}
+
+/// Builds `U·diag(σ(k))·Vᵀ`-like matrices with a prescribed spectrum shape
+/// using cheap pseudo-orthogonal trigonometric bases.
+fn spectrum_matrix(m: usize, n: usize, rng: &mut StdRng, sigma: impl Fn(usize) -> f64) -> Matrix {
+    let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut out = Matrix::zeros(m, n);
+    for k in 0..n {
+        let s = sigma(k);
+        for i in 0..m {
+            let u = ((i as f64 + 1.0) * (k as f64 + 1.0) * 0.7 + phase).sin();
+            for j in 0..n {
+                let v = ((j as f64 + 1.0) * (k as f64 + 1.0) * 0.3 + phase).cos();
+                out[(i, j)] += s * u * v / (m as f64).sqrt();
+            }
+        }
+    }
+    out
+}
+
+/// A corpus of SVD inputs.
+#[derive(Debug, Clone)]
+pub struct SvdCorpus {
+    /// The inputs.
+    pub inputs: Vec<SvdInput>,
+    /// Generator class per input (diagnostics only).
+    pub classes: Vec<SvdInputClass>,
+}
+
+impl SvdCorpus {
+    /// Builds `count` inputs cycling through the classes, with column counts
+    /// uniform in `[min_n, max_n]` and 1.3× as many rows.
+    pub fn synthetic(count: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = SvdInputClass::all();
+        let mut inputs = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let class = classes[i % classes.len()];
+            let n = rng.gen_range(min_n..=max_n.max(min_n));
+            let m = (n as f64 * 1.3).round() as usize;
+            inputs.push(class.generate(m, n, &mut rng));
+            labels.push(class);
+        }
+        SvdCorpus {
+            inputs,
+            classes: labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_linalg::svd::svd_jacobi;
+
+    #[test]
+    fn all_classes_generate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in SvdInputClass::all() {
+            let input = class.generate(20, 15, &mut rng);
+            assert_eq!(input.matrix.rows(), 20, "{class:?}");
+            assert_eq!(input.matrix.cols(), 15, "{class:?}");
+            assert!(input.matrix.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn low_rank_class_has_low_rank() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = SvdInputClass::LowRank { rank: 3 }.generate(20, 15, &mut rng);
+        let svd = svd_jacobi(&input.matrix);
+        // Energy beyond the third singular value is negligible.
+        let head: f64 = svd.sigma.iter().take(3).map(|s| s * s).sum();
+        let tail: f64 = svd.sigma.iter().skip(3).map(|s| s * s).sum();
+        assert!(tail < 1e-4 * head, "tail {tail} vs head {head}");
+    }
+
+    #[test]
+    fn slow_decay_needs_more_rank_than_fast() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fast = SvdInputClass::FastDecay.generate(20, 15, &mut rng);
+        let slow = SvdInputClass::SlowDecay.generate(20, 15, &mut rng);
+        let energy_frac = |m: &Matrix, k: usize| {
+            let svd = svd_jacobi(m);
+            let head: f64 = svd.sigma.iter().take(k).map(|s| s * s).sum();
+            let total: f64 = svd.sigma.iter().map(|s| s * s).sum();
+            head / total.max(1e-300)
+        };
+        assert!(energy_frac(&fast.matrix, 3) > energy_frac(&slow.matrix, 3));
+    }
+
+    #[test]
+    fn sparse_class_has_zeros() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = SvdInputClass::Sparse.generate(20, 15, &mut rng);
+        let zero_frac = input.matrix.count_zeros() as f64 / 300.0;
+        assert!(zero_frac > 0.5, "zero fraction {zero_frac}");
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let a = SvdCorpus::synthetic(8, 10, 16, 5);
+        let b = SvdCorpus::synthetic(8, 10, 16, 5);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.matrix, y.matrix);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! # intune-svdlib
+//!
+//! The paper's **SVD** benchmark: approximate a matrix `A` in less space via
+//! a truncated singular value decomposition `A_k = Σᵢ₍ₖ₎ σᵢuᵢvᵢᵀ`. The
+//! algorithmic choices are the *technique used to find the eigenvalues*
+//! (one-sided Jacobi, subspace iteration, or Golub–Kahan–Lanczos — see
+//! `intune-linalg`), the *rank fraction* kept, and the iteration budget of
+//! the iterative methods.
+//!
+//! The accuracy metric is the paper's: `log₁₀( RMS(A − 0) / RMS(A − A_k) )`
+//! — the log of the ratio of the RMS error of the zero-matrix initial guess
+//! to the RMS error of the output — with threshold 0.7 (≈ 5× error
+//! reduction). Inputs with rapidly decaying spectra (or many zeros) hit the
+//! bar at tiny rank with cheap methods; slow-decay inputs need high rank or
+//! the accurate (expensive) Jacobi method: the benchmark's input
+//! sensitivity. The paper notes SVD is "sensitive to the number of
+//! eigenvalues … but this feature is expensive to measure"; the cheap
+//! *zeros* feature tends to reflect it indirectly, which our generators
+//! preserve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod generators;
+
+pub use generators::{SvdCorpus, SvdInput, SvdInputClass};
+
+use intune_core::{
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+};
+use intune_linalg::svd::{compute, SvdMethod};
+use intune_linalg::Matrix;
+
+/// The SVD benchmark.
+#[derive(Debug, Clone)]
+pub struct SvdBench;
+
+impl SvdBench {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        SvdBench
+    }
+
+    fn input_seed(a: &Matrix) -> u64 {
+        let mut h = (a.rows() as u64) << 32 | a.cols() as u64;
+        for v in a.data().iter().take(16) {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(v.to_bits());
+        }
+        h
+    }
+}
+
+impl Default for SvdBench {
+    fn default() -> Self {
+        SvdBench::new()
+    }
+}
+
+impl Benchmark for SvdBench {
+    type Input = SvdInput;
+
+    fn name(&self) -> &str {
+        "svd"
+    }
+
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("svd.method", 3)
+            .int("svd.rank_pct", 2, 100)
+            .int("svd.iters", 1, 16)
+            .build()
+    }
+
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let space = self.space();
+        let a = &input.matrix;
+        let n = a.cols();
+        let rank_pct = cfg.int(space.require("svd.rank_pct").unwrap()) as f64;
+        let k = (((rank_pct / 100.0) * n as f64).round() as usize).clamp(1, n);
+        let iters = cfg.int(space.require("svd.iters").unwrap()) as usize;
+        let method = match cfg.choice(space.require("svd.method").unwrap()) {
+            0 => SvdMethod::Jacobi,
+            1 => SvdMethod::Subspace { iters },
+            _ => SvdMethod::Lanczos,
+        };
+        let svd = compute(a, k, method, Self::input_seed(a));
+        let approx = svd.reconstruct(k);
+        let err = (&approx - a).rms();
+        let initial = a.rms().max(1e-300);
+        let accuracy = (initial / err.max(1e-300)).log10();
+        ExecutionReport::with_accuracy(svd.flops, accuracy)
+    }
+
+    fn accuracy(&self) -> Option<AccuracySpec> {
+        Some(AccuracySpec::new(0.7))
+    }
+
+    fn properties(&self) -> Vec<FeatureDef> {
+        vec![
+            FeatureDef::new("range", 3),
+            FeatureDef::new("deviation", 3),
+            FeatureDef::new("zeros", 3),
+            FeatureDef::new("spectral", 3),
+        ]
+    }
+
+    fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+        features::extract(property, level, &input.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{BenchmarkExt, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn low_rank_input() -> SvdInput {
+        let mut rng = StdRng::seed_from_u64(2);
+        SvdInputClass::LowRank { rank: 3 }.generate(24, 18, &mut rng)
+    }
+
+    fn config(b: &SvdBench, method: usize, rank_pct: i64, iters: i64) -> Configuration {
+        let space = b.space();
+        let mut cfg = space.default_config();
+        cfg.set(
+            space.index_of("svd.method").unwrap(),
+            ParamValue::Choice(method),
+        );
+        cfg.set(
+            space.index_of("svd.rank_pct").unwrap(),
+            ParamValue::Int(rank_pct),
+        );
+        cfg.set(space.index_of("svd.iters").unwrap(), ParamValue::Int(iters));
+        cfg
+    }
+
+    #[test]
+    fn jacobi_full_rank_is_most_accurate_and_most_expensive() {
+        let b = SvdBench::new();
+        let input = low_rank_input();
+        let jacobi = b.run(&config(&b, 0, 50, 1), &input);
+        let subspace = b.run(&config(&b, 1, 20, 2), &input);
+        assert!(jacobi.accuracy.unwrap() >= subspace.accuracy.unwrap() - 1e-6);
+        assert!(jacobi.cost > subspace.cost);
+    }
+
+    #[test]
+    fn low_rank_inputs_hit_threshold_cheaply() {
+        let b = SvdBench::new();
+        let input = low_rank_input();
+        // Rank 3 matrix: 20% of 18 cols ≈ 4 ≥ 3 singular directions.
+        let report = b.run(&config(&b, 1, 20, 8), &input);
+        assert!(
+            report.accuracy.unwrap() > 0.7,
+            "accuracy {}",
+            report.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn slow_decay_inputs_need_more_rank() {
+        let b = SvdBench::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let input = SvdInputClass::SlowDecay.generate(24, 18, &mut rng);
+        let tiny = b.run(&config(&b, 1, 5, 8), &input);
+        let big = b.run(&config(&b, 0, 100, 8), &input);
+        assert!(
+            big.accuracy.unwrap() > tiny.accuracy.unwrap(),
+            "big-rank {} vs tiny-rank {}",
+            big.accuracy.unwrap(),
+            tiny.accuracy.unwrap()
+        );
+    }
+
+    #[test]
+    fn features_extractable() {
+        let b = SvdBench::new();
+        let fv = b.extract_all(&low_rank_input());
+        assert_eq!(fv.len(), 12);
+        assert!(fv.dense().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spectral_probe_separates_spectra() {
+        let b = SvdBench::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let low = SvdInputClass::LowRank { rank: 2 }.generate(24, 18, &mut rng);
+        let flat = SvdInputClass::Dense.generate(24, 18, &mut rng);
+        let p_low = b.extract(3, 2, &low).value;
+        let p_flat = b.extract(3, 2, &flat).value;
+        assert!(
+            p_low > p_flat + 0.2,
+            "low-rank probe {p_low} should dominate flat-spectrum probe {p_flat}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let b = SvdBench::new();
+        let input = low_rank_input();
+        let cfg = config(&b, 1, 25, 4);
+        let r1 = b.run(&cfg, &input);
+        let r2 = b.run(&cfg, &input);
+        assert_eq!(r1.cost, r2.cost);
+        assert_eq!(r1.accuracy, r2.accuracy);
+    }
+
+    #[test]
+    fn accuracy_threshold_is_papers() {
+        assert_eq!(SvdBench::new().accuracy().unwrap().threshold, 0.7);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the SVD benchmark.
+
+use intune_core::Benchmark;
+use intune_svdlib::{SvdBench, SvdInputClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Runs are deterministic, cost-positive, and accuracy grows (or holds)
+    /// with the retained rank for the exact method.
+    #[test]
+    fn rank_monotonicity(seed in 0u64..300, class_idx in 0usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = SvdInputClass::all();
+        let input = classes[class_idx % classes.len()].generate(16, 12, &mut rng);
+        let b = SvdBench::new();
+        let space = b.space();
+
+        let mk = |rank: i64| {
+            let mut cfg = space.default_config();
+            cfg.set(space.index_of("svd.method").unwrap(), intune_core::ParamValue::Choice(0));
+            cfg.set(space.index_of("svd.rank_pct").unwrap(), intune_core::ParamValue::Int(rank));
+            cfg
+        };
+        let low = b.run(&mk(10), &input);
+        let high = b.run(&mk(90), &input);
+        prop_assert!(low.cost > 0.0);
+        prop_assert!(
+            high.accuracy.unwrap() >= low.accuracy.unwrap() - 1e-6,
+            "more rank lowered accuracy: {} -> {}",
+            low.accuracy.unwrap(),
+            high.accuracy.unwrap()
+        );
+        let again = b.run(&mk(10), &input);
+        prop_assert_eq!(low, again);
+    }
+
+    /// Every feature is finite with positive extraction cost across classes
+    /// and levels; the spectral probe stays in [0, 1].
+    #[test]
+    fn features_well_formed(seed in 0u64..300, class_idx in 0usize..7, level in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = SvdInputClass::all();
+        let input = classes[class_idx % classes.len()].generate(14, 10, &mut rng);
+        let b = SvdBench::new();
+        for p in 0..4 {
+            let s = b.extract(p, level, &input);
+            prop_assert!(s.value.is_finite());
+            prop_assert!(s.cost > 0.0);
+        }
+        let spectral = b.extract(3, level, &input).value;
+        prop_assert!((0.0..=1.0).contains(&spectral), "spectral {}", spectral);
+    }
+}

@@ -1,0 +1,69 @@
+//! A tour of the 13 bin-packing heuristics and learned heuristic selection.
+//!
+//! ```text
+//! cargo run --release --example binpacking_tour
+//! ```
+//!
+//! Races all 13 heuristics across item-size distributions (occupancy =
+//! the paper's accuracy metric, threshold 0.95), then runs the two-level
+//! learner over the heuristic-selector space and reports which heuristics
+//! the landmarks settled on.
+
+use intune::autotuner::TunerOptions;
+use intune::binpacklib::{BinPacking, Heuristic, PackCorpus, PackInputClass};
+use intune::core::{Benchmark, SelectorSpec};
+use intune::learning::pipeline::learn;
+use intune::learning::{Level1Options, TwoLevelOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+
+    println!("occupancy (accuracy metric) per heuristic, 300 items:");
+    print!("{:<18}", "class");
+    for h in Heuristic::ALL {
+        print!("{:>6}", h.name());
+    }
+    println!();
+    for class in PackInputClass::all() {
+        let items = class.generate(300, &mut rng);
+        print!("{:<18}", format!("{class:?}"));
+        for h in Heuristic::ALL {
+            print!("{:>6.2}", h.pack(&items).occupancy());
+        }
+        println!();
+    }
+
+    // Learn heuristic selection end to end.
+    println!("\nlearning heuristic selection (8 landmarks)...");
+    let program = BinPacking::new(500);
+    let corpus = PackCorpus::synthetic(80, 200, 500, 1);
+    let options = TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 8,
+            tuner: TunerOptions::quick(2),
+            ..Level1Options::default()
+        },
+        ..TwoLevelOptions::default()
+    };
+    let result = learn(&program, &corpus.inputs, &options);
+
+    let space = program.space();
+    let spec = SelectorSpec::new("pack", 2, 500, Heuristic::ALL.len());
+    for (i, lm) in result.level1.landmarks.iter().enumerate() {
+        let sel = spec.decode(&space, lm).unwrap();
+        let small = Heuristic::ALL[sel.decide(50)];
+        let large = Heuristic::ALL[sel.decide(450)];
+        println!(
+            "landmark {i}: {} for small instances, {} for large",
+            small.name(),
+            large.name()
+        );
+    }
+    println!(
+        "production classifier: {} (relabeled {:.0}% of inputs)",
+        result.candidates[result.chosen].name,
+        100.0 * result.relabel_fraction
+    );
+}

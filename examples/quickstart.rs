@@ -1,0 +1,68 @@
+//! Quickstart: learn an input-adaptive sorting program and deploy it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The pipeline mirrors the paper end to end: generate a training corpus,
+//! run the two-level learner (cluster → autotune landmarks → measure →
+//! relabel → train classifier family → select production classifier), then
+//! classify-and-run unseen inputs and compare against the oracles.
+
+use intune::autotuner::TunerOptions;
+use intune::learning::pipeline::{evaluate, learn, TunedProgram};
+use intune::learning::{Level1Options, TwoLevelOptions};
+use intune::sortlib::{PolySort, SortCorpus};
+
+fn main() {
+    // A program with algorithmic choices: the five-way sort polyalgorithm
+    // for inputs up to 2048 elements.
+    let program = PolySort::new(2048);
+
+    // Training and test corpora spanning the input feature space.
+    let train = SortCorpus::synthetic(80, 256, 2048, 1);
+    let test = SortCorpus::synthetic(40, 256, 2048, 2);
+
+    // Two-level learning at a laptop-friendly budget.
+    let options = TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 8,
+            tuner: TunerOptions::quick(7),
+            ..Level1Options::default()
+        },
+        ..TwoLevelOptions::default()
+    };
+    println!(
+        "learning (8 landmarks, {} training inputs)...",
+        train.inputs.len()
+    );
+    let result = learn(&program, &train.inputs, &options);
+
+    println!(
+        "second level relabeled {:.0}% of the inputs; production classifier: {}",
+        100.0 * result.relabel_fraction,
+        result.candidates[result.chosen].name
+    );
+
+    // Evaluate against the oracles on held-out inputs (Table 1 row).
+    let row = evaluate(&program, &result, &test.inputs, true);
+    println!(
+        "speedup over static oracle: dynamic-oracle {:.2}x | two-level {:.2}x \
+         (with feature time {:.2}x)",
+        row.dynamic_oracle, row.two_level, row.two_level_fx
+    );
+
+    // Deploy: classify one fresh input and run its landmark.
+    let tuned = TunedProgram::new(&program, &result);
+    let fresh = &test.inputs[0];
+    let (landmark, feature_cost) = tuned.select(fresh);
+    let (report, _) = tuned.run(fresh);
+    println!(
+        "fresh input (n = {}): chose landmark {} after {:.0} feature-extraction \
+         work units; sorted at cost {:.0}",
+        fresh.len(),
+        landmark,
+        feature_cost,
+        report.cost
+    );
+}

@@ -1,0 +1,36 @@
+//! # intune — input-sensitive algorithmic autotuning
+//!
+//! A Rust reproduction of *"Autotuning Algorithmic Choice for Input
+//! Sensitivity"* (Ding, Ansel, Veeramachaneni, Shen, O'Reilly, Amarasinghe —
+//! PLDI 2015): a two-level input learning framework that selects, per input,
+//! the best of a small set of autotuned *landmark* configurations of a
+//! program with algorithmic choices.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — configuration spaces, selectors, input features, reports
+//! * [`ml`] — k-means, cost-sensitive decision trees, naive Bayes, CV
+//! * [`autotuner`] — evolutionary configuration search
+//! * [`linalg`] — dense matrices, QR, eigen/SVD solvers
+//! * [`sortlib`], [`clusterlib`], [`binpacklib`], [`svdlib`], [`pde`] — the
+//!   six benchmark programs with algorithmic choices and input generators
+//! * [`learning`] — the two-level pipeline, classifiers, oracles
+//! * [`eval`] — corpora and the table/figure reproduction harness
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: generate a corpus of
+//! sorting inputs, learn landmarks + a production classifier, then deploy it
+//! on unseen inputs and compare against the static and dynamic oracles.
+
+pub use intune_autotuner as autotuner;
+pub use intune_binpacklib as binpacklib;
+pub use intune_clusterlib as clusterlib;
+pub use intune_core as core;
+pub use intune_eval as eval;
+pub use intune_learning as learning;
+pub use intune_linalg as linalg;
+pub use intune_ml as ml;
+pub use intune_pde as pde;
+pub use intune_sortlib as sortlib;
+pub use intune_svdlib as svdlib;

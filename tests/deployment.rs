@@ -1,0 +1,100 @@
+//! Deployment-artifact integration tests: `TunedProgram` classify-and-run
+//! round trips across benchmarks (Figure 3's deployment path).
+
+use intune::autotuner::TunerOptions;
+use intune::clusterlib::{ClusterCorpus, Clustering};
+use intune::core::Benchmark;
+use intune::learning::pipeline::{learn, TunedProgram};
+use intune::learning::selection::SelectionOptions;
+use intune::learning::{Level1Options, TwoLevelOptions};
+use intune::sortlib::{PolySort, SortCorpus};
+
+fn options(seed: u64) -> TwoLevelOptions {
+    TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 4,
+            tuner: TunerOptions {
+                population: 8,
+                generations: 4,
+                ..TunerOptions::quick(seed)
+            },
+            seed,
+            parallel: true,
+            ..Level1Options::default()
+        },
+        selection: SelectionOptions {
+            folds: 2,
+            ..SelectionOptions::default()
+        },
+        ..TwoLevelOptions::default()
+    }
+}
+
+#[test]
+fn sort_deployment_sorts_and_reports_cost() {
+    let program = PolySort::new(512);
+    let train = SortCorpus::synthetic(32, 64, 512, 11);
+    let result = learn(&program, &train.inputs, &options(1));
+    let tuned = TunedProgram::new(&program, &result);
+
+    let fresh = SortCorpus::synthetic(10, 64, 512, 12);
+    for input in &fresh.inputs {
+        let (landmark, fx) = tuned.select(input);
+        assert!(landmark < tuned.landmarks().len());
+        assert!(fx >= 0.0);
+        // The chosen landmark must actually sort.
+        let (sorted, cost) = program.sort(&tuned.landmarks()[landmark], input);
+        let mut expect = input.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, expect);
+        assert!(cost > 0.0);
+    }
+}
+
+#[test]
+fn clustering_deployment_meets_threshold_mostly() {
+    let program = Clustering::new();
+    let train = ClusterCorpus::synthetic(32, 80, 200, 21);
+    let result = learn(&program, &train.inputs, &options(2));
+    let tuned = TunedProgram::new(&program, &result);
+
+    let fresh = ClusterCorpus::synthetic(12, 80, 200, 22);
+    let mut met = 0;
+    for input in &fresh.inputs {
+        let (report, fx) = tuned.run(input);
+        assert!(fx >= 0.0);
+        assert!(report.cost > 0.0);
+        let accuracy = report.accuracy.expect("clustering is variable accuracy");
+        if accuracy >= program.accuracy().unwrap().threshold {
+            met += 1;
+        }
+    }
+    // At tiny scale we tolerate slack, but the artifact must not be junk.
+    assert!(
+        met >= 8,
+        "only {met}/12 deployments met the accuracy threshold"
+    );
+}
+
+#[test]
+fn lazy_selection_never_extracts_outside_production_subset() {
+    let program = PolySort::new(512);
+    let train = SortCorpus::synthetic(32, 64, 512, 31);
+    let result = learn(&program, &train.inputs, &options(3));
+    let tuned = TunedProgram::new(&program, &result);
+    let set = tuned.classifier().feature_set();
+
+    let fresh = SortCorpus::synthetic(5, 64, 512, 32);
+    for input in &fresh.inputs {
+        // Reimplement selection with an instrumented extractor.
+        let allowed: std::collections::HashSet<(usize, usize)> =
+            set.iter().map(|id| (id.property, id.level)).collect();
+        let (_, _) = tuned.classifier().classify_lazy(|p, l| {
+            assert!(
+                allowed.contains(&(p, l)),
+                "classifier extracted feature ({p},{l}) outside its declared subset"
+            );
+            program.extract(p, l, input)
+        });
+    }
+}

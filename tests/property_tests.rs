@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use intune::binpacklib::Heuristic;
+use intune::core::ExecutionReport;
+use intune::core::{Benchmark, ConfigSpace, Selector, SelectorSpec};
+use intune::learning::labels::{cost_matrix, label_inputs_with_margin};
+use intune::learning::PerfMatrix;
+use intune::ml::{KMeans, KMeansOptions, ZScore};
+use intune::sortlib::PolySort;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every configuration of the sort polyalgorithm sorts every input.
+    #[test]
+    fn any_sort_config_sorts_any_input(
+        seed in 0u64..1000,
+        data in prop::collection::vec(-1e6f64..1e6, 0..300),
+    ) {
+        use rand::SeedableRng;
+        let program = PolySort::new(512);
+        let space = program.space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = space.random(&mut rng);
+        let (sorted, cost) = program.sort(&cfg, &data);
+        let mut expect = data.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(sorted, expect);
+        prop_assert!(cost >= 0.0);
+    }
+
+    /// Every heuristic packs every valid instance validly, and occupancy is
+    /// in (0, 1].
+    #[test]
+    fn any_heuristic_packs_validly(
+        items in prop::collection::vec(0.01f64..1.0, 1..120),
+        h_idx in 0usize..13,
+    ) {
+        let h = Heuristic::ALL[h_idx];
+        let packing = h.pack(&items);
+        packing.assert_valid(items.len());
+        prop_assert!(packing.occupancy() > 0.0 && packing.occupancy() <= 1.0 + 1e-9);
+    }
+
+    /// Selectors are total: any genome decodes to a selector that returns a
+    /// valid algorithm for any size.
+    #[test]
+    fn selectors_are_total(seed in 0u64..1000, n in 0usize..100_000) {
+        use rand::SeedableRng;
+        let spec = SelectorSpec::new("s", 4, 1 << 16, 7);
+        let space = spec.add_to(ConfigSpace::builder()).build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = space.random(&mut rng);
+        let sel = Selector::from_config(&spec, &space, &cfg).unwrap();
+        prop_assert!(sel.decide(n) < 7);
+    }
+
+    /// Mutation and crossover are closed over the space.
+    #[test]
+    fn search_operators_stay_in_space(seed in 0u64..500, rate in 0.0f64..1.0) {
+        use rand::SeedableRng;
+        let program = PolySort::new(1024);
+        let space = program.space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = space.random(&mut rng);
+        let b = space.random(&mut rng);
+        let m = space.mutate(&a, rate, &mut rng);
+        let c = space.crossover(&a, &b, &mut rng);
+        prop_assert!(space.validate(&m).is_ok());
+        prop_assert!(space.validate(&c).is_ok());
+    }
+
+    /// The label rule always picks a feasible landmark when one exists.
+    #[test]
+    fn labels_prefer_feasible(
+        costs in prop::collection::vec(
+            prop::collection::vec(1.0f64..100.0, 4), 3),
+        accs in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 4), 3),
+        margin in 0.0f64..0.5,
+    ) {
+        let rows: Vec<Vec<ExecutionReport>> = costs
+            .iter()
+            .zip(&accs)
+            .map(|(cs, asr)| {
+                cs.iter()
+                    .zip(asr)
+                    .map(|(&c, &a)| ExecutionReport::with_accuracy(c, a))
+                    .collect()
+            })
+            .collect();
+        let perf = PerfMatrix::from_reports(rows);
+        let threshold = 0.5;
+        let labels = label_inputs_with_margin(&perf, Some(threshold), margin);
+        for (i, &l) in labels.iter().enumerate() {
+            let any_feasible = (0..3).any(|lm| perf.meets(lm, i, Some(threshold)));
+            if any_feasible {
+                prop_assert!(
+                    perf.meets(l, i, Some(threshold)),
+                    "label {} infeasible on input {} though a feasible landmark exists", l, i
+                );
+            }
+        }
+    }
+
+    /// Cost matrices are non-negative with ~zero diagonals for time-only
+    /// problems.
+    #[test]
+    fn cost_matrix_nonnegative(
+        costs in prop::collection::vec(
+            prop::collection::vec(1.0f64..100.0, 6), 3),
+        lambda in 0.0f64..1.0,
+    ) {
+        let rows: Vec<Vec<ExecutionReport>> = costs
+            .iter()
+            .map(|cs| cs.iter().map(|&c| ExecutionReport::of_cost(c)).collect())
+            .collect();
+        let perf = PerfMatrix::from_reports(rows);
+        let labels = label_inputs_with_margin(&perf, None, 0.0);
+        let cm = cost_matrix(&perf, &labels, None, lambda);
+        for (i, row) in cm.iter().enumerate() {
+            prop_assert!(row[i].abs() < 1e-9);
+            for &c in row {
+                prop_assert!(c >= 0.0);
+            }
+        }
+    }
+
+    /// K-means invariants: labels in range, centroid count respected,
+    /// inertia finite and non-negative.
+    #[test]
+    fn kmeans_invariants(
+        points in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3), 5..60),
+        k in 1usize..8,
+    ) {
+        let km = KMeans::fit(&points, KMeansOptions { k, ..KMeansOptions::default() });
+        prop_assert!(km.centroids().len() <= k.min(points.len()).max(1));
+        prop_assert_eq!(km.labels().len(), points.len());
+        for &l in km.labels() {
+            prop_assert!(l < km.centroids().len());
+        }
+        prop_assert!(km.inertia() >= 0.0 && km.inertia().is_finite());
+    }
+
+    /// Z-score round trip recovers data (non-constant dimensions).
+    #[test]
+    fn zscore_round_trip(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 4), 2..40),
+    ) {
+        let z = ZScore::fit(&rows);
+        for row in &rows {
+            let back = z.inverse(&z.transform(row));
+            for (d, (a, b)) in back.iter().zip(row).enumerate() {
+                // Constant dimensions legitimately collapse to their mean.
+                let col: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+                let constant = col.iter().all(|v| (v - col[0]).abs() < 1e-12);
+                if !constant {
+                    prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+                }
+            }
+        }
+    }
+
+    /// Feature extraction is deterministic and cost-positive for the sort
+    /// benchmark across arbitrary inputs.
+    #[test]
+    fn sort_features_deterministic(
+        data in prop::collection::vec(-1e6f64..1e6, 2..400),
+        property in 0usize..4,
+        level in 0usize..3,
+    ) {
+        let program = PolySort::new(512);
+        let a = program.extract(property, level, &data);
+        let b = program.extract(property, level, &data);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.cost > 0.0);
+        prop_assert!(a.value.is_finite());
+    }
+}

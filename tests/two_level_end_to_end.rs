@@ -1,0 +1,166 @@
+//! End-to-end integration tests: the full two-level pipeline over real
+//! benchmarks at tiny scale, checking the orderings the paper's Table 1
+//! establishes.
+
+use intune::autotuner::TunerOptions;
+use intune::binpacklib::{BinPacking, PackCorpus};
+use intune::learning::pipeline::{evaluate, learn};
+use intune::learning::selection::SelectionOptions;
+use intune::learning::{Level1Options, TwoLevelOptions};
+use intune::ml::TreeOptions;
+use intune::sortlib::{PolySort, SortCorpus};
+
+fn tiny_options(seed: u64) -> TwoLevelOptions {
+    TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 4,
+            tuner: TunerOptions {
+                population: 8,
+                generations: 5,
+                ..TunerOptions::quick(seed)
+            },
+            seed,
+            parallel: true,
+            ..Level1Options::default()
+        },
+        lambda: 0.5,
+        selection: SelectionOptions {
+            folds: 2,
+            tree: TreeOptions {
+                max_depth: 6,
+                ..TreeOptions::default()
+            },
+            seed,
+            ..SelectionOptions::default()
+        },
+        selection_fraction: 0.3,
+    }
+}
+
+#[test]
+fn sort_pipeline_beats_static_oracle_and_respects_oracle_bound() {
+    let program = PolySort::new(512);
+    let train = SortCorpus::synthetic(40, 64, 512, 1);
+    let test = SortCorpus::synthetic(24, 64, 512, 2);
+    let result = learn(&program, &train.inputs, &tiny_options(1));
+    let row = evaluate(&program, &result, &test.inputs, true);
+
+    assert!(
+        row.dynamic_oracle >= 1.0 - 1e-9,
+        "dynamic oracle below static: {}",
+        row.dynamic_oracle
+    );
+    assert!(
+        row.dynamic_oracle >= row.two_level - 1e-9,
+        "classifier cannot beat the per-input oracle on a fixed-accuracy benchmark: {} vs {}",
+        row.dynamic_oracle,
+        row.two_level
+    );
+    // Sort is fixed-accuracy: everything trivially satisfies.
+    assert_eq!(row.two_level_accuracy_pct, 100.0);
+    assert_eq!(row.dynamic_accuracy_pct, 100.0);
+    // The Figure 6 distribution is sorted ascending.
+    for w in row.per_input_speedups.windows(2) {
+        assert!(w[0] <= w[1] + 1e-12);
+    }
+}
+
+#[test]
+fn binpacking_pipeline_produces_consistent_row() {
+    let program = BinPacking::new(300);
+    let train = PackCorpus::synthetic(40, 100, 300, 3);
+    let test = PackCorpus::synthetic(24, 100, 300, 4);
+    let result = learn(&program, &train.inputs, &tiny_options(2));
+    let row = evaluate(&program, &result, &test.inputs, true);
+
+    assert!(
+        row.dynamic_oracle > 0.5,
+        "degenerate oracle {}",
+        row.dynamic_oracle
+    );
+    assert!(
+        row.two_level > 0.5,
+        "degenerate two-level {}",
+        row.two_level
+    );
+    // Feature extraction can only reduce effective speedup.
+    assert!(row.two_level_fx <= row.two_level + 1e-9);
+    assert!(row.one_level_fx <= row.one_level + 1e-9);
+    // Accuracy percentages are percentages.
+    for pct in [
+        row.one_level_accuracy_pct,
+        row.two_level_accuracy_pct,
+        row.dynamic_accuracy_pct,
+        row.static_accuracy_pct,
+    ] {
+        assert!((0.0..=100.0).contains(&pct), "pct {pct}");
+    }
+    // The dynamic oracle is the feasibility ceiling.
+    assert!(row.dynamic_accuracy_pct >= row.two_level_accuracy_pct - 1e-9);
+}
+
+#[test]
+fn learning_is_deterministic() {
+    let program = PolySort::new(256);
+    let train = SortCorpus::synthetic(30, 64, 256, 5);
+    let a = learn(&program, &train.inputs, &tiny_options(7));
+    let b = learn(&program, &train.inputs, &tiny_options(7));
+    assert_eq!(a.level1.landmarks, b.level1.landmarks);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.chosen, b.chosen);
+    assert_eq!(a.relabel_fraction, b.relabel_fraction);
+}
+
+#[test]
+fn candidate_family_is_complete() {
+    let program = PolySort::new(256);
+    let train = SortCorpus::synthetic(30, 64, 256, 6);
+    let result = learn(&program, &train.inputs, &tiny_options(3));
+    // max-apriori + per-landmark constants + (3+1)^4 - 1 = 255 subset trees
+    // + incrementals.
+    let names: Vec<&str> = result.candidates.iter().map(|c| c.name.as_str()).collect();
+    assert!(names.contains(&"max-apriori"));
+    assert!(names.iter().any(|n| n.starts_with("constant[")));
+    assert!(names.iter().any(|n| n.starts_with("tree[")));
+    assert!(names.iter().any(|n| n.starts_with("incremental[")));
+    let trees = names.iter().filter(|n| n.starts_with("tree[")).count();
+    assert_eq!(
+        trees, 255,
+        "one tree per non-empty subset of 4 props x 3 levels"
+    );
+    // Scores align with candidates.
+    assert_eq!(result.candidates.len(), result.scores.len());
+    assert!(result.chosen < result.candidates.len());
+}
+
+#[test]
+fn cost_matrix_shape_and_signs() {
+    // Fixed-accuracy benchmark: the diagonal is exactly zero (no accuracy
+    // penalty term, and Cp_ii = 0 by construction).
+    let program = PolySort::new(256);
+    let train = SortCorpus::synthetic(30, 64, 256, 9);
+    let result = learn(&program, &train.inputs, &tiny_options(4));
+    let k = result.level1.landmarks.len();
+    assert_eq!(result.cost_matrix.len(), k);
+    for (i, row) in result.cost_matrix.iter().enumerate() {
+        assert_eq!(row.len(), k);
+        assert!(row[i].abs() < 1e-9, "diagonal must be ~0, got {}", row[i]);
+        for &c in row {
+            assert!(c >= 0.0, "negative misclassification cost {c}");
+        }
+    }
+
+    // Variable-accuracy benchmark: diagonals may carry accuracy penalties
+    // (a label group can be infeasible under every landmark), but signs
+    // and shape still hold, and the diagonal never exceeds the row max.
+    let program = BinPacking::new(200);
+    let train = PackCorpus::synthetic(30, 80, 200, 9);
+    let result = learn(&program, &train.inputs, &tiny_options(4));
+    for row in &result.cost_matrix {
+        let row_max = row.iter().cloned().fold(0.0, f64::max);
+        for &c in row {
+            assert!(c >= 0.0, "negative misclassification cost {c}");
+            assert!(c <= row_max + 1e-9);
+        }
+    }
+}
