@@ -204,7 +204,7 @@ impl Heuristic {
                     let mut best: Option<(usize, f64)> = None;
                     for (b, &load) in bins.iter().enumerate() {
                         cost += 1.0;
-                        if load + size <= CAPACITY + EPS && best.map_or(true, |(_, l)| load > l) {
+                        if load + size <= CAPACITY + EPS && best.is_none_or(|(_, l)| load > l) {
                             best = Some((b, load));
                         }
                     }
@@ -214,7 +214,7 @@ impl Heuristic {
                     let mut worst: Option<(usize, f64)> = None;
                     for (b, &load) in bins.iter().enumerate() {
                         cost += 1.0;
-                        if load + size <= CAPACITY + EPS && worst.map_or(true, |(_, l)| load < l) {
+                        if load + size <= CAPACITY + EPS && worst.is_none_or(|(_, l)| load < l) {
                             worst = Some((b, load));
                         }
                     }
@@ -227,10 +227,10 @@ impl Heuristic {
                     for (b, &load) in bins.iter().enumerate() {
                         cost += 1.0;
                         if load + size <= CAPACITY + EPS {
-                            if first.map_or(true, |(_, l)| load < l) {
+                            if first.is_none_or(|(_, l)| load < l) {
                                 second = first;
                                 first = Some((b, load));
-                            } else if second.map_or(true, |(_, l)| load < l) {
+                            } else if second.is_none_or(|(_, l)| load < l) {
                                 second = Some((b, load));
                             }
                         }

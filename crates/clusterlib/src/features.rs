@@ -107,8 +107,9 @@ fn centers_estimate(s: &[Point], level: usize, m: f64) -> FeatureSample {
         let gy = (((p[1] - lo[1]) / h) * (g as f64 - 1.0)) as usize;
         grid[gx][gy] += 1.0;
     }
-    // 3x3 box smoothing.
+    // 3x3 box smoothing. Indexed loops: the stencil reads (x±1, y±1).
     let mut smooth = vec![vec![0.0f64; g]; g];
+    #[allow(clippy::needless_range_loop)]
     for x in 0..g {
         for y in 0..g {
             let mut acc = 0.0;
@@ -142,10 +143,13 @@ fn centers_estimate(s: &[Point], level: usize, m: f64) -> FeatureSample {
                     }
                     let nx = x as i64 + dx;
                     let ny = y as i64 + dy;
-                    if nx >= 0 && ny >= 0 && (nx as usize) < g && (ny as usize) < g {
-                        if smooth[nx as usize][ny as usize] > smooth[x][y] {
-                            is_peak = false;
-                        }
+                    if nx >= 0
+                        && ny >= 0
+                        && (nx as usize) < g
+                        && (ny as usize) < g
+                        && smooth[nx as usize][ny as usize] > smooth[x][y]
+                    {
+                        is_peak = false;
                     }
                 }
             }

@@ -219,7 +219,7 @@ impl ConfigSpaceBuilder {
                 });
             }
             match p.kind {
-                ParamKind::Switch { choices } if choices == 0 => {
+                ParamKind::Switch { choices: 0 } => {
                     return Err(Error::InvalidParam {
                         name: p.name.clone(),
                         reason: "switch must have at least one choice".into(),

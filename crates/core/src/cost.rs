@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn meets_threshold_logic() {
         assert!(ExecutionReport::of_cost(1.0).meets(None));
-        assert!(ExecutionReport::of_cost(1.0).meets(Some(0.9)) == false);
+        assert!(!ExecutionReport::of_cost(1.0).meets(Some(0.9)));
         assert!(ExecutionReport::with_accuracy(1.0, 0.95).meets(Some(0.9)));
         assert!(!ExecutionReport::with_accuracy(1.0, 0.85).meets(Some(0.9)));
     }

@@ -35,6 +35,7 @@ fn main() {
         );
     }
     let labels = label_inputs(&r.perf, None);
+    #[allow(clippy::needless_range_loop)]
     for i in 0..12 {
         let costs: Vec<String> = (0..8)
             .map(|l| format!("{:.0}", r.perf.cost(l, i)))

@@ -98,14 +98,14 @@ fn main() {
     // for its members (the one-level analogue in the reduced space).
     let labels_perf = label_inputs(&l1.perf, None);
     let mut cluster_landmark = vec![0usize; cfg.clusters];
-    for c in 0..cfg.clusters {
+    for (c, slot) in cluster_landmark.iter_mut().enumerate() {
         let mut votes = vec![0usize; l1.landmarks.len()];
         for (i, &cl) in km.labels().iter().enumerate() {
             if cl == c {
                 votes[labels_perf[i]] += 1;
             }
         }
-        cluster_landmark[c] = votes
+        *slot = votes
             .iter()
             .enumerate()
             .max_by_key(|(_, v)| **v)
@@ -118,11 +118,14 @@ fn main() {
     });
 
     // 3) Two-level.
-    let result = learn(&b, &train.inputs, &{
-        let mut o = intune_learning::TwoLevelOptions::default();
-        o.level1 = l1_opts.clone();
-        o
-    });
+    let result = learn(
+        &b,
+        &train.inputs,
+        &intune_learning::TwoLevelOptions {
+            level1: l1_opts.clone(),
+            ..Default::default()
+        },
+    );
     let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
 
     println!("speedup over static oracle (sort2, no extraction cost):");

@@ -45,9 +45,7 @@ fn main() {
         let f = worst_case_fraction(k);
         rows_b.push(vec![k.to_string(), format!("{f:.6}")]);
         if [1, 2, 5, 10, 20, 30, 50, 100].contains(&k) {
-            let bar: String = std::iter::repeat('#')
-                .take((f * 50.0).round() as usize)
-                .collect();
+            let bar: String = std::iter::repeat_n('#', (f * 50.0).round() as usize).collect();
             println!("  k={k:<4} {f:.4} |{bar}");
         }
     }

@@ -19,7 +19,7 @@ fn main() {
     let args = Args::parse();
     let levels = if args.paper { 16 } else { 3 };
 
-    println!("{:<14} {:<13} {}", "benchmark", "config space", "genes");
+    println!("{:<14} {:<13} genes", "benchmark", "config space");
     let sort = PolySort::new(1 << 20).with_selector_levels(levels);
     line("sort", sort.space().log10_size(), sort.space().len());
     let clustering = Clustering::new();

@@ -12,7 +12,7 @@ fn main() {
     let cfg = args.config();
 
     println!(
-        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}  {}",
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}  production classifier",
         "benchmark",
         "dyn-orc",
         "2lvl",
@@ -22,8 +22,7 @@ fn main() {
         "1lvl-acc",
         "2lvl-acc",
         "dyn-acc",
-        "relabel%",
-        "production classifier"
+        "relabel%"
     );
 
     let mut rows: Vec<Vec<String>> = vec![vec![

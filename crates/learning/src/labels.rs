@@ -119,8 +119,7 @@ pub fn cost_matrix(
     let mut ca = vec![vec![0.0f64; k]; k];
     let mut counts = vec![0usize; k];
 
-    for i in 0..n {
-        let li = labels[i];
+    for (i, &li) in labels.iter().enumerate() {
         counts[li] += 1;
         for j in 0..k {
             cp[li][j] += (perf.cost(j, i) - perf.cost(li, i)).max(0.0);

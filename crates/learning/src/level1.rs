@@ -312,11 +312,11 @@ mod tests {
         let r = run_level1(&b, &inputs, &options());
         // For each input, the cheapest landmark must be one whose config
         // matches the input kind.
-        for i in 0..inputs.len() {
+        for (i, input) in inputs.iter().enumerate() {
             let best = (0..3)
                 .min_by(|&a, &bb| r.perf.cost(a, i).partial_cmp(&r.perf.cost(bb, i)).unwrap())
                 .unwrap();
-            assert_eq!(r.landmarks[best].choice(0), inputs[i].0);
+            assert_eq!(r.landmarks[best].choice(0), input.0);
         }
     }
 

@@ -175,14 +175,14 @@ pub fn train_candidates(
             }
             let held_out = held_out / test_idx.len().max(1) as f64;
             cost_sum += held_out;
-            if best_fold.as_ref().map_or(true, |(c, _)| held_out < *c) {
+            if best_fold.as_ref().is_none_or(|(c, _)| held_out < *c) {
                 best_fold = Some((held_out, tree));
             }
         }
         let cv_cost = cost_sum / folds as f64;
         let (_, tree) = best_fold.expect("at least one fold");
 
-        if best_subset.as_ref().map_or(true, |(c, _)| cv_cost < *c) {
+        if best_subset.as_ref().is_none_or(|(c, _)| cv_cost < *c) {
             best_subset = Some((cv_cost, set.clone()));
         }
         candidates.push(Candidate {
@@ -388,7 +388,7 @@ mod tests {
         let n = 90;
         let mut features = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
-        let mut reports = vec![Vec::with_capacity(n); 3];
+        let mut reports: Vec<Vec<_>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
         for i in 0..n {
             let class = i % 3;
             let mut fv = FeatureVector::empty(&defs);

@@ -54,6 +54,8 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the factored dimension.
+    // Indexed loops are the natural form for triangular substitution.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");

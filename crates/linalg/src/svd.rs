@@ -193,7 +193,7 @@ pub fn svd_subspace(a: &Matrix, k: usize, iters: usize, seed: u64) -> Svd {
 
     for _ in 0..iters.max(1) {
         // y = Aᵀ (A x)
-        let ax = &*a * &x; // m x k
+        let ax = a * &x; // m x k
         let y = &a.transpose() * &ax; // n x k
         flops += a.matmul_flops(&x) + 2.0 * (n * m * k) as f64;
         let f = qr(&y);
@@ -203,7 +203,7 @@ pub fn svd_subspace(a: &Matrix, k: usize, iters: usize, seed: u64) -> Svd {
 
     // Rayleigh–Ritz on the k-dimensional subspace: B = A·X (m × k), thin SVD
     // of B via eigen of BᵀB (k × k, tiny).
-    let b = &*a * &x;
+    let b = a * &x;
     flops += a.matmul_flops(&x);
     let btb = &b.transpose() * &b;
     flops += 2.0 * (k * m * k) as f64;

@@ -125,6 +125,8 @@ impl DecisionTree {
 
     /// Expected cost of the best single prediction for a node, plus that
     /// prediction. Gini impurity is blended in at 1e-6 weight to break ties.
+    // `j` walks prediction columns of the cost matrix; the index is the point.
+    #[allow(clippy::needless_range_loop)]
     fn node_cost(counts: &[f64], cost: &[Vec<f64>]) -> (f64, usize) {
         let total: f64 = counts.iter().sum();
         let mut best = (f64::INFINITY, 0usize);
@@ -165,7 +167,10 @@ impl DecisionTree {
         }
 
         let num_features = x[0].len();
-        let mut best: Option<(f64, usize, f64)> = None; // (cost, feature, threshold)
+        // Best split so far: (cost, feature, threshold). `f` below is a
+        // column index into every row of `x`, not into one slice.
+        let mut best: Option<(f64, usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
         for f in 0..num_features {
             let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -199,7 +204,7 @@ impl DecisionTree {
                 let (lc, _) = Self::node_cost(&left_counts, cost);
                 let (rc, _) = Self::node_cost(&right_counts, cost);
                 let split_cost = lc + rc;
-                if best.map_or(true, |(b, _, _)| split_cost < b) {
+                if best.is_none_or(|(b, _, _)| split_cost < b) {
                     best = Some((split_cost, f, threshold));
                 }
             }

@@ -33,7 +33,7 @@ proptest! {
         prop_assume!(xs.len() >= 10);
         let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
         let labels: Vec<usize> = xs.iter().map(|&x| usize::from(x > 0.0)).collect();
-        prop_assume!(labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1));
+        prop_assume!(labels.contains(&0) && labels.contains(&1));
         // Unregularized tree: one clean threshold exists, so perfect
         // separation must be reachable (min_split would otherwise leave
         // small mixed leaves by design).

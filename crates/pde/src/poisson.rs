@@ -260,7 +260,10 @@ mod tests {
 
         let mut smooth_cfg = space.default_config();
         set(&mut smooth_cfg, &space, "p2.solver", ParamValue::Choice(2));
-        set(&mut smooth_cfg, &space, "p2.sweeps", ParamValue::Int(70));
+        // 90 sweeps (not 70): the vendored deterministic RNG draws a
+        // slightly richer low-frequency mix for HighFreq than upstream
+        // rand's StdRng did, and 70 sweeps land just under the 7-order bar.
+        set(&mut smooth_cfg, &space, "p2.sweeps", ParamValue::Int(90));
         set(
             &mut smooth_cfg,
             &space,

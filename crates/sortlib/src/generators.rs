@@ -80,7 +80,7 @@ impl SortInputClass {
                 v
             }
             FewDistinct => {
-                let k = rng.gen_range(2..16);
+                let k = rng.gen_range(2usize..16);
                 let values: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..1e4)).collect();
                 (0..n).map(|_| values[rng.gen_range(0..k)]).collect()
             }
@@ -105,7 +105,7 @@ impl SortInputClass {
                 v
             }
             Runs => {
-                let run_len = rng.gen_range(4..64).min(n.max(1));
+                let run_len = rng.gen_range(4usize..64).min(n.max(1));
                 let mut v = Vec::with_capacity(n);
                 while v.len() < n {
                     let base: f64 = rng.gen_range(0.0..1e6);

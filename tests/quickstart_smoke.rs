@@ -1,0 +1,119 @@
+//! Tiny-scale smoke test for the `examples/quickstart.rs` path: learn →
+//! classify → deploy on `PolySort`. This is the fast guard in front of the
+//! heavier `tests/two_level_end_to_end.rs` suite — it exercises the same
+//! pipeline surface in well under a second.
+
+use intune::autotuner::TunerOptions;
+use intune::learning::pipeline::{evaluate, learn, TunedProgram};
+use intune::learning::{Level1Options, TwoLevelOptions};
+use intune::sortlib::{PolySort, SortCorpus};
+
+#[test]
+fn quickstart_pipeline_smoke() {
+    let program = PolySort::new(512);
+    let train = SortCorpus::synthetic(24, 64, 512, 1);
+    let test = SortCorpus::synthetic(8, 64, 512, 2);
+
+    let options = TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 3,
+            tuner: TunerOptions {
+                population: 6,
+                generations: 3,
+                ..TunerOptions::quick(7)
+            },
+            ..Level1Options::default()
+        },
+        ..TwoLevelOptions::default()
+    };
+
+    let result = learn(&program, &train.inputs, &options);
+
+    // The learner must produce landmarks, a valid chosen classifier, and a
+    // sane relabel fraction.
+    assert!(!result.level1.landmarks.is_empty(), "no landmarks learned");
+    assert!(
+        result.chosen < result.candidates.len(),
+        "chosen classifier index {} out of range {}",
+        result.chosen,
+        result.candidates.len()
+    );
+    assert!(
+        (0.0..=1.0).contains(&result.relabel_fraction),
+        "relabel fraction {} outside [0, 1]",
+        result.relabel_fraction
+    );
+
+    // Evaluation against the oracles must yield finite, positive speedups,
+    // and the dynamic oracle can never lose to the static oracle.
+    let row = evaluate(&program, &result, &test.inputs, true);
+    for (name, v) in [
+        ("dynamic_oracle", row.dynamic_oracle),
+        ("two_level", row.two_level),
+        ("two_level_fx", row.two_level_fx),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{name} speedup not positive: {v}");
+    }
+    assert!(
+        row.dynamic_oracle >= 1.0 - 1e-9,
+        "dynamic oracle must dominate the static oracle, got {}",
+        row.dynamic_oracle
+    );
+
+    // Deployment: select + run a fresh input through the tuned program.
+    let tuned = TunedProgram::new(&program, &result);
+    let fresh = &test.inputs[0];
+    let (landmark, feature_cost) = tuned.select(fresh);
+    assert!(
+        landmark < result.level1.landmarks.len(),
+        "selected landmark {} out of range {}",
+        landmark,
+        result.level1.landmarks.len()
+    );
+    assert!(
+        feature_cost.is_finite() && feature_cost >= 0.0,
+        "feature extraction cost must be non-negative, got {feature_cost}"
+    );
+    let (report, _) = tuned.run(fresh);
+    assert!(
+        report.cost.is_finite() && report.cost > 0.0,
+        "deployed run must report positive cost, got {}",
+        report.cost
+    );
+}
+
+#[test]
+fn quickstart_pipeline_deterministic() {
+    // The whole pipeline is seeded: learning twice with identical options
+    // must choose the same classifier and landmarks.
+    let program = PolySort::new(256);
+    let train = SortCorpus::synthetic(16, 64, 256, 3);
+    let options = TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 2,
+            tuner: TunerOptions {
+                population: 4,
+                generations: 2,
+                ..TunerOptions::quick(11)
+            },
+            ..Level1Options::default()
+        },
+        ..TwoLevelOptions::default()
+    };
+
+    let a = learn(&program, &train.inputs, &options);
+    let b = learn(&program, &train.inputs, &options);
+    assert_eq!(
+        a.chosen, b.chosen,
+        "classifier choice must be deterministic"
+    );
+    assert_eq!(
+        a.level1.landmarks.len(),
+        b.level1.landmarks.len(),
+        "landmark count must be deterministic"
+    );
+    assert_eq!(
+        a.relabel_fraction, b.relabel_fraction,
+        "relabel fraction must be deterministic"
+    );
+}

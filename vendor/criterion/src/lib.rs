@@ -1,0 +1,201 @@
+//! Offline shim of the `criterion` API surface used by this workspace.
+//!
+//! Implements the subset the bench targets call: `Criterion`,
+//! `benchmark_group` (with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `finish`), `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark does a short warm-up
+//! and then times batches of iterations until the (scaled-down) measurement
+//! time elapses, reporting mean ns/iter to stdout. It is a smoke-quality
+//! harness for offline use, not a statistical replacement for criterion.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Scale factor applied to warm-up/measurement budgets so the full bench
+/// suite stays CI-affordable. `INTUNE_BENCH_FAST=1` shrinks every bench to
+/// a single iteration (used when bench binaries run under `cargo test`).
+fn fast_mode() -> bool {
+    std::env::var("INTUNE_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(group: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", group.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if fast_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.total = start.elapsed();
+            self.iters_done = 1;
+            return;
+        }
+        // Warm-up: one call, also used to size batches.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let mut iters: u64 = 1;
+        let mut total = first;
+        while total < self.budget && iters < 1_000_000 {
+            let batch = ((self.budget.as_nanos() / first.as_nanos()).clamp(1, 1000)) as u64;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.total = total;
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        // Scale down: the shim aims for smoke-quality numbers, fast.
+        self.budget = (t / 20).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        report(&self.name, &id.name, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, bench: &str, b: &Bencher) {
+    let per_iter = if b.iters_done == 0 {
+        0
+    } else {
+        b.total.as_nanos() / b.iters_done as u128
+    };
+    println!(
+        "bench {group}/{bench}: {per_iter} ns/iter ({} iters)",
+        b.iters_done
+    );
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: Duration::from_millis(50),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` to harness=false targets;
+            // `cargo test` does not. Without it (test mode), shrink every
+            // bench to a single iteration so the suite stays fast.
+            if !std::env::args().any(|a| a == "--bench") {
+                std::env::set_var("INTUNE_BENCH_FAST", "1");
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline shim of the `crossbeam::thread::scope` API used by this
+//! workspace, backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the subset the sources call is provided: `scope(|s| ...)` returning
+//! a `Result`, and `Scope::spawn` whose closure receives the scope again
+//! (crossbeam's signature) so nested spawns are possible.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper over [`std::thread::Scope`] mirroring crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (ignored
+        /// by all current callers, but kept for API fidelity).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. `std::thread::scope` propagates child panics by resuming
+    /// them in the parent, so the `Err` arm is never produced here — the
+    /// `Result` exists to match crossbeam's signature (callers `.expect()`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_buffer() {
+        let mut buf = vec![0u32; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in buf.chunks_mut(2).enumerate() {
+                scope.spawn(move |_| {
+                    for s in slot.iter_mut() {
+                        *s = i as u32 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(buf, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! The container cannot reach crates.io, so this crate re-implements just
+//! what the seed test suites call: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, [`strategy::Strategy`] with
+//! `prop_map`, range strategies, tuple strategies, `collection::vec`, and
+//! `num::f64::NORMAL`. There is no shrinking: a failing case panics with
+//! the test name, case number, and assertion message.
+//!
+//! Determinism: every test function derives its RNG seed from a stable
+//! hash of `module_path!() + test name`, so `cargo test` is reproducible
+//! run-to-run and machine-to-machine. `PROPTEST_CASES` in the environment
+//! caps the per-test case count (the smaller of the env value and the
+//! `ProptestConfig::with_cases` value wins), which CI uses to bound run
+//! time.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// RNG used to generate test cases (the workspace's deterministic
+    /// xoshiro shim).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Mirrors the subset of `proptest::test_runner::Config` we use.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Case count after applying the `PROPTEST_CASES` environment cap.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+            {
+                Some(env_cases) => self.cases.min(env_cases.max(1)),
+                None => self.cases,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject,
+        /// `prop_assert!` / `prop_assert_eq!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Stable FNV-1a hash of the fully-qualified test name: the per-test
+    /// RNG seed. Independent of rustc, platform, and process.
+    pub fn seed_for_test(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub fn rng_for_test(name: &str) -> TestRng {
+        use rand::SeedableRng;
+        TestRng::seed_from_u64(seed_for_test(name))
+    }
+}
+
+/// `proptest::collection` — only `vec` is provided.
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+/// `proptest::num` — only `f64::NORMAL` is provided.
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy over finite, non-subnormal `f64` values with widely
+        /// varying magnitude (sign * mantissa * 2^exp, exp in [-40, 40]).
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF64;
+
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let mantissa: f64 = rng.gen_range(1.0..2.0);
+                let exp: i32 = rng.gen_range(-40..41);
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * mantissa * (exp as f64).exp2()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Mirror of proptest's prelude `prop` module path
+    /// (`prop::collection::vec`, `prop::num::f64::NORMAL`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current case (re-drawn up to a rejection budget) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // stringify! goes through a `{}` placeholder, not the format-string
+        // position: asserted expressions may themselves contain braces.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left_val,
+                right_val,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                left_val,
+                right_val,
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: an optional `#![proptest_config(..)]`
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::test_runner::rng_for_test(full_name);
+            let strategies = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let max_rejects = cases.saturating_mul(32).max(4096);
+            while accepted < cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "proptest {full_name}: too many prop_assume! rejections ({rejected})",
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {full_name} failed on case {}/{} (seed {}):\n{}",
+                            accepted + 1,
+                            cases,
+                            $crate::test_runner::seed_for_test(full_name),
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}

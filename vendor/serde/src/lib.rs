@@ -1,0 +1,15 @@
+//! Offline shim of the `serde` surface used by this workspace.
+//!
+//! Only the derive names are consumed (`#[derive(Serialize, Deserialize)]`
+//! as structural markers); no code serializes values yet. The derives are
+//! re-exported no-ops and the traits are empty markers so `use
+//! serde::{Serialize, Deserialize}` resolves. Replace with the published
+//! crate once network access / vendoring of the real dependency exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace only uses serde derives as structural markers (no code
+//! actually serializes anything yet), so the derives emit an empty token
+//! stream. When real serialization lands, swap the shim for the published
+//! crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
