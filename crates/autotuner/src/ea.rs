@@ -97,6 +97,27 @@ impl EvolutionaryTuner {
     where
         F: FnMut(&Configuration) -> ExecutionReport,
     {
+        self.try_tune(space, objective, |cfg| Ok(eval(cfg)))
+            .unwrap_or_else(|_: intune_core::Error| unreachable!("infallible eval"))
+    }
+
+    /// Like [`EvolutionaryTuner::tune`], but with a fallible evaluation
+    /// function: the first measurement error aborts the search and is
+    /// returned to the caller. This is the entry point the two-level
+    /// pipeline uses to route objective evaluations through the
+    /// `intune-exec` engine (memoized, typed-error measurement).
+    ///
+    /// # Panics
+    /// Panics if the space is empty or the population is zero.
+    pub fn try_tune<F>(
+        &self,
+        space: &ConfigSpace,
+        objective: Objective,
+        mut eval: F,
+    ) -> intune_core::Result<TuningResult>
+    where
+        F: FnMut(&Configuration) -> intune_core::Result<ExecutionReport>,
+    {
         assert!(!space.is_empty(), "cannot tune an empty space");
         assert!(self.opts.population > 0, "population must be positive");
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
@@ -106,12 +127,12 @@ impl EvolutionaryTuner {
         // search always contains a sane starting point.
         let mut population: Vec<(Configuration, ExecutionReport)> = Vec::new();
         let default = space.default_config();
-        let default_report = eval(&default);
+        let default_report = eval(&default)?;
         evaluations += 1;
         population.push((default, default_report));
         while population.len() < self.opts.population {
             let cfg = space.random(&mut rng);
-            let report = eval(&cfg);
+            let report = eval(&cfg)?;
             evaluations += 1;
             population.push((cfg, report));
         }
@@ -136,7 +157,7 @@ impl EvolutionaryTuner {
                     population[parent_a].0.clone()
                 };
                 let child = space.mutate(&child, self.opts.mutation_rate, &mut rng);
-                let report = eval(&child);
+                let report = eval(&child)?;
                 evaluations += 1;
                 next.push((child, report));
             }
@@ -146,12 +167,12 @@ impl EvolutionaryTuner {
         population.sort_by(|a, b| objective.compare(&a.1, &b.1));
         let (best, best_report) = population.into_iter().next().expect("nonempty population");
         history.push(best_report.cost);
-        TuningResult {
+        Ok(TuningResult {
             best,
             best_report,
             history,
             evaluations,
-        }
+        })
     }
 
     fn select(
@@ -262,6 +283,47 @@ mod tests {
         // initial pop + (pop - elites) per generation
         let expected = 10 + 5 * (10 - opts.elites);
         assert_eq!(result.evaluations, expected);
+    }
+
+    #[test]
+    fn try_tune_propagates_measurement_errors() {
+        let space = quadratic_space();
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(4));
+        let mut calls = 0usize;
+        let result = tuner.try_tune(&space, Objective::cost_only(), |_| {
+            calls += 1;
+            if calls == 3 {
+                Err(intune_core::Error::Measurement {
+                    input: 0,
+                    detail: "synthetic failure".into(),
+                })
+            } else {
+                Ok(ExecutionReport::of_cost(1.0))
+            }
+        });
+        match result {
+            Err(intune_core::Error::Measurement { detail, .. }) => {
+                assert_eq!(detail, "synthetic failure");
+            }
+            other => panic!("expected measurement error, got {other:?}"),
+        }
+        assert_eq!(calls, 3, "search must stop at the first error");
+    }
+
+    #[test]
+    fn try_tune_matches_tune_when_infallible() {
+        let space = quadratic_space();
+        let f = |cfg: &Configuration| {
+            ExecutionReport::of_cost((cfg.int(0) as f64).abs() + (cfg.int(1) as f64).abs())
+        };
+        let tuner = EvolutionaryTuner::new(TunerOptions::quick(5));
+        let plain = tuner.tune(&space, Objective::cost_only(), f);
+        let fallible = tuner
+            .try_tune(&space, Objective::cost_only(), |cfg| Ok(f(cfg)))
+            .unwrap();
+        assert_eq!(plain.best, fallible.best);
+        assert_eq!(plain.history, fallible.history);
+        assert_eq!(plain.evaluations, fallible.evaluations);
     }
 
     #[test]

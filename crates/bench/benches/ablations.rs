@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use intune_autotuner::TunerOptions;
+use intune_exec::Engine;
 use intune_learning::labels::{cost_matrix, label_inputs};
 use intune_learning::level1::{run_level1, LandmarkStrategy, Level1Options};
 use intune_sortlib::{PolySort, SortCorpus};
@@ -35,9 +36,10 @@ fn bench_landmark_strategies(c: &mut Criterion) {
                         },
                         strategy,
                         seed: 0,
-                        parallel: true,
                     },
-                );
+                    &Engine::from_env(),
+                )
+                .expect("level 1 failed");
                 criterion::black_box(r.landmarks.len())
             })
         });
@@ -60,10 +62,11 @@ fn bench_lambda_sweep(c: &mut Criterion) {
                 generations: 3,
                 ..TunerOptions::quick(1)
             },
-            parallel: true,
             ..Level1Options::default()
         },
-    );
+        &Engine::from_env(),
+    )
+    .expect("level 1 failed");
     let labels = label_inputs(&r.perf, None);
 
     let mut group = c.benchmark_group("ablation_lambda");

@@ -1,0 +1,33 @@
+//! Emits the `BENCH_exec.json` measurement-path baseline: per-case suite
+//! wall time plus the engine's cache-hit accounting, machine-readable so
+//! the perf trajectory can be diffed across commits.
+//!
+//! ```text
+//! cargo run --release -p intune_bench --bin bench_exec [-- OUT.json]
+//! ```
+//!
+//! Worker count follows `INTUNE_THREADS` (default: machine parallelism,
+//! capped at 8). Wall times are environment-dependent; the cell counts,
+//! cache hits, and hit rates are deterministic for a given scale.
+
+use intune_bench::{baseline_json, exec_baseline, micro_config};
+use intune_eval::TestCase;
+use intune_exec::Engine;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let engine = Engine::from_env();
+    let cfg = micro_config();
+    eprintln!(
+        "measuring {} cases at micro scale on {} worker threads...",
+        TestCase::all().len(),
+        engine.threads()
+    );
+    let cases = exec_baseline(&cfg, &TestCase::all(), &engine);
+    let json = baseline_json(engine.threads(), &cases);
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

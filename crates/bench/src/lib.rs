@@ -11,11 +11,19 @@
 //! * `micro` — the underlying algorithms (sorts, packers, solvers, SVD
 //!   methods, K-means, trees, the EA).
 //! * `ablations` — λ sweep and landmark-selection strategies.
+//!
+//! Besides the Criterion targets, the `bench_exec` binary emits a
+//! machine-readable `BENCH_exec.json` baseline — per-case suite wall time
+//! plus the measurement engine's cache-hit rate — so the performance
+//! trajectory of the measurement path can be tracked across commits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use intune_eval::SuiteConfig;
+use intune_eval::{run_case_with, SuiteConfig, TestCase};
+use intune_exec::Engine;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 /// A micro-scale suite configuration for benches: one case runs in tens of
 /// milliseconds so Criterion can sample it meaningfully.
@@ -37,6 +45,79 @@ pub fn micro_config() -> SuiteConfig {
     }
 }
 
+/// One case's contribution to the `BENCH_exec.json` baseline.
+#[derive(Debug, Clone)]
+pub struct CaseBaseline {
+    /// Table-1 case name.
+    pub name: String,
+    /// End-to-end learn + evaluate wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Fresh benchmark executions performed by the engine.
+    pub cells_measured: u64,
+    /// Measurements answered from the cost cache.
+    pub cache_hits: u64,
+    /// Duplicate cells collapsed at plan construction.
+    pub dedup_saved: u64,
+    /// Cache hits over requested cells.
+    pub hit_rate: f64,
+}
+
+/// Runs `cases` at `cfg` scale on one shared engine and collects the
+/// measurement-path baseline (wall time + engine counters per case).
+pub fn exec_baseline(cfg: &SuiteConfig, cases: &[TestCase], engine: &Engine) -> Vec<CaseBaseline> {
+    cases
+        .iter()
+        .map(|&case| {
+            let start = Instant::now();
+            let outcome = run_case_with(case, cfg, engine).expect("suite case failed");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            CaseBaseline {
+                name: case.name().to_string(),
+                wall_ms,
+                cells_measured: outcome.engine.cells_measured,
+                cache_hits: outcome.engine.cache_hits,
+                dedup_saved: outcome.engine.dedup_saved,
+                hit_rate: outcome.engine.hit_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a baseline as the machine-readable `BENCH_exec.json` document.
+///
+/// The JSON is hand-assembled (the workspace's serde shim has no
+/// serializer); keys are stable and the schema is versioned so downstream
+/// tooling can diff baselines across commits.
+pub fn baseline_json(threads: usize, cases: &[CaseBaseline]) -> String {
+    let mut out = String::new();
+    let total_wall: f64 = cases.iter().map(|c| c.wall_ms).sum();
+    let total_measured: u64 = cases.iter().map(|c| c.cells_measured).sum();
+    let total_hits: u64 = cases.iter().map(|c| c.cache_hits).sum();
+    let total_rate = intune_exec::hit_rate(total_hits, total_measured + total_hits);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"intune-bench-exec/1\",");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells_measured\": {}, \
+             \"cache_hits\": {}, \"dedup_saved\": {}, \"hit_rate\": {:.6}}}{comma}",
+            c.name, c.wall_ms, c.cells_measured, c.cache_hits, c.dedup_saved, c.hit_rate
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"total\": {{\"wall_ms\": {:.3}, \"cells_measured\": {}, \
+         \"cache_hits\": {}, \"hit_rate\": {:.6}}}",
+        total_wall, total_measured, total_hits, total_rate
+    );
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +127,36 @@ mod tests {
         let cfg = micro_config();
         assert!(cfg.train <= 16);
         assert!(cfg.clusters <= 3);
+    }
+
+    #[test]
+    fn baseline_measures_and_serializes() {
+        let engine = Engine::serial();
+        let cases = exec_baseline(&micro_config(), &[TestCase::Sort2], &engine);
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].name, "sort2");
+        assert!(cases[0].cells_measured > 0);
+        assert!(
+            cases[0].cache_hits > 0,
+            "suite must exercise a warm cost cache"
+        );
+        assert!(cases[0].hit_rate > 0.0);
+
+        let json = baseline_json(engine.threads(), &cases);
+        for key in [
+            "\"schema\": \"intune-bench-exec/1\"",
+            "\"cases\"",
+            "\"wall_ms\"",
+            "\"cache_hits\"",
+            "\"hit_rate\"",
+            "\"total\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
     }
 }

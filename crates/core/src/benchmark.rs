@@ -9,8 +9,10 @@
 
 use crate::config::{ConfigSpace, Configuration};
 use crate::cost::ExecutionReport;
+use crate::error::{Error, Result};
 use crate::features::{FeatureDef, FeatureId, FeatureSample, FeatureSet, FeatureVector};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A benchmark's variable-accuracy contract: the programmer-specified
 /// accuracy threshold H1 (the satisfaction threshold H2 — the fraction of
@@ -47,6 +49,16 @@ pub trait Benchmark {
     /// Runs the program on `input` under `cfg`, reporting deterministic cost
     /// and, for variable-accuracy programs, the accuracy metric.
     fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport;
+
+    /// Runs with a cell-specific RNG seed (the `intune-exec` engine derives
+    /// one per measurement cell from the cell's identity, so it is stable
+    /// across worker counts and execution orders). The default ignores the
+    /// seed — benchmarks are deterministic functions of `(cfg, input)` —
+    /// but a benchmark with internal randomness (sampled accuracy metrics,
+    /// randomized pivots) overrides this to stay reproducible.
+    fn run_seeded(&self, cfg: &Configuration, input: &Self::Input, _seed: u64) -> ExecutionReport {
+        self.run(cfg, input)
+    }
 
     /// The accuracy contract, or `None` for fixed-accuracy programs (sort).
     fn accuracy(&self) -> Option<AccuracySpec> {
@@ -92,6 +104,60 @@ pub trait BenchmarkExt: Benchmark {
             }
         }
         fv
+    }
+
+    /// Runs one *measurement cell* — configuration × input × cell seed —
+    /// converting a benchmark panic into a typed [`Error::Measurement`]
+    /// instead of aborting the caller. `input_idx` identifies the input in
+    /// the error; `seed` is forwarded to [`Benchmark::run_seeded`].
+    ///
+    /// This is the unit of work of the `intune-exec` measurement engine;
+    /// prefer submitting a whole `MeasurementPlan` there so cells are
+    /// deduplicated, memoized, and executed on the work-stealing pool.
+    fn run_cell(
+        &self,
+        cfg: &Configuration,
+        input_idx: usize,
+        input: &Self::Input,
+        seed: u64,
+    ) -> Result<ExecutionReport> {
+        catch_unwind(AssertUnwindSafe(|| self.run_seeded(cfg, input, seed))).map_err(|payload| {
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "benchmark panicked".to_string()
+            };
+            Error::Measurement {
+                input: input_idx,
+                detail,
+            }
+        })
+    }
+
+    /// Batch-measure entry point: runs every `(input index, configuration,
+    /// cell seed)` cell against `inputs` in order, stopping at the first
+    /// failing cell.
+    ///
+    /// This serial path is what the `intune-exec` engine reduces to at one
+    /// worker thread; results are identical at any worker count because
+    /// cells are independent and carry identity-derived seeds.
+    fn run_batch<'a>(
+        &self,
+        cells: impl IntoIterator<Item = (usize, &'a Configuration, u64)>,
+        inputs: &[Self::Input],
+    ) -> Result<Vec<ExecutionReport>> {
+        cells
+            .into_iter()
+            .map(|(i, cfg, seed)| {
+                let input = inputs.get(i).ok_or_else(|| Error::Measurement {
+                    input: i,
+                    detail: format!("input index out of range (corpus has {})", inputs.len()),
+                })?;
+                self.run_cell(cfg, i, input, seed)
+            })
+            .collect()
     }
 
     /// Extracts only the features in `set`, returning the samples in
@@ -181,6 +247,112 @@ mod tests {
     #[test]
     fn default_accuracy_is_none() {
         assert!(Toy.accuracy().is_none());
+    }
+
+    /// A benchmark that panics on inputs shorter than 2 elements.
+    struct Fragile;
+
+    impl Benchmark for Fragile {
+        type Input = Vec<f64>;
+
+        fn name(&self) -> &str {
+            "fragile"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder().switch("alg", 2).build()
+        }
+
+        fn run(&self, _cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            assert!(input.len() >= 2, "fragile benchmark needs >= 2 elements");
+            ExecutionReport::of_cost(input.len() as f64)
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("length", 1)]
+        }
+
+        fn extract(&self, _property: usize, _level: usize, input: &Self::Input) -> FeatureSample {
+            FeatureSample::new(input.len() as f64, 1.0)
+        }
+    }
+
+    #[test]
+    fn run_cell_converts_panics_into_typed_errors() {
+        let b = Fragile;
+        let cfg = b.space().default_config();
+        assert!(b.run_cell(&cfg, 0, &vec![1.0, 2.0], 0).is_ok());
+        let err = b.run_cell(&cfg, 3, &vec![1.0], 0).unwrap_err();
+        match err {
+            crate::error::Error::Measurement { input, detail } => {
+                assert_eq!(input, 3);
+                assert!(detail.contains(">= 2 elements"), "detail: {detail}");
+            }
+            other => panic!("expected Measurement error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_batch_measures_cells_in_order() {
+        let b = Toy;
+        let cfg = b.space().default_config();
+        let inputs = vec![vec![0.0; 4], vec![0.0; 8]];
+        let reports = b.run_batch([(1, &cfg, 7), (0, &cfg, 8)], &inputs).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0], b.run(&cfg, &inputs[1]));
+        assert_eq!(reports[1], b.run(&cfg, &inputs[0]));
+    }
+
+    #[test]
+    fn run_seeded_default_ignores_seed_but_overrides_see_it() {
+        struct Randomized;
+        impl Benchmark for Randomized {
+            type Input = f64;
+            fn name(&self) -> &str {
+                "randomized"
+            }
+            fn space(&self) -> ConfigSpace {
+                ConfigSpace::builder().switch("alg", 2).build()
+            }
+            fn run(&self, _cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+                ExecutionReport::of_cost(*input)
+            }
+            fn run_seeded(
+                &self,
+                _cfg: &Configuration,
+                input: &Self::Input,
+                seed: u64,
+            ) -> ExecutionReport {
+                // Seed-dependent jitter stands in for internal randomness.
+                ExecutionReport::of_cost(input + (seed % 10) as f64)
+            }
+            fn properties(&self) -> Vec<FeatureDef> {
+                vec![FeatureDef::new("x", 1)]
+            }
+            fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+                FeatureSample::new(*input, 1.0)
+            }
+        }
+        let cfg = Toy.space().default_config();
+        // Default: seed is inert.
+        assert_eq!(
+            Toy.run_seeded(&cfg, &vec![0.0; 8], 3).cost,
+            Toy.run(&cfg, &vec![0.0; 8]).cost
+        );
+        // Override: run_cell threads the seed through.
+        let r = Randomized.run_cell(&cfg, 0, &100.0, 7).unwrap();
+        assert_eq!(r.cost, 107.0);
+    }
+
+    #[test]
+    fn run_batch_rejects_out_of_range_input() {
+        let b = Toy;
+        let cfg = b.space().default_config();
+        let err = b.run_batch([(5, &cfg, 0)], &[vec![0.0; 4]]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::Error::Measurement { input: 5, .. }
+        ));
     }
 
     #[test]

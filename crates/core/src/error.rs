@@ -44,6 +44,14 @@ pub enum Error {
         /// Human-readable description.
         message: String,
     },
+    /// A benchmark measurement cell failed (the benchmark panicked or
+    /// otherwise could not produce an [`crate::ExecutionReport`]).
+    Measurement {
+        /// Index of the input whose cell failed.
+        input: usize,
+        /// Human-readable failure detail (e.g. the panic message).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -61,6 +69,9 @@ impl fmt::Display for Error {
             }
             Error::Empty { what } => write!(f, "{what} must not be empty"),
             Error::Invariant { message } => write!(f, "invariant violated: {message}"),
+            Error::Measurement { input, detail } => {
+                write!(f, "measurement of input {input} failed: {detail}")
+            }
         }
     }
 }
@@ -92,5 +103,16 @@ mod tests {
     fn unknown_param_display() {
         let err = Error::UnknownParam { name: "x".into() };
         assert_eq!(err.to_string(), "unknown parameter `x`");
+    }
+
+    #[test]
+    fn measurement_display_names_input_and_detail() {
+        let err = Error::Measurement {
+            input: 17,
+            detail: "index out of bounds".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("input 17"));
+        assert!(text.contains("index out of bounds"));
     }
 }

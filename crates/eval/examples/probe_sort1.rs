@@ -3,6 +3,7 @@
 use intune_autotuner::TunerOptions;
 use intune_core::Benchmark;
 use intune_eval::SuiteConfig;
+use intune_exec::Engine;
 use intune_learning::labels::label_inputs;
 use intune_learning::level1::{run_level1, Level1Options};
 use intune_sortlib::{PolySort, SortCorpus};
@@ -18,10 +19,9 @@ fn main() {
             generations: cfg.ea_generations,
             ..TunerOptions::quick(0)
         },
-        parallel: true,
         ..Level1Options::default()
     };
-    let r = run_level1(&b, &corpus.inputs, &opts);
+    let r = run_level1(&b, &corpus.inputs, &opts, &Engine::from_env()).expect("level 1 failed");
     let space = b.space();
     for (c, lm) in r.landmarks.iter().enumerate() {
         let sel = intune_core::SelectorSpec::new("sort", 3, cfg.sort_n.1 as i64, 5)

@@ -6,6 +6,7 @@
 use intune_autotuner::TunerOptions;
 use intune_eval::csvout::write_csv;
 use intune_eval::{Args, SuiteConfig};
+use intune_exec::Engine;
 use intune_learning::pipeline::{evaluate, learn};
 use intune_learning::selection::SelectionOptions;
 use intune_learning::{Level1Options, TwoLevelOptions};
@@ -22,7 +23,6 @@ fn options(cfg: &SuiteConfig, clusters: usize) -> TwoLevelOptions {
                 ..TunerOptions::quick(cfg.seed)
             },
             seed: cfg.seed,
-            parallel: cfg.parallel,
             ..Level1Options::default()
         },
         lambda: cfg.lambda,
@@ -64,9 +64,10 @@ fn main() {
     } else {
         &[2, 4, 6, 10]
     };
+    let engine = Engine::from_env();
     for &k in ks {
-        let result = learn(&b, &train.inputs, &options(&cfg, k));
-        let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
+        let result = learn(&b, &train.inputs, &options(&cfg, k), &engine).expect("learning failed");
+        let row = evaluate(&b, &result, &test.inputs, &engine).expect("evaluation failed");
         println!(
             "{:<6} {:>11.3}x {:>11.3}x {:>9.1}%",
             k,

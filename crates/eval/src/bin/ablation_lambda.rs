@@ -5,6 +5,7 @@ use intune_autotuner::TunerOptions;
 use intune_clusterlib::{ClusterCorpus, Clustering};
 use intune_eval::csvout::write_csv;
 use intune_eval::{Args, SuiteConfig};
+use intune_exec::Engine;
 use intune_learning::pipeline::{evaluate, learn};
 use intune_learning::selection::SelectionOptions;
 use intune_learning::{Level1Options, TwoLevelOptions};
@@ -20,7 +21,6 @@ fn options(cfg: &SuiteConfig, lambda: f64) -> TwoLevelOptions {
                 ..TunerOptions::quick(cfg.seed)
             },
             seed: cfg.seed,
-            parallel: cfg.parallel,
             ..Level1Options::default()
         },
         lambda,
@@ -60,9 +60,11 @@ fn main() {
         "production_classifier".into(),
     ]];
 
+    let engine = Engine::from_env();
     for lambda in [0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 1.0] {
-        let result = learn(&b, &train.inputs, &options(&cfg, lambda));
-        let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
+        let result =
+            learn(&b, &train.inputs, &options(&cfg, lambda), &engine).expect("learning failed");
+        let row = evaluate(&b, &result, &test.inputs, &engine).expect("evaluation failed");
         println!(
             "{:<8} {:>11.3}x {:>11.1}% {:>10}",
             lambda, row.two_level_fx, row.two_level_accuracy_pct, row.production_classifier

@@ -6,6 +6,7 @@
 use intune_autotuner::TunerOptions;
 use intune_eval::csvout::write_csv;
 use intune_eval::Args;
+use intune_exec::Engine;
 use intune_learning::labels::label_inputs;
 use intune_learning::level1::{run_level1, LandmarkStrategy, Level1Options};
 use intune_learning::oracles::static_oracle;
@@ -44,6 +45,7 @@ fn main() {
     } else {
         &[2, 5, 8, 12]
     };
+    let engine = Engine::from_env();
     for &k in ks {
         let mut speedups = [0.0f64; 2];
         for (slot, strategy) in [
@@ -62,9 +64,8 @@ fn main() {
                 },
                 strategy: *strategy,
                 seed: cfg.seed,
-                parallel: cfg.parallel,
             };
-            let r = run_level1(&b, &corpus.inputs, &opts);
+            let r = run_level1(&b, &corpus.inputs, &opts, &engine).expect("level 1 failed");
             speedups[slot] = oracle_speedup(&r.perf, None);
         }
         let degradation = 100.0 * (speedups[0] - speedups[1]) / speedups[0].max(1e-300);

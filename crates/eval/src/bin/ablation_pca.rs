@@ -15,6 +15,7 @@ use intune_autotuner::TunerOptions;
 use intune_core::BenchmarkExt;
 use intune_eval::csvout::write_csv;
 use intune_eval::{Args, SuiteConfig};
+use intune_exec::Engine;
 use intune_learning::labels::label_inputs;
 use intune_learning::level1::{measure, run_level1, Level1Options};
 use intune_learning::oracles::static_oracle;
@@ -39,11 +40,12 @@ fn main() {
             ..TunerOptions::quick(cfg.seed)
         },
         seed: cfg.seed,
-        parallel: cfg.parallel,
         ..Level1Options::default()
     };
-    let l1 = run_level1(&b, &train.inputs, &l1_opts);
-    let perf_test = measure(&b, &l1.landmarks, &test.inputs, cfg.parallel);
+    let engine = Engine::from_env();
+    let l1 = run_level1(&b, &train.inputs, &l1_opts, &engine).expect("level 1 failed");
+    let perf_test =
+        measure(&b, &l1.landmarks, &test.inputs, &engine).expect("test measurement failed");
     let static_lm = static_oracle(&l1.perf, None, 0.95);
 
     let features_test: Vec<Vec<f64>> = test
@@ -125,8 +127,10 @@ fn main() {
             level1: l1_opts.clone(),
             ..Default::default()
         },
-    );
-    let row = evaluate(&b, &result, &test.inputs, cfg.parallel);
+        &engine,
+    )
+    .expect("two-level learning failed");
+    let row = evaluate(&b, &result, &test.inputs, &engine).expect("evaluation failed");
 
     println!("speedup over static oracle (sort2, no extraction cost):");
     println!("  one-level (full feature space) : {one_level:.3}x");

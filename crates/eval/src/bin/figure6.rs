@@ -4,19 +4,21 @@
 //! set of inputs enjoys very large speedups.
 
 use intune_eval::csvout::write_csv;
-use intune_eval::{run_case, Args, TestCase};
+use intune_eval::{run_case_with, Args, TestCase};
+use intune_exec::Engine;
 
 fn main() {
     let args = Args::parse();
     let cfg = args.config();
 
+    let engine = Engine::from_env();
     for case in TestCase::all() {
         if let Some(only) = &args.only {
             if !case.name().contains(only.as_str()) {
                 continue;
             }
         }
-        let outcome = run_case(case, &cfg);
+        let outcome = run_case_with(case, &cfg, &engine).expect("suite case failed");
         let sp = &outcome.row.per_input_speedups; // already ascending
         let n = sp.len();
         let q = |f: f64| sp[((n - 1) as f64 * f) as usize];

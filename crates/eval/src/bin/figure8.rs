@@ -8,7 +8,8 @@
 //! static oracle — the quantity the theoretical model of Figure 7 predicts.
 
 use intune_eval::csvout::write_csv;
-use intune_eval::{run_case, Args, TestCase};
+use intune_eval::{run_case_with, Args, TestCase};
+use intune_exec::Engine;
 use intune_learning::pipeline::subset_oracle_speedup;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,13 +26,14 @@ fn main() {
     let cfg = args.config();
     let subsets_per_size = if args.paper { 1000 } else { 200 };
 
+    let engine = Engine::from_env();
     for case in TestCase::all() {
         if let Some(only) = &args.only {
             if !case.name().contains(only.as_str()) {
                 continue;
             }
         }
-        let outcome = run_case(case, &cfg);
+        let outcome = run_case_with(case, &cfg, &engine).expect("suite case failed");
         let perf = &outcome.perf_train;
         let k_total = perf.num_landmarks();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf18);

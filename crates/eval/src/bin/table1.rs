@@ -5,11 +5,15 @@
 //! relabeling statistic and the production classifier chosen per test.
 
 use intune_eval::csvout::{speedup, write_csv};
-use intune_eval::{run_case, Args, TestCase};
+use intune_eval::{run_case_with, Args, TestCase};
+use intune_exec::Engine;
 
 fn main() {
     let args = Args::parse();
     let cfg = args.config();
+    // One measurement engine serves all eight cases; its counters report
+    // how much the memoized cost cache and plan deduplication saved.
+    let engine = Engine::from_env();
 
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}  production classifier",
@@ -45,7 +49,7 @@ fn main() {
                 continue;
             }
         }
-        let outcome = run_case(case, &cfg);
+        let outcome = run_case_with(case, &cfg, &engine).expect("suite case failed");
         training = Some(outcome.stats);
         let r = &outcome.row;
         println!(
@@ -81,11 +85,21 @@ fn main() {
     if let Some(s) = training {
         println!(
             "training cost per test (§4.2): {} tuner evaluations + {} \
-             measurement runs; an exhaustive per-input search would cost \
-             ~{:.0}x more tuner work (paper: 'over 200 times longer')",
+             matrix cells requested, {} fresh runs after memoization \
+             ({} cache hits, {:.1}% hit rate); an exhaustive per-input \
+             search would cost ~{:.0}x more tuner work (paper: 'over 200 \
+             times longer')",
             s.tuner_evaluations,
             s.measurement_runs,
+            s.measured_runs,
+            s.cache_hits,
+            100.0 * s.cache_hit_rate(),
             s.exhaustive_ratio()
         );
     }
+    println!(
+        "measurement engine ({} worker threads, all cases): {}",
+        engine.threads(),
+        engine.stats()
+    );
 }

@@ -28,4 +28,4 @@ pub mod model;
 pub mod suite;
 
 pub use args::Args;
-pub use suite::{run_case, CaseOutcome, SuiteConfig, TestCase};
+pub use suite::{run_case, run_case_with, CaseOutcome, SuiteConfig, TestCase};

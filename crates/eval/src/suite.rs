@@ -4,6 +4,7 @@ use intune_autotuner::TunerOptions;
 use intune_binpacklib::{BinPacking, PackCorpus};
 use intune_clusterlib::{ClusterCorpus, Clustering};
 use intune_core::Benchmark;
+use intune_exec::{Engine, EngineStats};
 use intune_learning::pipeline::{evaluate, learn, EvaluationRow};
 use intune_learning::selection::SelectionOptions;
 use intune_learning::{Level1Options, PerfMatrix, TwoLevelOptions};
@@ -94,8 +95,6 @@ pub struct SuiteConfig {
     pub pde3_sizes: Vec<usize>,
     /// Base seed.
     pub seed: u64,
-    /// Parallel landmark measurement.
-    pub parallel: bool,
 }
 
 impl SuiteConfig {
@@ -116,7 +115,6 @@ impl SuiteConfig {
             pde2_sizes: vec![15],
             pde3_sizes: vec![7, 11],
             seed: 0,
-            parallel: true,
         }
     }
 
@@ -137,7 +135,6 @@ impl SuiteConfig {
             pde2_sizes: vec![15, 31, 63],
             pde3_sizes: vec![7, 15],
             seed: 0,
-            parallel: true,
         }
     }
 
@@ -151,7 +148,6 @@ impl SuiteConfig {
                     ..TunerOptions::quick(self.seed ^ case_seed)
                 },
                 seed: self.seed ^ case_seed,
-                parallel: self.parallel,
                 ..Level1Options::default()
             },
             lambda: self.lambda,
@@ -185,6 +181,10 @@ pub struct CaseOutcome {
     /// Training-cost accounting (§4.2: landmark autotuning dominates; an
     /// exhaustive per-input search costs `inputs/clusters` times more).
     pub stats: intune_learning::pipeline::TrainingStats,
+    /// Measurement-engine counters for this case only (cells measured,
+    /// cache hits, deduplication, steals). Everything except `steals` is
+    /// deterministic for a given configuration.
+    pub engine: EngineStats,
 }
 
 fn run_generic<B: Benchmark + Sync>(
@@ -194,15 +194,17 @@ fn run_generic<B: Benchmark + Sync>(
     test: &[B::Input],
     cfg: &SuiteConfig,
     case_seed: u64,
-) -> CaseOutcome
+    engine: &Engine,
+) -> intune_core::Result<CaseOutcome>
 where
     B::Input: Sync,
 {
+    let before = engine.stats();
     let opts = cfg.two_level(case_seed);
-    let result = learn(benchmark, train, &opts);
-    let mut row = evaluate(benchmark, &result, test, cfg.parallel);
+    let result = learn(benchmark, train, &opts, engine)?;
+    let mut row = evaluate(benchmark, &result, test, engine)?;
     row.name = name.to_string();
-    CaseOutcome {
+    Ok(CaseOutcome {
         perf_train: result.level1.perf.clone(),
         accuracy_threshold: benchmark.accuracy().map(|a| a.threshold),
         candidates: result
@@ -212,25 +214,62 @@ where
             .map(|(c, s)| (c.name.clone(), s.objective, s.satisfaction, s.valid))
             .collect(),
         stats: result.stats,
+        engine: engine.stats().since(&before),
         row,
-    }
+    })
 }
 
-/// Runs one of the eight tests end to end.
+/// Runs one of the eight tests end to end on a fresh engine sized from
+/// the `INTUNE_THREADS` environment (see [`run_case_with`] to share one
+/// engine — and its counters — across cases).
+///
+/// # Panics
+/// Panics if any measurement cell fails (use [`run_case_with`] for typed
+/// errors).
 pub fn run_case(case: TestCase, cfg: &SuiteConfig) -> CaseOutcome {
+    run_case_with(case, cfg, &Engine::from_env()).expect("suite case failed")
+}
+
+/// Runs one of the eight tests end to end on the given engine. The engine
+/// is reusable (and meant to be reused) across all eight cases; per-corpus
+/// memoization state is created inside and scoped to each case.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
+pub fn run_case_with(
+    case: TestCase,
+    cfg: &SuiteConfig,
+    engine: &Engine,
+) -> intune_core::Result<CaseOutcome> {
     let seed = cfg.seed;
     match case {
         TestCase::Sort1 => {
             let b = PolySort::new(cfg.sort_n.1);
             let train = SortCorpus::ccr(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x01);
             let test = SortCorpus::ccr(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x02);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x11)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x11,
+                engine,
+            )
         }
         TestCase::Sort2 => {
             let b = PolySort::new(cfg.sort_n.1);
             let train = SortCorpus::synthetic(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x03);
             let test = SortCorpus::synthetic(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x04);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x12)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x12,
+                engine,
+            )
         }
         TestCase::Clustering1 => {
             let b = Clustering::new();
@@ -238,7 +277,15 @@ pub fn run_case(case: TestCase, cfg: &SuiteConfig) -> CaseOutcome {
                 ClusterCorpus::poker(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x05);
             let test =
                 ClusterCorpus::poker(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x06);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x13)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x13,
+                engine,
+            )
         }
         TestCase::Clustering2 => {
             let b = Clustering::new();
@@ -246,31 +293,71 @@ pub fn run_case(case: TestCase, cfg: &SuiteConfig) -> CaseOutcome {
                 ClusterCorpus::synthetic(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x07);
             let test =
                 ClusterCorpus::synthetic(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x08);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x14)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x14,
+                engine,
+            )
         }
         TestCase::Binpacking => {
             let b = BinPacking::new(cfg.pack_n.1);
             let train = PackCorpus::synthetic(cfg.train, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x09);
             let test = PackCorpus::synthetic(cfg.test, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x0a);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x15)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x15,
+                engine,
+            )
         }
         TestCase::Svd => {
             let b = SvdBench::new();
             let train = SvdCorpus::synthetic(cfg.train, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0b);
             let test = SvdCorpus::synthetic(cfg.test, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0c);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x16)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x16,
+                engine,
+            )
         }
         TestCase::Poisson2d => {
             let b = Poisson2d::new();
             let train = PdeCorpus2d::synthetic(cfg.train, &cfg.pde2_sizes, seed ^ 0x0d);
             let test = PdeCorpus2d::synthetic(cfg.test, &cfg.pde2_sizes, seed ^ 0x0e);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x17)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x17,
+                engine,
+            )
         }
         TestCase::Helmholtz3d => {
             let b = Helmholtz3d::new();
             let train = PdeCorpus3d::synthetic(cfg.train, &cfg.pde3_sizes, seed ^ 0x0f);
             let test = PdeCorpus3d::synthetic(cfg.test, &cfg.pde3_sizes, seed ^ 0x10);
-            run_generic(&b, case.name(), &train.inputs, &test.inputs, cfg, 0x18)
+            run_generic(
+                &b,
+                case.name(),
+                &train.inputs,
+                &test.inputs,
+                cfg,
+                0x18,
+                engine,
+            )
         }
     }
 }
@@ -323,5 +410,48 @@ mod tests {
         assert_eq!(outcome.accuracy_threshold, None);
         assert!(outcome.row.two_level_accuracy_pct >= 99.0);
         assert!(outcome.row.dynamic_oracle >= outcome.row.two_level - 1e-9);
+    }
+
+    #[test]
+    fn shared_engine_accumulates_and_reports_cache_hits() {
+        let engine = Engine::serial();
+        let a = run_case_with(TestCase::Sort2, &tiny(), &engine).unwrap();
+        // The landmark autotuner revisits configurations and the matrix
+        // fill re-measures the tuner's winners: warm-cache hits are
+        // structural, not incidental.
+        assert!(
+            a.engine.cache_hits > 0,
+            "expected a warm cost cache, stats: {}",
+            a.engine
+        );
+        assert!(a.engine.cells_measured > 0);
+
+        let b = run_case_with(TestCase::Binpacking, &tiny(), &engine).unwrap();
+        let total = engine.stats();
+        assert_eq!(
+            total.cells_measured,
+            a.engine.cells_measured + b.engine.cells_measured,
+            "one engine accumulates across cases"
+        );
+    }
+
+    #[test]
+    fn case_outcome_identical_at_one_and_four_workers() {
+        let serial = run_case_with(TestCase::Sort2, &tiny(), &Engine::new(1)).unwrap();
+        let pooled = run_case_with(TestCase::Sort2, &tiny(), &Engine::new(4)).unwrap();
+        assert_eq!(
+            serial.row.two_level.to_bits(),
+            pooled.row.two_level.to_bits()
+        );
+        assert_eq!(
+            serial.row.two_level_fx.to_bits(),
+            pooled.row.two_level_fx.to_bits()
+        );
+        assert_eq!(
+            serial.row.dynamic_oracle.to_bits(),
+            pooled.row.dynamic_oracle.to_bits()
+        );
+        assert_eq!(serial.engine.cells_measured, pooled.engine.cells_measured);
+        assert_eq!(serial.engine.cache_hits, pooled.engine.cache_hits);
     }
 }

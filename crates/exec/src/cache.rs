@@ -1,0 +1,246 @@
+//! Memoized `(input, configuration) → ExecutionReport` cost cache.
+//!
+//! Every layer of the two-level pipeline re-measures the same cells: the
+//! landmark autotuner evaluates configurations on a representative input,
+//! the `PerfMatrix` then re-runs the winning configurations on *all*
+//! inputs (including that representative), the oracle baselines re-use the
+//! matrix, and deployment evaluation measures landmarks again on a test
+//! corpus. [`CostCache`] makes the measurement a reusable budget: a cell
+//! measured once is never run again within the same corpus.
+//!
+//! Keys are exact: [`ConfigKey`] canonicalizes a [`Configuration`] by value
+//! (floats by bit pattern), so two configurations hash equal iff the
+//! benchmark would be handed identical parameter values. A cache is scoped
+//! to one input corpus — input indices from different corpora must not
+//! share a cache (the engine's callers create one cache per corpus).
+
+use intune_core::{Configuration, ExecutionReport, ParamValue};
+use std::collections::HashMap;
+
+/// The workspace's one hit-rate definition: hits over total requests,
+/// zero when nothing was requested. Every surface that reports a rate
+/// (cache stats, engine stats, training stats, the `BENCH_exec.json`
+/// baseline) derives it from here so they can never disagree.
+pub fn hit_rate(hits: u64, requested: u64) -> f64 {
+    if requested == 0 {
+        0.0
+    } else {
+        hits as f64 / requested as f64
+    }
+}
+
+/// One canonicalized parameter value (floats by IEEE-754 bit pattern, so
+/// the key is `Eq + Hash` while staying exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CanonValue {
+    Choice(usize),
+    Int(i64),
+    FloatBits(u64),
+}
+
+/// An exact, hashable identity for a [`Configuration`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigKey(Vec<CanonValue>);
+
+impl ConfigKey {
+    /// Canonicalizes a configuration.
+    pub fn of(cfg: &Configuration) -> Self {
+        ConfigKey(
+            cfg.values()
+                .iter()
+                .map(|v| match *v {
+                    ParamValue::Choice(c) => CanonValue::Choice(c),
+                    ParamValue::Int(i) => CanonValue::Int(i),
+                    ParamValue::Float(f) => CanonValue::FloatBits(f.to_bits()),
+                })
+                .collect(),
+        )
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of the key, used to derive
+    /// per-cell RNG seeds (not for cache identity — the full key is).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for v in &self.0 {
+            let (tag, bits) = match *v {
+                CanonValue::Choice(c) => (1u8, c as u64),
+                CanonValue::Int(i) => (2u8, i as u64),
+                CanonValue::FloatBits(b) => (3u8, b),
+            };
+            eat(tag);
+            for b in bits.to_le_bytes() {
+                eat(b);
+            }
+        }
+        h
+    }
+}
+
+/// Hit/miss accounting of a [`CostCache`] (monotone counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that required a fresh measurement.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        hit_rate(self.hits, self.hits + self.misses)
+    }
+}
+
+/// Memoized measurement results for one input corpus.
+///
+/// Stored as per-input maps so lookups borrow the caller's [`ConfigKey`]
+/// without cloning it — the warm-cache path is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct CostCache {
+    map: HashMap<usize, HashMap<ConfigKey, ExecutionReport>>,
+    entries: usize,
+    stats: CacheStats,
+}
+
+impl CostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CostCache::default()
+    }
+
+    /// Looks up a cell, counting a hit or a miss.
+    pub fn lookup(&mut self, input_idx: usize, key: &ConfigKey) -> Option<ExecutionReport> {
+        match self.map.get(&input_idx).and_then(|per| per.get(key)) {
+            Some(&report) => {
+                self.stats.hits += 1;
+                Some(report)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at a cell without touching the hit/miss counters.
+    pub fn peek(&self, input_idx: usize, key: &ConfigKey) -> Option<ExecutionReport> {
+        self.map
+            .get(&input_idx)
+            .and_then(|per| per.get(key))
+            .copied()
+    }
+
+    /// Stores a measured cell.
+    pub fn insert(&mut self, input_idx: usize, key: ConfigKey, report: ExecutionReport) {
+        if self
+            .map
+            .entry(input_idx)
+            .or_default()
+            .insert(key, report)
+            .is_none()
+        {
+            self.entries += 1;
+        }
+    }
+
+    /// Number of memoized cells.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether no cell has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::ConfigSpace;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("alg", 3)
+            .int("cutoff", 0, 100)
+            .float("relax", 0.0, 2.0)
+            .build()
+    }
+
+    #[test]
+    fn config_key_is_exact() {
+        use rand::SeedableRng;
+        let space = space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = space.random(&mut rng);
+        let b = a.clone();
+        assert_eq!(ConfigKey::of(&a), ConfigKey::of(&b));
+        let c = space.random(&mut rng);
+        if c != a {
+            assert_ne!(ConfigKey::of(&a), ConfigKey::of(&c));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let space = space();
+        let a = space.default_config();
+        assert_eq!(
+            ConfigKey::of(&a).fingerprint(),
+            ConfigKey::of(&a).fingerprint()
+        );
+        let mut b = a.clone();
+        b.set(1, intune_core::ParamValue::Int(99));
+        assert_ne!(
+            ConfigKey::of(&a).fingerprint(),
+            ConfigKey::of(&b).fingerprint()
+        );
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let space = space();
+        let cfg = space.default_config();
+        let key = ConfigKey::of(&cfg);
+        let mut cache = CostCache::new();
+
+        assert!(cache.lookup(0, &key).is_none());
+        cache.insert(0, key.clone(), ExecutionReport::of_cost(7.0));
+        assert_eq!(cache.lookup(0, &key).unwrap().cost, 7.0);
+        // Same configuration on a different input is a distinct cell.
+        assert!(cache.lookup(1, &key).is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let space = space();
+        let key = ConfigKey::of(&space.default_config());
+        let mut cache = CostCache::new();
+        cache.insert(4, key.clone(), ExecutionReport::of_cost(1.0));
+        assert!(cache.peek(4, &key).is_some());
+        assert!(cache.peek(5, &key).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert!(CostCache::new().is_empty());
+    }
+}

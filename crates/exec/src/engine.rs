@@ -1,0 +1,460 @@
+//! The measurement engine: plans in, memoized deterministic reports out.
+
+use crate::cache::{ConfigKey, CostCache};
+use crate::executor::Executor;
+use crate::plan::MeasurementPlan;
+use intune_core::{Benchmark, BenchmarkExt, Configuration, Error, ExecutionReport, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable overriding the engine's worker-thread count.
+pub const THREADS_ENV: &str = "INTUNE_THREADS";
+
+/// Snapshot of the engine's cumulative counters.
+///
+/// Everything except `steals` is deterministic for a given workload:
+/// cache hits are resolved serially at submission time and deduplication
+/// happens at plan construction, so only the scheduler's steal count
+/// varies run to run. Keep `steals` out of reproducibility artifacts
+/// (CSV); the rest is safe to emit anywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plans submitted (a `measure_one` burst counts once per call).
+    pub plans: u64,
+    /// Cells requested across all plans, after plan-level deduplication.
+    pub cells_requested: u64,
+    /// Cells actually executed (requested − cache hits).
+    pub cells_measured: u64,
+    /// Cells answered from a [`CostCache`].
+    pub cache_hits: u64,
+    /// Duplicate submissions collapsed at plan construction, accounted on
+    /// every submission of the plan (each submission would have re-requested
+    /// those cells, so resubmitting a deduplicated plan counts them again).
+    pub dedup_saved: u64,
+    /// Successful steals inside the work-stealing pool (nondeterministic).
+    pub steals: u64,
+}
+
+impl EngineStats {
+    /// Cache hits as a fraction of requested cells (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        crate::cache::hit_rate(self.cache_hits, self.cells_requested)
+    }
+
+    /// Counter-wise difference `self − earlier` (for per-phase deltas).
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            plans: self.plans - earlier.plans,
+            cells_requested: self.cells_requested - earlier.cells_requested,
+            cells_measured: self.cells_measured - earlier.cells_measured,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            dedup_saved: self.dedup_saved - earlier.dedup_saved,
+            steals: self.steals - earlier.steals,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells measured, {} cache hits ({:.1}% hit rate), {} deduped, {} steals",
+            self.cells_measured,
+            self.cache_hits,
+            100.0 * self.hit_rate(),
+            self.dedup_saved,
+            self.steals
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    plans: AtomicU64,
+    cells_requested: AtomicU64,
+    cells_measured: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_saved: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// The unified measurement engine: a work-stealing pool plus counters.
+///
+/// One engine is meant to be shared across an entire experiment (the eval
+/// suite threads a single engine through all eight Table-1 cases); the
+/// per-corpus memoization state lives in [`CostCache`] values owned by the
+/// caller, so the engine itself is corpus-agnostic and cheap to share.
+///
+/// Determinism: results depend only on the benchmark, the plan, and the
+/// cache contents — never on the worker count. Cache lookups happen
+/// serially at submission, misses execute as independent indexed jobs, and
+/// each cell carries a seed derived from its identity.
+#[derive(Debug)]
+pub struct Engine {
+    executor: Executor,
+    counters: Counters,
+}
+
+impl Engine {
+    /// An engine with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            executor: Executor::new(threads),
+            counters: Counters::default(),
+        }
+    }
+
+    /// A single-threaded engine (serial measurement).
+    pub fn serial() -> Self {
+        Engine::new(1)
+    }
+
+    /// Worker count from the `INTUNE_THREADS` environment variable, else
+    /// the machine's available parallelism capped at 8.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(4)
+                    .min(8)
+            });
+        Engine::new(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Cumulative counters since the engine was created.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            plans: self.counters.plans.load(Ordering::Relaxed),
+            cells_requested: self.counters.cells_requested.load(Ordering::Relaxed),
+            cells_measured: self.counters.cells_measured.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            dedup_saved: self.counters.dedup_saved.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Measures every cell of `plan` against `inputs`, answering cells
+    /// already in `cache` from memory and memoizing fresh measurements.
+    /// Returns reports in plan-cell order.
+    ///
+    /// The cache must belong to the same corpus as `inputs` — cells are
+    /// keyed by input *index*.
+    pub fn measure_plan<B: Benchmark + Sync>(
+        &self,
+        benchmark: &B,
+        inputs: &[B::Input],
+        plan: &MeasurementPlan,
+        cache: &mut CostCache,
+    ) -> Result<Vec<ExecutionReport>>
+    where
+        B::Input: Sync,
+    {
+        self.counters.plans.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cells_requested
+            .fetch_add(plan.len() as u64, Ordering::Relaxed);
+        self.counters
+            .dedup_saved
+            .fetch_add(plan.dedup_saved() as u64, Ordering::Relaxed);
+
+        // Resolve cache hits serially so hit accounting (and therefore
+        // every downstream artifact) is independent of the worker count.
+        let mut results: Vec<Option<ExecutionReport>> = Vec::with_capacity(plan.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (id, cell) in plan.cells().iter().enumerate() {
+            if cell.input >= inputs.len() {
+                return Err(Error::Measurement {
+                    input: cell.input,
+                    detail: format!("input index out of range (corpus has {})", inputs.len()),
+                });
+            }
+            match cache.lookup(cell.input, &cell.key) {
+                Some(report) => results.push(Some(report)),
+                None => {
+                    results.push(None);
+                    misses.push(id);
+                }
+            }
+        }
+        self.counters
+            .cache_hits
+            .fetch_add((plan.len() - misses.len()) as u64, Ordering::Relaxed);
+
+        // Execute the misses. One code path at every worker count (the
+        // executor runs 1-thread job lists on the caller's thread): after
+        // the first failure, not-yet-started cells are skipped, so a
+        // failing plan neither wastes the remaining budget nor reaches the
+        // cache — at one worker this is exactly the serial early-stop.
+        // `cells_measured` counts per completed execution. When several
+        // cells fail, which failure is reported may vary with scheduling;
+        // successful plans are bit-identical at any worker count.
+        let cells = plan.cells();
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let outcome = self.executor.run(misses.clone(), |_, id| {
+            if abort.load(Ordering::Relaxed) {
+                return None; // skipped: an earlier cell already failed
+            }
+            let cell = &cells[id];
+            self.counters.cells_measured.fetch_add(1, Ordering::Relaxed);
+            let measured =
+                benchmark.run_cell(&cell.config, cell.input, &inputs[cell.input], cell.seed);
+            if measured.is_err() {
+                abort.store(true, Ordering::Relaxed);
+            }
+            Some(measured)
+        });
+        self.counters
+            .steals
+            .fetch_add(outcome.steals, Ordering::Relaxed);
+
+        // Propagate the first observed failure (skipped cells carry no
+        // report) *before* memoizing anything, so a failed plan leaves the
+        // cache exactly as it found it.
+        if let Some(err) = outcome
+            .results
+            .iter()
+            .find_map(|r| r.as_ref().and_then(|m| m.as_ref().err()))
+        {
+            return Err(err.clone());
+        }
+        for (&id, measured) in misses.iter().zip(outcome.results) {
+            let report = measured
+                .expect("no cell was skipped on a successful plan")
+                .expect("errors were propagated above");
+            let cell = &cells[id];
+            cache.insert(cell.input, cell.key.clone(), report);
+            results[id] = Some(report);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every plan cell resolved"))
+            .collect())
+    }
+
+    /// Measures `configs × inputs` (the landmark matrix), returning one row
+    /// of reports per configuration. Duplicate configurations are measured
+    /// once and their rows share the cached results.
+    pub fn measure_matrix<B: Benchmark + Sync>(
+        &self,
+        benchmark: &B,
+        configs: &[Configuration],
+        inputs: &[B::Input],
+        cache: &mut CostCache,
+    ) -> Result<Vec<Vec<ExecutionReport>>>
+    where
+        B::Input: Sync,
+    {
+        // Capture the cell id of each (row, column) while building the
+        // plan: duplicate configurations collapse onto the same ids, and
+        // the rows are reassembled from those ids after one submission.
+        let mut plan = MeasurementPlan::new();
+        let ids: Vec<Vec<usize>> = configs
+            .iter()
+            .map(|cfg| (0..inputs.len()).map(|i| plan.add(i, cfg)).collect())
+            .collect();
+        let flat = self.measure_plan(benchmark, inputs, &plan, cache)?;
+        Ok(ids
+            .into_iter()
+            .map(|row| row.into_iter().map(|id| flat[id]).collect())
+            .collect())
+    }
+
+    /// Cache-aware single-cell measurement, run on the caller's thread.
+    /// This is the entry point for sequential searchers (the evolutionary
+    /// autotuner's objective evaluations), which still want memoization
+    /// and engine accounting but no fan-out. The cell seed is derived from
+    /// the cell's identity exactly as a plan would derive it, so reports
+    /// memoized here are interchangeable with plan-measured ones.
+    pub fn measure_one<B: Benchmark>(
+        &self,
+        benchmark: &B,
+        input_idx: usize,
+        input: &B::Input,
+        config: &Configuration,
+        cache: &mut CostCache,
+    ) -> Result<ExecutionReport> {
+        self.counters.plans.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cells_requested
+            .fetch_add(1, Ordering::Relaxed);
+        let key = ConfigKey::of(config);
+        if let Some(report) = cache.lookup(input_idx, &key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report);
+        }
+        self.counters.cells_measured.fetch_add(1, Ordering::Relaxed);
+        let seed = crate::plan::derive_seed(input_idx, key.fingerprint());
+        let report = benchmark.run_cell(config, input_idx, input, seed)?;
+        cache.insert(input_idx, key, report);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{ConfigSpace, FeatureDef, FeatureSample};
+
+    struct Toy;
+
+    impl Benchmark for Toy {
+        type Input = f64;
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder().switch("alg", 3).build()
+        }
+
+        fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            assert!(input.is_finite(), "non-finite toy input");
+            ExecutionReport::of_cost(input * (1.0 + cfg.choice(0) as f64))
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("x", 1)]
+        }
+
+        fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+            FeatureSample::new(*input, 1.0)
+        }
+    }
+
+    fn configs() -> Vec<Configuration> {
+        let space = Toy.space();
+        (0..3)
+            .map(|c| {
+                let mut cfg = space.default_config();
+                cfg.set(0, intune_core::ParamValue::Choice(c));
+                cfg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_rows_match_direct_runs() {
+        let b = Toy;
+        let inputs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let configs = configs();
+        let engine = Engine::new(4);
+        let mut cache = CostCache::new();
+        let rows = engine
+            .measure_matrix(&b, &configs, &inputs, &mut cache)
+            .unwrap();
+        for (l, cfg) in configs.iter().enumerate() {
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(rows[l][i], b.run(cfg, input), "cell ({l}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_answers_without_rerunning() {
+        let b = Toy;
+        let inputs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let configs = configs();
+        let engine = Engine::serial();
+        let mut cache = CostCache::new();
+        engine
+            .measure_matrix(&b, &configs, &inputs, &mut cache)
+            .unwrap();
+        let cold = engine.stats();
+        assert_eq!(cold.cells_measured, 30);
+        assert_eq!(cold.cache_hits, 0);
+
+        engine
+            .measure_matrix(&b, &configs, &inputs, &mut cache)
+            .unwrap();
+        let warm = engine.stats().since(&cold);
+        assert_eq!(warm.cells_measured, 0);
+        assert_eq!(warm.cache_hits, 30);
+        assert_eq!(warm.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn measure_one_feeds_the_same_cache_as_plans() {
+        let b = Toy;
+        let inputs = vec![2.0, 4.0];
+        let configs = configs();
+        let engine = Engine::serial();
+        let mut cache = CostCache::new();
+        // An "autotuner" probes config 1 on input 0...
+        engine
+            .measure_one(&b, 0, &inputs[0], &configs[1], &mut cache)
+            .unwrap();
+        // ...so the matrix fill re-measures everything except that cell.
+        engine
+            .measure_matrix(&b, &configs, &inputs, &mut cache)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cells_measured, 6);
+    }
+
+    #[test]
+    fn duplicate_configs_share_measurements() {
+        let b = Toy;
+        let inputs: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        let mut configs = configs();
+        configs.push(configs[0].clone()); // duplicate landmark
+        let engine = Engine::serial();
+        let mut cache = CostCache::new();
+        let rows = engine
+            .measure_matrix(&b, &configs, &inputs, &mut cache)
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], rows[3]);
+        assert_eq!(engine.stats().cells_measured, 15); // 3 distinct × 5
+        assert_eq!(engine.stats().dedup_saved, 5);
+    }
+
+    #[test]
+    fn panicking_cell_surfaces_as_typed_error() {
+        let b = Toy;
+        let inputs = vec![1.0, f64::NAN];
+        let configs = configs();
+        for threads in [1, 4] {
+            let engine = Engine::new(threads);
+            let mut cache = CostCache::new();
+            let err = engine
+                .measure_matrix(&b, &configs, &inputs, &mut cache)
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::Measurement { input: 1, .. }),
+                "{threads} threads: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_input_is_rejected_up_front() {
+        let b = Toy;
+        let mut plan = MeasurementPlan::new();
+        plan.add(7, &configs()[0]);
+        let engine = Engine::serial();
+        let mut cache = CostCache::new();
+        let err = engine
+            .measure_plan(&b, &[1.0], &plan, &mut cache)
+            .unwrap_err();
+        assert!(matches!(err, Error::Measurement { input: 7, .. }));
+    }
+
+    #[test]
+    fn from_env_honors_intune_threads() {
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Engine::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Engine::from_env().threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+}

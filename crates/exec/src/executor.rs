@@ -1,0 +1,237 @@
+//! The deterministic work-stealing executor.
+//!
+//! Jobs are indexed; results are returned in job order no matter which
+//! worker ran them or in what sequence, so any pure job function yields
+//! bit-identical output at every worker count. The pool is built on the
+//! `crossbeam::deque` surface: each worker owns a FIFO deque seeded
+//! round-robin with an initial share of the jobs, the remainder waits in a
+//! shared [`Injector`], and idle workers first refill from the injector in
+//! batches, then steal from siblings.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Executor outcome: per-job results in job order plus scheduler counters.
+#[derive(Debug)]
+pub struct ExecOutcome<O> {
+    /// `results[i]` is the output of job `i`.
+    pub results: Vec<O>,
+    /// Successful steals (injector batch refills + sibling steals).
+    pub steals: u64,
+}
+
+/// A fixed-width work-stealing thread pool for independent jobs.
+///
+/// Workers are scoped threads spawned per [`Executor::run`] call and
+/// joined before it returns — a deliberate trade-off: measurement cells
+/// are coarse (whole benchmark executions), plans are few per experiment,
+/// and scoped workers may borrow the caller's benchmark and inputs without
+/// `Arc`/`'static` gymnastics. If plan granularity ever drops to
+/// per-EA-generation batches, revisit with a parked persistent pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+/// How many jobs are seeded directly into each worker's deque before the
+/// rest go to the shared injector. Small enough that skewed jobs leave
+/// stealable work, large enough that workers start without contention.
+const SEED_JOBS_PER_WORKER: usize = 4;
+
+impl Executor {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every job. `f(i, job)` receives the job's index; the
+    /// returned results are ordered by that index. Panics in `f` propagate
+    /// to the caller (the engine layer converts benchmark panics into
+    /// typed errors *inside* `f`, so its jobs never panic).
+    pub fn run<I, O, F>(&self, jobs: Vec<I>, f: F) -> ExecOutcome<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return ExecOutcome {
+                results: jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect(),
+                steals: 0,
+            };
+        }
+
+        let n = jobs.len();
+        let workers: Vec<Worker<(usize, I)>> =
+            (0..self.threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<(usize, I)>> = workers.iter().map(|w| w.stealer()).collect();
+        let injector: Injector<(usize, I)> = Injector::new();
+
+        let seeded = (self.threads * SEED_JOBS_PER_WORKER).min(n);
+        for (i, job) in jobs.into_iter().enumerate() {
+            if i < seeded {
+                workers[i % self.threads].push((i, job));
+            } else {
+                injector.push((i, job));
+            }
+        }
+
+        let steals = AtomicU64::new(0);
+        let mut collected: Vec<Vec<(usize, O)>> = Vec::with_capacity(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(me, local)| {
+                    let stealers = &stealers;
+                    let injector = &injector;
+                    let steals = &steals;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut out: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            if let Some((i, job)) = local.pop() {
+                                out.push((i, f(i, job)));
+                                continue;
+                            }
+                            match find_work(me, &local, injector, stealers) {
+                                Some((i, job)) => {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    out.push((i, f(i, job)));
+                                }
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.push(h.join().expect("executor worker panicked"));
+            }
+        })
+        .expect("executor scope panicked");
+
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (i, o) in collected.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "job {i} produced twice");
+            slots[i] = Some(o);
+        }
+        ExecOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every job produces exactly one result"))
+                .collect(),
+            steals: steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One round of work discovery for an idle worker: refill from the
+/// injector first (batch), then try each sibling once, rotating the start
+/// so thieves spread out. `None` means every queue was observed empty.
+fn find_work<T>(
+    me: usize,
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+) -> Option<T> {
+    loop {
+        let mut retry = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for off in 1..stealers.len() {
+            let victim = (me + off) % stealers.len();
+            match stealers[victim].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let exec = Executor::new(4);
+        let jobs: Vec<u64> = (0..257).collect();
+        let out = exec.run(jobs, |i, j| {
+            assert_eq!(i as u64, j);
+            j * 2
+        });
+        assert_eq!(out.results, (0..257).map(|j| j * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn one_thread_matches_many_threads() {
+        let job = |i: usize, j: u64| -> u64 { j.wrapping_mul(0x9e3779b9).rotate_left(i as u32) };
+        let jobs: Vec<u64> = (0..500).map(|i| i * 31 + 7).collect();
+        let serial = Executor::new(1).run(jobs.clone(), job);
+        for threads in [2, 3, 8] {
+            let parallel = Executor::new(threads).run(jobs.clone(), job);
+            assert_eq!(serial.results, parallel.results, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn serial_path_reports_zero_steals() {
+        let out = Executor::new(1).run(vec![1, 2, 3], |_, j| j);
+        assert_eq!(out.steals, 0);
+    }
+
+    #[test]
+    fn skewed_jobs_get_stolen() {
+        // Worker 0's seeded jobs are heavy; everything else is trivial. The
+        // other workers must drain the injector and/or steal.
+        let exec = Executor::new(4);
+        let jobs: Vec<u64> = (0..200).collect();
+        let out = exec.run(jobs, |i, j| {
+            if i % 4 == 0 {
+                // Simulate a heavy cell with real work (deterministic).
+                let mut acc = j;
+                for k in 0..20_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc
+            } else {
+                j
+            }
+        });
+        assert!(
+            out.steals > 0,
+            "expected nonzero steals on a skewed workload"
+        );
+        assert_eq!(out.results.len(), 200);
+    }
+
+    #[test]
+    fn empty_and_singleton_job_lists() {
+        let exec = Executor::new(8);
+        let empty: Vec<u8> = vec![];
+        assert!(exec.run(empty, |_, j: u8| j).results.is_empty());
+        assert_eq!(exec.run(vec![9u8], |_, j| j).results, vec![9]);
+    }
+
+    #[test]
+    fn thread_count_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+}

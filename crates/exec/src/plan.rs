@@ -1,0 +1,191 @@
+//! Deduplicated measurement plans.
+//!
+//! A [`MeasurementPlan`] is an ordered, duplicate-free set of measurement
+//! *cells* — `(input index, configuration)` pairs. Callers build a plan for
+//! whatever shape they need (a landmark × input matrix, a bag of oracle
+//! probes, a single autotuner evaluation burst) and submit it to the
+//! engine; adding a cell that is already in the plan returns the existing
+//! cell id instead of scheduling a second run.
+
+use crate::cache::ConfigKey;
+use intune_core::Configuration;
+use std::collections::HashMap;
+
+/// One measurement cell: a configuration to run on one input.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Index of the input in the corpus the plan was built against.
+    pub input: usize,
+    /// The configuration to run.
+    pub config: Configuration,
+    /// Canonical cache key of `config` (computed once at insertion).
+    pub key: ConfigKey,
+    /// Seed derived from the cell's *identity* (input index + configuration
+    /// fingerprint, never insertion order or scheduling), so a benchmark
+    /// that wants per-cell randomness gets the same stream no matter how
+    /// many workers execute the plan, in which order, or through which
+    /// entry point (plan submission and `Engine::measure_one` derive the
+    /// same seed for the same cell — which also keeps a shared
+    /// [`crate::CostCache`], keyed without the seed, coherent).
+    pub seed: u64,
+}
+
+/// An ordered, deduplicated set of measurement cells.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementPlan {
+    cells: Vec<Cell>,
+    index: HashMap<(usize, ConfigKey), usize>,
+    dedup_saved: usize,
+}
+
+impl MeasurementPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        MeasurementPlan::default()
+    }
+
+    /// A plan measuring every configuration on every input of an
+    /// `n_inputs`-sized corpus (the landmark × input matrix). Duplicate
+    /// configurations collapse, so `k` landmarks of which two are identical
+    /// schedule only `(k - 1) × n_inputs` cells.
+    pub fn matrix(configs: &[Configuration], n_inputs: usize) -> Self {
+        let mut plan = MeasurementPlan::new();
+        for cfg in configs {
+            for input in 0..n_inputs {
+                plan.add(input, cfg);
+            }
+        }
+        plan
+    }
+
+    /// Adds a cell, returning its id. Re-adding an existing
+    /// `(input, configuration)` cell returns the original id and counts a
+    /// deduplication instead of growing the plan.
+    pub fn add(&mut self, input: usize, config: &Configuration) -> usize {
+        let key = ConfigKey::of(config);
+        if let Some(&id) = self.index.get(&(input, key.clone())) {
+            self.dedup_saved += 1;
+            return id;
+        }
+        let id = self.cells.len();
+        let seed = derive_seed(input, key.fingerprint());
+        self.cells.push(Cell {
+            input,
+            config: config.clone(),
+            key: key.clone(),
+            seed,
+        });
+        self.index.insert((input, key), id);
+        id
+    }
+
+    /// The cells in insertion order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of distinct cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// How many duplicate submissions [`MeasurementPlan::add`] collapsed.
+    pub fn dedup_saved(&self) -> usize {
+        self.dedup_saved
+    }
+}
+
+/// SplitMix64-style mix of the cell identity into a seed. Deliberately a
+/// function of the identity alone: every entry point (plans,
+/// `Engine::measure_one`) derives the same seed for the same cell, so
+/// memoized reports are interchangeable wherever the cell is requested.
+pub(crate) fn derive_seed(input: usize, config_fingerprint: u64) -> u64 {
+    // Fixed basis: seeds differ per cell, never per call site.
+    let mut z = 0x17d0_ee00_5eed_ba5eu64
+        .wrapping_add((input as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(config_fingerprint);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::ConfigSpace;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("alg", 4)
+            .int("k", 0, 9)
+            .build()
+    }
+
+    #[test]
+    fn add_dedups_identical_cells() {
+        let space = space();
+        let a = space.default_config();
+        let mut plan = MeasurementPlan::new();
+        let id0 = plan.add(0, &a);
+        let id1 = plan.add(1, &a);
+        let id2 = plan.add(0, &a.clone());
+        assert_eq!(id0, id2);
+        assert_ne!(id0, id1);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.dedup_saved(), 1);
+    }
+
+    #[test]
+    fn matrix_collapses_duplicate_configs() {
+        let space = space();
+        let a = space.default_config();
+        let mut b = a.clone();
+        b.set(0, intune_core::ParamValue::Choice(2));
+        let configs = vec![a.clone(), b, a];
+        let plan = MeasurementPlan::matrix(&configs, 5);
+        assert_eq!(plan.len(), 2 * 5);
+        assert_eq!(plan.dedup_saved(), 5);
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_identity_not_order() {
+        let space = space();
+        let a = space.default_config();
+        let mut b = a.clone();
+        b.set(1, intune_core::ParamValue::Int(3));
+
+        let mut forward = MeasurementPlan::new();
+        forward.add(0, &a);
+        forward.add(0, &b);
+        let mut reverse = MeasurementPlan::new();
+        reverse.add(0, &b);
+        reverse.add(0, &a);
+
+        let seed_of = |plan: &MeasurementPlan, cfg: &Configuration| {
+            let key = ConfigKey::of(cfg);
+            plan.cells()
+                .iter()
+                .find(|c| c.key == key)
+                .map(|c| c.seed)
+                .unwrap()
+        };
+        assert_eq!(seed_of(&forward, &a), seed_of(&reverse, &a));
+        assert_eq!(seed_of(&forward, &b), seed_of(&reverse, &b));
+        assert_ne!(seed_of(&forward, &a), seed_of(&forward, &b));
+    }
+
+    #[test]
+    fn same_config_on_different_inputs_gets_different_seeds() {
+        let space = space();
+        let cfg = space.default_config();
+        let mut plan = MeasurementPlan::new();
+        let a = plan.add(0, &cfg);
+        let b = plan.add(1, &cfg);
+        assert_ne!(plan.cells()[a].seed, plan.cells()[b].seed);
+    }
+}

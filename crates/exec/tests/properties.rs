@@ -1,0 +1,229 @@
+//! Property tests for the measurement engine: worker-count invariance,
+//! cache accounting, and plan deduplication.
+
+use intune_core::{
+    Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+};
+use intune_exec::{CostCache, Engine, Executor, MeasurementPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A benchmark with a mixed-kind space whose cost depends on every
+/// parameter and on the input, so result mismatches cannot hide.
+struct Mixed;
+
+impl Benchmark for Mixed {
+    type Input = (u64, f64);
+
+    fn name(&self) -> &str {
+        "mixed"
+    }
+
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::builder()
+            .switch("alg", 4)
+            .int("cutoff", 0, 64)
+            .float("relax", 0.5, 2.0)
+            .build()
+    }
+
+    fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+        let (kind, size) = *input;
+        let alg = cfg.choice(0) as f64;
+        let cutoff = cfg.int(1) as f64;
+        let relax = cfg.float(2);
+        // Deterministic per-cell "work" derived from the cell identity.
+        let mut acc = size * (1.0 + alg) + cutoff * relax;
+        let mut state = kind.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ cfg.choice(0) as u64;
+        for _ in 0..(kind % 7) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc += (state % 1000) as f64 * 1e-3;
+        }
+        ExecutionReport::with_accuracy(acc, 1.0 / (1.0 + alg))
+    }
+
+    fn properties(&self) -> Vec<FeatureDef> {
+        vec![FeatureDef::new("kind", 1)]
+    }
+
+    fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+        FeatureSample::new(input.0 as f64, 1.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The executor's indexed results are identical for 1, 2, and 8
+    /// workers on the same seeded job list — the tentpole determinism
+    /// guarantee.
+    #[test]
+    fn executor_results_identical_across_worker_counts(
+        seed in 0u64..10_000, jobs in 1usize..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let work: Vec<u64> = (0..jobs).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let f = |i: usize, j: u64| -> u64 {
+            // Uneven per-job cost: heavier jobs force steals at 8 workers.
+            let rounds = (j % 97) * ((i as u64 % 5) + 1);
+            let mut acc = j ^ (i as u64).rotate_left(17);
+            for r in 0..rounds {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(r);
+            }
+            acc
+        };
+        let one = Executor::new(1).run(work.clone(), f);
+        let two = Executor::new(2).run(work.clone(), f);
+        let eight = Executor::new(8).run(work, f);
+        prop_assert_eq!(&one.results, &two.results);
+        prop_assert_eq!(&one.results, &eight.results);
+    }
+
+    /// End-to-end engine determinism: a full plan measured at 1, 2, and 8
+    /// worker threads produces bit-identical reports and identical
+    /// (deterministic) cache accounting.
+    #[test]
+    fn engine_reports_identical_across_worker_counts(
+        seed in 0u64..10_000, n_inputs in 1usize..40, n_configs in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<(u64, f64)> = (0..n_inputs)
+            .map(|_| (rng.gen_range(0..50), rng.gen_range(1.0..100.0)))
+            .collect();
+        let space = Mixed.space();
+        let configs: Vec<Configuration> =
+            (0..n_configs).map(|_| space.random(&mut rng)).collect();
+
+        let mut baseline: Option<(Vec<Vec<ExecutionReport>>, u64, u64)> = None;
+        for threads in [1usize, 2, 8] {
+            let engine = Engine::new(threads);
+            let mut cache = CostCache::new();
+            let rows = engine
+                .measure_matrix(&Mixed, &configs, &inputs, &mut cache)
+                .unwrap();
+            let stats = engine.stats();
+            match &baseline {
+                None => baseline = Some((rows, stats.cells_measured, stats.cache_hits)),
+                Some((expect_rows, expect_measured, expect_hits)) => {
+                    prop_assert_eq!(expect_rows, &rows, "threads = {}", threads);
+                    prop_assert_eq!(*expect_measured, stats.cells_measured);
+                    prop_assert_eq!(*expect_hits, stats.cache_hits);
+                }
+            }
+        }
+    }
+
+    /// Cache accounting is exact: requested = hits + measured, and a warm
+    /// resubmission of the same plan is all hits.
+    #[test]
+    fn cache_accounting_balances(
+        seed in 0u64..10_000, n_inputs in 1usize..30, n_configs in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe);
+        let inputs: Vec<(u64, f64)> = (0..n_inputs)
+            .map(|_| (rng.gen_range(0..50), rng.gen_range(1.0..100.0)))
+            .collect();
+        let space = Mixed.space();
+        let configs: Vec<Configuration> =
+            (0..n_configs).map(|_| space.random(&mut rng)).collect();
+
+        let engine = Engine::new(2);
+        let mut cache = CostCache::new();
+        engine
+            .measure_matrix(&Mixed, &configs, &inputs, &mut cache)
+            .unwrap();
+        let cold = engine.stats();
+        prop_assert_eq!(cold.cells_requested, cold.cells_measured + cold.cache_hits);
+        prop_assert_eq!(cache.len() as u64, cold.cells_measured);
+
+        engine
+            .measure_matrix(&Mixed, &configs, &inputs, &mut cache)
+            .unwrap();
+        let warm = engine.stats().since(&cold);
+        prop_assert_eq!(warm.cells_measured, 0);
+        prop_assert_eq!(warm.cache_hits, warm.cells_requested);
+    }
+
+    /// A benchmark with *internal randomness* (it overrides `run_seeded`
+    /// and draws from the cell seed) is still bit-identical across worker
+    /// counts: the seed comes from the cell's identity, not from which
+    /// worker ran it or when.
+    #[test]
+    fn seeded_randomized_benchmark_is_worker_invariant(
+        seed in 0u64..10_000, n_inputs in 1usize..30,
+    ) {
+        struct Sampled;
+        impl Benchmark for Sampled {
+            type Input = f64;
+            fn name(&self) -> &str {
+                "sampled"
+            }
+            fn space(&self) -> ConfigSpace {
+                ConfigSpace::builder().switch("alg", 3).build()
+            }
+            fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+                ExecutionReport::of_cost(input * (1.0 + cfg.choice(0) as f64))
+            }
+            fn run_seeded(
+                &self,
+                cfg: &Configuration,
+                input: &Self::Input,
+                seed: u64,
+            ) -> ExecutionReport {
+                // A sampled accuracy metric: the draw depends on the seed.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let accuracy: f64 = rng.gen_range(0.5..1.0);
+                ExecutionReport::with_accuracy(self.run(cfg, input).cost, accuracy)
+            }
+            fn properties(&self) -> Vec<FeatureDef> {
+                vec![FeatureDef::new("x", 1)]
+            }
+            fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+                FeatureSample::new(*input, 1.0)
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a17);
+        let inputs: Vec<f64> = (0..n_inputs).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let space = Sampled.space();
+        let configs: Vec<Configuration> = (0..3).map(|_| space.random(&mut rng)).collect();
+
+        let mut baseline: Option<Vec<Vec<ExecutionReport>>> = None;
+        for threads in [1usize, 2, 8] {
+            let engine = Engine::new(threads);
+            let mut cache = CostCache::new();
+            let rows = engine
+                .measure_matrix(&Sampled, &configs, &inputs, &mut cache)
+                .unwrap();
+            // The override really ran: accuracy is present on every report.
+            prop_assert!(rows.iter().flatten().all(|r| r.accuracy.is_some()));
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(expect) => prop_assert_eq!(expect, &rows, "threads = {}", threads),
+            }
+        }
+    }
+
+    /// Plan deduplication: however many times a cell is submitted, the
+    /// plan holds each distinct (input, configuration) exactly once.
+    #[test]
+    fn plan_dedup_is_exact(
+        seed in 0u64..10_000, submissions in 1usize..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdedu64);
+        let space = Mixed.space();
+        let pool: Vec<Configuration> = (0..4).map(|_| space.random(&mut rng)).collect();
+        let mut plan = MeasurementPlan::new();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..submissions {
+            let input = rng.gen_range(0..6usize);
+            let cfg = &pool[rng.gen_range(0..pool.len())];
+            let id = plan.add(input, cfg);
+            distinct.insert((input, intune_exec::ConfigKey::of(cfg)));
+            prop_assert!(id < plan.len());
+        }
+        prop_assert_eq!(plan.len(), distinct.len());
+        prop_assert_eq!(plan.dedup_saved(), submissions - distinct.len());
+    }
+}

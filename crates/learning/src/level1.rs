@@ -1,9 +1,17 @@
 //! Level 1: feature extraction, input clustering, landmark creation, and
 //! performance measurement (Figure 4 of the paper).
+//!
+//! All benchmark executions — the evolutionary autotuner's objective
+//! evaluations and the landmark × input `PerfMatrix` fill — route through
+//! the `intune_exec` measurement engine with one [`CostCache`] per training
+//! corpus, so a cell measured while tuning a landmark is never re-run when
+//! the matrix is filled, and a failing cell surfaces as a typed
+//! [`intune_core::Error::Measurement`] instead of aborting the process.
 
 use crate::perf::PerfMatrix;
 use intune_autotuner::{EvolutionaryTuner, Objective, TunerOptions};
-use intune_core::{Benchmark, BenchmarkExt, Configuration, FeatureVector};
+use intune_core::{Benchmark, BenchmarkExt, Configuration, FeatureVector, Result};
+use intune_exec::{CostCache, Engine};
 use intune_ml::{KMeans, KMeansOptions, ZScore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,10 +36,8 @@ pub struct Level1Options {
     pub tuner: TunerOptions,
     /// Representative-selection strategy.
     pub strategy: LandmarkStrategy,
-    /// RNG seed (clustering, random strategy).
+    /// RNG seed (clustering, random strategy, measurement-cell seeds).
     pub seed: u64,
-    /// Measure the landmark × input matrix in parallel.
-    pub parallel: bool,
 }
 
 impl Default for Level1Options {
@@ -41,7 +47,6 @@ impl Default for Level1Options {
             tuner: TunerOptions::quick(0),
             strategy: LandmarkStrategy::KMeansMedoids,
             seed: 0,
-            parallel: true,
         }
     }
 }
@@ -65,9 +70,16 @@ pub struct Level1Result {
     pub perf: PerfMatrix,
     /// Total program executions spent by the autotuner across landmarks.
     pub tuner_evaluations: usize,
+    /// The training-corpus cost cache (warm: every tuner evaluation and
+    /// matrix cell is memoized). Callers measuring more configurations on
+    /// the *same* corpus should keep feeding this cache.
+    pub cache: CostCache,
 }
 
-/// Runs Level 1 end to end.
+/// Runs Level 1 end to end on the given measurement engine.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
 ///
 /// # Panics
 /// Panics if `inputs` is empty or `opts.clusters == 0`.
@@ -75,7 +87,8 @@ pub fn run_level1<B: Benchmark + Sync>(
     benchmark: &B,
     inputs: &[B::Input],
     opts: &Level1Options,
-) -> Level1Result
+    engine: &Engine,
+) -> Result<Level1Result>
 where
     B::Input: Sync,
 {
@@ -116,31 +129,36 @@ where
         }
     };
 
-    // Step 3: landmark creation — one EA run per representative input.
+    // Step 3: landmark creation — one EA run per representative input. The
+    // objective evaluations go through the engine's memoizing single-cell
+    // path: the EA revisits configurations (elites' kin, converged
+    // populations), and each revisit is a cache hit, not a re-run.
     let objective = match benchmark.accuracy() {
         Some(spec) => Objective::with_accuracy_target(spec.threshold),
         None => Objective::cost_only(),
     };
     let space = benchmark.space();
+    let mut cache = CostCache::new();
     let mut tuner_evaluations = 0usize;
-    let landmarks: Vec<Configuration> = representatives
-        .iter()
-        .enumerate()
-        .map(|(c, &rep)| {
-            let tuner = EvolutionaryTuner::new(TunerOptions {
-                seed: opts.tuner.seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15),
-                ..opts.tuner
-            });
-            let result = tuner.tune(&space, objective, |cfg| benchmark.run(cfg, &inputs[rep]));
-            tuner_evaluations += result.evaluations;
-            result.best
-        })
-        .collect();
+    let mut landmarks: Vec<Configuration> = Vec::with_capacity(representatives.len());
+    for (c, &rep) in representatives.iter().enumerate() {
+        let tuner = EvolutionaryTuner::new(TunerOptions {
+            seed: opts.tuner.seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            ..opts.tuner
+        });
+        let result = tuner.try_tune(&space, objective, |cfg| {
+            engine.measure_one(benchmark, rep, &inputs[rep], cfg, &mut cache)
+        })?;
+        tuner_evaluations += result.evaluations;
+        landmarks.push(result.best);
+    }
 
-    // Step 4: performance measurement — every landmark on every input.
-    let perf = measure(benchmark, &landmarks, inputs, opts.parallel);
+    // Step 4: performance measurement — every landmark on every input,
+    // submitted as one deduplicated plan. Each landmark's cell on its own
+    // representative was already measured during tuning: a cache hit.
+    let perf = measure_with_cache(benchmark, &landmarks, inputs, engine, &mut cache)?;
 
-    Level1Result {
+    Ok(Level1Result {
         features,
         normalizer,
         centroids,
@@ -149,7 +167,8 @@ where
         landmarks,
         perf,
         tuner_evaluations,
-    }
+        cache,
+    })
 }
 
 fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
@@ -163,47 +182,36 @@ fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
     best.0
 }
 
-/// Measures all `landmarks` on all `inputs` (optionally in parallel across
-/// inputs; results are written by index, so the outcome is deterministic
-/// either way).
+/// Measures all `landmarks` on all `inputs` through the engine with a
+/// fresh cache. The result is deterministic at any engine worker count
+/// (cells are independent, reports deterministic, results indexed).
 pub fn measure<B: Benchmark + Sync>(
     benchmark: &B,
     landmarks: &[Configuration],
     inputs: &[B::Input],
-    parallel: bool,
-) -> PerfMatrix
+    engine: &Engine,
+) -> Result<PerfMatrix>
 where
     B::Input: Sync,
 {
-    let n = inputs.len();
-    let rows: Vec<Vec<intune_core::ExecutionReport>> = landmarks
-        .iter()
-        .map(|lm| {
-            if parallel && n >= 8 {
-                let threads = std::thread::available_parallelism()
-                    .map(|t| t.get())
-                    .unwrap_or(4)
-                    .min(8);
-                let chunk = n.div_ceil(threads);
-                let mut row = vec![intune_core::ExecutionReport::of_cost(0.0); n];
-                crossbeam::thread::scope(|scope| {
-                    for (t, slot) in row.chunks_mut(chunk).enumerate() {
-                        let start = t * chunk;
-                        scope.spawn(move |_| {
-                            for (off, out) in slot.iter_mut().enumerate() {
-                                *out = benchmark.run(lm, &inputs[start + off]);
-                            }
-                        });
-                    }
-                })
-                .expect("measurement threads must not panic");
-                row
-            } else {
-                inputs.iter().map(|i| benchmark.run(lm, i)).collect()
-            }
-        })
-        .collect();
-    PerfMatrix::from_reports(rows)
+    let mut cache = CostCache::new();
+    measure_with_cache(benchmark, landmarks, inputs, engine, &mut cache)
+}
+
+/// Like [`measure`], but re-using (and warming) a caller-owned cache that
+/// must belong to the same input corpus.
+pub fn measure_with_cache<B: Benchmark + Sync>(
+    benchmark: &B,
+    landmarks: &[Configuration],
+    inputs: &[B::Input],
+    engine: &Engine,
+    cache: &mut CostCache,
+) -> Result<PerfMatrix>
+where
+    B::Input: Sync,
+{
+    let rows = engine.measure_matrix(benchmark, landmarks, inputs, cache)?;
+    Ok(PerfMatrix::from_reports(rows))
 }
 
 #[cfg(test)]
@@ -270,15 +278,16 @@ mod tests {
             },
             strategy: LandmarkStrategy::KMeansMedoids,
             seed: 0,
-            parallel: false,
         }
+    }
+
+    fn run(opts: &Level1Options) -> Level1Result {
+        run_level1(&Synthetic, &corpus(), opts, &Engine::serial()).unwrap()
     }
 
     #[test]
     fn level1_shapes_are_consistent() {
-        let b = Synthetic;
-        let inputs = corpus();
-        let r = run_level1(&b, &inputs, &options());
+        let r = run(&options());
         assert_eq!(r.features.len(), 60);
         assert_eq!(r.cluster_labels.len(), 60);
         assert_eq!(r.landmarks.len(), 3);
@@ -289,9 +298,8 @@ mod tests {
 
     #[test]
     fn landmarks_specialize_to_their_clusters() {
-        let b = Synthetic;
         let inputs = corpus();
-        let r = run_level1(&b, &inputs, &options());
+        let r = run(&options());
         // The three kinds should be separated by clustering (kind feature
         // dominates), and each cluster's landmark should pick the matching
         // algorithm for its representative's kind.
@@ -307,9 +315,8 @@ mod tests {
 
     #[test]
     fn perf_matrix_reflects_specialization() {
-        let b = Synthetic;
         let inputs = corpus();
-        let r = run_level1(&b, &inputs, &options());
+        let r = run(&options());
         // For each input, the cheapest landmark must be one whose config
         // matches the input kind.
         for (i, input) in inputs.iter().enumerate() {
@@ -321,39 +328,84 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_serial_measurement_agree() {
-        let b = Synthetic;
+    fn measurement_is_identical_across_engine_worker_counts() {
         let inputs = corpus();
-        let r = run_level1(&b, &inputs, &options());
-        let serial = measure(&b, &r.landmarks, &inputs, false);
-        let parallel = measure(&b, &r.landmarks, &inputs, true);
+        let r = run(&options());
+        let serial = measure(&Synthetic, &r.landmarks, &inputs, &Engine::new(1)).unwrap();
+        let pooled = measure(&Synthetic, &r.landmarks, &inputs, &Engine::new(4)).unwrap();
         for l in 0..3 {
             for i in 0..inputs.len() {
-                assert_eq!(serial.cost(l, i), parallel.cost(l, i));
+                assert_eq!(serial.cost(l, i), pooled.cost(l, i));
+                assert_eq!(serial.accuracy(l, i), pooled.accuracy(l, i));
             }
         }
     }
 
     #[test]
+    fn tuning_warms_the_matrix_fill_cache() {
+        let r = run(&options());
+        let stats = r.cache.stats();
+        // Every landmark's winning configuration was evaluated on its
+        // representative during tuning, so the matrix fill must hit at
+        // least once per landmark (the EA's own revisits add more).
+        assert!(
+            stats.hits >= r.landmarks.len() as u64,
+            "expected >= {} cache hits, got {}",
+            r.landmarks.len(),
+            stats.hits
+        );
+    }
+
+    #[test]
     fn random_strategy_produces_valid_shapes() {
-        let b = Synthetic;
-        let inputs = corpus();
         let opts = Level1Options {
             strategy: LandmarkStrategy::UniformRandom,
             ..options()
         };
-        let r = run_level1(&b, &inputs, &opts);
+        let r = run(&opts);
         assert_eq!(r.landmarks.len(), 3);
         assert!(r.cluster_labels.iter().all(|&l| l < 3));
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let b = Synthetic;
-        let inputs = corpus();
-        let a = run_level1(&b, &inputs, &options());
-        let c = run_level1(&b, &inputs, &options());
+        let a = run(&options());
+        let c = run(&options());
         assert_eq!(a.landmarks, c.landmarks);
         assert_eq!(a.cluster_labels, c.cluster_labels);
+    }
+
+    #[test]
+    fn failing_cell_surfaces_as_typed_error() {
+        struct Bomb;
+        impl Benchmark for Bomb {
+            type Input = usize;
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn space(&self) -> ConfigSpace {
+                ConfigSpace::builder().switch("alg", 2).build()
+            }
+            fn run(&self, _cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+                assert!(*input != 3, "cell detonated");
+                ExecutionReport::of_cost(*input as f64 + 1.0)
+            }
+            fn properties(&self) -> Vec<FeatureDef> {
+                vec![FeatureDef::new("x", 1)]
+            }
+            fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+                FeatureSample::new(*input as f64, 1.0)
+            }
+        }
+        let inputs: Vec<usize> = (0..8).collect();
+        let cfg = Bomb.space().default_config();
+        let err = measure(&Bomb, &[cfg], &inputs, &Engine::serial()).unwrap_err();
+        match err {
+            intune_core::Error::Measurement { input, detail } => {
+                assert_eq!(input, 3);
+                assert!(detail.contains("detonated"), "detail: {detail}");
+            }
+            other => panic!("expected Measurement error, got {other:?}"),
+        }
     }
 }

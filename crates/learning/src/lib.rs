@@ -27,6 +27,13 @@
 //!
 //! Everything is generic over [`intune_core::Benchmark`] and fully
 //! deterministic given the seeds in [`pipeline::TwoLevelOptions`].
+//!
+//! All benchmark measurement — autotuner objective evaluations, the
+//! landmark × input matrix, oracle baselines, and deployment evaluation —
+//! routes through the `intune_exec` measurement engine: cells are
+//! deduplicated and memoized per corpus, executed on a work-stealing pool
+//! with bit-identical results at any worker count, and failing cells
+//! surface as typed [`intune_core::Error::Measurement`] errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

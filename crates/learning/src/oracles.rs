@@ -1,8 +1,15 @@
 //! Baselines: static oracle, dynamic oracle, and the traditional one-level
 //! method.
+//!
+//! The oracles themselves are pure functions of a [`PerfMatrix`]; the
+//! measurement that produces the matrix goes through the `intune_exec`
+//! engine ([`measured_oracles`]), so baseline evaluation shares cells with
+//! — and is memoized against — every other measurement of the same corpus.
 
 use crate::labels::label_inputs;
 use crate::perf::PerfMatrix;
+use intune_core::{Benchmark, Configuration, Result};
+use intune_exec::{CostCache, Engine};
 use intune_ml::ZScore;
 
 /// The static oracle: the single landmark used for *all* inputs — best mean
@@ -46,6 +53,34 @@ pub fn static_oracle(
 /// pays no feature-extraction cost.
 pub fn dynamic_oracle(perf: &PerfMatrix, accuracy_threshold: Option<f64>) -> Vec<usize> {
     label_inputs(perf, accuracy_threshold)
+}
+
+/// Measures `landmarks × inputs` through the engine (one deduplicated,
+/// memoized plan) and computes both oracle baselines on the result:
+/// `(perf matrix, static-oracle landmark, dynamic-oracle labels)`.
+///
+/// `cache` must belong to the `inputs` corpus; cells measured here are
+/// shared with any other measurement of the same corpus (e.g. classifier
+/// evaluation re-using the matrix's landmark runs).
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any cell fails.
+pub fn measured_oracles<B: Benchmark + Sync>(
+    benchmark: &B,
+    landmarks: &[Configuration],
+    inputs: &[B::Input],
+    engine: &Engine,
+    cache: &mut CostCache,
+    accuracy_threshold: Option<f64>,
+    satisfaction_threshold: f64,
+) -> Result<(PerfMatrix, usize, Vec<usize>)>
+where
+    B::Input: Sync,
+{
+    let perf = crate::level1::measure_with_cache(benchmark, landmarks, inputs, engine, cache)?;
+    let static_lm = static_oracle(&perf, accuracy_threshold, satisfaction_threshold);
+    let dyn_labels = dynamic_oracle(&perf, accuracy_threshold);
+    Ok((perf, static_lm, dyn_labels))
 }
 
 /// The traditional **one-level** classifier: nearest feature-space centroid
@@ -138,6 +173,51 @@ mod tests {
     fn dynamic_oracle_adapts_per_input() {
         let p = perf();
         assert_eq!(dynamic_oracle(&p, Some(0.9)), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn measured_oracles_agree_with_pure_functions() {
+        use intune_core::{ConfigSpace, FeatureDef, FeatureSample};
+
+        struct Lin;
+        impl Benchmark for Lin {
+            type Input = f64;
+            fn name(&self) -> &str {
+                "lin"
+            }
+            fn space(&self) -> ConfigSpace {
+                ConfigSpace::builder().switch("alg", 2).build()
+            }
+            fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+                ExecutionReport::of_cost(input * (1.0 + cfg.choice(0) as f64))
+            }
+            fn properties(&self) -> Vec<FeatureDef> {
+                vec![FeatureDef::new("x", 1)]
+            }
+            fn extract(&self, _p: usize, _l: usize, input: &Self::Input) -> FeatureSample {
+                FeatureSample::new(*input, 1.0)
+            }
+        }
+
+        let space = Lin.space();
+        let mut fast = space.default_config();
+        fast.set(0, intune_core::ParamValue::Choice(0));
+        let mut slow = space.default_config();
+        slow.set(0, intune_core::ParamValue::Choice(1));
+        let landmarks = vec![fast, slow];
+        let inputs = vec![1.0, 2.0, 3.0];
+
+        let engine = Engine::serial();
+        let mut cache = CostCache::new();
+        let (perf, static_lm, dyn_labels) =
+            measured_oracles(&Lin, &landmarks, &inputs, &engine, &mut cache, None, 0.95).unwrap();
+        assert_eq!(static_lm, static_oracle(&perf, None, 0.95));
+        assert_eq!(dyn_labels, dynamic_oracle(&perf, None));
+        assert_eq!(dyn_labels, vec![0, 0, 0]);
+        // Re-running the baselines on a warm cache re-measures nothing.
+        let before = engine.stats();
+        measured_oracles(&Lin, &landmarks, &inputs, &engine, &mut cache, None, 0.95).unwrap();
+        assert_eq!(engine.stats().since(&before).cells_measured, 0);
     }
 
     #[test]

@@ -3,13 +3,14 @@
 
 use crate::classifiers::Classifier;
 use crate::labels::{cost_matrix, label_inputs, relabel_fraction};
-use crate::level1::{measure, run_level1, Level1Options, Level1Result};
-use crate::oracles::{dynamic_oracle, static_oracle, OneLevelClassifier};
+use crate::level1::{run_level1, Level1Options, Level1Result};
+use crate::oracles::{dynamic_oracle, measured_oracles, static_oracle, OneLevelClassifier};
 use crate::perf::PerfMatrix;
 use crate::selection::{
     samples_for, select_production, train_candidates, Candidate, CandidateScore, SelectionOptions,
 };
-use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, FeatureVector};
+use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, FeatureVector, Result};
+use intune_exec::{CostCache, Engine};
 
 /// All knobs of the two-level method.
 #[derive(Debug, Clone)]
@@ -40,14 +41,22 @@ impl Default for TwoLevelOptions {
 
 /// Training-cost accounting (the paper's §4.2 training-time discussion:
 /// landmark autotuning dominates, and an exhaustive per-input search would
-/// cost `inputs / clusters` times more).
+/// cost `inputs / clusters` times more). With the `intune-exec` engine the
+/// measurement budget is memoized, so *requested* and *executed* runs
+/// diverge: the difference is the cache-hit count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingStats {
-    /// Program executions spent by the evolutionary autotuner (all
-    /// landmarks).
+    /// Objective evaluations requested by the evolutionary autotuner
+    /// across all landmarks (memoized revisits included).
     pub tuner_evaluations: usize,
-    /// Program executions spent measuring landmarks × inputs.
+    /// Measurement cells requested for the landmark × input matrix
+    /// (`clusters × inputs`).
     pub measurement_runs: usize,
+    /// Fresh program executions actually performed across all of Level 1
+    /// (tuning + matrix fill) after memoization.
+    pub measured_runs: usize,
+    /// Measurements answered from the cost cache instead of re-running.
+    pub cache_hits: usize,
     /// Number of training inputs.
     pub inputs: usize,
     /// Number of landmarks (clusters).
@@ -62,9 +71,17 @@ impl TrainingStats {
         self.inputs as f64 / self.clusters.max(1) as f64
     }
 
-    /// Total program executions during training.
+    /// Total fresh program executions during training.
     pub fn total_runs(&self) -> usize {
-        self.tuner_evaluations + self.measurement_runs
+        self.measured_runs
+    }
+
+    /// Fraction of requested measurements served by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        intune_exec::hit_rate(
+            self.cache_hits as u64,
+            (self.measured_runs + self.cache_hits) as u64,
+        )
     }
 }
 
@@ -97,7 +114,12 @@ impl TwoLevelResult {
     }
 }
 
-/// Runs the full two-level method on a training corpus.
+/// Runs the full two-level method on a training corpus. All benchmark
+/// measurements route through `engine` (memoized per corpus, deterministic
+/// at any worker count).
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
 ///
 /// # Panics
 /// Panics if `inputs` is empty.
@@ -105,11 +127,12 @@ pub fn learn<B: Benchmark + Sync>(
     benchmark: &B,
     inputs: &[B::Input],
     opts: &TwoLevelOptions,
-) -> TwoLevelResult
+    engine: &Engine,
+) -> Result<TwoLevelResult>
 where
     B::Input: Sync,
 {
-    let level1 = run_level1(benchmark, inputs, &opts.level1);
+    let level1 = run_level1(benchmark, inputs, &opts.level1, engine)?;
     let threshold = benchmark.accuracy().map(|a| a.threshold);
 
     let labels = label_inputs(&level1.perf, threshold);
@@ -181,14 +204,17 @@ where
         opts.selection.satisfaction,
     );
 
+    let cache_stats = level1.cache.stats();
     let stats = TrainingStats {
         tuner_evaluations: level1.tuner_evaluations,
         measurement_runs: level1.landmarks.len() * inputs.len(),
+        measured_runs: cache_stats.misses as usize,
+        cache_hits: cache_stats.hits as usize,
         inputs: inputs.len(),
         clusters: level1.landmarks.len(),
     };
 
-    TwoLevelResult {
+    Ok(TwoLevelResult {
         level1,
         labels,
         relabel_fraction: relabeled,
@@ -197,7 +223,7 @@ where
         scores,
         chosen,
         stats,
-    }
+    })
 }
 
 /// The deployment artifact: landmarks + production classifier. At run time
@@ -284,7 +310,12 @@ pub struct EvaluationRow {
 }
 
 /// Evaluates a learning result on held-out test inputs, producing the
-/// paper's Table-1 row (plus the Figure 6 distribution).
+/// paper's Table-1 row (plus the Figure 6 distribution). The test-corpus
+/// landmark measurements are submitted to `engine` as one deduplicated
+/// plan shared by the oracle baselines and both classifiers.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
 ///
 /// # Panics
 /// Panics if `test_inputs` is empty.
@@ -292,8 +323,8 @@ pub fn evaluate<B: Benchmark + Sync>(
     benchmark: &B,
     result: &TwoLevelResult,
     test_inputs: &[B::Input],
-    parallel: bool,
-) -> EvaluationRow
+    engine: &Engine,
+) -> Result<EvaluationRow>
 where
     B::Input: Sync,
 {
@@ -301,22 +332,33 @@ where
     let threshold = benchmark.accuracy().map(|a| a.threshold);
     let satisfaction = 0.95;
 
-    // Landmark performance on the test set.
-    let perf_test = measure(benchmark, &result.level1.landmarks, test_inputs, parallel);
+    // Landmark performance on the test set plus the per-input (dynamic)
+    // oracle, measured through the engine with a test-corpus cache.
+    let mut cache = CostCache::new();
+    let (perf_test, _, dyn_labels) = measured_oracles(
+        benchmark,
+        &result.level1.landmarks,
+        test_inputs,
+        engine,
+        &mut cache,
+        threshold,
+        satisfaction,
+    )?;
     // Full feature vectors for the test set (classification + one-level).
     let features_test: Vec<FeatureVector> = test_inputs
         .iter()
         .map(|i| benchmark.extract_all(i))
         .collect();
 
-    // Static oracle is chosen on TRAINING evidence, applied to test inputs.
+    // Static oracle is chosen on TRAINING evidence, applied to test inputs
+    // (the test-measured static oracle from `measured_oracles` would be an
+    // unfairly clairvoyant baseline, so it is discarded).
     let static_lm = static_oracle(&result.level1.perf, threshold, satisfaction);
     let static_cost: Vec<f64> = (0..test_inputs.len())
         .map(|i| perf_test.cost(static_lm, i))
         .collect();
 
     // Dynamic oracle.
-    let dyn_labels = dynamic_oracle(&perf_test, threshold);
     let dyn_speedup = mean_ratio(&static_cost, |i| perf_test.cost(dyn_labels[i], i));
     let dyn_met = (0..test_inputs.len())
         .filter(|&i| perf_test.meets(dyn_labels[i], i, threshold))
@@ -367,7 +409,7 @@ where
     let one_level = mean_ratio(&static_cost, |i| ol_cost[i]);
     let one_level_fx = mean_ratio(&static_cost, |i| ol_cost[i] + ol_fx[i]);
 
-    EvaluationRow {
+    Ok(EvaluationRow {
         name: benchmark.name().to_string(),
         dynamic_oracle: dyn_speedup,
         two_level,
@@ -381,7 +423,7 @@ where
         relabel_fraction: result.relabel_fraction,
         per_input_speedups: per_input,
         production_classifier: result.candidates[result.chosen].name.clone(),
-    }
+    })
 }
 
 /// Mean over inputs of `static_cost[i] / denom(i)`.
@@ -482,7 +524,6 @@ mod tests {
                     generations: 8,
                     ..TunerOptions::quick(1)
                 },
-                parallel: false,
                 ..Level1Options::default()
             },
             lambda: 0.5,
@@ -503,8 +544,8 @@ mod tests {
         let b = Synthetic;
         let train = corpus(60, 0);
         let test = corpus(45, 1);
-        let result = learn(&b, &train, &options());
-        let row = evaluate(&b, &result, &test, false);
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
+        let row = evaluate(&b, &result, &test, &Engine::serial()).unwrap();
 
         // The synthetic problem is perfectly classifiable from the cheap
         // feature, so the two-level method should approach the dynamic
@@ -527,7 +568,7 @@ mod tests {
     fn production_classifier_avoids_expensive_noise_feature() {
         let b = Synthetic;
         let train = corpus(60, 0);
-        let result = learn(&b, &train, &options());
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
         let set = result.production().feature_set();
         assert_eq!(
             set.level_of(1),
@@ -542,8 +583,8 @@ mod tests {
         let b = Synthetic;
         let train = corpus(60, 0);
         let test = corpus(45, 2);
-        let result = learn(&b, &train, &options());
-        let row = evaluate(&b, &result, &test, false);
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
+        let row = evaluate(&b, &result, &test, &Engine::serial()).unwrap();
         // One-level pays the 200+400-cost noise features on a ~100-300-cost
         // program: with extraction it must collapse well below 1x.
         assert!(
@@ -563,7 +604,7 @@ mod tests {
     fn tuned_program_round_trip() {
         let b = Synthetic;
         let train = corpus(60, 0);
-        let result = learn(&b, &train, &options());
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
         let tuned = TunedProgram::new(&b, &result);
         // Deployment on fresh inputs: selection must pick the matching
         // landmark kind for nearly all inputs.
@@ -585,7 +626,7 @@ mod tests {
     fn figure8_subset_speedup_increases_with_landmarks() {
         let b = Synthetic;
         let train = corpus(60, 0);
-        let result = learn(&b, &train, &options());
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
         let perf = &result.level1.perf;
         let one = subset_oracle_speedup(perf, &[0], Some(0.5), 0.95);
         let all = subset_oracle_speedup(perf, &[0, 1, 2], Some(0.5), 0.95);
@@ -600,7 +641,7 @@ mod tests {
     fn relabel_fraction_in_unit_range() {
         let b = Synthetic;
         let train = corpus(60, 0);
-        let result = learn(&b, &train, &options());
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
         assert!(result.relabel_fraction >= 0.0 && result.relabel_fraction <= 1.0);
     }
 }

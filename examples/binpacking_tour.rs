@@ -47,7 +47,13 @@ fn main() {
         },
         ..TwoLevelOptions::default()
     };
-    let result = learn(&program, &corpus.inputs, &options);
+    let result = learn(
+        &program,
+        &corpus.inputs,
+        &options,
+        &intune::exec::Engine::from_env(),
+    )
+    .expect("learning failed");
 
     let space = program.space();
     let spec = SelectorSpec::new("pack", 2, 500, Heuristic::ALL.len());

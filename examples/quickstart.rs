@@ -10,6 +10,7 @@
 //! classify-and-run unseen inputs and compare against the oracles.
 
 use intune::autotuner::TunerOptions;
+use intune::exec::Engine;
 use intune::learning::pipeline::{evaluate, learn, TunedProgram};
 use intune::learning::{Level1Options, TwoLevelOptions};
 use intune::sortlib::{PolySort, SortCorpus};
@@ -36,7 +37,11 @@ fn main() {
         "learning (8 landmarks, {} training inputs)...",
         train.inputs.len()
     );
-    let result = learn(&program, &train.inputs, &options);
+    // One measurement engine (worker count from INTUNE_THREADS or the
+    // machine) serves learning and evaluation; its cost cache means cells
+    // measured while autotuning landmarks are never re-run.
+    let engine = Engine::from_env();
+    let result = learn(&program, &train.inputs, &options, &engine).expect("learning failed");
 
     println!(
         "second level relabeled {:.0}% of the inputs; production classifier: {}",
@@ -45,7 +50,7 @@ fn main() {
     );
 
     // Evaluate against the oracles on held-out inputs (Table 1 row).
-    let row = evaluate(&program, &result, &test.inputs, true);
+    let row = evaluate(&program, &result, &test.inputs, &engine).expect("evaluation failed");
     println!(
         "speedup over static oracle: dynamic-oracle {:.2}x | two-level {:.2}x \
          (with feature time {:.2}x)",
@@ -64,5 +69,11 @@ fn main() {
         landmark,
         feature_cost,
         report.cost
+    );
+
+    println!(
+        "measurement engine ({} workers): {}",
+        engine.threads(),
+        engine.stats()
     );
 }

@@ -9,6 +9,8 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`core`] — configuration spaces, selectors, input features, reports
+//! * [`exec`] — the unified measurement engine: work-stealing executor,
+//!   deduplicated measurement plans, memoized cost cache
 //! * [`ml`] — k-means, cost-sensitive decision trees, naive Bayes, CV
 //! * [`autotuner`] — evolutionary configuration search
 //! * [`linalg`] — dense matrices, QR, eigen/SVD solvers
@@ -28,6 +30,7 @@ pub use intune_binpacklib as binpacklib;
 pub use intune_clusterlib as clusterlib;
 pub use intune_core as core;
 pub use intune_eval as eval;
+pub use intune_exec as exec;
 pub use intune_learning as learning;
 pub use intune_linalg as linalg;
 pub use intune_ml as ml;

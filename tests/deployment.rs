@@ -4,6 +4,7 @@
 use intune::autotuner::TunerOptions;
 use intune::clusterlib::{ClusterCorpus, Clustering};
 use intune::core::Benchmark;
+use intune::exec::Engine;
 use intune::learning::pipeline::{learn, TunedProgram};
 use intune::learning::selection::SelectionOptions;
 use intune::learning::{Level1Options, TwoLevelOptions};
@@ -19,7 +20,6 @@ fn options(seed: u64) -> TwoLevelOptions {
                 ..TunerOptions::quick(seed)
             },
             seed,
-            parallel: true,
             ..Level1Options::default()
         },
         selection: SelectionOptions {
@@ -34,7 +34,7 @@ fn options(seed: u64) -> TwoLevelOptions {
 fn sort_deployment_sorts_and_reports_cost() {
     let program = PolySort::new(512);
     let train = SortCorpus::synthetic(32, 64, 512, 11);
-    let result = learn(&program, &train.inputs, &options(1));
+    let result = learn(&program, &train.inputs, &options(1), &Engine::from_env()).unwrap();
     let tuned = TunedProgram::new(&program, &result);
 
     let fresh = SortCorpus::synthetic(10, 64, 512, 12);
@@ -55,7 +55,7 @@ fn sort_deployment_sorts_and_reports_cost() {
 fn clustering_deployment_meets_threshold_mostly() {
     let program = Clustering::new();
     let train = ClusterCorpus::synthetic(32, 80, 200, 21);
-    let result = learn(&program, &train.inputs, &options(2));
+    let result = learn(&program, &train.inputs, &options(2), &Engine::from_env()).unwrap();
     let tuned = TunedProgram::new(&program, &result);
 
     let fresh = ClusterCorpus::synthetic(12, 80, 200, 22);
@@ -80,7 +80,7 @@ fn clustering_deployment_meets_threshold_mostly() {
 fn lazy_selection_never_extracts_outside_production_subset() {
     let program = PolySort::new(512);
     let train = SortCorpus::synthetic(32, 64, 512, 31);
-    let result = learn(&program, &train.inputs, &options(3));
+    let result = learn(&program, &train.inputs, &options(3), &Engine::from_env()).unwrap();
     let tuned = TunedProgram::new(&program, &result);
     let set = tuned.classifier().feature_set();
 

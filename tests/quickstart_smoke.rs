@@ -4,6 +4,7 @@
 //! pipeline surface in well under a second.
 
 use intune::autotuner::TunerOptions;
+use intune::exec::Engine;
 use intune::learning::pipeline::{evaluate, learn, TunedProgram};
 use intune::learning::{Level1Options, TwoLevelOptions};
 use intune::sortlib::{PolySort, SortCorpus};
@@ -27,7 +28,7 @@ fn quickstart_pipeline_smoke() {
         ..TwoLevelOptions::default()
     };
 
-    let result = learn(&program, &train.inputs, &options);
+    let result = learn(&program, &train.inputs, &options, &Engine::from_env()).unwrap();
 
     // The learner must produce landmarks, a valid chosen classifier, and a
     // sane relabel fraction.
@@ -46,7 +47,7 @@ fn quickstart_pipeline_smoke() {
 
     // Evaluation against the oracles must yield finite, positive speedups,
     // and the dynamic oracle can never lose to the static oracle.
-    let row = evaluate(&program, &result, &test.inputs, true);
+    let row = evaluate(&program, &result, &test.inputs, &Engine::from_env()).unwrap();
     for (name, v) in [
         ("dynamic_oracle", row.dynamic_oracle),
         ("two_level", row.two_level),
@@ -101,8 +102,8 @@ fn quickstart_pipeline_deterministic() {
         ..TwoLevelOptions::default()
     };
 
-    let a = learn(&program, &train.inputs, &options);
-    let b = learn(&program, &train.inputs, &options);
+    let a = learn(&program, &train.inputs, &options, &Engine::new(1)).unwrap();
+    let b = learn(&program, &train.inputs, &options, &Engine::new(4)).unwrap();
     assert_eq!(
         a.chosen, b.chosen,
         "classifier choice must be deterministic"

@@ -1,0 +1,78 @@
+//! Thread-count determinism: the measurement engine must produce
+//! bit-identical pipeline artifacts at 1 and 4 worker threads. CI enforces
+//! the same property end-to-end by diffing the `table1` binary's CSV under
+//! `INTUNE_THREADS=1` vs `INTUNE_THREADS=4`; this test is the in-process
+//! guard in front of that job step.
+
+use intune::eval::{run_case_with, SuiteConfig, TestCase};
+use intune::exec::Engine;
+
+fn tiny() -> SuiteConfig {
+    SuiteConfig {
+        train: 24,
+        test: 16,
+        clusters: 4,
+        ea_population: 8,
+        ea_generations: 4,
+        folds: 2,
+        sort_n: (64, 256),
+        cluster_n: (60, 120),
+        pack_n: (40, 120),
+        svd_n: (8, 12),
+        pde2_sizes: vec![7],
+        pde3_sizes: vec![3],
+        ..SuiteConfig::ci()
+    }
+}
+
+/// The CSV row the `table1` binary would write for an outcome — compared
+/// as rendered strings so any formatting-visible drift fails the test.
+fn csv_row(outcome: &intune::eval::CaseOutcome) -> Vec<String> {
+    let r = &outcome.row;
+    vec![
+        r.name.clone(),
+        format!("{:.4}", r.dynamic_oracle),
+        format!("{:.4}", r.two_level),
+        format!("{:.4}", r.two_level_fx),
+        format!("{:.4}", r.one_level),
+        format!("{:.4}", r.one_level_fx),
+        format!("{:.2}", r.one_level_accuracy_pct),
+        format!("{:.2}", r.two_level_accuracy_pct),
+        format!("{:.4}", r.relabel_fraction),
+        r.production_classifier.clone(),
+    ]
+}
+
+#[test]
+fn suite_rows_byte_identical_at_1_and_4_workers() {
+    let cfg = tiny();
+    let serial = Engine::new(1);
+    let pooled = Engine::new(4);
+    for case in [TestCase::Sort2, TestCase::Binpacking, TestCase::Svd] {
+        let a = run_case_with(case, &cfg, &serial).unwrap();
+        let b = run_case_with(case, &cfg, &pooled).unwrap();
+        assert_eq!(csv_row(&a), csv_row(&b), "case {}", case.name());
+        // Beyond the rendered row: the raw per-input distributions must be
+        // bitwise equal, not merely equal after rounding.
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&a.row.per_input_speedups),
+            bits(&b.row.per_input_speedups),
+            "case {}",
+            case.name()
+        );
+        // Deterministic engine accounting (steals excluded by design).
+        assert_eq!(a.engine.cells_measured, b.engine.cells_measured);
+        assert_eq!(a.engine.cache_hits, b.engine.cache_hits);
+        assert_eq!(a.engine.dedup_saved, b.engine.dedup_saved);
+    }
+}
+
+#[test]
+fn warm_cache_rate_is_nonzero_and_thread_invariant() {
+    let cfg = tiny();
+    let a = run_case_with(TestCase::Sort2, &cfg, &Engine::new(1)).unwrap();
+    let b = run_case_with(TestCase::Sort2, &cfg, &Engine::new(4)).unwrap();
+    assert!(a.engine.cache_hits > 0, "stats: {}", a.engine);
+    assert_eq!(a.engine.hit_rate().to_bits(), b.engine.hit_rate().to_bits());
+}

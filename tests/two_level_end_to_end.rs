@@ -4,6 +4,7 @@
 
 use intune::autotuner::TunerOptions;
 use intune::binpacklib::{BinPacking, PackCorpus};
+use intune::exec::Engine;
 use intune::learning::pipeline::{evaluate, learn};
 use intune::learning::selection::SelectionOptions;
 use intune::learning::{Level1Options, TwoLevelOptions};
@@ -20,7 +21,6 @@ fn tiny_options(seed: u64) -> TwoLevelOptions {
                 ..TunerOptions::quick(seed)
             },
             seed,
-            parallel: true,
             ..Level1Options::default()
         },
         lambda: 0.5,
@@ -42,8 +42,14 @@ fn sort_pipeline_beats_static_oracle_and_respects_oracle_bound() {
     let program = PolySort::new(512);
     let train = SortCorpus::synthetic(40, 64, 512, 1);
     let test = SortCorpus::synthetic(24, 64, 512, 2);
-    let result = learn(&program, &train.inputs, &tiny_options(1));
-    let row = evaluate(&program, &result, &test.inputs, true);
+    let result = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(1),
+        &Engine::from_env(),
+    )
+    .unwrap();
+    let row = evaluate(&program, &result, &test.inputs, &Engine::from_env()).unwrap();
 
     assert!(
         row.dynamic_oracle >= 1.0 - 1e-9,
@@ -70,8 +76,14 @@ fn binpacking_pipeline_produces_consistent_row() {
     let program = BinPacking::new(300);
     let train = PackCorpus::synthetic(40, 100, 300, 3);
     let test = PackCorpus::synthetic(24, 100, 300, 4);
-    let result = learn(&program, &train.inputs, &tiny_options(2));
-    let row = evaluate(&program, &result, &test.inputs, true);
+    let result = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(2),
+        &Engine::from_env(),
+    )
+    .unwrap();
+    let row = evaluate(&program, &result, &test.inputs, &Engine::from_env()).unwrap();
 
     assert!(
         row.dynamic_oracle > 0.5,
@@ -103,8 +115,20 @@ fn binpacking_pipeline_produces_consistent_row() {
 fn learning_is_deterministic() {
     let program = PolySort::new(256);
     let train = SortCorpus::synthetic(30, 64, 256, 5);
-    let a = learn(&program, &train.inputs, &tiny_options(7));
-    let b = learn(&program, &train.inputs, &tiny_options(7));
+    let a = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(7),
+        &Engine::from_env(),
+    )
+    .unwrap();
+    let b = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(7),
+        &Engine::from_env(),
+    )
+    .unwrap();
     assert_eq!(a.level1.landmarks, b.level1.landmarks);
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.chosen, b.chosen);
@@ -115,7 +139,13 @@ fn learning_is_deterministic() {
 fn candidate_family_is_complete() {
     let program = PolySort::new(256);
     let train = SortCorpus::synthetic(30, 64, 256, 6);
-    let result = learn(&program, &train.inputs, &tiny_options(3));
+    let result = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(3),
+        &Engine::from_env(),
+    )
+    .unwrap();
     // max-apriori + per-landmark constants + (3+1)^4 - 1 = 255 subset trees
     // + incrementals.
     let names: Vec<&str> = result.candidates.iter().map(|c| c.name.as_str()).collect();
@@ -139,7 +169,13 @@ fn cost_matrix_shape_and_signs() {
     // penalty term, and Cp_ii = 0 by construction).
     let program = PolySort::new(256);
     let train = SortCorpus::synthetic(30, 64, 256, 9);
-    let result = learn(&program, &train.inputs, &tiny_options(4));
+    let result = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(4),
+        &Engine::from_env(),
+    )
+    .unwrap();
     let k = result.level1.landmarks.len();
     assert_eq!(result.cost_matrix.len(), k);
     for (i, row) in result.cost_matrix.iter().enumerate() {
@@ -155,7 +191,13 @@ fn cost_matrix_shape_and_signs() {
     // and shape still hold, and the diagonal never exceeds the row max.
     let program = BinPacking::new(200);
     let train = PackCorpus::synthetic(30, 80, 200, 9);
-    let result = learn(&program, &train.inputs, &tiny_options(4));
+    let result = learn(
+        &program,
+        &train.inputs,
+        &tiny_options(4),
+        &Engine::from_env(),
+    )
+    .unwrap();
     for row in &result.cost_matrix {
         let row_max = row.iter().cloned().fold(0.0, f64::max);
         for &c in row {

@@ -6,10 +6,14 @@
 //! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros.
 //!
-//! Measurement is intentionally simple: each benchmark does a short warm-up
-//! and then times batches of iterations until the (scaled-down) measurement
-//! time elapses, reporting mean ns/iter to stdout. It is a smoke-quality
-//! harness for offline use, not a statistical replacement for criterion.
+//! Measurement: each benchmark does a short warm-up, then times batches of
+//! iterations until the (scaled-down) measurement budget elapses. Each
+//! batch contributes one per-iteration sample; the report line carries the
+//! **min / median / p95** of those samples plus **iterations per second**
+//! (from the median), so regressions in both the fast path and the tail
+//! are visible. It remains a smoke-quality harness for offline use, not a
+//! statistical replacement for criterion — but the order statistics make
+//! its deltas trustworthy enough to track in `BENCH_*.json` baselines.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -48,9 +52,34 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Order statistics of one benchmark's per-iteration samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Fastest per-iteration time observed (ns).
+    pub min_ns: f64,
+    /// Median per-iteration time (ns).
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time (ns) — the tail.
+    pub p95_ns: f64,
+    /// Iterations per second implied by the median.
+    pub iters_per_sec: f64,
+    /// Total iterations executed.
+    pub iters: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
 pub struct Bencher {
+    /// Per-iteration time of each measured batch (ns).
+    samples: Vec<f64>,
     iters_done: u64,
-    total: Duration,
     budget: Duration,
 }
 
@@ -59,11 +88,11 @@ impl Bencher {
         if fast_mode() {
             let start = Instant::now();
             black_box(routine());
-            self.total = start.elapsed();
+            self.samples.push(start.elapsed().as_nanos().max(1) as f64);
             self.iters_done = 1;
             return;
         }
-        // Warm-up: one call, also used to size batches.
+        // Warm-up: one call, also used to size batches (not recorded).
         let start = Instant::now();
         black_box(routine());
         let first = start.elapsed().max(Duration::from_nanos(1));
@@ -75,11 +104,32 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos().max(1) as f64 / batch as f64);
+            total += elapsed;
             iters += batch;
         }
+        if self.samples.is_empty() {
+            // Budget consumed by the warm-up call alone: record it so the
+            // summary is never empty.
+            self.samples.push(first.as_nanos() as f64);
+        }
         self.iters_done = iters;
-        self.total = total;
+    }
+
+    /// Order statistics over the recorded batch samples.
+    pub fn summary(&self) -> Summary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = percentile(&sorted, 0.5);
+        Summary {
+            min_ns: percentile(&sorted, 0.0),
+            median_ns: median,
+            p95_ns: percentile(&sorted, 0.95),
+            iters_per_sec: if median > 0.0 { 1e9 / median } else { 0.0 },
+            iters: self.iters_done,
+        }
     }
 }
 
@@ -110,8 +160,8 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let id = id.into();
         let mut b = Bencher {
+            samples: Vec::new(),
             iters_done: 0,
-            total: Duration::ZERO,
             budget: self.budget,
         };
         f(&mut b);
@@ -130,8 +180,8 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let id = id.into();
         let mut b = Bencher {
+            samples: Vec::new(),
             iters_done: 0,
-            total: Duration::ZERO,
             budget: self.budget,
         };
         f(&mut b, input);
@@ -143,14 +193,11 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 fn report(group: &str, bench: &str, b: &Bencher) {
-    let per_iter = if b.iters_done == 0 {
-        0
-    } else {
-        b.total.as_nanos() / b.iters_done as u128
-    };
+    let s = b.summary();
     println!(
-        "bench {group}/{bench}: {per_iter} ns/iter ({} iters)",
-        b.iters_done
+        "bench {group}/{bench}: min {:.0} ns, median {:.0} ns, p95 {:.0} ns \
+         ({} iters, {:.1} iters/s)",
+        s.min_ns, s.median_ns, s.p95_ns, s.iters, s.iters_per_sec
     );
 }
 
@@ -198,4 +245,50 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.95), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn summary_orders_statistics() {
+        let b = Bencher {
+            samples: vec![30.0, 10.0, 20.0, 100.0, 50.0],
+            iters_done: 5,
+            budget: Duration::from_millis(5),
+        };
+        let s = b.summary();
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.median_ns, 30.0);
+        assert_eq!(s.p95_ns, 100.0);
+        assert_eq!(s.iters, 5);
+        assert!((s.iters_per_sec - 1e9 / 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_done: 0,
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        let s = b.summary();
+        assert!(s.iters >= 1);
+        assert!(s.min_ns > 0.0);
+        assert!(s.p95_ns >= s.median_ns);
+        assert!(s.median_ns >= s.min_ns);
+    }
 }

@@ -1,9 +1,18 @@
-//! Offline shim of the `crossbeam::thread::scope` API used by this
-//! workspace, backed by `std::thread::scope` (stable since Rust 1.63).
+//! Offline shim of the `crossbeam` APIs used by this workspace.
 //!
-//! Only the subset the sources call is provided: `scope(|s| ...)` returning
-//! a `Result`, and `Scope::spawn` whose closure receives the scope again
-//! (crossbeam's signature) so nested spawns are possible.
+//! Two modules are provided:
+//!
+//! * [`thread`] — `crossbeam::thread::scope`, backed by `std::thread::scope`
+//!   (stable since Rust 1.63): `scope(|s| ...)` returning a `Result`, and
+//!   `Scope::spawn` whose closure receives the scope again (crossbeam's
+//!   signature) so nested spawns are possible.
+//! * [`deque`] — the `crossbeam-deque` work-stealing surface
+//!   ([`deque::Injector`], [`deque::Worker`], [`deque::Stealer`],
+//!   [`deque::Steal`]) used by the `intune_exec` measurement engine. The
+//!   shim is mutex-backed rather than lock-free: it preserves the upstream
+//!   API and semantics (FIFO workers, batch steals move up to half the
+//!   source queue) at smoke-quality throughput, which is ample for
+//!   coarse-grained benchmark-measurement cells.
 
 pub mod thread {
     use std::any::Any;
@@ -38,8 +47,204 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Mutex-backed shim of `crossbeam-deque`.
+    //!
+    //! `Worker::new_fifo()` creates a FIFO queue owned by one thread;
+    //! `Worker::stealer()` hands out cloneable [`Stealer`]s for the other
+    //! threads; [`Injector`] is the shared MPMC overflow queue. `Steal`
+    //! mirrors the upstream three-way result so caller loops written
+    //! against real crossbeam compile unchanged.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some(task)` on success, `None` otherwise.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the source queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// Shared batch-steal: takes up to half of `src` (at least one task),
+    /// pops the first for the thief, pushes the rest onto `dest`.
+    fn steal_half<T>(src: &Mutex<VecDeque<T>>, dest: &Worker<T>) -> Steal<T> {
+        let mut src = src.lock().expect("deque poisoned");
+        let take = src.len().div_ceil(2);
+        if take == 0 {
+            return Steal::Empty;
+        }
+        let mut batch: VecDeque<T> = src.drain(..take).collect();
+        drop(src);
+        let first = batch.pop_front().expect("nonempty batch");
+        if !batch.is_empty() {
+            dest.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .extend(batch);
+        }
+        Steal::Success(first)
+    }
+
+    /// A FIFO worker queue owned by a single thread.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task);
+        }
+
+        /// Pops a task from the front of the queue (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("worker deque poisoned").len()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals tasks from another thread's [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a single task from the front of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals up to half of the victim's tasks into `dest`, then pops
+        /// one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            steal_half(&self.queue, dest)
+        }
+
+        /// Whether the victim's queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    /// The shared MPMC injector queue tasks are seeded into.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the injector.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals a single task from the front of the injector.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves up to half of the injector (at least one task) into
+        /// `dest`, then pops one of the moved tasks.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            steal_half(&self.queue, dest)
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
     #[test]
     fn scoped_threads_fill_buffer() {
         let mut buf = vec![0u32; 8];
@@ -54,5 +259,90 @@ mod tests {
         })
         .unwrap();
         assert_eq!(buf, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn worker_is_fifo_and_stealable() {
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(w.is_empty());
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_half() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w: Worker<u32> = Worker::new_fifo();
+        // Takes ceil(8/2) = 4 tasks: pops task 0, leaves 1..4 in `w`.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealer_batch_steal_from_sibling() {
+        let victim: Worker<u32> = Worker::new_fifo();
+        for i in 0..6 {
+            victim.push(i);
+        }
+        let thief: Worker<u32> = Worker::new_fifo();
+        assert_eq!(
+            victim.stealer().steal_batch_and_pop(&thief),
+            Steal::Success(0)
+        );
+        assert_eq!(thief.len(), 2);
+        assert_eq!(victim.len(), 3);
+    }
+
+    #[test]
+    fn empty_sources_report_empty() {
+        let inj: Injector<u8> = Injector::new();
+        let w: Worker<u8> = Worker::new_fifo();
+        assert!(inj.is_empty());
+        assert!(inj.steal().is_empty());
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+        assert!(w.stealer().steal_batch_and_pop(&w).is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_drain_everything_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let inj: Injector<u64> = Injector::new();
+        for i in 0..1000u64 {
+            inj.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let local: Worker<u64> = Worker::new_fifo();
+                    loop {
+                        if let Some(t) = local.pop() {
+                            sum.fetch_add(t, Ordering::Relaxed);
+                        } else {
+                            match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => {
+                                    sum.fetch_add(t, Ordering::Relaxed);
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
     }
 }
