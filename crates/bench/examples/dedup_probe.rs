@@ -1,0 +1,43 @@
+//! Investigation record for the `dedup_saved: 0` rows in BENCH_exec.json.
+//!
+//! Conclusion (verified by this probe): the accounting is correct. Suite
+//! plans are built from EA-winner landmark configurations, which are
+//! pairwise *distinct* in every case at micro scale — so no plan ever
+//! contains a duplicate `(input, configuration)` cell and `dedup_saved`
+//! is genuinely zero. Two cases (sort2, helmholtz3d) produce landmarks
+//! with *identical cost rows* despite distinct configurations (the genes
+//! that differ are cost-neutral there); distinct configurations are
+//! distinct cells, so not deduplicating them is correct — only the
+//! memoized cost cache can (and does) help them.
+//!
+//! The positive control lives in
+//! `intune_learning::level1::tests::duplicate_landmarks_dedup_through_the_suite_measure_path`,
+//! which shows a plan with a repeated configuration reporting
+//! `dedup_saved = n_inputs`.
+//!
+//! ```text
+//! cargo run --example dedup_probe -p intune_bench
+//! ```
+
+use intune_bench::micro_config;
+use intune_eval::{run_case_with, TestCase};
+use intune_exec::Engine;
+
+fn main() {
+    let cfg = micro_config();
+    let engine = Engine::serial();
+    for case in TestCase::all() {
+        let outcome = run_case_with(case, &cfg, &engine).expect("case failed");
+        let perf = &outcome.perf_train;
+        let (k, n) = (perf.num_landmarks(), perf.num_inputs());
+        let dup_rows = (0..k)
+            .flat_map(|a| ((a + 1)..k).map(move |b| (a, b)))
+            .filter(|&(a, b)| (0..n).all(|i| perf.cost(a, i) == perf.cost(b, i)))
+            .count();
+        println!(
+            "{:<12} landmarks={k} identical-cost-row pairs={dup_rows} dedup_saved={}",
+            case.name(),
+            outcome.engine.dedup_saved
+        );
+    }
+}

@@ -9,23 +9,33 @@
 //! Worker count follows `INTUNE_THREADS` (default: machine parallelism,
 //! capped at 8). Wall times are environment-dependent; the cell counts,
 //! cache hits, and hit rates are deterministic for a given scale.
+//!
+//! Set `INTUNE_CACHE_DIR=DIR` to persist per-corpus cost caches across
+//! invocations: the first run saves them, repeated runs warm-start and
+//! measure zero fresh cells. The committed baseline is a cold run.
 
 use intune_bench::{baseline_json, exec_baseline, micro_config};
 use intune_eval::TestCase;
 use intune_exec::Engine;
+use std::path::PathBuf;
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let cache_dir = std::env::var_os("INTUNE_CACHE_DIR").map(PathBuf::from);
     let engine = Engine::from_env();
     let cfg = micro_config();
     eprintln!(
-        "measuring {} cases at micro scale on {} worker threads...",
+        "measuring {} cases at micro scale on {} worker threads{}...",
         TestCase::all().len(),
-        engine.threads()
+        engine.threads(),
+        cache_dir
+            .as_ref()
+            .map(|d| format!(", cost caches in {}", d.display()))
+            .unwrap_or_default()
     );
-    let cases = exec_baseline(&cfg, &TestCase::all(), &engine);
+    let cases = exec_baseline(&cfg, &TestCase::all(), &engine, cache_dir.as_deref());
     let json = baseline_json(engine.threads(), &cases);
     std::fs::write(&out_path, &json).expect("write baseline json");
     print!("{json}");

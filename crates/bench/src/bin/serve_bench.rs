@@ -1,0 +1,46 @@
+//! Emits the `BENCH_serve.json` serving-path baseline: per-case selector
+//! throughput over reloaded model artifacts, batch shapes, and the
+//! drift-monitor / fallback counters.
+//!
+//! ```text
+//! cargo run --release -p intune_bench --bin serve_bench [-- OUT.json]
+//! ```
+//!
+//! Worker count follows `INTUNE_THREADS` (default 1 — selection is
+//! feature-extraction bound at micro scale). Throughput numbers are
+//! environment-dependent; selection counts and drift counters are
+//! deterministic for a given scale.
+
+use intune_bench::{micro_config, serve_baseline, serve_baseline_json, ServeBenchConfig};
+use intune_eval::TestCase;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let threads = std::env::var(intune_exec::THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1);
+    let cfg = ServeBenchConfig {
+        suite: micro_config(),
+        rounds: 64,
+        threads,
+        artifact_dir: std::env::temp_dir()
+            .join(format!("intune-serve-bench-{}", std::process::id())),
+    };
+    eprintln!(
+        "serving {} cases at micro scale ({} rounds x {} inputs, {} worker threads)...",
+        TestCase::all().len(),
+        cfg.rounds,
+        cfg.suite.test,
+        cfg.threads
+    );
+    let cases = serve_baseline(&cfg, &TestCase::all());
+    let json = serve_baseline_json(cfg.threads, &cases);
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    std::fs::remove_dir_all(&cfg.artifact_dir).ok();
+}

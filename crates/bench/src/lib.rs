@@ -12,17 +12,29 @@
 //!   methods, K-means, trees, the EA).
 //! * `ablations` — λ sweep and landmark-selection strategies.
 //!
-//! Besides the Criterion targets, the `bench_exec` binary emits a
-//! machine-readable `BENCH_exec.json` baseline — per-case suite wall time
-//! plus the measurement engine's cache-hit rate — so the performance
-//! trajectory of the measurement path can be tracked across commits.
+//! Besides the Criterion targets, two binaries emit machine-readable
+//! baselines so performance trajectories can be tracked across commits:
+//!
+//! * `bench_exec` → `BENCH_exec.json` — per-case suite wall time plus the
+//!   measurement engine's cache-hit accounting (set `INTUNE_CACHE_DIR`
+//!   to warm-start repeated runs from persisted cost caches);
+//! * `serve_bench` → `BENCH_serve.json` — selector-service throughput
+//!   (selections/sec), batch sizes, and drift/fallback counters over
+//!   reloaded model artifacts ([`serve_baseline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use intune_eval::{run_case_with, SuiteConfig, TestCase};
+mod serve_baseline;
+
+pub use serve_baseline::{
+    serve_baseline, serve_baseline_json, ServeBenchConfig, ServeCaseBaseline,
+};
+
+use intune_eval::{run_case_full, CaseRunOptions, SuiteConfig, TestCase};
 use intune_exec::Engine;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 /// A micro-scale suite configuration for benches: one case runs in tens of
@@ -64,12 +76,24 @@ pub struct CaseBaseline {
 
 /// Runs `cases` at `cfg` scale on one shared engine and collects the
 /// measurement-path baseline (wall time + engine counters per case).
-pub fn exec_baseline(cfg: &SuiteConfig, cases: &[TestCase], engine: &Engine) -> Vec<CaseBaseline> {
+/// When `cache_dir` is given, per-corpus cost caches are loaded from and
+/// saved back to it, so repeated runs warm-start (a second run measures
+/// zero fresh cells); the committed `BENCH_exec.json` is a cold run.
+pub fn exec_baseline(
+    cfg: &SuiteConfig,
+    cases: &[TestCase],
+    engine: &Engine,
+    cache_dir: Option<&Path>,
+) -> Vec<CaseBaseline> {
+    let run = CaseRunOptions {
+        cache_dir: cache_dir.map(Path::to_path_buf),
+        artifacts: None,
+    };
     cases
         .iter()
         .map(|&case| {
             let start = Instant::now();
-            let outcome = run_case_with(case, cfg, engine).expect("suite case failed");
+            let outcome = run_case_full(case, cfg, engine, &run).expect("suite case failed");
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             CaseBaseline {
                 name: case.name().to_string(),
@@ -130,9 +154,31 @@ mod tests {
     }
 
     #[test]
+    fn warm_cache_dir_eliminates_fresh_measurement() {
+        let dir = std::env::temp_dir().join(format!("intune-bench-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cold = exec_baseline(
+            &micro_config(),
+            &[TestCase::Sort2],
+            &Engine::serial(),
+            Some(&dir),
+        );
+        assert!(cold[0].cells_measured > 0);
+        let warm = exec_baseline(
+            &micro_config(),
+            &[TestCase::Sort2],
+            &Engine::serial(),
+            Some(&dir),
+        );
+        assert_eq!(warm[0].cells_measured, 0, "persisted caches warm-start");
+        assert!(warm[0].hit_rate > 0.99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn baseline_measures_and_serializes() {
         let engine = Engine::serial();
-        let cases = exec_baseline(&micro_config(), &[TestCase::Sort2], &engine);
+        let cases = exec_baseline(&micro_config(), &[TestCase::Sort2], &engine, None);
         assert_eq!(cases.len(), 1);
         assert_eq!(cases[0].name, "sort2");
         assert!(cases[0].cells_measured > 0);

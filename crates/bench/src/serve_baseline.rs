@@ -1,0 +1,262 @@
+//! The serving-path baseline behind `BENCH_serve.json`.
+//!
+//! For every Table-1 case: train at micro scale, export + save + reload
+//! the model artifact (exercising the full persistence boundary), then
+//! drive the [`SelectorService`] with repeated batches of the held-out
+//! corpus, recording throughput (selections/sec — wall-clock, environment
+//! dependent) and the drift counters (deterministic). A second,
+//! forced-drift pass (negative radius bound → every input
+//! out-of-distribution) verifies the fallback policy engages and counts
+//! its selections.
+
+use intune_core::Benchmark;
+use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
+use intune_exec::Engine;
+use intune_learning::pipeline::learn;
+use intune_learning::TwoLevelOptions;
+use intune_serve::{ModelArtifact, SelectorService, ServeOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One case's contribution to the `BENCH_serve.json` baseline.
+#[derive(Debug, Clone)]
+pub struct ServeCaseBaseline {
+    /// Table-1 case name.
+    pub name: String,
+    /// Production classifier kind serving the case.
+    pub classifier: String,
+    /// Selection requests answered in the throughput pass.
+    pub selections: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Inputs per batch.
+    pub batch_size: u64,
+    /// Wall time of the throughput pass, milliseconds.
+    pub wall_ms: f64,
+    /// Selections per second (wall-clock; environment dependent).
+    pub selections_per_sec: f64,
+    /// Out-of-distribution count on the held-out corpus (deterministic).
+    pub ood: u64,
+    /// OOD fraction among probed requests (deterministic).
+    pub drift_fraction: f64,
+    /// OOD count under the forced-drift pass (deterministic; equals the
+    /// probed count by construction).
+    pub forced_ood: u64,
+    /// Fallback selections served once the forced drift tripped.
+    pub forced_fallbacks: u64,
+    /// Whether the fallback policy ended the forced pass engaged.
+    pub fallback_engaged: bool,
+}
+
+/// Knobs of the serving baseline.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Suite scale used for training.
+    pub suite: SuiteConfig,
+    /// Batches dispatched in the throughput pass.
+    pub rounds: usize,
+    /// Service worker threads.
+    pub threads: usize,
+    /// Where artifacts are written (and reloaded from).
+    pub artifact_dir: PathBuf,
+}
+
+struct ServeBenchVisitor<'a> {
+    cfg: &'a ServeBenchConfig,
+}
+
+impl CaseVisitor for ServeBenchVisitor<'_> {
+    type Output = ServeCaseBaseline;
+
+    fn visit<B: Benchmark + Sync>(
+        &mut self,
+        case: TestCase,
+        benchmark: &B,
+        train: &[B::Input],
+        test: &[B::Input],
+        opts: &TwoLevelOptions,
+        engine: &Engine,
+    ) -> intune_core::Result<ServeCaseBaseline>
+    where
+        B::Input: Sync,
+    {
+        // Train → export → save → load: the serving pass below runs on
+        // the *reloaded* artifact, so the baseline exercises persistence.
+        let result = learn(benchmark, train, opts, engine)?;
+        let path = self
+            .cfg
+            .artifact_dir
+            .join(format!("{}.model.json", case.name()));
+        ModelArtifact::export(benchmark, &result).save(&path)?;
+        let artifact = ModelArtifact::load(&path)?;
+        let classifier = artifact.classifier.kind().to_string();
+
+        // Throughput pass on the held-out corpus.
+        let service = SelectorService::new(
+            benchmark,
+            artifact.clone(),
+            ServeOptions {
+                threads: self.cfg.threads,
+                ..ServeOptions::default()
+            },
+        )?;
+        let start = Instant::now();
+        for _ in 0..self.cfg.rounds {
+            service.select_batch(test);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let stats = service.stats();
+
+        // Forced-drift pass: every probe is OOD, the threshold trips
+        // after the first batch, the second batch serves the fallback.
+        let forced = SelectorService::new(
+            benchmark,
+            artifact,
+            ServeOptions {
+                threads: self.cfg.threads,
+                radius_factor: -1.0,
+                drift_threshold: 0.1,
+                min_observations: 1,
+                ..ServeOptions::default()
+            },
+        )?;
+        forced.select_batch(test);
+        forced.select_batch(test);
+        let forced_stats = forced.stats();
+
+        Ok(ServeCaseBaseline {
+            name: case.name().to_string(),
+            classifier,
+            selections: stats.requests,
+            batches: stats.batches,
+            batch_size: test.len() as u64,
+            wall_ms: wall * 1e3,
+            selections_per_sec: if wall > 0.0 {
+                stats.requests as f64 / wall
+            } else {
+                0.0
+            },
+            ood: stats.ood,
+            drift_fraction: stats.drift_fraction(),
+            forced_ood: forced_stats.ood,
+            forced_fallbacks: forced_stats.fallbacks,
+            fallback_engaged: forced.fallback_active(),
+        })
+    }
+}
+
+/// Runs the serving baseline for `cases`.
+///
+/// # Panics
+/// Panics if training or artifact persistence fails for a case.
+pub fn serve_baseline(cfg: &ServeBenchConfig, cases: &[TestCase]) -> Vec<ServeCaseBaseline> {
+    std::fs::create_dir_all(&cfg.artifact_dir).expect("artifact dir");
+    let engine = Engine::serial();
+    cases
+        .iter()
+        .map(|&case| {
+            visit_case(case, &cfg.suite, &engine, &mut ServeBenchVisitor { cfg })
+                .expect("serve baseline case failed")
+        })
+        .collect()
+}
+
+/// Renders the baseline as the machine-readable `BENCH_serve.json`
+/// document (hand-assembled like `BENCH_exec.json`; stable keys,
+/// versioned schema).
+pub fn serve_baseline_json(threads: usize, cases: &[ServeCaseBaseline]) -> String {
+    let mut out = String::new();
+    let total_sel: u64 = cases.iter().map(|c| c.selections).sum();
+    let total_wall: f64 = cases.iter().map(|c| c.wall_ms).sum();
+    let total_rate = if total_wall > 0.0 {
+        total_sel as f64 / (total_wall / 1e3)
+    } else {
+        0.0
+    };
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"intune-bench-serve/1\",");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"classifier\": \"{}\", \"selections\": {}, \
+             \"batches\": {}, \"batch_size\": {}, \"wall_ms\": {:.3}, \
+             \"selections_per_sec\": {:.0}, \"ood\": {}, \"drift_fraction\": {:.6}, \
+             \"forced_ood\": {}, \"forced_fallbacks\": {}, \"fallback_engaged\": {}}}{comma}",
+            c.name,
+            c.classifier,
+            c.selections,
+            c.batches,
+            c.batch_size,
+            c.wall_ms,
+            c.selections_per_sec,
+            c.ood,
+            c.drift_fraction,
+            c.forced_ood,
+            c.forced_fallbacks,
+            c.fallback_engaged
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"total\": {{\"selections\": {total_sel}, \"wall_ms\": {total_wall:.3}, \
+         \"selections_per_sec\": {total_rate:.0}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro_config;
+
+    fn config() -> ServeBenchConfig {
+        ServeBenchConfig {
+            suite: micro_config(),
+            rounds: 2,
+            threads: 1,
+            artifact_dir: std::env::temp_dir()
+                .join(format!("intune-serve-bench-{}", std::process::id())),
+        }
+    }
+
+    #[test]
+    fn serve_baseline_counts_are_deterministic_and_fallback_engages() {
+        let cfg = config();
+        let a = serve_baseline(&cfg, &[TestCase::Sort2]);
+        let b = serve_baseline(&cfg, &[TestCase::Sort2]);
+        assert_eq!(a.len(), 1);
+        let (a, b) = (&a[0], &b[0]);
+        assert_eq!(a.selections, (cfg.suite.test * cfg.rounds) as u64);
+        assert!(a.selections_per_sec > 0.0, "nonzero throughput");
+        assert_eq!(a.ood, b.ood, "drift counters are deterministic");
+        assert_eq!(a.forced_ood, b.forced_ood);
+        assert_eq!(a.forced_fallbacks, a.batch_size, "second batch fell back");
+        assert!(a.fallback_engaged);
+        std::fs::remove_dir_all(&cfg.artifact_dir).ok();
+    }
+
+    #[test]
+    fn serve_json_has_stable_schema() {
+        let cfg = config();
+        let cases = serve_baseline(&cfg, &[TestCase::Binpacking]);
+        let json = serve_baseline_json(1, &cases);
+        for key in [
+            "\"schema\": \"intune-bench-serve/1\"",
+            "\"selections_per_sec\"",
+            "\"drift_fraction\"",
+            "\"forced_fallbacks\"",
+            "\"fallback_engaged\"",
+            "\"total\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        std::fs::remove_dir_all(&cfg.artifact_dir).ok();
+    }
+}

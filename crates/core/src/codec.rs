@@ -1,0 +1,204 @@
+//! Versioned, checksummed on-disk documents.
+//!
+//! Every artifact this workspace persists (model artifacts, cost caches)
+//! shares one envelope so readers can reject foreign files, stale schema
+//! versions, and corrupted payloads *before* interpreting a byte of the
+//! payload:
+//!
+//! ```json
+//! {
+//!   "schema": "intune-model-artifact",
+//!   "version": 1,
+//!   "checksum": "fnv1a64:0011223344556677",
+//!   "payload": { ... }
+//! }
+//! ```
+//!
+//! The checksum is FNV-1a (64-bit) over the *canonical* (compact,
+//! insertion-ordered) serialization of `payload`, which the `serde_json`
+//! shim guarantees is a fixed point of parse → print. Any failure surfaces
+//! as a typed [`Error::Artifact`].
+
+use crate::error::{Error, Result};
+use serde_json::Value;
+use std::path::Path;
+
+/// 64-bit FNV-1a over a byte stream (the workspace's one checksum
+/// primitive; also used by the measurement engine for cell seeds).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` in the checksummed envelope, returning the full
+/// document text (pretty-printed; the checksum covers the compact
+/// canonical payload, so formatting is free to stay readable).
+pub fn encode_document(schema: &str, version: u32, payload: Value) -> String {
+    let canonical = serde_json::to_string(&payload).expect("value printing is infallible");
+    let checksum = format!("fnv1a64:{:016x}", fnv1a64(canonical.as_bytes()));
+    let doc = Value::Object(vec![
+        ("schema".to_string(), Value::String(schema.to_string())),
+        ("version".to_string(), Value::UInt(version as u64)),
+        ("checksum".to_string(), Value::String(checksum)),
+        ("payload".to_string(), payload),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("value printing is infallible")
+}
+
+/// Parses and validates an envelope, returning the payload.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the text is not valid JSON, the
+/// schema name differs, the version is not exactly `current_version`,
+/// the checksum is absent/malformed, or the payload fails its checksum.
+pub fn decode_document(text: &str, schema: &str, current_version: u32) -> Result<Value> {
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| Error::artifact(format!("malformed document: {e}")))?;
+    let got_schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::artifact("document lacks a `schema` field"))?;
+    if got_schema != schema {
+        return Err(Error::artifact(format!(
+            "schema mismatch: expected `{schema}`, found `{got_schema}`"
+        )));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| Error::artifact("document lacks a `version` field"))?;
+    if version != current_version as u64 {
+        return Err(Error::artifact(format!(
+            "unsupported `{schema}` version {version} (this build reads version \
+             {current_version})"
+        )));
+    }
+    let checksum = doc
+        .get("checksum")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::artifact("document lacks a `checksum` field"))?;
+    let payload = doc
+        .get("payload")
+        .ok_or_else(|| Error::artifact("document lacks a `payload` field"))?;
+    let canonical = serde_json::to_string(payload).expect("value printing is infallible");
+    let expected = format!("fnv1a64:{:016x}", fnv1a64(canonical.as_bytes()));
+    if checksum != expected {
+        return Err(Error::artifact(format!(
+            "checksum mismatch: document says {checksum}, payload hashes to {expected}"
+        )));
+    }
+    // Move the payload out instead of cloning the whole tree (artifacts
+    // and cost caches are payload-dominated documents).
+    match doc {
+        Value::Object(fields) => Ok(fields
+            .into_iter()
+            .find(|(k, _)| k == "payload")
+            .map(|(_, v)| v)
+            .expect("payload presence checked above")),
+        _ => unreachable!("get(\"payload\") succeeded on a non-object"),
+    }
+}
+
+/// Encodes and writes a document to `path`.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the file cannot be written.
+pub fn write_document(path: &Path, schema: &str, version: u32, payload: Value) -> Result<()> {
+    let text = encode_document(schema, version, payload);
+    std::fs::write(path, text)
+        .map_err(|e| Error::artifact(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Reads and validates a document from `path`, returning the payload.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the file cannot be read or fails any
+/// [`decode_document`] check.
+pub fn read_document(path: &Path, schema: &str, current_version: u32) -> Result<Value> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::artifact(format!("cannot read {}: {e}", path.display())))?;
+    decode_document(&text, schema, current_version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Value {
+        Value::Object(vec![
+            ("k".to_string(), Value::Int(3)),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::Float(0.5), Value::Null]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let text = encode_document("test-schema", 2, payload());
+        let back = decode_document(&text, "test-schema", 2).unwrap();
+        assert_eq!(back, payload());
+    }
+
+    #[test]
+    fn checksum_detects_payload_tampering() {
+        let text = encode_document("test-schema", 1, payload());
+        // Flip the payload's integer without updating the checksum.
+        let tampered = text.replace("\"k\": 3", "\"k\": 4");
+        assert_ne!(tampered, text, "tamper site must exist");
+        let err = decode_document(&tampered, "test-schema", 1).unwrap_err();
+        assert!(matches!(err, Error::Artifact { .. }), "{err:?}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn versions_must_match_exactly() {
+        let text = encode_document("test-schema", 1, payload());
+        for wrong in [0, 2, 99] {
+            let err = decode_document(&text, "test-schema", wrong).unwrap_err();
+            assert!(err.to_string().contains("version"), "{err}");
+        }
+    }
+
+    #[test]
+    fn schema_name_is_enforced() {
+        let text = encode_document("schema-a", 1, payload());
+        let err = decode_document(&text, "schema-b", 1).unwrap_err();
+        assert!(err.to_string().contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        for bad in ["", "not json", "{\"schema\": \"x\"}", "[1,2,3]"] {
+            let err = decode_document(bad, "s", 1).unwrap_err();
+            assert!(matches!(err, Error::Artifact { .. }), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("intune-codec-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_document(&path, "fs-schema", 3, payload()).unwrap();
+        assert_eq!(read_document(&path, "fs-schema", 3).unwrap(), payload());
+        let missing = dir.join("nope.json");
+        assert!(matches!(
+            read_document(&missing, "fs-schema", 3),
+            Err(Error::Artifact { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

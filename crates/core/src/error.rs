@@ -52,6 +52,23 @@ pub enum Error {
         /// Human-readable failure detail (e.g. the panic message).
         detail: String,
     },
+    /// A persisted artifact (model, cost cache) could not be written,
+    /// read, or validated — corrupted payload, checksum mismatch,
+    /// unsupported schema version, or a shape that does not match the
+    /// benchmark it is being deployed against.
+    Artifact {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Artifact`].
+    pub fn artifact(detail: impl Into<String>) -> Self {
+        Error::Artifact {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -72,6 +89,7 @@ impl fmt::Display for Error {
             Error::Measurement { input, detail } => {
                 write!(f, "measurement of input {input} failed: {detail}")
             }
+            Error::Artifact { detail } => write!(f, "artifact error: {detail}"),
         }
     }
 }

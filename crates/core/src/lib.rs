@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod benchmark;
+pub mod codec;
 mod config;
 mod cost;
 mod error;

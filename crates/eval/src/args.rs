@@ -1,6 +1,7 @@
 //! Minimal CLI argument handling shared by the reproduction binaries.
 
-use crate::suite::SuiteConfig;
+use crate::suite::{ArtifactMode, CaseRunOptions, SuiteConfig};
+use std::path::PathBuf;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -13,19 +14,32 @@ pub struct Args {
     pub out_dir: String,
     /// Restrict to benchmarks whose name contains this substring.
     pub only: Option<String>,
+    /// Directory for model artifacts (`--artifacts DIR`).
+    pub artifacts: Option<PathBuf>,
+    /// What to do with the artifact directory (`--artifact-mode
+    /// save|load`; defaults to `save` when `--artifacts` is given).
+    pub artifact_mode: ArtifactMode,
+    /// Directory for persistent per-corpus cost caches (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Args {
     /// Parses `std::env::args()`, understanding `--paper`, `--seed N`,
-    /// `--out DIR` and `--only NAME`. Unknown flags abort with usage help.
+    /// `--out DIR`, `--only NAME`, `--artifacts DIR`,
+    /// `--artifact-mode save|load` and `--cache-dir DIR`. Unknown flags
+    /// abort with usage help.
     pub fn parse() -> Args {
         let mut out = Args {
             paper: false,
             seed: 0,
             out_dir: "results".to_string(),
             only: None,
+            artifacts: None,
+            artifact_mode: ArtifactMode::Save,
+            cache_dir: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut mode_given = false;
         let mut i = 0;
         while i < argv.len() {
             match argv[i].as_str() {
@@ -52,12 +66,42 @@ impl Args {
                             .unwrap_or_else(|| usage("--only needs a name")),
                     );
                 }
+                "--artifacts" => {
+                    i += 1;
+                    out.artifacts = Some(PathBuf::from(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--artifacts needs a directory")),
+                    ));
+                }
+                "--artifact-mode" => {
+                    i += 1;
+                    mode_given = true;
+                    out.artifact_mode = match argv.get(i).map(String::as_str) {
+                        Some("save") => ArtifactMode::Save,
+                        Some("load") => ArtifactMode::Load,
+                        _ => usage("--artifact-mode needs `save` or `load`"),
+                    };
+                }
+                "--cache-dir" => {
+                    i += 1;
+                    out.cache_dir = Some(PathBuf::from(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--cache-dir needs a directory")),
+                    ));
+                }
                 "--help" | "-h" => {
                     usage("");
                 }
                 other => usage(&format!("unknown flag {other}")),
             }
             i += 1;
+        }
+        if mode_given && out.artifacts.is_none() {
+            // Silently dropping the mode would let `--artifact-mode load`
+            // masquerade as a round-trip check while training in-process.
+            usage("--artifact-mode requires --artifacts DIR");
         }
         out
     }
@@ -72,13 +116,27 @@ impl Args {
         cfg.seed = cfg.seed.wrapping_add(self.seed);
         cfg
     }
+
+    /// The persistence options implied by the flags.
+    pub fn run_options(&self) -> CaseRunOptions {
+        CaseRunOptions {
+            cache_dir: self.cache_dir.clone(),
+            artifacts: self
+                .artifacts
+                .as_ref()
+                .map(|dir| (dir.clone(), self.artifact_mode)),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <binary> [--paper] [--seed N] [--out DIR] [--only NAME]");
+    eprintln!(
+        "usage: <binary> [--paper] [--seed N] [--out DIR] [--only NAME] \
+         [--artifacts DIR] [--artifact-mode save|load] [--cache-dir DIR]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -86,14 +144,21 @@ fn usage(err: &str) -> ! {
 mod tests {
     use super::*;
 
-    #[test]
-    fn config_scales_with_paper_flag() {
-        let ci = Args {
+    fn base_args() -> Args {
+        Args {
             paper: false,
             seed: 0,
             out_dir: "results".into(),
             only: None,
-        };
+            artifacts: None,
+            artifact_mode: ArtifactMode::Save,
+            cache_dir: None,
+        }
+    }
+
+    #[test]
+    fn config_scales_with_paper_flag() {
+        let ci = base_args();
         let paper = Args {
             paper: true,
             ..ci.clone()
@@ -105,11 +170,31 @@ mod tests {
     #[test]
     fn seed_offsets_base_config() {
         let a = Args {
-            paper: false,
             seed: 7,
-            out_dir: "results".into(),
-            only: None,
+            ..base_args()
         };
         assert_eq!(a.config().seed, SuiteConfig::ci().seed.wrapping_add(7));
+    }
+
+    #[test]
+    fn run_options_mirror_flags() {
+        let none = base_args();
+        assert!(none.run_options().cache_dir.is_none());
+        assert!(none.run_options().artifacts.is_none());
+
+        let full = Args {
+            artifacts: Some(PathBuf::from("arts")),
+            artifact_mode: ArtifactMode::Load,
+            cache_dir: Some(PathBuf::from("caches")),
+            ..base_args()
+        };
+        let run = full.run_options();
+        assert_eq!(
+            run.cache_dir.as_deref(),
+            Some(std::path::Path::new("caches"))
+        );
+        let (dir, mode) = run.artifacts.unwrap();
+        assert_eq!(dir, PathBuf::from("arts"));
+        assert_eq!(mode, ArtifactMode::Load);
     }
 }

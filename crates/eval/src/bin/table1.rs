@@ -5,12 +5,13 @@
 //! relabeling statistic and the production classifier chosen per test.
 
 use intune_eval::csvout::{speedup, write_csv};
-use intune_eval::{run_case_with, Args, TestCase};
+use intune_eval::{run_case_full, Args, TestCase};
 use intune_exec::Engine;
 
 fn main() {
     let args = Args::parse();
     let cfg = args.config();
+    let run = args.run_options();
     // One measurement engine serves all eight cases; its counters report
     // how much the memoized cost cache and plan deduplication saved.
     let engine = Engine::from_env();
@@ -49,7 +50,7 @@ fn main() {
                 continue;
             }
         }
-        let outcome = run_case_with(case, &cfg, &engine).expect("suite case failed");
+        let outcome = run_case_full(case, &cfg, &engine, &run).expect("suite case failed");
         training = Some(outcome.stats);
         let r = &outcome.row;
         println!(

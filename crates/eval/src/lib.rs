@@ -28,4 +28,7 @@ pub mod model;
 pub mod suite;
 
 pub use args::Args;
-pub use suite::{run_case, run_case_with, CaseOutcome, SuiteConfig, TestCase};
+pub use suite::{
+    apply_artifact, artifact_path, run_case, run_case_full, run_case_with, visit_case,
+    ArtifactMode, CaseOutcome, CaseRunOptions, CaseVisitor, SuiteConfig, TestCase,
+};

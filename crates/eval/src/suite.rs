@@ -4,14 +4,18 @@ use intune_autotuner::TunerOptions;
 use intune_binpacklib::{BinPacking, PackCorpus};
 use intune_clusterlib::{ClusterCorpus, Clustering};
 use intune_core::Benchmark;
-use intune_exec::{Engine, EngineStats};
-use intune_learning::pipeline::{evaluate, learn, EvaluationRow};
+use intune_exec::{CostCache, Engine, EngineStats};
+use intune_learning::pipeline::{
+    evaluate_with_cache, learn_with_cache, EvaluationRow, TwoLevelResult,
+};
 use intune_learning::selection::SelectionOptions;
 use intune_learning::{Level1Options, PerfMatrix, TwoLevelOptions};
 use intune_ml::TreeOptions;
 use intune_pde::{Helmholtz3d, PdeCorpus2d, PdeCorpus3d, Poisson2d};
+use intune_serve::ModelArtifact;
 use intune_sortlib::{PolySort, SortCorpus};
 use intune_svdlib::{SvdBench, SvdCorpus};
+use std::path::{Path, PathBuf};
 
 /// The eight tests of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,36 +191,258 @@ pub struct CaseOutcome {
     pub engine: EngineStats,
 }
 
-fn run_generic<B: Benchmark + Sync>(
-    benchmark: &B,
-    name: &str,
-    train: &[B::Input],
-    test: &[B::Input],
+/// Typed access to one suite case: `visit_case` builds the benchmark and
+/// its train/test corpora (whose input types differ per case) and hands
+/// them to the visitor. This is how downstream layers — the serving
+/// round-trip tests, `serve_bench`, the artifact-mode CLI — reach every
+/// Table-1 case generically without `intune_eval` leaking eight concrete
+/// input types.
+pub trait CaseVisitor {
+    /// What the visitor produces per case.
+    type Output;
+
+    /// Called once with the fully-built case.
+    ///
+    /// # Errors
+    /// Implementations propagate measurement/artifact errors.
+    fn visit<B: Benchmark + Sync>(
+        &mut self,
+        case: TestCase,
+        benchmark: &B,
+        train: &[B::Input],
+        test: &[B::Input],
+        opts: &TwoLevelOptions,
+        engine: &Engine,
+    ) -> intune_core::Result<Self::Output>
+    where
+        B::Input: Sync;
+}
+
+/// Builds one of the eight cases (benchmark + corpora + learning options)
+/// and applies `visitor` to it.
+///
+/// # Errors
+/// Propagates the visitor's error.
+pub fn visit_case<V: CaseVisitor>(
+    case: TestCase,
     cfg: &SuiteConfig,
-    case_seed: u64,
     engine: &Engine,
-) -> intune_core::Result<CaseOutcome>
-where
-    B::Input: Sync,
-{
-    let before = engine.stats();
-    let opts = cfg.two_level(case_seed);
-    let result = learn(benchmark, train, &opts, engine)?;
-    let mut row = evaluate(benchmark, &result, test, engine)?;
-    row.name = name.to_string();
-    Ok(CaseOutcome {
-        perf_train: result.level1.perf.clone(),
-        accuracy_threshold: benchmark.accuracy().map(|a| a.threshold),
-        candidates: result
-            .candidates
-            .iter()
-            .zip(&result.scores)
-            .map(|(c, s)| (c.name.clone(), s.objective, s.satisfaction, s.valid))
-            .collect(),
-        stats: result.stats,
-        engine: engine.stats().since(&before),
-        row,
-    })
+    visitor: &mut V,
+) -> intune_core::Result<V::Output> {
+    let seed = cfg.seed;
+    match case {
+        TestCase::Sort1 => {
+            let b = PolySort::new(cfg.sort_n.1);
+            let train = SortCorpus::ccr(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x01);
+            let test = SortCorpus::ccr(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x02);
+            let opts = cfg.two_level(0x11);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Sort2 => {
+            let b = PolySort::new(cfg.sort_n.1);
+            let train = SortCorpus::synthetic(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x03);
+            let test = SortCorpus::synthetic(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x04);
+            let opts = cfg.two_level(0x12);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Clustering1 => {
+            let b = Clustering::new();
+            let train =
+                ClusterCorpus::poker(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x05);
+            let test =
+                ClusterCorpus::poker(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x06);
+            let opts = cfg.two_level(0x13);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Clustering2 => {
+            let b = Clustering::new();
+            let train =
+                ClusterCorpus::synthetic(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x07);
+            let test =
+                ClusterCorpus::synthetic(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x08);
+            let opts = cfg.two_level(0x14);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Binpacking => {
+            let b = BinPacking::new(cfg.pack_n.1);
+            let train = PackCorpus::synthetic(cfg.train, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x09);
+            let test = PackCorpus::synthetic(cfg.test, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x0a);
+            let opts = cfg.two_level(0x15);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Svd => {
+            let b = SvdBench::new();
+            let train = SvdCorpus::synthetic(cfg.train, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0b);
+            let test = SvdCorpus::synthetic(cfg.test, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0c);
+            let opts = cfg.two_level(0x16);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Poisson2d => {
+            let b = Poisson2d::new();
+            let train = PdeCorpus2d::synthetic(cfg.train, &cfg.pde2_sizes, seed ^ 0x0d);
+            let test = PdeCorpus2d::synthetic(cfg.test, &cfg.pde2_sizes, seed ^ 0x0e);
+            let opts = cfg.two_level(0x17);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+        TestCase::Helmholtz3d => {
+            let b = Helmholtz3d::new();
+            let train = PdeCorpus3d::synthetic(cfg.train, &cfg.pde3_sizes, seed ^ 0x0f);
+            let test = PdeCorpus3d::synthetic(cfg.test, &cfg.pde3_sizes, seed ^ 0x10);
+            let opts = cfg.two_level(0x18);
+            visitor.visit(case, &b, &train.inputs, &test.inputs, &opts, engine)
+        }
+    }
+}
+
+/// How [`run_case_full`] treats a persisted model artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactMode {
+    /// Train, then export + save the artifact before evaluating.
+    Save,
+    /// Train, then *replace* the trained model with the loaded artifact
+    /// before evaluating — so the resulting table proves the persisted
+    /// model reproduces the in-process one (CI diffs the two CSVs).
+    Load,
+}
+
+/// Optional persistence knobs of a suite run.
+#[derive(Debug, Clone, Default)]
+pub struct CaseRunOptions {
+    /// Directory for per-corpus cost caches (`{case}.{train,test}.cache
+    /// .json`). Present caches warm-start measurement; both caches are
+    /// (re)saved after the run.
+    pub cache_dir: Option<PathBuf>,
+    /// Directory + mode for model artifacts (`{case}.model.json`).
+    pub artifacts: Option<(PathBuf, ArtifactMode)>,
+}
+
+/// Substitutes a loaded artifact's model into a training result, so the
+/// standard evaluation path scores the *persisted* model: landmarks,
+/// production classifier, normalizer and centroids all come from the
+/// artifact.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Artifact`] when the artifact does not
+/// validate against the benchmark or disagrees with the result's shapes.
+pub fn apply_artifact<B: Benchmark>(
+    result: &mut TwoLevelResult,
+    benchmark: &B,
+    artifact: &ModelArtifact,
+) -> intune_core::Result<()> {
+    artifact.validate(benchmark)?;
+    if artifact.landmarks.len() != result.level1.landmarks.len() {
+        return Err(intune_core::Error::artifact(format!(
+            "artifact has {} landmarks, training produced {}",
+            artifact.landmarks.len(),
+            result.level1.landmarks.len()
+        )));
+    }
+    result.level1.landmarks = artifact.landmarks.clone();
+    result.level1.normalizer = artifact.normalizer.clone();
+    result.level1.centroids = artifact.centroids.clone();
+    let chosen = result.chosen;
+    result.candidates[chosen].classifier = artifact.classifier.clone();
+    Ok(())
+}
+
+/// Cost-cache file name for one case's corpus slice. The file name embeds
+/// a fingerprint of the full [`SuiteConfig`] because cache cells are keyed
+/// by input *index*: a different seed or scale generates a different
+/// corpus, and reusing its cache would silently return stale reports.
+fn cache_path(dir: &Path, case: TestCase, cfg: &SuiteConfig, slice: &str) -> PathBuf {
+    let fingerprint = intune_core::codec::fnv1a64(format!("{cfg:?}").as_bytes());
+    dir.join(format!(
+        "{}.{fingerprint:016x}.{slice}.cache.json",
+        case.name()
+    ))
+}
+
+/// Path of a case's model artifact inside an artifact directory.
+pub fn artifact_path(dir: &Path, case: TestCase) -> PathBuf {
+    dir.join(format!("{}.model.json", case.name()))
+}
+
+fn load_cache_if_present(path: &Path) -> intune_core::Result<CostCache> {
+    if path.exists() {
+        CostCache::load(path)
+    } else {
+        Ok(CostCache::new())
+    }
+}
+
+/// The standard suite runner as a visitor: learn (optionally warm-started
+/// from persisted caches), handle artifact save/load, evaluate, persist
+/// caches back.
+struct OutcomeVisitor<'a> {
+    run: &'a CaseRunOptions,
+    /// The full suite configuration, used to fingerprint cache files
+    /// (the visitor only receives the derived `TwoLevelOptions`).
+    cfg: &'a SuiteConfig,
+}
+
+impl CaseVisitor for OutcomeVisitor<'_> {
+    type Output = CaseOutcome;
+
+    fn visit<B: Benchmark + Sync>(
+        &mut self,
+        case: TestCase,
+        benchmark: &B,
+        train: &[B::Input],
+        test: &[B::Input],
+        opts: &TwoLevelOptions,
+        engine: &Engine,
+    ) -> intune_core::Result<CaseOutcome>
+    where
+        B::Input: Sync,
+    {
+        let before = engine.stats();
+        let train_cache = match &self.run.cache_dir {
+            Some(dir) => load_cache_if_present(&cache_path(dir, case, self.cfg, "train"))?,
+            None => CostCache::new(),
+        };
+        let mut result = learn_with_cache(benchmark, train, opts, engine, train_cache)?;
+
+        match &self.run.artifacts {
+            Some((dir, ArtifactMode::Save)) => {
+                ModelArtifact::export(benchmark, &result).save(&artifact_path(dir, case))?;
+            }
+            Some((dir, ArtifactMode::Load)) => {
+                let artifact = ModelArtifact::load(&artifact_path(dir, case))?;
+                apply_artifact(&mut result, benchmark, &artifact)?;
+            }
+            None => {}
+        }
+
+        let mut test_cache = match &self.run.cache_dir {
+            Some(dir) => load_cache_if_present(&cache_path(dir, case, self.cfg, "test"))?,
+            None => CostCache::new(),
+        };
+        let mut row = evaluate_with_cache(benchmark, &result, test, engine, &mut test_cache)?;
+        row.name = case.name().to_string();
+
+        // The directory itself was created by `run_case_full`.
+        if let Some(dir) = &self.run.cache_dir {
+            result
+                .level1
+                .cache
+                .save(&cache_path(dir, case, self.cfg, "train"))?;
+            test_cache.save(&cache_path(dir, case, self.cfg, "test"))?;
+        }
+
+        Ok(CaseOutcome {
+            perf_train: result.level1.perf.clone(),
+            accuracy_threshold: benchmark.accuracy().map(|a| a.threshold),
+            candidates: result
+                .candidates
+                .iter()
+                .zip(&result.scores)
+                .map(|(c, s)| (c.name.clone(), s.objective, s.satisfaction, s.valid))
+                .collect(),
+            stats: result.stats,
+            engine: engine.stats().since(&before),
+            row,
+        })
+    }
 }
 
 /// Runs one of the eight tests end to end on a fresh engine sized from
@@ -241,125 +467,30 @@ pub fn run_case_with(
     cfg: &SuiteConfig,
     engine: &Engine,
 ) -> intune_core::Result<CaseOutcome> {
-    let seed = cfg.seed;
-    match case {
-        TestCase::Sort1 => {
-            let b = PolySort::new(cfg.sort_n.1);
-            let train = SortCorpus::ccr(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x01);
-            let test = SortCorpus::ccr(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x02);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x11,
-                engine,
-            )
-        }
-        TestCase::Sort2 => {
-            let b = PolySort::new(cfg.sort_n.1);
-            let train = SortCorpus::synthetic(cfg.train, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x03);
-            let test = SortCorpus::synthetic(cfg.test, cfg.sort_n.0, cfg.sort_n.1, seed ^ 0x04);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x12,
-                engine,
-            )
-        }
-        TestCase::Clustering1 => {
-            let b = Clustering::new();
-            let train =
-                ClusterCorpus::poker(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x05);
-            let test =
-                ClusterCorpus::poker(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x06);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x13,
-                engine,
-            )
-        }
-        TestCase::Clustering2 => {
-            let b = Clustering::new();
-            let train =
-                ClusterCorpus::synthetic(cfg.train, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x07);
-            let test =
-                ClusterCorpus::synthetic(cfg.test, cfg.cluster_n.0, cfg.cluster_n.1, seed ^ 0x08);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x14,
-                engine,
-            )
-        }
-        TestCase::Binpacking => {
-            let b = BinPacking::new(cfg.pack_n.1);
-            let train = PackCorpus::synthetic(cfg.train, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x09);
-            let test = PackCorpus::synthetic(cfg.test, cfg.pack_n.0, cfg.pack_n.1, seed ^ 0x0a);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x15,
-                engine,
-            )
-        }
-        TestCase::Svd => {
-            let b = SvdBench::new();
-            let train = SvdCorpus::synthetic(cfg.train, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0b);
-            let test = SvdCorpus::synthetic(cfg.test, cfg.svd_n.0, cfg.svd_n.1, seed ^ 0x0c);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x16,
-                engine,
-            )
-        }
-        TestCase::Poisson2d => {
-            let b = Poisson2d::new();
-            let train = PdeCorpus2d::synthetic(cfg.train, &cfg.pde2_sizes, seed ^ 0x0d);
-            let test = PdeCorpus2d::synthetic(cfg.test, &cfg.pde2_sizes, seed ^ 0x0e);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x17,
-                engine,
-            )
-        }
-        TestCase::Helmholtz3d => {
-            let b = Helmholtz3d::new();
-            let train = PdeCorpus3d::synthetic(cfg.train, &cfg.pde3_sizes, seed ^ 0x0f);
-            let test = PdeCorpus3d::synthetic(cfg.test, &cfg.pde3_sizes, seed ^ 0x10);
-            run_generic(
-                &b,
-                case.name(),
-                &train.inputs,
-                &test.inputs,
-                cfg,
-                0x18,
-                engine,
-            )
-        }
+    run_case_full(case, cfg, engine, &CaseRunOptions::default())
+}
+
+/// [`run_case_with`] plus persistence: optional warm-start cost caches
+/// and optional model-artifact save/load (see [`CaseRunOptions`]).
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] on failing cells and
+/// [`intune_core::Error::Artifact`] on persistence failures.
+pub fn run_case_full(
+    case: TestCase,
+    cfg: &SuiteConfig,
+    engine: &Engine,
+    run: &CaseRunOptions,
+) -> intune_core::Result<CaseOutcome> {
+    if let Some(dir) = &run.cache_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| intune_core::Error::artifact(format!("cache dir: {e}")))?;
     }
+    if let Some((dir, ArtifactMode::Save)) = &run.artifacts {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| intune_core::Error::artifact(format!("artifact dir: {e}")))?;
+    }
+    visit_case(case, cfg, engine, &mut OutcomeVisitor { run, cfg })
 }
 
 #[cfg(test)]
@@ -433,6 +564,120 @@ mod tests {
             a.engine.cells_measured + b.engine.cells_measured,
             "one engine accumulates across cases"
         );
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("intune-suite-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rows_equal(a: &super::EvaluationRow, b: &super::EvaluationRow) -> bool {
+        a.two_level.to_bits() == b.two_level.to_bits()
+            && a.two_level_fx.to_bits() == b.two_level_fx.to_bits()
+            && a.one_level_fx.to_bits() == b.one_level_fx.to_bits()
+            && a.dynamic_oracle.to_bits() == b.dynamic_oracle.to_bits()
+            && a.production_classifier == b.production_classifier
+    }
+
+    #[test]
+    fn persisted_caches_warm_start_a_second_run() {
+        let dir = tmp_dir("cache");
+        let run = CaseRunOptions {
+            cache_dir: Some(dir.clone()),
+            artifacts: None,
+        };
+        let cold_engine = Engine::serial();
+        let cold = run_case_full(TestCase::Sort2, &tiny(), &cold_engine, &run).unwrap();
+
+        let warm_engine = Engine::serial();
+        let warm = run_case_full(TestCase::Sort2, &tiny(), &warm_engine, &run).unwrap();
+        assert_eq!(
+            warm.engine.cells_measured, 0,
+            "a fully-persisted corpus re-runs nothing: {}",
+            warm.engine
+        );
+        assert!(warm.engine.cache_hits >= cold.engine.cells_measured);
+        assert!(
+            rows_equal(&cold.row, &warm.row),
+            "warm-started run must reproduce the cold row"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_files_are_keyed_by_suite_config() {
+        // A different seed generates a different corpus; its cache must
+        // not collide with (and silently reuse) the first run's file.
+        let dir = tmp_dir("cache-key");
+        let run = CaseRunOptions {
+            cache_dir: Some(dir.clone()),
+            artifacts: None,
+        };
+        run_case_full(TestCase::Sort2, &tiny(), &Engine::serial(), &run).unwrap();
+
+        let reseeded = SuiteConfig { seed: 7, ..tiny() };
+        let engine = Engine::serial();
+        let outcome = run_case_full(TestCase::Sort2, &reseeded, &engine, &run).unwrap();
+        assert!(
+            outcome.engine.cells_measured > 0,
+            "a different corpus must run cold, not reuse stale cells: {}",
+            outcome.engine
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_save_then_load_reproduces_the_row() {
+        let dir = tmp_dir("artifact");
+        let engine = Engine::serial();
+        let saved = run_case_full(
+            TestCase::Binpacking,
+            &tiny(),
+            &engine,
+            &CaseRunOptions {
+                cache_dir: None,
+                artifacts: Some((dir.clone(), ArtifactMode::Save)),
+            },
+        )
+        .unwrap();
+        assert!(super::artifact_path(&dir, TestCase::Binpacking).exists());
+
+        let loaded = run_case_full(
+            TestCase::Binpacking,
+            &tiny(),
+            &Engine::serial(),
+            &CaseRunOptions {
+                cache_dir: None,
+                artifacts: Some((dir.clone(), ArtifactMode::Load)),
+            },
+        )
+        .unwrap();
+        assert!(
+            rows_equal(&saved.row, &loaded.row),
+            "the loaded artifact must reproduce the trained model's row"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_a_missing_artifact_is_a_typed_error() {
+        let dir = tmp_dir("missing-artifact");
+        let err = run_case_full(
+            TestCase::Sort2,
+            &tiny(),
+            &Engine::serial(),
+            &CaseRunOptions {
+                cache_dir: None,
+                artifacts: Some((dir.clone(), ArtifactMode::Load)),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, intune_core::Error::Artifact { .. }),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

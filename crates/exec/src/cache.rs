@@ -14,8 +14,16 @@
 //! to one input corpus — input indices from different corpora must not
 //! share a cache (the engine's callers create one cache per corpus).
 
-use intune_core::{Configuration, ExecutionReport, ParamValue};
+use intune_core::{codec, Configuration, Error, ExecutionReport, ParamValue, Result};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::collections::HashMap;
+use std::path::Path;
+
+/// Envelope schema name of persisted cost caches.
+pub const CACHE_SCHEMA: &str = "intune-cost-cache";
+/// Current cost-cache schema version.
+pub const CACHE_VERSION: u32 = 1;
 
 /// The workspace's one hit-rate definition: hits over total requests,
 /// zero when nothing was requested. Every surface that reports a rate
@@ -30,8 +38,9 @@ pub fn hit_rate(hits: u64, requested: u64) -> f64 {
 }
 
 /// One canonicalized parameter value (floats by IEEE-754 bit pattern, so
-/// the key is `Eq + Hash` while staying exact).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// the key is `Eq + Hash` while staying exact — and serializes without
+/// rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 enum CanonValue {
     Choice(usize),
     Int(i64),
@@ -39,7 +48,7 @@ enum CanonValue {
 }
 
 /// An exact, hashable identity for a [`Configuration`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConfigKey(Vec<CanonValue>);
 
 impl ConfigKey {
@@ -162,6 +171,105 @@ impl CostCache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Serializes the memoized cells (not the hit/miss counters) into a
+    /// deterministic [`Value`]: inputs ascending, cells within an input
+    /// ordered by canonical key text — saving the same cache twice yields
+    /// byte-identical documents regardless of hash-map iteration order.
+    pub fn to_value(&self) -> Value {
+        let mut inputs: Vec<_> = self.map.iter().collect();
+        inputs.sort_by_key(|(idx, _)| **idx);
+        let inputs = inputs
+            .into_iter()
+            .map(|(idx, cells)| {
+                let mut cells: Vec<(String, Value)> = cells
+                    .iter()
+                    .map(|(key, report)| {
+                        let key_value = serde_json::to_value(key);
+                        let order = serde_json::to_string(&key_value)
+                            .expect("value printing is infallible");
+                        let entry = Value::Object(vec![
+                            ("key".to_string(), key_value),
+                            ("report".to_string(), serde_json::to_value(report)),
+                        ]);
+                        (order, entry)
+                    })
+                    .collect();
+                cells.sort_by(|(a, _), (b, _)| a.cmp(b));
+                Value::Object(vec![
+                    ("input".to_string(), Value::UInt(*idx as u64)),
+                    (
+                        "cells".to_string(),
+                        Value::Array(cells.into_iter().map(|(_, v)| v).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![("inputs".to_string(), Value::Array(inputs))])
+    }
+
+    /// Reconstructs a cache from [`CostCache::to_value`] output. The
+    /// result starts with fresh (zeroed) hit/miss counters.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] when the value's shape is wrong.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let bad = |what: &str| Error::artifact(format!("cost cache payload: {what}"));
+        let mut cache = CostCache::new();
+        let inputs = value
+            .get("inputs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing `inputs` array"))?;
+        for entry in inputs {
+            let idx = entry
+                .get("input")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad("missing `input` index"))? as usize;
+            let cells = entry
+                .get("cells")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("missing `cells` array"))?;
+            for cell in cells {
+                let key: ConfigKey = cell
+                    .get("key")
+                    .ok_or_else(|| bad("cell lacks `key`"))
+                    .and_then(|v| {
+                        serde_json::from_value(v).map_err(|e| bad(&format!("bad key: {e}")))
+                    })?;
+                let report: ExecutionReport = cell
+                    .get("report")
+                    .ok_or_else(|| bad("cell lacks `report`"))
+                    .and_then(|v| {
+                        serde_json::from_value(v).map_err(|e| bad(&format!("bad report: {e}")))
+                    })?;
+                cache.insert(idx, key, report);
+            }
+        }
+        cache.stats = CacheStats::default();
+        Ok(cache)
+    }
+
+    /// Persists the memoized cells to `path` as a checksummed, versioned
+    /// document, so later runs over the *same corpus* can warm-start via
+    /// [`CostCache::load`]. Deterministic: same cells, same bytes.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        codec::write_document(path, CACHE_SCHEMA, CACHE_VERSION, self.to_value())
+    }
+
+    /// Loads a cache persisted by [`CostCache::save`]. The caller is
+    /// responsible for pairing the file with the corpus it was measured
+    /// on — cells are keyed by input *index*.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] on IO failure, checksum mismatch,
+    /// schema/version mismatch, or a malformed payload.
+    pub fn load(path: &Path) -> Result<Self> {
+        let payload = codec::read_document(path, CACHE_SCHEMA, CACHE_VERSION)?;
+        CostCache::from_value(&payload)
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +350,82 @@ mod tests {
     fn empty_cache_hit_rate_is_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         assert!(CostCache::new().is_empty());
+    }
+
+    fn populated_cache() -> CostCache {
+        use rand::SeedableRng;
+        let space = space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut cache = CostCache::new();
+        for input in 0..5usize {
+            for c in 0..4 {
+                let cfg = space.random(&mut rng);
+                cache.insert(
+                    input,
+                    ConfigKey::of(&cfg),
+                    ExecutionReport::with_accuracy((input * 10 + c) as f64 + 0.5, 0.25),
+                );
+            }
+        }
+        cache
+    }
+
+    #[test]
+    fn save_load_round_trips_every_cell() {
+        let dir = std::env::temp_dir().join(format!("intune-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.cache.json");
+
+        let cache = populated_cache();
+        cache.save(&path).unwrap();
+        let loaded = CostCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), cache.len());
+        assert_eq!(loaded.stats(), CacheStats::default(), "counters reset");
+        for (input, per) in &cache.map {
+            for (key, report) in per {
+                assert_eq!(loaded.peek(*input, key), Some(*report));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        // HashMap iteration order varies; the document must not.
+        let a = serde_json::to_string(&populated_cache().to_value()).unwrap();
+        let b = serde_json::to_string(&populated_cache().to_value()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tampered_cache_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("intune-cache-tamper-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.cache.json");
+        populated_cache().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("0.5", "9.5", 1);
+        assert_ne!(tampered, text);
+        std::fs::write(&path, tampered).unwrap();
+        let err = CostCache::load(&path).unwrap_err();
+        assert!(
+            matches!(err, intune_core::Error::Artifact { .. }),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_bit_patterns_survive_persistence() {
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let mut cfg = space.default_config();
+        // A value whose decimal expansion exercises shortest-float printing.
+        cfg.set(0, intune_core::ParamValue::Float(0.1 + 0.2));
+        let key = ConfigKey::of(&cfg);
+        let mut cache = CostCache::new();
+        cache.insert(0, key.clone(), ExecutionReport::of_cost(1.0 / 3.0));
+        let loaded = CostCache::from_value(&cache.to_value()).unwrap();
+        let report = loaded.peek(0, &key).expect("exact key must match");
+        assert_eq!(report.cost.to_bits(), (1.0f64 / 3.0).to_bits());
     }
 }

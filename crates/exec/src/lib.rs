@@ -64,7 +64,7 @@ pub mod engine;
 pub mod executor;
 pub mod plan;
 
-pub use cache::{hit_rate, CacheStats, ConfigKey, CostCache};
+pub use cache::{hit_rate, CacheStats, ConfigKey, CostCache, CACHE_SCHEMA, CACHE_VERSION};
 pub use engine::{Engine, EngineStats, THREADS_ENV};
 pub use executor::{ExecOutcome, Executor};
 pub use plan::{Cell, MeasurementPlan};

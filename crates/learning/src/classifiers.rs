@@ -12,9 +12,12 @@
 
 use intune_core::{FeatureSample, FeatureSet};
 use intune_ml::{DecisionTree, NaiveBayes};
+use serde::{Deserialize, Serialize};
 
 /// A trained candidate classifier mapping input features to a landmark.
-#[derive(Debug, Clone)]
+/// Serializable: the production classifier ships inside model artifacts
+/// (`intune_serve`) and reloads bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Classifier {
     /// Predicts the majority training label; no features needed.
     MaxApriori {

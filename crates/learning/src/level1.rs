@@ -76,7 +76,9 @@ pub struct Level1Result {
     pub cache: CostCache,
 }
 
-/// Runs Level 1 end to end on the given measurement engine.
+/// Runs Level 1 end to end on the given measurement engine with a fresh
+/// per-corpus cost cache (see [`run_level1_with_cache`] to warm-start
+/// from a persisted cache).
 ///
 /// # Errors
 /// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
@@ -88,6 +90,30 @@ pub fn run_level1<B: Benchmark + Sync>(
     inputs: &[B::Input],
     opts: &Level1Options,
     engine: &Engine,
+) -> Result<Level1Result>
+where
+    B::Input: Sync,
+{
+    run_level1_with_cache(benchmark, inputs, opts, engine, CostCache::new())
+}
+
+/// Like [`run_level1`], but seeded with a caller-owned cost cache — e.g.
+/// one persisted by [`CostCache::save`] from a previous run over the
+/// *same corpus* (cells are keyed by input index). Cells already present
+/// are answered from memory; the warmed cache comes back in
+/// [`Level1Result::cache`].
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
+///
+/// # Panics
+/// Panics if `inputs` is empty or `opts.clusters == 0`.
+pub fn run_level1_with_cache<B: Benchmark + Sync>(
+    benchmark: &B,
+    inputs: &[B::Input],
+    opts: &Level1Options,
+    engine: &Engine,
+    mut cache: CostCache,
 ) -> Result<Level1Result>
 where
     B::Input: Sync,
@@ -138,7 +164,6 @@ where
         None => Objective::cost_only(),
     };
     let space = benchmark.space();
-    let mut cache = CostCache::new();
     let mut tuner_evaluations = 0usize;
     let mut landmarks: Vec<Configuration> = Vec::with_capacity(representatives.len());
     for (c, &rep) in representatives.iter().enumerate() {
@@ -354,6 +379,41 @@ mod tests {
             r.landmarks.len(),
             stats.hits
         );
+    }
+
+    #[test]
+    fn duplicate_landmarks_dedup_through_the_suite_measure_path() {
+        // Investigation of `dedup_saved: 0` across every BENCH_exec.json
+        // case: suite plans are built from EA-winner landmarks, which are
+        // pairwise-distinct *configurations* at every scale probed (they
+        // can still produce identical cost rows when the differing genes
+        // are cost-neutral — observed on sort2/helmholtz3d — but distinct
+        // configurations are distinct cells, correctly not deduplicated).
+        // The accounting itself works: measuring a landmark list that
+        // *does* repeat a configuration collapses the duplicate row.
+        let inputs = corpus();
+        let r = run(&options());
+        assert!(
+            r.landmarks.iter().enumerate().all(|(i, a)| r
+                .landmarks
+                .iter()
+                .skip(i + 1)
+                .all(|b| a != b)),
+            "EA landmarks from distinct seeds should be pairwise distinct"
+        );
+
+        let engine = Engine::serial();
+        let mut duplicated = r.landmarks.clone();
+        duplicated.push(r.landmarks[0].clone());
+        let perf = measure(&Synthetic, &duplicated, &inputs, &engine).unwrap();
+        assert_eq!(
+            engine.stats().dedup_saved,
+            inputs.len() as u64,
+            "one duplicated landmark must collapse a full matrix row"
+        );
+        for i in 0..inputs.len() {
+            assert_eq!(perf.cost(0, i), perf.cost(3, i));
+        }
     }
 
     #[test]

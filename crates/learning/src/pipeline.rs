@@ -3,7 +3,7 @@
 
 use crate::classifiers::Classifier;
 use crate::labels::{cost_matrix, label_inputs, relabel_fraction};
-use crate::level1::{run_level1, Level1Options, Level1Result};
+use crate::level1::{run_level1_with_cache, Level1Options, Level1Result};
 use crate::oracles::{dynamic_oracle, measured_oracles, static_oracle, OneLevelClassifier};
 use crate::perf::PerfMatrix;
 use crate::selection::{
@@ -132,7 +132,30 @@ pub fn learn<B: Benchmark + Sync>(
 where
     B::Input: Sync,
 {
-    let level1 = run_level1(benchmark, inputs, &opts.level1, engine)?;
+    learn_with_cache(benchmark, inputs, opts, engine, CostCache::new())
+}
+
+/// Like [`learn`], but seeded with a training-corpus cost cache (e.g. one
+/// persisted by [`CostCache::save`] from a previous run over the same
+/// corpus). The warmed cache comes back in `result.level1.cache`, ready
+/// to be saved again.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn learn_with_cache<B: Benchmark + Sync>(
+    benchmark: &B,
+    inputs: &[B::Input],
+    opts: &TwoLevelOptions,
+    engine: &Engine,
+    cache: CostCache,
+) -> Result<TwoLevelResult>
+where
+    B::Input: Sync,
+{
+    let level1 = run_level1_with_cache(benchmark, inputs, &opts.level1, engine, cache)?;
     let threshold = benchmark.accuracy().map(|a| a.threshold);
 
     let labels = label_inputs(&level1.perf, threshold);
@@ -240,10 +263,25 @@ pub struct TunedProgram<'b, B: Benchmark> {
 impl<'b, B: Benchmark> TunedProgram<'b, B> {
     /// Assembles the artifact from a learning result.
     pub fn new(benchmark: &'b B, result: &TwoLevelResult) -> Self {
+        TunedProgram::from_parts(
+            benchmark,
+            result.level1.landmarks.clone(),
+            result.production().clone(),
+        )
+    }
+
+    /// Assembles the artifact from pre-built parts — the constructor used
+    /// when a persisted `intune_serve` model artifact is reloaded instead
+    /// of trained in-process.
+    pub fn from_parts(
+        benchmark: &'b B,
+        landmarks: Vec<Configuration>,
+        classifier: Classifier,
+    ) -> Self {
         TunedProgram {
             benchmark,
-            landmarks: result.level1.landmarks.clone(),
-            classifier: result.production().clone(),
+            landmarks,
+            classifier,
         }
     }
 
@@ -328,19 +366,41 @@ pub fn evaluate<B: Benchmark + Sync>(
 where
     B::Input: Sync,
 {
+    let mut cache = CostCache::new();
+    evaluate_with_cache(benchmark, result, test_inputs, engine, &mut cache)
+}
+
+/// Like [`evaluate`], but measuring through a caller-owned test-corpus
+/// cache (e.g. one persisted by [`CostCache::save`]), which is warmed in
+/// place and can be saved again afterwards.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
+///
+/// # Panics
+/// Panics if `test_inputs` is empty.
+pub fn evaluate_with_cache<B: Benchmark + Sync>(
+    benchmark: &B,
+    result: &TwoLevelResult,
+    test_inputs: &[B::Input],
+    engine: &Engine,
+    cache: &mut CostCache,
+) -> Result<EvaluationRow>
+where
+    B::Input: Sync,
+{
     assert!(!test_inputs.is_empty(), "evaluation needs test inputs");
     let threshold = benchmark.accuracy().map(|a| a.threshold);
     let satisfaction = 0.95;
 
     // Landmark performance on the test set plus the per-input (dynamic)
-    // oracle, measured through the engine with a test-corpus cache.
-    let mut cache = CostCache::new();
+    // oracle, measured through the engine with the test-corpus cache.
     let (perf_test, _, dyn_labels) = measured_oracles(
         benchmark,
         &result.level1.landmarks,
         test_inputs,
         engine,
-        &mut cache,
+        cache,
         threshold,
         satisfaction,
     )?;

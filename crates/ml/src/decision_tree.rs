@@ -9,6 +9,8 @@
 //! total leaf cost (with a small Gini tie-breaker so that cost plateaus do
 //! not stall induction).
 
+use serde::{Deserialize, Serialize};
+
 /// Hyper-parameters for [`DecisionTree::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeOptions {
@@ -34,7 +36,7 @@ impl Default for TreeOptions {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
     Leaf {
         class: usize,
@@ -48,8 +50,9 @@ enum Node {
 }
 
 /// A fitted cost-sensitive decision tree over dense `f64` features and
-/// `usize` class labels.
-#[derive(Debug, Clone)]
+/// `usize` class labels. Serializable: trained trees ship inside model
+/// artifacts (`intune_serve`) and reload bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
     root: Node,
     num_classes: usize,

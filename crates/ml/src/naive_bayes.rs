@@ -9,10 +9,11 @@
 //! classification stops and remaining features are never paid for.
 
 use crate::stats::quantile;
+use serde::{Deserialize, Serialize};
 
 /// Per-feature discretization into decision regions by training-data
 /// quantiles.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Regions {
     /// Ascending inner thresholds; region = #thresholds ≤ value.
     thresholds: Vec<f64>,
@@ -40,8 +41,9 @@ impl Regions {
     }
 }
 
-/// A fitted discretized naive-Bayes model.
-#[derive(Debug, Clone)]
+/// A fitted discretized naive-Bayes model. Serializable: fitted models
+/// ship inside model artifacts (`intune_serve`) and reload bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NaiveBayes {
     priors: Vec<f64>,
     regions: Vec<Regions>,

@@ -5,10 +5,12 @@
 //! different dimensions".
 
 use crate::stats::{mean, stddev};
+use serde::{Deserialize, Serialize};
 
 /// A fitted per-dimension z-score transform `x ↦ (x − μ) / σ`.
-/// Dimensions with zero variance map to 0.
-#[derive(Debug, Clone, PartialEq)]
+/// Dimensions with zero variance map to 0. Serializable: fitted
+/// normalizers ship inside model artifacts (`intune_serve`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ZScore {
     means: Vec<f64>,
     stds: Vec<f64>,

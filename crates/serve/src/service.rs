@@ -1,0 +1,434 @@
+//! The online selector serving runtime.
+//!
+//! A [`SelectorService`] owns a loaded [`ModelArtifact`] and answers
+//! selection requests: extract (only) the production classifier's feature
+//! subset, classify, and return the landmark to run — batched across the
+//! work-stealing executor for throughput, with results independent of the
+//! worker count.
+//!
+//! Production input distributions drift away from the training corpus
+//! (Lesoil et al.), so the service also carries a **drift monitor**: each
+//! probed request's full feature vector is normalized with the artifact's
+//! training normalizer and measured against the training cluster
+//! centroids. An input farther than `radius_factor ×` the cluster's
+//! training radius from *every* centroid counts as out-of-distribution;
+//! when the OOD fraction exceeds `drift_threshold` (after a minimum
+//! observation count), the service switches to the artifact's safe
+//! **fallback landmark** — the paper's conservative configuration — until
+//! the monitor is reset. Fallback state changes take effect at request /
+//! batch boundaries, so batch results stay deterministic at any worker
+//! count.
+
+use crate::artifact::{distance, ModelArtifact};
+use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, Result};
+use intune_exec::Executor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tunables of the serving runtime.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads for batched selection (clamped to ≥ 1).
+    pub threads: usize,
+    /// Drift probe cadence: the full feature vector (needed for the
+    /// centroid distance) is extracted for every `probe_every`-th request
+    /// of a batch; selection itself always pays only the classifier's
+    /// subset. `1` probes everything (deterministic counters for benches).
+    pub probe_every: usize,
+    /// An input is out-of-distribution when its distance to every
+    /// centroid exceeds `radius_factor ×` that cluster's training radius.
+    pub radius_factor: f64,
+    /// OOD fraction (among probed requests) beyond which the fallback
+    /// policy engages.
+    pub drift_threshold: f64,
+    /// Minimum probed requests before the fallback policy may engage.
+    pub min_observations: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 1,
+            probe_every: 1,
+            radius_factor: 1.5,
+            drift_threshold: 0.5,
+            min_observations: 32,
+        }
+    }
+}
+
+/// One answered selection request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// Index of the chosen landmark in the artifact's landmark list.
+    pub landmark: usize,
+    /// Feature-extraction cost actually paid by the classifier.
+    pub extraction_cost: f64,
+    /// Whether the drift probe flagged this input as out-of-distribution
+    /// (`false` for unprobed requests).
+    pub out_of_distribution: bool,
+    /// Whether the fallback policy overrode the classifier's choice.
+    pub fell_back: bool,
+}
+
+/// Monotone counters of a [`SelectorService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Selection requests answered.
+    pub requests: u64,
+    /// Requests whose drift probe ran.
+    pub probed: u64,
+    /// Probed requests flagged out-of-distribution.
+    pub ood: u64,
+    /// Requests answered with the fallback landmark.
+    pub fallbacks: u64,
+    /// Batches dispatched through the executor.
+    pub batches: u64,
+    /// Largest batch seen.
+    pub max_batch: u64,
+}
+
+impl ServeStats {
+    /// OOD fraction among probed requests (0 when nothing probed).
+    pub fn drift_fraction(&self) -> f64 {
+        intune_exec::hit_rate(self.ood, self.probed)
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} batches, max {}), {}/{} probed OOD ({:.1}%), {} fallbacks",
+            self.requests,
+            self.batches,
+            self.max_batch,
+            self.ood,
+            self.probed,
+            100.0 * self.drift_fraction(),
+            self.fallbacks
+        )
+    }
+}
+
+/// The serving runtime: a validated artifact bound to its benchmark.
+///
+/// Shared-state design: the artifact is immutable after construction and
+/// all counters are atomics, so `&self` methods are safe to call from
+/// multiple threads; batch dispatch additionally fans out over the
+/// work-stealing executor.
+#[derive(Debug)]
+pub struct SelectorService<'b, B: Benchmark> {
+    benchmark: &'b B,
+    artifact: ModelArtifact,
+    /// Largest per-cluster training radius — the OOD allowance of
+    /// zero-radius (singleton) clusters, fixed at construction because
+    /// the artifact is immutable afterwards.
+    max_radius: f64,
+    executor: Executor,
+    opts: ServeOptions,
+    requests: AtomicU64,
+    probed: AtomicU64,
+    ood: AtomicU64,
+    fallbacks: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl<'b, B: Benchmark> SelectorService<'b, B> {
+    /// Builds a service from a loaded artifact, validating it against the
+    /// benchmark first.
+    ///
+    /// # Errors
+    /// Returns [`intune_core::Error::Artifact`] when the artifact does
+    /// not fit the benchmark.
+    pub fn new(benchmark: &'b B, artifact: ModelArtifact, opts: ServeOptions) -> Result<Self> {
+        artifact.validate(benchmark)?;
+        let max_radius = artifact.dispersion.iter().cloned().fold(0.0f64, f64::max);
+        Ok(SelectorService {
+            benchmark,
+            artifact,
+            max_radius,
+            executor: Executor::new(opts.threads),
+            opts,
+            requests: AtomicU64::new(0),
+            probed: AtomicU64::new(0),
+            ood: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        })
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The landmark configurations being dispatched to.
+    pub fn landmarks(&self) -> &[Configuration] {
+        &self.artifact.landmarks
+    }
+
+    /// Whether the fallback policy is currently engaged.
+    pub fn fallback_active(&self) -> bool {
+        let probed = self.probed.load(Ordering::Acquire);
+        if probed < self.opts.min_observations.max(1) {
+            return false;
+        }
+        let ood = self.ood.load(Ordering::Acquire);
+        intune_exec::hit_rate(ood, probed) > self.opts.drift_threshold
+    }
+
+    /// Resets the drift monitor (e.g. after retraining was scheduled or
+    /// the input shift was acknowledged); request counters keep counting.
+    pub fn reset_drift(&self) {
+        self.probed.store(0, Ordering::Release);
+        self.ood.store(0, Ordering::Release);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Acquire),
+            probed: self.probed.load(Ordering::Acquire),
+            ood: self.ood.load(Ordering::Acquire),
+            fallbacks: self.fallbacks.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            max_batch: self.max_batch.load(Ordering::Acquire),
+        }
+    }
+
+    /// Classifies one input under the drift state observed at entry,
+    /// returning the selection and the probe outcome without touching
+    /// counters (the deterministic core of both entry points).
+    fn classify(&self, input: &B::Input, probe: bool, fall_back: bool) -> Selection {
+        let (landmark, extraction_cost) = self
+            .artifact
+            .classifier
+            .classify_lazy(|property, level| self.benchmark.extract(property, level, input));
+        let out_of_distribution = probe && self.is_ood(input);
+        if fall_back {
+            Selection {
+                landmark: self.artifact.fallback,
+                extraction_cost,
+                out_of_distribution,
+                fell_back: true,
+            }
+        } else {
+            Selection {
+                landmark,
+                extraction_cost,
+                out_of_distribution,
+                fell_back: false,
+            }
+        }
+    }
+
+    /// Whether `input` lies outside every cluster's (scaled) training
+    /// radius in normalized feature space.
+    fn is_ood(&self, input: &B::Input) -> bool {
+        let dense = self.benchmark.extract_all(input).dense();
+        let z = self.artifact.normalizer.transform(&dense);
+        // Zero-radius clusters (singletons) borrow the largest training
+        // radius so near-duplicates of a singleton are not spuriously OOD.
+        self.artifact
+            .centroids
+            .iter()
+            .zip(&self.artifact.dispersion)
+            .all(|(centroid, &radius)| {
+                let allowed = if radius > 0.0 {
+                    radius
+                } else {
+                    self.max_radius
+                };
+                distance(&z, centroid) > self.opts.radius_factor * allowed.max(1e-12)
+            })
+    }
+
+    /// Answers one selection request, updating the drift monitor.
+    pub fn select(&self, input: &B::Input) -> Selection {
+        let fall_back = self.fallback_active();
+        let selection = self.classify(input, true, fall_back);
+        self.requests.fetch_add(1, Ordering::AcqRel);
+        self.record_probe(selection.out_of_distribution, true);
+        if selection.fell_back {
+            self.fallbacks.fetch_add(1, Ordering::AcqRel);
+        }
+        selection
+    }
+
+    /// Answers a batch of selection requests, fanned out over the
+    /// work-stealing executor. The drift/fallback state is snapshotted at
+    /// batch entry and counter updates are merged at batch exit, so the
+    /// returned selections are identical at any worker count; a drift
+    /// trip engages fallback from the *next* batch on.
+    pub fn select_batch(&self, inputs: &[B::Input]) -> Vec<Selection>
+    where
+        B: Sync,
+        B::Input: Sync,
+    {
+        let fall_back = self.fallback_active();
+        let probe_every = self.opts.probe_every.max(1);
+        let jobs: Vec<usize> = (0..inputs.len()).collect();
+        let outcome = self.executor.run(jobs, |_, i| {
+            self.classify(&inputs[i], i % probe_every == 0, fall_back)
+        });
+        let selections = outcome.results;
+
+        self.requests
+            .fetch_add(selections.len() as u64, Ordering::AcqRel);
+        self.batches.fetch_add(1, Ordering::AcqRel);
+        self.max_batch
+            .fetch_max(selections.len() as u64, Ordering::AcqRel);
+        let probed = (0..inputs.len()).filter(|i| i % probe_every == 0).count() as u64;
+        let ood = selections.iter().filter(|s| s.out_of_distribution).count() as u64;
+        self.probed.fetch_add(probed, Ordering::AcqRel);
+        self.ood.fetch_add(ood, Ordering::AcqRel);
+        if fall_back {
+            self.fallbacks
+                .fetch_add(selections.len() as u64, Ordering::AcqRel);
+        }
+        selections
+    }
+
+    /// Classifies and executes: runs the selected landmark on the input.
+    pub fn run(&self, input: &B::Input) -> (ExecutionReport, Selection) {
+        let selection = self.select(input);
+        (
+            self.benchmark
+                .run(&self.artifact.landmarks[selection.landmark], input),
+            selection,
+        )
+    }
+
+    fn record_probe(&self, was_ood: bool, probed: bool) {
+        if probed {
+            self.probed.fetch_add(1, Ordering::AcqRel);
+            if was_ood {
+                self.ood.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{synthetic_corpus, train_synthetic, Synthetic};
+
+    fn service(opts: ServeOptions) -> SelectorService<'static, Synthetic> {
+        let artifact = ModelArtifact::export(&Synthetic, &train_synthetic());
+        SelectorService::new(&Synthetic, artifact, opts).unwrap()
+    }
+
+    #[test]
+    fn batched_selection_matches_sequential_at_any_width() {
+        let fresh = synthetic_corpus(64, 21);
+        let serial = service(ServeOptions::default());
+        let expected: Vec<Selection> = fresh.iter().map(|i| serial.select(i)).collect();
+        for threads in [1, 4] {
+            let svc = service(ServeOptions {
+                threads,
+                ..ServeOptions::default()
+            });
+            let got = svc.select_batch(&fresh);
+            assert_eq!(got, expected, "{threads} threads");
+            assert_eq!(svc.stats().requests, 64);
+            assert_eq!(svc.stats().batches, 1);
+            assert_eq!(svc.stats().max_batch, 64);
+        }
+    }
+
+    #[test]
+    fn in_distribution_inputs_do_not_trip_the_monitor() {
+        let svc = service(ServeOptions {
+            min_observations: 8,
+            ..ServeOptions::default()
+        });
+        // Same generator family as training: everything in distribution.
+        svc.select_batch(&synthetic_corpus(64, 33));
+        let stats = svc.stats();
+        assert_eq!(stats.ood, 0, "{stats}");
+        assert!(!svc.fallback_active());
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn drift_trips_fallback_at_the_next_batch() {
+        // A negative radius bound forces every input OOD (distances are
+        // ≥ 0) — a synthetic drift storm.
+        let svc = service(ServeOptions {
+            radius_factor: -1.0,
+            min_observations: 8,
+            drift_threshold: 0.5,
+            ..ServeOptions::default()
+        });
+        let inputs = synthetic_corpus(16, 5);
+        let first = svc.select_batch(&inputs);
+        assert!(first.iter().all(|s| s.out_of_distribution));
+        assert!(
+            first.iter().all(|s| !s.fell_back),
+            "fallback engages at batch boundaries, not mid-batch"
+        );
+        assert!(svc.fallback_active());
+        let second = svc.select_batch(&inputs);
+        assert!(second.iter().all(|s| s.fell_back));
+        assert!(second.iter().all(|s| s.landmark == svc.artifact().fallback));
+        assert_eq!(svc.stats().fallbacks, 16);
+
+        svc.reset_drift();
+        assert!(!svc.fallback_active());
+        let third = svc.select_batch(&inputs);
+        assert!(third.iter().all(|s| !s.fell_back), "monitor was reset");
+    }
+
+    #[test]
+    fn fallback_needs_minimum_observations() {
+        let svc = service(ServeOptions {
+            radius_factor: -1.0,
+            min_observations: 1000,
+            ..ServeOptions::default()
+        });
+        svc.select_batch(&synthetic_corpus(16, 5));
+        assert!(
+            !svc.fallback_active(),
+            "16 probes are below the 1000-observation floor"
+        );
+    }
+
+    #[test]
+    fn probe_cadence_limits_probed_count() {
+        let svc = service(ServeOptions {
+            probe_every: 4,
+            ..ServeOptions::default()
+        });
+        svc.select_batch(&synthetic_corpus(16, 5));
+        assert_eq!(svc.stats().probed, 4);
+    }
+
+    #[test]
+    fn run_executes_the_selected_landmark() {
+        let svc = service(ServeOptions::default());
+        let input = synthetic_corpus(1, 2)[0];
+        let (report, selection) = svc.run(&input);
+        assert_eq!(
+            report,
+            Synthetic.run(&svc.landmarks()[selection.landmark], &input)
+        );
+    }
+
+    #[test]
+    fn selections_track_the_trained_classifier() {
+        // The synthetic problem is perfectly classifiable: the service
+        // must route nearly every input to a landmark matching its kind.
+        let svc = service(ServeOptions::default());
+        let fresh = synthetic_corpus(30, 13);
+        let correct = svc
+            .select_batch(&fresh)
+            .iter()
+            .zip(&fresh)
+            .filter(|(s, input)| svc.landmarks()[s.landmark].choice(0) == input.0)
+            .count();
+        assert!(correct >= 28, "only {correct}/30 routed correctly");
+    }
+}

@@ -1,0 +1,132 @@
+//! Serve quickstart: the train → save → load → serve lifecycle.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! Continues where `examples/quickstart.rs` stops: instead of using the
+//! trained model in-process, export it as a versioned, checksummed
+//! **model artifact**, reload it (as a serving box would after a deploy),
+//! and answer batched selection requests through the `SelectorService` —
+//! including what happens when the input distribution drifts away from
+//! the training corpus.
+
+use intune::autotuner::TunerOptions;
+use intune::exec::Engine;
+use intune::learning::pipeline::learn;
+use intune::learning::{Level1Options, TwoLevelOptions};
+use intune::serve::{ModelArtifact, SelectorService, ServeOptions};
+use intune::sortlib::{PolySort, SortCorpus};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Training box: learn, export, save. In production this is an
+    // offline job; the artifact file is the only thing that ships.
+    // ------------------------------------------------------------------
+    let program = PolySort::new(2048);
+    let train = SortCorpus::synthetic(80, 256, 2048, 1);
+    let options = TwoLevelOptions {
+        level1: Level1Options {
+            clusters: 8,
+            tuner: TunerOptions::quick(7),
+            ..Level1Options::default()
+        },
+        ..TwoLevelOptions::default()
+    };
+    println!("training ({} inputs, 8 landmarks)...", train.inputs.len());
+    let engine = Engine::from_env();
+    let result = learn(&program, &train.inputs, &options, &engine).expect("learning failed");
+
+    let artifact = ModelArtifact::export(&program, &result);
+    let path = std::env::temp_dir().join("intune-quickstart.model.json");
+    artifact.save(&path).expect("artifact save failed");
+    println!(
+        "saved artifact: {} ({} landmarks, {} classifier, {} bytes)",
+        path.display(),
+        artifact.landmarks.len(),
+        artifact.classifier.kind(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+    );
+
+    // ------------------------------------------------------------------
+    // Serving box: load, validate, serve. A fresh process would start
+    // here — nothing below touches the training corpus or the learner.
+    // ------------------------------------------------------------------
+    let loaded = ModelArtifact::load(&path).expect("artifact load failed");
+    let service = SelectorService::new(&program, loaded, ServeOptions::default())
+        .expect("artifact does not fit this benchmark");
+
+    // A batch of fresh requests from the same distribution as training.
+    let requests = SortCorpus::synthetic(64, 256, 2048, 99);
+    let selections = service.select_batch(&requests.inputs);
+    let fallback = service.artifact().fallback;
+    println!(
+        "served {} requests: landmark histogram {:?}, drift {:.1}%",
+        selections.len(),
+        histogram(
+            selections.iter().map(|s| s.landmark),
+            service.landmarks().len()
+        ),
+        100.0 * service.stats().drift_fraction(),
+    );
+
+    // Classify *and execute* one request.
+    let (report, selection) = service.run(&requests.inputs[0]);
+    println!(
+        "request 0 (n = {}): landmark {} after {:.0} extraction work units, ran at cost {:.0}",
+        requests.inputs[0].len(),
+        selection.landmark,
+        selection.extraction_cost,
+        report.cost
+    );
+
+    // ------------------------------------------------------------------
+    // Drift: shift the input distribution far outside the training
+    // corpus. The monitor counts out-of-distribution inputs and, past
+    // the threshold, pins the safe fallback landmark.
+    // ------------------------------------------------------------------
+    let drift_service = SelectorService::new(
+        &program,
+        service.artifact().clone(),
+        ServeOptions {
+            min_observations: 16,
+            drift_threshold: 0.5,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("validated above");
+    // Same lengths, wildly different value distribution: every element
+    // scaled by 1e6 explodes the deviation feature far outside the
+    // training clusters' radii.
+    let clipped: Vec<Vec<f64>> = SortCorpus::synthetic(64, 256, 2048, 7)
+        .inputs
+        .into_iter()
+        .map(|input| input.into_iter().map(|v| v * 1e6).collect())
+        .collect();
+    drift_service.select_batch(&clipped);
+    println!(
+        "after a drifted batch: {} — fallback {}",
+        drift_service.stats(),
+        if drift_service.fallback_active() {
+            format!("ENGAGED (pinning safe landmark {fallback})")
+        } else {
+            "not engaged".to_string()
+        }
+    );
+    let after = drift_service.select_batch(&clipped);
+    println!(
+        "next drifted batch: {}/{} requests served by the fallback landmark",
+        after.iter().filter(|s| s.fell_back).count(),
+        after.len()
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+fn histogram(landmarks: impl Iterator<Item = usize>, k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for l in landmarks {
+        counts[l] += 1;
+    }
+    counts
+}

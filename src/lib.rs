@@ -17,6 +17,9 @@
 //! * [`sortlib`], [`clusterlib`], [`binpacklib`], [`svdlib`], [`pde`] — the
 //!   six benchmark programs with algorithmic choices and input generators
 //! * [`learning`] — the two-level pipeline, classifiers, oracles
+//! * [`serve`] — model-artifact persistence (save/load with schema
+//!   version + checksum) and the online selector serving runtime with
+//!   drift monitoring
 //! * [`eval`] — corpora and the table/figure reproduction harness
 //!
 //! ## Quickstart
@@ -24,6 +27,9 @@
 //! See `examples/quickstart.rs` for an end-to-end run: generate a corpus of
 //! sorting inputs, learn landmarks + a production classifier, then deploy it
 //! on unseen inputs and compare against the static and dynamic oracles.
+//! `examples/serve_quickstart.rs` continues the story across the
+//! train/deploy boundary: save the model artifact, reload it, and serve
+//! batched selection requests with drift monitoring.
 
 pub use intune_autotuner as autotuner;
 pub use intune_binpacklib as binpacklib;
@@ -35,5 +41,6 @@ pub use intune_learning as learning;
 pub use intune_linalg as linalg;
 pub use intune_ml as ml;
 pub use intune_pde as pde;
+pub use intune_serve as serve;
 pub use intune_sortlib as sortlib;
 pub use intune_svdlib as svdlib;

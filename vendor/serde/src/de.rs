@@ -1,0 +1,246 @@
+//! The [`Deserialize`] trait, its error type, and helper functions the
+//! derive-generated code leans on.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A deserialization failure: what was being read and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with an explicit message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// `what` could not be read because the value was not `expected`.
+    pub fn invalid(what: &str, expected: &str) -> Self {
+        Error::new(format!("invalid {what}: expected {expected}"))
+    }
+
+    /// An enum payload carried an unknown variant tag.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::new(format!("unknown variant `{variant}` of {ty}"))
+    }
+
+    /// A struct object was missing a required field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::new(format!("missing field `{field}` of {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Reconstructs `Self` from the shim's [`Value`] data model (the analogue
+/// of upstream's `Deserialize::deserialize`).
+pub trait Deserialize: Sized {
+    /// Parses a value representation into `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a required struct field in an object's field list.
+///
+/// # Errors
+/// Returns [`Error::missing_field`]-style errors when absent.
+pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+}
+
+/// Splits an externally-tagged enum payload (a single-entry object) into
+/// `(variant tag, inner value)`.
+///
+/// # Errors
+/// Errors when the value is not a single-entry object.
+pub fn variant(value: &Value) -> Result<(&str, &Value), Error> {
+    match value.as_object() {
+        Some([(tag, inner)]) => Ok((tag.as_str(), inner)),
+        _ => Err(Error::invalid(
+            "enum payload",
+            "a single-entry object {\"Variant\": ...}",
+        )),
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::invalid("bool", "true or false"))
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::invalid(stringify!($t), "an integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::invalid(stringify!($t), "an in-range integer"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::invalid(stringify!($t), "an unsigned integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::invalid(stringify!($t), "an in-range integer"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if let Some(f) = value.as_f64() {
+            return Ok(f);
+        }
+        match value.as_str() {
+            Some("NaN") => Ok(f64::NAN),
+            Some("Infinity") => Ok(f64::INFINITY),
+            Some("-Infinity") => Ok(f64::NEG_INFINITY),
+            _ => Err(Error::invalid("f64", "a number or a non-finite name")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid("String", "a string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::invalid("Vec", "an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::invalid("tuple", "an array of 2 elements")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::invalid("tuple", "an array of 3 elements")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::Serialize;
+
+    fn round<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let encoded = v.to_value();
+        assert_eq!(T::from_value(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round(42u64);
+        round(-17i64);
+        round(usize::MAX);
+        round(3.25f64);
+        round(true);
+        round("text".to_string());
+        round(Some(5u8));
+        round::<Option<u8>>(None);
+        round(vec![1u32, 2, 3]);
+        round((1i64, 2usize));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            let v = f.to_value();
+            assert_eq!(f64::from_value(&v).unwrap(), f);
+        }
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn range_checks_reject() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn variant_helper_requires_single_entry() {
+        let ok = Value::Object(vec![("V".into(), Value::Null)]);
+        assert_eq!(variant(&ok).unwrap().0, "V");
+        assert!(variant(&Value::Null).is_err());
+        let two = Value::Object(vec![("a".into(), Value::Null), ("b".into(), Value::Null)]);
+        assert!(variant(&two).is_err());
+    }
+}

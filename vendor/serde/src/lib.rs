@@ -1,15 +1,41 @@
-//! Offline shim of the `serde` surface used by this workspace.
+//! Offline, API-compatible subset of `serde` used by this workspace.
 //!
-//! Only the derive names are consumed (`#[derive(Serialize, Deserialize)]`
-//! as structural markers); no code serializes values yet. The derives are
-//! re-exported no-ops and the traits are empty markers so `use
-//! serde::{Serialize, Deserialize}` resolves. Replace with the published
-//! crate once network access / vendoring of the real dependency exists.
+//! The container has no crates.io access, so this shim implements the
+//! slice of the serde ecosystem the workspace actually consumes — grown in
+//! PR 3 from empty marker traits into a *working* serialization backbone:
+//!
+//! * a [`Serialize`] / [`Deserialize`] trait pair with implementations for
+//!   the primitive types, `String`, `Option`, `Vec`, boxed values, slices
+//!   and small tuples;
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) generating real implementations for non-generic structs and
+//!   enums, following upstream `serde_json` conventions (structs as
+//!   objects, newtype structs transparent, externally-tagged enums);
+//! * a self-describing [`Value`] data model that the sibling `serde_json`
+//!   shim prints to / parses from JSON text (`to_string` / `from_str`).
+//!
+//! ## Deviations from upstream
+//!
+//! Upstream serde is format-agnostic: `Serialize::serialize` drives a
+//! `Serializer` visitor. This shim pins the data model to [`Value`]
+//! (`Serialize::to_value` / `Deserialize::from_value`), which is exactly
+//! as expressive as the JSON backend the workspace needs while keeping
+//! the derive small. Call sites — derive attributes, trait bounds,
+//! `serde_json::to_string` / `from_str` — match upstream, so swapping in
+//! the published crates requires no source changes outside `vendor/`.
+//!
+//! Non-finite floats (JSON cannot represent them) serialize as the
+//! strings `"NaN"`, `"Infinity"` and `"-Infinity"`; `f64::from_value`
+//! accepts them back, so every `f64` round-trips exactly.
 
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::Value;
+
+// The derive macros share the trait names (upstream does the same; macros
+// and traits live in different namespaces).
 pub use serde_derive::{Deserialize, Serialize};
-
-/// Marker stand-in for `serde::Serialize`.
-pub trait SerializeMarker {}
-
-/// Marker stand-in for `serde::Deserialize`.
-pub trait DeserializeMarker {}

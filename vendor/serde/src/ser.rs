@@ -1,0 +1,163 @@
+//! The [`Serialize`] trait and its primitive / container implementations.
+
+use crate::value::Value;
+
+/// Converts `self` into the shim's [`Value`] data model (the analogue of
+/// upstream's format-agnostic `Serialize::serialize`).
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+/// Floats: finite values stay numbers; the three non-finite values become
+/// their conventional names as strings (JSON has no representation for
+/// them), which `f64::from_value` maps back — an exact round trip.
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else if self.is_nan() {
+            Value::String("NaN".to_string())
+        } else if *self > 0.0 {
+            Value::String("Infinity".to_string())
+        } else {
+            Value::String("-Infinity".to_string())
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7u32.to_value(), Value::UInt(7));
+        assert_eq!((-7i32).to_value(), Value::Int(-7));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn non_finite_floats_become_named_strings() {
+        assert_eq!(f64::NAN.to_value(), Value::String("NaN".into()));
+        assert_eq!(f64::INFINITY.to_value(), Value::String("Infinity".into()));
+        assert_eq!(
+            f64::NEG_INFINITY.to_value(),
+            Value::String("-Infinity".into())
+        );
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![Some(1u8), None].to_value();
+        assert_eq!(v, Value::Array(vec![Value::UInt(1), Value::Null]));
+        let t = (1u8, "x").to_value();
+        assert_eq!(
+            t,
+            Value::Array(vec![Value::UInt(1), Value::String("x".into())])
+        );
+    }
+}

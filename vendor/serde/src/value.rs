@@ -1,0 +1,133 @@
+//! The self-describing data model shared by `serde` and `serde_json`.
+//!
+//! Upstream keeps `Value` in `serde_json`; this shim hoists it into
+//! `serde` so the [`crate::Serialize`] / [`crate::Deserialize`] traits can
+//! be defined over it without a dependency cycle (`serde_json` re-exports
+//! it). Integers keep their full 64-bit precision (`Int` / `UInt` instead
+//! of lossy `f64`), which matters for bit-pattern float keys and large
+//! counters; objects preserve insertion order so a document re-serializes
+//! canonically — the artifact checksum relies on that.
+
+/// A parsed / to-be-printed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (JSON number without fraction or exponent).
+    Int(i64),
+    /// An unsigned integer beyond `i64::MAX`.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object: key/value pairs in insertion order (not a map — order
+    /// is semantic here, it makes re-serialization canonical).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert; strings do not — see
+    /// `f64::from_value` for the non-finite names).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The field vector, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// First value stored under `key`, if this is an `Object`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_discriminate() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Value::Int(-3).as_u64(), None);
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Value::UInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::String("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn object_lookup_preserves_first_match() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Int(2)),
+        ]);
+        assert_eq!(v.get("b"), Some(&Value::Int(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+}

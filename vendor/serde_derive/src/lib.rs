@@ -1,18 +1,397 @@
-//! No-op `Serialize` / `Deserialize` derives for the offline `serde` shim.
+//! Real `Serialize` / `Deserialize` derives for the offline `serde` shim.
 //!
-//! The workspace only uses serde derives as structural markers (no code
-//! actually serializes anything yet), so the derives emit an empty token
-//! stream. When real serialization lands, swap the shim for the published
-//! crate.
+//! Upstream `serde_derive` builds on `syn`; no such dependency exists in
+//! this offline workspace, so the item is parsed directly from the
+//! `proc_macro` token stream. The supported grammar is exactly what the
+//! workspace's model types use:
+//!
+//! * non-generic `struct`s — named fields, tuple (incl. newtype), unit;
+//! * non-generic `enum`s — unit, tuple and struct variants.
+//!
+//! Generated code follows upstream `serde_json` conventions so documents
+//! stay compatible if the published crates are ever vendored: structs map
+//! to objects, newtype structs are transparent, tuples map to arrays, and
+//! enums are externally tagged (`"Variant"` for unit variants,
+//! `{"Variant": payload}` otherwise). Generic types are rejected with a
+//! compile-time panic naming this file.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Item model + parsing
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // '#'
+                iter.next(); // '[...]'
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // '(crate)' etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive shim: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "a type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde derive shim: generic type `{name}` is not supported \
+                 (see vendor/serde_derive/src/lib.rs)"
+            );
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde derive shim: malformed struct body: {other:?}"),
+        }),
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive shim: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `field: Type, ...`, returning the field names. Types are skipped
+/// up to the next comma at angle-bracket depth zero (grouped tokens such
+/// as tuples and attribute bodies are atomic trees, so only `<`/`>` need
+/// explicit depth tracking).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive shim: expected a field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive shim: expected `:` after `{name}`, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in stream {
+        any = true;
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive shim: expected a variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the separating comma, if any (discriminants like `= 3`
+        // do not occur on serde-derived enums in this workspace).
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (String::from(\"{v}\"), ::serde::Value::Object(vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::de::Error::invalid(\"{name}\", \"an array\"))?; \
+                 if __arr.len() != {n} {{ return Err(::serde::de::Error::invalid(\
+                 \"{name}\", \"an array of {n} elements\")); }} \
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::de::field(__fields, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = __value.as_object().ok_or_else(|| \
+                 ::serde::de::Error::invalid(\"{name}\", \"an object\"))?; \
+                 Ok({name} {{ {} }})",
+                items.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::de::Error::invalid(\"{name}::{v}\", \"an array\"))?; \
+                             if __arr.len() != {n} {{ return Err(::serde::de::Error::invalid(\
+                             \"{name}::{v}\", \"an array of {n} elements\")); }} \
+                             Ok({name}::{v}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::de::field(__fields, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::de::Error::invalid(\"{name}::{v}\", \"an object\"))?; \
+                             Ok({name}::{v} {{ {} }}) }}",
+                            items.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            let tail = if payload_arms.is_empty() {
+                format!("Err(::serde::de::Error::invalid(\"{name}\", \"a variant name string\"))")
+            } else {
+                format!(
+                    "let (__tag, __inner) = ::serde::de::variant(__value)?; \
+                     match __tag {{ {payload} __other => \
+                     Err(::serde::de::Error::unknown_variant(\"{name}\", __other)), }}",
+                    payload = payload_arms.join(" ")
+                )
+            };
+            format!(
+                "if let ::serde::Value::String(__s) = __value {{ \
+                 return match __s.as_str() {{ {unit} __other => \
+                 Err(::serde::de::Error::unknown_variant(\"{name}\", __other)), }}; }} \
+                 {tail}",
+                unit = unit_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} }}"
+    )
 }

@@ -1,0 +1,183 @@
+//! Offline JSON backend for the `serde` shim: [`to_string`] / [`from_str`]
+//! over the shared [`Value`] model.
+//!
+//! The upstream entry points the workspace uses are implemented:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], and the re-exported [`Value`]. Printing is canonical —
+//! object fields keep insertion order and floats print in Rust's shortest
+//! round-trip form — so `parse → print` is a fixed point, which the
+//! model-artifact checksum relies on.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct Point { x: f64, tags: Vec<String> }
+//!
+//! let p = Point { x: 1.5, tags: vec!["a".into()] };
+//! let text = serde_json::to_string(&p).unwrap();
+//! assert_eq!(text, r#"{"x":1.5,"tags":["a"]}"#);
+//! assert_eq!(serde_json::from_str::<Point>(&text).unwrap(), p);
+//! ```
+
+mod parse;
+mod print;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a `T` from a [`Value`].
+///
+/// # Errors
+/// Returns [`Error`] when the value's shape does not match `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Prints `value` as compact (canonical) JSON.
+///
+/// # Errors
+/// Infallible for this backend; the `Result` mirrors the upstream API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Prints `value` as indented JSON (2 spaces, upstream-style).
+///
+/// # Errors
+/// Infallible for this backend; the `Result` mirrors the upstream API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::pretty(&value.to_value(), &mut out, 0);
+    out.push('\n');
+    Ok(out)
+}
+
+/// Parses JSON text into a `T` (use `T = Value` for raw documents).
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON, trailing input, or shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Int(-12)),
+            ("u".into(), Value::UInt(u64::MAX)),
+            ("f".into(), Value::Float(0.1)),
+            ("s".into(), Value::String("a\"b\\c\nd".into())),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        // Canonical: printing the parse is a fixed point.
+        assert_eq!(to_string(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_parses_back_to_same_value() {
+        let v = Value::Array(vec![
+            Value::Object(vec![("k".into(), Value::Int(1))]),
+            Value::Array(vec![]),
+            Value::Object(vec![]),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            1e300,
+        ] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} printed as {text}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_full_precision() {
+        let text = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&text).unwrap(), u64::MAX);
+        let text = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&text).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "[1 2]",
+            "01",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""Aé 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé 😀"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Canonical JSON printing.
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Compact printing: no whitespace, insertion-ordered object fields.
+pub(crate) fn compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => push_float(*f, out),
+        Value::String(s) => push_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(k, out);
+                out.push(':');
+                compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty printing: 2-space indentation, one field/element per line.
+pub(crate) fn pretty(value: &Value, out: &mut String, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                push_escaped(k, out);
+                out.push_str(": ");
+                pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Floats print in Rust's shortest round-trip `Display` form, which always
+/// re-parses to the same bit pattern. A value without a fractional part
+/// gets a trailing `.0` so it re-parses as a float, keeping printing
+/// canonical. Non-finite floats cannot appear in JSON; the `Serialize`
+/// impl maps them to name strings before printing, and a hand-built
+/// non-finite `Value::Float` falls back to the same names here.
+fn push_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{f}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        push_escaped(
+            if f.is_nan() {
+                "NaN"
+            } else if f > 0.0 {
+                "Infinity"
+            } else {
+                "-Infinity"
+            },
+            out,
+        );
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn printed(v: &Value) -> String {
+        let mut s = String::new();
+        compact(v, &mut s);
+        s
+    }
+
+    #[test]
+    fn whole_floats_keep_a_fraction_marker() {
+        assert_eq!(printed(&Value::Float(2.0)), "2.0");
+        assert_eq!(printed(&Value::Float(-0.5)), "-0.5");
+        assert_eq!(printed(&Value::Int(2)), "2");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(printed(&Value::String("a\u{01}b".into())), "\"a\\u0001b\"");
+        assert_eq!(printed(&Value::String("q\"w\\e".into())), "\"q\\\"w\\\\e\"");
+    }
+
+    #[test]
+    fn hand_built_non_finite_floats_print_as_names() {
+        assert_eq!(printed(&Value::Float(f64::NAN)), "\"NaN\"");
+        assert_eq!(printed(&Value::Float(f64::INFINITY)), "\"Infinity\"");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![])),
+            ("o".into(), Value::Object(vec![])),
+        ]);
+        let mut s = String::new();
+        pretty(&v, &mut s, 0);
+        assert_eq!(s, "{\n  \"a\": [],\n  \"o\": {}\n}");
+    }
+}
