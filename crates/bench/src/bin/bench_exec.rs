@@ -17,14 +17,15 @@
 use intune_bench::{baseline_json, exec_baseline, micro_config};
 use intune_eval::TestCase;
 use intune_exec::Engine;
-use std::path::PathBuf;
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_exec.json".to_string());
-    let cache_dir = std::env::var_os("INTUNE_CACHE_DIR").map(PathBuf::from);
-    let engine = Engine::from_env();
+    // Hardened env parses: garbage INTUNE_CACHE_DIR / INTUNE_THREADS
+    // values abort with a typed error instead of degrading silently.
+    let cache_dir = intune_exec::cache_dir_from_env_or_exit();
+    let engine = Engine::from_env_or_exit();
     let cfg = micro_config();
     eprintln!(
         "measuring {} cases at micro scale on {} worker threads{}...",

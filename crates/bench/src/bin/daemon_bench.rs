@@ -1,0 +1,40 @@
+//! Emits the `BENCH_daemon.json` wire-protocol baseline: N client
+//! threads hammer a live `intune_daemon` over loopback TCP with batched
+//! selection requests while an identical shadow artifact mirrors the
+//! traffic, then the shadow is promoted and the daemon shut down.
+//!
+//! ```text
+//! cargo run --release -p intune_bench --bin daemon_bench [-- OUT.json]
+//! ```
+//!
+//! Daemon worker count follows `INTUNE_THREADS` (hardened parse;
+//! default 1). Request/selection counts and the shadow agreement record
+//! are deterministic; throughput and frame latency are
+//! environment-dependent. The committed baseline uses 4 clients × 16
+//! batches of the sort2 micro corpus.
+
+use intune_bench::{daemon_baseline, daemon_baseline_json, micro_config, DaemonBenchConfig};
+use intune_eval::TestCase;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_daemon.json".to_string());
+    let threads = intune_exec::threads_from_env_or_exit(1);
+    let cfg = DaemonBenchConfig {
+        suite: micro_config(),
+        case: TestCase::Sort2,
+        clients: 4,
+        batches_per_client: 16,
+        threads,
+    };
+    eprintln!(
+        "daemon load test: {} x {} batches of {} vectors ({} daemon workers)...",
+        cfg.clients, cfg.batches_per_client, cfg.suite.test, cfg.threads
+    );
+    let result = daemon_baseline(&cfg);
+    let json = daemon_baseline_json(&cfg, &result);
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -18,11 +18,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let threads = std::env::var(intune_exec::THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or(1);
+    // Hardened env parse: a garbage INTUNE_THREADS aborts instead of
+    // silently benchmarking on one worker.
+    let threads = intune_exec::threads_from_env_or_exit(1);
     let cfg = ServeBenchConfig {
         suite: micro_config(),
         rounds: 64,

@@ -1,0 +1,310 @@
+//! The wire-protocol baseline behind `BENCH_daemon.json`.
+//!
+//! Train one Table-1 case at micro scale, export its artifact, start a
+//! real [`Daemon`] on a loopback port, stage an identical artifact
+//! (revision-bumped) as the shadow, and hammer the daemon with N client
+//! threads × batched `SelectBatch` requests over TCP. The report records
+//! throughput (selections/sec), per-frame round-trip latency (p50/p95),
+//! and the shadow agreement record — which is **100% by construction**
+//! (identical model), making the shadow counters deterministic. Request
+//! and selection counts are deterministic; wall-clock figures are
+//! environment-dependent.
+//!
+//! The fallback policy is disabled (`drift_threshold: 1.0` can never be
+//! strictly exceeded), so every answer is the pure classifier selection
+//! regardless of drift-counter interleaving across client threads.
+
+use crate::report;
+use intune_core::{Benchmark, BenchmarkExt, FeatureVector};
+use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
+use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
+use intune_exec::Engine;
+use intune_learning::pipeline::learn;
+use intune_learning::TwoLevelOptions;
+use intune_serve::{ModelArtifact, ServeOptions, ARTIFACT_VERSION};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Knobs of the daemon load test.
+#[derive(Debug, Clone)]
+pub struct DaemonBenchConfig {
+    /// Suite scale used for training the served artifact.
+    pub suite: SuiteConfig,
+    /// The case whose artifact is served.
+    pub case: TestCase,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// `SelectBatch` requests per client.
+    pub batches_per_client: usize,
+    /// Daemon-side selection worker threads.
+    pub threads: usize,
+}
+
+/// The measured outcome (see module docs for what is deterministic).
+#[derive(Debug, Clone)]
+pub struct DaemonBenchResult {
+    /// Case name served.
+    pub case: String,
+    /// Client thread count.
+    pub clients: u64,
+    /// Requests per client.
+    pub batches_per_client: u64,
+    /// Vectors per request.
+    pub batch_size: u64,
+    /// Total `SelectBatch` frames sent.
+    pub requests: u64,
+    /// Total selections answered.
+    pub selections: u64,
+    /// Wall time of the load phase, milliseconds.
+    pub wall_ms: f64,
+    /// Selections per second (wall-clock).
+    pub selections_per_sec: f64,
+    /// Median frame round-trip, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile frame round-trip, milliseconds.
+    pub p95_ms: f64,
+    /// Selections mirrored to the staged shadow (one per vector).
+    pub shadow_mirrored: u64,
+    /// Mirrored selections the shadow agreed on (all of them).
+    pub shadow_agreed: u64,
+    /// `agreed / mirrored` (1.0 by construction).
+    pub shadow_agreement_rate: f64,
+    /// Revision serving after the final promote.
+    pub promoted_revision: u64,
+}
+
+/// Extracts the case's artifact and the full feature vectors of its
+/// held-out corpus (what wire clients ship).
+struct ExportVisitor;
+
+impl CaseVisitor for ExportVisitor {
+    type Output = (ModelArtifact, Vec<FeatureVector>);
+
+    fn visit<B: Benchmark + Sync>(
+        &mut self,
+        _case: TestCase,
+        benchmark: &B,
+        train: &[B::Input],
+        test: &[B::Input],
+        opts: &TwoLevelOptions,
+        engine: &Engine,
+    ) -> intune_core::Result<(ModelArtifact, Vec<FeatureVector>)>
+    where
+        B::Input: Sync,
+    {
+        let result = learn(benchmark, train, opts, engine)?;
+        let artifact = ModelArtifact::export(benchmark, &result).with_revision(1);
+        let features = test.iter().map(|i| benchmark.extract_all(i)).collect();
+        Ok((artifact, features))
+    }
+}
+
+/// Runs the load test end to end (train → serve → stage shadow → hammer
+/// → promote → shutdown).
+///
+/// # Panics
+/// Panics if training, the daemon, or any client fails — baseline
+/// emitters want loud failures.
+pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
+    let engine = Engine::serial();
+    let (artifact, features) =
+        visit_case(cfg.case, &cfg.suite, &engine, &mut ExportVisitor).expect("training failed");
+    let shadow_artifact = artifact.clone().with_revision(2);
+    let batch_size = features.len() as u64;
+
+    let daemon = Daemon::bind(
+        artifact,
+        DaemonOptions {
+            serve: ServeOptions {
+                threads: cfg.threads,
+                // Never strictly exceeded: the fallback policy stays off.
+                drift_threshold: 1.0,
+                ..ServeOptions::default()
+            },
+            // The shadow mirrors the same deterministic traffic; its
+            // monitor is pinned off too so the agreement record (not a
+            // drift trip) decides the promote.
+            shadow_serve: ServeOptions {
+                threads: cfg.threads,
+                drift_threshold: 1.0,
+                ..ServeOptions::default()
+            },
+            shadow: ShadowPolicy {
+                min_mirrored: 1,
+                min_agreement: 0.99,
+            },
+        },
+        &ListenConfig::default(),
+    )
+    .expect("daemon bind failed");
+    let addr = daemon.tcp_addr().to_string();
+    let handle = daemon.spawn();
+
+    // Stage the shadow before any traffic so every request is mirrored.
+    let control = DaemonClient::connect(&addr).expect("control client");
+    control
+        .load_artifact(&shadow_artifact)
+        .expect("stage shadow");
+
+    // The load phase: N clients × R framed batches each.
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let addr = &addr;
+                let features = &features;
+                scope.spawn(move || {
+                    let client = DaemonClient::connect(addr).expect("load client");
+                    let mut lat = Vec::with_capacity(cfg.batches_per_client);
+                    for _ in 0..cfg.batches_per_client {
+                        let t = Instant::now();
+                        let got = client.select_batch(features).expect("select batch");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(got.len(), features.len());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let stats = control.stats().expect("stats");
+    let shadow = stats.shadow.expect("shadow still staged");
+    let promoted_revision = control.promote().expect("promote gate");
+    control.shutdown().expect("shutdown");
+    handle.join().expect("daemon exit");
+
+    let requests = (cfg.clients * cfg.batches_per_client) as u64;
+    let selections = requests * batch_size;
+    DaemonBenchResult {
+        case: cfg.case.name().to_string(),
+        clients: cfg.clients as u64,
+        batches_per_client: cfg.batches_per_client as u64,
+        batch_size,
+        requests,
+        selections,
+        wall_ms: wall * 1e3,
+        selections_per_sec: if wall > 0.0 {
+            selections as f64 / wall
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        shadow_mirrored: shadow.mirrored,
+        shadow_agreed: shadow.agreed,
+        shadow_agreement_rate: shadow.agreement_rate,
+        promoted_revision,
+    }
+}
+
+/// Renders the result as the `BENCH_daemon.json` document (through
+/// [`report`]: sorted keys, trailing newline).
+pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> String {
+    let doc = report::obj(vec![
+        ("schema", Value::String("intune-bench-daemon/1".into())),
+        ("artifact_version", Value::UInt(ARTIFACT_VERSION as u64)),
+        ("case", Value::String(r.case.clone())),
+        ("clients", Value::UInt(r.clients)),
+        ("batches_per_client", Value::UInt(r.batches_per_client)),
+        ("batch_size", Value::UInt(r.batch_size)),
+        ("workers", Value::UInt(cfg.threads as u64)),
+        ("requests", Value::UInt(r.requests)),
+        ("selections", Value::UInt(r.selections)),
+        ("wall_ms", report::ms(r.wall_ms)),
+        (
+            "selections_per_sec",
+            Value::Float(r.selections_per_sec.round()),
+        ),
+        (
+            "frame_latency_ms",
+            report::obj(vec![
+                ("p50", report::ms(r.p50_ms)),
+                ("p95", report::ms(r.p95_ms)),
+            ]),
+        ),
+        (
+            "shadow",
+            report::obj(vec![
+                ("mirrored", Value::UInt(r.shadow_mirrored)),
+                ("agreed", Value::UInt(r.shadow_agreed)),
+                ("agreement_rate", report::rate(r.shadow_agreement_rate)),
+                ("promoted_revision", Value::UInt(r.promoted_revision)),
+            ]),
+        ),
+    ]);
+    report::render(&doc)
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro_config;
+
+    fn tiny() -> DaemonBenchConfig {
+        DaemonBenchConfig {
+            suite: micro_config(),
+            case: TestCase::Sort2,
+            clients: 2,
+            batches_per_client: 3,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn daemon_baseline_counts_are_deterministic_and_shadow_agrees() {
+        let cfg = tiny();
+        let r = daemon_baseline(&cfg);
+        assert_eq!(r.requests, 6);
+        assert_eq!(r.batch_size, cfg.suite.test as u64);
+        assert_eq!(r.selections, 6 * cfg.suite.test as u64);
+        assert_eq!(r.shadow_mirrored, r.selections, "every selection mirrored");
+        assert_eq!(r.shadow_agreed, r.shadow_mirrored, "identical model agrees");
+        assert_eq!(r.shadow_agreement_rate, 1.0);
+        assert_eq!(r.promoted_revision, 2);
+        assert!(r.selections_per_sec > 0.0);
+        assert!(r.p95_ms >= r.p50_ms);
+    }
+
+    #[test]
+    fn daemon_json_has_stable_schema() {
+        let cfg = tiny();
+        let r = daemon_baseline(&cfg);
+        let json = daemon_baseline_json(&cfg, &r);
+        for key in [
+            "\"schema\": \"intune-bench-daemon/1\"",
+            "\"artifact_version\": 2",
+            "\"frame_latency_ms\"",
+            "\"agreement_rate\": 1.0",
+            "\"promoted_revision\": 2",
+            "\"workers\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let reparsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(crate::report::render(&reparsed), json);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.95), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -12,28 +12,35 @@
 //!   methods, K-means, trees, the EA).
 //! * `ablations` — λ sweep and landmark-selection strategies.
 //!
-//! Besides the Criterion targets, two binaries emit machine-readable
-//! baselines so performance trajectories can be tracked across commits:
+//! Besides the Criterion targets, three binaries emit machine-readable
+//! baselines so performance trajectories can be tracked across commits
+//! (all rendered by [`report`]: sorted keys, trailing newline):
 //!
 //! * `bench_exec` → `BENCH_exec.json` — per-case suite wall time plus the
 //!   measurement engine's cache-hit accounting (set `INTUNE_CACHE_DIR`
 //!   to warm-start repeated runs from persisted cost caches);
 //! * `serve_bench` → `BENCH_serve.json` — selector-service throughput
 //!   (selections/sec), batch sizes, and drift/fallback counters over
-//!   reloaded model artifacts ([`serve_baseline`]).
+//!   reloaded model artifacts ([`serve_baseline`]);
+//! * `daemon_bench` → `BENCH_daemon.json` — wire-protocol load test
+//!   against a live `intune_daemon`: N client threads × batched
+//!   requests, p50/p95 frame latency, shadow agreement
+//!   ([`daemon_baseline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod daemon_baseline;
+pub mod report;
 mod serve_baseline;
 
+pub use daemon_baseline::{daemon_baseline, daemon_baseline_json, DaemonBenchConfig};
 pub use serve_baseline::{
     serve_baseline, serve_baseline_json, ServeBenchConfig, ServeCaseBaseline,
 };
 
 use intune_eval::{run_case_full, CaseRunOptions, SuiteConfig, TestCase};
 use intune_exec::Engine;
-use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
@@ -87,7 +94,7 @@ pub fn exec_baseline(
 ) -> Vec<CaseBaseline> {
     let run = CaseRunOptions {
         cache_dir: cache_dir.map(Path::to_path_buf),
-        artifacts: None,
+        ..CaseRunOptions::default()
     };
     cases
         .iter()
@@ -107,39 +114,46 @@ pub fn exec_baseline(
         .collect()
 }
 
-/// Renders a baseline as the machine-readable `BENCH_exec.json` document.
-///
-/// The JSON is hand-assembled (the workspace's serde shim has no
-/// serializer); keys are stable and the schema is versioned so downstream
-/// tooling can diff baselines across commits.
+/// Renders a baseline as the machine-readable `BENCH_exec.json` document
+/// (through [`report`]: sorted keys, trailing newline, versioned schema).
 pub fn baseline_json(threads: usize, cases: &[CaseBaseline]) -> String {
-    let mut out = String::new();
+    use serde_json::Value;
     let total_wall: f64 = cases.iter().map(|c| c.wall_ms).sum();
     let total_measured: u64 = cases.iter().map(|c| c.cells_measured).sum();
     let total_hits: u64 = cases.iter().map(|c| c.cache_hits).sum();
     let total_rate = intune_exec::hit_rate(total_hits, total_measured + total_hits);
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"intune-bench-exec/1\",");
-    let _ = writeln!(out, "  \"threads\": {threads},");
-    out.push_str("  \"cases\": [\n");
-    for (i, c) in cases.iter().enumerate() {
-        let comma = if i + 1 == cases.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells_measured\": {}, \
-             \"cache_hits\": {}, \"dedup_saved\": {}, \"hit_rate\": {:.6}}}{comma}",
-            c.name, c.wall_ms, c.cells_measured, c.cache_hits, c.dedup_saved, c.hit_rate
-        );
-    }
-    out.push_str("  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"total\": {{\"wall_ms\": {:.3}, \"cells_measured\": {}, \
-         \"cache_hits\": {}, \"hit_rate\": {:.6}}}",
-        total_wall, total_measured, total_hits, total_rate
-    );
-    out.push_str("}\n");
-    out
+    let doc = report::obj(vec![
+        ("schema", Value::String("intune-bench-exec/2".into())),
+        ("threads", Value::UInt(threads as u64)),
+        (
+            "cases",
+            Value::Array(
+                cases
+                    .iter()
+                    .map(|c| {
+                        report::obj(vec![
+                            ("name", Value::String(c.name.clone())),
+                            ("wall_ms", report::ms(c.wall_ms)),
+                            ("cells_measured", Value::UInt(c.cells_measured)),
+                            ("cache_hits", Value::UInt(c.cache_hits)),
+                            ("dedup_saved", Value::UInt(c.dedup_saved)),
+                            ("hit_rate", report::rate(c.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total",
+            report::obj(vec![
+                ("wall_ms", report::ms(total_wall)),
+                ("cells_measured", Value::UInt(total_measured)),
+                ("cache_hits", Value::UInt(total_hits)),
+                ("hit_rate", report::rate(total_rate)),
+            ]),
+        ),
+    ]);
+    report::render(&doc)
 }
 
 #[cfg(test)]
@@ -190,7 +204,7 @@ mod tests {
 
         let json = baseline_json(engine.threads(), &cases);
         for key in [
-            "\"schema\": \"intune-bench-exec/1\"",
+            "\"schema\": \"intune-bench-exec/2\"",
             "\"cases\"",
             "\"wall_ms\"",
             "\"cache_hits\"",

@@ -15,7 +15,6 @@ use intune_exec::Engine;
 use intune_learning::pipeline::learn;
 use intune_learning::TwoLevelOptions;
 use intune_serve::{ModelArtifact, SelectorService, ServeOptions};
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -163,10 +162,14 @@ pub fn serve_baseline(cfg: &ServeBenchConfig, cases: &[TestCase]) -> Vec<ServeCa
 }
 
 /// Renders the baseline as the machine-readable `BENCH_serve.json`
-/// document (hand-assembled like `BENCH_exec.json`; stable keys,
-/// versioned schema).
+/// document (through [`crate::report`]: sorted keys, trailing newline).
+/// Besides the counters, the document records the **artifact schema
+/// version** and the **executor worker count** used, so trajectory
+/// comparisons across PRs are attributable to a model format and a
+/// parallelism level.
 pub fn serve_baseline_json(threads: usize, cases: &[ServeCaseBaseline]) -> String {
-    let mut out = String::new();
+    use crate::report;
+    use serde_json::Value;
     let total_sel: u64 = cases.iter().map(|c| c.selections).sum();
     let total_wall: f64 = cases.iter().map(|c| c.wall_ms).sum();
     let total_rate = if total_wall > 0.0 {
@@ -174,40 +177,50 @@ pub fn serve_baseline_json(threads: usize, cases: &[ServeCaseBaseline]) -> Strin
     } else {
         0.0
     };
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"intune-bench-serve/1\",");
-    let _ = writeln!(out, "  \"threads\": {threads},");
-    out.push_str("  \"cases\": [\n");
-    for (i, c) in cases.iter().enumerate() {
-        let comma = if i + 1 == cases.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"classifier\": \"{}\", \"selections\": {}, \
-             \"batches\": {}, \"batch_size\": {}, \"wall_ms\": {:.3}, \
-             \"selections_per_sec\": {:.0}, \"ood\": {}, \"drift_fraction\": {:.6}, \
-             \"forced_ood\": {}, \"forced_fallbacks\": {}, \"fallback_engaged\": {}}}{comma}",
-            c.name,
-            c.classifier,
-            c.selections,
-            c.batches,
-            c.batch_size,
-            c.wall_ms,
-            c.selections_per_sec,
-            c.ood,
-            c.drift_fraction,
-            c.forced_ood,
-            c.forced_fallbacks,
-            c.fallback_engaged
-        );
-    }
-    out.push_str("  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"total\": {{\"selections\": {total_sel}, \"wall_ms\": {total_wall:.3}, \
-         \"selections_per_sec\": {total_rate:.0}}}"
-    );
-    out.push_str("}\n");
-    out
+    let doc = report::obj(vec![
+        ("schema", Value::String("intune-bench-serve/2".into())),
+        (
+            "artifact_version",
+            Value::UInt(intune_serve::ARTIFACT_VERSION as u64),
+        ),
+        ("workers", Value::UInt(threads as u64)),
+        (
+            "cases",
+            Value::Array(
+                cases
+                    .iter()
+                    .map(|c| {
+                        report::obj(vec![
+                            ("name", Value::String(c.name.clone())),
+                            ("classifier", Value::String(c.classifier.clone())),
+                            ("selections", Value::UInt(c.selections)),
+                            ("batches", Value::UInt(c.batches)),
+                            ("batch_size", Value::UInt(c.batch_size)),
+                            ("wall_ms", report::ms(c.wall_ms)),
+                            (
+                                "selections_per_sec",
+                                Value::Float(c.selections_per_sec.round()),
+                            ),
+                            ("ood", Value::UInt(c.ood)),
+                            ("drift_fraction", report::rate(c.drift_fraction)),
+                            ("forced_ood", Value::UInt(c.forced_ood)),
+                            ("forced_fallbacks", Value::UInt(c.forced_fallbacks)),
+                            ("fallback_engaged", Value::Bool(c.fallback_engaged)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total",
+            report::obj(vec![
+                ("selections", Value::UInt(total_sel)),
+                ("wall_ms", report::ms(total_wall)),
+                ("selections_per_sec", Value::Float(total_rate.round())),
+            ]),
+        ),
+    ]);
+    report::render(&doc)
 }
 
 #[cfg(test)]
@@ -247,7 +260,9 @@ mod tests {
         let cases = serve_baseline(&cfg, &[TestCase::Binpacking]);
         let json = serve_baseline_json(1, &cases);
         for key in [
-            "\"schema\": \"intune-bench-serve/1\"",
+            "\"schema\": \"intune-bench-serve/2\"",
+            "\"artifact_version\": 2",
+            "\"workers\": 1",
             "\"selections_per_sec\"",
             "\"drift_fraction\"",
             "\"forced_fallbacks\"",

@@ -49,6 +49,61 @@ pub fn encode_document(schema: &str, version: u32, payload: Value) -> String {
     serde_json::to_string_pretty(&doc).expect("value printing is infallible")
 }
 
+/// A payload upgrade step: takes a payload at schema version `v` and
+/// returns the equivalent payload at version `v + 1`. Errors are
+/// human-readable detail strings (wrapped into [`Error::Artifact`] by
+/// [`decode_document_migrating`]).
+pub type Migration = fn(Value) -> std::result::Result<Value, String>;
+
+/// Like [`decode_document`], but accepting a window of older schema
+/// versions and migrating their payloads forward.
+///
+/// `migrations[i]` upgrades a payload from version
+/// `current_version - migrations.len() + i` to the next version, so the
+/// oldest readable version is `current_version - migrations.len()`. The
+/// checksum is verified against the document's *own* (pre-migration)
+/// payload, then the applicable migration suffix runs in order. An empty
+/// `migrations` slice is exactly [`decode_document`].
+///
+/// # Errors
+/// Returns [`Error::Artifact`] on every [`decode_document`] failure mode,
+/// on a version outside `[current_version - migrations.len(),
+/// current_version]`, or when a migration step reports garbage.
+pub fn decode_document_migrating(
+    text: &str,
+    schema: &str,
+    current_version: u32,
+    migrations: &[Migration],
+) -> Result<Value> {
+    // Versions start at 1, so a chain of `current_version` steps (or
+    // more) is an inconsistent caller: its oldest step would upgrade
+    // *from* version 0 or below. Clamping silently would mis-align
+    // steps with versions.
+    if migrations.len() as u64 >= u64::from(current_version) {
+        return Err(Error::artifact(format!(
+            "`{schema}` reader declares {} migrations but only versions \
+             1..={current_version} exist",
+            migrations.len()
+        )));
+    }
+    let min_version = current_version - migrations.len() as u32;
+    let (found, mut payload) = decode_envelope(text, schema, min_version, current_version)?;
+    for (step, migrate) in migrations
+        .iter()
+        .enumerate()
+        .skip((found - min_version) as usize)
+    {
+        let from = min_version + step as u32;
+        payload = migrate(payload).map_err(|detail| {
+            Error::artifact(format!(
+                "cannot migrate `{schema}` payload from version {from} to {}: {detail}",
+                from + 1
+            ))
+        })?;
+    }
+    Ok(payload)
+}
+
 /// Parses and validates an envelope, returning the payload.
 ///
 /// # Errors
@@ -56,6 +111,17 @@ pub fn encode_document(schema: &str, version: u32, payload: Value) -> String {
 /// schema name differs, the version is not exactly `current_version`,
 /// the checksum is absent/malformed, or the payload fails its checksum.
 pub fn decode_document(text: &str, schema: &str, current_version: u32) -> Result<Value> {
+    decode_envelope(text, schema, current_version, current_version).map(|(_, payload)| payload)
+}
+
+/// Shared envelope reader: schema/version/checksum checks with an
+/// accepted version range, returning `(found_version, payload)`.
+fn decode_envelope(
+    text: &str,
+    schema: &str,
+    min_version: u32,
+    current_version: u32,
+) -> Result<(u32, Value)> {
     let doc: Value = serde_json::from_str(text)
         .map_err(|e| Error::artifact(format!("malformed document: {e}")))?;
     let got_schema = doc
@@ -71,10 +137,14 @@ pub fn decode_document(text: &str, schema: &str, current_version: u32) -> Result
         .get("version")
         .and_then(Value::as_u64)
         .ok_or_else(|| Error::artifact("document lacks a `version` field"))?;
-    if version != current_version as u64 {
+    if version < min_version as u64 || version > current_version as u64 {
+        let readable = if min_version == current_version {
+            format!("version {current_version}")
+        } else {
+            format!("versions {min_version}..={current_version}")
+        };
         return Err(Error::artifact(format!(
-            "unsupported `{schema}` version {version} (this build reads version \
-             {current_version})"
+            "unsupported `{schema}` version {version} (this build reads {readable})"
         )));
     }
     let checksum = doc
@@ -94,11 +164,14 @@ pub fn decode_document(text: &str, schema: &str, current_version: u32) -> Result
     // Move the payload out instead of cloning the whole tree (artifacts
     // and cost caches are payload-dominated documents).
     match doc {
-        Value::Object(fields) => Ok(fields
-            .into_iter()
-            .find(|(k, _)| k == "payload")
-            .map(|(_, v)| v)
-            .expect("payload presence checked above")),
+        Value::Object(fields) => Ok((
+            version as u32,
+            fields
+                .into_iter()
+                .find(|(k, _)| k == "payload")
+                .map(|(_, v)| v)
+                .expect("payload presence checked above"),
+        )),
         _ => unreachable!("get(\"payload\") succeeded on a non-object"),
     }
 }
@@ -193,6 +266,91 @@ mod tests {
             Err(Error::Artifact { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// v→v+1 upgrade used by the migration tests: tags the payload with
+    /// the step that ran.
+    fn add_step_field(step: &'static str) -> Migration {
+        match step {
+            "one" => |mut p: Value| {
+                if let Value::Object(fields) = &mut p {
+                    fields.push(("one".to_string(), Value::Bool(true)));
+                }
+                Ok(p)
+            },
+            _ => |mut p: Value| {
+                if let Value::Object(fields) = &mut p {
+                    fields.push(("two".to_string(), Value::Bool(true)));
+                }
+                Ok(p)
+            },
+        }
+    }
+
+    #[test]
+    fn migrating_reader_accepts_current_version_unchanged() {
+        let text = encode_document("mig", 3, payload());
+        let migrations = [add_step_field("one"), add_step_field("two")];
+        let got = decode_document_migrating(&text, "mig", 3, &migrations).unwrap();
+        assert_eq!(got, payload(), "current version runs no migration");
+    }
+
+    #[test]
+    fn migrating_reader_upgrades_old_versions_in_order() {
+        let migrations = [add_step_field("one"), add_step_field("two")];
+        // Version 1 (= 3 - 2) runs both steps; version 2 only the last.
+        let v1 = encode_document("mig", 1, payload());
+        let got = decode_document_migrating(&v1, "mig", 3, &migrations).unwrap();
+        assert_eq!(got.get("one"), Some(&Value::Bool(true)));
+        assert_eq!(got.get("two"), Some(&Value::Bool(true)));
+
+        let v2 = encode_document("mig", 2, payload());
+        let got = decode_document_migrating(&v2, "mig", 3, &migrations).unwrap();
+        assert_eq!(got.get("one"), None, "version 2 skips the 1→2 step");
+        assert_eq!(got.get("two"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn migrating_reader_rejects_outside_the_window() {
+        let migrations = [add_step_field("one")];
+        for (stale, msg) in [(1u32, "too old"), (4, "from the future")] {
+            let text = encode_document("mig", stale, payload());
+            let err = decode_document_migrating(&text, "mig", 3, &migrations).unwrap_err();
+            assert!(err.to_string().contains("version"), "{msg}: {err}");
+        }
+    }
+
+    #[test]
+    fn over_long_migration_chains_are_rejected_not_misaligned() {
+        // Versions start at 1, so two steps require current_version ≥ 3.
+        // current_version 2 (oldest step would upgrade *from* version 0)
+        // and current_version 1 (from version -1) must both refuse
+        // rather than clamp and run misaligned steps.
+        let migrations = [add_step_field("one"), add_step_field("two")];
+        for current in [1u32, 2] {
+            let text = encode_document("mig", current, payload());
+            let err = decode_document_migrating(&text, "mig", current, &migrations).unwrap_err();
+            assert!(err.to_string().contains("2 migrations"), "{current}: {err}");
+        }
+    }
+
+    #[test]
+    fn migration_failure_is_a_typed_error() {
+        let migrations: [Migration; 1] = [|_| Err("payload predates field x".to_string())];
+        let text = encode_document("mig", 1, payload());
+        let err = decode_document_migrating(&text, "mig", 2, &migrations).unwrap_err();
+        assert!(matches!(err, Error::Artifact { .. }), "{err:?}");
+        assert!(err.to_string().contains("predates"), "{err}");
+    }
+
+    #[test]
+    fn migrating_reader_still_enforces_the_checksum() {
+        let migrations = [add_step_field("one")];
+        let text = encode_document("mig", 1, payload());
+        let tampered = text.replace("\"k\": 3", "\"k\": 4");
+        assert_ne!(tampered, text);
+        let err = decode_document_migrating(&tampered, "mig", 2, &migrations).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

@@ -60,12 +60,43 @@ pub enum Error {
         /// Human-readable failure detail.
         detail: String,
     },
+    /// A wire-protocol exchange failed — transport I/O, an oversized or
+    /// malformed frame, an unexpected message kind, or a server-reported
+    /// error relayed to the client.
+    Wire {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// A runtime configuration value (environment variable, CLI knob) was
+    /// present but unusable — e.g. a non-numeric `INTUNE_THREADS`.
+    /// Unset values are never an error; garbage must not degrade silently.
+    Config {
+        /// The configuration source (environment variable name).
+        var: String,
+        /// Human-readable failure detail, including the offending value.
+        detail: String,
+    },
 }
 
 impl Error {
     /// Convenience constructor for [`Error::Artifact`].
     pub fn artifact(detail: impl Into<String>) -> Self {
         Error::Artifact {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Wire`].
+    pub fn wire(detail: impl Into<String>) -> Self {
+        Error::Wire {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Config`].
+    pub fn config(var: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Config {
+            var: var.into(),
             detail: detail.into(),
         }
     }
@@ -90,6 +121,10 @@ impl fmt::Display for Error {
                 write!(f, "measurement of input {input} failed: {detail}")
             }
             Error::Artifact { detail } => write!(f, "artifact error: {detail}"),
+            Error::Wire { detail } => write!(f, "wire error: {detail}"),
+            Error::Config { var, detail } => {
+                write!(f, "invalid configuration `{var}`: {detail}")
+            }
         }
     }
 }
@@ -121,6 +156,14 @@ mod tests {
     fn unknown_param_display() {
         let err = Error::UnknownParam { name: "x".into() };
         assert_eq!(err.to_string(), "unknown parameter `x`");
+    }
+
+    #[test]
+    fn config_display_names_var_and_value() {
+        let err = Error::config("INTUNE_THREADS", "`banana` is not a number");
+        let text = err.to_string();
+        assert!(text.contains("INTUNE_THREADS"));
+        assert!(text.contains("banana"));
     }
 
     #[test]

@@ -224,6 +224,34 @@ impl FeatureVector {
         self.slots.iter().flatten().map(|s| s.cost).sum()
     }
 
+    /// Whether every slot holds an extracted sample. Fully-extracted
+    /// vectors are what `extract_all` produces and what the serving wire
+    /// protocol requires (partial vectors would make the drift probe
+    /// meaningless and the subset classifiers panic).
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// Whether this vector's property partition matches `defs` exactly —
+    /// same property count and the same per-property level counts, not
+    /// just the same total slot count. Consumers of untrusted vectors
+    /// (the serving wire protocol) must check this before indexing by
+    /// [`FeatureId`]: two different declarations can share a slot total
+    /// while laying properties out at different offsets.
+    pub fn matches_defs(&self, defs: &[FeatureDef]) -> bool {
+        if self.offsets.len() != defs.len() {
+            return false;
+        }
+        let mut total = 0;
+        for (off, d) in self.offsets.iter().zip(defs) {
+            if *off != total {
+                return false;
+            }
+            total += d.levels;
+        }
+        self.slots.len() == total
+    }
+
     /// All extracted values as a dense vector (missing slots as NaN); used by
     /// the one-level baseline, which clusters on the full predefined feature
     /// space.

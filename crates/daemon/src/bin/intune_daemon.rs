@@ -1,0 +1,119 @@
+//! The `intune_daemon` binary: load a model artifact, listen, serve.
+//!
+//! ```text
+//! cargo run --release -p intune_daemon --bin intune_daemon -- \
+//!     --artifact artifacts/sort2.model.json [--listen 127.0.0.1:0] \
+//!     [--uds /tmp/intune.sock] [--threads N] [--probe-every N] \
+//!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
+//!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
+//!     [--min-agreement X] [--min-mirrored N]
+//! ```
+//!
+//! Prints exactly one `listening on ADDR` line to stdout once bound (so
+//! scripts can grab the resolved ephemeral port), then serves until a
+//! client sends `Shutdown`. `--drift-threshold 1` disables the fallback
+//! policy (the out-of-distribution fraction can never strictly exceed 1),
+//! which CI uses to pin byte-determinism of remote evaluation. Worker
+//! threads default to `INTUNE_THREADS` (hardened parse) or 1.
+
+use intune_daemon::{Daemon, DaemonOptions, ListenConfig, ShadowPolicy};
+use intune_serve::{ModelArtifact, ServeOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let mut artifact_path: Option<PathBuf> = None;
+    let mut listen = ListenConfig::default();
+    let mut serve = ServeOptions {
+        threads: intune_exec::threads_from_env_or_exit(1),
+        ..ServeOptions::default()
+    };
+    // Staged shadows keep their own (default: armed) drift monitor even
+    // when the primary's fallback is pinned off.
+    let mut shadow_serve = ServeOptions::default();
+    let mut shadow = ShadowPolicy::default();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        match flag {
+            "--help" | "-h" => usage(),
+            _ => {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .unwrap_or_else(|| die(&format!("{flag} needs a value")));
+                match flag {
+                    "--artifact" => artifact_path = Some(PathBuf::from(value)),
+                    "--listen" => listen.tcp = value.clone(),
+                    "--uds" => listen.uds = Some(PathBuf::from(value)),
+                    "--threads" => serve.threads = parse(flag, value),
+                    "--probe-every" => serve.probe_every = parse(flag, value),
+                    "--radius-factor" => serve.radius_factor = parse(flag, value),
+                    "--drift-threshold" => serve.drift_threshold = parse(flag, value),
+                    "--min-observations" => serve.min_observations = parse(flag, value),
+                    "--shadow-drift-threshold" => shadow_serve.drift_threshold = parse(flag, value),
+                    "--shadow-min-observations" => {
+                        shadow_serve.min_observations = parse(flag, value)
+                    }
+                    "--min-agreement" => shadow.min_agreement = parse(flag, value),
+                    "--min-mirrored" => shadow.min_mirrored = parse(flag, value),
+                    other => die(&format!("unknown flag {other}")),
+                }
+            }
+        }
+        i += 1;
+    }
+    let artifact_path = artifact_path.unwrap_or_else(|| die("--artifact PATH is required"));
+
+    let artifact = ModelArtifact::load(&artifact_path).unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!(
+        "loaded {} (benchmark `{}`, revision {}, {} landmarks, {} worker threads)",
+        artifact_path.display(),
+        artifact.benchmark,
+        artifact.revision,
+        artifact.landmarks.len(),
+        serve.threads
+    );
+    shadow_serve.threads = serve.threads;
+    let daemon = Daemon::bind(
+        artifact,
+        DaemonOptions {
+            serve,
+            shadow_serve,
+            shadow,
+        },
+        &listen,
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
+    println!("listening on {}", daemon.tcp_addr());
+    if let Some(path) = &listen.uds {
+        eprintln!("also listening on unix:{}", path.display());
+    }
+    std::io::stdout().flush().ok();
+    daemon.run().unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!("daemon exited cleanly");
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse `{value}`")))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: intune_daemon --artifact PATH [--listen ADDR] [--uds PATH] \
+         [--threads N] [--probe-every N] [--radius-factor X] \
+         [--drift-threshold X] [--min-observations N] \
+         [--shadow-drift-threshold X] [--shadow-min-observations N] \
+         [--min-agreement X] [--min-mirrored N]"
+    );
+    std::process::exit(0)
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2)
+}

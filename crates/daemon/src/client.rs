@@ -1,0 +1,279 @@
+//! The blocking `intune-wire/1` client.
+//!
+//! One connection, one request in flight: every call sends a frame and
+//! blocks for the matching response. The client implements
+//! [`SelectionBackend`], so `table1 --daemon ADDR` can score a running
+//! daemon in place of the in-process production classifier — and prove
+//! the answers byte-identical.
+
+use crate::protocol::{self, DaemonStats, Request, Response};
+use intune_core::{Error, FeatureVector, Result};
+use intune_learning::pipeline::SelectionBackend;
+use intune_serve::{ModelArtifact, Selection};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+
+/// Address prefix selecting a Unix-domain socket connection
+/// (`unix:/path/to.sock`); anything else is dialed as TCP `host:port`.
+pub const UNIX_PREFIX: &str = "unix:";
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Facts the daemon reported in its `HelloAck`.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Server self-identification.
+    pub server: String,
+    /// `Benchmark::name()` of the served model.
+    pub benchmark: String,
+    /// Rollout revision of the primary artifact at connect time.
+    pub revision: u64,
+    /// Artifact schema version the daemon writes.
+    pub artifact_version: u32,
+    /// Number of landmarks in the primary model at connect time.
+    pub landmarks: u64,
+}
+
+/// A blocking daemon connection. All methods take `&self` (the stream
+/// sits behind a mutex), so one client can be shared across the eval
+/// harness's call sites.
+pub struct DaemonClient {
+    conn: Mutex<Conn>,
+    info: ServerInfo,
+}
+
+impl DaemonClient {
+    /// Dials `addr` (TCP `host:port`, or `unix:/path` for a Unix-domain
+    /// socket) and performs the `Hello` handshake.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on connect/handshake failure.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let conn = if let Some(path) = addr.strip_prefix(UNIX_PREFIX) {
+            #[cfg(unix)]
+            {
+                Conn::Unix(
+                    UnixStream::connect(path)
+                        .map_err(|e| Error::wire(format!("cannot connect to {addr}: {e}")))?,
+                )
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(Error::wire("unix-domain sockets are unix-only"));
+            }
+        } else {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| Error::wire(format!("cannot connect to {addr}: {e}")))?;
+            stream.set_nodelay(true).ok();
+            Conn::Tcp(stream)
+        };
+        let mut conn = conn;
+        let response = roundtrip(
+            &mut conn,
+            &Request::Hello {
+                client: format!("intune-client/{}", std::process::id()),
+            },
+        )?;
+        let Response::HelloAck {
+            server,
+            benchmark,
+            revision,
+            artifact_version,
+            landmarks,
+        } = response
+        else {
+            return Err(unexpected("HelloAck", &response));
+        };
+        Ok(DaemonClient {
+            conn: Mutex::new(conn),
+            info: ServerInfo {
+                server,
+                benchmark,
+                revision,
+                artifact_version,
+                landmarks,
+            },
+        })
+    }
+
+    /// What the daemon reported at connect time.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    fn roundtrip(&self, request: &Request) -> Result<Response> {
+        let mut conn = self.conn.lock().expect("client connection poisoned");
+        roundtrip(&mut conn, request)
+    }
+
+    /// Selects a landmark for every fully-extracted feature vector.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure or a server-side
+    /// rejection (ill-shaped vectors).
+    pub fn select_batch(&self, features: &[FeatureVector]) -> Result<Vec<Selection>> {
+        // Encoded from the borrowed slice: no clone of the batch on the
+        // hot path.
+        let body = protocol::encode_select_batch(features);
+        let mut conn = self.conn.lock().expect("client connection poisoned");
+        let response = roundtrip_body(&mut conn, &body)?;
+        drop(conn);
+        match response {
+            Response::Selections { selections } => Ok(selections),
+            other => Err(unexpected("Selections", &other)),
+        }
+    }
+
+    /// Fetches the daemon's counter snapshot.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure.
+    pub fn stats(&self) -> Result<DaemonStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsReply { stats } => Ok(stats),
+            other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Stages an artifact document as the daemon's shadow, returning the
+    /// staged `(benchmark, revision)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure or server rejection
+    /// (unparseable document, benchmark/feature mismatch).
+    pub fn load_artifact_document(&self, document: &str) -> Result<(String, u64)> {
+        let response = self.roundtrip(&Request::LoadArtifact {
+            document: document.to_string(),
+        })?;
+        match response {
+            Response::Loaded {
+                benchmark,
+                revision,
+            } => Ok((benchmark, revision)),
+            other => Err(unexpected("Loaded", &other)),
+        }
+    }
+
+    /// [`DaemonClient::load_artifact_document`] from an in-memory artifact.
+    ///
+    /// # Errors
+    /// Same as [`DaemonClient::load_artifact_document`].
+    pub fn load_artifact(&self, artifact: &ModelArtifact) -> Result<(String, u64)> {
+        self.load_artifact_document(&artifact.to_document())
+    }
+
+    /// Promotes the staged shadow, returning the revision now serving.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure or a refused gate
+    /// (nothing staged, insufficient mirrored agreement, tripped drift).
+    pub fn promote(&self) -> Result<u64> {
+        match self.roundtrip(&Request::Promote)? {
+            Response::Promoted { revision } => Ok(revision),
+            other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
+    /// Asks the daemon to exit.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure.
+    pub fn shutdown(&self) -> Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+impl SelectionBackend for DaemonClient {
+    fn verify_benchmark(&self, benchmark: &str) -> Result<()> {
+        if self.info.benchmark == benchmark {
+            Ok(())
+        } else {
+            Err(Error::artifact(format!(
+                "daemon at hand serves `{}`, evaluation needs `{benchmark}` \
+                 (start the daemon with that case's artifact, or restrict \
+                 the run with --only)",
+                self.info.benchmark
+            )))
+        }
+    }
+
+    fn select_remote(&self, features: &[FeatureVector]) -> Result<Vec<(usize, f64)>> {
+        let selections = self.select_batch(features)?;
+        // A fallback answer is the drift policy speaking, not the
+        // classifier; scoring it as a classifier answer would silently
+        // skew the evaluation row. Surface the misconfiguration instead.
+        if let Some(i) = selections.iter().position(|s| s.fell_back) {
+            return Err(Error::artifact(format!(
+                "daemon answered request {i} with its fallback landmark \
+                 (drift policy engaged); evaluation needs pure classifier \
+                 answers — start the daemon with --drift-threshold 1"
+            )));
+        }
+        Ok(selections
+            .iter()
+            .map(|s| (s.landmark, s.extraction_cost))
+            .collect())
+    }
+}
+
+/// One send + one receive on a connection.
+fn roundtrip(conn: &mut Conn, request: &Request) -> Result<Response> {
+    roundtrip_body(conn, &protocol::encode_message(request))
+}
+
+/// One pre-encoded frame out + one response in.
+fn roundtrip_body(conn: &mut Conn, body: &str) -> Result<Response> {
+    protocol::write_frame(conn, body)?;
+    match protocol::recv::<_, Response>(conn)? {
+        Some(response) => Ok(response),
+        None => Err(Error::wire("daemon closed the connection mid-request")),
+    }
+}
+
+/// Maps a server `Error` frame (or a genuinely wrong message kind) to a
+/// typed client error.
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    match got {
+        Response::Error { detail } => Error::wire(format!("daemon refused: {detail}")),
+        other => Error::wire(format!("expected {wanted}, daemon sent {other:?}")),
+    }
+}

@@ -1,0 +1,358 @@
+//! # intune-daemon
+//!
+//! The long-running selection daemon: the deployment phase of the paper
+//! as a network service.
+//!
+//! PR 3 drew the train/deploy boundary (a persisted, checksummed
+//! [`intune_serve::ModelArtifact`]); this crate puts a server in front of
+//! it. A [`Daemon`] loads an artifact, listens on TCP (plus a Unix-domain
+//! socket on unix), and speaks **`intune-wire/1`** — a length-prefixed
+//! framed protocol whose bodies are the workspace's checksummed JSON
+//! envelope (see [`protocol`] and `crates/daemon/README.md` for the frame
+//! layout). Clients ship fully-extracted feature vectors; the daemon
+//! answers landmark selections computed by a benchmark-free
+//! [`intune_serve::VectorService`] — bit-identical to in-process
+//! selection, which `table1 --daemon` + CI prove end to end.
+//!
+//! Model lifecycle over the wire:
+//!
+//! * `LoadArtifact` **hot-stages** a candidate artifact (any readable
+//!   schema version — version-1 documents migrate on load) as the
+//!   **shadow**;
+//! * every `SelectBatch` is answered by the primary and **mirrored** to
+//!   the shadow, building per-landmark agreement counters;
+//! * `Promote` swaps the shadow in behind a [`ShadowPolicy`] gate
+//!   (minimum mirrored traffic, minimum agreement, untripped drift);
+//! * a shadow whose own drift monitor trips is **auto-rejected** — it
+//!   never answers a client.
+//!
+//! ```no_run
+//! use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig};
+//! use intune_serve::ModelArtifact;
+//!
+//! let artifact = ModelArtifact::load(std::path::Path::new("sort2.model.json"))?;
+//! let daemon = Daemon::bind(artifact, DaemonOptions::default(), &ListenConfig::default())?;
+//! let addr = daemon.tcp_addr();
+//! let handle = daemon.spawn();
+//!
+//! let client = DaemonClient::connect(&addr.to_string())?;
+//! println!("serving {} at revision {}", client.info().benchmark, client.info().revision);
+//! client.shutdown()?;
+//! handle.join()?;
+//! # intune_core::Result::Ok(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shadow;
+
+pub use client::{DaemonClient, ServerInfo};
+pub use protocol::{
+    DaemonStats, LandmarkAgreement, Request, Response, ShadowStats, MAX_FRAME_BYTES, WIRE_SCHEMA,
+    WIRE_VERSION,
+};
+pub use server::{Daemon, DaemonHandle, DaemonOptions, ListenConfig, SERVER_NAME};
+pub use shadow::ShadowPolicy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{ConfigSpace, FeatureDef, FeatureId, FeatureSample, FeatureVector};
+    use intune_learning::classifiers::Classifier;
+    use intune_ml::{DecisionTree, TreeOptions, ZScore};
+    use intune_serve::{ModelArtifact, ServeOptions};
+
+    /// A small hand-built artifact (no training pipeline needed): a
+    /// 2-landmark tree model over one 2-level property plus a 1-level
+    /// property, routing feature `a@1 < 5` to landmark 0, else 1.
+    fn artifact(revision: u64) -> ModelArtifact {
+        let space = ConfigSpace::builder().switch("alg", 2).build();
+        let defs = vec![FeatureDef::new("a", 2), FeatureDef::new("b", 1)];
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64, (i * 2) as f64, 1.0])
+            .collect();
+        let tree_rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..8).map(|i| usize::from(i >= 4)).collect();
+        let landmarks: Vec<_> = (0..2)
+            .map(|c| {
+                let mut cfg = space.default_config();
+                cfg.set(0, intune_core::ParamValue::Choice(c));
+                cfg
+            })
+            .collect();
+        ModelArtifact {
+            benchmark: "daemon-test".to_string(),
+            feature_defs: defs,
+            normalizer: ZScore::fit(&rows),
+            landmarks,
+            classifier: Classifier::Tree {
+                set: intune_core::FeatureSet::from_choices(vec![Some(1), None]),
+                tree: DecisionTree::fit_plain(&tree_rows, &labels, 2, TreeOptions::default()),
+            },
+            centroids: vec![vec![0.0; 3], vec![1.0; 3]],
+            dispersion: vec![2.0, 2.0],
+            fallback: 0,
+            accuracy_threshold: None,
+            revision,
+            trained_inputs: 8,
+        }
+    }
+
+    /// A fully-extracted vector whose `a@1` value is `x`.
+    fn vector(x: f64) -> FeatureVector {
+        let defs = [FeatureDef::new("a", 2), FeatureDef::new("b", 1)];
+        let mut fv = FeatureVector::empty(&defs);
+        fv.insert(
+            FeatureId {
+                property: 0,
+                level: 0,
+            },
+            FeatureSample::new(x / 2.0, 0.5),
+        )
+        .unwrap();
+        fv.insert(
+            FeatureId {
+                property: 0,
+                level: 1,
+            },
+            FeatureSample::new(x, 1.0),
+        )
+        .unwrap();
+        fv.insert(
+            FeatureId {
+                property: 1,
+                level: 0,
+            },
+            FeatureSample::new(1.0, 0.25),
+        )
+        .unwrap();
+        fv
+    }
+
+    fn start(opts: DaemonOptions) -> (DaemonHandle, DaemonClient) {
+        let daemon = Daemon::bind(artifact(1), opts, &ListenConfig::default()).unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        let handle = daemon.spawn();
+        let client = DaemonClient::connect(&addr).unwrap();
+        (handle, client)
+    }
+
+    #[test]
+    fn hello_select_stats_shutdown_over_tcp() {
+        let (handle, client) = start(DaemonOptions::default());
+        assert_eq!(client.info().benchmark, "daemon-test");
+        assert_eq!(client.info().revision, 1);
+        assert_eq!(client.info().landmarks, 2);
+
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        let selections = client.select_batch(&batch).unwrap();
+        for (i, s) in selections.iter().enumerate() {
+            assert_eq!(s.landmark, usize::from(i >= 4), "input {i}");
+            assert!(!s.fell_back);
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.primary.requests, 8);
+        assert!(stats.shadow.is_none());
+        assert_eq!(stats.connections, 1);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_completes_while_an_idle_connection_stays_open() {
+        let daemon = Daemon::bind(
+            artifact(1),
+            DaemonOptions::default(),
+            &ListenConfig::default(),
+        )
+        .unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        let handle = daemon.spawn();
+        // A monitoring-style client that connects and then just sits
+        // there: its handler thread is parked in a blocking read and
+        // must not keep the daemon alive past Shutdown.
+        let idle = DaemonClient::connect(&addr).unwrap();
+        let active = DaemonClient::connect(&addr).unwrap();
+        active.shutdown().unwrap();
+        handle.join().unwrap();
+        drop(idle);
+    }
+
+    #[test]
+    fn identical_shadow_agrees_fully_and_promotes() {
+        let opts = DaemonOptions {
+            shadow: ShadowPolicy {
+                min_mirrored: 8,
+                min_agreement: 0.99,
+            },
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+        let (benchmark, revision) = client.load_artifact(&artifact(2)).unwrap();
+        assert_eq!(benchmark, "daemon-test");
+        assert_eq!(revision, 2);
+
+        // Premature promote: gate refuses, shadow stays staged.
+        let err = client.promote().unwrap_err();
+        assert!(err.to_string().contains("mirrored"), "{err}");
+
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        client.select_batch(&batch).unwrap();
+        let stats = client.stats().unwrap();
+        let shadow = stats.shadow.expect("shadow staged");
+        assert_eq!(shadow.mirrored, 8);
+        assert_eq!(shadow.agreed, 8, "identical artifact agrees everywhere");
+        assert_eq!(shadow.agreement_rate, 1.0);
+        let by_landmark: u64 = shadow.per_landmark.iter().map(|l| l.agreed).sum();
+        assert_eq!(by_landmark, 8);
+
+        assert_eq!(client.promote().unwrap(), 2);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.revision, 2);
+        assert_eq!(stats.promotions, 1);
+        assert!(stats.shadow.is_none());
+        assert_eq!(stats.primary.requests, 0, "promotion starts fresh counters");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn drifting_shadow_is_auto_rejected_and_never_answers() {
+        // The shadow artifact's centroids sit far away from every
+        // request, so its drift monitor sees 100% OOD traffic; with the
+        // daemon's thresholds it trips on the first mirrored batch.
+        let opts = DaemonOptions {
+            shadow_serve: ServeOptions {
+                drift_threshold: 0.5,
+                min_observations: 4,
+                ..ServeOptions::default()
+            },
+            shadow: ShadowPolicy {
+                min_mirrored: 1,
+                min_agreement: 0.0,
+            },
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+        let mut drifter = artifact(3);
+        drifter.centroids = vec![vec![1e9; 3], vec![-1e9; 3]];
+        drifter.dispersion = vec![1e-6, 1e-6];
+        client.load_artifact(&drifter).unwrap();
+
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        let first = client.select_batch(&batch).unwrap();
+        // Clients always get primary answers — tree routing, no fallback.
+        for (i, s) in first.iter().enumerate() {
+            assert_eq!(s.landmark, usize::from(i >= 4), "input {i}");
+        }
+        let stats = client.stats().unwrap();
+        assert!(
+            stats.shadow.is_none(),
+            "drift-tripped shadow was auto-rejected"
+        );
+        assert_eq!(stats.shadow_rejections, 1);
+        assert_eq!(stats.revision, 1, "primary revision unchanged");
+        let err = client.promote().unwrap_err();
+        assert!(err.to_string().contains("no shadow"), "{err}");
+
+        // Traffic after the rejection is still served by the primary.
+        let second = client.select_batch(&batch).unwrap();
+        assert_eq!(first, second);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn foreign_and_malformed_artifacts_are_refused_at_load() {
+        let (handle, client) = start(DaemonOptions::default());
+        let mut foreign = artifact(9);
+        foreign.benchmark = "someone-else".to_string();
+        let err = client.load_artifact(&foreign).unwrap_err();
+        assert!(err.to_string().contains("someone-else"), "{err}");
+
+        let err = client
+            .load_artifact_document("{ not a document")
+            .unwrap_err();
+        assert!(err.to_string().contains("refused"), "{err}");
+
+        let mut reshaped = artifact(9);
+        reshaped.feature_defs = vec![FeatureDef::new("other", 1)];
+        let err = client.load_artifact(&reshaped).unwrap_err();
+        assert!(err.to_string().contains("feature"), "{err}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn version_1_documents_hot_load_through_migration() {
+        let (handle, client) = start(DaemonOptions::default());
+        // Hand-build a v1 document: strip the v2 fields, stamp version 1.
+        let a = artifact(5);
+        let serde_json::Value::Object(fields) = serde_json::to_value(&a) else {
+            panic!("artifact serializes to an object");
+        };
+        let v1_payload = serde_json::Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "revision" && k != "trained_inputs")
+                .collect(),
+        );
+        let v1_doc = intune_core::codec::encode_document(
+            intune_serve::ARTIFACT_SCHEMA,
+            intune_serve::ARTIFACT_VERSION - 1,
+            v1_payload,
+        );
+        let (benchmark, revision) = client.load_artifact_document(&v1_doc).unwrap();
+        assert_eq!(benchmark, "daemon-test");
+        assert_eq!(revision, 0, "v1 artifacts migrate to revision 0");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ill_shaped_batches_get_typed_refusals_not_dropped_connections() {
+        let (handle, client) = start(DaemonOptions::default());
+        let defs = [FeatureDef::new("a", 2), FeatureDef::new("b", 1)];
+        let incomplete = FeatureVector::empty(&defs);
+        let err = client.select_batch(&[incomplete]).unwrap_err();
+        assert!(err.to_string().contains("refused"), "{err}");
+        // The connection survives a refusal.
+        let ok = client.select_batch(&[vector(1.0)]).unwrap();
+        assert_eq!(ok.len(), 1);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_domain_socket_serves_the_same_protocol() {
+        let path = std::env::temp_dir().join(format!("intune-daemon-{}.sock", std::process::id()));
+        let daemon = Daemon::bind(
+            artifact(1),
+            DaemonOptions::default(),
+            &ListenConfig {
+                tcp: "127.0.0.1:0".to_string(),
+                uds: Some(path.clone()),
+            },
+        )
+        .unwrap();
+        let handle = daemon.spawn();
+        let client = DaemonClient::connect(&format!("unix:{}", path.display())).unwrap();
+        assert_eq!(client.info().benchmark, "daemon-test");
+        let got = client.select_batch(&[vector(7.0)]).unwrap();
+        assert_eq!(got[0].landmark, 1);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        assert!(!path.exists(), "socket file cleaned up on exit");
+    }
+}

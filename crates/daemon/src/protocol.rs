@@ -1,0 +1,425 @@
+//! The `intune-wire/1` protocol: length-prefixed frames carrying
+//! checksummed JSON envelopes.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────────────────────┐
+//! │ length: u32 (BE)   │ body: `length` bytes of UTF-8 JSON           │
+//! └────────────────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! The body is an `intune_core::codec` envelope — the same checksummed
+//! document format model artifacts use — with `schema: "intune-wire"`,
+//! `version: 1`, and the message as payload:
+//!
+//! ```json
+//! {
+//!   "schema": "intune-wire",
+//!   "version": 1,
+//!   "checksum": "fnv1a64:<16 hex digits>",
+//!   "payload": {"SelectBatch": {"features": [...]}}
+//! }
+//! ```
+//!
+//! Messages are externally-tagged enums ([`Request`] from clients,
+//! [`Response`] from the daemon); every request gets exactly one response
+//! on the same connection, in order. Frames above [`MAX_FRAME_BYTES`] are
+//! rejected before allocation. Any transport or envelope failure is a
+//! typed [`intune_core::Error::Wire`].
+
+use intune_core::{codec, Error, FeatureVector, Result};
+use intune_serve::{Selection, ServeStats};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Envelope schema name of wire frames.
+pub const WIRE_SCHEMA: &str = "intune-wire";
+/// Wire protocol version (`intune-wire/1`).
+pub const WIRE_VERSION: u32 = 1;
+/// Upper bound on a frame body; larger length prefixes are rejected
+/// before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Opens a session; the daemon answers [`Response::HelloAck`]
+    /// describing the model it serves.
+    Hello {
+        /// Client self-identification (free-form, for server logs).
+        client: String,
+    },
+    /// Selects a landmark for each fully-extracted feature vector.
+    SelectBatch {
+        /// The vectors, shaped for the served artifact's feature
+        /// declaration (`extract_all`-complete).
+        features: Vec<FeatureVector>,
+    },
+    /// Requests the daemon's counter snapshot.
+    Stats,
+    /// Stages a candidate model artifact (a full
+    /// `intune-model-artifact` document, any readable schema version) as
+    /// the **shadow**: mirrored on every subsequent `SelectBatch`, never
+    /// answering clients, until promoted or rejected.
+    LoadArtifact {
+        /// The artifact document text (what `ModelArtifact::save` writes).
+        document: String,
+    },
+    /// Promotes the staged shadow to primary, gated on its mirrored
+    /// agreement record.
+    Promote,
+    /// Asks the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// Daemon → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Session opened.
+    HelloAck {
+        /// Server self-identification.
+        server: String,
+        /// `Benchmark::name()` of the served model.
+        benchmark: String,
+        /// Rollout revision of the primary artifact.
+        revision: u64,
+        /// Artifact schema version the daemon writes
+        /// (`intune_serve::ARTIFACT_VERSION`).
+        artifact_version: u32,
+        /// Number of landmarks in the primary model.
+        landmarks: u64,
+    },
+    /// Answers to a `SelectBatch`, in request order.
+    Selections {
+        /// One selection per requested vector.
+        selections: Vec<Selection>,
+    },
+    /// Counter snapshot.
+    StatsReply {
+        /// The daemon's counters.
+        stats: DaemonStats,
+    },
+    /// Shadow staged.
+    Loaded {
+        /// Benchmark the staged artifact was trained for.
+        benchmark: String,
+        /// Rollout revision of the staged artifact.
+        revision: u64,
+    },
+    /// Shadow promoted to primary.
+    Promoted {
+        /// Rollout revision now serving.
+        revision: u64,
+    },
+    /// Shutdown acknowledged; the daemon exits after this frame.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+}
+
+/// Mirrored-agreement record for one primary landmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LandmarkAgreement {
+    /// Landmark index in the primary model.
+    pub landmark: u64,
+    /// Mirrored selections the primary routed to this landmark.
+    pub mirrored: u64,
+    /// How many of those the shadow agreed on.
+    pub agreed: u64,
+}
+
+/// Counters of a staged shadow model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowStats {
+    /// Rollout revision of the staged artifact.
+    pub revision: u64,
+    /// Selections mirrored to the shadow so far (one per vector; a
+    /// `SelectBatch` frame of B vectors mirrors B selections).
+    pub mirrored: u64,
+    /// Mirrored selections where the shadow chose the primary's landmark.
+    pub agreed: u64,
+    /// `agreed / mirrored` (0 when nothing mirrored yet).
+    pub agreement_rate: f64,
+    /// Per-primary-landmark agreement breakdown.
+    pub per_landmark: Vec<LandmarkAgreement>,
+    /// The shadow's own drift-monitor counters over the mirrored stream.
+    pub drift: ServeStats,
+}
+
+/// Counter snapshot of the whole daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// `Benchmark::name()` of the served model.
+    pub benchmark: String,
+    /// Rollout revision of the primary artifact.
+    pub revision: u64,
+    /// Primary serving counters (requests, probes, OOD, fallbacks).
+    pub primary: ServeStats,
+    /// The staged shadow's counters, if one is staged.
+    pub shadow: Option<ShadowStats>,
+    /// Shadows auto-rejected by the drift monitor since startup.
+    pub shadow_rejections: u64,
+    /// Shadows promoted to primary since startup.
+    pub promotions: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+}
+
+/// Encodes a message into its frame body (the checksummed envelope text).
+pub fn encode_message<T: Serialize>(message: &T) -> String {
+    codec::encode_document(WIRE_SCHEMA, WIRE_VERSION, serde_json::to_value(message))
+}
+
+/// Encodes a `SelectBatch` frame body directly from a borrowed vector
+/// slice — byte-identical to
+/// `encode_message(&Request::SelectBatch { features: features.to_vec() })`
+/// without cloning the batch first (the client's hot path; a unit test
+/// pins the equivalence against the derive's external tagging).
+pub fn encode_select_batch(features: &[FeatureVector]) -> String {
+    let payload = serde_json::Value::Object(vec![(
+        "SelectBatch".to_string(),
+        serde_json::Value::Object(vec![(
+            "features".to_string(),
+            serde::Serialize::to_value(&features),
+        )]),
+    )]);
+    codec::encode_document(WIRE_SCHEMA, WIRE_VERSION, payload)
+}
+
+/// Decodes a frame body into a message.
+///
+/// # Errors
+/// Returns [`Error::Wire`] on envelope or payload-shape failures.
+pub fn decode_message<T: Deserialize>(text: &str) -> Result<T> {
+    let payload = codec::decode_document(text, WIRE_SCHEMA, WIRE_VERSION)
+        .map_err(|e| Error::wire(format!("bad frame envelope: {e}")))?;
+    serde_json::from_value(&payload).map_err(|e| Error::wire(format!("bad frame payload: {e}")))
+}
+
+/// Writes one frame (length prefix + body).
+///
+/// # Errors
+/// Returns [`Error::Wire`] on transport failure or an oversized body.
+pub fn write_frame<W: Write>(w: &mut W, body: &str) -> Result<()> {
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(Error::wire(format!(
+            "frame body of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
+    let len = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(bytes))
+        .and_then(|()| w.flush())
+        .map_err(|e| Error::wire(format!("cannot write frame: {e}")))
+}
+
+/// Reads one frame body. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames).
+///
+/// # Errors
+/// Returns [`Error::Wire`] on transport failure, a truncated frame, an
+/// oversized length prefix, or a non-UTF-8 body.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<String>> {
+    let mut len = [0u8; 4];
+    // Distinguish clean EOF (no bytes of a next frame) from truncation.
+    let mut filled = 0;
+    while filled < len.len() {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(Error::wire("connection closed mid-length-prefix")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::wire(format!("cannot read frame length: {e}"))),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::wire(format!(
+            "peer announced a {len}-byte frame, cap is {MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::wire(format!("connection closed mid-frame: {e}")))?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| Error::wire("frame body is not valid UTF-8"))
+}
+
+/// Writes a message as one frame.
+///
+/// # Errors
+/// Returns [`Error::Wire`] on transport failure.
+pub fn send<W: Write, T: Serialize>(w: &mut W, message: &T) -> Result<()> {
+    write_frame(w, &encode_message(message))
+}
+
+/// Reads one message; `Ok(None)` is a clean end-of-stream.
+///
+/// # Errors
+/// Returns [`Error::Wire`] on transport or envelope failure.
+pub fn recv<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => decode_message(&body).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intune_core::{FeatureDef, FeatureId, FeatureSample};
+
+    fn vector() -> FeatureVector {
+        let defs = [FeatureDef::new("a", 2), FeatureDef::new("b", 1)];
+        let mut fv = FeatureVector::empty(&defs);
+        for (p, def) in defs.iter().enumerate() {
+            for level in 0..def.levels {
+                fv.insert(
+                    FeatureId { property: p, level },
+                    FeatureSample::new(0.25 + p as f64, 1.5 * (level + 1) as f64),
+                )
+                .unwrap();
+            }
+        }
+        fv
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        let requests = vec![
+            Request::Hello {
+                client: "test".into(),
+            },
+            Request::SelectBatch {
+                features: vec![vector(), vector()],
+            },
+            Request::Stats,
+            Request::LoadArtifact {
+                document: "{\"not\": \"checked here\"}".into(),
+            },
+            Request::Promote,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &requests {
+            send(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expect in &requests {
+            let got: Request = recv(&mut cursor).unwrap().expect("a frame");
+            assert_eq!(&got, expect);
+        }
+        assert_eq!(recv::<_, Request>(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn responses_round_trip_including_float_bit_patterns() {
+        let responses = vec![
+            Response::HelloAck {
+                server: "intune-daemon".into(),
+                benchmark: "sort2".into(),
+                revision: 3,
+                artifact_version: 2,
+                landmarks: 8,
+            },
+            Response::Selections {
+                selections: vec![Selection {
+                    landmark: 5,
+                    extraction_cost: 0.1 + 0.2, // a classic non-exact float
+                    out_of_distribution: true,
+                    fell_back: false,
+                }],
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                detail: "nope".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &responses {
+            send(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expect in &responses {
+            let got: Response = recv(&mut cursor).unwrap().expect("a frame");
+            assert_eq!(&got, expect);
+            if let (
+                Response::Selections { selections: a },
+                Response::Selections { selections: b },
+            ) = (&got, expect)
+            {
+                assert_eq!(
+                    a[0].extraction_cost.to_bits(),
+                    b[0].extraction_cost.to_bits(),
+                    "floats cross the wire bit-exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_select_batch_encoding_matches_the_derived_one() {
+        let features = vec![vector(), vector()];
+        assert_eq!(
+            encode_select_batch(&features),
+            encode_message(&Request::SelectBatch {
+                features: features.clone()
+            }),
+            "hand-tagged encoding must track the derive's external tagging"
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_wire_errors() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Stats).unwrap();
+        // Flip a payload byte without touching the checksum.
+        let at = buf.len() - 4;
+        buf[at] ^= 0x01;
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = recv::<_, Request>(&mut cursor).unwrap_err();
+        assert!(matches!(err, Error::Wire { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("mid-frame"), "{err}");
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(huge)).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+
+        // A partial length prefix is truncation, not clean EOF.
+        let err = read_frame(&mut std::io::Cursor::new(vec![0u8, 0])).unwrap_err();
+        assert!(err.to_string().contains("mid-length"), "{err}");
+    }
+
+    #[test]
+    fn unknown_message_shapes_are_rejected() {
+        let body = codec::encode_document(
+            WIRE_SCHEMA,
+            WIRE_VERSION,
+            serde_json::to_value(&"NotARealVariant".to_string()),
+        );
+        let err = decode_message::<Request>(&body).unwrap_err();
+        assert!(matches!(err, Error::Wire { .. }), "{err:?}");
+
+        // Wrong schema name in the envelope.
+        let body = codec::encode_document("other-wire", WIRE_VERSION, serde_json::Value::Null);
+        let err = decode_message::<Request>(&body).unwrap_err();
+        assert!(err.to_string().contains("envelope"), "{err}");
+    }
+}

@@ -1,0 +1,546 @@
+//! The long-running selection server.
+//!
+//! A [`Daemon`] owns a **primary** [`VectorService`] (answering every
+//! client) and at most one staged **shadow** (mirrored, never answering),
+//! and speaks `intune-wire/1` over TCP — plus a Unix-domain socket on
+//! unix — with one thread per connection and batch fan-out on the
+//! work-stealing executor inside the service. Model lifecycle over the
+//! wire: `LoadArtifact` stages a candidate (hot reload, any readable
+//! artifact schema version), `SelectBatch` traffic builds its agreement
+//! record, `Promote` swaps it in behind the [`ShadowPolicy`] gate, and a
+//! drift-tripped shadow is auto-rejected without ever answering a client.
+
+use crate::protocol::{self, DaemonStats, Request, Response};
+use crate::shadow::{ShadowPolicy, ShadowState};
+use intune_core::{Error, FeatureVector, Result};
+use intune_serve::{ModelArtifact, ServeOptions, VectorService, ARTIFACT_VERSION};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Forcibly closes one connection's socket (both directions), unblocking
+/// any thread parked in a read on it.
+type CloseHook = Box<dyn Fn() + Send + Sync>;
+
+/// A connection stream the daemon can serve and force-close at shutdown.
+trait WireStream: Read + Write + Send + 'static {
+    /// A hook that shuts the underlying socket down so a handler thread
+    /// blocked reading it observes end-of-stream and exits. `None` when
+    /// the fd cannot be duplicated (the handler then lingers until its
+    /// peer disconnects — never the common case).
+    fn close_hook(&self) -> Option<CloseHook>;
+
+    /// Per-connection transport tuning before the first frame.
+    fn prepare(&self) {}
+}
+
+impl WireStream for TcpStream {
+    fn close_hook(&self) -> Option<CloseHook> {
+        let dup = self.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = dup.shutdown(Shutdown::Both);
+        }))
+    }
+
+    fn prepare(&self) {
+        // One whole frame per write and the peer blocks on it: Nagle
+        // buys nothing here and its delayed-ACK interaction costs ~40 ms
+        // per request/response round trip on loopback.
+        self.set_nodelay(true).ok();
+    }
+}
+
+#[cfg(unix)]
+impl WireStream for UnixStream {
+    fn close_hook(&self) -> Option<CloseHook> {
+        let dup = self.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = dup.shutdown(Shutdown::Both);
+        }))
+    }
+}
+
+/// Server identification string sent in `HelloAck`.
+pub const SERVER_NAME: &str = "intune-daemon/0.1";
+
+/// Tunables of the daemon.
+///
+/// Primary and shadow carry *separate* serve options on purpose: a
+/// deployment may pin the primary's fallback policy off for byte
+/// determinism (`drift_threshold: 1.0`) while staged shadows keep a live
+/// drift monitor — it is the shadow's tripped monitor that triggers
+/// auto-rejection.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Serving options of the primary (worker threads, probe cadence,
+    /// drift thresholds). Promoted shadows are re-wrapped under these.
+    pub serve: ServeOptions,
+    /// Serving options applied to staged shadows while they mirror.
+    pub shadow_serve: ServeOptions,
+    /// The shadow promotion gate.
+    pub shadow: ShadowPolicy,
+}
+
+/// What the daemon listens on.
+#[derive(Debug, Clone)]
+pub struct ListenConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub tcp: String,
+    /// Optional Unix-domain socket path (unix only; a stale socket file
+    /// at this path is removed before binding).
+    pub uds: Option<PathBuf>,
+}
+
+impl Default for ListenConfig {
+    fn default() -> Self {
+        ListenConfig {
+            tcp: "127.0.0.1:0".to_string(),
+            uds: None,
+        }
+    }
+}
+
+/// Serving state swapped under the lock: the primary and the staged
+/// shadow. `staged_seq` identifies the current shadow so a concurrent
+/// auto-reject never drops a *newer* shadow staged in between.
+struct State {
+    primary: VectorService,
+    shadow: Option<ShadowState>,
+    staged_seq: u64,
+}
+
+/// Everything connection handlers share.
+struct Shared {
+    state: RwLock<State>,
+    opts: DaemonOptions,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    shadow_rejections: AtomicU64,
+    promotions: AtomicU64,
+    tcp_addr: SocketAddr,
+    uds_path: Option<PathBuf>,
+    /// Live connection handlers: join handle + a hook that force-closes
+    /// the connection's socket. Reaped as connections finish; drained
+    /// (hooks fired, threads joined) at shutdown so handlers parked on
+    /// idle persistent connections cannot keep the daemon alive.
+    handlers: Mutex<Vec<(JoinHandle<()>, Option<CloseHook>)>>,
+}
+
+impl Shared {
+    /// Sets the stop flag, force-closes every live connection, and
+    /// unblocks the accept loops by connecting to them once.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        for (_, hook) in self
+            .handlers
+            .lock()
+            .expect("handler registry poisoned")
+            .iter()
+        {
+            if let Some(hook) = hook {
+                hook();
+            }
+        }
+        // Self-connect to unblock accept(). An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on every platform — dial
+        // loopback at the bound port instead.
+        let mut kick = self.tcp_addr;
+        if kick.ip().is_unspecified() {
+            kick.set_ip(match kick {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(kick);
+        #[cfg(unix)]
+        if let Some(path) = &self.uds_path {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+/// A bound (but not yet serving) selection daemon.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    tcp: TcpListener,
+    #[cfg(unix)]
+    uds: Option<UnixListener>,
+}
+
+/// Handle of a daemon serving on a background thread.
+pub struct DaemonHandle {
+    /// The TCP address actually bound (resolves `:0` ports).
+    pub addr: SocketAddr,
+    /// The Unix-domain socket path, if one is listening.
+    pub uds: Option<PathBuf>,
+    thread: JoinHandle<Result<()>>,
+}
+
+impl DaemonHandle {
+    /// Waits for the daemon to exit (a client must send `Shutdown`).
+    ///
+    /// # Errors
+    /// Propagates the serve loop's error.
+    ///
+    /// # Panics
+    /// Panics if the daemon thread itself panicked.
+    pub fn join(self) -> Result<()> {
+        self.thread.join().expect("daemon thread panicked")
+    }
+}
+
+impl Daemon {
+    /// Binds the listeners and validates the initial artifact.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] for an inconsistent artifact and
+    /// [`Error::Wire`] for bind failures.
+    pub fn bind(
+        artifact: ModelArtifact,
+        opts: DaemonOptions,
+        listen: &ListenConfig,
+    ) -> Result<Self> {
+        let primary = VectorService::new(artifact, opts.serve.clone())?;
+        let tcp = TcpListener::bind(&listen.tcp)
+            .map_err(|e| Error::wire(format!("cannot bind tcp {}: {e}", listen.tcp)))?;
+        let tcp_addr = tcp
+            .local_addr()
+            .map_err(|e| Error::wire(format!("cannot resolve bound address: {e}")))?;
+        #[cfg(unix)]
+        let uds = match &listen.uds {
+            Some(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path).map_err(|e| {
+                        Error::wire(format!("stale socket {}: {e}", path.display()))
+                    })?;
+                }
+                Some(UnixListener::bind(path).map_err(|e| {
+                    Error::wire(format!("cannot bind unix socket {}: {e}", path.display()))
+                })?)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        if listen.uds.is_some() {
+            return Err(Error::wire("unix-domain sockets are unix-only"));
+        }
+        Ok(Daemon {
+            shared: Arc::new(Shared {
+                state: RwLock::new(State {
+                    primary,
+                    shadow: None,
+                    staged_seq: 0,
+                }),
+                opts,
+                stop: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                shadow_rejections: AtomicU64::new(0),
+                promotions: AtomicU64::new(0),
+                tcp_addr,
+                uds_path: listen.uds.clone(),
+                handlers: Mutex::new(Vec::new()),
+            }),
+            tcp,
+            #[cfg(unix)]
+            uds,
+        })
+    }
+
+    /// The TCP address actually bound (resolves `:0` ports).
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.shared.tcp_addr
+    }
+
+    /// Serves until a client sends `Shutdown`. Connection handlers run on
+    /// their own threads and are joined before this returns.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] if the accept loop fails fatally.
+    pub fn run(self) -> Result<()> {
+        #[cfg(unix)]
+        let uds_accept = self.uds.map(|listener| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || accept_loop(listener.incoming(), &shared))
+        });
+
+        accept_loop(self.tcp.incoming(), &self.shared);
+
+        #[cfg(unix)]
+        if let Some(h) = uds_accept {
+            h.join().expect("uds accept loop panicked");
+        }
+        // Handlers were force-closed by `request_stop`; joining is quick.
+        let drained: Vec<(JoinHandle<()>, Option<CloseHook>)> = std::mem::take(
+            &mut *self
+                .shared
+                .handlers
+                .lock()
+                .expect("handler registry poisoned"),
+        );
+        for (h, _) in drained {
+            reap(h);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.shared.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread, returning its handle.
+    pub fn spawn(self) -> DaemonHandle {
+        let addr = self.tcp_addr();
+        let uds = self.shared.uds_path.clone();
+        DaemonHandle {
+            addr,
+            uds,
+            thread: std::thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Accepts connections until the stop flag is raised, spawning one
+/// handler thread per connection.
+fn accept_loop<S, I>(incoming: I, shared: &Arc<Shared>)
+where
+    S: WireStream,
+    I: Iterator<Item = std::io::Result<S>>,
+{
+    for stream in incoming {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // A persistent accept failure (e.g. fd exhaustion) must
+                // not busy-spin a core; backing off also gives running
+                // handlers a chance to release their descriptors.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        stream.prepare();
+        let hook = stream.close_hook();
+        let worker = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_connection(stream, &worker));
+        let mut registry = shared.handlers.lock().expect("handler registry poisoned");
+        // `request_stop` fires close hooks under this same lock, so
+        // re-check the flag now that we hold it: a shutdown that raced
+        // in between the loop-top check and here has already fired the
+        // registered hooks and will never see this one — close the late
+        // connection ourselves or its handler would park forever and
+        // hang the shutdown drain.
+        if shared.stop.load(Ordering::Acquire) {
+            if let Some(hook) = &hook {
+                hook();
+            }
+        }
+        // Reap finished handlers on every accept so a long-running daemon
+        // serving many short-lived connections does not accumulate
+        // exited-but-unjoined threads; joining a finished thread is
+        // instant.
+        let mut live = Vec::with_capacity(registry.len() + 1);
+        for (h, hk) in registry.drain(..) {
+            if h.is_finished() {
+                reap(h);
+            } else {
+                live.push((h, hk));
+            }
+        }
+        *registry = live;
+        registry.push((handle, hook));
+    }
+}
+
+/// Joins a connection handler, containing (not propagating) its panic: a
+/// poisoned request must cost one connection, never the whole daemon.
+fn reap(handle: JoinHandle<()>) {
+    if handle.join().is_err() {
+        eprintln!("intune-daemon: a connection handler panicked; connection dropped");
+    }
+}
+
+/// One connection: request frames in, response frames out, until the
+/// peer closes, a protocol violation occurs, or `Shutdown` arrives.
+fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
+    loop {
+        match protocol::recv::<_, Request>(&mut stream) {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let shutdown = matches!(request, Request::Shutdown);
+                let response = handle_request(shared, request);
+                if protocol::send(&mut stream, &response).is_err() {
+                    break;
+                }
+                if shutdown {
+                    shared.request_stop();
+                    break;
+                }
+            }
+            Err(e) => {
+                // A malformed frame gets a typed reply, then the
+                // connection is dropped (framing state is untrusted).
+                let _ = protocol::send(
+                    &mut stream,
+                    &Response::Error {
+                        detail: e.to_string(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Dispatches one request against the shared state.
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Hello { client: _ } => {
+            let state = shared.state.read().expect("state lock poisoned");
+            let artifact = state.primary.artifact();
+            Response::HelloAck {
+                server: SERVER_NAME.to_string(),
+                benchmark: artifact.benchmark.clone(),
+                revision: artifact.revision,
+                artifact_version: ARTIFACT_VERSION,
+                landmarks: artifact.landmarks.len() as u64,
+            }
+        }
+        Request::SelectBatch { features } => handle_select(shared, &features),
+        Request::Stats => Response::StatsReply {
+            stats: snapshot(shared),
+        },
+        Request::LoadArtifact { document } => handle_load(shared, &document),
+        Request::Promote => handle_promote(shared),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Primary answers; the shadow (if staged) mirrors. A shadow whose drift
+/// monitor trips — or that cannot score the traffic at all — is
+/// auto-rejected under the write lock, guarded by `staged_seq` so a
+/// newer shadow staged concurrently is never the one dropped.
+fn handle_select(shared: &Shared, features: &[FeatureVector]) -> Response {
+    let (selections, reject_seq) = {
+        let state = shared.state.read().expect("state lock poisoned");
+        let selections = match state.primary.select_vector_batch(features) {
+            Ok(s) => s,
+            Err(e) => {
+                return Response::Error {
+                    detail: e.to_string(),
+                }
+            }
+        };
+        let reject_seq = state.shadow.as_ref().and_then(|shadow| {
+            let tripped = shadow.mirror(features, &selections).unwrap_or(true);
+            tripped.then_some(state.staged_seq)
+        });
+        (selections, reject_seq)
+    };
+    if let Some(seq) = reject_seq {
+        let mut state = shared.state.write().expect("state lock poisoned");
+        if state.staged_seq == seq && state.shadow.is_some() {
+            state.shadow = None;
+            shared.shadow_rejections.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+    Response::Selections { selections }
+}
+
+/// Stages a candidate artifact as the shadow (replacing any previous
+/// stage). The candidate must parse (any readable schema version), fit
+/// the primary's benchmark and feature declaration, and pass shape
+/// validation.
+fn handle_load(shared: &Shared, document: &str) -> Response {
+    let artifact = match ModelArtifact::from_document(document) {
+        Ok(a) => a,
+        Err(e) => {
+            return Response::Error {
+                detail: e.to_string(),
+            }
+        }
+    };
+    let mut state = shared.state.write().expect("state lock poisoned");
+    let primary = state.primary.artifact();
+    if artifact.benchmark != primary.benchmark {
+        return Response::Error {
+            detail: format!(
+                "staged artifact serves `{}`, daemon serves `{}`",
+                artifact.benchmark, primary.benchmark
+            ),
+        };
+    }
+    if artifact.feature_defs != primary.feature_defs {
+        return Response::Error {
+            detail: "staged artifact declares a different feature space; \
+                     it cannot score this daemon's traffic"
+                .to_string(),
+        };
+    }
+    let benchmark = artifact.benchmark.clone();
+    let revision = artifact.revision;
+    let landmarks = state.primary.landmarks().len();
+    match VectorService::new(artifact, shared.opts.shadow_serve.clone()) {
+        Ok(service) => {
+            state.shadow = Some(ShadowState::new(service, landmarks));
+            state.staged_seq += 1;
+            Response::Loaded {
+                benchmark,
+                revision,
+            }
+        }
+        Err(e) => Response::Error {
+            detail: e.to_string(),
+        },
+    }
+}
+
+/// Promotes the staged shadow behind the policy gate. The promoted
+/// artifact becomes a fresh primary (counters zeroed); refusal leaves the
+/// shadow staged.
+fn handle_promote(shared: &Shared) -> Response {
+    let mut state = shared.state.write().expect("state lock poisoned");
+    let Some(shadow) = state.shadow.take() else {
+        return Response::Error {
+            detail: "no shadow artifact is staged".to_string(),
+        };
+    };
+    if let Err(reason) = shadow.promotable(&shared.opts.shadow) {
+        state.shadow = Some(shadow);
+        return Response::Error { detail: reason };
+    }
+    let artifact = shadow.service.artifact().clone();
+    let revision = artifact.revision;
+    match VectorService::new(artifact, shared.opts.serve.clone()) {
+        Ok(primary) => {
+            state.primary = primary;
+            shared.promotions.fetch_add(1, Ordering::AcqRel);
+            Response::Promoted { revision }
+        }
+        Err(e) => Response::Error {
+            detail: format!("promoted artifact failed revalidation: {e}"),
+        },
+    }
+}
+
+/// Assembles a `Stats` reply.
+fn snapshot(shared: &Shared) -> DaemonStats {
+    let state = shared.state.read().expect("state lock poisoned");
+    DaemonStats {
+        benchmark: state.primary.artifact().benchmark.clone(),
+        revision: state.primary.artifact().revision,
+        primary: state.primary.stats(),
+        shadow: state.shadow.as_ref().map(ShadowState::stats),
+        shadow_rejections: shared.shadow_rejections.load(Ordering::Acquire),
+        promotions: shared.promotions.load(Ordering::Acquire),
+        connections: shared.connections.load(Ordering::Acquire),
+    }
+}

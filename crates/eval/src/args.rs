@@ -21,6 +21,10 @@ pub struct Args {
     pub artifact_mode: ArtifactMode,
     /// Directory for persistent per-corpus cost caches (`--cache-dir`).
     pub cache_dir: Option<PathBuf>,
+    /// Address of a running `intune_daemon` to score selections against
+    /// (`--daemon HOST:PORT` or `--daemon unix:/path`); honored by
+    /// `table1`, whose two-level row then comes from remote selections.
+    pub daemon: Option<String>,
 }
 
 impl Args {
@@ -37,6 +41,7 @@ impl Args {
             artifacts: None,
             artifact_mode: ArtifactMode::Save,
             cache_dir: None,
+            daemon: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut mode_given = false;
@@ -91,6 +96,14 @@ impl Args {
                             .unwrap_or_else(|| usage("--cache-dir needs a directory")),
                     ));
                 }
+                "--daemon" => {
+                    i += 1;
+                    out.daemon = Some(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--daemon needs an address")),
+                    );
+                }
                 "--help" | "-h" => {
                     usage("");
                 }
@@ -117,7 +130,10 @@ impl Args {
         cfg
     }
 
-    /// The persistence options implied by the flags.
+    /// The persistence options implied by the flags. The `--daemon`
+    /// backend is *not* connected here (flag parsing must stay free of
+    /// side effects); binaries that honor it call
+    /// [`Args::connect_daemon`] and fill `selector` themselves.
     pub fn run_options(&self) -> CaseRunOptions {
         CaseRunOptions {
             cache_dir: self.cache_dir.clone(),
@@ -125,6 +141,31 @@ impl Args {
                 .artifacts
                 .as_ref()
                 .map(|dir| (dir.clone(), self.artifact_mode)),
+            selector: None,
+        }
+    }
+
+    /// Connects to the `--daemon` address, if one was given.
+    ///
+    /// # Errors
+    /// Propagates the client's connect/handshake failure.
+    pub fn connect_daemon(&self) -> intune_core::Result<Option<intune_daemon::DaemonClient>> {
+        self.daemon
+            .as_deref()
+            .map(intune_daemon::DaemonClient::connect)
+            .transpose()
+    }
+
+    /// Aborts with usage help if `--daemon` was given. Binaries that do
+    /// not route selections through the daemon call this right after
+    /// parsing, so the flag is loudly rejected instead of silently
+    /// producing in-process numbers the user believes came from the
+    /// daemon.
+    pub fn reject_daemon(&self, binary: &str) {
+        if self.daemon.is_some() {
+            usage(&format!(
+                "{binary} does not support --daemon (only table1 does)"
+            ));
         }
     }
 }
@@ -135,7 +176,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <binary> [--paper] [--seed N] [--out DIR] [--only NAME] \
-         [--artifacts DIR] [--artifact-mode save|load] [--cache-dir DIR]"
+         [--artifacts DIR] [--artifact-mode save|load] [--cache-dir DIR] \
+         [--daemon ADDR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -153,6 +195,7 @@ mod tests {
             artifacts: None,
             artifact_mode: ArtifactMode::Save,
             cache_dir: None,
+            daemon: None,
         }
     }
 

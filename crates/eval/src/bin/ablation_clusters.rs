@@ -42,6 +42,7 @@ fn options(cfg: &SuiteConfig, clusters: usize) -> TwoLevelOptions {
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("ablation_clusters");
     let cfg = args.config();
 
     let b = PolySort::new(cfg.sort_n.1);
@@ -64,7 +65,7 @@ fn main() {
     } else {
         &[2, 4, 6, 10]
     };
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     for &k in ks {
         let result = learn(&b, &train.inputs, &options(&cfg, k), &engine).expect("learning failed");
         let row = evaluate(&b, &result, &test.inputs, &engine).expect("evaluation failed");

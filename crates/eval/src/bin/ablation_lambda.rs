@@ -40,6 +40,7 @@ fn options(cfg: &SuiteConfig, lambda: f64) -> TwoLevelOptions {
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("ablation_lambda");
     let cfg = args.config();
 
     // Clustering is the most accuracy-stressed benchmark: use it for the sweep.
@@ -60,7 +61,7 @@ fn main() {
         "production_classifier".into(),
     ]];
 
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     for lambda in [0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 1.0] {
         let result =
             learn(&b, &train.inputs, &options(&cfg, lambda), &engine).expect("learning failed");

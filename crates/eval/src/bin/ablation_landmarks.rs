@@ -24,6 +24,7 @@ fn oracle_speedup(perf: &intune_learning::PerfMatrix, threshold: Option<f64>) ->
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("ablation_landmarks");
     let cfg = args.config();
 
     let b = PolySort::new(cfg.sort_n.1);
@@ -45,7 +46,7 @@ fn main() {
     } else {
         &[2, 5, 8, 12]
     };
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     for &k in ks {
         let mut speedups = [0.0f64; 2];
         for (slot, strategy) in [

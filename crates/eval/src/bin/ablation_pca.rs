@@ -25,6 +25,7 @@ use intune_sortlib::{PolySort, SortCorpus};
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("ablation_pca");
     let cfg: SuiteConfig = args.config();
 
     let b = PolySort::new(cfg.sort_n.1);
@@ -42,7 +43,7 @@ fn main() {
         seed: cfg.seed,
         ..Level1Options::default()
     };
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     let l1 = run_level1(&b, &train.inputs, &l1_opts, &engine).expect("level 1 failed");
     let perf_test =
         measure(&b, &l1.landmarks, &test.inputs, &engine).expect("test measurement failed");

@@ -9,9 +9,10 @@ use intune_exec::Engine;
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("figure6");
     let cfg = args.config();
 
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     for case in TestCase::all() {
         if let Some(only) = &args.only {
             if !case.name().contains(only.as_str()) {

@@ -11,6 +11,7 @@ use intune_eval::Args;
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("figure7");
 
     // (a) L(p) curves.
     let mut rows_a: Vec<Vec<String>> = Vec::new();

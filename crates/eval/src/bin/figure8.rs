@@ -23,10 +23,11 @@ fn quartiles(xs: &mut [f64]) -> (f64, f64, f64, f64, f64) {
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("figure8");
     let cfg = args.config();
     let subsets_per_size = if args.paper { 1000 } else { 200 };
 
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
     for case in TestCase::all() {
         if let Some(only) = &args.only {
             if !case.name().contains(only.as_str()) {

@@ -17,6 +17,7 @@ fn line(name: &str, log10: f64, params: usize) {
 
 fn main() {
     let args = Args::parse();
+    args.reject_daemon("space_size");
     let levels = if args.paper { 16 } else { 3 };
 
     println!("{:<14} {:<13} genes", "benchmark", "config space");

@@ -11,10 +11,26 @@ use intune_exec::Engine;
 fn main() {
     let args = Args::parse();
     let cfg = args.config();
-    let run = args.run_options();
+    let mut run = args.run_options();
+    // `--daemon ADDR`: the two-level column is scored against a running
+    // selection daemon instead of the in-process classifier (and must
+    // come out byte-identical — CI diffs the two CSVs).
+    if let Some(client) = args.connect_daemon().expect("cannot reach the daemon") {
+        let info = client.info();
+        eprintln!(
+            "remote selection: {} at {} (benchmark `{}`, revision {}, \
+             artifact schema v{})",
+            info.server,
+            args.daemon.as_deref().unwrap_or_default(),
+            info.benchmark,
+            info.revision,
+            info.artifact_version
+        );
+        run.selector = Some(std::sync::Arc::new(client));
+    }
     // One measurement engine serves all eight cases; its counters report
     // how much the memoized cost cache and plan deduplication saved.
-    let engine = Engine::from_env();
+    let engine = Engine::from_env_or_exit();
 
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}  production classifier",

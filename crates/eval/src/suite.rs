@@ -6,7 +6,8 @@ use intune_clusterlib::{ClusterCorpus, Clustering};
 use intune_core::Benchmark;
 use intune_exec::{CostCache, Engine, EngineStats};
 use intune_learning::pipeline::{
-    evaluate_with_cache, learn_with_cache, EvaluationRow, TwoLevelResult,
+    evaluate_with_backend, evaluate_with_cache, learn_with_cache, EvaluationRow, SelectionBackend,
+    TwoLevelResult,
 };
 use intune_learning::selection::SelectionOptions;
 use intune_learning::{Level1Options, PerfMatrix, TwoLevelOptions};
@@ -305,8 +306,8 @@ pub enum ArtifactMode {
     Load,
 }
 
-/// Optional persistence knobs of a suite run.
-#[derive(Debug, Clone, Default)]
+/// Optional persistence / remote-selection knobs of a suite run.
+#[derive(Clone, Default)]
 pub struct CaseRunOptions {
     /// Directory for per-corpus cost caches (`{case}.{train,test}.cache
     /// .json`). Present caches warm-start measurement; both caches are
@@ -314,6 +315,20 @@ pub struct CaseRunOptions {
     pub cache_dir: Option<PathBuf>,
     /// Directory + mode for model artifacts (`{case}.model.json`).
     pub artifacts: Option<(PathBuf, ArtifactMode)>,
+    /// A remote selection backend (e.g. an `intune_daemon` client): when
+    /// present, the two-level row is scored against *its* answers instead
+    /// of the in-process production classifier — `table1 --daemon ADDR`.
+    pub selector: Option<std::sync::Arc<dyn SelectionBackend>>,
+}
+
+impl std::fmt::Debug for CaseRunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseRunOptions")
+            .field("cache_dir", &self.cache_dir)
+            .field("artifacts", &self.artifacts)
+            .field("selector", &self.selector.as_ref().map(|_| "<backend>"))
+            .finish()
+    }
 }
 
 /// Substitutes a loaded artifact's model into a training result, so the
@@ -417,7 +432,17 @@ impl CaseVisitor for OutcomeVisitor<'_> {
             Some(dir) => load_cache_if_present(&cache_path(dir, case, self.cfg, "test"))?,
             None => CostCache::new(),
         };
-        let mut row = evaluate_with_cache(benchmark, &result, test, engine, &mut test_cache)?;
+        let mut row = match &self.run.selector {
+            Some(backend) => evaluate_with_backend(
+                benchmark,
+                &result,
+                test,
+                engine,
+                &mut test_cache,
+                backend.as_ref(),
+            )?,
+            None => evaluate_with_cache(benchmark, &result, test, engine, &mut test_cache)?,
+        };
         row.name = case.name().to_string();
 
         // The directory itself was created by `run_case_full`.
@@ -585,7 +610,7 @@ mod tests {
         let dir = tmp_dir("cache");
         let run = CaseRunOptions {
             cache_dir: Some(dir.clone()),
-            artifacts: None,
+            ..CaseRunOptions::default()
         };
         let cold_engine = Engine::serial();
         let cold = run_case_full(TestCase::Sort2, &tiny(), &cold_engine, &run).unwrap();
@@ -612,7 +637,7 @@ mod tests {
         let dir = tmp_dir("cache-key");
         let run = CaseRunOptions {
             cache_dir: Some(dir.clone()),
-            artifacts: None,
+            ..CaseRunOptions::default()
         };
         run_case_full(TestCase::Sort2, &tiny(), &Engine::serial(), &run).unwrap();
 
@@ -636,8 +661,8 @@ mod tests {
             &tiny(),
             &engine,
             &CaseRunOptions {
-                cache_dir: None,
                 artifacts: Some((dir.clone(), ArtifactMode::Save)),
+                ..CaseRunOptions::default()
             },
         )
         .unwrap();
@@ -648,8 +673,8 @@ mod tests {
             &tiny(),
             &Engine::serial(),
             &CaseRunOptions {
-                cache_dir: None,
                 artifacts: Some((dir.clone(), ArtifactMode::Load)),
+                ..CaseRunOptions::default()
             },
         )
         .unwrap();
@@ -668,8 +693,8 @@ mod tests {
             &tiny(),
             &Engine::serial(),
             &CaseRunOptions {
-                cache_dir: None,
                 artifacts: Some((dir.clone(), ArtifactMode::Load)),
+                ..CaseRunOptions::default()
             },
         )
         .unwrap_err();

@@ -1,13 +1,11 @@
 //! The measurement engine: plans in, memoized deterministic reports out.
 
 use crate::cache::{ConfigKey, CostCache};
+pub use crate::env::THREADS_ENV;
 use crate::executor::Executor;
 use crate::plan::MeasurementPlan;
 use intune_core::{Benchmark, BenchmarkExt, Configuration, Error, ExecutionReport, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Environment variable overriding the engine's worker-thread count.
-pub const THREADS_ENV: &str = "INTUNE_THREADS";
 
 /// Snapshot of the engine's cumulative counters.
 ///
@@ -109,19 +107,36 @@ impl Engine {
     }
 
     /// Worker count from the `INTUNE_THREADS` environment variable, else
-    /// the machine's available parallelism capped at 8.
+    /// the machine's available parallelism capped at 8. A variable set to
+    /// garbage is a typed [`Error::Config`] — never a silent default.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] when `INTUNE_THREADS` is set but
+    /// unusable (non-numeric, zero, non-UTF-8).
+    pub fn try_from_env() -> Result<Self> {
+        let threads = crate::env::threads_from_env()?.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4)
+                .min(8)
+        });
+        Ok(Engine::new(threads))
+    }
+
+    /// [`Engine::try_from_env`] for contexts without error plumbing.
+    ///
+    /// # Panics
+    /// Panics (with the typed error's message) when `INTUNE_THREADS` is
+    /// set to garbage.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|t| t.get())
-                    .unwrap_or(4)
-                    .min(8)
-            });
-        Engine::new(threads)
+        Engine::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Engine::try_from_env`] for binaries: prints the typed error to
+    /// stderr and exits with status 2 (the shared CLI convention for
+    /// configuration garbage) instead of panicking with a backtrace.
+    pub fn from_env_or_exit() -> Self {
+        Engine::try_from_env().unwrap_or_else(|e| crate::env::exit_config(&e))
     }
 
     /// Number of worker threads.
@@ -450,11 +465,22 @@ mod tests {
     }
 
     #[test]
-    fn from_env_honors_intune_threads() {
+    fn from_env_honors_intune_threads_and_rejects_garbage() {
         std::env::set_var(THREADS_ENV, "3");
         assert_eq!(Engine::from_env().threads(), 3);
-        std::env::set_var(THREADS_ENV, "not-a-number");
-        assert!(Engine::from_env().threads() >= 1);
+        // Garbage no longer degrades silently: typed Error::Config.
+        for bad in ["not-a-number", "0", " "] {
+            std::env::set_var(THREADS_ENV, bad);
+            let err = Engine::try_from_env().unwrap_err();
+            assert!(
+                matches!(&err, Error::Config { var, .. } if var == THREADS_ENV),
+                "{bad:?}: {err:?}"
+            );
+        }
         std::env::remove_var(THREADS_ENV);
+        assert!(
+            Engine::try_from_env().unwrap().threads() >= 1,
+            "unset = default"
+        );
     }
 }

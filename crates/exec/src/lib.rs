@@ -61,10 +61,15 @@
 
 pub mod cache;
 pub mod engine;
+pub mod env;
 pub mod executor;
 pub mod plan;
 
 pub use cache::{hit_rate, CacheStats, ConfigKey, CostCache, CACHE_SCHEMA, CACHE_VERSION};
-pub use engine::{Engine, EngineStats, THREADS_ENV};
+pub use engine::{Engine, EngineStats};
+pub use env::{
+    cache_dir_from_env, cache_dir_from_env_or_exit, threads_from_env, threads_from_env_or_exit,
+    CACHE_DIR_ENV, THREADS_ENV,
+};
 pub use executor::{ExecOutcome, Executor};
 pub use plan::{Cell, MeasurementPlan};

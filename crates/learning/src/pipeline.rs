@@ -389,6 +389,20 @@ pub fn evaluate_with_cache<B: Benchmark + Sync>(
 where
     B::Input: Sync,
 {
+    evaluate_impl(benchmark, result, test_inputs, engine, cache, None)
+}
+
+fn evaluate_impl<B: Benchmark + Sync>(
+    benchmark: &B,
+    result: &TwoLevelResult,
+    test_inputs: &[B::Input],
+    engine: &Engine,
+    cache: &mut CostCache,
+    backend: Option<&dyn SelectionBackend>,
+) -> Result<EvaluationRow>
+where
+    B::Input: Sync,
+{
     assert!(!test_inputs.is_empty(), "evaluation needs test inputs");
     let threshold = benchmark.accuracy().map(|a| a.threshold);
     let satisfaction = 0.95;
@@ -427,15 +441,13 @@ where
         .filter(|&i| perf_test.meets(static_lm, i, threshold))
         .count();
 
-    // Two-level production classifier.
-    let production = result.production();
-    let set = production.feature_set();
+    // Two-level production classifier — in-process, or a remote
+    // selection backend scored under identical accounting.
+    let pairs = two_level_selections(result, &features_test, backend)?;
     let mut tl_cost = Vec::with_capacity(test_inputs.len());
     let mut tl_fx = Vec::with_capacity(test_inputs.len());
     let mut tl_met = 0usize;
-    for (i, fv) in features_test.iter().enumerate() {
-        let samples = samples_for(fv, &set);
-        let (class, fx) = production.classify_costed(&samples);
+    for (i, &(class, fx)) in pairs.iter().enumerate() {
         tl_cost.push(perf_test.cost(class, i));
         tl_fx.push(fx);
         if perf_test.meets(class, i, threshold) {
@@ -484,6 +496,91 @@ where
         per_input_speedups: per_input,
         production_classifier: result.candidates[result.chosen].name.clone(),
     })
+}
+
+/// A remote selection service the evaluation harness can score in place
+/// of the in-process production classifier — the `intune_daemon` client
+/// implements this. The backend receives fully-extracted feature vectors
+/// (selection policy is centralized; extraction stays near the data) and
+/// answers `(landmark index, extraction cost actually charged)` pairs.
+/// A faithful backend is **bit-identical** to the in-process path, which
+/// is exactly what routing `table1 --daemon` through this trait proves.
+pub trait SelectionBackend {
+    /// Confirms the backend serves a model for `benchmark` (by name)
+    /// before any selection is requested.
+    ///
+    /// # Errors
+    /// Returns [`intune_core::Error::Artifact`] on a mismatch.
+    fn verify_benchmark(&self, benchmark: &str) -> Result<()>;
+
+    /// Selects a landmark for every feature vector, in order.
+    ///
+    /// # Errors
+    /// Propagates transport or validation failures as typed errors.
+    fn select_remote(&self, features: &[FeatureVector]) -> Result<Vec<(usize, f64)>>;
+}
+
+/// Like [`evaluate_with_cache`], but scoring a remote [`SelectionBackend`]
+/// in place of the in-process production classifier: the two-level row is
+/// computed from the backend's `(landmark, extraction cost)` answers,
+/// everything else (oracles, one-level baseline, landmark measurements)
+/// stays local. With a faithful backend the resulting row is
+/// byte-identical to the in-process one.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] on failing cells, plus
+/// whatever the backend raises (benchmark mismatch, transport failure,
+/// out-of-range landmark answers).
+///
+/// # Panics
+/// Panics if `test_inputs` is empty.
+pub fn evaluate_with_backend<B: Benchmark + Sync>(
+    benchmark: &B,
+    result: &TwoLevelResult,
+    test_inputs: &[B::Input],
+    engine: &Engine,
+    cache: &mut CostCache,
+    backend: &dyn SelectionBackend,
+) -> Result<EvaluationRow>
+where
+    B::Input: Sync,
+{
+    backend.verify_benchmark(benchmark.name())?;
+    evaluate_impl(benchmark, result, test_inputs, engine, cache, Some(backend))
+}
+
+/// Resolves the two-level `(landmark, extraction cost)` pairs either
+/// locally or through a backend, bounds-checking remote answers.
+fn two_level_selections(
+    result: &TwoLevelResult,
+    features_test: &[FeatureVector],
+    backend: Option<&dyn SelectionBackend>,
+) -> Result<Vec<(usize, f64)>> {
+    let landmarks = result.level1.landmarks.len();
+    let pairs = match backend {
+        Some(backend) => backend.select_remote(features_test)?,
+        None => {
+            let production = result.production();
+            let set = production.feature_set();
+            features_test
+                .iter()
+                .map(|fv| production.classify_costed(&samples_for(fv, &set)))
+                .collect()
+        }
+    };
+    if pairs.len() != features_test.len() {
+        return Err(intune_core::Error::artifact(format!(
+            "selection backend answered {} selections for {} inputs",
+            pairs.len(),
+            features_test.len()
+        )));
+    }
+    if let Some(&(lm, _)) = pairs.iter().find(|&&(lm, _)| lm >= landmarks) {
+        return Err(intune_core::Error::artifact(format!(
+            "selection backend chose landmark {lm}, model has {landmarks}"
+        )));
+    }
+    Ok(pairs)
 }
 
 /// Mean over inputs of `static_cost[i] / denom(i)`.
@@ -680,6 +777,106 @@ mod tests {
         assert!(correct >= 28, "only {correct}/30 classified correctly");
         let (report, _) = tuned.run(&fresh[0]);
         assert!(report.cost > 0.0);
+    }
+
+    /// A faithful backend: answers exactly what the in-process production
+    /// classifier would (the contract a correct daemon must meet).
+    struct Faithful {
+        classifier: Classifier,
+    }
+
+    impl SelectionBackend for Faithful {
+        fn verify_benchmark(&self, benchmark: &str) -> Result<()> {
+            if benchmark == "synthetic" {
+                Ok(())
+            } else {
+                Err(intune_core::Error::artifact(format!(
+                    "backend serves `synthetic`, not `{benchmark}`"
+                )))
+            }
+        }
+
+        fn select_remote(&self, features: &[FeatureVector]) -> Result<Vec<(usize, f64)>> {
+            let set = self.classifier.feature_set();
+            Ok(features
+                .iter()
+                .map(|fv| self.classifier.classify_costed(&samples_for(fv, &set)))
+                .collect())
+        }
+    }
+
+    /// A broken backend: routes everything to a landmark the model does
+    /// not have.
+    struct OutOfRange;
+
+    impl SelectionBackend for OutOfRange {
+        fn verify_benchmark(&self, _benchmark: &str) -> Result<()> {
+            Ok(())
+        }
+
+        fn select_remote(&self, features: &[FeatureVector]) -> Result<Vec<(usize, f64)>> {
+            Ok(features.iter().map(|_| (99usize, 0.0)).collect())
+        }
+    }
+
+    #[test]
+    fn faithful_backend_reproduces_the_in_process_row_bit_for_bit() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let test = corpus(45, 3);
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
+        let local = evaluate(&b, &result, &test, &Engine::serial()).unwrap();
+        let backend = Faithful {
+            classifier: result.production().clone(),
+        };
+        let mut cache = CostCache::new();
+        let remote =
+            evaluate_with_backend(&b, &result, &test, &Engine::serial(), &mut cache, &backend)
+                .unwrap();
+        assert_eq!(local.two_level.to_bits(), remote.two_level.to_bits());
+        assert_eq!(local.two_level_fx.to_bits(), remote.two_level_fx.to_bits());
+        assert_eq!(local.two_level_accuracy_pct, remote.two_level_accuracy_pct);
+        assert_eq!(
+            local
+                .per_input_speedups
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            remote
+                .per_input_speedups
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lying_backends_surface_typed_errors() {
+        let b = Synthetic;
+        let train = corpus(60, 0);
+        let test = corpus(20, 3);
+        let result = learn(&b, &train, &options(), &Engine::serial()).unwrap();
+        let mut cache = CostCache::new();
+        let err = evaluate_with_backend(
+            &b,
+            &result,
+            &test,
+            &Engine::serial(),
+            &mut cache,
+            &OutOfRange,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, intune_core::Error::Artifact { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("landmark 99"), "{err}");
+
+        // verify_benchmark gates before any selection travels.
+        let backend = Faithful {
+            classifier: result.production().clone(),
+        };
+        assert!(backend.verify_benchmark("other").is_err());
     }
 
     #[test]

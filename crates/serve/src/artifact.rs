@@ -18,9 +18,13 @@ use std::path::Path;
 
 /// Envelope schema name of persisted model artifacts.
 pub const ARTIFACT_SCHEMA: &str = "intune-model-artifact";
-/// Current artifact schema version. Readers reject any other version
-/// with a typed [`Error::Artifact`].
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Current artifact schema version (written by [`ModelArtifact::save`]).
+pub const ARTIFACT_VERSION: u32 = 2;
+/// Oldest artifact schema version this build still reads. Version-1
+/// payloads are migrated forward through [`intune_core::codec`]
+/// (`migrations()`); anything older (or newer than
+/// [`ARTIFACT_VERSION`]) is a typed [`Error::Artifact`].
+pub const ARTIFACT_MIN_VERSION: u32 = 1;
 
 /// Satisfaction threshold H2 used when electing the fallback landmark at
 /// export time (the paper's 95 %).
@@ -57,6 +61,13 @@ pub struct ModelArtifact {
     pub fallback: usize,
     /// The benchmark's accuracy threshold H1, if variable-accuracy.
     pub accuracy_threshold: Option<f64>,
+    /// Rollout revision counter (schema v2). Each retrain/redeploy of the
+    /// same benchmark bumps this; the serve daemon reports it so shadow
+    /// promotions are attributable. Version-1 artifacts migrate to `0`.
+    pub revision: u64,
+    /// Number of training inputs behind the model (schema v2; `0` =
+    /// unknown, the version-1 migration default).
+    pub trained_inputs: u64,
 }
 
 impl ModelArtifact {
@@ -87,7 +98,16 @@ impl ModelArtifact {
             dispersion,
             fallback: static_oracle(&level1.perf, threshold, FALLBACK_SATISFACTION),
             accuracy_threshold: threshold,
+            revision: 0,
+            trained_inputs: result.stats.inputs as u64,
         }
+    }
+
+    /// Returns the artifact stamped with a rollout revision (builder
+    /// style; [`ModelArtifact::export`] starts at revision 0).
+    pub fn with_revision(mut self, revision: u64) -> Self {
+        self.revision = revision;
+        self
     }
 
     /// Serializes into the checksummed envelope document (text form).
@@ -99,13 +119,45 @@ impl ModelArtifact {
         )
     }
 
-    /// Parses an envelope document produced by [`ModelArtifact::to_document`].
+    /// The payload migration chain accepted by [`ModelArtifact::from_document`]:
+    /// `migrations()[i]` upgrades schema version `ARTIFACT_MIN_VERSION + i`
+    /// to the next one.
+    ///
+    /// **v1 → v2**: adds the rollout metadata fields — `revision: 0`
+    /// (pre-rollout artifacts carry no revision history) and
+    /// `trained_inputs: 0` (unknown; v1 never recorded corpus size). All
+    /// v1 fields are kept bit-for-bit, so a migrated artifact selects
+    /// identically to the v1 reader's.
+    pub fn migrations() -> &'static [codec::Migration] {
+        fn v1_to_v2(payload: serde_json::Value) -> std::result::Result<serde_json::Value, String> {
+            let serde_json::Value::Object(mut fields) = payload else {
+                return Err("artifact payload is not an object".to_string());
+            };
+            for (name, default) in [("revision", 0u64), ("trained_inputs", 0u64)] {
+                if !fields.iter().any(|(k, _)| k == name) {
+                    fields.push((name.to_string(), serde_json::Value::UInt(default)));
+                }
+            }
+            Ok(serde_json::Value::Object(fields))
+        }
+        &[v1_to_v2]
+    }
+
+    /// Parses an envelope document produced by [`ModelArtifact::to_document`],
+    /// migrating payloads of older schema versions (≥
+    /// [`ARTIFACT_MIN_VERSION`]) forward.
     ///
     /// # Errors
-    /// Returns [`Error::Artifact`] on malformed JSON, schema/version
-    /// mismatch, checksum failure, or a payload shape mismatch.
+    /// Returns [`Error::Artifact`] on malformed JSON, schema mismatch, a
+    /// version outside the supported window, checksum failure, or a
+    /// payload shape mismatch.
     pub fn from_document(text: &str) -> Result<Self> {
-        let payload = codec::decode_document(text, ARTIFACT_SCHEMA, ARTIFACT_VERSION)?;
+        let payload = codec::decode_document_migrating(
+            text,
+            ARTIFACT_SCHEMA,
+            ARTIFACT_VERSION,
+            Self::migrations(),
+        )?;
         serde_json::from_value(&payload)
             .map_err(|e| Error::artifact(format!("malformed artifact payload: {e}")))
     }
@@ -131,40 +183,29 @@ impl ModelArtifact {
         Self::from_document(&text)
     }
 
-    /// Validates the artifact against the benchmark it is about to serve:
-    /// name, feature shape, landmark well-formedness, classifier and
-    /// cluster-geometry dimensions.
+    /// Total number of feature slots `M = Σ levels` declared by the
+    /// artifact's pinned feature definitions.
+    pub fn feature_slots(&self) -> usize {
+        self.feature_defs.iter().map(|d| d.levels).sum()
+    }
+
+    /// Validates the artifact's *internal* consistency — everything that
+    /// can be checked without the benchmark: landmark presence, fallback
+    /// range, normalizer / centroid / classifier dimensions against the
+    /// pinned feature declaration. This is the check a benchmark-agnostic
+    /// consumer (the serve daemon, which classifies pre-extracted feature
+    /// vectors) runs before serving.
     ///
     /// # Errors
-    /// Returns [`Error::Artifact`] naming the first mismatch.
-    pub fn validate<B: Benchmark>(&self, benchmark: &B) -> Result<()> {
-        if self.benchmark != benchmark.name() {
-            return Err(Error::artifact(format!(
-                "artifact was trained for `{}`, not `{}`",
-                self.benchmark,
-                benchmark.name()
-            )));
-        }
-        let defs = benchmark.properties();
-        if self.feature_defs != defs {
-            return Err(Error::artifact(format!(
-                "feature declaration changed: artifact has {:?}, benchmark declares {:?}",
-                self.feature_defs, defs
-            )));
-        }
+    /// Returns [`Error::Artifact`] naming the first inconsistency.
+    pub fn validate_shape(&self) -> Result<()> {
         if self.landmarks.is_empty() {
             return Err(Error::artifact("artifact has no landmarks"));
         }
-        let space = benchmark.space();
-        for (i, lm) in self.landmarks.iter().enumerate() {
-            space.validate(lm).map_err(|e| {
-                Error::artifact(format!("landmark {i} does not fit the space: {e}"))
-            })?;
-        }
-        let total_features: usize = defs.iter().map(|d| d.levels).sum();
+        let total_features = self.feature_slots();
         if self.normalizer.dims() != total_features {
             return Err(Error::artifact(format!(
-                "normalizer covers {} feature slots, benchmark declares {}",
+                "normalizer covers {} feature slots, artifact declares {}",
                 self.normalizer.dims(),
                 total_features
             )));
@@ -193,11 +234,42 @@ impl ModelArtifact {
             )));
         }
         let props = self.classifier.feature_set().num_properties();
-        if props != defs.len() {
+        if props != self.feature_defs.len() {
             return Err(Error::artifact(format!(
-                "classifier spans {props} properties, benchmark declares {}",
-                defs.len()
+                "classifier spans {props} properties, artifact declares {}",
+                self.feature_defs.len()
             )));
+        }
+        Ok(())
+    }
+
+    /// Validates the artifact against the benchmark it is about to serve:
+    /// [`ModelArtifact::validate_shape`] plus name, feature-declaration
+    /// equality, and landmark well-formedness in the benchmark's space.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] naming the first mismatch.
+    pub fn validate<B: Benchmark>(&self, benchmark: &B) -> Result<()> {
+        if self.benchmark != benchmark.name() {
+            return Err(Error::artifact(format!(
+                "artifact was trained for `{}`, not `{}`",
+                self.benchmark,
+                benchmark.name()
+            )));
+        }
+        let defs = benchmark.properties();
+        if self.feature_defs != defs {
+            return Err(Error::artifact(format!(
+                "feature declaration changed: artifact has {:?}, benchmark declares {:?}",
+                self.feature_defs, defs
+            )));
+        }
+        self.validate_shape()?;
+        let space = benchmark.space();
+        for (i, lm) in self.landmarks.iter().enumerate() {
+            space.validate(lm).map_err(|e| {
+                Error::artifact(format!("landmark {i} does not fit the space: {e}"))
+            })?;
         }
         Ok(())
     }
@@ -291,17 +363,50 @@ mod tests {
         assert!(matches!(err, Error::Artifact { .. }), "{err:?}");
     }
 
+    /// Re-encodes an artifact as a faithful version-1 document: the v2
+    /// fields stripped from the payload, envelope stamped `version: 1`.
+    fn as_v1_document(artifact: &ModelArtifact) -> String {
+        let serde_json::Value::Object(fields) = serde_json::to_value(artifact) else {
+            panic!("artifact payload is an object");
+        };
+        let v1 = serde_json::Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "revision" && k != "trained_inputs")
+                .collect(),
+        );
+        codec::encode_document(ARTIFACT_SCHEMA, ARTIFACT_VERSION - 1, v1)
+    }
+
     #[test]
-    fn old_schema_version_is_rejected() {
+    fn version_1_documents_migrate_with_defaulted_rollout_fields() {
+        let b = Synthetic;
+        let mut artifact = ModelArtifact::export(&b, &train_synthetic());
+        artifact.revision = 7;
+        artifact.trained_inputs = 60;
+        let migrated = ModelArtifact::from_document(&as_v1_document(&artifact)).unwrap();
+        assert_eq!(migrated.revision, 0, "v1 artifacts predate revisions");
+        assert_eq!(migrated.trained_inputs, 0, "v1 never recorded corpus size");
+        // Everything the v1 schema carried survives bit-for-bit.
+        let expected = ModelArtifact {
+            revision: 0,
+            trained_inputs: 0,
+            ..artifact
+        };
+        assert_eq!(migrated, expected);
+        migrated.validate(&b).unwrap();
+    }
+
+    #[test]
+    fn versions_outside_the_window_are_rejected() {
         let b = Synthetic;
         let artifact = ModelArtifact::export(&b, &train_synthetic());
-        let old = codec::encode_document(
-            ARTIFACT_SCHEMA,
-            ARTIFACT_VERSION - 1,
-            serde_json::to_value(&artifact),
-        );
-        let err = ModelArtifact::from_document(&old).unwrap_err();
-        assert!(err.to_string().contains("version"), "{err}");
+        for stale in [0, ARTIFACT_VERSION + 1] {
+            let doc =
+                codec::encode_document(ARTIFACT_SCHEMA, stale, serde_json::to_value(&artifact));
+            let err = ModelArtifact::from_document(&doc).unwrap_err();
+            assert!(err.to_string().contains("version"), "{stale}: {err}");
+        }
     }
 
     #[test]

@@ -11,13 +11,20 @@
 //!
 //! * [`ModelArtifact`] — a versioned, checksummed, JSON-persisted model:
 //!   save after `learn()`, reload in a fresh process, get byte-identical
-//!   selections (`artifact` module; format spec in `crates/serve/README.md`).
+//!   selections (`artifact` module; format spec in `crates/serve/README.md`,
+//!   current schema version 2 with a version-1 migration reader).
 //! * [`SelectorService`] — the serving runtime: batched classification
 //!   over the work-stealing executor, per-request feature-subset
 //!   extraction, a centroid-distance **drift monitor** counting
 //!   out-of-distribution inputs, and a **fallback policy** that pins the
 //!   safe landmark when the input distribution has shifted too far from
 //!   the training corpus (`service` module).
+//! * [`VectorService`] — the same selection + drift semantics over
+//!   **pre-extracted feature vectors**, with no benchmark type in sight:
+//!   the core the `intune_daemon` wire server is built on (`vector`
+//!   module). Both services share one drift monitor implementation
+//!   (`monitor` module), so a vector-served selection is bit-identical
+//!   to a benchmark-served one.
 //!
 //! ## Lifecycle
 //!
@@ -68,10 +75,13 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+mod monitor;
 pub mod service;
+pub mod vector;
 
-pub use artifact::{ModelArtifact, ARTIFACT_SCHEMA, ARTIFACT_VERSION};
+pub use artifact::{ModelArtifact, ARTIFACT_MIN_VERSION, ARTIFACT_SCHEMA, ARTIFACT_VERSION};
 pub use service::{Selection, SelectorService, ServeOptions, ServeStats};
+pub use vector::VectorService;
 
 /// Shared fixtures for this crate's unit tests.
 #[cfg(test)]

@@ -1,0 +1,124 @@
+//! The drift monitor shared by both serving front ends.
+//!
+//! [`SelectorService`](crate::SelectorService) (benchmark-bound, lazy
+//! extraction) and [`VectorService`](crate::VectorService) (benchmark-free,
+//! pre-extracted feature vectors — the daemon's core) watch the input
+//! distribution the same way: probed requests are normalized with the
+//! artifact's training normalizer and measured against the training
+//! cluster centroids; when the out-of-distribution fraction among probed
+//! requests exceeds a threshold (after a minimum observation count), the
+//! fallback policy pins the artifact's safe landmark until reset. This
+//! module owns that state — the geometry test, the monotone counters, and
+//! the threshold decision — so the two front ends cannot drift apart.
+
+use crate::artifact::{distance, ModelArtifact};
+use crate::service::{ServeOptions, ServeStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters + threshold state of one serving runtime. All methods take
+/// `&self`; everything is atomics, so the monitor is freely shared across
+/// the executor's workers.
+#[derive(Debug)]
+pub(crate) struct DriftMonitor {
+    /// Largest per-cluster training radius — the OOD allowance of
+    /// zero-radius (singleton) clusters, fixed at construction because
+    /// the artifact is immutable afterwards.
+    max_radius: f64,
+    radius_factor: f64,
+    drift_threshold: f64,
+    min_observations: u64,
+    requests: AtomicU64,
+    probed: AtomicU64,
+    ood: AtomicU64,
+    fallbacks: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl DriftMonitor {
+    pub(crate) fn new(artifact: &ModelArtifact, opts: &ServeOptions) -> Self {
+        DriftMonitor {
+            max_radius: artifact.dispersion.iter().cloned().fold(0.0f64, f64::max),
+            radius_factor: opts.radius_factor,
+            drift_threshold: opts.drift_threshold,
+            min_observations: opts.min_observations,
+            requests: AtomicU64::new(0),
+            probed: AtomicU64::new(0),
+            ood: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a normalized feature vector lies outside every cluster's
+    /// (scaled) training radius.
+    pub(crate) fn is_ood(&self, artifact: &ModelArtifact, z: &[f64]) -> bool {
+        // Zero-radius clusters (singletons) borrow the largest training
+        // radius so near-duplicates of a singleton are not spuriously OOD.
+        artifact
+            .centroids
+            .iter()
+            .zip(&artifact.dispersion)
+            .all(|(centroid, &radius)| {
+                let allowed = if radius > 0.0 {
+                    radius
+                } else {
+                    self.max_radius
+                };
+                distance(z, centroid) > self.radius_factor * allowed.max(1e-12)
+            })
+    }
+
+    /// Whether the fallback policy is currently engaged.
+    pub(crate) fn fallback_active(&self) -> bool {
+        let probed = self.probed.load(Ordering::Acquire);
+        if probed < self.min_observations.max(1) {
+            return false;
+        }
+        let ood = self.ood.load(Ordering::Acquire);
+        intune_exec::hit_rate(ood, probed) > self.drift_threshold
+    }
+
+    /// Resets the drift counters; request counters keep counting.
+    pub(crate) fn reset(&self) {
+        self.probed.store(0, Ordering::Release);
+        self.ood.store(0, Ordering::Release);
+    }
+
+    /// Records one answered request (probe outcome + fallback flag).
+    pub(crate) fn record_single(&self, probed: bool, was_ood: bool, fell_back: bool) {
+        self.requests.fetch_add(1, Ordering::AcqRel);
+        if probed {
+            self.probed.fetch_add(1, Ordering::AcqRel);
+            if was_ood {
+                self.ood.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        if fell_back {
+            self.fallbacks.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Merges one dispatched batch's counts at batch exit.
+    pub(crate) fn record_batch(&self, requests: u64, probed: u64, ood: u64, fallbacks: u64) {
+        self.requests.fetch_add(requests, Ordering::AcqRel);
+        self.batches.fetch_add(1, Ordering::AcqRel);
+        self.max_batch.fetch_max(requests, Ordering::AcqRel);
+        self.probed.fetch_add(probed, Ordering::AcqRel);
+        self.ood.fetch_add(ood, Ordering::AcqRel);
+        self.fallbacks.fetch_add(fallbacks, Ordering::AcqRel);
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Acquire),
+            probed: self.probed.load(Ordering::Acquire),
+            ood: self.ood.load(Ordering::Acquire),
+            fallbacks: self.fallbacks.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            max_batch: self.max_batch.load(Ordering::Acquire),
+        }
+    }
+}

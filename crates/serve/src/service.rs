@@ -19,10 +19,11 @@
 //! batch boundaries, so batch results stay deterministic at any worker
 //! count.
 
-use crate::artifact::{distance, ModelArtifact};
+use crate::artifact::ModelArtifact;
+use crate::monitor::DriftMonitor;
 use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, Result};
 use intune_exec::Executor;
-use std::sync::atomic::{AtomicU64, Ordering};
+use serde::{Deserialize, Serialize};
 
 /// Tunables of the serving runtime.
 #[derive(Debug, Clone)]
@@ -56,8 +57,9 @@ impl Default for ServeOptions {
     }
 }
 
-/// One answered selection request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One answered selection request. Serializable: selections travel over
+/// the daemon's wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Selection {
     /// Index of the chosen landmark in the artifact's landmark list.
     pub landmark: usize,
@@ -70,8 +72,10 @@ pub struct Selection {
     pub fell_back: bool,
 }
 
-/// Monotone counters of a [`SelectorService`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Monotone counters of a serving runtime ([`SelectorService`] or
+/// [`crate::VectorService`]). Serializable: the daemon reports them over
+/// the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Selection requests answered.
     pub requests: u64,
@@ -120,18 +124,9 @@ impl std::fmt::Display for ServeStats {
 pub struct SelectorService<'b, B: Benchmark> {
     benchmark: &'b B,
     artifact: ModelArtifact,
-    /// Largest per-cluster training radius — the OOD allowance of
-    /// zero-radius (singleton) clusters, fixed at construction because
-    /// the artifact is immutable afterwards.
-    max_radius: f64,
     executor: Executor,
     opts: ServeOptions,
-    requests: AtomicU64,
-    probed: AtomicU64,
-    ood: AtomicU64,
-    fallbacks: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
+    monitor: DriftMonitor,
 }
 
 impl<'b, B: Benchmark> SelectorService<'b, B> {
@@ -143,19 +138,13 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
     /// not fit the benchmark.
     pub fn new(benchmark: &'b B, artifact: ModelArtifact, opts: ServeOptions) -> Result<Self> {
         artifact.validate(benchmark)?;
-        let max_radius = artifact.dispersion.iter().cloned().fold(0.0f64, f64::max);
+        let monitor = DriftMonitor::new(&artifact, &opts);
         Ok(SelectorService {
             benchmark,
             artifact,
-            max_radius,
             executor: Executor::new(opts.threads),
             opts,
-            requests: AtomicU64::new(0),
-            probed: AtomicU64::new(0),
-            ood: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch: AtomicU64::new(0),
+            monitor,
         })
     }
 
@@ -171,31 +160,18 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
 
     /// Whether the fallback policy is currently engaged.
     pub fn fallback_active(&self) -> bool {
-        let probed = self.probed.load(Ordering::Acquire);
-        if probed < self.opts.min_observations.max(1) {
-            return false;
-        }
-        let ood = self.ood.load(Ordering::Acquire);
-        intune_exec::hit_rate(ood, probed) > self.opts.drift_threshold
+        self.monitor.fallback_active()
     }
 
     /// Resets the drift monitor (e.g. after retraining was scheduled or
     /// the input shift was acknowledged); request counters keep counting.
     pub fn reset_drift(&self) {
-        self.probed.store(0, Ordering::Release);
-        self.ood.store(0, Ordering::Release);
+        self.monitor.reset()
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            requests: self.requests.load(Ordering::Acquire),
-            probed: self.probed.load(Ordering::Acquire),
-            ood: self.ood.load(Ordering::Acquire),
-            fallbacks: self.fallbacks.load(Ordering::Acquire),
-            batches: self.batches.load(Ordering::Acquire),
-            max_batch: self.max_batch.load(Ordering::Acquire),
-        }
+        self.monitor.stats()
     }
 
     /// Classifies one input under the drift state observed at entry,
@@ -229,31 +205,15 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
     fn is_ood(&self, input: &B::Input) -> bool {
         let dense = self.benchmark.extract_all(input).dense();
         let z = self.artifact.normalizer.transform(&dense);
-        // Zero-radius clusters (singletons) borrow the largest training
-        // radius so near-duplicates of a singleton are not spuriously OOD.
-        self.artifact
-            .centroids
-            .iter()
-            .zip(&self.artifact.dispersion)
-            .all(|(centroid, &radius)| {
-                let allowed = if radius > 0.0 {
-                    radius
-                } else {
-                    self.max_radius
-                };
-                distance(&z, centroid) > self.opts.radius_factor * allowed.max(1e-12)
-            })
+        self.monitor.is_ood(&self.artifact, &z)
     }
 
     /// Answers one selection request, updating the drift monitor.
     pub fn select(&self, input: &B::Input) -> Selection {
         let fall_back = self.fallback_active();
         let selection = self.classify(input, true, fall_back);
-        self.requests.fetch_add(1, Ordering::AcqRel);
-        self.record_probe(selection.out_of_distribution, true);
-        if selection.fell_back {
-            self.fallbacks.fetch_add(1, Ordering::AcqRel);
-        }
+        self.monitor
+            .record_single(true, selection.out_of_distribution, selection.fell_back);
         selection
     }
 
@@ -275,19 +235,15 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
         });
         let selections = outcome.results;
 
-        self.requests
-            .fetch_add(selections.len() as u64, Ordering::AcqRel);
-        self.batches.fetch_add(1, Ordering::AcqRel);
-        self.max_batch
-            .fetch_max(selections.len() as u64, Ordering::AcqRel);
         let probed = (0..inputs.len()).filter(|i| i % probe_every == 0).count() as u64;
         let ood = selections.iter().filter(|s| s.out_of_distribution).count() as u64;
-        self.probed.fetch_add(probed, Ordering::AcqRel);
-        self.ood.fetch_add(ood, Ordering::AcqRel);
-        if fall_back {
-            self.fallbacks
-                .fetch_add(selections.len() as u64, Ordering::AcqRel);
-        }
+        let fallbacks = if fall_back {
+            selections.len() as u64
+        } else {
+            0
+        };
+        self.monitor
+            .record_batch(selections.len() as u64, probed, ood, fallbacks);
         selections
     }
 
@@ -299,15 +255,6 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
                 .run(&self.artifact.landmarks[selection.landmark], input),
             selection,
         )
-    }
-
-    fn record_probe(&self, was_ood: bool, probed: bool) {
-        if probed {
-            self.probed.fetch_add(1, Ordering::AcqRel);
-            if was_ood {
-                self.ood.fetch_add(1, Ordering::AcqRel);
-            }
-        }
     }
 }
 
@@ -380,6 +327,71 @@ mod tests {
         assert!(!svc.fallback_active());
         let third = svc.select_batch(&inputs);
         assert!(third.iter().all(|s| !s.fell_back), "monitor was reset");
+    }
+
+    #[test]
+    fn drift_fraction_exactly_at_threshold_keeps_fallback_off() {
+        // radius_factor = -1 makes every probe OOD, so the observed
+        // fraction is exactly 1.0. With the threshold also at 1.0 the
+        // comparison is strict: at-threshold drift must NOT trip.
+        let at = service(ServeOptions {
+            radius_factor: -1.0,
+            drift_threshold: 1.0,
+            min_observations: 8,
+            ..ServeOptions::default()
+        });
+        at.select_batch(&synthetic_corpus(16, 5));
+        assert_eq!(at.stats().drift_fraction(), 1.0);
+        assert!(!at.fallback_active(), "at-threshold fraction must not trip");
+
+        // The same fraction one notch above the threshold does trip.
+        let above = service(ServeOptions {
+            radius_factor: -1.0,
+            drift_threshold: 1.0 - 1e-9,
+            min_observations: 8,
+            ..ServeOptions::default()
+        });
+        above.select_batch(&synthetic_corpus(16, 5));
+        assert!(above.fallback_active());
+    }
+
+    #[test]
+    fn empty_batch_leaves_the_drift_state_untouched() {
+        let svc = service(ServeOptions {
+            min_observations: 1,
+            ..ServeOptions::default()
+        });
+        let got = svc.select_batch(&[]);
+        assert!(got.is_empty());
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.probed, 0);
+        assert_eq!(stats.ood, 0);
+        assert_eq!(stats.batches, 1, "the dispatch itself is recorded");
+        assert_eq!(stats.max_batch, 0);
+        assert!(!svc.fallback_active());
+        assert_eq!(stats.drift_fraction(), 0.0, "0/0 probes is zero drift");
+    }
+
+    #[test]
+    fn monitor_rearms_after_reset_and_can_trip_again() {
+        let svc = service(ServeOptions {
+            radius_factor: -1.0,
+            min_observations: 8,
+            drift_threshold: 0.5,
+            ..ServeOptions::default()
+        });
+        let inputs = synthetic_corpus(16, 5);
+        svc.select_batch(&inputs);
+        assert!(svc.fallback_active(), "first storm trips");
+        svc.reset_drift();
+        assert!(!svc.fallback_active(), "reset disarms");
+        svc.select_batch(&inputs);
+        assert!(
+            !svc.select_batch(&inputs).iter().any(|s| !s.fell_back),
+            "second storm re-trips: the post-storm batch falls back again"
+        );
+        assert!(svc.fallback_active(), "monitor re-armed after reset");
     }
 
     #[test]

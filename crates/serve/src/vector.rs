@@ -1,0 +1,295 @@
+//! The benchmark-free serving core: selection over pre-extracted
+//! feature vectors.
+//!
+//! A [`VectorService`] answers the same question as
+//! [`SelectorService`](crate::SelectorService) — *which landmark should
+//! this input run?* — but consumes [`FeatureVector`]s instead of
+//! benchmark inputs. That makes it deployable where the benchmark type
+//! cannot follow: the serve daemon links no benchmark crates and serves
+//! any artifact whose clients extract features near their data and ship
+//! the vectors over the wire. Selections are computed exactly like the
+//! in-process path (`classify_costed` over the classifier's subset of the
+//! vector), so a vector-served selection is bit-identical to a
+//! benchmark-served one for the same input.
+
+use crate::artifact::ModelArtifact;
+use crate::monitor::DriftMonitor;
+use crate::service::{Selection, ServeOptions, ServeStats};
+use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result};
+use intune_exec::Executor;
+use intune_learning::selection::samples_for;
+
+/// A serving runtime over pre-extracted feature vectors: validated
+/// artifact, the production classifier's feature subset, a drift monitor,
+/// and the work-stealing executor for batches.
+///
+/// Shared-state design mirrors `SelectorService`: the artifact is
+/// immutable after construction and all counters are atomics, so `&self`
+/// methods are safe from multiple threads.
+#[derive(Debug)]
+pub struct VectorService {
+    artifact: ModelArtifact,
+    /// The classifier's feature subset, precomputed at construction.
+    set: FeatureSet,
+    executor: Executor,
+    opts: ServeOptions,
+    monitor: DriftMonitor,
+}
+
+impl VectorService {
+    /// Builds a service from a loaded artifact, checking its internal
+    /// consistency ([`ModelArtifact::validate_shape`]) first — the
+    /// strongest check possible without the benchmark.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] when the artifact is inconsistent.
+    pub fn new(artifact: ModelArtifact, opts: ServeOptions) -> Result<Self> {
+        artifact.validate_shape()?;
+        let monitor = DriftMonitor::new(&artifact, &opts);
+        let set = artifact.classifier.feature_set();
+        Ok(VectorService {
+            artifact,
+            set,
+            executor: Executor::new(opts.threads),
+            opts,
+            monitor,
+        })
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The landmark configurations being dispatched to.
+    pub fn landmarks(&self) -> &[Configuration] {
+        &self.artifact.landmarks
+    }
+
+    /// Whether the fallback policy is currently engaged.
+    pub fn fallback_active(&self) -> bool {
+        self.monitor.fallback_active()
+    }
+
+    /// Resets the drift monitor; request counters keep counting.
+    pub fn reset_drift(&self) {
+        self.monitor.reset()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.monitor.stats()
+    }
+
+    /// Checks that `fv` is shaped for this artifact: the exact property
+    /// partition of the pinned feature declaration (untrusted wire
+    /// vectors with a different layout could alias the wrong slots even
+    /// at an equal slot total), with every slot present
+    /// (`extract_all`-complete).
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] describing the mismatch.
+    pub fn validate_vector(&self, fv: &FeatureVector) -> Result<()> {
+        if !fv.matches_defs(&self.artifact.feature_defs) {
+            return Err(Error::artifact(format!(
+                "feature vector layout ({} slots) does not match the \
+                 artifact's feature declaration {:?}",
+                fv.len(),
+                self.artifact.feature_defs
+            )));
+        }
+        if !fv.is_complete() {
+            return Err(Error::artifact(
+                "feature vector is partially extracted; the wire protocol \
+                 requires fully-extracted vectors",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The deterministic core shared by both entry points: classify one
+    /// validated vector under the drift state observed at entry, without
+    /// touching counters.
+    fn classify(&self, fv: &FeatureVector, probe: bool, fall_back: bool) -> Selection {
+        let samples = samples_for(fv, &self.set);
+        let (landmark, extraction_cost) = self.artifact.classifier.classify_costed(&samples);
+        let out_of_distribution = probe && {
+            let z = self.artifact.normalizer.transform(&fv.dense());
+            self.monitor.is_ood(&self.artifact, &z)
+        };
+        Selection {
+            landmark: if fall_back {
+                self.artifact.fallback
+            } else {
+                landmark
+            },
+            extraction_cost,
+            out_of_distribution,
+            fell_back: fall_back,
+        }
+    }
+
+    /// Answers one selection request, updating the drift monitor.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] when the vector does not fit the
+    /// artifact's feature declaration.
+    pub fn select_vector(&self, fv: &FeatureVector) -> Result<Selection> {
+        self.validate_vector(fv)?;
+        let fall_back = self.monitor.fallback_active();
+        let selection = self.classify(fv, true, fall_back);
+        self.monitor
+            .record_single(true, selection.out_of_distribution, selection.fell_back);
+        Ok(selection)
+    }
+
+    /// Answers a batch of selection requests, fanned out over the
+    /// work-stealing executor. Vectors are validated up front (the whole
+    /// batch is rejected before any counter moves), the drift/fallback
+    /// state is snapshotted at batch entry, and counter updates merge at
+    /// batch exit — identical results at any worker count, with a drift
+    /// trip engaging fallback from the *next* batch on.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] naming the first ill-shaped vector.
+    pub fn select_vector_batch(&self, vectors: &[FeatureVector]) -> Result<Vec<Selection>> {
+        for (i, fv) in vectors.iter().enumerate() {
+            self.validate_vector(fv)
+                .map_err(|e| Error::artifact(format!("batch vector {i}: {e}")))?;
+        }
+        let fall_back = self.monitor.fallback_active();
+        let probe_every = self.opts.probe_every.max(1);
+        let jobs: Vec<usize> = (0..vectors.len()).collect();
+        let outcome = self.executor.run(jobs, |_, i| {
+            self.classify(&vectors[i], i % probe_every == 0, fall_back)
+        });
+        let selections = outcome.results;
+
+        let probed = (0..vectors.len()).filter(|i| i % probe_every == 0).count() as u64;
+        let ood = selections.iter().filter(|s| s.out_of_distribution).count() as u64;
+        let fallbacks = if fall_back {
+            selections.len() as u64
+        } else {
+            0
+        };
+        self.monitor
+            .record_batch(selections.len() as u64, probed, ood, fallbacks);
+        Ok(selections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SelectorService;
+    use crate::testutil::{synthetic_corpus, train_synthetic, Synthetic};
+    use intune_core::{Benchmark, BenchmarkExt};
+
+    fn vector_service(opts: ServeOptions) -> VectorService {
+        let artifact = ModelArtifact::export(&Synthetic, &train_synthetic());
+        VectorService::new(artifact, opts).unwrap()
+    }
+
+    fn vectors(n: usize, seed: usize) -> Vec<FeatureVector> {
+        synthetic_corpus(n, seed)
+            .iter()
+            .map(|i| Synthetic.extract_all(i))
+            .collect()
+    }
+
+    #[test]
+    fn vector_selection_matches_benchmark_bound_selection() {
+        let inputs = synthetic_corpus(48, 11);
+        let artifact = ModelArtifact::export(&Synthetic, &train_synthetic());
+        let bound =
+            SelectorService::new(&Synthetic, artifact.clone(), ServeOptions::default()).unwrap();
+        let vector = VectorService::new(artifact, ServeOptions::default()).unwrap();
+        let expected = bound.select_batch(&inputs);
+        let got = vector
+            .select_vector_batch(&vectors(48, 11))
+            .expect("well-shaped batch");
+        assert_eq!(got, expected, "vector path must be bit-identical");
+        assert_eq!(vector.stats(), bound.stats());
+    }
+
+    #[test]
+    fn batched_vector_selection_is_worker_count_invariant() {
+        let vs = vectors(40, 3);
+        let serial = vector_service(ServeOptions::default());
+        let expected: Vec<Selection> = vs
+            .iter()
+            .map(|fv| serial.select_vector(fv).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let svc = vector_service(ServeOptions {
+                threads,
+                ..ServeOptions::default()
+            });
+            assert_eq!(svc.select_vector_batch(&vs).unwrap(), expected, "{threads}");
+        }
+    }
+
+    #[test]
+    fn ill_shaped_vectors_are_rejected_before_counters_move() {
+        let svc = vector_service(ServeOptions::default());
+        // Wrong shape: one property instead of the artifact's two.
+        let short = FeatureVector::empty(&[intune_core::FeatureDef::new("only", 1)]);
+        let err = svc.select_vector(&short).unwrap_err();
+        assert!(matches!(err, Error::Artifact { .. }), "{err:?}");
+
+        // Right shape, but incomplete (nothing extracted).
+        let empty = FeatureVector::empty(&Synthetic.properties());
+        let err = svc.select_vector(&empty).unwrap_err();
+        assert!(err.to_string().contains("partially extracted"), "{err}");
+
+        // Same slot *total* as the artifact's 2+2 declaration but a
+        // different property partition (1+3): an untrusted wire vector
+        // like this would alias the wrong slots (or panic the subset
+        // lookup) if only lengths were compared — must be a typed error.
+        let alias_defs = [
+            intune_core::FeatureDef::new("x", 1),
+            intune_core::FeatureDef::new("y", 3),
+        ];
+        let mut aliased = FeatureVector::empty(&alias_defs);
+        for (p, def) in alias_defs.iter().enumerate() {
+            for level in 0..def.levels {
+                aliased
+                    .insert(
+                        intune_core::FeatureId { property: p, level },
+                        intune_core::FeatureSample::new(1.0, 1.0),
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(aliased.len(), 4, "same slot count as the artifact");
+        let err = svc.select_vector(&aliased).unwrap_err();
+        assert!(err.to_string().contains("layout"), "{err}");
+
+        // A batch with one bad vector is rejected wholesale.
+        let mut batch = vectors(4, 1);
+        batch.push(empty);
+        let err = svc.select_vector_batch(&batch).unwrap_err();
+        assert!(err.to_string().contains("batch vector 4"), "{err}");
+        assert_eq!(svc.stats().requests, 0, "no counter moved");
+    }
+
+    #[test]
+    fn drift_trips_and_resets_like_the_benchmark_bound_service() {
+        let svc = vector_service(ServeOptions {
+            radius_factor: -1.0,
+            min_observations: 8,
+            drift_threshold: 0.5,
+            ..ServeOptions::default()
+        });
+        let vs = vectors(16, 5);
+        let first = svc.select_vector_batch(&vs).unwrap();
+        assert!(first.iter().all(|s| s.out_of_distribution && !s.fell_back));
+        assert!(svc.fallback_active());
+        let second = svc.select_vector_batch(&vs).unwrap();
+        assert!(second
+            .iter()
+            .all(|s| s.fell_back && s.landmark == svc.artifact().fallback));
+        svc.reset_drift();
+        assert!(!svc.fallback_active());
+    }
+}

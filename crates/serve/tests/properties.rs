@@ -74,11 +74,72 @@ fn random_artifact(seed: u64, landmarks: usize, kind: u8) -> ModelArtifact {
         } else {
             None
         },
+        revision: rng.gen_range(0..1000),
+        trained_inputs: rng.gen_range(0..100_000),
     }
+}
+
+/// A fully-extracted random feature vector shaped for `artifact`.
+fn random_vector(artifact: &ModelArtifact, rng: &mut StdRng) -> intune_core::FeatureVector {
+    let mut fv = intune_core::FeatureVector::empty(&artifact.feature_defs);
+    for (p, def) in artifact.feature_defs.iter().enumerate() {
+        for level in 0..def.levels {
+            fv.insert(
+                intune_core::FeatureId { property: p, level },
+                intune_core::FeatureSample::new(
+                    rng.gen_range(-50.0..50.0),
+                    rng.gen_range(0.0..5.0),
+                ),
+            )
+            .unwrap();
+        }
+    }
+    fv
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fallback policy can never route a request to a landmark the
+    /// artifact does not carry: for any structurally-valid artifact and
+    /// any input stream — including drift storms that engage fallback,
+    /// resets, and re-trips — every selection (fallen-back or not) indexes
+    /// into the artifact's landmark list.
+    #[test]
+    fn fallback_never_selects_a_landmark_absent_from_the_artifact(
+        seed in 0u64..100_000, landmarks in 1usize..6, kind in 0u8..3,
+        batches in 1usize..5,
+    ) {
+        use intune_serve::{ServeOptions, VectorService};
+        let artifact = random_artifact(seed, landmarks, kind);
+        let count = artifact.landmarks.len();
+        // A drift storm: every probe is OOD, the threshold trips as soon
+        // as the observation floor is met.
+        let svc = VectorService::new(artifact, ServeOptions {
+            radius_factor: -1.0,
+            drift_threshold: 0.1,
+            min_observations: 4,
+            ..ServeOptions::default()
+        }).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa11bac);
+        for round in 0..batches {
+            let vectors: Vec<_> = (0..8)
+                .map(|_| random_vector(svc.artifact(), &mut rng))
+                .collect();
+            for s in svc.select_vector_batch(&vectors).unwrap() {
+                prop_assert!(
+                    s.landmark < count,
+                    "round {}: landmark {} out of range ({count})", round, s.landmark
+                );
+                if s.fell_back {
+                    prop_assert_eq!(s.landmark, svc.artifact().fallback);
+                }
+            }
+            if round == batches / 2 {
+                svc.reset_drift();
+            }
+        }
+    }
 
     /// save → load reproduces the artifact exactly (field equality and
     /// canonical-document byte equality) for every classifier kind and
