@@ -5,22 +5,66 @@
 //!
 //! ```text
 //! cargo run --release -p intune_bench --bin daemon_bench [-- OUT.json]
+//! cargo run --release -p intune_bench --bin daemon_bench -- --journal [OUT.json]
 //! ```
 //!
+//! With `--journal` the bench instead exercises the **continuous-learning
+//! loop** and emits `BENCH_retrain.json`: traced requests (features +
+//! raw-input payloads) fill a request journal, the journal compacts into
+//! a corpus, a retrain warm-started from the base training cache pushes
+//! revision 1, and the shadow gate promotes it. Journal/compaction/cell
+//! counts are deterministic; wall-clock figures are environment-dependent.
+//!
 //! Daemon worker count follows `INTUNE_THREADS` (hardened parse;
-//! default 1). Request/selection counts and the shadow agreement record
-//! are deterministic; throughput and frame latency are
-//! environment-dependent. The committed baseline uses 4 clients × 16
-//! batches of the sort2 micro corpus.
+//! default 1). The committed baselines use 4 clients × 16 batches
+//! (daemon) and 4 clients × 8 traced batches (retrain) of the sort2
+//! micro corpus.
 
-use intune_bench::{daemon_baseline, daemon_baseline_json, micro_config, DaemonBenchConfig};
+use intune_bench::{
+    daemon_baseline, daemon_baseline_json, micro_config, retrain_baseline, retrain_baseline_json,
+    DaemonBenchConfig, RetrainBenchConfig,
+};
 use intune_eval::TestCase;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_daemon.json".to_string());
+    let mut journal = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--journal" => journal = true,
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!("usage: daemon_bench [--journal] [OUT.json]");
+                std::process::exit(2);
+            }
+            other => out_path = Some(other.to_string()),
+        }
+    }
     let threads = intune_exec::threads_from_env_or_exit(1);
+
+    if journal {
+        let out_path = out_path.unwrap_or_else(|| "BENCH_retrain.json".to_string());
+        let cfg = RetrainBenchConfig {
+            suite: micro_config(),
+            case: TestCase::Sort2,
+            clients: 4,
+            batches_per_client: 8,
+            threads,
+        };
+        eprintln!(
+            "continuous-learning load test: {} x {} traced batches of {} vectors \
+             ({} daemon workers)...",
+            cfg.clients, cfg.batches_per_client, cfg.suite.test, cfg.threads
+        );
+        let result = retrain_baseline(&cfg);
+        let json = retrain_baseline_json(&cfg, &result);
+        std::fs::write(&out_path, &json).expect("write baseline json");
+        print!("{json}");
+        eprintln!("wrote {out_path}");
+        return;
+    }
+
+    let out_path = out_path.unwrap_or_else(|| "BENCH_daemon.json".to_string());
     let cfg = DaemonBenchConfig {
         suite: micro_config(),
         case: TestCase::Sort2,

@@ -133,6 +133,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                 min_mirrored: 1,
                 min_agreement: 0.99,
             },
+            trace: None,
         },
         &ListenConfig::default(),
     )

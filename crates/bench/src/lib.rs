@@ -25,16 +25,24 @@
 //! * `daemon_bench` → `BENCH_daemon.json` — wire-protocol load test
 //!   against a live `intune_daemon`: N client threads × batched
 //!   requests, p50/p95 frame latency, shadow agreement
-//!   ([`daemon_baseline`]).
+//!   ([`daemon_baseline`]);
+//! * `daemon_bench --journal` → `BENCH_retrain.json` — the
+//!   continuous-learning loop under load: journal append throughput,
+//!   compaction ratio, retrain wall time, and the cells the warm cost
+//!   cache saved ([`retrain_baseline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod daemon_baseline;
 pub mod report;
+mod retrain_baseline;
 mod serve_baseline;
 
 pub use daemon_baseline::{daemon_baseline, daemon_baseline_json, DaemonBenchConfig};
+pub use retrain_baseline::{
+    retrain_baseline, retrain_baseline_json, RetrainBenchConfig, RetrainBenchResult,
+};
 pub use serve_baseline::{
     serve_baseline, serve_baseline_json, ServeBenchConfig, ServeCaseBaseline,
 };

@@ -96,6 +96,16 @@ impl Benchmark for BinPacking {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         features::extract(property, level, input)
     }
+
+    // Packing instances are plain float arrays: they journal losslessly,
+    // so this case can feed the continuous-learning retraining corpus.
+    fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+        Some(serde::Serialize::to_value(input))
+    }
+
+    fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+        serde_json::from_value(payload).ok()
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,28 @@ pub trait Benchmark {
     /// Implementations may panic if `property`/`level` are out of the range
     /// declared by [`Benchmark::properties`]; callers should stay in range.
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample;
+
+    /// Encodes an input as a self-describing JSON payload so it can travel
+    /// — over the serve daemon's wire protocol into the request journal,
+    /// and from there into a retraining corpus. `None` (the default) means
+    /// this benchmark's inputs cannot be journaled; continuous learning
+    /// then sees the served feature vectors but cannot re-measure the
+    /// inputs behind them.
+    ///
+    /// Implementations must round-trip exactly through
+    /// [`Benchmark::decode_input`]: `decode_input(&encode_input(x)?)`
+    /// yields an input the benchmark treats identically to `x` (same
+    /// `run` reports, same extracted features, bit-for-bit floats).
+    fn encode_input(&self, _input: &Self::Input) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Decodes a payload produced by [`Benchmark::encode_input`]; `None`
+    /// when the payload does not describe a valid input (or the benchmark
+    /// does not support input journaling).
+    fn decode_input(&self, _payload: &serde_json::Value) -> Option<Self::Input> {
+        None
+    }
 }
 
 /// Blanket convenience methods for benchmarks.

@@ -176,6 +176,112 @@ fn decode_envelope(
     }
 }
 
+/// Upper bound on one framed record's body; larger length prefixes are
+/// treated as corruption, not allocation requests.
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+/// Encodes one **framed record**: a 4-byte big-endian length prefix
+/// followed by the *compact* checksummed envelope (same fields as
+/// [`encode_document`], printed without whitespace — append-only logs are
+/// byte-budgeted, documents are human-read). The frame is what the
+/// request journal appends per served selection; [`scan_records`] walks a
+/// stream of them back, surviving a torn tail.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the encoded body exceeds
+/// [`MAX_RECORD_BYTES`] — payload sizes are caller-controlled (a wire
+/// client can ship arbitrarily large raw inputs), so an oversized record
+/// must be a typed error the writer can drop, never a panic.
+pub fn encode_record(schema: &str, version: u32, payload: Value) -> Result<Vec<u8>> {
+    let canonical = serde_json::to_string(&payload).expect("value printing is infallible");
+    let checksum = format!("fnv1a64:{:016x}", fnv1a64(canonical.as_bytes()));
+    let doc = Value::Object(vec![
+        ("schema".to_string(), Value::String(schema.to_string())),
+        ("version".to_string(), Value::UInt(version as u64)),
+        ("checksum".to_string(), Value::String(checksum)),
+        ("payload".to_string(), payload),
+    ]);
+    let text = serde_json::to_string(&doc).expect("value printing is infallible");
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_RECORD_BYTES {
+        return Err(Error::artifact(format!(
+            "record body of {} bytes exceeds the {MAX_RECORD_BYTES}-byte frame cap",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+    Ok(out)
+}
+
+/// Outcome of scanning a stream of framed records that may end in a torn
+/// tail (a crash mid-append).
+#[derive(Debug)]
+pub struct RecordScan {
+    /// Every complete, checksum-verified record payload, in order.
+    pub records: Vec<Value>,
+    /// Bytes consumed by the complete records (the offset a recovery
+    /// writer could safely truncate to).
+    pub consumed: usize,
+    /// The typed error describing the torn/corrupt tail, if the stream
+    /// did not end exactly on a record boundary.
+    pub torn: Option<Error>,
+}
+
+/// Walks a byte stream of [`encode_record`] frames, returning every
+/// complete record and a **typed** description of the torn tail (if any)
+/// — never a panic, whatever the truncation offset. Scanning stops at the
+/// first incomplete or corrupt frame: everything after an interrupted
+/// append is untrusted.
+pub fn scan_records(bytes: &[u8], schema: &str, version: u32) -> RecordScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let torn = loop {
+        let remaining = bytes.len() - at;
+        if remaining == 0 {
+            break None;
+        }
+        if remaining < 4 {
+            break Some(Error::artifact(format!(
+                "torn record at byte {at}: {remaining} bytes of a length prefix"
+            )));
+        }
+        let len =
+            u32::from_be_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize;
+        if len > MAX_RECORD_BYTES {
+            break Some(Error::artifact(format!(
+                "corrupt record at byte {at}: announced {len} bytes, cap is {MAX_RECORD_BYTES}"
+            )));
+        }
+        if remaining - 4 < len {
+            break Some(Error::artifact(format!(
+                "torn record at byte {at}: {} bytes of an announced {len}",
+                remaining - 4
+            )));
+        }
+        let body = &bytes[at + 4..at + 4 + len];
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(e) => {
+                break Some(Error::artifact(format!(
+                    "corrupt record at byte {at}: body is not UTF-8 ({e})"
+                )))
+            }
+        };
+        match decode_document(text, schema, version) {
+            Ok(payload) => records.push(payload),
+            Err(e) => break Some(Error::artifact(format!("corrupt record at byte {at}: {e}"))),
+        }
+        at += 4 + len;
+    };
+    RecordScan {
+        records,
+        consumed: at,
+        torn,
+    }
+}
+
 /// Encodes and writes a document to `path`.
 ///
 /// # Errors
@@ -351,6 +457,77 @@ mod tests {
         assert_ne!(tampered, text);
         let err = decode_document_migrating(&tampered, "mig", 2, &migrations).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn framed_records_round_trip_in_order() {
+        let mut stream = Vec::new();
+        for i in 0..5i64 {
+            stream.extend(
+                encode_record(
+                    "rec",
+                    1,
+                    Value::Object(vec![("i".to_string(), Value::Int(i))]),
+                )
+                .unwrap(),
+            );
+        }
+        let scan = scan_records(&stream, "rec", 1);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.consumed, stream.len());
+        assert_eq!(scan.records.len(), 5);
+        for (i, r) in scan.records.iter().enumerate() {
+            assert_eq!(r.get("i"), Some(&Value::Int(i as i64)));
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_keeps_complete_records_and_types_the_tail() {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for i in 0..3i64 {
+            stream.extend(
+                encode_record(
+                    "rec",
+                    1,
+                    Value::Object(vec![("i".to_string(), Value::Int(i))]),
+                )
+                .unwrap(),
+            );
+            boundaries.push(stream.len());
+        }
+        for cut in 0..=stream.len() {
+            let scan = scan_records(&stream[..cut], "rec", 1);
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), complete, "cut at {cut}");
+            assert_eq!(scan.consumed, boundaries[complete], "cut at {cut}");
+            let on_boundary = boundaries.contains(&cut);
+            assert_eq!(scan.torn.is_none(), on_boundary, "cut at {cut}");
+            if let Some(torn) = scan.torn {
+                assert!(matches!(torn, Error::Artifact { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_record_bodies_stop_the_scan_with_a_typed_error() {
+        let mut stream = encode_record("rec", 1, payload()).unwrap();
+        let second_at = stream.len();
+        stream.extend(encode_record("rec", 1, payload()).unwrap());
+        // Flip a byte inside the second record's payload.
+        stream[second_at + 40] ^= 0x01;
+        let scan = scan_records(&stream, "rec", 1);
+        assert_eq!(scan.records.len(), 1, "first record survives");
+        assert_eq!(scan.consumed, second_at);
+        let torn = scan.torn.expect("corruption reported");
+        assert!(torn.to_string().contains("corrupt record"), "{torn}");
+
+        // An absurd length prefix is corruption, not an allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let scan = scan_records(&huge, "rec", 1);
+        assert!(scan.records.is_empty());
+        assert!(scan.torn.expect("typed").to_string().contains("cap"));
     }
 
     #[test]

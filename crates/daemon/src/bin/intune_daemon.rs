@@ -3,11 +3,17 @@
 //! ```text
 //! cargo run --release -p intune_daemon --bin intune_daemon -- \
 //!     --artifact artifacts/sort2.model.json [--listen 127.0.0.1:0] \
-//!     [--uds /tmp/intune.sock] [--threads N] [--probe-every N] \
+//!     [--uds /tmp/intune.sock] [--journal DIR] [--journal-segment N] \
+//!     [--threads N] [--probe-every N] \
 //!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
 //!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
 //!     [--min-agreement X] [--min-mirrored N]
 //! ```
+//!
+//! `--journal DIR` appends every served selection (features, chosen
+//! landmark, drift outcome, optional client-shipped raw-input payload) to
+//! a segmented crash-tolerant log in DIR — the observation half of the
+//! continuous-learning loop that `intune_retrain` closes.
 //!
 //! Prints exactly one `listening on ADDR` line to stdout once bound (so
 //! scripts can grab the resolved ephemeral port), then serves until a
@@ -17,12 +23,15 @@
 //! threads default to `INTUNE_THREADS` (hardened parse) or 1.
 
 use intune_daemon::{Daemon, DaemonOptions, ListenConfig, ShadowPolicy};
-use intune_serve::{ModelArtifact, ServeOptions};
+use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let mut artifact_path: Option<PathBuf> = None;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut journal_segment = JournalOptions::default().segment_max_records;
     let mut listen = ListenConfig::default();
     let mut serve = ServeOptions {
         threads: intune_exec::threads_from_env_or_exit(1),
@@ -46,6 +55,8 @@ fn main() {
                     .unwrap_or_else(|| die(&format!("{flag} needs a value")));
                 match flag {
                     "--artifact" => artifact_path = Some(PathBuf::from(value)),
+                    "--journal" => journal_dir = Some(PathBuf::from(value)),
+                    "--journal-segment" => journal_segment = parse(flag, value),
                     "--listen" => listen.tcp = value.clone(),
                     "--uds" => listen.uds = Some(PathBuf::from(value)),
                     "--threads" => serve.threads = parse(flag, value),
@@ -77,12 +88,24 @@ fn main() {
         serve.threads
     );
     shadow_serve.threads = serve.threads;
+    let trace = journal_dir.map(|dir| {
+        let sink = JournalSink::open(
+            &dir,
+            JournalOptions {
+                segment_max_records: journal_segment,
+            },
+        )
+        .unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!("journaling served selections to {}", dir.display());
+        Arc::new(sink) as Arc<dyn intune_serve::TraceSink>
+    });
     let daemon = Daemon::bind(
         artifact,
         DaemonOptions {
             serve,
             shadow_serve,
             shadow,
+            trace,
         },
         &listen,
     )
@@ -105,6 +128,7 @@ fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
 fn usage() -> ! {
     eprintln!(
         "usage: intune_daemon --artifact PATH [--listen ADDR] [--uds PATH] \
+         [--journal DIR] [--journal-segment N] \
          [--threads N] [--probe-every N] [--radius-factor X] \
          [--drift-threshold X] [--min-observations N] \
          [--shadow-drift-threshold X] [--shadow-min-observations N] \

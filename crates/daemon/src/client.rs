@@ -160,6 +160,30 @@ impl DaemonClient {
         }
     }
 
+    /// [`DaemonClient::select_batch`] with opaque raw-input payloads for
+    /// the daemon's request journal: `payloads[i]` (a
+    /// `Benchmark::encode_input` document, or `Null`) describes the input
+    /// behind `features[i]`. Selections are identical to the untraced
+    /// path; the payloads only feed continuous learning.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure or a server-side
+    /// rejection (ill-shaped vectors, payload/vector length mismatch).
+    pub fn select_batch_traced(
+        &self,
+        features: &[FeatureVector],
+        payloads: &[serde_json::Value],
+    ) -> Result<Vec<Selection>> {
+        let response = self.roundtrip(&Request::SelectBatchTraced {
+            features: features.to_vec(),
+            payloads: payloads.to_vec(),
+        })?;
+        match response {
+            Response::Selections { selections } => Ok(selections),
+            other => Err(unexpected("Selections", &other)),
+        }
+    }
+
     /// Fetches the daemon's counter snapshot.
     ///
     /// # Errors

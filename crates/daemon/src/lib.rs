@@ -333,6 +333,84 @@ mod tests {
         handle.join().unwrap();
     }
 
+    #[test]
+    fn daemon_journals_served_selections_and_keeps_journaling_after_promote() {
+        use intune_serve::journal::{list_segments, read_segment};
+        use intune_serve::{JournalOptions, JournalSink, TraceSink};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!(
+            "intune-daemon-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let sink = Arc::new(JournalSink::open(&dir, JournalOptions::default()).unwrap());
+        let opts = DaemonOptions {
+            shadow: ShadowPolicy {
+                min_mirrored: 4,
+                min_agreement: 0.99,
+            },
+            trace: Some(sink.clone() as Arc<dyn TraceSink>),
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = {
+            let daemon = Daemon::bind(artifact(1), opts, &ListenConfig::default()).unwrap();
+            let addr = daemon.tcp_addr().to_string();
+            let handle = daemon.spawn();
+            (handle, DaemonClient::connect(&addr).unwrap())
+        };
+
+        // Traced batch: payloads land in the journal alongside vectors.
+        let batch: Vec<FeatureVector> = (0..4).map(|i| vector(i as f64)).collect();
+        let payloads: Vec<serde_json::Value> = (0..4)
+            .map(|i| {
+                if i == 2 {
+                    serde_json::Value::Null
+                } else {
+                    serde_json::Value::Array(vec![serde_json::Value::Int(i)])
+                }
+            })
+            .collect();
+        let traced = client.select_batch_traced(&batch, &payloads).unwrap();
+        let plain = client.select_batch(&batch).unwrap();
+        assert_eq!(traced, plain, "payloads never steer selection");
+        assert_eq!(client.stats().unwrap().journaled, 8);
+
+        // Promote a staged revision; the new primary keeps journaling.
+        client.load_artifact(&artifact(2)).unwrap();
+        client.select_batch(&batch).unwrap();
+        assert_eq!(client.promote().unwrap(), 2);
+        client.select_batch(&batch).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.journaled, 16);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // Read the journal back: revisions, landmarks and payloads match
+        // what the daemon served.
+        let segments = list_segments(&dir).unwrap();
+        let mut records = Vec::new();
+        for s in &segments {
+            let scan = read_segment(s).unwrap();
+            assert!(scan.torn.is_none());
+            records.extend(scan.records);
+        }
+        assert_eq!(records.len(), 16);
+        assert!(records[..12].iter().all(|r| r.revision == 1));
+        assert!(records[12..].iter().all(|r| r.revision == 2));
+        assert!(records[0].payload.is_some());
+        assert!(records[2].payload.is_none(), "null payload elided");
+        assert!(records[4].payload.is_none(), "untraced batch has none");
+        for (r, s) in records[..4].iter().zip(&traced) {
+            assert_eq!(r.landmark as usize, s.landmark);
+        }
+        // Mirror traffic (the staged shadow scored 4 vectors) was NOT
+        // journaled: 16 primary answers, not 20 records.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[cfg(unix)]
     #[test]
     fn unix_domain_socket_serves_the_same_protocol() {

@@ -56,6 +56,20 @@ pub enum Request {
         /// declaration (`extract_all`-complete).
         features: Vec<FeatureVector>,
     },
+    /// [`Request::SelectBatch`] with opaque raw-input payloads riding
+    /// along for the daemon's request journal (continuous learning
+    /// retrains on what production actually processed, and feature
+    /// vectors alone cannot be re-measured). Payloads are parallel to
+    /// `features` (`null` = no payload for that vector), produced by
+    /// `Benchmark::encode_input` client-side, and never influence the
+    /// selection. A daemon without a journal serves this identically to
+    /// `SelectBatch`.
+    SelectBatchTraced {
+        /// The vectors, as in [`Request::SelectBatch`].
+        features: Vec<FeatureVector>,
+        /// One opaque input payload per vector (`null` allowed).
+        payloads: Vec<serde_json::Value>,
+    },
     /// Requests the daemon's counter snapshot.
     Stats,
     /// Stages a candidate model artifact (a full
@@ -167,6 +181,9 @@ pub struct DaemonStats {
     pub promotions: u64,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Selections durably appended to the request journal since startup
+    /// (0 when the daemon runs without a journal).
+    pub journaled: u64,
 }
 
 /// Encodes a message into its frame body (the checksummed envelope text).
@@ -299,6 +316,13 @@ mod tests {
             },
             Request::SelectBatch {
                 features: vec![vector(), vector()],
+            },
+            Request::SelectBatchTraced {
+                features: vec![vector(), vector()],
+                payloads: vec![
+                    serde_json::Value::Array(vec![serde_json::Value::Float(0.1 + 0.2)]),
+                    serde_json::Value::Null,
+                ],
             },
             Request::Stats,
             Request::LoadArtifact {

@@ -13,7 +13,7 @@
 use crate::protocol::{self, DaemonStats, Request, Response};
 use crate::shadow::{ShadowPolicy, ShadowState};
 use intune_core::{Error, FeatureVector, Result};
-use intune_serve::{ModelArtifact, ServeOptions, VectorService, ARTIFACT_VERSION};
+use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -76,7 +76,7 @@ pub const SERVER_NAME: &str = "intune-daemon/0.1";
 /// determinism (`drift_threshold: 1.0`) while staged shadows keep a live
 /// drift monitor — it is the shadow's tripped monitor that triggers
 /// auto-rejection.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct DaemonOptions {
     /// Serving options of the primary (worker threads, probe cadence,
     /// drift thresholds). Promoted shadows are re-wrapped under these.
@@ -85,6 +85,23 @@ pub struct DaemonOptions {
     pub shadow_serve: ServeOptions,
     /// The shadow promotion gate.
     pub shadow: ShadowPolicy,
+    /// Optional trace sink (the request journal) attached to every
+    /// primary this daemon serves — the initial artifact and each
+    /// promoted successor. Staged shadows are never traced: mirror
+    /// traffic is an echo of the primary's, and journaling it twice
+    /// would poison the retraining corpus with duplicates.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for DaemonOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonOptions")
+            .field("serve", &self.serve)
+            .field("shadow_serve", &self.shadow_serve)
+            .field("shadow", &self.shadow)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 /// What the daemon listens on.
@@ -206,7 +223,8 @@ impl Daemon {
         opts: DaemonOptions,
         listen: &ListenConfig,
     ) -> Result<Self> {
-        let primary = VectorService::new(artifact, opts.serve.clone())?;
+        let mut primary = VectorService::new(artifact, opts.serve.clone())?;
+        primary.set_trace(opts.trace.clone());
         let tcp = TcpListener::bind(&listen.tcp)
             .map_err(|e| Error::wire(format!("cannot bind tcp {}: {e}", listen.tcp)))?;
         let tcp_addr = tcp
@@ -414,7 +432,10 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 landmarks: artifact.landmarks.len() as u64,
             }
         }
-        Request::SelectBatch { features } => handle_select(shared, &features),
+        Request::SelectBatch { features } => handle_select(shared, &features, &[]),
+        Request::SelectBatchTraced { features, payloads } => {
+            handle_select(shared, &features, &payloads)
+        }
         Request::Stats => Response::StatsReply {
             stats: snapshot(shared),
         },
@@ -428,10 +449,14 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
 /// monitor trips — or that cannot score the traffic at all — is
 /// auto-rejected under the write lock, guarded by `staged_seq` so a
 /// newer shadow staged concurrently is never the one dropped.
-fn handle_select(shared: &Shared, features: &[FeatureVector]) -> Response {
+fn handle_select(
+    shared: &Shared,
+    features: &[FeatureVector],
+    payloads: &[serde_json::Value],
+) -> Response {
     let (selections, reject_seq) = {
         let state = shared.state.read().expect("state lock poisoned");
-        let selections = match state.primary.select_vector_batch(features) {
+        let selections = match state.primary.select_vector_batch_traced(features, payloads) {
             Ok(s) => s,
             Err(e) => {
                 return Response::Error {
@@ -520,7 +545,10 @@ fn handle_promote(shared: &Shared) -> Response {
     let artifact = shadow.service.artifact().clone();
     let revision = artifact.revision;
     match VectorService::new(artifact, shared.opts.serve.clone()) {
-        Ok(primary) => {
+        Ok(mut primary) => {
+            // The journal follows the primary role, not the artifact: a
+            // promoted revision keeps feeding the same trace sink.
+            primary.set_trace(shared.opts.trace.clone());
             state.primary = primary;
             shared.promotions.fetch_add(1, Ordering::AcqRel);
             Response::Promoted { revision }
@@ -542,5 +570,11 @@ fn snapshot(shared: &Shared) -> DaemonStats {
         shadow_rejections: shared.shadow_rejections.load(Ordering::Acquire),
         promotions: shared.promotions.load(Ordering::Acquire),
         connections: shared.connections.load(Ordering::Acquire),
+        journaled: shared
+            .opts
+            .trace
+            .as_ref()
+            .map(|sink| sink.appended())
+            .unwrap_or(0),
     }
 }

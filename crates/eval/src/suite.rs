@@ -202,7 +202,10 @@ pub trait CaseVisitor {
     /// What the visitor produces per case.
     type Output;
 
-    /// Called once with the fully-built case.
+    /// Called once with the fully-built case. Inputs are `Clone` so
+    /// visitors can assemble derived corpora (the continuous-learning
+    /// retrainer merges base and journaled inputs); every suite input
+    /// type is plain data.
     ///
     /// # Errors
     /// Implementations propagate measurement/artifact errors.
@@ -216,7 +219,7 @@ pub trait CaseVisitor {
         engine: &Engine,
     ) -> intune_core::Result<Self::Output>
     where
-        B::Input: Sync;
+        B::Input: Sync + Clone;
 }
 
 /// Builds one of the eight cases (benchmark + corpora + learning options)

@@ -172,6 +172,27 @@ impl CostCache {
         self.stats
     }
 
+    /// Re-keys every memoized cell through an input-index mapping,
+    /// dropping cells whose input maps to `None`. Caches are keyed by
+    /// input *index* within one corpus; when a corpus evolves — the
+    /// continuous-learning retrainer merges the base corpus with
+    /// journaled production inputs, and reservoir eviction shifts
+    /// positions — this is how yesterday's measurements stay valid:
+    /// match inputs by identity fingerprint, build the old→new index
+    /// map, and remap instead of re-measuring. The result starts with
+    /// fresh (zeroed) hit/miss counters.
+    pub fn remap_inputs(self, map: impl Fn(usize) -> Option<usize>) -> CostCache {
+        let mut out = CostCache::new();
+        for (old_idx, cells) in self.map {
+            if let Some(new_idx) = map(old_idx) {
+                for (key, report) in cells {
+                    out.insert(new_idx, key, report);
+                }
+            }
+        }
+        out
+    }
+
     /// Serializes the memoized cells (not the hit/miss counters) into a
     /// deterministic [`Value`]: inputs ascending, cells within an input
     /// ordered by canonical key text — saving the same cache twice yields
@@ -395,6 +416,29 @@ mod tests {
         let a = serde_json::to_string(&populated_cache().to_value()).unwrap();
         let b = serde_json::to_string(&populated_cache().to_value()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remap_inputs_rekeys_and_drops() {
+        let cache = populated_cache();
+        let expected: Vec<(usize, ConfigKey, ExecutionReport)> = cache
+            .map
+            .iter()
+            .flat_map(|(i, per)| per.iter().map(move |(k, r)| (*i, k.clone(), *r)))
+            .collect();
+        // Shift inputs 1.. down by one, dropping input 0's cells.
+        let remapped = cache.remap_inputs(|i| i.checked_sub(1));
+        assert_eq!(remapped.len(), expected.len() - 4, "input 0's cells gone");
+        assert_eq!(remapped.stats(), CacheStats::default(), "counters reset");
+        for (i, key, report) in expected {
+            match i.checked_sub(1) {
+                Some(new_i) => assert_eq!(remapped.peek(new_i, &key), Some(report)),
+                None => {
+                    // Input 0's cells must not alias any surviving slot
+                    // unless another input happened to share the key.
+                }
+            }
+        }
     }
 
     #[test]

@@ -249,6 +249,39 @@ where
     })
 }
 
+/// The continuous-learning retrain entry point: runs the full two-level
+/// method over the original training corpus **merged with journaled
+/// production inputs** (in arrival order, after the base corpus — so base
+/// input indices are stable and a persisted, remapped
+/// [`CostCache`] warm-starts every previously-measured cell). The
+/// resulting `stats.inputs` counts the merged corpus, which is what the
+/// exported artifact's `trained_inputs` field reports: a promoted
+/// revision provably trained on what production actually served.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] if any benchmark cell fails.
+///
+/// # Panics
+/// Panics if the merged corpus is empty.
+pub fn relearn_merged<B: Benchmark + Sync>(
+    benchmark: &B,
+    base_inputs: &[B::Input],
+    journaled_inputs: &[B::Input],
+    opts: &TwoLevelOptions,
+    engine: &Engine,
+    cache: CostCache,
+) -> Result<TwoLevelResult>
+where
+    B::Input: Sync + Clone,
+{
+    let merged: Vec<B::Input> = base_inputs
+        .iter()
+        .chain(journaled_inputs)
+        .cloned()
+        .collect();
+    learn_with_cache(benchmark, &merged, opts, engine, cache)
+}
+
 /// The deployment artifact: landmarks + production classifier. At run time
 /// it extracts only the classifier's feature subset (lazily, so the
 /// incremental classifier stops paying as soon as it is confident), picks a

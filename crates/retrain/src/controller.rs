@@ -1,0 +1,663 @@
+//! The retraining controller: journal → corpus → retrain → push, as one
+//! auditable cycle.
+//!
+//! One [`run_cycle`] call drives the whole continuous-learning loop
+//! against a live daemon, with **zero daemon restarts**:
+//!
+//! 1. **Compact** — fold new journal segments into the persistent
+//!    [`CorpusStore`] (dedup, reservoir bound, streaming stats); sealed,
+//!    fully-absorbed segments are removed only *after* the corpus has
+//!    been durably saved.
+//! 2. **Decide** — ask the [`RetrainPolicy`] whether the cycle evidence
+//!    (new inputs, drift rate, cooldown) justifies spending a training
+//!    budget.
+//! 3. **Retrain** — decode the corpus's journaled raw inputs, merge them
+//!    after the base training corpus, and re-run the two-level pipeline
+//!    through the work-stealing engine, warm-started from a persisted
+//!    cost cache whose cells are re-keyed by input *fingerprint* (so
+//!    yesterday's measurements survive corpus growth and eviction).
+//!    Retraining is worker-count invariant: the same corpus produces a
+//!    byte-identical artifact at any `INTUNE_THREADS`.
+//! 4. **Push** — stamp the result as artifact revision N+1, hot-load it
+//!    into the daemon over the existing `LoadArtifact` wire path, replay
+//!    corpus traffic to build the staged shadow's agreement record, and
+//!    call `Promote`. **The daemon's shadow gate — not this controller —
+//!    decides adoption**: insufficient agreement or a tripped shadow
+//!    drift monitor refuses the promote, and the cycle reports
+//!    [`CycleOutcome::Rejected`].
+
+use crate::corpus::CorpusStore;
+use crate::policy::{RetrainDecision, RetrainPolicy, RetrainReason};
+use intune_core::{codec, Benchmark, Error, FeatureVector, Result};
+use intune_daemon::DaemonClient;
+use intune_exec::{CostCache, Engine};
+use intune_learning::pipeline::{relearn_merged, TwoLevelResult};
+use intune_learning::TwoLevelOptions;
+use intune_serve::ModelArtifact;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Envelope schema name of the persisted retrain cost cache (cells plus
+/// per-input identity fingerprints).
+pub const RETRAIN_CACHE_SCHEMA: &str = "intune-retrain-cache";
+/// Current retrain-cache schema version.
+pub const RETRAIN_CACHE_VERSION: u32 = 1;
+
+/// Everything one controller instance needs besides the benchmark.
+#[derive(Debug, Clone)]
+pub struct RetrainConfig {
+    /// Directory the daemon journals into.
+    pub journal_dir: PathBuf,
+    /// Path of the persistent corpus document.
+    pub corpus_path: PathBuf,
+    /// Optional path of the persisted cost cache (fingerprint-keyed warm
+    /// starts across cycles). `None` disables cache persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Corpus capacity (unique entries) when the corpus is first created.
+    pub capacity: usize,
+    /// The retrain gate.
+    pub policy: RetrainPolicy,
+    /// Mirrored selections to drive through the daemon before calling
+    /// `Promote` (match the daemon's `ShadowPolicy::min_mirrored`).
+    pub mirror_target: u64,
+    /// Vectors per replay frame while warming the shadow.
+    pub mirror_batch: usize,
+    /// Whether sealed, fully-absorbed journal segments are deleted after
+    /// the corpus save (the journal's disk bound).
+    pub remove_compacted: bool,
+}
+
+impl RetrainConfig {
+    /// A config with defaults for everything but the two paths.
+    pub fn new(journal_dir: impl Into<PathBuf>, corpus_path: impl Into<PathBuf>) -> Self {
+        RetrainConfig {
+            journal_dir: journal_dir.into(),
+            corpus_path: corpus_path.into(),
+            cache_path: None,
+            capacity: 4096,
+            policy: RetrainPolicy::default(),
+            mirror_target: 64,
+            mirror_batch: 64,
+            remove_compacted: true,
+        }
+    }
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segment files scanned.
+    pub segments: u64,
+    /// Journal records read (complete records only).
+    pub records: u64,
+    /// Records that created new corpus entries.
+    pub added: u64,
+    /// Records that merged into existing entries.
+    pub merged: u64,
+    /// Records already absorbed in an earlier pass.
+    pub stale: u64,
+    /// Records rejected by the reservoir bound on arrival.
+    pub rejected: u64,
+    /// Segments with a torn/corrupt tail (complete prefix still used).
+    pub torn_segments: u64,
+    /// Sealed segments fully absorbed and eligible for removal.
+    pub absorbed: Vec<PathBuf>,
+    /// Segments actually deleted (filled in by [`run_cycle`] after the
+    /// corpus save, or by [`remove_segments`]).
+    pub removed_segments: u64,
+}
+
+/// Folds every journal segment in `dir` into `corpus` (idempotently —
+/// records already absorbed are skipped by sequence number). A missing
+/// journal directory is an empty journal, not an error. The report lists
+/// sealed (non-active), fully-absorbed segments in `absorbed`; the caller
+/// decides deletion **after** persisting the corpus.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] on unreadable segments.
+pub fn compact_journal(dir: &Path, corpus: &mut CorpusStore) -> Result<CompactionReport> {
+    compact_journal_impl(dir, corpus, false)
+}
+
+/// [`compact_journal`] with cycle-evidence counting suppressed
+/// (`CorpusStore::offer_quiet`): the controller's end-of-cycle pass over
+/// its own mirror-replay echoes, which must feed dedup and statistics
+/// but never the next cycle's retrain evidence.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] on unreadable segments.
+pub fn compact_journal_quiet(dir: &Path, corpus: &mut CorpusStore) -> Result<CompactionReport> {
+    compact_journal_impl(dir, corpus, true)
+}
+
+fn compact_journal_impl(
+    dir: &Path,
+    corpus: &mut CorpusStore,
+    quiet: bool,
+) -> Result<CompactionReport> {
+    let mut report = CompactionReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let segments = intune_serve::journal::list_segments(dir)?;
+    let last = segments.len().saturating_sub(1);
+    for (i, path) in segments.iter().enumerate() {
+        let scan = intune_serve::journal::read_segment(path)?;
+        report.segments += 1;
+        if scan.torn.is_some() {
+            report.torn_segments += 1;
+        }
+        for record in &scan.records {
+            report.records += 1;
+            let offer = if quiet {
+                corpus.offer_quiet(record)
+            } else {
+                corpus.offer(record)
+            };
+            match offer {
+                crate::corpus::Offer::Added => report.added += 1,
+                crate::corpus::Offer::Merged => report.merged += 1,
+                crate::corpus::Offer::Rejected => report.rejected += 1,
+                crate::corpus::Offer::Stale => report.stale += 1,
+            }
+        }
+        // The active (highest-index) segment is still being appended to;
+        // everything older is sealed and now fully absorbed.
+        if i != last {
+            report.absorbed.push(path.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Deletes the given segment files (best effort per file), returning how
+/// many were removed. Call only after the corpus they were folded into
+/// has been durably saved.
+pub fn remove_segments(paths: &[PathBuf]) -> u64 {
+    paths
+        .iter()
+        .filter(|p| std::fs::remove_file(p).is_ok())
+        .count() as u64
+}
+
+/// Identity fingerprint of one benchmark input: FNV-1a 64 over its
+/// canonical encoded payload, or `None` when the benchmark does not
+/// support input journaling. Fingerprints re-key persisted cost-cache
+/// cells when the merged corpus's input indices shift between cycles.
+pub fn input_fingerprint<B: Benchmark>(benchmark: &B, input: &B::Input) -> Option<u64> {
+    let payload = benchmark.encode_input(input)?;
+    let canonical = serde_json::to_string(&payload).expect("value printing is infallible");
+    Some(codec::fnv1a64(canonical.as_bytes()))
+}
+
+/// Loads a cache persisted by [`save_warm_cache`] and re-keys its cells
+/// onto the new merged corpus via fingerprint matching: a cell survives
+/// iff its input's fingerprint appears in `new_prints` (first occurrence
+/// wins). Cells of inputs that left the corpus are dropped.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] on IO/checksum/shape failure.
+pub fn load_warm_cache(path: &Path, new_prints: &[Option<u64>]) -> Result<CostCache> {
+    let payload = codec::read_document(path, RETRAIN_CACHE_SCHEMA, RETRAIN_CACHE_VERSION)?;
+    let old_prints: Vec<Option<u64>> = payload
+        .get("prints")
+        .ok_or_else(|| Error::artifact("retrain cache lacks `prints`"))
+        .and_then(|v| {
+            serde_json::from_value(v).map_err(|e| Error::artifact(format!("bad prints: {e}")))
+        })?;
+    let cache = payload
+        .get("cache")
+        .ok_or_else(|| Error::artifact("retrain cache lacks `cache`"))
+        .and_then(CostCache::from_value)?;
+    let mut by_print: HashMap<u64, usize> = HashMap::new();
+    for (i, p) in new_prints.iter().enumerate() {
+        if let Some(p) = p {
+            by_print.entry(*p).or_insert(i);
+        }
+    }
+    Ok(cache.remap_inputs(|old| {
+        old_prints
+            .get(old)
+            .copied()
+            .flatten()
+            .and_then(|p| by_print.get(&p).copied())
+    }))
+}
+
+/// Persists `cache` together with the per-input fingerprints of the
+/// corpus it was measured on, so the next cycle can re-key it.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the file cannot be written.
+pub fn save_warm_cache(path: &Path, prints: &[Option<u64>], cache: &CostCache) -> Result<()> {
+    let payload = Value::Object(vec![
+        ("prints".to_string(), serde_json::to_value(&prints.to_vec())),
+        ("cache".to_string(), cache.to_value()),
+    ]);
+    codec::write_document(path, RETRAIN_CACHE_SCHEMA, RETRAIN_CACHE_VERSION, payload)
+}
+
+/// A freshly retrained model plus its provenance numbers.
+#[derive(Debug)]
+pub struct RetrainedModel {
+    /// The exported artifact, stamped with its rollout revision; its
+    /// `trained_inputs` counts the merged corpus — base training inputs
+    /// plus the journaled inputs production actually served.
+    pub artifact: ModelArtifact,
+    /// The full learning result behind the artifact.
+    pub result: TwoLevelResult,
+    /// Measurement/corpus accounting of this retrain.
+    pub stats: RetrainStats,
+}
+
+/// Deterministic accounting of one retrain step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrainStats {
+    /// Inputs the model was trained on (base + journaled).
+    pub merged_inputs: u64,
+    /// Journaled inputs decoded from the corpus.
+    pub new_inputs: u64,
+    /// Payload-carrying corpus entries that failed to decode.
+    pub skipped_payloads: u64,
+    /// Cells answered from the persisted warm cache before training ran.
+    pub warm_cells: u64,
+    /// Fresh benchmark executions this retrain performed.
+    pub cells_measured: u64,
+    /// Measurements answered from cache (warm cells + intra-run reuse).
+    pub cache_hits: u64,
+}
+
+/// The retrain step alone: corpus → merged inputs → two-level pipeline →
+/// revision-stamped artifact, with fingerprint-keyed cache warm starts.
+/// No daemon involved — [`run_cycle`] wraps this with the push.
+///
+/// # Errors
+/// Returns [`intune_core::Error::Measurement`] on failing cells and
+/// [`Error::Artifact`] on cache IO failures.
+pub fn retrain_from_corpus<B: Benchmark + Sync>(
+    benchmark: &B,
+    base_inputs: &[B::Input],
+    opts: &TwoLevelOptions,
+    engine: &Engine,
+    corpus: &CorpusStore,
+    cache_path: Option<&Path>,
+    revision: u64,
+) -> Result<RetrainedModel>
+where
+    B::Input: Sync + Clone,
+{
+    let (journaled, skipped_payloads) = corpus.retrain_inputs(benchmark);
+    let prints: Vec<Option<u64>> = base_inputs
+        .iter()
+        .chain(&journaled)
+        .map(|input| input_fingerprint(benchmark, input))
+        .collect();
+    let cache = match cache_path {
+        Some(path) if path.exists() => load_warm_cache(path, &prints)?,
+        _ => CostCache::new(),
+    };
+    let warm_cells = cache.len() as u64;
+    let result = relearn_merged(benchmark, base_inputs, &journaled, opts, engine, cache)?;
+    if let Some(path) = cache_path {
+        save_warm_cache(path, &prints, &result.level1.cache)?;
+    }
+    let artifact = ModelArtifact::export(benchmark, &result).with_revision(revision);
+    let stats = RetrainStats {
+        merged_inputs: (base_inputs.len() + journaled.len()) as u64,
+        new_inputs: journaled.len() as u64,
+        skipped_payloads,
+        warm_cells,
+        cells_measured: result.stats.measured_runs as u64,
+        cache_hits: result.stats.cache_hits as u64,
+    };
+    Ok(RetrainedModel {
+        artifact,
+        result,
+        stats,
+    })
+}
+
+/// How one cycle ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CycleOutcome {
+    /// The policy declined to retrain.
+    Idle {
+        /// The policy's explanation.
+        reason: String,
+    },
+    /// The daemon's shadow gate accepted the pushed revision.
+    Promoted {
+        /// Revision now serving.
+        revision: u64,
+        /// `trained_inputs` of the promoted artifact (base + journaled).
+        trained_inputs: u64,
+        /// Journaled inputs in that count.
+        new_inputs: u64,
+        /// Shadow agreement rate at promotion time.
+        agreement_rate: f64,
+    },
+    /// The push happened but the shadow gate (or the shadow's own drift
+    /// monitor) refused adoption; the daemon keeps serving revision N.
+    Rejected {
+        /// Revision that was refused.
+        revision: u64,
+        /// The daemon's refusal reason.
+        reason: String,
+    },
+}
+
+/// Everything one [`run_cycle`] call did.
+#[derive(Debug)]
+pub struct CycleReport {
+    /// The cycle's ending.
+    pub outcome: CycleOutcome,
+    /// What compaction absorbed.
+    pub compaction: CompactionReport,
+    /// Why the policy fired (`None` when the cycle idled) — the
+    /// operational audit trail: volume vs. drift.
+    pub trigger: Option<RetrainReason>,
+    /// Retrain accounting (`None` when the cycle idled).
+    pub retrain: Option<RetrainStats>,
+}
+
+/// One full journal→corpus→retrain→push cycle against a live daemon (see
+/// module docs for the four phases and who decides what).
+///
+/// # Errors
+/// Returns typed errors on journal/corpus IO, measurement failures, and
+/// wire transport failures. A *refused promote* is not an error — it is
+/// [`CycleOutcome::Rejected`], the gate doing its job.
+pub fn run_cycle<B: Benchmark + Sync>(
+    benchmark: &B,
+    base_inputs: &[B::Input],
+    opts: &TwoLevelOptions,
+    engine: &Engine,
+    cfg: &RetrainConfig,
+    client: &DaemonClient,
+) -> Result<CycleReport>
+where
+    B::Input: Sync + Clone,
+{
+    let mut corpus = CorpusStore::load_or_new(&cfg.corpus_path, cfg.capacity)?;
+    let mut compaction = compact_journal(&cfg.journal_dir, &mut corpus)?;
+    corpus.save(&cfg.corpus_path)?;
+    if cfg.remove_compacted {
+        compaction.removed_segments = remove_segments(&compaction.absorbed);
+    }
+
+    let decision = cfg.policy.decide(&corpus.evidence());
+    let reason = match decision {
+        RetrainDecision::Idle(reason) => {
+            return Ok(CycleReport {
+                outcome: CycleOutcome::Idle { reason },
+                compaction,
+                trigger: None,
+                retrain: None,
+            })
+        }
+        RetrainDecision::Retrain(reason) => reason,
+    };
+
+    // Revision N+1 comes from the daemon's *live* revision, not the
+    // connect-time handshake: another controller may have promoted since.
+    let revision = client.stats()?.revision + 1;
+    let retrained = retrain_from_corpus(
+        benchmark,
+        base_inputs,
+        opts,
+        engine,
+        &corpus,
+        cfg.cache_path.as_deref(),
+        revision,
+    )?;
+    let stats = retrained.stats;
+    client.load_artifact(&retrained.artifact)?;
+
+    // Warm the staged shadow's agreement record with the traffic the
+    // journal proves production sends. These replays are journaled like
+    // any primary answer; the quiet compaction below absorbs them before
+    // the cycle closes so they never read as fresh production evidence.
+    let outcome = match mirror_corpus_traffic(client, &corpus, cfg)? {
+        MirrorEnd::ShadowGone => CycleOutcome::Rejected {
+            revision,
+            reason: "shadow auto-rejected while mirroring (drift monitor tripped)".to_string(),
+        },
+        MirrorEnd::Ready(agreement_rate) => match client.promote() {
+            Ok(promoted) => CycleOutcome::Promoted {
+                revision: promoted,
+                trained_inputs: retrained.artifact.trained_inputs,
+                new_inputs: stats.new_inputs,
+                agreement_rate,
+            },
+            Err(e) => CycleOutcome::Rejected {
+                revision,
+                reason: e.to_string(),
+            },
+        },
+    };
+    // Absorb this cycle's own mirror-replay echoes (journaled like any
+    // primary answer) *quietly*: dedup and statistics see them, the next
+    // cycle's retrain evidence does not — otherwise a drift-responsive
+    // policy would feed on its own echoes and retrain in a loop.
+    compact_journal_quiet(&cfg.journal_dir, &mut corpus)?;
+    corpus.mark_cycle();
+    corpus.save(&cfg.corpus_path)?;
+    Ok(CycleReport {
+        outcome,
+        compaction,
+        trigger: Some(reason),
+        retrain: Some(stats),
+    })
+}
+
+enum MirrorEnd {
+    /// The shadow disappeared mid-replay (auto-rejected).
+    ShadowGone,
+    /// Enough selections mirrored; last observed agreement rate.
+    Ready(f64),
+}
+
+/// Replays corpus feature vectors through `SelectBatch` until the staged
+/// shadow has mirrored `mirror_target` selections (or vanished).
+fn mirror_corpus_traffic(
+    client: &DaemonClient,
+    corpus: &CorpusStore,
+    cfg: &RetrainConfig,
+) -> Result<MirrorEnd> {
+    let vectors: Vec<FeatureVector> = corpus
+        .entries()
+        .iter()
+        .map(|e| e.features.clone())
+        .collect();
+    let batch = cfg.mirror_batch.max(1);
+    // Enough frames to reach the target plus slack; the stats check is
+    // authoritative, this only bounds a misconfigured loop.
+    let max_frames = cfg.mirror_target / batch as u64 + 16;
+    let mut start = 0usize;
+    let mut frames = 0u64;
+    loop {
+        let stats = client.stats()?;
+        let Some(shadow) = stats.shadow else {
+            return Ok(MirrorEnd::ShadowGone);
+        };
+        if shadow.mirrored >= cfg.mirror_target || vectors.is_empty() || frames >= max_frames {
+            return Ok(MirrorEnd::Ready(shadow.agreement_rate));
+        }
+        let frame: Vec<FeatureVector> = (0..batch)
+            .map(|i| vectors[(start + i) % vectors.len()].clone())
+            .collect();
+        client.select_batch(&frame)?;
+        start = (start + batch) % vectors.len();
+        frames += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{synthetic_corpus, train_options, Synthetic};
+    use intune_serve::journal::{JournalOptions, JournalWriter};
+    use intune_serve::JournalRecord;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "intune-retrain-ctl-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn journal_inputs(dir: &Path, inputs: &[(usize, f64)], segment_max: usize) {
+        use intune_core::BenchmarkExt;
+        let b = Synthetic;
+        let mut w = JournalWriter::open(
+            dir,
+            JournalOptions {
+                segment_max_records: segment_max,
+            },
+        )
+        .unwrap();
+        for input in inputs {
+            w.append(JournalRecord {
+                seq: 0,
+                revision: 0,
+                landmark: input.0 as u64,
+                out_of_distribution: false,
+                fell_back: false,
+                features: b.extract_all(input),
+                payload: b.encode_input(input),
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn compaction_absorbs_segments_idempotently_and_lists_sealed_ones() {
+        let jdir = tmp("compact");
+        let inputs = synthetic_corpus(10, 3);
+        journal_inputs(&jdir, &inputs, 4);
+
+        let mut corpus = CorpusStore::new(64);
+        let report = compact_journal(&jdir, &mut corpus).unwrap();
+        assert_eq!(report.segments, 3, "10 records at 4/segment");
+        assert_eq!(report.records, 10);
+        assert_eq!(report.added, corpus.len() as u64);
+        assert_eq!(
+            report.absorbed.len(),
+            2,
+            "sealed segments are removable, the active one is not"
+        );
+
+        // Re-compaction is a no-op.
+        let again = compact_journal(&jdir, &mut corpus).unwrap();
+        assert_eq!(again.records, 10);
+        assert_eq!(again.stale, 10);
+        assert_eq!(again.added, 0);
+
+        // Removal after the (simulated) corpus save.
+        assert_eq!(remove_segments(&report.absorbed), 2);
+        let after = compact_journal(&jdir, &mut corpus).unwrap();
+        assert_eq!(after.segments, 1, "only the active segment remains");
+        std::fs::remove_dir_all(&jdir).ok();
+    }
+
+    #[test]
+    fn warm_cache_survives_corpus_growth_via_fingerprints() {
+        let dir = tmp("warmcache");
+        let cache_path = dir.join("retrain.cache.json");
+        let b = Synthetic;
+        let base = synthetic_corpus(24, 0);
+        let engine = Engine::serial();
+        let opts = train_options();
+
+        // Cycle 1: corpus holds 6 journaled inputs.
+        let jdir1 = dir.join("j1");
+        let shifted1 = synthetic_corpus(6, 7);
+        journal_inputs(&jdir1, &shifted1, 1024);
+        let mut corpus = CorpusStore::new(64);
+        compact_journal(&jdir1, &mut corpus).unwrap();
+        let first =
+            retrain_from_corpus(&b, &base, &opts, &engine, &corpus, Some(&cache_path), 1).unwrap();
+        assert_eq!(first.stats.warm_cells, 0, "first cycle runs cold");
+        assert!(first.stats.cells_measured > 0);
+        assert_eq!(first.stats.merged_inputs, 30);
+        assert_eq!(first.artifact.trained_inputs, 30);
+        assert_eq!(first.artifact.revision, 1);
+
+        // Cycle 2: more journaled inputs arrive (appended to the same
+        // journal — the writer resumes its sequence numbers); indices
+        // shift, but the fingerprint-keyed cache re-keys yesterday's
+        // cells.
+        let shifted2 = synthetic_corpus(4, 13);
+        journal_inputs(&jdir1, &shifted2, 1024);
+        let mut corpus2 = CorpusStore::new(64);
+        compact_journal(&jdir1, &mut corpus2).unwrap();
+        assert!(corpus2.len() > corpus.len());
+        let cold = retrain_from_corpus(&b, &base, &opts, &engine, &corpus2, None, 2).unwrap();
+        let warm =
+            retrain_from_corpus(&b, &base, &opts, &engine, &corpus2, Some(&cache_path), 2).unwrap();
+        assert!(
+            warm.stats.warm_cells > 0,
+            "previous cycle's cells warm-start: {:?}",
+            warm.stats
+        );
+        assert!(
+            warm.stats.cells_measured < cold.stats.cells_measured,
+            "warm cells replace fresh measurement: warm {:?} vs cold {:?}",
+            warm.stats,
+            cold.stats
+        );
+        assert_eq!(warm.stats.merged_inputs, 24 + corpus2.len() as u64);
+        assert_eq!(
+            warm.artifact.to_document(),
+            cold.artifact.to_document(),
+            "the warm start changes cost, never results"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retraining_is_worker_count_invariant() {
+        let dir = tmp("det");
+        let jdir = dir.join("j");
+        journal_inputs(&jdir, &synthetic_corpus(8, 5), 1024);
+        let mut corpus = CorpusStore::new(64);
+        compact_journal(&jdir, &mut corpus).unwrap();
+        let base = synthetic_corpus(24, 0);
+        let opts = train_options();
+        let docs: Vec<String> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                retrain_from_corpus(
+                    &Synthetic,
+                    &base,
+                    &opts,
+                    &Engine::new(threads),
+                    &corpus,
+                    None,
+                    7,
+                )
+                .unwrap()
+                .artifact
+                .to_document()
+            })
+            .collect();
+        assert_eq!(
+            docs[0], docs[1],
+            "same corpus must retrain to byte-identical artifacts at any worker count"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_journal_dir_is_an_empty_journal() {
+        let mut corpus = CorpusStore::new(8);
+        let report =
+            compact_journal(Path::new("/nonexistent/intune-journal"), &mut corpus).unwrap();
+        assert_eq!(report, CompactionReport::default());
+    }
+}

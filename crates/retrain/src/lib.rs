@@ -1,0 +1,168 @@
+//! # intune-retrain
+//!
+//! The continuous-learning subsystem: observe → retrain → promote,
+//! closing the loop the ROADMAP's serve→daemon stack left open.
+//!
+//! The paper's premise is that the best algorithmic choice shifts with
+//! the input distribution — and production distributions shift (Lesoil
+//! et al.). Until this crate, the daemon could *detect* that (drift
+//! monitor, fallback landmark) but never *act* on it: it served a frozen
+//! artifact forever. This crate turns the stack into a self-adapting
+//! system:
+//!
+//! ```text
+//!            ┌────────────────────────── daemon (never restarts) ─┐
+//!  clients ─▶│ primary ──▶ selections            shadow (staged)  │
+//!            │    │                                  ▲     │gate  │
+//!            └────┼──────────────────────────────────┼─────┼──────┘
+//!                 ▼ trace sink                       │     ▼
+//!          request journal (segments)          LoadArtifact/Promote
+//!                 │ compact                          ▲
+//!                 ▼                                  │
+//!          persistent corpus ──policy──▶ retrain (engine + warm cache)
+//! ```
+//!
+//! * the **request journal** lives in `intune_serve::journal` (re-exported
+//!   here as [`journal`]): the daemon's trace sink appends every served
+//!   selection — feature vector, chosen landmark, drift outcome, optional
+//!   raw-input payload — as checksummed records in a segmented,
+//!   crash-tolerant append-only log;
+//! * the [`CorpusStore`] (`corpus` module) compacts journal segments into
+//!   a deduplicated, capacity-bounded corpus (deterministic
+//!   reservoir down-sampling keyed by per-record seeds) with streaming
+//!   per-feature statistics;
+//! * the [`RetrainPolicy`] (`policy` module) decides *when* the evidence
+//!   — new retrainable inputs, drift-trip rate, cooldown — justifies a
+//!   retraining budget;
+//! * the **controller** (`controller` module) re-runs the two-level
+//!   pipeline over base + journaled inputs through the work-stealing
+//!   `intune_exec::Engine` with fingerprint-keyed [`CostCache`] warm
+//!   starts, stamps the result as artifact revision N+1 (the v2 schema's
+//!   `revision`/`trained_inputs` fields earn their keep), and pushes it
+//!   into the live daemon over the existing `LoadArtifact`/`Promote` wire
+//!   path — where the **shadow-agreement gate, not the controller,
+//!   decides adoption**.
+//!
+//! The `intune_retrain` binary runs the loop end to end (plus traced
+//! request replay, daemon stats, and a deterministic `--dry-run` retrain
+//! for CI diffing). Journal/corpus format specifications live in
+//! `crates/retrain/README.md`.
+//!
+//! [`CostCache`]: intune_exec::CostCache
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod corpus;
+pub mod policy;
+
+/// The request journal (re-exported from `intune_serve`, where the
+/// serving runtime's trace hook lives): records, writer, segment reader,
+/// and the [`JournalSink`](intune_serve::JournalSink) trace sink.
+pub use intune_serve::journal;
+
+pub use controller::{
+    compact_journal, input_fingerprint, load_warm_cache, remove_segments, retrain_from_corpus,
+    run_cycle, save_warm_cache, CompactionReport, CycleOutcome, CycleReport, RetrainConfig,
+    RetrainStats, RetrainedModel, RETRAIN_CACHE_SCHEMA, RETRAIN_CACHE_VERSION,
+};
+pub use corpus::{
+    feature_key, CorpusEntry, CorpusStore, CycleEvidence, FeatureStat, Offer, CORPUS_SCHEMA,
+    CORPUS_VERSION,
+};
+pub use policy::{RetrainDecision, RetrainPolicy, RetrainReason};
+
+/// Shared fixtures for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use intune_autotuner::TunerOptions;
+    use intune_core::{
+        AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef,
+        FeatureSample,
+    };
+    use intune_learning::{Level1Options, TwoLevelOptions};
+
+    /// The synthetic family the serve/daemon tests use — three input
+    /// kinds, the matching switch is cheaper, the kind readable from a
+    /// cheap feature — except feature 1 carries the input *size*, so
+    /// distinct inputs have distinct feature vectors (the corpus dedup
+    /// sees real production variety), and inputs round-trip through
+    /// `encode_input`/`decode_input` for retraining.
+    pub struct Synthetic;
+
+    impl Benchmark for Synthetic {
+        type Input = (usize, f64);
+
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+
+        fn space(&self) -> ConfigSpace {
+            ConfigSpace::builder()
+                .switch("alg", 3)
+                .int("knob", 0, 10)
+                .build()
+        }
+
+        fn run(&self, cfg: &Configuration, input: &Self::Input) -> ExecutionReport {
+            let (kind, size) = *input;
+            let alg = cfg.choice(0);
+            let penalty = 1.0 + 2.0 * ((alg + 3 - kind) % 3) as f64;
+            ExecutionReport::with_accuracy(size * penalty, 1.0)
+        }
+
+        fn accuracy(&self) -> Option<AccuracySpec> {
+            Some(AccuracySpec::new(0.5))
+        }
+
+        fn properties(&self) -> Vec<FeatureDef> {
+            vec![FeatureDef::new("kind", 2), FeatureDef::new("size", 1)]
+        }
+
+        fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
+            match property {
+                0 => FeatureSample::new(input.0 as f64, 1.0 + level as f64),
+                _ => FeatureSample::new(input.1, 2.0),
+            }
+        }
+
+        fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+            Some(serde_json::Value::Array(vec![
+                serde_json::Value::UInt(input.0 as u64),
+                serde_json::Value::Float(input.1),
+            ]))
+        }
+
+        fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+            let items = payload.as_array()?;
+            if items.len() != 2 {
+                return None;
+            }
+            Some((items[0].as_u64()? as usize, items[1].as_f64()?))
+        }
+    }
+
+    /// A deterministic corpus of `(kind, size)` inputs.
+    pub fn synthetic_corpus(n: usize, seed: usize) -> Vec<(usize, f64)> {
+        (0..n)
+            .map(|i| ((i + seed) % 3, 100.0 + ((i * 17 + seed) % 9) as f64 * 10.0))
+            .collect()
+    }
+
+    /// Quick-test two-level options.
+    pub fn train_options() -> TwoLevelOptions {
+        TwoLevelOptions {
+            level1: Level1Options {
+                clusters: 3,
+                tuner: TunerOptions {
+                    population: 8,
+                    generations: 5,
+                    ..TunerOptions::quick(1)
+                },
+                ..Level1Options::default()
+            },
+            ..TwoLevelOptions::default()
+        }
+    }
+}

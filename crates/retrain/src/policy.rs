@@ -1,0 +1,205 @@
+//! When to retrain: the policy gate between observation and spending a
+//! training budget.
+//!
+//! Retraining costs real measurement work, and a model retrained on five
+//! inputs is noise, so the controller only acts when the corpus's cycle
+//! evidence clears a [`RetrainPolicy`]: enough fresh traffic since the
+//! last attempt (cooldown), and either enough **new retrainable inputs**
+//! (the distribution has new material) or a tripped **drift rate** (the
+//! serving probes say the material that arrived is out-of-distribution —
+//! the shift the paper's whole premise warns about). The decision is a
+//! pure function of the evidence, so the same journal always produces the
+//! same retraining schedule.
+
+use crate::corpus::CycleEvidence;
+
+/// Thresholds gating a retrain cycle.
+#[derive(Debug, Clone)]
+pub struct RetrainPolicy {
+    /// New unique, payload-carrying corpus entries since the last cycle
+    /// required to retrain on volume alone.
+    pub min_new_inputs: u64,
+    /// Out-of-distribution fraction (among records journaled since the
+    /// last cycle) beyond which drift alone forces a retrain.
+    pub drift_trip_rate: f64,
+    /// Minimum journaled records since the last cycle before the drift
+    /// rate is trusted (a two-record journal can read 100 % OOD).
+    pub min_drift_observations: u64,
+    /// Journaled records required since the last cycle before *any*
+    /// retrain — the cooldown that stops a hot loop of attempts.
+    pub cooldown_records: u64,
+}
+
+impl Default for RetrainPolicy {
+    fn default() -> Self {
+        RetrainPolicy {
+            min_new_inputs: 64,
+            drift_trip_rate: 0.5,
+            min_drift_observations: 64,
+            cooldown_records: 256,
+        }
+    }
+}
+
+/// Why a retrain cycle fired.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrainReason {
+    /// Enough new retrainable inputs accumulated.
+    NewInputs {
+        /// New unique payload-carrying entries since the last cycle.
+        new_inputs: u64,
+    },
+    /// The observed drift rate tripped the policy.
+    DriftTripped {
+        /// OOD fraction among records journaled since the last cycle.
+        rate: f64,
+        /// Records that fraction was measured over.
+        observed: u64,
+    },
+}
+
+impl std::fmt::Display for RetrainReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrainReason::NewInputs { new_inputs } => {
+                write!(f, "{new_inputs} new retrainable inputs")
+            }
+            RetrainReason::DriftTripped { rate, observed } => {
+                write!(
+                    f,
+                    "drift rate {:.3} over {observed} journaled records",
+                    rate
+                )
+            }
+        }
+    }
+}
+
+/// The policy's verdict for one cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrainDecision {
+    /// Stand down, with the reason (cooldown, not enough evidence).
+    Idle(String),
+    /// Retrain now.
+    Retrain(RetrainReason),
+}
+
+impl RetrainPolicy {
+    /// Decides one cycle from the corpus's evidence (see module docs).
+    pub fn decide(&self, evidence: &CycleEvidence) -> RetrainDecision {
+        if evidence.offered < self.cooldown_records {
+            return RetrainDecision::Idle(format!(
+                "cooldown: {} of {} journaled records since the last cycle",
+                evidence.offered, self.cooldown_records
+            ));
+        }
+        if evidence.new_inputs >= self.min_new_inputs.max(1) {
+            return RetrainDecision::Retrain(RetrainReason::NewInputs {
+                new_inputs: evidence.new_inputs,
+            });
+        }
+        let rate = evidence.drift_rate();
+        if evidence.offered >= self.min_drift_observations && rate >= self.drift_trip_rate {
+            return RetrainDecision::Retrain(RetrainReason::DriftTripped {
+                rate,
+                observed: evidence.offered,
+            });
+        }
+        RetrainDecision::Idle(format!(
+            "{} new inputs (need {}), drift rate {:.3} (trips at {:.3} after {} records)",
+            evidence.new_inputs,
+            self.min_new_inputs.max(1),
+            rate,
+            self.drift_trip_rate,
+            self.min_drift_observations
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetrainPolicy {
+        RetrainPolicy {
+            min_new_inputs: 10,
+            drift_trip_rate: 0.5,
+            min_drift_observations: 20,
+            cooldown_records: 8,
+        }
+    }
+
+    #[test]
+    fn cooldown_blocks_everything() {
+        let d = policy().decide(&CycleEvidence {
+            offered: 7,
+            ood: 7,
+            new_inputs: 100,
+        });
+        assert!(
+            matches!(d, RetrainDecision::Idle(ref r) if r.contains("cooldown")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn new_input_volume_triggers() {
+        let d = policy().decide(&CycleEvidence {
+            offered: 12,
+            ood: 0,
+            new_inputs: 10,
+        });
+        assert_eq!(
+            d,
+            RetrainDecision::Retrain(RetrainReason::NewInputs { new_inputs: 10 })
+        );
+    }
+
+    #[test]
+    fn drift_triggers_only_after_enough_observations() {
+        // 60% OOD but only 12 records: not trusted yet.
+        let d = policy().decide(&CycleEvidence {
+            offered: 12,
+            ood: 8,
+            new_inputs: 0,
+        });
+        assert!(matches!(d, RetrainDecision::Idle(_)), "{d:?}");
+        // Same rate over 24 records: trips.
+        let d = policy().decide(&CycleEvidence {
+            offered: 24,
+            ood: 16,
+            new_inputs: 0,
+        });
+        assert!(
+            matches!(
+                d,
+                RetrainDecision::Retrain(RetrainReason::DriftTripped { observed: 24, .. })
+            ),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_traffic_idles_with_an_explanation() {
+        let d = policy().decide(&CycleEvidence {
+            offered: 50,
+            ood: 2,
+            new_inputs: 3,
+        });
+        let RetrainDecision::Idle(reason) = d else {
+            panic!("expected idle");
+        };
+        assert!(reason.contains("3 new inputs"), "{reason}");
+    }
+
+    #[test]
+    fn reasons_render_for_operators() {
+        let r = RetrainReason::DriftTripped {
+            rate: 0.75,
+            observed: 96,
+        };
+        assert_eq!(r.to_string(), "drift rate 0.750 over 96 journaled records");
+        let r = RetrainReason::NewInputs { new_inputs: 42 };
+        assert!(r.to_string().contains("42"));
+    }
+}

@@ -25,6 +25,12 @@
 //!   module). Both services share one drift monitor implementation
 //!   (`monitor` module), so a vector-served selection is bit-identical
 //!   to a benchmark-served one.
+//! * [`TraceSink`] + the **request journal** (`trace` / `journal`
+//!   modules) — continuous learning's observation layer: every answered
+//!   selection can be appended to a segmented, crash-tolerant log
+//!   (served features, chosen landmark, drift outcome, optional raw-input
+//!   payload), which the `intune_retrain` subsystem compacts into a
+//!   retraining corpus (format spec in `crates/retrain/README.md`).
 //!
 //! ## Lifecycle
 //!
@@ -75,12 +81,16 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod journal;
 mod monitor;
 pub mod service;
+pub mod trace;
 pub mod vector;
 
 pub use artifact::{ModelArtifact, ARTIFACT_MIN_VERSION, ARTIFACT_SCHEMA, ARTIFACT_VERSION};
+pub use journal::{JournalOptions, JournalRecord, JournalSink, JournalWriter};
 pub use service::{Selection, SelectorService, ServeOptions, ServeStats};
+pub use trace::TraceSink;
 pub use vector::VectorService;
 
 /// Shared fixtures for this crate's unit tests.

@@ -80,6 +80,21 @@ impl DriftMonitor {
         intune_exec::hit_rate(ood, probed) > self.drift_threshold
     }
 
+    /// The current out-of-distribution fraction among probed requests
+    /// (0 when nothing probed yet) — the quantity [`fallback_active`]
+    /// compares against the threshold. A cheap two-load accessor so
+    /// callers watching for a trip (the retrain controller, tests) do not
+    /// have to take and diff whole [`stats`] snapshots.
+    ///
+    /// [`fallback_active`]: DriftMonitor::fallback_active
+    /// [`stats`]: DriftMonitor::stats
+    pub(crate) fn trip_rate(&self) -> f64 {
+        intune_exec::hit_rate(
+            self.ood.load(Ordering::Acquire),
+            self.probed.load(Ordering::Acquire),
+        )
+    }
+
     /// Resets the drift counters; request counters keep counting.
     pub(crate) fn reset(&self) {
         self.probed.store(0, Ordering::Release);

@@ -163,6 +163,15 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
         self.monitor.fallback_active()
     }
 
+    /// The current out-of-distribution fraction among probed requests —
+    /// the quantity the fallback policy compares against its threshold.
+    /// Cheap (two atomic loads), so drift watchers (the retrain
+    /// controller, tests) need not diff [`SelectorService::stats`]
+    /// snapshots.
+    pub fn trip_rate(&self) -> f64 {
+        self.monitor.trip_rate()
+    }
+
     /// Resets the drift monitor (e.g. after retraining was scheduled or
     /// the input shift was acknowledged); request counters keep counting.
     pub fn reset_drift(&self) {

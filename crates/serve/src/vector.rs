@@ -15,9 +15,11 @@
 use crate::artifact::ModelArtifact;
 use crate::monitor::DriftMonitor;
 use crate::service::{Selection, ServeOptions, ServeStats};
+use crate::trace::TraceSink;
 use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result};
 use intune_exec::Executor;
 use intune_learning::selection::samples_for;
+use std::sync::Arc;
 
 /// A serving runtime over pre-extracted feature vectors: validated
 /// artifact, the production classifier's feature subset, a drift monitor,
@@ -26,7 +28,6 @@ use intune_learning::selection::samples_for;
 /// Shared-state design mirrors `SelectorService`: the artifact is
 /// immutable after construction and all counters are atomics, so `&self`
 /// methods are safe from multiple threads.
-#[derive(Debug)]
 pub struct VectorService {
     artifact: ModelArtifact,
     /// The classifier's feature subset, precomputed at construction.
@@ -34,6 +35,19 @@ pub struct VectorService {
     executor: Executor,
     opts: ServeOptions,
     monitor: DriftMonitor,
+    /// Optional observer of every answered selection (request journal).
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for VectorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorService")
+            .field("artifact", &self.artifact.benchmark)
+            .field("revision", &self.artifact.revision)
+            .field("opts", &self.opts)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl VectorService {
@@ -53,7 +67,15 @@ impl VectorService {
             executor: Executor::new(opts.threads),
             opts,
             monitor,
+            trace: None,
         })
+    }
+
+    /// Attaches (or detaches) a trace sink observing every answered
+    /// selection — the continuous-learning request journal. Sinks see
+    /// final selections only; they cannot change an answer.
+    pub fn set_trace(&mut self, trace: Option<Arc<dyn TraceSink>>) {
+        self.trace = trace;
     }
 
     /// The artifact being served.
@@ -69,6 +91,15 @@ impl VectorService {
     /// Whether the fallback policy is currently engaged.
     pub fn fallback_active(&self) -> bool {
         self.monitor.fallback_active()
+    }
+
+    /// The current out-of-distribution fraction among probed requests —
+    /// the quantity the fallback policy compares against its threshold.
+    /// Cheap (two atomic loads), so drift watchers (the retrain
+    /// controller, tests) need not diff [`VectorService::stats`]
+    /// snapshots.
+    pub fn trip_rate(&self) -> f64 {
+        self.monitor.trip_rate()
     }
 
     /// Resets the drift monitor; request counters keep counting.
@@ -140,6 +171,14 @@ impl VectorService {
         let selection = self.classify(fv, true, fall_back);
         self.monitor
             .record_single(true, selection.out_of_distribution, selection.fell_back);
+        if let Some(trace) = &self.trace {
+            trace.record_batch(
+                self.artifact.revision,
+                std::slice::from_ref(fv),
+                &[],
+                std::slice::from_ref(&selection),
+            );
+        }
         Ok(selection)
     }
 
@@ -153,6 +192,32 @@ impl VectorService {
     /// # Errors
     /// Returns [`Error::Artifact`] naming the first ill-shaped vector.
     pub fn select_vector_batch(&self, vectors: &[FeatureVector]) -> Result<Vec<Selection>> {
+        self.select_vector_batch_traced(vectors, &[])
+    }
+
+    /// [`VectorService::select_vector_batch`] with opaque raw-input
+    /// payloads riding along for the trace sink: `payloads` is either
+    /// empty or parallel to `vectors` (`Null` = no payload for that
+    /// vector). Payloads never influence selection — they exist so a
+    /// request journal can capture what the client actually processed,
+    /// which is what retraining needs.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] naming the first ill-shaped vector, or
+    /// describing a payload/vector length mismatch.
+    pub fn select_vector_batch_traced(
+        &self,
+        vectors: &[FeatureVector],
+        payloads: &[serde_json::Value],
+    ) -> Result<Vec<Selection>> {
+        if !payloads.is_empty() && payloads.len() != vectors.len() {
+            return Err(Error::artifact(format!(
+                "batch ships {} payloads for {} vectors; payloads must be \
+                 absent or parallel",
+                payloads.len(),
+                vectors.len()
+            )));
+        }
         for (i, fv) in vectors.iter().enumerate() {
             self.validate_vector(fv)
                 .map_err(|e| Error::artifact(format!("batch vector {i}: {e}")))?;
@@ -174,6 +239,9 @@ impl VectorService {
         };
         self.monitor
             .record_batch(selections.len() as u64, probed, ood, fallbacks);
+        if let Some(trace) = &self.trace {
+            trace.record_batch(self.artifact.revision, vectors, payloads, &selections);
+        }
         Ok(selections)
     }
 }
@@ -271,6 +339,57 @@ mod tests {
         let err = svc.select_vector_batch(&batch).unwrap_err();
         assert!(err.to_string().contains("batch vector 4"), "{err}");
         assert_eq!(svc.stats().requests, 0, "no counter moved");
+    }
+
+    #[test]
+    fn trace_sink_sees_every_selection_with_revision_and_payloads() {
+        use crate::trace::testutil::CountingSink;
+        use std::sync::Arc;
+
+        let artifact = ModelArtifact::export(&Synthetic, &train_synthetic()).with_revision(5);
+        let mut svc = VectorService::new(artifact, ServeOptions::default()).unwrap();
+        let sink = Arc::new(CountingSink::default());
+        svc.set_trace(Some(sink.clone()));
+
+        let vs = vectors(6, 2);
+        let untraced_answers = svc.select_vector_batch(&vs).unwrap();
+        let payloads: Vec<serde_json::Value> =
+            (0..6).map(|i| serde_json::Value::Int(i as i64)).collect();
+        let traced_answers = svc.select_vector_batch_traced(&vs, &payloads).unwrap();
+        assert_eq!(untraced_answers, traced_answers, "payloads never steer");
+        svc.select_vector(&vs[0]).unwrap();
+
+        assert_eq!(sink.appended(), 13);
+        let seen = sink.seen.lock().unwrap().clone();
+        assert_eq!(seen, vec![(5, 6, 0), (5, 6, 6), (5, 1, 0)]);
+
+        // Mismatched payloads are a typed error before any counter moves.
+        let before = svc.stats();
+        let err = svc
+            .select_vector_batch_traced(&vs, &payloads[..2])
+            .unwrap_err();
+        assert!(err.to_string().contains("parallel"), "{err}");
+        assert_eq!(svc.stats(), before);
+    }
+
+    #[test]
+    fn trip_rate_tracks_the_ood_fraction_without_snapshot_diffing() {
+        let svc = vector_service(ServeOptions {
+            radius_factor: -1.0, // everything is out-of-distribution
+            min_observations: 1000,
+            ..ServeOptions::default()
+        });
+        assert_eq!(svc.trip_rate(), 0.0, "nothing probed yet");
+        svc.select_vector_batch(&vectors(8, 1)).unwrap();
+        assert_eq!(svc.trip_rate(), 1.0);
+        let stats = svc.stats();
+        assert_eq!(
+            svc.trip_rate(),
+            stats.drift_fraction(),
+            "accessor and snapshot derive the same rate"
+        );
+        svc.reset_drift();
+        assert_eq!(svc.trip_rate(), 0.0, "reset re-arms the rate");
     }
 
     #[test]

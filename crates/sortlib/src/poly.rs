@@ -239,6 +239,17 @@ impl Benchmark for PolySort {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         crate::features::extract(property, level, input)
     }
+
+    // Sort inputs are plain float arrays: they journal losslessly (the
+    // JSON backend round-trips every f64 bit pattern), so sort cases can
+    // feed the continuous-learning retraining corpus.
+    fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+        Some(serde::Serialize::to_value(input))
+    }
+
+    fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+        serde_json::from_value(payload).ok()
+    }
 }
 
 #[cfg(test)]

@@ -18,8 +18,13 @@
 //!   six benchmark programs with algorithmic choices and input generators
 //! * [`learning`] — the two-level pipeline, classifiers, oracles
 //! * [`serve`] — model-artifact persistence (save/load with schema
-//!   version + checksum) and the online selector serving runtime with
-//!   drift monitoring
+//!   version + checksum), the online selector serving runtimes with
+//!   drift monitoring, and the request journal
+//! * [`daemon`] — the long-running selection daemon (`intune-wire/1`),
+//!   hot artifact reload and shadow evaluation
+//! * [`retrain`] — continuous learning: journal compaction, the
+//!   persistent input corpus, and drift-triggered retraining that pushes
+//!   artifact revisions into a live daemon
 //! * [`eval`] — corpora and the table/figure reproduction harness
 //!
 //! ## Quickstart
@@ -35,12 +40,14 @@ pub use intune_autotuner as autotuner;
 pub use intune_binpacklib as binpacklib;
 pub use intune_clusterlib as clusterlib;
 pub use intune_core as core;
+pub use intune_daemon as daemon;
 pub use intune_eval as eval;
 pub use intune_exec as exec;
 pub use intune_learning as learning;
 pub use intune_linalg as linalg;
 pub use intune_ml as ml;
 pub use intune_pde as pde;
+pub use intune_retrain as retrain;
 pub use intune_serve as serve;
 pub use intune_sortlib as sortlib;
 pub use intune_svdlib as svdlib;

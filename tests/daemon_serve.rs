@@ -51,6 +51,7 @@ fn daemon_options() -> DaemonOptions {
             min_mirrored: 8,
             min_agreement: 0.99,
         },
+        trace: None,
     }
 }
 
