@@ -25,6 +25,12 @@ fn main() {
         suite: micro_config(),
         rounds: 64,
         threads,
+        // Production-representative drift-probe cadence: 1-in-16
+        // requests pay the full-vector extraction + centroid distance.
+        // Probing never changes the served landmark, so throughput is
+        // the only number this moves; the cadence is recorded in the
+        // report for cross-PR attribution.
+        probe_every: 16,
         artifact_dir: std::env::temp_dir()
             .join(format!("intune-serve-bench-{}", std::process::id())),
     };
@@ -36,7 +42,7 @@ fn main() {
         cfg.threads
     );
     let cases = serve_baseline(&cfg, &TestCase::all());
-    let json = serve_baseline_json(cfg.threads, &cases);
+    let json = serve_baseline_json(cfg.threads, cfg.probe_every, &cases);
     std::fs::write(&out_path, &json).expect("write baseline json");
     print!("{json}");
     eprintln!("wrote {out_path}");

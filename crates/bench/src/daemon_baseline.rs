@@ -15,7 +15,7 @@
 //! regardless of drift-counter interleaving across client threads.
 
 use crate::report;
-use intune_core::{Benchmark, BenchmarkExt, FeatureVector};
+use intune_core::{Benchmark, FeatureVector};
 use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
 use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
@@ -134,6 +134,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                 min_agreement: 0.99,
             },
             trace: None,
+            inject_faults: false,
         },
         &ListenConfig::default(),
     )

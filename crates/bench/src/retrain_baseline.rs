@@ -15,7 +15,7 @@
 //! counts are deterministic; wall-clock figures are environment-dependent.
 
 use crate::report;
-use intune_core::{Benchmark, BenchmarkExt, FeatureVector, Result};
+use intune_core::{Benchmark, FeatureVector, Result};
 use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
 use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
@@ -143,6 +143,7 @@ impl CaseVisitor for RetrainVisitor<'_> {
                     min_agreement: 0.0,
                 },
                 trace: Some(sink.clone() as Arc<dyn TraceSink>),
+                inject_faults: false,
             },
             &ListenConfig::default(),
         )?;

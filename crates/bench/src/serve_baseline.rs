@@ -57,6 +57,14 @@ pub struct ServeBenchConfig {
     pub rounds: usize,
     /// Service worker threads.
     pub threads: usize,
+    /// Drift-probe cadence of the throughput pass
+    /// ([`ServeOptions::probe_every`]). Probing is monitoring overhead —
+    /// it never changes which landmark is served — so the baseline runs
+    /// at a production-representative sampling rate rather than probing
+    /// every request; the cadence is recorded in the report. The
+    /// forced-drift pass always probes everything (cadence 1) so its
+    /// counters stay exhaustive.
+    pub probe_every: usize,
     /// Where artifacts are written (and reloaded from).
     pub artifact_dir: PathBuf,
 }
@@ -97,6 +105,7 @@ impl CaseVisitor for ServeBenchVisitor<'_> {
             artifact.clone(),
             ServeOptions {
                 threads: self.cfg.threads,
+                probe_every: self.cfg.probe_every,
                 ..ServeOptions::default()
             },
         )?;
@@ -164,10 +173,14 @@ pub fn serve_baseline(cfg: &ServeBenchConfig, cases: &[TestCase]) -> Vec<ServeCa
 /// Renders the baseline as the machine-readable `BENCH_serve.json`
 /// document (through [`crate::report`]: sorted keys, trailing newline).
 /// Besides the counters, the document records the **artifact schema
-/// version** and the **executor worker count** used, so trajectory
-/// comparisons across PRs are attributable to a model format and a
-/// parallelism level.
-pub fn serve_baseline_json(threads: usize, cases: &[ServeCaseBaseline]) -> String {
+/// version**, the **executor worker count**, and the **drift-probe
+/// cadence** used, so trajectory comparisons across PRs are attributable
+/// to a model format, a parallelism level, and a monitoring rate.
+pub fn serve_baseline_json(
+    threads: usize,
+    probe_every: usize,
+    cases: &[ServeCaseBaseline],
+) -> String {
     use crate::report;
     use serde_json::Value;
     let total_sel: u64 = cases.iter().map(|c| c.selections).sum();
@@ -178,12 +191,13 @@ pub fn serve_baseline_json(threads: usize, cases: &[ServeCaseBaseline]) -> Strin
         0.0
     };
     let doc = report::obj(vec![
-        ("schema", Value::String("intune-bench-serve/2".into())),
+        ("schema", Value::String("intune-bench-serve/3".into())),
         (
             "artifact_version",
             Value::UInt(intune_serve::ARTIFACT_VERSION as u64),
         ),
         ("workers", Value::UInt(threads as u64)),
+        ("probe_every", Value::UInt(probe_every as u64)),
         (
             "cases",
             Value::Array(
@@ -233,6 +247,7 @@ mod tests {
             suite: micro_config(),
             rounds: 2,
             threads: 1,
+            probe_every: 1,
             artifact_dir: std::env::temp_dir()
                 .join(format!("intune-serve-bench-{}", std::process::id())),
         }
@@ -258,11 +273,12 @@ mod tests {
     fn serve_json_has_stable_schema() {
         let cfg = config();
         let cases = serve_baseline(&cfg, &[TestCase::Binpacking]);
-        let json = serve_baseline_json(1, &cases);
+        let json = serve_baseline_json(1, 1, &cases);
         for key in [
-            "\"schema\": \"intune-bench-serve/2\"",
+            "\"schema\": \"intune-bench-serve/3\"",
             "\"artifact_version\": 2",
             "\"workers\": 1",
+            "\"probe_every\": 1",
             "\"selections_per_sec\"",
             "\"drift_fraction\"",
             "\"forced_fallbacks\"",

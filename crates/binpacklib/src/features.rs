@@ -37,6 +37,24 @@ fn sample(input: &[f64], level: usize) -> (Vec<f64>, f64) {
 /// Panics if `property` is out of range (Bin Packing declares 4).
 pub fn extract(property: usize, level: usize, input: &[f64]) -> FeatureSample {
     let (s, cost) = sample(input, level);
+    extract_sampled(property, &s, cost)
+}
+
+/// Extracts all four properties at one sampling level, sampling the items
+/// **once** instead of once per property — the fused pass behind
+/// `BinPacking::extract_all` on the serving hot path. Bit-identical to
+/// calling [`extract`] per property (both share `extract_sampled`).
+pub fn extract_level(level: usize, input: &[f64]) -> [FeatureSample; 4] {
+    let (s, cost) = sample(input, level);
+    [
+        extract_sampled(prop::AVERAGE, &s, cost),
+        extract_sampled(prop::DEVIATION, &s, cost),
+        extract_sampled(prop::RANGE, &s, cost),
+        extract_sampled(prop::SORTEDNESS, &s, cost),
+    ]
+}
+
+fn extract_sampled(property: usize, s: &[f64], cost: f64) -> FeatureSample {
     let m = s.len() as f64;
     match property {
         prop::AVERAGE => FeatureSample::new(s.iter().sum::<f64>() / m, cost),
@@ -48,7 +66,7 @@ pub fn extract(property: usize, level: usize, input: &[f64]) -> FeatureSample {
         prop::RANGE => {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            for &x in &s {
+            for &x in s {
                 lo = lo.min(x);
                 hi = hi.max(x);
             }
@@ -96,6 +114,29 @@ mod tests {
         let items: Vec<f64> = (0..1000).map(|i| ((i % 97) as f64 + 1.0) / 98.0).collect();
         for p in 0..4 {
             assert!(extract(p, 0, &items).cost < extract(p, 2, &items).cost);
+        }
+    }
+
+    #[test]
+    fn fused_level_extraction_is_bit_identical() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.4],
+            (0..900).map(|i| ((i * 13) % 89) as f64 / 90.0).collect(),
+        ];
+        for items in &cases {
+            for level in 0..3 {
+                let fused = extract_level(level, items);
+                for (p, sample) in fused.iter().enumerate() {
+                    let single = extract(p, level, items);
+                    assert!(
+                        sample.value.to_bits() == single.value.to_bits()
+                            && sample.cost.to_bits() == single.cost.to_bits(),
+                        "p{p} l{level} n{}: fused {sample:?} != single {single:?}",
+                        items.len()
+                    );
+                }
+            }
         }
     }
 

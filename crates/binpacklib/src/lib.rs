@@ -25,8 +25,8 @@ pub use generators::{PackCorpus, PackInputClass};
 pub use heuristics::{Heuristic, Packing};
 
 use intune_core::{
-    AccuracySpec, Benchmark, ConfigSpace, Configuration, FeatureDef, FeatureSample, Selector,
-    SelectorSpec,
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, FeatureDef, FeatureId, FeatureSample,
+    FeatureVector, Selector, SelectorSpec,
 };
 
 /// The Bin Packing benchmark. The configuration space is a one-level
@@ -97,6 +97,25 @@ impl Benchmark for BinPacking {
         features::extract(property, level, input)
     }
 
+    // Fused full extraction: one item sample per level shared by all
+    // properties (bit-identical to the default per-property path; see
+    // `features::extract_level`). Drift probes on the serving hot path
+    // call this per probed request.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for level in 0..3 {
+            for (p, sample) in features::extract_level(level, input)
+                .into_iter()
+                .enumerate()
+            {
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
+
     // Packing instances are plain float arrays: they journal losslessly,
     // so this case can feed the continuous-learning retraining corpus.
     fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
@@ -111,7 +130,6 @@ impl Benchmark for BinPacking {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intune_core::BenchmarkExt;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -54,6 +54,26 @@ fn bbox(points: &[Point]) -> (Point, Point) {
 /// Panics if `property` is out of range (Clustering declares 4).
 pub fn extract(property: usize, level: usize, points: &[Point]) -> FeatureSample {
     let (s, m) = sample(points, level);
+    extract_sampled(property, level, &s, m)
+}
+
+/// Extracts all four properties at one sampling level, subsampling the
+/// point cloud **once** instead of once per property — the fused pass
+/// behind `Clustering::extract_all` on the serving hot path. Bit-identical
+/// to calling [`extract`] per property: both paths share
+/// `extract_sampled`, and the sample is deterministic for a given
+/// (points, level).
+pub fn extract_level(level: usize, points: &[Point]) -> [FeatureSample; 4] {
+    let (s, m) = sample(points, level);
+    [
+        extract_sampled(prop::RADIUS, level, &s, m),
+        extract_sampled(prop::CENTERS, level, &s, m),
+        extract_sampled(prop::DENSITY, level, &s, m),
+        extract_sampled(prop::RANGE, level, &s, m),
+    ]
+}
+
+fn extract_sampled(property: usize, level: usize, s: &[Point], m: f64) -> FeatureSample {
     match property {
         prop::RADIUS => {
             let cx = s.iter().map(|p| p[0]).sum::<f64>() / s.len() as f64;
@@ -64,15 +84,15 @@ pub fn extract(property: usize, level: usize, points: &[Point]) -> FeatureSample
                 .fold(0.0, f64::max);
             FeatureSample::new(r, 2.0 * m)
         }
-        prop::CENTERS => centers_estimate(&s, level, m),
+        prop::CENTERS => centers_estimate(s, level, m),
         prop::DENSITY => {
             // Points per occupied cell of a g × g grid.
             let g = 8usize;
-            let (lo, hi) = bbox(&s);
+            let (lo, hi) = bbox(s);
             let w = (hi[0] - lo[0]).max(1e-12);
             let h = (hi[1] - lo[1]).max(1e-12);
             let mut occupied = std::collections::HashSet::new();
-            for p in &s {
+            for p in s {
                 let gx = (((p[0] - lo[0]) / w) * (g as f64 - 1.0)) as usize;
                 let gy = (((p[1] - lo[1]) / h) * (g as f64 - 1.0)) as usize;
                 occupied.insert((gx, gy));
@@ -80,7 +100,7 @@ pub fn extract(property: usize, level: usize, points: &[Point]) -> FeatureSample
             FeatureSample::new(s.len() as f64 / occupied.len().max(1) as f64, 2.0 * m)
         }
         prop::RANGE => {
-            let (lo, hi) = bbox(&s);
+            let (lo, hi) = bbox(s);
             let dx = (hi[0] - lo[0]).max(0.0);
             let dy = (hi[1] - lo[1]).max(0.0);
             FeatureSample::new((dx * dx + dy * dy).sqrt(), m)
@@ -221,6 +241,24 @@ mod tests {
         assert!(
             extract(prop::DENSITY, 2, &lattice).value > extract(prop::DENSITY, 2, &spread).value
         );
+    }
+
+    #[test]
+    fn fused_level_extraction_is_bit_identical() {
+        for pts in [vec![], vec![[1.0, 2.0]], blobs(3, 90), blobs(7, 1500)] {
+            for level in 0..3 {
+                let fused = extract_level(level, &pts);
+                for (p, sample) in fused.iter().enumerate() {
+                    let single = extract(p, level, &pts);
+                    assert!(
+                        sample.value.to_bits() == single.value.to_bits()
+                            && sample.cost.to_bits() == single.cost.to_bits(),
+                        "p{p} l{level} n{}: fused {sample:?} != single {single:?}",
+                        pts.len()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use algorithm::{kmeans_run, InitStrategy, KmeansOutcome};
 pub use generators::{ClusterCorpus, ClusterInput, ClusterInputClass};
 
 use intune_core::{
-    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureId,
+    FeatureSample, FeatureVector,
 };
 
 /// The Clustering benchmark.
@@ -93,12 +94,31 @@ impl Benchmark for Clustering {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         features::extract(property, level, &input.points)
     }
+
+    // Fused full extraction: one subsample per level shared by all four
+    // properties (bit-identical to the default per-property path; see
+    // `features::extract_level`). Serving-side drift probes call this per
+    // probed request, so the shared pass matters there.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for level in 0..3 {
+            for (p, sample) in features::extract_level(level, &input.points)
+                .into_iter()
+                .enumerate()
+            {
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intune_core::{BenchmarkExt, ParamValue};
+    use intune_core::ParamValue;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

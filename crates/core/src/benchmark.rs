@@ -77,6 +77,29 @@ pub trait Benchmark {
     /// declared by [`Benchmark::properties`]; callers should stay in range.
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample;
 
+    /// Extracts *all* features (every property at every level) into a dense
+    /// [`FeatureVector`]. Used at training time, where the full matrix is
+    /// needed, and by the serving runtimes' drift probes.
+    ///
+    /// The default calls [`Benchmark::extract`] once per property × level.
+    /// Benchmarks whose per-feature extractors redo shared work (typically
+    /// re-subsampling the input for every property at the same level)
+    /// should override this with a fused pass — the override must produce
+    /// **bit-identical** samples to the default, which is what keeps
+    /// selections byte-identical between training and serving.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for (p, def) in defs.iter().enumerate() {
+            for level in 0..def.levels {
+                let sample = self.extract(p, level, input);
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
+
     /// Encodes an input as a self-describing JSON payload so it can travel
     /// — over the serve daemon's wire protocol into the request journal,
     /// and from there into a retraining corpus. `None` (the default) means
@@ -109,23 +132,6 @@ pub trait BenchmarkExt: Benchmark {
         let sw = crate::cost::Stopwatch::start();
         let report = self.run(cfg, input);
         report.timed(sw.elapsed_ns())
-    }
-
-    /// Extracts *all* features (every property at every level) into a dense
-    /// [`FeatureVector`]. Used at training time, where the full matrix is
-    /// needed; at deployment only the production classifier's subset is paid
-    /// for.
-    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
-        let defs = self.properties();
-        let mut fv = FeatureVector::empty(&defs);
-        for (p, def) in defs.iter().enumerate() {
-            for level in 0..def.levels {
-                let sample = self.extract(p, level, input);
-                fv.insert(FeatureId { property: p, level }, sample)
-                    .expect("in-range feature id");
-            }
-        }
-        fv
     }
 
     /// Runs one *measurement cell* — configuration × input × cell seed —

@@ -93,6 +93,7 @@ fn main() {
             &dir,
             JournalOptions {
                 segment_max_records: journal_segment,
+                ..JournalOptions::default()
             },
         )
         .unwrap_or_else(|e| die(&e.to_string()));
@@ -106,6 +107,7 @@ fn main() {
             shadow_serve,
             shadow,
             trace,
+            inject_faults: false,
         },
         &listen,
     )

@@ -1,7 +1,9 @@
-//! The blocking `intune-wire/1` client.
+//! The blocking `intune-wire/2` client.
 //!
 //! One connection, one request in flight: every call sends a frame and
-//! blocks for the matching response. The client implements
+//! blocks for the matching response. The connection keeps a persistent
+//! [`protocol::FrameReader`], so response payloads land in one reusable
+//! buffer instead of a fresh allocation per frame. The client implements
 //! [`SelectionBackend`], so `table1 --daemon ADDR` can score a running
 //! daemon in place of the in-process production classifier — and prove
 //! the answers byte-identical.
@@ -69,11 +71,20 @@ pub struct ServerInfo {
     pub landmarks: u64,
 }
 
+/// One connection's I/O state: the stream plus its persistent frame
+/// reader (reused response buffer).
+struct Io {
+    conn: Conn,
+    reader: protocol::FrameReader,
+}
+
 /// A blocking daemon connection. All methods take `&self` (the stream
 /// sits behind a mutex), so one client can be shared across the eval
-/// harness's call sites.
+/// harness's call sites. The mutex recovers from poisoning — a panic in
+/// one caller leaves a connection in an unknown framing state, which the
+/// next request surfaces as a wire error rather than a cascading panic.
 pub struct DaemonClient {
-    conn: Mutex<Conn>,
+    io: Mutex<Io>,
     info: ServerInfo,
 }
 
@@ -103,9 +114,12 @@ impl DaemonClient {
             stream.set_nodelay(true).ok();
             Conn::Tcp(stream)
         };
-        let mut conn = conn;
+        let mut io = Io {
+            conn,
+            reader: protocol::FrameReader::new(),
+        };
         let response = roundtrip(
-            &mut conn,
+            &mut io,
             &Request::Hello {
                 client: format!("intune-client/{}", std::process::id()),
             },
@@ -121,7 +135,7 @@ impl DaemonClient {
             return Err(unexpected("HelloAck", &response));
         };
         Ok(DaemonClient {
-            conn: Mutex::new(conn),
+            io: Mutex::new(io),
             info: ServerInfo {
                 server,
                 benchmark,
@@ -138,8 +152,11 @@ impl DaemonClient {
     }
 
     fn roundtrip(&self, request: &Request) -> Result<Response> {
-        let mut conn = self.conn.lock().expect("client connection poisoned");
-        roundtrip(&mut conn, request)
+        let mut io = self
+            .io
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        roundtrip(&mut io, request)
     }
 
     /// Selects a landmark for every fully-extracted feature vector.
@@ -151,9 +168,12 @@ impl DaemonClient {
         // Encoded from the borrowed slice: no clone of the batch on the
         // hot path.
         let body = protocol::encode_select_batch(features);
-        let mut conn = self.conn.lock().expect("client connection poisoned");
-        let response = roundtrip_body(&mut conn, &body)?;
-        drop(conn);
+        let mut io = self
+            .io
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let response = roundtrip_body(&mut io, &body)?;
+        drop(io);
         match response {
             Response::Selections { selections } => Ok(selections),
             other => Err(unexpected("Selections", &other)),
@@ -280,14 +300,14 @@ impl SelectionBackend for DaemonClient {
 }
 
 /// One send + one receive on a connection.
-fn roundtrip(conn: &mut Conn, request: &Request) -> Result<Response> {
-    roundtrip_body(conn, &protocol::encode_message(request))
+fn roundtrip(io: &mut Io, request: &Request) -> Result<Response> {
+    roundtrip_body(io, &protocol::encode_message(request))
 }
 
 /// One pre-encoded frame out + one response in.
-fn roundtrip_body(conn: &mut Conn, body: &str) -> Result<Response> {
-    protocol::write_frame(conn, body)?;
-    match protocol::recv::<_, Response>(conn)? {
+fn roundtrip_body(io: &mut Io, body: &str) -> Result<Response> {
+    protocol::write_frame(&mut io.conn, body)?;
+    match io.reader.recv::<_, Response>(&mut io.conn)? {
         Some(response) => Ok(response),
         None => Err(Error::wire("daemon closed the connection mid-request")),
     }

@@ -6,13 +6,17 @@
 //! PR 3 drew the train/deploy boundary (a persisted, checksummed
 //! [`intune_serve::ModelArtifact`]); this crate puts a server in front of
 //! it. A [`Daemon`] loads an artifact, listens on TCP (plus a Unix-domain
-//! socket on unix), and speaks **`intune-wire/1`** — a length-prefixed
-//! framed protocol whose bodies are the workspace's checksummed JSON
-//! envelope (see [`protocol`] and `crates/daemon/README.md` for the frame
+//! socket on unix), and speaks **`intune-wire/2`** — a binary-header
+//! framed protocol carrying one compact JSON message per frame, with the
+//! payload checksum in the header so neither side re-serializes to
+//! verify (see [`protocol`] and `crates/daemon/README.md` for the frame
 //! layout). Clients ship fully-extracted feature vectors; the daemon
 //! answers landmark selections computed by a benchmark-free
 //! [`intune_serve::VectorService`] — bit-identical to in-process
-//! selection, which `table1 --daemon` + CI prove end to end.
+//! selection, which `table1 --daemon` + CI prove end to end. The primary
+//! service sits behind a lock-free pointer, so selection reads are
+//! wait-free and a promotion (or a crashed handler) can never stall or
+//! poison them.
 //!
 //! Model lifecycle over the wire:
 //!
@@ -52,7 +56,7 @@ pub mod shadow;
 
 pub use client::{DaemonClient, ServerInfo};
 pub use protocol::{
-    DaemonStats, LandmarkAgreement, Request, Response, ShadowStats, MAX_FRAME_BYTES, WIRE_SCHEMA,
+    DaemonStats, FrameReader, LandmarkAgreement, Request, Response, ShadowStats, MAX_FRAME_BYTES,
     WIRE_VERSION,
 };
 pub use server::{Daemon, DaemonHandle, DaemonOptions, ListenConfig, SERVER_NAME};
@@ -409,6 +413,64 @@ mod tests {
         // Mirror traffic (the staged shadow scored 4 vectors) was NOT
         // journaled: 16 primary answers, not 20 records.
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handler_panic_costs_one_connection_never_the_daemon() {
+        let opts = DaemonOptions {
+            inject_faults: true,
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+
+        // A raw second connection whose handler we crash mid-request.
+        let mut victim = std::net::TcpStream::connect(handle.addr).unwrap();
+        protocol::send(&mut victim, &Request::InjectPanic).unwrap();
+        // The handler panicked before replying: the connection dies with
+        // no response frame (clean close or reset), never a reply.
+        match protocol::recv::<_, Response>(&mut victim) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(r)) => panic!("crashed handler still replied: {r:?}"),
+        }
+
+        // The daemon itself is unharmed: the original client still gets
+        // selections and a stats snapshot over its own connection.
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        let selections = client.select_batch(&batch).unwrap();
+        for (i, s) in selections.iter().enumerate() {
+            assert_eq!(s.landmark, usize::from(i >= 4), "input {i}");
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.primary.requests, 8);
+        assert_eq!(stats.connections, 2);
+
+        // A fresh connection is also accepted after the crash.
+        let late = DaemonClient::connect(&handle.addr.to_string()).unwrap();
+        assert_eq!(late.info().benchmark, "daemon-test");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn fault_injection_is_refused_unless_enabled() {
+        let (handle, client) = start(DaemonOptions::default());
+        let mut raw = std::net::TcpStream::connect(handle.addr).unwrap();
+        protocol::send(&mut raw, &Request::InjectPanic).unwrap();
+        let mut reader = protocol::FrameReader::new();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        let Response::Error { detail } = reply else {
+            panic!("expected a typed refusal, got {reply:?}");
+        };
+        assert!(detail.contains("disabled"), "{detail}");
+        // The refusal is an answer, not a crash: the same connection
+        // keeps serving.
+        protocol::send(&mut raw, &Request::Stats).unwrap();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        assert!(matches!(reply, Response::StatsReply { .. }), "{reply:?}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
     }
 
     #[cfg(unix)]

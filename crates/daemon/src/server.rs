@@ -2,16 +2,21 @@
 //!
 //! A [`Daemon`] owns a **primary** [`VectorService`] (answering every
 //! client) and at most one staged **shadow** (mirrored, never answering),
-//! and speaks `intune-wire/1` over TCP — plus a Unix-domain socket on
+//! and speaks `intune-wire/2` over TCP — plus a Unix-domain socket on
 //! unix — with one thread per connection and batch fan-out on the
-//! work-stealing executor inside the service. Model lifecycle over the
-//! wire: `LoadArtifact` stages a candidate (hot reload, any readable
+//! work-stealing executor inside the service. The primary sits behind a
+//! lock-free [`ArcSwap`] pointer: `SelectBatch` readers take a wait-free
+//! load, so a promotion in flight — or a handler that panicked mid-swap —
+//! can never stall or poison the serving hot path. Model lifecycle over
+//! the wire: `LoadArtifact` stages a candidate (hot reload, any readable
 //! artifact schema version), `SelectBatch` traffic builds its agreement
-//! record, `Promote` swaps it in behind the [`ShadowPolicy`] gate, and a
-//! drift-tripped shadow is auto-rejected without ever answering a client.
+//! record, `Promote` publishes it with a single pointer store behind the
+//! [`ShadowPolicy`] gate, and a drift-tripped shadow is auto-rejected
+//! without ever answering a client.
 
 use crate::protocol::{self, DaemonStats, Request, Response};
 use crate::shadow::{ShadowPolicy, ShadowState};
+use arc_swap::ArcSwap;
 use intune_core::{Error, FeatureVector, Result};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
 use std::io::{Read, Write};
@@ -20,13 +25,39 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Locks a mutex, recovering from poisoning. Every daemon mutex guards
+/// state that stays structurally valid across a panic (registries,
+/// staged-shadow slots), so a handler that died mid-request must cost
+/// exactly its own connection — never wedge every later request behind
+/// a `PoisonError`.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Forcibly closes one connection's socket (both directions), unblocking
-/// any thread parked in a read on it.
-type CloseHook = Box<dyn Fn() + Send + Sync>;
+/// any thread parked in a read on it. Shared between the handler thread
+/// (which fires it on every exit path) and the shutdown drain.
+type CloseHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Fires a [`CloseHook`] when dropped. A handler thread holds one so its
+/// connection is shut down however the handler exits — **including a
+/// panic**: merely dropping the stream would leave the registry's
+/// duplicated fd holding the TCP connection open, and the peer would
+/// block on a reply that can never come instead of seeing the
+/// connection die.
+struct ShutdownOnExit(Option<CloseHook>);
+
+impl Drop for ShutdownOnExit {
+    fn drop(&mut self) {
+        if let Some(hook) = &self.0 {
+            hook();
+        }
+    }
+}
 
 /// A connection stream the daemon can serve and force-close at shutdown.
 trait WireStream: Read + Write + Send + 'static {
@@ -43,7 +74,7 @@ trait WireStream: Read + Write + Send + 'static {
 impl WireStream for TcpStream {
     fn close_hook(&self) -> Option<CloseHook> {
         let dup = self.try_clone().ok()?;
-        Some(Box::new(move || {
+        Some(Arc::new(move || {
             let _ = dup.shutdown(Shutdown::Both);
         }))
     }
@@ -60,7 +91,7 @@ impl WireStream for TcpStream {
 impl WireStream for UnixStream {
     fn close_hook(&self) -> Option<CloseHook> {
         let dup = self.try_clone().ok()?;
-        Some(Box::new(move || {
+        Some(Arc::new(move || {
             let _ = dup.shutdown(Shutdown::Both);
         }))
     }
@@ -91,6 +122,10 @@ pub struct DaemonOptions {
     /// traffic is an echo of the primary's, and journaling it twice
     /// would poison the retraining corpus with duplicates.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Honor `InjectPanic` requests by panicking inside the connection
+    /// handler. Off by default; only the crash-containment tests turn it
+    /// on. A production daemon answers the request with a typed refusal.
+    pub inject_faults: bool,
 }
 
 impl std::fmt::Debug for DaemonOptions {
@@ -100,6 +135,7 @@ impl std::fmt::Debug for DaemonOptions {
             .field("shadow_serve", &self.shadow_serve)
             .field("shadow", &self.shadow)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("inject_faults", &self.inject_faults)
             .finish()
     }
 }
@@ -123,18 +159,24 @@ impl Default for ListenConfig {
     }
 }
 
-/// Serving state swapped under the lock: the primary and the staged
-/// shadow. `staged_seq` identifies the current shadow so a concurrent
-/// auto-reject never drops a *newer* shadow staged in between.
-struct State {
-    primary: VectorService,
-    shadow: Option<ShadowState>,
+/// The staged shadow, guarded by a (briefly held) mutex. `staged_seq`
+/// identifies the current shadow so a concurrent auto-reject never drops
+/// a *newer* shadow staged in between: mirroring happens outside the
+/// lock, and the rejection only lands if the slot still holds the same
+/// generation the tripped mirror scored.
+struct ShadowSlot {
+    shadow: Option<Arc<ShadowState>>,
     staged_seq: u64,
 }
 
 /// Everything connection handlers share.
 struct Shared {
-    state: RwLock<State>,
+    /// The serving primary. Readers (`SelectBatch`, `Hello`, `Stats`)
+    /// take a wait-free load; `Promote` publishes a replacement with one
+    /// pointer store. No lock, so no lock to poison and no writer that
+    /// can stall the hot path.
+    primary: ArcSwap<VectorService>,
+    shadow: Mutex<ShadowSlot>,
     opts: DaemonOptions,
     stop: AtomicBool,
     connections: AtomicU64,
@@ -154,12 +196,7 @@ impl Shared {
     /// unblocks the accept loops by connecting to them once.
     fn request_stop(&self) {
         self.stop.store(true, Ordering::Release);
-        for (_, hook) in self
-            .handlers
-            .lock()
-            .expect("handler registry poisoned")
-            .iter()
-        {
+        for (_, hook) in lock_unpoisoned(&self.handlers).iter() {
             if let Some(hook) = hook {
                 hook();
             }
@@ -250,8 +287,8 @@ impl Daemon {
         }
         Ok(Daemon {
             shared: Arc::new(Shared {
-                state: RwLock::new(State {
-                    primary,
+                primary: ArcSwap::from_pointee(primary),
+                shadow: Mutex::new(ShadowSlot {
                     shadow: None,
                     staged_seq: 0,
                 }),
@@ -294,13 +331,8 @@ impl Daemon {
             h.join().expect("uds accept loop panicked");
         }
         // Handlers were force-closed by `request_stop`; joining is quick.
-        let drained: Vec<(JoinHandle<()>, Option<CloseHook>)> = std::mem::take(
-            &mut *self
-                .shared
-                .handlers
-                .lock()
-                .expect("handler registry poisoned"),
-        );
+        let drained: Vec<(JoinHandle<()>, Option<CloseHook>)> =
+            std::mem::take(&mut *lock_unpoisoned(&self.shared.handlers));
         for (h, _) in drained {
             reap(h);
         }
@@ -348,8 +380,12 @@ where
         stream.prepare();
         let hook = stream.close_hook();
         let worker = Arc::clone(shared);
-        let handle = std::thread::spawn(move || handle_connection(stream, &worker));
-        let mut registry = shared.handlers.lock().expect("handler registry poisoned");
+        let thread_hook = hook.clone();
+        let handle = std::thread::spawn(move || {
+            let _shutdown_on_exit = ShutdownOnExit(thread_hook);
+            handle_connection(stream, &worker);
+        });
+        let mut registry = lock_unpoisoned(&shared.handlers);
         // `request_stop` fires close hooks under this same lock, so
         // re-check the flag now that we hold it: a shutdown that raced
         // in between the loop-top check and here has already fired the
@@ -387,10 +423,13 @@ fn reap(handle: JoinHandle<()>) {
 }
 
 /// One connection: request frames in, response frames out, until the
-/// peer closes, a protocol violation occurs, or `Shutdown` arrives.
+/// peer closes, a protocol violation occurs, or `Shutdown` arrives. The
+/// connection owns one [`protocol::FrameReader`], so request payloads
+/// land in a single reused buffer for the connection's whole life.
 fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
+    let mut reader = protocol::FrameReader::new();
     loop {
-        match protocol::recv::<_, Request>(&mut stream) {
+        match reader.recv::<_, Request>(&mut stream) {
             Ok(None) => break,
             Ok(Some(request)) => {
                 let shutdown = matches!(request, Request::Shutdown);
@@ -422,8 +461,8 @@ fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
 fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Hello { client: _ } => {
-            let state = shared.state.read().expect("state lock poisoned");
-            let artifact = state.primary.artifact();
+            let primary = shared.primary.load();
+            let artifact = primary.artifact();
             Response::HelloAck {
                 server: SERVER_NAME.to_string(),
                 benchmark: artifact.benchmark.clone(),
@@ -441,40 +480,52 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
         },
         Request::LoadArtifact { document } => handle_load(shared, &document),
         Request::Promote => handle_promote(shared),
+        Request::InjectPanic => {
+            if shared.opts.inject_faults {
+                panic!("injected fault: client requested a handler panic");
+            }
+            Response::Error {
+                detail: "fault injection is disabled on this daemon".to_string(),
+            }
+        }
         Request::Shutdown => Response::ShuttingDown,
     }
 }
 
-/// Primary answers; the shadow (if staged) mirrors. A shadow whose drift
-/// monitor trips — or that cannot score the traffic at all — is
-/// auto-rejected under the write lock, guarded by `staged_seq` so a
-/// newer shadow staged concurrently is never the one dropped.
+/// Primary answers off a wait-free pointer load; the shadow (if staged)
+/// mirrors *outside* any lock. A shadow whose drift monitor trips — or
+/// that cannot score the traffic at all — is auto-rejected afterwards,
+/// guarded by `staged_seq` so a newer shadow staged concurrently is
+/// never the one dropped. Mirroring a shadow that was replaced while we
+/// scored it is harmless: its agreement record dies with its `Arc`.
 fn handle_select(
     shared: &Shared,
     features: &[FeatureVector],
     payloads: &[serde_json::Value],
 ) -> Response {
-    let (selections, reject_seq) = {
-        let state = shared.state.read().expect("state lock poisoned");
-        let selections = match state.primary.select_vector_batch_traced(features, payloads) {
-            Ok(s) => s,
-            Err(e) => {
-                return Response::Error {
-                    detail: e.to_string(),
-                }
+    let primary = shared.primary.load();
+    let selections = match primary.select_vector_batch_traced(features, payloads) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::Error {
+                detail: e.to_string(),
             }
-        };
-        let reject_seq = state.shadow.as_ref().and_then(|shadow| {
-            let tripped = shadow.mirror(features, &selections).unwrap_or(true);
-            tripped.then_some(state.staged_seq)
-        });
-        (selections, reject_seq)
+        }
     };
-    if let Some(seq) = reject_seq {
-        let mut state = shared.state.write().expect("state lock poisoned");
-        if state.staged_seq == seq && state.shadow.is_some() {
-            state.shadow = None;
-            shared.shadow_rejections.fetch_add(1, Ordering::AcqRel);
+    let staged = {
+        let slot = lock_unpoisoned(&shared.shadow);
+        slot.shadow
+            .as_ref()
+            .map(|s| (Arc::clone(s), slot.staged_seq))
+    };
+    if let Some((shadow, seq)) = staged {
+        let tripped = shadow.mirror(features, &selections).unwrap_or(true);
+        if tripped {
+            let mut slot = lock_unpoisoned(&shared.shadow);
+            if slot.staged_seq == seq && slot.shadow.is_some() {
+                slot.shadow = None;
+                shared.shadow_rejections.fetch_add(1, Ordering::AcqRel);
+            }
         }
     }
     Response::Selections { selections }
@@ -483,7 +534,9 @@ fn handle_select(
 /// Stages a candidate artifact as the shadow (replacing any previous
 /// stage). The candidate must parse (any readable schema version), fit
 /// the primary's benchmark and feature declaration, and pass shape
-/// validation.
+/// validation. Validation and service construction happen before the
+/// slot lock is taken — staging never blocks the select path for longer
+/// than a pointer assignment.
 fn handle_load(shared: &Shared, document: &str) -> Response {
     let artifact = match ModelArtifact::from_document(document) {
         Ok(a) => a,
@@ -493,17 +546,17 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
             }
         }
     };
-    let mut state = shared.state.write().expect("state lock poisoned");
-    let primary = state.primary.artifact();
-    if artifact.benchmark != primary.benchmark {
+    let primary = shared.primary.load();
+    let primary_artifact = primary.artifact();
+    if artifact.benchmark != primary_artifact.benchmark {
         return Response::Error {
             detail: format!(
                 "staged artifact serves `{}`, daemon serves `{}`",
-                artifact.benchmark, primary.benchmark
+                artifact.benchmark, primary_artifact.benchmark
             ),
         };
     }
-    if artifact.feature_defs != primary.feature_defs {
+    if artifact.feature_defs != primary_artifact.feature_defs {
         return Response::Error {
             detail: "staged artifact declares a different feature space; \
                      it cannot score this daemon's traffic"
@@ -512,11 +565,12 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
     }
     let benchmark = artifact.benchmark.clone();
     let revision = artifact.revision;
-    let landmarks = state.primary.landmarks().len();
+    let landmarks = primary.landmarks().len();
     match VectorService::new(artifact, shared.opts.shadow_serve.clone()) {
         Ok(service) => {
-            state.shadow = Some(ShadowState::new(service, landmarks));
-            state.staged_seq += 1;
+            let mut slot = lock_unpoisoned(&shared.shadow);
+            slot.shadow = Some(Arc::new(ShadowState::new(service, landmarks)));
+            slot.staged_seq += 1;
             Response::Loaded {
                 benchmark,
                 revision,
@@ -529,17 +583,20 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
 }
 
 /// Promotes the staged shadow behind the policy gate. The promoted
-/// artifact becomes a fresh primary (counters zeroed); refusal leaves the
-/// shadow staged.
+/// artifact becomes a fresh primary (counters zeroed), published with a
+/// single pointer store — in-flight selects finish on the old primary
+/// they already loaded; every later select sees the new one. Refusal
+/// leaves the shadow staged; a revalidation failure drops it (it could
+/// not be promoted and can no longer be trusted staged).
 fn handle_promote(shared: &Shared) -> Response {
-    let mut state = shared.state.write().expect("state lock poisoned");
-    let Some(shadow) = state.shadow.take() else {
+    let mut slot = lock_unpoisoned(&shared.shadow);
+    let Some(shadow) = slot.shadow.take() else {
         return Response::Error {
             detail: "no shadow artifact is staged".to_string(),
         };
     };
     if let Err(reason) = shadow.promotable(&shared.opts.shadow) {
-        state.shadow = Some(shadow);
+        slot.shadow = Some(shadow);
         return Response::Error { detail: reason };
     }
     let artifact = shadow.service.artifact().clone();
@@ -549,7 +606,7 @@ fn handle_promote(shared: &Shared) -> Response {
             // The journal follows the primary role, not the artifact: a
             // promoted revision keeps feeding the same trace sink.
             primary.set_trace(shared.opts.trace.clone());
-            state.primary = primary;
+            shared.primary.store(Arc::new(primary));
             shared.promotions.fetch_add(1, Ordering::AcqRel);
             Response::Promoted { revision }
         }
@@ -561,12 +618,16 @@ fn handle_promote(shared: &Shared) -> Response {
 
 /// Assembles a `Stats` reply.
 fn snapshot(shared: &Shared) -> DaemonStats {
-    let state = shared.state.read().expect("state lock poisoned");
+    let primary = shared.primary.load();
+    let shadow_stats = lock_unpoisoned(&shared.shadow)
+        .shadow
+        .as_ref()
+        .map(|s| ShadowState::stats(s));
     DaemonStats {
-        benchmark: state.primary.artifact().benchmark.clone(),
-        revision: state.primary.artifact().revision,
-        primary: state.primary.stats(),
-        shadow: state.shadow.as_ref().map(ShadowState::stats),
+        benchmark: primary.artifact().benchmark.clone(),
+        revision: primary.artifact().revision,
+        primary: primary.stats(),
+        shadow: shadow_stats,
         shadow_rejections: shared.shadow_rejections.load(Ordering::Acquire),
         promotions: shared.promotions.load(Ordering::Acquire),
         connections: shared.connections.load(Ordering::Acquire),

@@ -12,7 +12,7 @@
 //! should track variant 1, while the two-level method pulls ahead.
 
 use intune_autotuner::TunerOptions;
-use intune_core::BenchmarkExt;
+use intune_core::Benchmark;
 use intune_eval::csvout::write_csv;
 use intune_eval::{Args, SuiteConfig};
 use intune_exec::Engine;

@@ -11,7 +11,7 @@
 //!   threshold Λ — so its feature-extraction cost varies per input.
 
 use intune_core::{FeatureSample, FeatureSet};
-use intune_ml::{DecisionTree, NaiveBayes};
+use intune_ml::{DecisionTree, FlatTree, NaiveBayes};
 use serde::{Deserialize, Serialize};
 
 /// A trained candidate classifier mapping input features to a landmark.
@@ -149,6 +149,86 @@ impl Classifier {
     }
 }
 
+/// A [`Classifier`] compiled for the serving hot path: identical
+/// decisions and costs, with subset-tree inference flattened into the
+/// array-indexed [`FlatTree`] layout at construction.
+///
+/// Serving runtimes build one of these per loaded artifact and classify
+/// through it; the serialized [`Classifier`] inside the artifact is
+/// untouched (flat trees are never persisted). Non-tree classifiers
+/// delegate unchanged, so compiling is always safe and byte-identical.
+#[derive(Debug, Clone)]
+pub struct CompiledClassifier {
+    classifier: Classifier,
+    flat: Option<FlatTree>,
+}
+
+impl CompiledClassifier {
+    /// Compiles `classifier`, flattening its decision tree if it has one.
+    pub fn compile(classifier: Classifier) -> Self {
+        let flat = match &classifier {
+            Classifier::Tree { tree, .. } => Some(tree.flatten()),
+            _ => None,
+        };
+        CompiledClassifier { classifier, flat }
+    }
+
+    /// The source classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// The feature subset this classifier may request.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.classifier.feature_set()
+    }
+
+    /// Short display name for reports.
+    pub fn kind(&self) -> &'static str {
+        self.classifier.kind()
+    }
+
+    /// [`Classifier::classify_costed`] through the flattened tree: same
+    /// prediction and cost, no per-call dense-row allocation.
+    ///
+    /// # Panics
+    /// Panics if `samples.len()` does not match the feature set size.
+    pub fn classify_costed(&self, samples: &[FeatureSample]) -> (usize, f64) {
+        match (&self.classifier, &self.flat) {
+            (Classifier::Tree { set, .. }, Some(flat)) => {
+                assert_eq!(samples.len(), set.count(), "sample/feature mismatch");
+                let cost: f64 = samples.iter().map(|s| s.cost).sum();
+                (flat.predict_with(|f| samples[f].value), cost)
+            }
+            _ => self.classifier.classify_costed(samples),
+        }
+    }
+
+    /// [`Classifier::classify_lazy`] through the flattened tree. Features
+    /// are still extracted in `set.iter()` order (trees consume their full
+    /// subset), so extraction costs are identical to the boxed path.
+    pub fn classify_lazy(
+        &self,
+        mut extract: impl FnMut(usize, usize) -> FeatureSample,
+    ) -> (usize, f64) {
+        match (&self.classifier, &self.flat) {
+            (Classifier::Tree { set, .. }, Some(flat)) => {
+                let mut cost = 0.0;
+                let values: Vec<f64> = set
+                    .iter()
+                    .map(|id| {
+                        let s = extract(id.property, id.level);
+                        cost += s.cost;
+                        s.value
+                    })
+                    .collect();
+                (flat.predict_with(|f| values[f]), cost)
+            }
+            _ => self.classifier.classify_lazy(extract),
+        }
+    }
+}
+
 /// Builds an incremental classifier over `set` from training data.
 /// `x` rows are values in `set.iter()` order; `mean_costs[f]` is the mean
 /// extraction cost of feature `f`, which fixes the acquisition order.
@@ -237,6 +317,55 @@ mod tests {
         let c = train_incremental(set, &x, &y, 2, &[1.0, 2.0], 4, 0.99);
         let (_, cost) = c.classify_costed(&samples(&[(5.0, 1.0), (5.0, 2.0)]));
         assert_eq!(cost, 3.0, "all features extracted when never confident");
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_for_every_kind() {
+        // Tree over two features.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 13) as f64, ((i * 7) % 11) as f64])
+            .collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] + r[1] > 10.0)).collect();
+        let tree = DecisionTree::fit_plain(&x, &y, 2, TreeOptions::default());
+        let candidates = vec![
+            Classifier::MaxApriori {
+                class: 1,
+                num_properties: 2,
+            },
+            Classifier::Tree {
+                set: FeatureSet::from_choices(vec![Some(0), Some(1)]),
+                tree,
+            },
+            train_incremental(
+                FeatureSet::from_choices(vec![Some(0), Some(1)]),
+                &x,
+                &y,
+                2,
+                &[1.0, 2.0],
+                4,
+                0.9,
+            ),
+        ];
+        for classifier in candidates {
+            let compiled = CompiledClassifier::compile(classifier.clone());
+            assert_eq!(compiled.kind(), classifier.kind());
+            assert_eq!(compiled.feature_set(), classifier.feature_set());
+            for probe in [[0.0, 0.0], [6.5, 9.0], [12.0, 3.0], [2.0, 10.0]] {
+                let n = classifier.feature_set().count();
+                let s = samples(&[(probe[0], 1.5), (probe[1], 2.5)][..n]);
+                assert_eq!(
+                    compiled.classify_costed(&s),
+                    classifier.classify_costed(&s),
+                    "costed mismatch on {probe:?}"
+                );
+                let lazy = |p: usize, _l: usize| FeatureSample::new(probe[p], p as f64 + 1.0);
+                assert_eq!(
+                    compiled.classify_lazy(lazy),
+                    classifier.classify_lazy(lazy),
+                    "lazy mismatch on {probe:?}"
+                );
+            }
+        }
     }
 
     #[test]

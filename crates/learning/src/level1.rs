@@ -10,7 +10,7 @@
 
 use crate::perf::PerfMatrix;
 use intune_autotuner::{EvolutionaryTuner, Objective, TunerOptions};
-use intune_core::{Benchmark, BenchmarkExt, Configuration, FeatureVector, Result};
+use intune_core::{Benchmark, Configuration, FeatureVector, Result};
 use intune_exec::{CostCache, Engine};
 use intune_ml::{KMeans, KMeansOptions, ZScore};
 use rand::rngs::StdRng;

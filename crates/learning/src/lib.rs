@@ -46,7 +46,7 @@ pub mod perf;
 pub mod pipeline;
 pub mod selection;
 
-pub use classifiers::Classifier;
+pub use classifiers::{Classifier, CompiledClassifier};
 pub use level1::{LandmarkStrategy, Level1Options, Level1Result};
 pub use perf::PerfMatrix;
 pub use pipeline::{EvaluationRow, TunedProgram, TwoLevelOptions, TwoLevelResult};

@@ -9,7 +9,7 @@ use crate::perf::PerfMatrix;
 use crate::selection::{
     samples_for, select_production, train_candidates, Candidate, CandidateScore, SelectionOptions,
 };
-use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, FeatureVector, Result};
+use intune_core::{Benchmark, Configuration, ExecutionReport, FeatureVector, Result};
 use intune_exec::{CostCache, Engine};
 
 /// All knobs of the two-level method.

@@ -37,7 +37,7 @@ impl Default for TreeOptions {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         class: usize,
     },
@@ -254,6 +254,18 @@ impl DecisionTree {
                 }
             }
         }
+    }
+
+    /// Compiles the tree into the array-indexed
+    /// [`FlatTree`](crate::FlatTree) layout for hot-path inference;
+    /// predictions are bit-identical to [`DecisionTree::predict`].
+    pub fn flatten(&self) -> crate::FlatTree {
+        crate::FlatTree::build(self, self.num_classes, self.num_features)
+    }
+
+    /// Root access for the flattener (layout-only consumer).
+    pub(crate) fn root_for_flatten(&self) -> &Node {
+        &self.root
     }
 
     /// Number of classes the tree was trained with.

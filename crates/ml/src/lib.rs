@@ -25,6 +25,7 @@
 
 pub mod crossval;
 pub mod decision_tree;
+pub mod flat_tree;
 pub mod kmeans;
 pub mod naive_bayes;
 pub mod normalize;
@@ -33,6 +34,7 @@ pub mod stats;
 
 pub use crossval::KFold;
 pub use decision_tree::{DecisionTree, TreeOptions};
+pub use flat_tree::FlatTree;
 pub use kmeans::{KMeans, KMeansOptions};
 pub use naive_bayes::{IncrementalPosterior, NaiveBayes};
 pub use normalize::ZScore;

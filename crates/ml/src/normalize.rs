@@ -60,6 +60,32 @@ impl ZScore {
         rows.iter().map(|r| self.transform(r)).collect()
     }
 
+    /// Transforms many rows in one struct-of-arrays pass: iteration is
+    /// dimension-major, so each fitted `(μ, σ)` pair is loaded once and
+    /// streamed down the whole batch column (and zero-variance columns
+    /// are settled with one branch instead of one per element).
+    /// Bit-identical to [`ZScore::transform_all`] — every element is the
+    /// same `(x − μ) / σ`.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the fitted dimensionality.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let dims = self.means.len();
+        for row in rows {
+            assert_eq!(row.len(), dims, "dimension mismatch");
+        }
+        let mut out = vec![vec![0.0; dims]; rows.len()];
+        for d in 0..dims {
+            let (m, s) = (self.means[d], self.stds[d]);
+            if s > 0.0 {
+                for (o, row) in out.iter_mut().zip(rows) {
+                    o[d] = (row[d] - m) / s;
+                }
+            }
+        }
+        out
+    }
+
     /// Inverse transform of one normalized row (zero-variance dims recover
     /// their mean).
     ///
@@ -114,6 +140,33 @@ mod tests {
                 assert!((a - b).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn batch_transform_is_bit_identical_to_per_row() {
+        let z = ZScore::fit(&rows());
+        let extra = vec![
+            vec![-4.0, 17.5, 5.0],
+            vec![0.0, 0.0, 9.0],
+            vec![2.5, 250.0, 5.0],
+        ];
+        for batch in [rows(), extra, vec![]] {
+            let per_row = z.transform_all(&batch);
+            let soa = z.transform_batch(&batch);
+            assert_eq!(per_row.len(), soa.len());
+            for (a, b) in per_row.iter().zip(&soa) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn batch_transform_validates_dims() {
+        let z = ZScore::fit(&rows());
+        let _ = z.transform_batch(&[vec![1.0, 2.0, 3.0], vec![1.0]]);
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl Benchmark for Helmholtz3d {
 mod tests {
     use super::*;
     use crate::generators::PdeInputClass;
-    use intune_core::{BenchmarkExt, ParamValue};
+    use intune_core::ParamValue;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

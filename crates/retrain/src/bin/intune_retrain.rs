@@ -27,7 +27,7 @@
 //! Exit codes: 0 success (including an idle cycle), 3 the daemon's gate
 //! rejected the pushed revision, 2 usage or runtime error.
 
-use intune_core::{Benchmark, BenchmarkExt, Result};
+use intune_core::{Benchmark, Result};
 use intune_daemon::DaemonClient;
 use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;

@@ -512,12 +512,12 @@ mod tests {
     }
 
     fn journal_inputs(dir: &Path, inputs: &[(usize, f64)], segment_max: usize) {
-        use intune_core::BenchmarkExt;
         let b = Synthetic;
         let mut w = JournalWriter::open(
             dir,
             JournalOptions {
                 segment_max_records: segment_max,
+                ..JournalOptions::default()
             },
         )
         .unwrap();

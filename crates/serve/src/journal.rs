@@ -27,6 +27,15 @@
 //! it seals the damaged segment and starts a fresh one, so one crash
 //! costs at most the record being written, not the segment.
 //!
+//! ## Durability
+//!
+//! A flushed record has reached the kernel (it survives a process
+//! crash); a **sealed** segment has been `fdatasync`ed (it survives a
+//! power cut). The active segment is only synced per flush when
+//! [`JournalOptions::sync_every_flush`] is set — see
+//! [`JournalWriter::flush`] for the exact guarantee and the rationale
+//! for the default.
+//!
 //! The full on-disk format specification lives in
 //! `crates/retrain/README.md`.
 
@@ -76,12 +85,21 @@ pub struct JournalRecord {
 pub struct JournalOptions {
     /// Records per segment before the writer rotates to a fresh file.
     pub segment_max_records: usize,
+    /// Call `fdatasync` after every flush, not only at segment seal.
+    ///
+    /// Off by default: the journal feeds retraining, where losing the
+    /// last batch to a power cut costs a little training data, not
+    /// correctness — and a per-batch fsync would put a disk round trip
+    /// on the serving path. Turn it on when every served selection must
+    /// survive power loss.
+    pub sync_every_flush: bool,
 }
 
 impl Default for JournalOptions {
     fn default() -> Self {
         JournalOptions {
             segment_max_records: 1024,
+            sync_every_flush: false,
         }
     }
 }
@@ -272,6 +290,13 @@ impl JournalWriter {
     pub fn stage(&mut self, mut record: JournalRecord) -> Result<u64> {
         if self.records_in_segment >= self.opts.segment_max_records.max(1) {
             self.flush()?;
+            // Seal the full segment durably before rotating away from it:
+            // compaction consumes sealed segments on the assumption that
+            // their contents survive a crash, and this is the last moment
+            // this writer holds the file.
+            self.file
+                .sync_data()
+                .map_err(|e| Error::artifact(format!("cannot sync sealed segment: {e}")))?;
             self.segment += 1;
             let path = segment_path(&self.dir, self.segment);
             self.file = File::create(&path).map_err(|e| {
@@ -296,6 +321,14 @@ impl JournalWriter {
     /// records are lost (their sequence numbers stay consumed — gaps are
     /// legal, resumption only needs the maximum).
     ///
+    /// ## Durability
+    ///
+    /// By default a flushed record has reached the kernel, not the
+    /// platter: it survives a process crash but not a power cut. Sealed
+    /// (rotated-away) segments are always `fdatasync`ed; the active
+    /// segment is only synced when
+    /// [`JournalOptions::sync_every_flush`] is set.
+    ///
     /// # Errors
     /// Returns [`Error::Artifact`] on IO failure.
     pub fn flush(&mut self) -> Result<()> {
@@ -306,6 +339,13 @@ impl JournalWriter {
             .file
             .write_all(&self.pending)
             .and_then(|()| self.file.flush())
+            .and_then(|()| {
+                if self.opts.sync_every_flush {
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            })
             .map_err(|e| Error::artifact(format!("cannot append journal records: {e}")));
         if outcome.is_ok() {
             self.durable += self.pending_records;
@@ -367,7 +407,10 @@ impl JournalSink {
 
     /// The most recent append failure, if any.
     pub fn last_error(&self) -> Option<Error> {
-        self.last_error.lock().expect("journal error slot").clone()
+        self.last_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -379,7 +422,14 @@ impl TraceSink for JournalSink {
         payloads: &[Value],
         selections: &[Selection],
     ) {
-        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        // Recover from poisoning: a panic on one serving thread must not
+        // wedge journaling (and with it every later traced batch) behind
+        // a `PoisonError`. The writer's counters stay consistent across
+        // a panic — `durable` only advances on successful flushes.
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let durable_before = writer.durable();
         let mut error: Option<Error> = None;
         for (i, (fv, selection)) in features.iter().zip(selections).enumerate() {
@@ -418,7 +468,10 @@ impl TraceSink for JournalSink {
         self.dropped
             .fetch_add(selections.len() as u64 - landed, Ordering::AcqRel);
         if let Some(e) = error {
-            *self.last_error.lock().expect("journal error slot") = Some(e);
+            *self
+                .last_error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
         }
     }
 
@@ -474,6 +527,7 @@ mod tests {
             &dir,
             JournalOptions {
                 segment_max_records: 4,
+                ..JournalOptions::default()
             },
         )
         .unwrap();
@@ -508,6 +562,7 @@ mod tests {
                 &dir,
                 JournalOptions {
                     segment_max_records: 4,
+                    ..JournalOptions::default()
                 },
             )
             .unwrap();
@@ -519,6 +574,7 @@ mod tests {
             &dir,
             JournalOptions {
                 segment_max_records: 4,
+                ..JournalOptions::default()
             },
         )
         .unwrap();
@@ -633,6 +689,35 @@ mod tests {
         assert!(scan.torn.is_none());
         assert_eq!(scan.records.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_every_flush_writes_the_same_bytes() {
+        // The opt-in fsync changes when bytes become durable, never what
+        // is written: both modes must produce byte-identical segments.
+        let write_all = |tag: &str, sync: bool| {
+            let dir = tmp(tag);
+            let mut w = JournalWriter::open(
+                &dir,
+                JournalOptions {
+                    segment_max_records: 3,
+                    sync_every_flush: sync,
+                },
+            )
+            .unwrap();
+            for i in 0..7 {
+                w.append(record(0, i as f64)).unwrap();
+            }
+            assert_eq!(w.durable(), 7);
+            let bytes: Vec<Vec<u8>> = list_segments(&dir)
+                .unwrap()
+                .iter()
+                .map(|s| std::fs::read(s).unwrap())
+                .collect();
+            std::fs::remove_dir_all(&dir).ok();
+            bytes
+        };
+        assert_eq!(write_all("sync-on", true), write_all("sync-off", false));
     }
 
     #[test]

@@ -21,8 +21,10 @@
 
 use crate::artifact::ModelArtifact;
 use crate::monitor::DriftMonitor;
-use intune_core::{Benchmark, BenchmarkExt, Configuration, ExecutionReport, Result};
+use intune_core::{Benchmark, Configuration, ExecutionReport, FeatureSet, Result};
 use intune_exec::Executor;
+use intune_learning::selection::samples_for;
+use intune_learning::CompiledClassifier;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the serving runtime.
@@ -124,6 +126,10 @@ impl std::fmt::Display for ServeStats {
 pub struct SelectorService<'b, B: Benchmark> {
     benchmark: &'b B,
     artifact: ModelArtifact,
+    /// The production classifier compiled for inference (flattened tree),
+    /// plus its feature subset — both fixed at construction.
+    compiled: CompiledClassifier,
+    set: FeatureSet,
     executor: Executor,
     opts: ServeOptions,
     monitor: DriftMonitor,
@@ -139,9 +145,13 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
     pub fn new(benchmark: &'b B, artifact: ModelArtifact, opts: ServeOptions) -> Result<Self> {
         artifact.validate(benchmark)?;
         let monitor = DriftMonitor::new(&artifact, &opts);
+        let compiled = CompiledClassifier::compile(artifact.classifier.clone());
+        let set = compiled.feature_set();
         Ok(SelectorService {
             benchmark,
             artifact,
+            compiled,
+            set,
             executor: Executor::new(opts.threads),
             opts,
             monitor,
@@ -187,11 +197,24 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
     /// returning the selection and the probe outcome without touching
     /// counters (the deterministic core of both entry points).
     fn classify(&self, input: &B::Input, probe: bool, fall_back: bool) -> Selection {
-        let (landmark, extraction_cost) = self
-            .artifact
-            .classifier
-            .classify_lazy(|property, level| self.benchmark.extract(property, level, input));
-        let out_of_distribution = probe && self.is_ood(input);
+        let (landmark, extraction_cost, out_of_distribution) = if probe {
+            // A probed request needs the full feature vector anyway (for
+            // the centroid distance), so extract once and feed both the
+            // classifier (its subset, via `samples_for`) and the probe —
+            // instead of a lazy subset extraction *plus* a full one. The
+            // reported cost stays the subset's: the probe is monitoring
+            // overhead, not part of the classifier's decision cost.
+            let fv = self.benchmark.extract_all(input);
+            let samples = samples_for(&fv, &self.set);
+            let (landmark, cost) = self.compiled.classify_costed(&samples);
+            let z = self.artifact.normalizer.transform(&fv.dense());
+            (landmark, cost, self.monitor.is_ood(&self.artifact, &z))
+        } else {
+            let (landmark, cost) = self
+                .compiled
+                .classify_lazy(|property, level| self.benchmark.extract(property, level, input));
+            (landmark, cost, false)
+        };
         if fall_back {
             Selection {
                 landmark: self.artifact.fallback,
@@ -207,14 +230,6 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
                 fell_back: false,
             }
         }
-    }
-
-    /// Whether `input` lies outside every cluster's (scaled) training
-    /// radius in normalized feature space.
-    fn is_ood(&self, input: &B::Input) -> bool {
-        let dense = self.benchmark.extract_all(input).dense();
-        let z = self.artifact.normalizer.transform(&dense);
-        self.monitor.is_ood(&self.artifact, &z)
     }
 
     /// Answers one selection request, updating the drift monitor.

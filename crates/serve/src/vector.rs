@@ -19,6 +19,7 @@ use crate::trace::TraceSink;
 use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result};
 use intune_exec::Executor;
 use intune_learning::selection::samples_for;
+use intune_learning::CompiledClassifier;
 use std::sync::Arc;
 
 /// A serving runtime over pre-extracted feature vectors: validated
@@ -30,6 +31,9 @@ use std::sync::Arc;
 /// methods are safe from multiple threads.
 pub struct VectorService {
     artifact: ModelArtifact,
+    /// The production classifier compiled for inference (flattened tree),
+    /// fixed at construction.
+    compiled: CompiledClassifier,
     /// The classifier's feature subset, precomputed at construction.
     set: FeatureSet,
     executor: Executor,
@@ -60,9 +64,11 @@ impl VectorService {
     pub fn new(artifact: ModelArtifact, opts: ServeOptions) -> Result<Self> {
         artifact.validate_shape()?;
         let monitor = DriftMonitor::new(&artifact, &opts);
-        let set = artifact.classifier.feature_set();
+        let compiled = CompiledClassifier::compile(artifact.classifier.clone());
+        let set = compiled.feature_set();
         Ok(VectorService {
             artifact,
+            compiled,
             set,
             executor: Executor::new(opts.threads),
             opts,
@@ -140,13 +146,14 @@ impl VectorService {
 
     /// The deterministic core shared by both entry points: classify one
     /// validated vector under the drift state observed at entry, without
-    /// touching counters.
-    fn classify(&self, fv: &FeatureVector, probe: bool, fall_back: bool) -> Selection {
+    /// touching counters. `z` is the pre-normalized feature row for
+    /// probed requests (`None` = unprobed — no drift check).
+    fn classify(&self, fv: &FeatureVector, z: Option<&[f64]>, fall_back: bool) -> Selection {
         let samples = samples_for(fv, &self.set);
-        let (landmark, extraction_cost) = self.artifact.classifier.classify_costed(&samples);
-        let out_of_distribution = probe && {
-            let z = self.artifact.normalizer.transform(&fv.dense());
-            self.monitor.is_ood(&self.artifact, &z)
+        let (landmark, extraction_cost) = self.compiled.classify_costed(&samples);
+        let out_of_distribution = match z {
+            Some(z) => self.monitor.is_ood(&self.artifact, z),
+            None => false,
         };
         Selection {
             landmark: if fall_back {
@@ -168,7 +175,8 @@ impl VectorService {
     pub fn select_vector(&self, fv: &FeatureVector) -> Result<Selection> {
         self.validate_vector(fv)?;
         let fall_back = self.monitor.fallback_active();
-        let selection = self.classify(fv, true, fall_back);
+        let z = self.artifact.normalizer.transform(&fv.dense());
+        let selection = self.classify(fv, Some(&z), fall_back);
         self.monitor
             .record_single(true, selection.out_of_distribution, selection.fell_back);
         if let Some(trace) = &self.trace {
@@ -224,9 +232,19 @@ impl VectorService {
         }
         let fall_back = self.monitor.fallback_active();
         let probe_every = self.opts.probe_every.max(1);
+        // Normalize the probed sub-batch in one struct-of-arrays pass
+        // (dimension-major; see `ZScore::transform_batch`) instead of one
+        // row-major transform per probed request inside the workers.
+        let probed_rows: Vec<Vec<f64>> = vectors
+            .iter()
+            .step_by(probe_every)
+            .map(|fv| fv.dense())
+            .collect();
+        let zs = self.artifact.normalizer.transform_batch(&probed_rows);
         let jobs: Vec<usize> = (0..vectors.len()).collect();
         let outcome = self.executor.run(jobs, |_, i| {
-            self.classify(&vectors[i], i % probe_every == 0, fall_back)
+            let z = (i % probe_every == 0).then(|| zs[i / probe_every].as_slice());
+            self.classify(&vectors[i], z, fall_back)
         });
         let selections = outcome.results;
 
@@ -251,7 +269,7 @@ mod tests {
     use super::*;
     use crate::service::SelectorService;
     use crate::testutil::{synthetic_corpus, train_synthetic, Synthetic};
-    use intune_core::{Benchmark, BenchmarkExt};
+    use intune_core::Benchmark;
 
     fn vector_service(opts: ServeOptions) -> VectorService {
         let artifact = ModelArtifact::export(&Synthetic, &train_synthetic());

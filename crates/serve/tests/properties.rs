@@ -178,6 +178,7 @@ proptest! {
             // tests; truncation semantics are per-file.
             let mut w = JournalWriter::open(&dir, JournalOptions {
                 segment_max_records: records + 1,
+                ..JournalOptions::default()
             }).unwrap();
             for i in 0..records {
                 w.append(JournalRecord {

@@ -70,7 +70,10 @@ fn sortedness(level: usize, input: &[f64]) -> FeatureSample {
         return FeatureSample::new(1.0, 1.0);
     }
     let m = sample_size(level, n);
-    let sample = strided(input, m);
+    sortedness_from(&strided(input, m), m)
+}
+
+fn sortedness_from(sample: &[f64], m: usize) -> FeatureSample {
     let mut ordered = 0usize;
     let mut count = 0usize;
     for w in sample.windows(2) {
@@ -95,7 +98,10 @@ fn duplication(level: usize, input: &[f64]) -> FeatureSample {
         return FeatureSample::new(0.0, 1.0);
     }
     let m = sample_size(level, n);
-    let mut sample = strided(input, m);
+    duplication_from(strided(input, m), m)
+}
+
+fn duplication_from(mut sample: Vec<f64>, m: usize) -> FeatureSample {
     sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mut distinct = 1usize;
     for w in sample.windows(2) {
@@ -115,10 +121,44 @@ fn deviation(level: usize, input: &[f64]) -> FeatureSample {
         return FeatureSample::new(0.0, 1.0);
     }
     let m = sample_size(level, n);
-    let sample = strided(input, m);
+    deviation_from(&strided(input, m), m)
+}
+
+fn deviation_from(sample: &[f64], m: usize) -> FeatureSample {
     let mean = sample.iter().sum::<f64>() / m as f64;
     let var = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64;
     FeatureSample::new(var.sqrt(), 2.0 * m as f64)
+}
+
+/// Extracts all four properties at one sampling level, computing the
+/// strided sample **once** instead of once per property — the fused pass
+/// behind `PolySort::extract_all` on the serving hot path. Returns samples
+/// in property order; every value and cost is bit-identical to calling
+/// [`extract`] per property (the shared helpers above are the single copy
+/// of each computation, and degenerate-input early returns mirror the
+/// per-property paths).
+pub fn extract_level(level: usize, input: &[f64]) -> [FeatureSample; 4] {
+    let n = input.len();
+    let m = sample_size(level, n);
+    let sample = strided(input, m);
+    [
+        if n < 2 {
+            FeatureSample::new(1.0, 1.0)
+        } else {
+            sortedness_from(&sample, m)
+        },
+        if n == 0 {
+            FeatureSample::new(0.0, 1.0)
+        } else {
+            duplication_from(sample.clone(), m)
+        },
+        if n == 0 {
+            FeatureSample::new(0.0, 1.0)
+        } else {
+            deviation_from(&sample, m)
+        },
+        test_sort(level, input),
+    ]
 }
 
 /// Runs an insertion sort over a prefix subsequence and reports measured ops
@@ -187,6 +227,31 @@ mod tests {
                 c2 > c0,
                 "property {p}: level2 cost {c2} <= level0 cost {c0}"
             );
+        }
+    }
+
+    #[test]
+    fn fused_level_extraction_is_bit_identical() {
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![3.0],
+            vec![2.0, 1.0],
+            (0..700).map(|i| ((i * 31) % 113) as f64).collect(),
+            (0..4000).map(|i| (i % 9) as f64).collect(),
+        ];
+        for input in &inputs {
+            for level in 0..3 {
+                let fused = extract_level(level, input);
+                for (p, sample) in fused.iter().enumerate() {
+                    let single = extract(p, level, input);
+                    assert!(
+                        sample.value.to_bits() == single.value.to_bits()
+                            && sample.cost.to_bits() == single.cost.to_bits(),
+                        "p{p} l{level} n{}: fused {sample:?} != single {single:?}",
+                        input.len()
+                    );
+                }
+            }
         }
     }
 

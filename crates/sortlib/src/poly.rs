@@ -13,7 +13,7 @@ use crate::algorithms::{
 };
 use intune_core::{
     AccuracySpec, Benchmark, ConfigSpace, Configuration, Cost, ExecutionReport, FeatureDef,
-    FeatureSample, Selector, SelectorSpec,
+    FeatureId, FeatureSample, FeatureVector, Selector, SelectorSpec,
 };
 
 /// Algorithm indices used in the selector genes.
@@ -240,6 +240,26 @@ impl Benchmark for PolySort {
         crate::features::extract(property, level, input)
     }
 
+    // Fused full extraction: one strided sample per level shared by the
+    // sample-statistics properties (bit-identical to the default per-
+    // property path; see `features::extract_level`). This is the serving
+    // runtimes' drift-probe workhorse, so the shared pass pays off on
+    // every probed request.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for level in 0..3 {
+            for (p, sample) in crate::features::extract_level(level, input)
+                .into_iter()
+                .enumerate()
+            {
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
+
     // Sort inputs are plain float arrays: they journal losslessly (the
     // JSON backend round-trips every f64 bit pattern), so sort cases can
     // feed the continuous-learning retraining corpus.
@@ -255,7 +275,6 @@ impl Benchmark for PolySort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intune_core::BenchmarkExt;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -44,11 +44,29 @@ fn sample(a: &Matrix, level: usize) -> (Vec<f64>, f64) {
 /// Panics if `property` is out of range (SVD declares 3).
 pub fn extract(property: usize, level: usize, a: &Matrix) -> FeatureSample {
     let (s, m) = sample(a, level);
+    extract_sampled(property, level, a, &s, m)
+}
+
+/// Extracts all four properties at one sampling level, sampling the matrix
+/// entries **once** instead of once per property — the fused pass behind
+/// `SvdBench::extract_all` on the serving hot path. Bit-identical to
+/// calling [`extract`] per property (both share `extract_sampled`).
+pub fn extract_level(level: usize, a: &Matrix) -> [FeatureSample; 4] {
+    let (s, m) = sample(a, level);
+    [
+        extract_sampled(prop::RANGE, level, a, &s, m),
+        extract_sampled(prop::DEVIATION, level, a, &s, m),
+        extract_sampled(prop::ZEROS, level, a, &s, m),
+        extract_sampled(prop::SPECTRAL, level, a, &s, m),
+    ]
+}
+
+fn extract_sampled(property: usize, level: usize, a: &Matrix, s: &[f64], m: f64) -> FeatureSample {
     match property {
         prop::RANGE => {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            for &x in &s {
+            for &x in s {
                 lo = lo.min(x);
                 hi = hi.max(x);
             }
@@ -130,6 +148,28 @@ mod tests {
         let a = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
         assert_eq!(extract(prop::RANGE, 2, &a).value, 24.0);
         assert!(extract(prop::DEVIATION, 2, &a).value > 5.0);
+    }
+
+    #[test]
+    fn fused_level_extraction_is_bit_identical() {
+        let cases = [
+            Matrix::from_fn(0, 0, |_, _| 0.0),
+            Matrix::from_fn(1, 1, |_, _| 2.5),
+            Matrix::from_fn(30, 17, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0),
+        ];
+        for a in &cases {
+            for level in 0..3 {
+                let fused = extract_level(level, a);
+                for (p, sample) in fused.iter().enumerate() {
+                    let single = extract(p, level, a);
+                    assert!(
+                        sample.value.to_bits() == single.value.to_bits()
+                            && sample.cost.to_bits() == single.cost.to_bits(),
+                        "p{p} l{level}: fused {sample:?} != single {single:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod generators;
 pub use generators::{SvdCorpus, SvdInput, SvdInputClass};
 
 use intune_core::{
-    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureId,
+    FeatureSample, FeatureVector,
 };
 use intune_linalg::svd::{compute, SvdMethod};
 use intune_linalg::Matrix;
@@ -108,12 +109,31 @@ impl Benchmark for SvdBench {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         features::extract(property, level, &input.matrix)
     }
+
+    // Fused full extraction: one entry sample per level shared by all
+    // properties (bit-identical to the default per-property path; see
+    // `features::extract_level`). Drift probes on the serving hot path
+    // call this per probed request.
+    fn extract_all(&self, input: &Self::Input) -> FeatureVector {
+        let defs = self.properties();
+        let mut fv = FeatureVector::empty(&defs);
+        for level in 0..3 {
+            for (p, sample) in features::extract_level(level, &input.matrix)
+                .into_iter()
+                .enumerate()
+            {
+                fv.insert(FeatureId { property: p, level }, sample)
+                    .expect("in-range feature id");
+            }
+        }
+        fv
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intune_core::{BenchmarkExt, ParamValue};
+    use intune_core::ParamValue;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

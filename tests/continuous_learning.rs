@@ -12,8 +12,7 @@
 
 use intune_autotuner::TunerOptions;
 use intune_core::{
-    AccuracySpec, Benchmark, BenchmarkExt, ConfigSpace, Configuration, ExecutionReport, FeatureDef,
-    FeatureSample,
+    AccuracySpec, Benchmark, ConfigSpace, Configuration, ExecutionReport, FeatureDef, FeatureSample,
 };
 use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
 use intune_exec::Engine;
@@ -155,6 +154,7 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
             &journal_dir,
             JournalOptions {
                 segment_max_records: 8,
+                ..JournalOptions::default()
             },
         )
         .expect("journal opens"),
@@ -176,6 +176,7 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
                 min_agreement: 0.0,
             },
             trace: Some(sink.clone() as Arc<dyn TraceSink>),
+            inject_faults: false,
         },
         &ListenConfig::default(),
     )

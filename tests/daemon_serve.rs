@@ -1,11 +1,11 @@
 //! The acceptance test of the selection daemon: a real Table-1 case
-//! served over the `intune-wire/1` TCP protocol produces selections —
+//! served over the `intune-wire/2` TCP protocol produces selections —
 //! and a full evaluation row — **byte-identical** to the in-process
 //! path; a staged shadow artifact with forced disagreement is
 //! auto-rejected without ever answering a client; and the whole
 //! load → stage → mirror → promote lifecycle works against live traffic.
 
-use intune_core::{Benchmark, BenchmarkExt, FeatureVector};
+use intune_core::{Benchmark, FeatureVector};
 use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
 use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::{CostCache, Engine};
@@ -52,6 +52,7 @@ fn daemon_options() -> DaemonOptions {
             min_agreement: 0.99,
         },
         trace: None,
+        inject_faults: false,
     }
 }
 

@@ -1,0 +1,386 @@
+//! Offline shim of the `arc-swap` crate: an atomic `Arc<T>` slot with
+//! wait-free reads, implemented with classic hazard pointers.
+//!
+//! Only the subset the workspace uses is provided: [`ArcSwap::new`],
+//! [`ArcSwap::from_pointee`], [`ArcSwap::load`], [`ArcSwap::load_full`],
+//! [`ArcSwap::store`] and [`ArcSwap::swap`].
+//!
+//! # How reads stay wait-free and panic-proof
+//!
+//! A reader publishes the pointer it is about to dereference in a global
+//! *hazard slot*, re-validates that the slot still holds the current
+//! pointer, bumps the `Arc` strong count, and clears the slot — a handful
+//! of atomic operations with no locks, so a read can neither block behind
+//! a writer nor observe a poisoned lock (there is none to poison). A
+//! writer swaps the pointer and then spins until no hazard slot still
+//! names the pointer it replaced before releasing its reference; readers
+//! therefore never dereference freed memory.
+//!
+//! Writers do not need mutual exclusion: `AtomicPtr::swap` linearizes
+//! concurrent stores and each writer only waits out its *own* displaced
+//! pointer.
+
+use std::cell::Cell;
+use std::ops::Deref;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// One published hazard: the raw pointer a reader is currently protecting.
+/// Slots are leaked once allocated and recycled through `in_use`, so the
+/// registry only ever grows to the peak number of concurrent readers.
+struct HazardSlot {
+    hazard: AtomicPtr<()>,
+    in_use: AtomicBool,
+    next: AtomicPtr<HazardSlot>,
+}
+
+/// Head of the global slot list (lock-free Treiber-style push).
+static SLOTS: AtomicPtr<HazardSlot> = AtomicPtr::new(ptr::null_mut());
+
+fn acquire_slot() -> &'static HazardSlot {
+    // First try to recycle a free slot.
+    let mut cur = SLOTS.load(Ordering::Acquire);
+    while let Some(slot) = unsafe { cur.as_ref() } {
+        if !slot.in_use.load(Ordering::Relaxed)
+            && slot
+                .in_use
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            return slot;
+        }
+        cur = slot.next.load(Ordering::Acquire);
+    }
+    // None free: grow the registry by one leaked slot.
+    let slot: &'static HazardSlot = Box::leak(Box::new(HazardSlot {
+        hazard: AtomicPtr::new(ptr::null_mut()),
+        in_use: AtomicBool::new(true),
+        next: AtomicPtr::new(ptr::null_mut()),
+    }));
+    loop {
+        let head = SLOTS.load(Ordering::Acquire);
+        slot.next.store(head, Ordering::Relaxed);
+        if SLOTS
+            .compare_exchange(
+                head,
+                slot as *const _ as *mut _,
+                Ordering::Release,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            return slot;
+        }
+    }
+}
+
+/// Whether any active slot currently protects `p`.
+fn any_slot_protects(p: *mut ()) -> bool {
+    let mut cur = SLOTS.load(Ordering::Acquire);
+    while let Some(slot) = unsafe { cur.as_ref() } {
+        if slot.hazard.load(Ordering::SeqCst) == p {
+            return true;
+        }
+        cur = slot.next.load(Ordering::Acquire);
+    }
+    false
+}
+
+/// Per-thread cached slot so the common path skips the registry scan.
+/// Released (recycled) when the thread exits.
+struct ThreadSlot(Cell<Option<&'static HazardSlot>>);
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        if let Some(slot) = self.0.get() {
+            slot.in_use.store(false, Ordering::Release);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SLOT: ThreadSlot = const { ThreadSlot(Cell::new(None)) };
+}
+
+/// Runs `f` with this thread's hazard slot, falling back to a one-shot
+/// slot during thread teardown (when the thread-local is gone).
+fn with_slot<R>(f: impl FnOnce(&'static HazardSlot) -> R) -> R {
+    let cached = THREAD_SLOT
+        .try_with(|ts| {
+            if ts.0.get().is_none() {
+                ts.0.set(Some(acquire_slot()));
+            }
+            ts.0.get().expect("just set")
+        })
+        .ok();
+    match cached {
+        Some(slot) => f(slot),
+        None => {
+            let slot = acquire_slot();
+            let out = f(slot);
+            slot.in_use.store(false, Ordering::Release);
+            out
+        }
+    }
+}
+
+/// An atomic `Arc<T>` cell: readers get wait-free snapshots, writers
+/// publish a replacement without ever blocking readers.
+pub struct ArcSwap<T> {
+    /// Owns one strong count on the stored `Arc`.
+    ptr: AtomicPtr<T>,
+}
+
+// Same bounds as a plain `Arc<T>` shared across threads.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Wraps an existing `Arc`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+        }
+    }
+
+    /// Allocates a fresh `Arc` around `value`.
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Wait-free read: returns a guard dereferencing to the current value.
+    /// The guard owns a strong count, so it stays valid across any number
+    /// of subsequent `store`/`swap` calls.
+    pub fn load(&self) -> Guard<T> {
+        Guard {
+            inner: self.protected_arc(),
+        }
+    }
+
+    /// Like [`load`](ArcSwap::load) but returns the `Arc` itself.
+    pub fn load_full(&self) -> Arc<T> {
+        self.protected_arc()
+    }
+
+    /// Publishes `new`, dropping the previous value once no reader still
+    /// has it in a hazard slot.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publishes `new` and returns the previous value. Blocks (spinning)
+    /// only until in-flight readers of the *old* pointer finish their
+    /// few-instruction protection window — never for the lifetime of a
+    /// returned guard.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let new_ptr = Arc::into_raw(new) as *mut T;
+        let old = self.ptr.swap(new_ptr, Ordering::SeqCst);
+        // A reader that published `old` before the swap will finish its
+        // increment and clear the slot; one that publishes after will fail
+        // validation and retry on the new pointer. Either way the wait is
+        // bounded by the protection window, not by guard lifetimes.
+        while any_slot_protects(old as *mut ()) {
+            std::thread::yield_now();
+        }
+        unsafe { Arc::from_raw(old) }
+    }
+
+    /// Hazard-protected strong-count acquisition on the current pointer.
+    fn protected_arc(&self) -> Arc<T> {
+        with_slot(|slot| loop {
+            let p = self.ptr.load(Ordering::SeqCst);
+            slot.hazard.store(p as *mut (), Ordering::SeqCst);
+            if self.ptr.load(Ordering::SeqCst) == p {
+                // Protected: the pointer cannot be freed until the slot
+                // clears, so the count bump below races with nothing.
+                unsafe { Arc::increment_strong_count(p) };
+                slot.hazard.store(ptr::null_mut(), Ordering::SeqCst);
+                return unsafe { Arc::from_raw(p) };
+            }
+            // A writer moved the pointer mid-protection; retry.
+            slot.hazard.store(ptr::null_mut(), Ordering::SeqCst);
+        })
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent readers can exist, so the owned
+        // count can be released without a hazard scan.
+        unsafe { drop(Arc::from_raw(self.ptr.load(Ordering::Relaxed))) }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&*self.load()).finish()
+    }
+}
+
+/// A read snapshot: dereferences to the value current at [`ArcSwap::load`]
+/// time and keeps it alive independently of later swaps.
+pub struct Guard<T> {
+    inner: Arc<T>,
+}
+
+impl<T> Deref for Guard<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Guard<T> {
+    /// Upgrades the guard to a full `Arc`.
+    pub fn into_arc(self) -> Arc<T> {
+        self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Guard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+    /// A payload whose population is observable, to catch leaks and
+    /// double-frees.
+    struct Counted(u64);
+
+    impl Counted {
+        fn new(v: u64) -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Counted(v)
+        }
+    }
+
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_sees_latest_store() {
+        let cell = ArcSwap::from_pointee(1u64);
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(*cell.load_full(), 2);
+    }
+
+    #[test]
+    fn swap_returns_the_displaced_value() {
+        let cell = ArcSwap::from_pointee(10u64);
+        let old = cell.swap(Arc::new(20));
+        assert_eq!(*old, 10);
+        assert_eq!(*cell.load(), 20);
+    }
+
+    #[test]
+    fn guards_outlive_swaps() {
+        let cell = ArcSwap::from_pointee(String::from("first"));
+        let guard = cell.load();
+        cell.store(Arc::new(String::from("second")));
+        // The old snapshot stays valid while the guard lives.
+        assert_eq!(&*guard, "first");
+        assert_eq!(&*cell.load(), "second");
+    }
+
+    #[test]
+    fn no_leaks_or_double_frees_single_threaded() {
+        let before = LIVE.load(Ordering::SeqCst);
+        {
+            let cell = ArcSwap::new(Arc::new(Counted::new(0)));
+            for i in 1..100 {
+                let g = cell.load();
+                let old = cell.swap(Arc::new(Counted::new(i)));
+                assert_eq!(old.0 + 1, i);
+                drop(g);
+            }
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn strong_counts_balance() {
+        let arc = Arc::new(7u64);
+        let cell = ArcSwap::new(Arc::clone(&arc));
+        assert_eq!(Arc::strong_count(&arc), 2);
+        let g1 = cell.load();
+        let g2 = cell.load_full();
+        assert_eq!(Arc::strong_count(&arc), 4);
+        drop(g1);
+        drop(g2);
+        assert_eq!(Arc::strong_count(&arc), 2);
+        drop(cell);
+        assert_eq!(Arc::strong_count(&arc), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let before = LIVE.load(Ordering::SeqCst);
+        {
+            // Payload carries a self-check: both halves must agree, so a
+            // torn or freed read would trip the assertion.
+            struct Pair(u64, u64, #[allow(dead_code)] Counted);
+            let cell = Arc::new(ArcSwap::new(Arc::new(Pair(0, !0, Counted::new(0)))));
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut reads = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let g = cell.load();
+                            assert_eq!(g.0, !g.1, "torn read");
+                            reads += 1;
+                        }
+                        reads
+                    })
+                })
+                .collect();
+            let writers: Vec<_> = (0..2)
+                .map(|w| {
+                    let cell = Arc::clone(&cell);
+                    std::thread::spawn(move || {
+                        for i in 0..500u64 {
+                            let v = w * 1000 + i;
+                            let old = cell.swap(Arc::new(Pair(v, !v, Counted::new(v))));
+                            assert_eq!(old.0, !old.1, "torn swap result");
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().expect("writer");
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                assert!(r.join().expect("reader") > 0);
+            }
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), before, "leak or double free");
+    }
+
+    #[test]
+    fn writer_does_not_wait_for_held_guards() {
+        let cell = ArcSwap::from_pointee(1u64);
+        let guard = cell.load();
+        // Must return despite the outstanding guard: guards hold strong
+        // counts, not hazard slots.
+        cell.store(Arc::new(2));
+        assert_eq!(*guard, 1);
+        assert_eq!(*cell.load(), 2);
+    }
+}

@@ -148,6 +148,22 @@ impl Parser<'_> {
         self.eat(b'"', "expected `\"`")?;
         let mut out = String::new();
         loop {
+            // Bulk-scan the longest run free of quotes and escapes and
+            // copy it whole. The input is a `&str`, so any such run is
+            // valid UTF-8: `"` and `\` are ASCII and never occur inside
+            // a multi-byte character's continuation bytes. (Decoding one
+            // char at a time here used to re-validate the entire
+            // remaining buffer per character — quadratic in string-heavy
+            // documents like wire frames.)
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -190,16 +206,7 @@ impl Parser<'_> {
                         _ => return Err(self.err("unknown escape sequence")),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8 in string"))?;
-                    let c = s.chars().next().expect("peek saw a byte");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                Some(_) => unreachable!("the bulk scan stops only at `\"` or `\\`"),
             }
         }
     }
