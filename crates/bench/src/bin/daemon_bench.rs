@@ -1,7 +1,9 @@
-//! Emits the `BENCH_daemon.json` wire-protocol baseline: N client
-//! threads hammer a live `intune_daemon` over loopback TCP with batched
-//! selection requests while an identical shadow artifact mirrors the
-//! traffic, then the shadow is promoted and the daemon shut down.
+//! Emits the `BENCH_daemon.json` wire-protocol baseline: hundreds of
+//! client threads, round-robined across two tenant benchmarks, hammer a
+//! single multi-tenant `intune_daemon` event loop over loopback TCP with
+//! batched selection requests while identical shadow artifacts mirror
+//! every tenant's traffic; then each shadow is promoted and the daemon
+//! shut down.
 //!
 //! ```text
 //! cargo run --release -p intune_bench --bin daemon_bench [-- OUT.json]
@@ -16,9 +18,9 @@
 //! counts are deterministic; wall-clock figures are environment-dependent.
 //!
 //! Daemon worker count follows `INTUNE_THREADS` (hardened parse;
-//! default 1). The committed baselines use 4 clients × 16 batches
-//! (daemon) and 4 clients × 8 traced batches (retrain) of the sort2
-//! micro corpus.
+//! default 1). The committed baselines use 256 clients × 8 batches
+//! spread over the sort2 + binpacking tenants (daemon) and 4 clients ×
+//! 8 traced batches of the sort2 micro corpus (retrain).
 
 use intune_bench::{
     daemon_baseline, daemon_baseline_json, micro_config, retrain_baseline, retrain_baseline_json,
@@ -67,14 +69,25 @@ fn main() {
     let out_path = out_path.unwrap_or_else(|| "BENCH_daemon.json".to_string());
     let cfg = DaemonBenchConfig {
         suite: micro_config(),
-        case: TestCase::Sort2,
-        clients: 4,
-        batches_per_client: 16,
+        cases: vec![TestCase::Sort2, TestCase::Binpacking],
+        clients: std::env::var("BCLIENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+        batches_per_client: std::env::var("BBATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
         threads,
     };
     eprintln!(
-        "daemon load test: {} x {} batches of {} vectors ({} daemon workers)...",
-        cfg.clients, cfg.batches_per_client, cfg.suite.test, cfg.threads
+        "daemon load test: {} clients over {} tenants x {} batches of {} vectors \
+         ({} daemon workers)...",
+        cfg.clients,
+        cfg.cases.len(),
+        cfg.batches_per_client,
+        cfg.suite.test,
+        cfg.threads
     );
     let result = daemon_baseline(&cfg);
     let json = daemon_baseline_json(&cfg, &result);

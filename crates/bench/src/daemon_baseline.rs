@@ -1,14 +1,17 @@
 //! The wire-protocol baseline behind `BENCH_daemon.json`.
 //!
-//! Train one Table-1 case at micro scale, export its artifact, start a
-//! real [`Daemon`] on a loopback port, stage an identical artifact
-//! (revision-bumped) as the shadow, and hammer the daemon with N client
-//! threads × batched `SelectBatch` requests over TCP. The report records
-//! throughput (selections/sec), per-frame round-trip latency (p50/p95),
-//! and the shadow agreement record — which is **100% by construction**
-//! (identical model), making the shadow counters deterministic. Request
-//! and selection counts are deterministic; wall-clock figures are
-//! environment-dependent.
+//! Train one Table-1 case *per tenant* at micro scale, export the
+//! artifacts, start a single multi-tenant [`Daemon`] (one readiness-driven
+//! event loop) on a loopback port, stage an identical revision-bumped
+//! shadow behind every tenant, and hammer the daemon with N client
+//! threads — round-robined across the tenants — each sending batched
+//! `SelectBatch` requests over TCP. The report records aggregate
+//! throughput (selections/sec), a full per-frame round-trip latency
+//! histogram (p50/p90/p99/p999 + max over every recorded sample), and
+//! each tenant's shadow agreement record — which is **100% by
+//! construction** (identical model), making the shadow counters
+//! deterministic. Request and selection counts are deterministic;
+//! wall-clock figures are environment-dependent.
 //!
 //! The fallback policy is disabled (`drift_threshold: 1.0` can never be
 //! strictly exceeded), so every answer is the pure classifier selection
@@ -16,7 +19,9 @@
 
 use crate::report;
 use intune_core::{Benchmark, FeatureVector};
-use intune_daemon::{Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy};
+use intune_daemon::{
+    protocol, Daemon, DaemonClient, DaemonOptions, ListenConfig, ShadowPolicy, TenantSpec,
+};
 use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
 use intune_learning::pipeline::learn;
@@ -28,11 +33,12 @@ use std::time::Instant;
 /// Knobs of the daemon load test.
 #[derive(Debug, Clone)]
 pub struct DaemonBenchConfig {
-    /// Suite scale used for training the served artifact.
+    /// Suite scale used for training the served artifacts.
     pub suite: SuiteConfig,
-    /// The case whose artifact is served.
-    pub case: TestCase,
-    /// Concurrent client threads.
+    /// The cases whose artifacts are served — one tenant each, all out
+    /// of the same daemon process.
+    pub cases: Vec<TestCase>,
+    /// Concurrent client threads, round-robined across the tenants.
     pub clients: usize,
     /// `SelectBatch` requests per client.
     pub batches_per_client: usize,
@@ -40,37 +46,79 @@ pub struct DaemonBenchConfig {
     pub threads: usize,
 }
 
-/// The measured outcome (see module docs for what is deterministic).
-#[derive(Debug, Clone)]
-pub struct DaemonBenchResult {
-    /// Case name served.
-    pub case: String,
-    /// Client thread count.
-    pub clients: u64,
-    /// Requests per client.
-    pub batches_per_client: u64,
-    /// Vectors per request.
-    pub batch_size: u64,
-    /// Total `SelectBatch` frames sent.
-    pub requests: u64,
-    /// Total selections answered.
-    pub selections: u64,
-    /// Wall time of the load phase, milliseconds.
-    pub wall_ms: f64,
-    /// Selections per second (wall-clock).
-    pub selections_per_sec: f64,
-    /// Median frame round-trip, milliseconds.
+/// Frame round-trip latency distribution over every recorded sample.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyHistogram {
+    /// Number of samples behind the percentiles (one per frame).
+    pub count: u64,
+    /// Median, milliseconds.
     pub p50_ms: f64,
-    /// 95th-percentile frame round-trip, milliseconds.
-    pub p95_ms: f64,
+    /// 90th percentile, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Slowest observed frame, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyHistogram {
+    /// Nearest-rank percentiles of an ascending-sorted sample set.
+    fn from_sorted(sorted: &[f64]) -> LatencyHistogram {
+        LatencyHistogram {
+            count: sorted.len() as u64,
+            p50_ms: percentile(sorted, 0.50),
+            p90_ms: percentile(sorted, 0.90),
+            p99_ms: percentile(sorted, 0.99),
+            p999_ms: percentile(sorted, 0.999),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// One tenant's deterministic slice of the load.
+#[derive(Debug, Clone)]
+pub struct TenantBenchResult {
+    /// Case name this tenant serves.
+    pub case: String,
+    /// Client threads bound to this tenant.
+    pub clients: u64,
+    /// Vectors per request (the case's held-out corpus size).
+    pub batch_size: u64,
+    /// `SelectBatch` frames this tenant answered.
+    pub requests: u64,
+    /// Selections this tenant answered.
+    pub selections: u64,
     /// Selections mirrored to the staged shadow (one per vector).
     pub shadow_mirrored: u64,
     /// Mirrored selections the shadow agreed on (all of them).
     pub shadow_agreed: u64,
     /// `agreed / mirrored` (1.0 by construction).
     pub shadow_agreement_rate: f64,
-    /// Revision serving after the final promote.
+    /// Revision serving after this tenant's promote.
     pub promoted_revision: u64,
+}
+
+/// The measured outcome (see module docs for what is deterministic).
+#[derive(Debug, Clone)]
+pub struct DaemonBenchResult {
+    /// Total client thread count.
+    pub clients: u64,
+    /// Requests per client.
+    pub batches_per_client: u64,
+    /// Total `SelectBatch` frames sent, all tenants.
+    pub requests: u64,
+    /// Total selections answered, all tenants.
+    pub selections: u64,
+    /// Wall time of the load phase, milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate selections per second (wall-clock).
+    pub selections_per_sec: f64,
+    /// Frame round-trip latency over every client's every frame.
+    pub latency: LatencyHistogram,
+    /// Per-tenant counters, in `cases` order.
+    pub tenants: Vec<TenantBenchResult>,
 }
 
 /// Extracts the case's artifact and the full feature vectors of its
@@ -99,21 +147,35 @@ impl CaseVisitor for ExportVisitor {
     }
 }
 
-/// Runs the load test end to end (train → serve → stage shadow → hammer
-/// → promote → shutdown).
+/// Runs the load test end to end (train every tenant → serve them from
+/// one event loop → stage shadows → hammer → promote each → shutdown).
 ///
 /// # Panics
 /// Panics if training, the daemon, or any client fails — baseline
 /// emitters want loud failures.
 pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
+    assert!(!cfg.cases.is_empty(), "at least one tenant case");
     let engine = Engine::serial();
-    let (artifact, features) =
-        visit_case(cfg.case, &cfg.suite, &engine, &mut ExportVisitor).expect("training failed");
-    let shadow_artifact = artifact.clone().with_revision(2);
-    let batch_size = features.len() as u64;
+    let mut specs = Vec::with_capacity(cfg.cases.len());
+    let mut shadows = Vec::with_capacity(cfg.cases.len());
+    let mut tenant_features: Vec<Vec<FeatureVector>> = Vec::with_capacity(cfg.cases.len());
+    // `Benchmark::name()` keys tenants, not the case name: e.g. the
+    // `sort2` case serves benchmark `sort`.
+    let mut tenant_names: Vec<String> = Vec::with_capacity(cfg.cases.len());
+    for case in &cfg.cases {
+        let (artifact, features) =
+            visit_case(*case, &cfg.suite, &engine, &mut ExportVisitor).expect("training failed");
+        shadows.push(artifact.clone().with_revision(2));
+        tenant_names.push(artifact.benchmark.clone());
+        specs.push(TenantSpec {
+            artifact,
+            trace: None,
+        });
+        tenant_features.push(features);
+    }
 
-    let daemon = Daemon::bind(
-        artifact,
+    let daemon = Daemon::bind_tenants(
+        specs,
         DaemonOptions {
             serve: ServeOptions {
                 threads: cfg.threads,
@@ -121,9 +183,9 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                 drift_threshold: 1.0,
                 ..ServeOptions::default()
             },
-            // The shadow mirrors the same deterministic traffic; its
-            // monitor is pinned off too so the agreement record (not a
-            // drift trip) decides the promote.
+            // Shadows mirror the same deterministic traffic; their
+            // monitors are pinned off too so the agreement record (not a
+            // drift trip) decides each promote.
             shadow_serve: ServeOptions {
                 threads: cfg.threads,
                 drift_threshold: 1.0,
@@ -135,6 +197,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
             },
             trace: None,
             inject_faults: false,
+            ..DaemonOptions::default()
         },
         &ListenConfig::default(),
     )
@@ -142,32 +205,74 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
     let addr = daemon.tcp_addr().to_string();
     let handle = daemon.spawn();
 
-    // Stage the shadow before any traffic so every request is mirrored.
-    let control = DaemonClient::connect(&addr).expect("control client");
-    control
-        .load_artifact(&shadow_artifact)
-        .expect("stage shadow");
+    // One control client per tenant; stage every shadow before any
+    // traffic so every request is mirrored.
+    let controls: Vec<DaemonClient> = tenant_names
+        .iter()
+        .map(|name| DaemonClient::connect_to(&addr, name).expect("control client"))
+        .collect();
+    for (control, shadow) in controls.iter().zip(&shadows) {
+        control.load_artifact(shadow).expect("stage shadow");
+    }
 
-    // The load phase: N clients × R framed batches each.
-    let start = Instant::now();
+    // The load phase: N clients x R framed batches each, client i bound
+    // to tenant i mod cases. Thread spawns and the N `Hello` handshakes
+    // happen *before* the barrier so the timed window measures serving
+    // throughput, not connection setup. Each client drives the wire
+    // protocol directly with a request body encoded **once** — a load
+    // generator re-serializing the identical batch every iteration
+    // measures its own JSON printer, not the daemon. Responses are still
+    // fully decoded and checked per frame.
+    let ready = std::sync::Barrier::new(cfg.clients + 1);
+    let mut start = Instant::now();
     let mut latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
-            .map(|_| {
+            .map(|i| {
                 let addr = &addr;
-                let features = &features;
+                let ready = &ready;
+                let name = &tenant_names[i % cfg.cases.len()];
+                let features = &tenant_features[i % cfg.cases.len()];
                 scope.spawn(move || {
-                    let client = DaemonClient::connect(addr).expect("load client");
+                    let mut stream =
+                        std::net::TcpStream::connect(addr).expect("load client connect");
+                    stream.set_nodelay(true).ok();
+                    let mut reader = protocol::FrameReader::new();
+                    protocol::send(
+                        &mut stream,
+                        &protocol::Request::Hello {
+                            client: "daemon-bench".to_string(),
+                            benchmark: name.clone(),
+                        },
+                    )
+                    .expect("hello");
+                    match reader.recv(&mut stream).expect("hello reply") {
+                        Some(protocol::Response::HelloAck { .. }) => {}
+                        other => panic!("unexpected hello reply: {other:?}"),
+                    }
+                    let body = protocol::encode_select_batch(features);
+                    ready.wait();
                     let mut lat = Vec::with_capacity(cfg.batches_per_client);
                     for _ in 0..cfg.batches_per_client {
                         let t = Instant::now();
-                        let got = client.select_batch(features).expect("select batch");
+                        protocol::write_frame(&mut stream, &body).expect("send batch");
+                        let reply = reader
+                            .recv(&mut stream)
+                            .expect("batch reply")
+                            .expect("connection open");
                         lat.push(t.elapsed().as_secs_f64() * 1e3);
-                        assert_eq!(got.len(), features.len());
+                        match reply {
+                            protocol::Response::Selections { selections } => {
+                                assert_eq!(selections.len(), features.len());
+                            }
+                            other => panic!("unexpected batch reply: {other:?}"),
+                        }
                     }
                     lat
                 })
             })
             .collect();
+        ready.wait();
+        start = Instant::now();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("client thread panicked"))
@@ -176,46 +281,85 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
     let wall = start.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
-    let stats = control.stats().expect("stats");
-    let shadow = stats.shadow.expect("shadow still staged");
-    let promoted_revision = control.promote().expect("promote gate");
-    control.shutdown().expect("shutdown");
+    // Per-tenant accounting, promotes, and the final shutdown (sent once;
+    // the daemon is one process).
+    let mut tenants = Vec::with_capacity(cfg.cases.len());
+    let mut total_requests = 0u64;
+    let mut total_selections = 0u64;
+    for (t, (case, control)) in cfg.cases.iter().zip(&controls).enumerate() {
+        let stats = control.stats().expect("stats");
+        let shadow = stats.shadow.expect("shadow still staged");
+        let promoted_revision = control.promote().expect("promote gate");
+        let clients =
+            (cfg.clients / cfg.cases.len() + usize::from(t < cfg.clients % cfg.cases.len())) as u64;
+        let batch_size = tenant_features[t].len() as u64;
+        let requests = clients * cfg.batches_per_client as u64;
+        let selections = requests * batch_size;
+        total_requests += requests;
+        total_selections += selections;
+        tenants.push(TenantBenchResult {
+            case: case.name().to_string(),
+            clients,
+            batch_size,
+            requests,
+            selections,
+            shadow_mirrored: shadow.mirrored,
+            shadow_agreed: shadow.agreed,
+            shadow_agreement_rate: shadow.agreement_rate,
+            promoted_revision,
+        });
+    }
+    controls[0].shutdown().expect("shutdown");
     handle.join().expect("daemon exit");
 
-    let requests = (cfg.clients * cfg.batches_per_client) as u64;
-    let selections = requests * batch_size;
     DaemonBenchResult {
-        case: cfg.case.name().to_string(),
         clients: cfg.clients as u64,
         batches_per_client: cfg.batches_per_client as u64,
-        batch_size,
-        requests,
-        selections,
+        requests: total_requests,
+        selections: total_selections,
         wall_ms: wall * 1e3,
         selections_per_sec: if wall > 0.0 {
-            selections as f64 / wall
+            total_selections as f64 / wall
         } else {
             0.0
         },
-        p50_ms: percentile(&latencies, 0.50),
-        p95_ms: percentile(&latencies, 0.95),
-        shadow_mirrored: shadow.mirrored,
-        shadow_agreed: shadow.agreed,
-        shadow_agreement_rate: shadow.agreement_rate,
-        promoted_revision,
+        latency: LatencyHistogram::from_sorted(&latencies),
+        tenants,
     }
 }
 
 /// Renders the result as the `BENCH_daemon.json` document (through
 /// [`report`]: sorted keys, trailing newline).
 pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> String {
+    let tenants = r
+        .tenants
+        .iter()
+        .map(|t| {
+            (
+                t.case.as_str(),
+                report::obj(vec![
+                    ("batch_size", Value::UInt(t.batch_size)),
+                    ("clients", Value::UInt(t.clients)),
+                    ("requests", Value::UInt(t.requests)),
+                    ("selections", Value::UInt(t.selections)),
+                    (
+                        "shadow",
+                        report::obj(vec![
+                            ("mirrored", Value::UInt(t.shadow_mirrored)),
+                            ("agreed", Value::UInt(t.shadow_agreed)),
+                            ("agreement_rate", report::rate(t.shadow_agreement_rate)),
+                            ("promoted_revision", Value::UInt(t.promoted_revision)),
+                        ]),
+                    ),
+                ]),
+            )
+        })
+        .collect();
     let doc = report::obj(vec![
-        ("schema", Value::String("intune-bench-daemon/1".into())),
+        ("schema", Value::String("intune-bench-daemon/2".into())),
         ("artifact_version", Value::UInt(ARTIFACT_VERSION as u64)),
-        ("case", Value::String(r.case.clone())),
         ("clients", Value::UInt(r.clients)),
         ("batches_per_client", Value::UInt(r.batches_per_client)),
-        ("batch_size", Value::UInt(r.batch_size)),
         ("workers", Value::UInt(cfg.threads as u64)),
         ("requests", Value::UInt(r.requests)),
         ("selections", Value::UInt(r.selections)),
@@ -227,19 +371,15 @@ pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> S
         (
             "frame_latency_ms",
             report::obj(vec![
-                ("p50", report::ms(r.p50_ms)),
-                ("p95", report::ms(r.p95_ms)),
+                ("count", Value::UInt(r.latency.count)),
+                ("p50", report::ms(r.latency.p50_ms)),
+                ("p90", report::ms(r.latency.p90_ms)),
+                ("p99", report::ms(r.latency.p99_ms)),
+                ("p999", report::ms(r.latency.p999_ms)),
+                ("max", report::ms(r.latency.max_ms)),
             ]),
         ),
-        (
-            "shadow",
-            report::obj(vec![
-                ("mirrored", Value::UInt(r.shadow_mirrored)),
-                ("agreed", Value::UInt(r.shadow_agreed)),
-                ("agreement_rate", report::rate(r.shadow_agreement_rate)),
-                ("promoted_revision", Value::UInt(r.promoted_revision)),
-            ]),
-        ),
+        ("tenants", report::obj(tenants)),
     ]);
     report::render(&doc)
 }
@@ -261,26 +401,40 @@ mod tests {
     fn tiny() -> DaemonBenchConfig {
         DaemonBenchConfig {
             suite: micro_config(),
-            case: TestCase::Sort2,
-            clients: 2,
-            batches_per_client: 3,
+            cases: vec![TestCase::Sort2, TestCase::Binpacking],
+            clients: 3,
+            batches_per_client: 2,
             threads: 1,
         }
     }
 
     #[test]
-    fn daemon_baseline_counts_are_deterministic_and_shadow_agrees() {
+    fn daemon_baseline_counts_are_deterministic_and_shadows_agree() {
         let cfg = tiny();
         let r = daemon_baseline(&cfg);
+        let batch = cfg.suite.test as u64;
         assert_eq!(r.requests, 6);
-        assert_eq!(r.batch_size, cfg.suite.test as u64);
-        assert_eq!(r.selections, 6 * cfg.suite.test as u64);
-        assert_eq!(r.shadow_mirrored, r.selections, "every selection mirrored");
-        assert_eq!(r.shadow_agreed, r.shadow_mirrored, "identical model agrees");
-        assert_eq!(r.shadow_agreement_rate, 1.0);
-        assert_eq!(r.promoted_revision, 2);
+        assert_eq!(r.selections, 6 * batch);
+        assert_eq!(r.latency.count, 6, "one latency sample per frame");
+        assert!(r.latency.p50_ms <= r.latency.p90_ms);
+        assert!(r.latency.p90_ms <= r.latency.p99_ms);
+        assert!(r.latency.p99_ms <= r.latency.p999_ms);
+        assert!(r.latency.p999_ms <= r.latency.max_ms);
         assert!(r.selections_per_sec > 0.0);
-        assert!(r.p95_ms >= r.p50_ms);
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].case, "sort2");
+        assert_eq!(r.tenants[1].case, "binpacking");
+        // 3 clients round-robined over 2 tenants: 2 + 1.
+        assert_eq!(r.tenants[0].clients, 2);
+        assert_eq!(r.tenants[1].clients, 1);
+        for t in &r.tenants {
+            assert_eq!(t.requests, t.clients * 2);
+            assert_eq!(t.selections, t.requests * batch);
+            assert_eq!(t.shadow_mirrored, t.selections, "every selection mirrored");
+            assert_eq!(t.shadow_agreed, t.shadow_mirrored, "identical model agrees");
+            assert_eq!(t.shadow_agreement_rate, 1.0);
+            assert_eq!(t.promoted_revision, 2, "{}", t.case);
+        }
     }
 
     #[test]
@@ -289,9 +443,15 @@ mod tests {
         let r = daemon_baseline(&cfg);
         let json = daemon_baseline_json(&cfg, &r);
         for key in [
-            "\"schema\": \"intune-bench-daemon/1\"",
+            "\"schema\": \"intune-bench-daemon/2\"",
             "\"artifact_version\": 2",
             "\"frame_latency_ms\"",
+            "\"count\": 6",
+            "\"p999\"",
+            "\"max\"",
+            "\"tenants\"",
+            "\"sort2\"",
+            "\"binpacking\"",
             "\"agreement_rate\": 1.0",
             "\"promoted_revision\": 2",
             "\"workers\": 1",

@@ -39,7 +39,10 @@ pub mod report;
 mod retrain_baseline;
 mod serve_baseline;
 
-pub use daemon_baseline::{daemon_baseline, daemon_baseline_json, DaemonBenchConfig};
+pub use daemon_baseline::{
+    daemon_baseline, daemon_baseline_json, DaemonBenchConfig, DaemonBenchResult, LatencyHistogram,
+    TenantBenchResult,
+};
 pub use retrain_baseline::{
     retrain_baseline, retrain_baseline_json, RetrainBenchConfig, RetrainBenchResult,
 };

@@ -144,6 +144,7 @@ impl CaseVisitor for RetrainVisitor<'_> {
                 },
                 trace: Some(sink.clone() as Arc<dyn TraceSink>),
                 inject_faults: false,
+                ..DaemonOptions::default()
             },
             &ListenConfig::default(),
         )?;

@@ -160,6 +160,14 @@ impl FeatureVector {
         }
     }
 
+    /// Reassembles a vector from its serialized parts — what the wire
+    /// fast path hands over after scanning a canonical payload. Performs
+    /// exactly the (absent) validation the derived `Deserialize` impl
+    /// performs, so the two construction routes stay interchangeable.
+    pub fn from_wire_parts(slots: Vec<Option<FeatureSample>>, offsets: Vec<usize>) -> Self {
+        FeatureVector { slots, offsets }
+    }
+
     /// Total number of feature slots `M`.
     pub fn len(&self) -> usize {
         self.slots.len()

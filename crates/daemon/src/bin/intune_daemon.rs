@@ -1,19 +1,29 @@
-//! The `intune_daemon` binary: load a model artifact, listen, serve.
+//! The `intune_daemon` binary: load model artifacts, listen, serve.
 //!
 //! ```text
 //! cargo run --release -p intune_daemon --bin intune_daemon -- \
-//!     --artifact artifacts/sort2.model.json [--listen 127.0.0.1:0] \
+//!     --artifact artifacts/sort2.model.json [--artifact MORE.json ...] \
+//!     [--listen 127.0.0.1:0] \
 //!     [--uds /tmp/intune.sock] [--journal DIR] [--journal-segment N] \
 //!     [--threads N] [--probe-every N] \
 //!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
 //!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
-//!     [--min-agreement X] [--min-mirrored N]
+//!     [--min-agreement X] [--min-mirrored N] [--max-outbound-bytes N]
 //! ```
+//!
+//! `--artifact` is repeatable: each artifact becomes one serving tenant,
+//! keyed by its benchmark name, all served out of one readiness-driven
+//! event loop. Clients route with `Hello { benchmark }`
+//! (`DaemonClient::connect_to`); single-tenant daemons keep accepting
+//! the anonymous handshake.
 //!
 //! `--journal DIR` appends every served selection (features, chosen
 //! landmark, drift outcome, optional client-shipped raw-input payload) to
-//! a segmented crash-tolerant log in DIR — the observation half of the
-//! continuous-learning loop that `intune_retrain` closes.
+//! a segmented crash-tolerant log — the observation half of the
+//! continuous-learning loop that `intune_retrain` closes. With one
+//! tenant the journal lives in DIR itself (compatible with existing
+//! tooling); with several, each tenant journals to `DIR/<benchmark>/`
+//! so the retrainer consumes one corpus per benchmark.
 //!
 //! Prints exactly one `listening on ADDR` line to stdout once bound (so
 //! scripts can grab the resolved ephemeral port), then serves until a
@@ -22,25 +32,26 @@
 //! which CI uses to pin byte-determinism of remote evaluation. Worker
 //! threads default to `INTUNE_THREADS` (hardened parse) or 1.
 
-use intune_daemon::{Daemon, DaemonOptions, ListenConfig, ShadowPolicy};
-use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions};
+use intune_daemon::{Daemon, DaemonOptions, ListenConfig, TenantSpec};
+use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn main() {
-    let mut artifact_path: Option<PathBuf> = None;
+    let mut artifact_paths: Vec<PathBuf> = Vec::new();
     let mut journal_dir: Option<PathBuf> = None;
     let mut journal_segment = JournalOptions::default().segment_max_records;
     let mut listen = ListenConfig::default();
-    let mut serve = ServeOptions {
-        threads: intune_exec::threads_from_env_or_exit(1),
-        ..ServeOptions::default()
+    let mut opts = DaemonOptions {
+        serve: ServeOptions {
+            threads: intune_exec::threads_from_env_or_exit(1),
+            ..ServeOptions::default()
+        },
+        ..DaemonOptions::default()
     };
     // Staged shadows keep their own (default: armed) drift monitor even
     // when the primary's fallback is pinned off.
-    let mut shadow_serve = ServeOptions::default();
-    let mut shadow = ShadowPolicy::default();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,64 +65,64 @@ fn main() {
                     .get(i)
                     .unwrap_or_else(|| die(&format!("{flag} needs a value")));
                 match flag {
-                    "--artifact" => artifact_path = Some(PathBuf::from(value)),
+                    "--artifact" => artifact_paths.push(PathBuf::from(value)),
                     "--journal" => journal_dir = Some(PathBuf::from(value)),
                     "--journal-segment" => journal_segment = parse(flag, value),
                     "--listen" => listen.tcp = value.clone(),
                     "--uds" => listen.uds = Some(PathBuf::from(value)),
-                    "--threads" => serve.threads = parse(flag, value),
-                    "--probe-every" => serve.probe_every = parse(flag, value),
-                    "--radius-factor" => serve.radius_factor = parse(flag, value),
-                    "--drift-threshold" => serve.drift_threshold = parse(flag, value),
-                    "--min-observations" => serve.min_observations = parse(flag, value),
-                    "--shadow-drift-threshold" => shadow_serve.drift_threshold = parse(flag, value),
-                    "--shadow-min-observations" => {
-                        shadow_serve.min_observations = parse(flag, value)
+                    "--threads" => opts.serve.threads = parse(flag, value),
+                    "--probe-every" => opts.serve.probe_every = parse(flag, value),
+                    "--radius-factor" => opts.serve.radius_factor = parse(flag, value),
+                    "--drift-threshold" => opts.serve.drift_threshold = parse(flag, value),
+                    "--min-observations" => opts.serve.min_observations = parse(flag, value),
+                    "--shadow-drift-threshold" => {
+                        opts.shadow_serve.drift_threshold = parse(flag, value)
                     }
-                    "--min-agreement" => shadow.min_agreement = parse(flag, value),
-                    "--min-mirrored" => shadow.min_mirrored = parse(flag, value),
+                    "--shadow-min-observations" => {
+                        opts.shadow_serve.min_observations = parse(flag, value)
+                    }
+                    "--min-agreement" => opts.shadow.min_agreement = parse(flag, value),
+                    "--min-mirrored" => opts.shadow.min_mirrored = parse(flag, value),
+                    "--max-outbound-bytes" => opts.max_outbound_bytes = parse(flag, value),
                     other => die(&format!("unknown flag {other}")),
                 }
             }
         }
         i += 1;
     }
-    let artifact_path = artifact_path.unwrap_or_else(|| die("--artifact PATH is required"));
+    if artifact_paths.is_empty() {
+        die("--artifact PATH is required (repeat for multiple tenants)");
+    }
 
-    let artifact = ModelArtifact::load(&artifact_path).unwrap_or_else(|e| die(&e.to_string()));
-    eprintln!(
-        "loaded {} (benchmark `{}`, revision {}, {} landmarks, {} worker threads)",
-        artifact_path.display(),
-        artifact.benchmark,
-        artifact.revision,
-        artifact.landmarks.len(),
-        serve.threads
-    );
-    shadow_serve.threads = serve.threads;
-    let trace = journal_dir.map(|dir| {
-        let sink = JournalSink::open(
-            &dir,
-            JournalOptions {
-                segment_max_records: journal_segment,
-                ..JournalOptions::default()
-            },
-        )
-        .unwrap_or_else(|e| die(&e.to_string()));
-        eprintln!("journaling served selections to {}", dir.display());
-        Arc::new(sink) as Arc<dyn intune_serve::TraceSink>
-    });
-    let daemon = Daemon::bind(
-        artifact,
-        DaemonOptions {
-            serve,
-            shadow_serve,
-            shadow,
-            trace,
-            inject_faults: false,
-        },
-        &listen,
-    )
-    .unwrap_or_else(|e| die(&e.to_string()));
+    let multi_tenant = artifact_paths.len() > 1;
+    let specs: Vec<TenantSpec> = artifact_paths
+        .iter()
+        .map(|path| {
+            let artifact = ModelArtifact::load(path).unwrap_or_else(|e| die(&e.to_string()));
+            eprintln!(
+                "loaded {} (benchmark `{}`, revision {}, {} landmarks, {} worker threads)",
+                path.display(),
+                artifact.benchmark,
+                artifact.revision,
+                artifact.landmarks.len(),
+                opts.serve.threads
+            );
+            let trace = journal_dir.as_ref().map(|dir| {
+                // Sole tenant journals to DIR itself (the pre-multi-tenant
+                // layout existing tooling reads); several tenants get one
+                // journal per benchmark under it.
+                let tenant_dir = if multi_tenant {
+                    dir.join(&artifact.benchmark)
+                } else {
+                    dir.clone()
+                };
+                open_journal(&tenant_dir, journal_segment)
+            });
+            TenantSpec { artifact, trace }
+        })
+        .collect();
+    opts.shadow_serve.threads = opts.serve.threads;
+    let daemon = Daemon::bind_tenants(specs, opts, &listen).unwrap_or_else(|e| die(&e.to_string()));
     println!("listening on {}", daemon.tcp_addr());
     if let Some(path) = &listen.uds {
         eprintln!("also listening on unix:{}", path.display());
@@ -119,6 +130,19 @@ fn main() {
     std::io::stdout().flush().ok();
     daemon.run().unwrap_or_else(|e| die(&e.to_string()));
     eprintln!("daemon exited cleanly");
+}
+
+fn open_journal(dir: &Path, segment_max_records: usize) -> Arc<dyn TraceSink> {
+    let sink = JournalSink::open(
+        dir,
+        JournalOptions {
+            segment_max_records,
+            ..JournalOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!("journaling served selections to {}", dir.display());
+    Arc::new(sink)
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
@@ -129,12 +153,13 @@ fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: intune_daemon --artifact PATH [--listen ADDR] [--uds PATH] \
+        "usage: intune_daemon --artifact PATH [--artifact PATH ...] \
+         [--listen ADDR] [--uds PATH] \
          [--journal DIR] [--journal-segment N] \
          [--threads N] [--probe-every N] [--radius-factor X] \
          [--drift-threshold X] [--min-observations N] \
          [--shadow-drift-threshold X] [--shadow-min-observations N] \
-         [--min-agreement X] [--min-mirrored N]"
+         [--min-agreement X] [--min-mirrored N] [--max-outbound-bytes N]"
     );
     std::process::exit(0)
 }

@@ -90,11 +90,27 @@ pub struct DaemonClient {
 
 impl DaemonClient {
     /// Dials `addr` (TCP `host:port`, or `unix:/path` for a Unix-domain
-    /// socket) and performs the `Hello` handshake.
+    /// socket) and performs the `Hello` handshake against the daemon's
+    /// sole tenant — the single-benchmark convenience over
+    /// [`DaemonClient::connect_to`]. A multi-tenant daemon refuses the
+    /// anonymous handshake with a typed error naming its benchmarks.
     ///
     /// # Errors
     /// Returns [`Error::Wire`] on connect/handshake failure.
     pub fn connect(addr: &str) -> Result<Self> {
+        DaemonClient::connect_to(addr, "")
+    }
+
+    /// Dials `addr` and binds the connection to the tenant serving
+    /// `benchmark` (a `Benchmark::name()`; the empty string means "the
+    /// sole tenant"). Every request on this client is routed to that
+    /// tenant.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on connect failure, and a typed
+    /// `daemon refused` error (naming the registered benchmarks) when
+    /// `benchmark` is unknown to the daemon.
+    pub fn connect_to(addr: &str, benchmark: &str) -> Result<Self> {
         let conn = if let Some(path) = addr.strip_prefix(UNIX_PREFIX) {
             #[cfg(unix)]
             {
@@ -122,6 +138,7 @@ impl DaemonClient {
             &mut io,
             &Request::Hello {
                 client: format!("intune-client/{}", std::process::id()),
+                benchmark: benchmark.to_string(),
             },
         )?;
         let Response::HelloAck {

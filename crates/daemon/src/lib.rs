@@ -51,14 +51,16 @@
 
 pub mod client;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod shadow;
 
 pub use client::{DaemonClient, ServerInfo};
 pub use protocol::{
-    DaemonStats, FrameReader, LandmarkAgreement, Request, Response, ShadowStats, MAX_FRAME_BYTES,
-    WIRE_VERSION,
+    DaemonStats, Fill, FrameReader, LandmarkAgreement, Request, Response, ShadowStats,
+    MAX_FRAME_BYTES, WIRE_VERSION,
 };
+pub use registry::TenantSpec;
 pub use server::{Daemon, DaemonHandle, DaemonOptions, ListenConfig, SERVER_NAME};
 pub use shadow::ShadowPolicy;
 
@@ -143,6 +145,235 @@ mod tests {
         let handle = daemon.spawn();
         let client = DaemonClient::connect(&addr).unwrap();
         (handle, client)
+    }
+
+    /// The test artifact under a different benchmark name — a second
+    /// tenant for the same daemon.
+    fn named_artifact(benchmark: &str, revision: u64) -> ModelArtifact {
+        let mut a = artifact(revision);
+        a.benchmark = benchmark.to_string();
+        a
+    }
+
+    /// A two-tenant daemon (`alpha` + `beta`, same model shape).
+    fn start_tenants(opts: DaemonOptions) -> (DaemonHandle, String) {
+        let specs = vec![
+            TenantSpec {
+                artifact: named_artifact("alpha", 1),
+                trace: None,
+            },
+            TenantSpec {
+                artifact: named_artifact("beta", 1),
+                trace: None,
+            },
+        ];
+        let daemon = Daemon::bind_tenants(specs, opts, &ListenConfig::default()).unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        (daemon.spawn(), addr)
+    }
+
+    #[test]
+    fn unknown_benchmark_hello_is_refused_and_the_connection_survives() {
+        let (handle, addr) = start_tenants(DaemonOptions::default());
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = protocol::FrameReader::new();
+
+        // A benchmark nobody serves: typed error naming the tenants.
+        protocol::send(
+            &mut raw,
+            &Request::Hello {
+                client: "test".to_string(),
+                benchmark: "gamma".to_string(),
+            },
+        )
+        .unwrap();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        let Response::Error { detail } = reply else {
+            panic!("expected a typed refusal, got {reply:?}");
+        };
+        assert!(detail.contains("unknown benchmark `gamma`"), "{detail}");
+        assert!(
+            detail.contains("alpha") && detail.contains("beta"),
+            "{detail}"
+        );
+
+        // The wire/2 single-tenant shorthand (empty name) is ambiguous
+        // here — also a typed error, also survivable.
+        protocol::send(
+            &mut raw,
+            &Request::Hello {
+                client: "test".to_string(),
+                benchmark: String::new(),
+            },
+        )
+        .unwrap();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        let Response::Error { detail } = reply else {
+            panic!("expected a typed refusal, got {reply:?}");
+        };
+        assert!(detail.contains("several"), "{detail}");
+
+        // Third Hello on the *same connection* binds and serves.
+        protocol::send(
+            &mut raw,
+            &Request::Hello {
+                client: "test".to_string(),
+                benchmark: "beta".to_string(),
+            },
+        )
+        .unwrap();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        assert!(
+            matches!(reply, Response::HelloAck { ref benchmark, .. } if benchmark == "beta"),
+            "{reply:?}"
+        );
+        protocol::send(
+            &mut raw,
+            &Request::SelectBatch {
+                features: vec![vector(7.0)],
+            },
+        )
+        .unwrap();
+        let reply = reader.recv::<_, Response>(&mut raw).unwrap().unwrap();
+        assert!(
+            matches!(reply, Response::Selections { ref selections } if selections.len() == 1),
+            "{reply:?}"
+        );
+
+        // The typed client surfaces the same refusal as an `Err`.
+        match DaemonClient::connect_to(&addr, "gamma") {
+            Err(err) => assert!(err.to_string().contains("unknown benchmark"), "{err}"),
+            Ok(_) => panic!("connecting to an unknown tenant must fail"),
+        }
+
+        DaemonClient::connect_to(&addr, "alpha")
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tenants_stage_and_promote_independently() {
+        let opts = DaemonOptions {
+            shadow: ShadowPolicy {
+                min_mirrored: 4,
+                min_agreement: 0.99,
+            },
+            ..DaemonOptions::default()
+        };
+        let (handle, addr) = start_tenants(opts);
+        let alpha = DaemonClient::connect_to(&addr, "alpha").unwrap();
+        let beta = DaemonClient::connect_to(&addr, "beta").unwrap();
+        assert_eq!(alpha.info().benchmark, "alpha");
+        assert_eq!(beta.info().benchmark, "beta");
+
+        // Stage + mirror + promote on alpha; beta serves plain traffic.
+        alpha.load_artifact(&named_artifact("alpha", 2)).unwrap();
+        let batch: Vec<FeatureVector> = (0..4).map(|i| vector(i as f64)).collect();
+        alpha.select_batch(&batch).unwrap();
+        beta.select_batch(&batch).unwrap();
+        assert_eq!(alpha.promote().unwrap(), 2);
+
+        let a = alpha.stats().unwrap();
+        assert_eq!(a.benchmark, "alpha");
+        assert_eq!(a.revision, 2);
+        assert_eq!(a.promotions, 1);
+        assert_eq!(a.tenants, 2);
+
+        // Beta never saw any of it: revision 1, no shadow, its own
+        // serving counters.
+        let b = beta.stats().unwrap();
+        assert_eq!(b.benchmark, "beta");
+        assert_eq!(b.revision, 1);
+        assert_eq!(b.promotions, 0);
+        assert!(b.shadow.is_none());
+        assert_eq!(b.primary.requests, 4);
+        let err = beta.promote().unwrap_err();
+        assert!(err.to_string().contains("no shadow"), "{err}");
+
+        // Cross-tenant staging is refused: an artifact trained for beta
+        // cannot shadow alpha.
+        let err = alpha.load_artifact(&named_artifact("beta", 3)).unwrap_err();
+        assert!(err.to_string().contains("beta"), "{err}");
+
+        alpha.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_reader_hitting_the_outbound_cap_gets_a_typed_error_then_fin() {
+        let opts = DaemonOptions {
+            max_outbound_bytes: 4096,
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+
+        // A reader that stops draining: pipeline requests whose replies
+        // must overflow the 4 KiB outbound cap, and read nothing.
+        let mut slow = std::net::TcpStream::connect(handle.addr.to_string()).unwrap();
+        let big: Vec<FeatureVector> = (0..256).map(|i| vector(i as f64)).collect();
+        let body = protocol::encode_select_batch(&big);
+        for _ in 0..4 {
+            protocol::write_frame(&mut slow, &body).unwrap();
+        }
+
+        // The daemon must not buffer past the cap: the slow reader gets
+        // any replies that fit, then the typed overflow notice, then an
+        // orderly end of stream — never a reset.
+        let mut reader = protocol::FrameReader::new();
+        let mut saw_overflow = false;
+        loop {
+            match reader.recv::<_, Response>(&mut slow) {
+                Ok(Some(Response::Selections { .. })) => {
+                    assert!(!saw_overflow, "no replies after the disconnect notice");
+                }
+                Ok(Some(Response::Error { detail })) => {
+                    assert!(detail.contains("overflow"), "{detail}");
+                    saw_overflow = true;
+                }
+                Ok(Some(other)) => panic!("unexpected reply: {other:?}"),
+                Ok(None) => break,
+                Err(e) => panic!("slow reader saw a reset, not a FIN: {e}"),
+            }
+        }
+        assert!(saw_overflow, "overflow must be announced before the close");
+        drop(slow);
+
+        // The disconnect cost the slow reader and nobody else.
+        let ok = client.select_batch(&[vector(1.0)]).unwrap();
+        assert_eq!(ok.len(), 1);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_sends_fin_not_rst_to_bystander_connections() {
+        let (handle, client) = start(DaemonOptions::default());
+
+        // A bound, idle bystander with nothing in flight.
+        let mut bystander = std::net::TcpStream::connect(handle.addr.to_string()).unwrap();
+        let mut reader = protocol::FrameReader::new();
+        protocol::send(
+            &mut bystander,
+            &Request::Hello {
+                client: "bystander".to_string(),
+                benchmark: String::new(),
+            },
+        )
+        .unwrap();
+        let reply = reader.recv::<_, Response>(&mut bystander).unwrap().unwrap();
+        assert!(matches!(reply, Response::HelloAck { .. }), "{reply:?}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // After the daemon exits, the bystander reads an orderly end of
+        // stream — a FIN, not a connection reset.
+        match reader.recv::<_, Response>(&mut bystander) {
+            Ok(None) => {}
+            other => panic!("expected a clean FIN, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,11 +54,19 @@ pub const READ_CHUNK_BYTES: usize = 64 << 10;
 /// Client → daemon messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Opens a session; the daemon answers [`Response::HelloAck`]
-    /// describing the model it serves.
+    /// Opens a session and binds the connection to one of the daemon's
+    /// tenants; the daemon answers [`Response::HelloAck`] describing the
+    /// model that tenant serves. An unknown `benchmark` gets a typed
+    /// [`Response::Error`] naming the registered tenants — the
+    /// connection survives and may `Hello` again.
     Hello {
         /// Client self-identification (free-form, for server logs).
         client: String,
+        /// `Benchmark::name()` of the tenant to bind to. The empty
+        /// string binds a single-tenant daemon's sole tenant (the wire/2
+        /// behavior before multi-tenancy) and is refused with a typed
+        /// error when several tenants are registered.
+        benchmark: String,
     },
     /// Selects a landmark for each fully-extracted feature vector.
     SelectBatch {
@@ -180,7 +188,9 @@ pub struct ShadowStats {
     pub drift: ServeStats,
 }
 
-/// Counter snapshot of the whole daemon.
+/// Counter snapshot of one tenant, plus the daemon-wide counters
+/// (`connections`, `tenants`). `Stats` is routed per tenant: the reply
+/// describes the tenant the requesting connection is bound to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DaemonStats {
     /// `Benchmark::name()` of the served model.
@@ -197,9 +207,11 @@ pub struct DaemonStats {
     pub promotions: u64,
     /// Connections accepted since startup.
     pub connections: u64,
-    /// Selections durably appended to the request journal since startup
-    /// (0 when the daemon runs without a journal).
+    /// Selections durably appended to this tenant's request journal
+    /// since startup (0 when the tenant runs without a journal).
     pub journaled: u64,
+    /// Benchmarks registered in the daemon's artifact registry.
+    pub tenants: u64,
 }
 
 /// Encodes a message into its frame payload (compact JSON).
@@ -229,6 +241,136 @@ pub fn encode_select_batch(features: &[FeatureVector]) -> String {
 /// Returns [`Error::Wire`] on a payload-shape failure.
 pub fn decode_message<T: Deserialize>(text: &str) -> Result<T> {
     serde_json::from_str(text).map_err(|e| Error::wire(format!("bad frame payload: {e}")))
+}
+
+/// Decodes a `SelectBatch` payload on the serving hot path without
+/// materializing the generic `serde_json::Value` tree the derive-based
+/// route builds (one tree node plus one conversion per slot — the
+/// dominant per-request cost at high connection counts).
+///
+/// The scanner accepts exactly the canonical compact encoding that
+/// [`encode_select_batch`] and the derive emit — field order, no
+/// whitespace, finite floats. `None` means "not that shape" (a different
+/// message, whitespace, a non-finite float spelled as a string, a
+/// hand-written client): callers **must** fall back to
+/// [`decode_message`], so coverage here is an optimization, never a
+/// compatibility statement. Numbers go through the same `str::parse`
+/// the generic parser uses, so both routes yield bit-identical vectors
+/// (a unit test pins this).
+pub fn decode_select_batch(payload: &str) -> Option<Vec<FeatureVector>> {
+    let mut scan = Scan {
+        bytes: payload.as_bytes(),
+        at: 0,
+    };
+    scan.tag(b"{\"SelectBatch\":{\"features\":[")?;
+    let mut features = Vec::new();
+    if !scan.eat(b']') {
+        loop {
+            features.push(scan.vector()?);
+            if !scan.eat(b',') {
+                break;
+            }
+        }
+        scan.tag(b"]")?;
+    }
+    scan.tag(b"}}")?;
+    if scan.at == scan.bytes.len() {
+        Some(features)
+    } else {
+        None
+    }
+}
+
+/// Byte cursor for [`decode_select_batch`]'s strict scan.
+struct Scan<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Scan<'_> {
+    fn tag(&mut self, expected: &[u8]) -> Option<()> {
+        if self.bytes[self.at..].starts_with(expected) {
+            self.at += expected.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.bytes.get(self.at) == Some(&byte) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        // Guaranteed ASCII by the byte class above.
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+    }
+
+    fn integer(&mut self) -> Option<usize> {
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()?
+            .parse::<usize>()
+            .ok()
+    }
+
+    fn vector(&mut self) -> Option<FeatureVector> {
+        self.tag(b"{\"slots\":[")?;
+        let mut slots = Vec::new();
+        if !self.eat(b']') {
+            loop {
+                if self.tag(b"null").is_some() {
+                    slots.push(None);
+                } else {
+                    self.tag(b"{\"value\":")?;
+                    let value = self.number()?;
+                    self.tag(b",\"cost\":")?;
+                    let cost = self.number()?;
+                    self.tag(b"}")?;
+                    slots.push(Some(intune_core::FeatureSample { value, cost }));
+                }
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.tag(b"]")?;
+        }
+        self.tag(b",\"offsets\":[")?;
+        let mut offsets = Vec::new();
+        if !self.eat(b']') {
+            loop {
+                offsets.push(self.integer()?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.tag(b"]")?;
+        }
+        self.tag(b"}")?;
+        Some(FeatureVector::from_wire_parts(slots, offsets))
+    }
 }
 
 /// Assembles one frame (header + payload) as a single buffer, so writers
@@ -272,17 +414,47 @@ pub fn send<W: Write, T: Serialize>(w: &mut W, message: &T) -> Result<()> {
     write_frame(w, &encode_message(message))
 }
 
+/// How one nonblocking [`FrameReader::fill`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// At least one byte was buffered.
+    Bytes(usize),
+    /// The transport has no bytes available right now
+    /// (`ErrorKind::WouldBlock`); try again after the next readiness
+    /// event.
+    WouldBlock,
+    /// The peer closed the stream. Whether that is a clean end or a
+    /// truncation depends on [`FrameReader::pending_bytes`].
+    Closed,
+}
+
+/// Floor of one [`FrameReader::fill`] read when no frame header is
+/// buffered yet: large enough to swallow a typical request (header +
+/// small batch) in one syscall and to pick up pipelined frames, small
+/// enough that an idle connection pins only this much.
+const READ_FLOOR_BYTES: usize = 4 << 10;
+
 /// A per-connection frame receiver owning a reusable payload buffer.
 ///
-/// The buffer persists across frames (no per-frame allocation once it has
-/// grown to the connection's working size) and decoded payloads are
-/// borrowed straight out of it. While a payload arrives the buffer grows
-/// in [`READ_CHUNK_BYTES`] steps, so memory tracks bytes *received*, not
-/// bytes *announced* — the defense against a peer declaring a 64 MiB
-/// frame and then trickling or abandoning it.
+/// The buffer persists across frames (no per-frame allocation once it
+/// has grown to the connection's working size) and decoded payloads are
+/// borrowed straight out of it. Parsing is **incremental**: bytes arrive
+/// via [`FrameReader::fill`] (blocking or nonblocking transports alike)
+/// and complete frames are taken off the front with
+/// [`FrameReader::pop_frame`] — the shape a readiness-driven event loop
+/// needs, and what the blocking [`FrameReader::read_frame`] is built on.
+/// While a payload arrives the buffer grows in [`READ_CHUNK_BYTES`]
+/// steps, so memory tracks bytes *received*, not bytes *announced* — the
+/// defense against a peer declaring a 64 MiB frame and then trickling or
+/// abandoning it.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    /// Cursor past the frames already popped; bytes at `start..` are the
+    /// unconsumed tail. Reset to 0 by compaction at the top of every
+    /// `fill`/`pop_frame`, so a popped payload stays borrowable until
+    /// the next call.
+    start: usize,
 }
 
 impl FrameReader {
@@ -297,6 +469,146 @@ impl FrameReader {
         self.buf.capacity()
     }
 
+    /// Bytes buffered but not yet consumed as frames. Nonzero at
+    /// end-of-stream means the peer died mid-frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Moves the unconsumed tail to the front so the buffer never grows
+    /// by the bytes of already-popped frames. The tail is empty after a
+    /// request/response exchange and tiny (one partial frame) under
+    /// pipelining, so this is a cheap or no-op memmove.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else if self.start > 0 {
+            self.buf.drain(..self.start);
+        }
+        self.start = 0;
+    }
+
+    /// Validates and reads the buffered header, if complete: announced
+    /// payload length.
+    ///
+    /// # Errors
+    /// [`Error::Wire`] for a foreign wire version or an announced length
+    /// beyond [`MAX_FRAME_BYTES`] — both detectable (and fatal for the
+    /// connection) before the payload arrives.
+    fn header(&self) -> Result<Option<usize>> {
+        if self.pending_bytes() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let h = &self.buf[self.start..self.start + HEADER_BYTES];
+        if h[4] != WIRE_VERSION {
+            return Err(Error::wire(format!(
+                "peer speaks wire version {}, this daemon speaks {WIRE_VERSION}",
+                h[4]
+            )));
+        }
+        let len = u32::from_be_bytes(h[..4].try_into().expect("4 header bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(Error::wire(format!(
+                "peer announced a {len}-byte frame, cap is {MAX_FRAME_BYTES}"
+            )));
+        }
+        Ok(Some(len))
+    }
+
+    /// Whether a complete frame is buffered (validating the header on
+    /// the way).
+    ///
+    /// # Errors
+    /// Same as [`FrameReader::pop_frame`]'s header failures.
+    fn frame_buffered(&self) -> Result<bool> {
+        Ok(match self.header()? {
+            None => false,
+            Some(len) => self.pending_bytes() >= HEADER_BYTES + len,
+        })
+    }
+
+    /// Takes one complete frame off the buffer, returning its payload
+    /// borrowed from the internal buffer — or `Ok(None)` when no
+    /// complete frame is buffered yet (call [`FrameReader::fill`] and
+    /// retry). Callers drain frames in a loop: several pipelined frames
+    /// buffered by one `fill` pop without further transport reads.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on a version or checksum mismatch, an
+    /// oversized announced length, or a non-UTF-8 payload. The reader is
+    /// left unusable mid-frame — framing state is untrusted after any
+    /// error, and the connection should be dropped.
+    pub fn pop_frame(&mut self) -> Result<Option<&str>> {
+        self.compact();
+        let Some(len) = self.header()? else {
+            return Ok(None);
+        };
+        if self.pending_bytes() < HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let expected = u64::from_be_bytes(
+            self.buf[5..HEADER_BYTES]
+                .try_into()
+                .expect("8 header bytes"),
+        );
+        let payload = &self.buf[HEADER_BYTES..HEADER_BYTES + len];
+        if codec::fnv1a64(payload) != expected {
+            return Err(Error::wire("frame checksum mismatch"));
+        }
+        self.start = HEADER_BYTES + len;
+        std::str::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| Error::wire("frame payload is not valid UTF-8"))
+    }
+
+    /// Reads once from `r` into the buffer. Works for blocking and
+    /// nonblocking transports: `WouldBlock` is an outcome, not an error,
+    /// and `Interrupted` is retried. Growth is incremental and capped —
+    /// with a frame in flight the buffer extends toward that frame's
+    /// end, at most one [`READ_CHUNK_BYTES`] boundary at a time;
+    /// otherwise one [`READ_FLOOR_BYTES`] step.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] for a buffered foreign version or
+    /// oversized announcement (refused before more bytes are committed)
+    /// or a transport failure.
+    pub fn fill<R: Read>(&mut self, r: &mut R) -> Result<Fill> {
+        self.compact();
+        let end = self.buf.len();
+        let target = match self.header()? {
+            Some(len) if HEADER_BYTES + len > end => {
+                // Mid-frame: grow toward the frame end, chunk-capped so
+                // commitment tracks received bytes.
+                (HEADER_BYTES + len).min((end / READ_CHUNK_BYTES + 1) * READ_CHUNK_BYTES)
+            }
+            // No (complete) header yet, or a whole frame already
+            // buffered and unpopped: read a floor-sized step.
+            _ => end + READ_FLOOR_BYTES,
+        };
+        self.buf.resize(target, 0);
+        loop {
+            match r.read(&mut self.buf[end..target]) {
+                Ok(0) => {
+                    self.buf.truncate(end);
+                    return Ok(Fill::Closed);
+                }
+                Ok(n) => {
+                    self.buf.truncate(end + n);
+                    return Ok(Fill::Bytes(n));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.buf.truncate(end);
+                    return Ok(Fill::WouldBlock);
+                }
+                Err(e) => {
+                    self.buf.truncate(end);
+                    return Err(Error::wire(format!("cannot read frame: {e}")));
+                }
+            }
+        }
+    }
+
     /// Reads one frame, returning its payload borrowed from the internal
     /// buffer. `Ok(None)` is a clean end-of-stream (the peer closed
     /// between frames).
@@ -306,49 +618,24 @@ impl FrameReader {
     /// or payload, a version or checksum mismatch, an oversized announced
     /// length, or a non-UTF-8 payload.
     pub fn read_frame<'a, R: Read>(&'a mut self, r: &mut R) -> Result<Option<&'a str>> {
-        let mut header = [0u8; HEADER_BYTES];
-        // Distinguish clean EOF (no bytes of a next frame) from truncation.
-        let mut filled = 0;
-        while filled < header.len() {
-            match r.read(&mut header[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => return Err(Error::wire("connection closed mid-header")),
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(Error::wire(format!("cannot read frame header: {e}"))),
+        while !self.frame_buffered()? {
+            match self.fill(r)? {
+                Fill::Bytes(_) => {}
+                Fill::WouldBlock => {
+                    // A blocking transport only lands here via a read
+                    // timeout — a transport failure to this blocking API.
+                    return Err(Error::wire("cannot read frame: transport would block"));
+                }
+                Fill::Closed => {
+                    return match self.pending_bytes() {
+                        0 => Ok(None),
+                        n if n < HEADER_BYTES => Err(Error::wire("connection closed mid-header")),
+                        _ => Err(Error::wire("connection closed mid-frame")),
+                    };
+                }
             }
         }
-        let len = u32::from_be_bytes(header[..4].try_into().expect("4 header bytes")) as usize;
-        if header[4] != WIRE_VERSION {
-            return Err(Error::wire(format!(
-                "peer speaks wire version {}, this daemon speaks {WIRE_VERSION}",
-                header[4]
-            )));
-        }
-        let expected = u64::from_be_bytes(header[5..].try_into().expect("8 header bytes"));
-        if len > MAX_FRAME_BYTES {
-            return Err(Error::wire(format!(
-                "peer announced a {len}-byte frame, cap is {MAX_FRAME_BYTES}"
-            )));
-        }
-        // Incremental, capped growth: commit at most one chunk ahead of
-        // the bytes actually received.
-        self.buf.clear();
-        while self.buf.len() < len {
-            let upto = (self.buf.len() + READ_CHUNK_BYTES).min(len);
-            let start = self.buf.len();
-            self.buf.resize(upto, 0);
-            r.read_exact(&mut self.buf[start..upto]).map_err(|e| {
-                self.buf.clear();
-                Error::wire(format!("connection closed mid-frame: {e}"))
-            })?;
-        }
-        if codec::fnv1a64(&self.buf) != expected {
-            return Err(Error::wire("frame checksum mismatch"));
-        }
-        std::str::from_utf8(&self.buf)
-            .map(Some)
-            .map_err(|_| Error::wire("frame payload is not valid UTF-8"))
+        self.pop_frame()
     }
 
     /// Reads one message; `Ok(None)` is a clean end-of-stream.
@@ -370,7 +657,37 @@ impl FrameReader {
 /// # Errors
 /// Returns [`Error::Wire`] on transport, header, or payload failure.
 pub fn recv<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>> {
-    FrameReader::new().recv(r)
+    // Exact reads, never past this frame's end: the stream may carry
+    // further frames belonging to a later call, and this reader's
+    // buffer dies with it. The header is read byte-exactly; once it is
+    // buffered, `fill` bounds itself to the announced frame end.
+    let mut header = [0u8; HEADER_BYTES];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(Error::wire("connection closed mid-header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::wire(format!("cannot read frame: {e}"))),
+        }
+    }
+    let mut reader = FrameReader::new();
+    reader.buf.extend_from_slice(&header);
+    let len = reader.header()?.unwrap_or(0);
+    while reader.pending_bytes() < HEADER_BYTES + len {
+        match reader.fill(r)? {
+            Fill::Bytes(_) => {}
+            Fill::WouldBlock => {
+                return Err(Error::wire("cannot read frame: transport would block"))
+            }
+            Fill::Closed => return Err(Error::wire("connection closed mid-frame")),
+        }
+    }
+    match reader.pop_frame()? {
+        Some(payload) => decode_message(payload).map(Some),
+        None => Err(Error::wire("connection closed mid-frame")),
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +715,7 @@ mod tests {
         let requests = vec![
             Request::Hello {
                 client: "test".into(),
+                benchmark: "sort2".into(),
             },
             Request::SelectBatch {
                 features: vec![vector(), vector()],
@@ -492,6 +810,75 @@ mod tests {
     }
 
     #[test]
+    fn fast_select_batch_decode_matches_the_generic_parser() {
+        let defs = [FeatureDef::new("a", 2), FeatureDef::new("b", 1)];
+        let mut tricky = FeatureVector::empty(&defs);
+        // Awkward bit patterns plus a hole (slot left `None`).
+        tricky
+            .insert(
+                FeatureId {
+                    property: 0,
+                    level: 0,
+                },
+                FeatureSample::new(-0.0, f64::MIN_POSITIVE / 2.0),
+            )
+            .unwrap();
+        tricky
+            .insert(
+                FeatureId {
+                    property: 1,
+                    level: 0,
+                },
+                FeatureSample::new(0.1 + 0.2, f64::MAX),
+            )
+            .unwrap();
+        for features in [
+            vec![],
+            vec![FeatureVector::empty(&[])],
+            vec![vector(), tricky, vector()],
+        ] {
+            let payload = encode_select_batch(&features);
+            let fast = decode_select_batch(&payload).expect("canonical payload");
+            let Request::SelectBatch { features: generic } = decode_message(&payload).unwrap()
+            else {
+                panic!("generic parse must see a SelectBatch")
+            };
+            assert_eq!(fast, generic);
+            // `PartialEq` treats -0.0 == 0.0; pin the bits as well.
+            for (f, g) in fast.iter().zip(&generic) {
+                assert!(f
+                    .dense()
+                    .iter()
+                    .zip(g.dense().iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_select_batch_decode_refuses_non_canonical_payloads() {
+        let canonical = encode_select_batch(&[vector()]);
+        for payload in [
+            "\"Stats\"".to_string(),
+            "{\"Promote\":null}".to_string(),
+            format!(" {canonical}"),                     // leading whitespace
+            format!("{canonical} "),                     // trailing bytes
+            canonical.replace(":[", ": ["),              // inner whitespace
+            canonical.replace("\"slots\"", "\"stols\""), // foreign key
+            canonical.replace("1.5", "\"NaN\""),         // stringified float
+            canonical[..canonical.len() - 1].to_string(), // truncated
+        ] {
+            assert!(
+                decode_select_batch(&payload).is_none(),
+                "fast path must refuse {payload:?} and defer to the parser"
+            );
+        }
+        // ... and the generic route still understands the whitespace one.
+        let spaced = canonical.replace(":[", ": [");
+        assert!(decode_message::<Request>(&spaced).is_ok());
+    }
+
+    #[test]
     fn corrupted_payloads_fail_the_checksum() {
         let mut buf = Vec::new();
         send(&mut buf, &Request::Stats).unwrap();
@@ -577,6 +964,80 @@ mod tests {
             reader.buffer_capacity(),
             after_first,
             "second frame reuses the first frame's buffer"
+        );
+    }
+
+    /// Serves one byte per read, with a `WouldBlock` between every pair
+    /// of bytes — the worst case a nonblocking transport can present.
+    struct Dribble {
+        data: Vec<u8>,
+        at: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            if self.at == self.data.len() {
+                return Ok(0);
+            }
+            out[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn fill_and_pop_reassemble_dribbled_nonblocking_frames() {
+        let mut wire = Vec::new();
+        send(&mut wire, &Request::Stats).unwrap();
+        send(&mut wire, &Request::Promote).unwrap();
+        let total = wire.len();
+        let mut dribble = Dribble {
+            data: wire,
+            at: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut blocked = 0;
+        loop {
+            while let Some(payload) = reader.pop_frame().unwrap() {
+                got.push(decode_message::<Request>(payload).unwrap());
+            }
+            match reader.fill(&mut dribble).unwrap() {
+                Fill::Bytes(n) => assert_eq!(n, 1, "dribble serves single bytes"),
+                Fill::WouldBlock => blocked += 1,
+                Fill::Closed => break,
+            }
+        }
+        assert_eq!(got, vec![Request::Stats, Request::Promote]);
+        assert_eq!(reader.pending_bytes(), 0, "clean EOF leaves nothing over");
+        assert_eq!(blocked, total + 1, "every byte cost one WouldBlock");
+    }
+
+    #[test]
+    fn one_fill_pops_several_pipelined_frames() {
+        let mut wire = Vec::new();
+        send(&mut wire, &Request::Stats).unwrap();
+        send(&mut wire, &Request::Promote).unwrap();
+        send(&mut wire, &Request::Shutdown).unwrap();
+        assert!(wire.len() <= READ_FLOOR_BYTES, "fits one floor-sized read");
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(reader.fill(&mut cursor).unwrap(), Fill::Bytes(_)));
+        let mut got = Vec::new();
+        while let Some(payload) = reader.pop_frame().unwrap() {
+            got.push(decode_message::<Request>(payload).unwrap());
+        }
+        assert_eq!(
+            got,
+            vec![Request::Stats, Request::Promote, Request::Shutdown],
+            "pipelined frames pop without further transport reads"
         );
     }
 

@@ -1,0 +1,150 @@
+//! The daemon's artifact registry: one serving **tenant** per benchmark.
+//!
+//! A multi-tenant daemon serves several benchmarks out of one event loop.
+//! Each tenant owns the full single-benchmark serving state the daemon
+//! had before multi-tenancy: a lock-free primary slot, a staged-shadow
+//! slot with its promotion counters, and an optional request journal.
+//! Connections bind to a tenant at `Hello { benchmark }` time and every
+//! stateful request (`SelectBatch`, `LoadArtifact`, `Promote`, `Stats`)
+//! is routed through that binding — two tenants' lifecycles never
+//! interact.
+
+use crate::shadow::ShadowState;
+use arc_swap::ArcSwap;
+use intune_core::{Error, Result};
+use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+/// What one tenant serves: its initial artifact and (optionally) its own
+/// request journal. Every tenant gets a *separate* trace sink on purpose
+/// — the retrainer consumes one journal per benchmark, and writing two
+/// tenants' traffic into one sink would interleave corpora.
+pub struct TenantSpec {
+    /// The initial primary artifact; its `benchmark` names the tenant.
+    pub artifact: ModelArtifact,
+    /// Optional request journal attached to this tenant's primary — the
+    /// initial artifact and each promoted successor.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for TenantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSpec")
+            .field("benchmark", &self.artifact.benchmark)
+            .field("revision", &self.artifact.revision)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+/// The staged shadow, guarded by a (briefly held) mutex. `staged_seq`
+/// identifies the current shadow so a concurrent auto-reject never drops
+/// a *newer* shadow staged in between: mirroring happens outside the
+/// lock, and the rejection only lands if the slot still holds the same
+/// generation the tripped mirror scored.
+pub(crate) struct ShadowSlot {
+    pub(crate) shadow: Option<Arc<ShadowState>>,
+    pub(crate) staged_seq: u64,
+}
+
+/// One benchmark's serving state inside the daemon.
+pub(crate) struct Tenant {
+    /// `Benchmark::name()` — the registry key and the `Hello` routing
+    /// token.
+    pub(crate) name: String,
+    /// The serving primary. Readers (`SelectBatch`, `Hello`, `Stats`)
+    /// take a wait-free load; `Promote` publishes a replacement with one
+    /// pointer store. No lock, so no lock to poison and no writer that
+    /// can stall the hot path.
+    pub(crate) primary: ArcSwap<VectorService>,
+    pub(crate) shadow: Mutex<ShadowSlot>,
+    pub(crate) shadow_rejections: AtomicU64,
+    pub(crate) promotions: AtomicU64,
+    /// This tenant's request journal; promoted primaries re-attach it.
+    pub(crate) trace: Option<Arc<dyn TraceSink>>,
+}
+
+/// Benchmark name → tenant, in registration order.
+///
+/// Lookups are a linear scan: a daemon serves a handful of benchmarks,
+/// not thousands, and the scan happens once per connection (at `Hello`),
+/// not per request — after binding, a connection holds its tenant
+/// directly.
+pub(crate) struct ArtifactRegistry {
+    tenants: Vec<Arc<Tenant>>,
+}
+
+impl ArtifactRegistry {
+    /// Validates every spec and builds its serving primary.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] for an inconsistent artifact and
+    /// [`Error::Wire`] for an empty registry or a duplicate benchmark.
+    pub(crate) fn build(specs: Vec<TenantSpec>, serve: &ServeOptions) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(Error::wire("a daemon needs at least one tenant artifact"));
+        }
+        let mut tenants: Vec<Arc<Tenant>> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let name = spec.artifact.benchmark.clone();
+            if tenants.iter().any(|t| t.name == name) {
+                return Err(Error::wire(format!(
+                    "two artifacts for benchmark `{name}`; one tenant per benchmark"
+                )));
+            }
+            let mut primary = VectorService::new(spec.artifact, serve.clone())?;
+            primary.set_trace(spec.trace.clone());
+            tenants.push(Arc::new(Tenant {
+                name,
+                primary: ArcSwap::from_pointee(primary),
+                shadow: Mutex::new(ShadowSlot {
+                    shadow: None,
+                    staged_seq: 0,
+                }),
+                shadow_rejections: AtomicU64::new(0),
+                promotions: AtomicU64::new(0),
+                trace: spec.trace,
+            }));
+        }
+        Ok(ArtifactRegistry { tenants })
+    }
+
+    /// Registered benchmark count.
+    pub(crate) fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Routes a `Hello` (or an un-bound request) to a tenant. The empty
+    /// string means "the sole tenant" — the wire/2 behavior from before
+    /// multi-tenancy — and is refused when the daemon serves several.
+    ///
+    /// # Errors
+    /// A human-readable detail for the typed `Error` reply; the
+    /// connection survives it.
+    pub(crate) fn resolve(&self, benchmark: &str) -> std::result::Result<Arc<Tenant>, String> {
+        if benchmark.is_empty() {
+            return match self.tenants.as_slice() {
+                [sole] => Ok(Arc::clone(sole)),
+                _ => Err(format!(
+                    "this daemon serves several benchmarks; say Hello naming one of: {}",
+                    self.names().join(", ")
+                )),
+            };
+        }
+        self.tenants
+            .iter()
+            .find(|t| t.name == benchmark)
+            .map(Arc::clone)
+            .ok_or_else(|| {
+                format!(
+                    "unknown benchmark `{benchmark}`; this daemon serves: {}",
+                    self.names().join(", ")
+                )
+            })
+    }
+
+    fn names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+}

@@ -1,104 +1,86 @@
 //! The long-running selection server.
 //!
-//! A [`Daemon`] owns a **primary** [`VectorService`] (answering every
-//! client) and at most one staged **shadow** (mirrored, never answering),
-//! and speaks `intune-wire/2` over TCP — plus a Unix-domain socket on
-//! unix — with one thread per connection and batch fan-out on the
-//! work-stealing executor inside the service. The primary sits behind a
-//! lock-free [`ArcSwap`] pointer: `SelectBatch` readers take a wait-free
-//! load, so a promotion in flight — or a handler that panicked mid-swap —
-//! can never stall or poison the serving hot path. Model lifecycle over
-//! the wire: `LoadArtifact` stages a candidate (hot reload, any readable
-//! artifact schema version), `SelectBatch` traffic builds its agreement
-//! record, `Promote` publishes it with a single pointer store behind the
-//! [`ShadowPolicy`] gate, and a drift-tripped shadow is auto-rejected
-//! without ever answering a client.
+//! One **readiness-driven event loop** serves every connection and every
+//! tenant: a [`mio::Poll`] watches the listeners plus all connected
+//! sockets, and each connection is a small state machine — a persistent
+//! [`protocol::FrameReader`] reassembling request frames on the read
+//! side, a bounded outbound byte queue absorbing partial writes on the
+//! write side. Nothing on the loop ever blocks: accepts, reads, and
+//! writes all run nonblocking, so one slow client costs itself latency,
+//! never anyone else's. A client that stops reading while replies pile
+//! up hits the queue cap and is disconnected with a typed error — the
+//! backpressure answer that keeps the loop's memory bounded.
+//!
+//! The daemon is **multi-tenant**: an [`crate::registry::ArtifactRegistry`]
+//! maps benchmark name → tenant, each tenant owning a primary
+//! [`VectorService`], at most one staged shadow, and its own request
+//! journal. `Hello { benchmark }` binds a connection to a tenant;
+//! `SelectBatch`, `LoadArtifact`, `Promote`, and `Stats` are routed
+//! through that binding. Each tenant's primary sits behind a lock-free
+//! [`arc_swap::ArcSwap`] pointer: `SelectBatch` readers take a wait-free
+//! load, so a promotion in flight — or a handler that panicked
+//! mid-request (contained by `catch_unwind`; one panic costs one
+//! connection) — can never stall or poison the serving hot path. Model
+//! lifecycle over the wire: `LoadArtifact` stages a candidate (hot
+//! reload, any readable artifact schema version), `SelectBatch` traffic
+//! builds its agreement record, `Promote` publishes it with a single
+//! pointer store behind the [`ShadowPolicy`] gate, and a drift-tripped
+//! shadow is auto-rejected without ever answering a client.
+//!
+//! Shutdown is deterministic: when a client's `Shutdown` lands, the loop
+//! delivers that client's `ShuttingDown` reply (briefly blocking, with a
+//! bounded timeout), then drains, half-closes, and closes **every**
+//! registered connection before exiting — no peer is left holding a
+//! half-open socket waiting for a FIN that never comes.
 
-use crate::protocol::{self, DaemonStats, Request, Response};
+use crate::protocol::{self, DaemonStats, Fill, Request, Response};
+use crate::registry::{ArtifactRegistry, Tenant, TenantSpec};
 use crate::shadow::{ShadowPolicy, ShadowState};
-use arc_swap::ArcSwap;
 use intune_core::{Error, FeatureVector, Result};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
+use mio::unix::SourceFd;
+use mio::{Events, Interest, Poll, Token};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Locks a mutex, recovering from poisoning. Every daemon mutex guards
-/// state that stays structurally valid across a panic (registries,
-/// staged-shadow slots), so a handler that died mid-request must cost
-/// exactly its own connection — never wedge every later request behind
-/// a `PoisonError`.
+/// state that stays structurally valid across a panic (staged-shadow
+/// slots), so a handler that died mid-request must cost exactly its own
+/// connection — never wedge every later request behind a `PoisonError`.
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Forcibly closes one connection's socket (both directions), unblocking
-/// any thread parked in a read on it. Shared between the handler thread
-/// (which fires it on every exit path) and the shutdown drain.
-type CloseHook = Arc<dyn Fn() + Send + Sync>;
-
-/// Fires a [`CloseHook`] when dropped. A handler thread holds one so its
-/// connection is shut down however the handler exits — **including a
-/// panic**: merely dropping the stream would leave the registry's
-/// duplicated fd holding the TCP connection open, and the peer would
-/// block on a reply that can never come instead of seeing the
-/// connection die.
-struct ShutdownOnExit(Option<CloseHook>);
-
-impl Drop for ShutdownOnExit {
-    fn drop(&mut self) {
-        if let Some(hook) = &self.0 {
-            hook();
-        }
-    }
-}
-
-/// A connection stream the daemon can serve and force-close at shutdown.
-trait WireStream: Read + Write + Send + 'static {
-    /// A hook that shuts the underlying socket down so a handler thread
-    /// blocked reading it observes end-of-stream and exits. `None` when
-    /// the fd cannot be duplicated (the handler then lingers until its
-    /// peer disconnects — never the common case).
-    fn close_hook(&self) -> Option<CloseHook>;
-
-    /// Per-connection transport tuning before the first frame.
-    fn prepare(&self) {}
-}
-
-impl WireStream for TcpStream {
-    fn close_hook(&self) -> Option<CloseHook> {
-        let dup = self.try_clone().ok()?;
-        Some(Arc::new(move || {
-            let _ = dup.shutdown(Shutdown::Both);
-        }))
-    }
-
-    fn prepare(&self) {
-        // One whole frame per write and the peer blocks on it: Nagle
-        // buys nothing here and its delayed-ACK interaction costs ~40 ms
-        // per request/response round trip on loopback.
-        self.set_nodelay(true).ok();
-    }
-}
-
-#[cfg(unix)]
-impl WireStream for UnixStream {
-    fn close_hook(&self) -> Option<CloseHook> {
-        let dup = self.try_clone().ok()?;
-        Some(Arc::new(move || {
-            let _ = dup.shutdown(Shutdown::Both);
-        }))
-    }
-}
-
 /// Server identification string sent in `HelloAck`.
 pub const SERVER_NAME: &str = "intune-daemon/0.1";
+
+/// Default [`DaemonOptions::max_outbound_bytes`]: enough to absorb a
+/// large reply burst toward a briefly-stalled client, small enough that
+/// a reader that stopped entirely cannot pin unbounded daemon memory.
+pub const DEFAULT_MAX_OUTBOUND_BYTES: usize = 8 << 20;
+
+const TCP_LISTENER: Token = Token(0);
+const UDS_LISTENER: Token = Token(1);
+/// Connection tokens are `CONN_BASE + slab index`.
+const CONN_BASE: usize = 2;
+/// Events delivered per poll call; level triggering makes the cap a
+/// latency knob, never a lost wakeup.
+const EVENTS_PER_POLL: usize = 256;
+/// Poll heartbeat: an idle loop wakes this often, bounding how stale any
+/// non-event state (none today) could get. Cheap — one `poll(2)` return.
+const POLL_HEARTBEAT: Duration = Duration::from_millis(500);
+/// Budget for pushing the `ShuttingDown` reply to the requesting client
+/// at exit (the one place the loop deliberately blocks).
+const SHUTDOWN_FLUSH_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Tunables of the daemon.
 ///
@@ -107,25 +89,47 @@ pub const SERVER_NAME: &str = "intune-daemon/0.1";
 /// determinism (`drift_threshold: 1.0`) while staged shadows keep a live
 /// drift monitor — it is the shadow's tripped monitor that triggers
 /// auto-rejection.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct DaemonOptions {
-    /// Serving options of the primary (worker threads, probe cadence,
-    /// drift thresholds). Promoted shadows are re-wrapped under these.
+    /// Serving options of every tenant's primary (worker threads, probe
+    /// cadence, drift thresholds). Promoted shadows are re-wrapped under
+    /// these.
     pub serve: ServeOptions,
     /// Serving options applied to staged shadows while they mirror.
     pub shadow_serve: ServeOptions,
-    /// The shadow promotion gate.
+    /// The shadow promotion gate (shared by all tenants; each tenant's
+    /// shadow is scored against its own traffic).
     pub shadow: ShadowPolicy,
-    /// Optional trace sink (the request journal) attached to every
-    /// primary this daemon serves — the initial artifact and each
-    /// promoted successor. Staged shadows are never traced: mirror
-    /// traffic is an echo of the primary's, and journaling it twice
-    /// would poison the retraining corpus with duplicates.
+    /// Optional trace sink (the request journal) for [`Daemon::bind`]'s
+    /// sole tenant — attached to the initial artifact and each promoted
+    /// successor. Staged shadows are never traced: mirror traffic is an
+    /// echo of the primary's, and journaling it twice would poison the
+    /// retraining corpus with duplicates. Multi-tenant daemons pass one
+    /// sink per tenant via [`TenantSpec`] instead; [`Daemon::bind_tenants`]
+    /// ignores this field.
     pub trace: Option<Arc<dyn TraceSink>>,
-    /// Honor `InjectPanic` requests by panicking inside the connection
+    /// Honor `InjectPanic` requests by panicking inside the request
     /// handler. Off by default; only the crash-containment tests turn it
     /// on. A production daemon answers the request with a typed refusal.
     pub inject_faults: bool,
+    /// Cap on bytes queued toward one connection's peer. A reply that
+    /// would push the queue past this gets replaced by a typed error and
+    /// the slow reader is disconnected — backpressure instead of
+    /// unbounded buffering.
+    pub max_outbound_bytes: usize,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            serve: ServeOptions::default(),
+            shadow_serve: ServeOptions::default(),
+            shadow: ShadowPolicy::default(),
+            trace: None,
+            inject_faults: false,
+            max_outbound_bytes: DEFAULT_MAX_OUTBOUND_BYTES,
+        }
+    }
 }
 
 impl std::fmt::Debug for DaemonOptions {
@@ -136,6 +140,7 @@ impl std::fmt::Debug for DaemonOptions {
             .field("shadow", &self.shadow)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("inject_faults", &self.inject_faults)
+            .field("max_outbound_bytes", &self.max_outbound_bytes)
             .finish()
     }
 }
@@ -145,8 +150,8 @@ impl std::fmt::Debug for DaemonOptions {
 pub struct ListenConfig {
     /// TCP bind address (e.g. `127.0.0.1:0` for an ephemeral port).
     pub tcp: String,
-    /// Optional Unix-domain socket path (unix only; a stale socket file
-    /// at this path is removed before binding).
+    /// Optional Unix-domain socket path (a stale socket file at this
+    /// path is removed before binding).
     pub uds: Option<PathBuf>,
 }
 
@@ -159,72 +164,21 @@ impl Default for ListenConfig {
     }
 }
 
-/// The staged shadow, guarded by a (briefly held) mutex. `staged_seq`
-/// identifies the current shadow so a concurrent auto-reject never drops
-/// a *newer* shadow staged in between: mirroring happens outside the
-/// lock, and the rejection only lands if the slot still holds the same
-/// generation the tripped mirror scored.
-struct ShadowSlot {
-    shadow: Option<Arc<ShadowState>>,
-    staged_seq: u64,
-}
-
-/// Everything connection handlers share.
+/// Everything request handlers read: the tenant registry, the options,
+/// and the daemon-wide counters.
 struct Shared {
-    /// The serving primary. Readers (`SelectBatch`, `Hello`, `Stats`)
-    /// take a wait-free load; `Promote` publishes a replacement with one
-    /// pointer store. No lock, so no lock to poison and no writer that
-    /// can stall the hot path.
-    primary: ArcSwap<VectorService>,
-    shadow: Mutex<ShadowSlot>,
+    registry: ArtifactRegistry,
     opts: DaemonOptions,
-    stop: AtomicBool,
     connections: AtomicU64,
-    shadow_rejections: AtomicU64,
-    promotions: AtomicU64,
-    tcp_addr: SocketAddr,
-    uds_path: Option<PathBuf>,
-    /// Live connection handlers: join handle + a hook that force-closes
-    /// the connection's socket. Reaped as connections finish; drained
-    /// (hooks fired, threads joined) at shutdown so handlers parked on
-    /// idle persistent connections cannot keep the daemon alive.
-    handlers: Mutex<Vec<(JoinHandle<()>, Option<CloseHook>)>>,
-}
-
-impl Shared {
-    /// Sets the stop flag, force-closes every live connection, and
-    /// unblocks the accept loops by connecting to them once.
-    fn request_stop(&self) {
-        self.stop.store(true, Ordering::Release);
-        for (_, hook) in lock_unpoisoned(&self.handlers).iter() {
-            if let Some(hook) = hook {
-                hook();
-            }
-        }
-        // Self-connect to unblock accept(). An unspecified bind address
-        // (0.0.0.0 / ::) is not connectable on every platform — dial
-        // loopback at the bound port instead.
-        let mut kick = self.tcp_addr;
-        if kick.ip().is_unspecified() {
-            kick.set_ip(match kick {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(kick);
-        #[cfg(unix)]
-        if let Some(path) = &self.uds_path {
-            let _ = UnixStream::connect(path);
-        }
-    }
 }
 
 /// A bound (but not yet serving) selection daemon.
 pub struct Daemon {
-    shared: Arc<Shared>,
+    shared: Shared,
     tcp: TcpListener,
-    #[cfg(unix)]
     uds: Option<UnixListener>,
+    tcp_addr: SocketAddr,
+    uds_path: Option<PathBuf>,
 }
 
 /// Handle of a daemon serving on a background thread.
@@ -250,7 +204,9 @@ impl DaemonHandle {
 }
 
 impl Daemon {
-    /// Binds the listeners and validates the initial artifact.
+    /// Binds the listeners and validates the initial artifact — the
+    /// single-tenant convenience over [`Daemon::bind_tenants`], carrying
+    /// [`DaemonOptions::trace`] as the sole tenant's journal.
     ///
     /// # Errors
     /// Returns [`Error::Artifact`] for an inconsistent artifact and
@@ -260,14 +216,32 @@ impl Daemon {
         opts: DaemonOptions,
         listen: &ListenConfig,
     ) -> Result<Self> {
-        let mut primary = VectorService::new(artifact, opts.serve.clone())?;
-        primary.set_trace(opts.trace.clone());
+        let spec = TenantSpec {
+            artifact,
+            trace: opts.trace.clone(),
+        };
+        Daemon::bind_tenants(vec![spec], opts, listen)
+    }
+
+    /// Binds the listeners and builds one serving tenant per spec. Each
+    /// spec's artifact names its benchmark; clients route with
+    /// `Hello { benchmark }`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] for an inconsistent artifact and
+    /// [`Error::Wire`] for an empty or duplicate-benchmark registry and
+    /// for bind failures.
+    pub fn bind_tenants(
+        specs: Vec<TenantSpec>,
+        opts: DaemonOptions,
+        listen: &ListenConfig,
+    ) -> Result<Self> {
+        let registry = ArtifactRegistry::build(specs, &opts.serve)?;
         let tcp = TcpListener::bind(&listen.tcp)
             .map_err(|e| Error::wire(format!("cannot bind tcp {}: {e}", listen.tcp)))?;
         let tcp_addr = tcp
             .local_addr()
             .map_err(|e| Error::wire(format!("cannot resolve bound address: {e}")))?;
-        #[cfg(unix)]
         let uds = match &listen.uds {
             Some(path) => {
                 if path.exists() {
@@ -281,63 +255,136 @@ impl Daemon {
             }
             None => None,
         };
-        #[cfg(not(unix))]
-        if listen.uds.is_some() {
-            return Err(Error::wire("unix-domain sockets are unix-only"));
-        }
         Ok(Daemon {
-            shared: Arc::new(Shared {
-                primary: ArcSwap::from_pointee(primary),
-                shadow: Mutex::new(ShadowSlot {
-                    shadow: None,
-                    staged_seq: 0,
-                }),
+            shared: Shared {
+                registry,
                 opts,
-                stop: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
-                shadow_rejections: AtomicU64::new(0),
-                promotions: AtomicU64::new(0),
-                tcp_addr,
-                uds_path: listen.uds.clone(),
-                handlers: Mutex::new(Vec::new()),
-            }),
+            },
             tcp,
-            #[cfg(unix)]
             uds,
+            tcp_addr,
+            uds_path: listen.uds.clone(),
         })
     }
 
     /// The TCP address actually bound (resolves `:0` ports).
     pub fn tcp_addr(&self) -> SocketAddr {
-        self.shared.tcp_addr
+        self.tcp_addr
     }
 
-    /// Serves until a client sends `Shutdown`. Connection handlers run on
-    /// their own threads and are joined before this returns.
+    /// Serves until a client sends `Shutdown`: one readiness-driven loop
+    /// over the listeners and every connection.
     ///
     /// # Errors
-    /// Returns [`Error::Wire`] if the accept loop fails fatally.
+    /// Returns [`Error::Wire`] if the poller fails fatally.
     pub fn run(self) -> Result<()> {
-        #[cfg(unix)]
-        let uds_accept = self.uds.map(|listener| {
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || accept_loop(listener.incoming(), &shared))
-        });
+        let Daemon {
+            shared,
+            tcp,
+            uds,
+            tcp_addr: _,
+            uds_path,
+        } = self;
+        let mut poll =
+            Poll::new().map_err(|e| Error::wire(format!("cannot create poller: {e}")))?;
+        tcp.set_nonblocking(true)
+            .map_err(|e| Error::wire(format!("cannot unblock tcp listener: {e}")))?;
+        let tcp_fd = tcp.as_raw_fd();
+        poll.registry()
+            .register(&mut SourceFd(&tcp_fd), TCP_LISTENER, Interest::READABLE)
+            .map_err(|e| Error::wire(format!("cannot register tcp listener: {e}")))?;
+        let uds_fd = match &uds {
+            Some(listener) => {
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| Error::wire(format!("cannot unblock unix listener: {e}")))?;
+                let fd = listener.as_raw_fd();
+                poll.registry()
+                    .register(&mut SourceFd(&fd), UDS_LISTENER, Interest::READABLE)
+                    .map_err(|e| Error::wire(format!("cannot register unix listener: {e}")))?;
+                Some(fd)
+            }
+            None => None,
+        };
 
-        accept_loop(self.tcp.incoming(), &self.shared);
+        let mut events = Events::with_capacity(EVENTS_PER_POLL);
+        let mut conns = Slab::default();
+        let mut stop = false;
+        let mut requester: Option<usize> = None;
+        while !stop {
+            poll.poll(&mut events, Some(POLL_HEARTBEAT))
+                .map_err(|e| Error::wire(format!("poll failed: {e}")))?;
+            for event in &events {
+                match event.token() {
+                    TCP_LISTENER => {
+                        accept_tcp(&tcp, &poll, &mut conns, &shared);
+                    }
+                    UDS_LISTENER => {
+                        if let Some(listener) = &uds {
+                            accept_uds(listener, &poll, &mut conns, &shared);
+                        }
+                    }
+                    Token(t) => {
+                        let idx = t - CONN_BASE;
+                        let Some(conn) = conns.get_mut(idx) else {
+                            // A stale event for a slot freed earlier in
+                            // this batch; level triggering makes spurious
+                            // wakeups harmless.
+                            continue;
+                        };
+                        let shutdown_seen = stop;
+                        match service(conn, *event, &shared, &mut stop) {
+                            Verdict::Keep => {
+                                let want = conn.desired_interest();
+                                if want != conn.registered {
+                                    let fd = conn.transport.raw_fd();
+                                    if poll
+                                        .registry()
+                                        .reregister(&mut SourceFd(&fd), Token(t), want)
+                                        .is_ok()
+                                    {
+                                        conn.registered = want;
+                                    }
+                                }
+                            }
+                            Verdict::Drop => conns.close(&poll, idx),
+                        }
+                        if stop && !shutdown_seen {
+                            requester = Some(idx);
+                        }
+                    }
+                }
+            }
+        }
 
-        #[cfg(unix)]
-        if let Some(h) = uds_accept {
-            h.join().expect("uds accept loop panicked");
+        // Deterministic teardown. The `Shutdown` requester's reply is
+        // flushed with a brief blocking write so `shutdown()` round
+        // trips reliably; every other connection gets a best-effort
+        // nonblocking flush. Then each socket's unread input is drained
+        // (so closing sends an orderly FIN, not a data-discarding RST)
+        // and closed — no registered connection survives the loop.
+        if let Some(idx) = requester {
+            if let Some(conn) = conns.get_mut(idx) {
+                conn.transport
+                    .set_blocking_for_flush(SHUTDOWN_FLUSH_TIMEOUT);
+                let _ = conn.flush();
+                let _ = conn.transport.set_nonblocking();
+            }
         }
-        // Handlers were force-closed by `request_stop`; joining is quick.
-        let drained: Vec<(JoinHandle<()>, Option<CloseHook>)> =
-            std::mem::take(&mut *lock_unpoisoned(&self.shared.handlers));
-        for (h, _) in drained {
-            reap(h);
+        for idx in 0..conns.slots.len() {
+            if let Some(conn) = conns.get_mut(idx) {
+                let _ = conn.flush();
+                conn.discard_pending_input();
+                conn.transport.shutdown_write();
+            }
+            conns.close(&poll, idx);
         }
-        #[cfg(unix)]
-        if let Some(path) = &self.shared.uds_path {
+        let _ = poll.registry().deregister(&mut SourceFd(&tcp_fd));
+        if let Some(fd) = uds_fd {
+            let _ = poll.registry().deregister(&mut SourceFd(&fd));
+        }
+        if let Some(path) = &uds_path {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
@@ -346,7 +393,7 @@ impl Daemon {
     /// Runs the daemon on a background thread, returning its handle.
     pub fn spawn(self) -> DaemonHandle {
         let addr = self.tcp_addr();
-        let uds = self.shared.uds_path.clone();
+        let uds = self.uds_path.clone();
         DaemonHandle {
             addr,
             uds,
@@ -355,131 +402,505 @@ impl Daemon {
     }
 }
 
-/// Accepts connections until the stop flag is raised, spawning one
-/// handler thread per connection.
-fn accept_loop<S, I>(incoming: I, shared: &Arc<Shared>)
-where
-    S: WireStream,
-    I: Iterator<Item = std::io::Result<S>>,
-{
-    for stream in incoming {
-        if shared.stop.load(Ordering::Acquire) {
-            break;
+/// Accepts every pending TCP connection (the listener is level
+/// triggered: drain until `WouldBlock`).
+fn accept_tcp(listener: &TcpListener, poll: &Poll, conns: &mut Slab, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One whole frame per write and the peer blocks on it:
+                // Nagle buys nothing here and its delayed-ACK interaction
+                // costs ~40 ms per request/response round trip on
+                // loopback.
+                stream.set_nodelay(true).ok();
+                conns.admit(Transport::Tcp(stream), poll, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            // A transient accept failure (e.g. fd exhaustion): give up
+            // this readiness round; the next poll retries without
+            // busy-spinning a core.
+            Err(_) => break,
         }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => {
-                // A persistent accept failure (e.g. fd exhaustion) must
-                // not busy-spin a core; backing off also gives running
-                // handlers a chance to release their descriptors.
-                std::thread::sleep(Duration::from_millis(20));
-                continue;
+    }
+}
+
+/// Accepts every pending Unix-domain connection.
+fn accept_uds(listener: &UnixListener, poll: &Poll, conns: &mut Slab, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => conns.admit(Transport::Unix(stream), poll, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// The connection table: `Token(CONN_BASE + index)` ↔ slot. Freed slots
+/// are reused, keeping tokens dense and the table at peak-connections
+/// size.
+#[derive(Default)]
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn get_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    /// Registers a fresh connection with the poller and stores it.
+    fn admit(&mut self, transport: Transport, poll: &Poll, shared: &Shared) {
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        if transport.set_nonblocking().is_err() {
+            return; // dropping the transport closes the socket
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
             }
         };
-        shared.connections.fetch_add(1, Ordering::AcqRel);
-        stream.prepare();
-        let hook = stream.close_hook();
-        let worker = Arc::clone(shared);
-        let thread_hook = hook.clone();
-        let handle = std::thread::spawn(move || {
-            let _shutdown_on_exit = ShutdownOnExit(thread_hook);
-            handle_connection(stream, &worker);
-        });
-        let mut registry = lock_unpoisoned(&shared.handlers);
-        // `request_stop` fires close hooks under this same lock, so
-        // re-check the flag now that we hold it: a shutdown that raced
-        // in between the loop-top check and here has already fired the
-        // registered hooks and will never see this one — close the late
-        // connection ourselves or its handler would park forever and
-        // hang the shutdown drain.
-        if shared.stop.load(Ordering::Acquire) {
-            if let Some(hook) = &hook {
-                hook();
-            }
+        let fd = transport.raw_fd();
+        if poll
+            .registry()
+            .register(
+                &mut SourceFd(&fd),
+                Token(CONN_BASE + idx),
+                Interest::READABLE,
+            )
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
         }
-        // Reap finished handlers on every accept so a long-running daemon
-        // serving many short-lived connections does not accumulate
-        // exited-but-unjoined threads; joining a finished thread is
-        // instant.
-        let mut live = Vec::with_capacity(registry.len() + 1);
-        for (h, hk) in registry.drain(..) {
-            if h.is_finished() {
-                reap(h);
-            } else {
-                live.push((h, hk));
-            }
+        self.slots[idx] = Some(Conn::new(transport));
+    }
+
+    /// Deregisters and drops one connection (closing its socket).
+    fn close(&mut self, poll: &Poll, idx: usize) {
+        if let Some(conn) = self.slots.get_mut(idx).and_then(Option::take) {
+            let fd = conn.transport.raw_fd();
+            let _ = poll.registry().deregister(&mut SourceFd(&fd));
+            self.free.push(idx);
         }
-        *registry = live;
-        registry.push((handle, hook));
     }
 }
 
-/// Joins a connection handler, containing (not propagating) its panic: a
-/// poisoned request must cost one connection, never the whole daemon.
-fn reap(handle: JoinHandle<()>) {
-    if handle.join().is_err() {
-        eprintln!("intune-daemon: a connection handler panicked; connection dropped");
+/// A connected transport. Stays in the blocking-API std types (the shim's
+/// [`SourceFd`] registers raw fds); nonblocking mode is set at admit.
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Transport {
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Transport::Tcp(s) => s.as_raw_fd(),
+            Transport::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.set_nonblocking(true),
+            Transport::Unix(s) => s.set_nonblocking(true),
+        }
+    }
+
+    /// Switches to blocking writes with a bounded timeout — only used to
+    /// push the `ShuttingDown` reply at exit.
+    fn set_blocking_for_flush(&self, timeout: Duration) {
+        match self {
+            Transport::Tcp(s) => {
+                s.set_nonblocking(false).ok();
+                s.set_write_timeout(Some(timeout)).ok();
+            }
+            Transport::Unix(s) => {
+                s.set_nonblocking(false).ok();
+                s.set_write_timeout(Some(timeout)).ok();
+            }
+        }
+    }
+
+    /// Half-closes the write side: the peer sees EOF after draining our
+    /// queued bytes, while we can keep reading (the lingering close that
+    /// lets an error frame outrun the disconnect).
+    fn shutdown_write(&self) {
+        match self {
+            Transport::Tcp(s) => {
+                s.shutdown(Shutdown::Write).ok();
+            }
+            Transport::Unix(s) => {
+                s.shutdown(Shutdown::Write).ok();
+            }
+        }
     }
 }
 
-/// One connection: request frames in, response frames out, until the
-/// peer closes, a protocol violation occurs, or `Shutdown` arrives. The
-/// connection owns one [`protocol::FrameReader`], so request payloads
-/// land in a single reused buffer for the connection's whole life.
-fn handle_connection<S: Read + Write>(mut stream: S, shared: &Shared) {
-    let mut reader = protocol::FrameReader::new();
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => Write::flush(s),
+            Transport::Unix(s) => Write::flush(s),
+        }
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    transport: Transport,
+    /// Persistent frame reassembly buffer — request payloads land in one
+    /// reused allocation for the connection's whole life.
+    reader: protocol::FrameReader,
+    /// Encoded reply frames not yet accepted by the socket; a partial
+    /// write leaves `outbox_head` bytes of the front frame consumed.
+    outbox: VecDeque<Vec<u8>>,
+    outbox_head: usize,
+    /// Unsent bytes across the whole outbox (the backpressure measure).
+    outbox_bytes: usize,
+    /// The tenant this connection is bound to (`Hello`, or lazily the
+    /// sole tenant for wire/2 clients that skip `Hello`).
+    tenant: Option<Arc<Tenant>>,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// A fatal error reply is queued: stop reading, flush, half-close.
+    closing: bool,
+    /// Write side is shut; draining peer bytes until EOF completes the
+    /// lingering close.
+    lingering: bool,
+    /// Peer sent EOF; serve out the outbox, then drop.
+    peer_eof: bool,
+}
+
+/// What the event loop should do with a connection after servicing it.
+enum Verdict {
+    Keep,
+    Drop,
+}
+
+/// Outcome of pumping buffered frames through the request handler.
+enum Pump {
+    Continue,
+    /// A handler panicked: drop the connection immediately, no reply —
+    /// the frame that poisoned it must not be re-served.
+    DropNow,
+}
+
+impl Conn {
+    fn new(transport: Transport) -> Self {
+        Conn {
+            transport,
+            reader: protocol::FrameReader::new(),
+            outbox: VecDeque::new(),
+            outbox_head: 0,
+            outbox_bytes: 0,
+            tenant: None,
+            registered: Interest::READABLE,
+            closing: false,
+            lingering: false,
+            peer_eof: false,
+        }
+    }
+
+    /// The interest matching this connection's state: readers want
+    /// readable, a non-empty outbox wants writable, a closing connection
+    /// only flushes, a lingering one only drains.
+    fn desired_interest(&self) -> Interest {
+        if self.lingering {
+            return Interest::READABLE;
+        }
+        if self.closing || self.peer_eof {
+            return Interest::WRITABLE;
+        }
+        if self.outbox.is_empty() {
+            Interest::READABLE
+        } else {
+            Interest::READABLE | Interest::WRITABLE
+        }
+    }
+
+    fn push(&mut self, frame: Vec<u8>) {
+        self.outbox_bytes += frame.len();
+        self.outbox.push_back(frame);
+    }
+
+    /// Queues a reply, enforcing the outbound cap: a reply that would
+    /// overflow it is replaced by a typed error and the connection
+    /// enters its closing sequence — the slow reader gets told why.
+    fn queue(&mut self, response: &Response, cap: usize) {
+        if self.closing {
+            return;
+        }
+        let frame = match protocol::encode_frame(&protocol::encode_message(response)) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.fail(e.to_string());
+                return;
+            }
+        };
+        if self.outbox_bytes + frame.len() > cap {
+            self.fail(format!(
+                "outbound queue overflow: {} bytes already queued toward a reader \
+                 that is not draining them (cap {cap}); disconnecting",
+                self.outbox_bytes
+            ));
+            return;
+        }
+        self.push(frame);
+    }
+
+    /// Queues a typed error and starts the closing sequence: no more
+    /// reads, flush the outbox, half-close, linger until the peer is
+    /// gone. The error frame itself bypasses the cap — it *is* the
+    /// disconnect notice.
+    fn fail(&mut self, detail: String) {
+        if self.closing {
+            return;
+        }
+        if let Ok(frame) =
+            protocol::encode_frame(&protocol::encode_message(&Response::Error { detail }))
+        {
+            self.push(frame);
+        }
+        self.closing = true;
+    }
+
+    /// Writes queued frames until the socket stops accepting bytes.
+    ///
+    /// # Errors
+    /// A transport failure; the connection is unusable.
+    fn flush(&mut self) -> std::io::Result<()> {
+        loop {
+            let front_len = match self.outbox.front() {
+                None => return Ok(()),
+                Some(front) => front.len(),
+            };
+            let wrote = {
+                let front = self.outbox.front().expect("front checked above");
+                self.transport.write(&front[self.outbox_head..])
+            };
+            match wrote {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.outbox_head += n;
+                    self.outbox_bytes -= n;
+                    if self.outbox_head == front_len {
+                        self.outbox.pop_front();
+                        self.outbox_head = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads and discards whatever the peer has sent, without blocking —
+    /// the lingering-close drain, and the pre-close drain that lets
+    /// `close(2)` send FIN instead of RST. Returns `true` once the peer
+    /// reached EOF (or errored): nothing more will arrive.
+    fn discard_pending_input(&mut self) -> bool {
+        let mut scratch = [0u8; 4096];
+        loop {
+            match self.transport.read(&mut scratch) {
+                Ok(0) => return true,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+}
+
+/// Services one readiness event on one connection.
+fn service(conn: &mut Conn, event: mio::Event, shared: &Shared, stop: &mut bool) -> Verdict {
+    // Writes first: draining the outbox both frees backpressure budget
+    // and makes room for replies to the requests read below.
+    if event.is_writable() && !conn.outbox.is_empty() && conn.flush().is_err() {
+        return Verdict::Drop;
+    }
+    if conn.lingering {
+        if event.is_readable() && conn.discard_pending_input() {
+            return Verdict::Drop;
+        }
+        return Verdict::Keep;
+    }
+    if event.is_readable() && !conn.closing && !conn.peer_eof {
+        if let Pump::DropNow = pump(conn, shared, stop) {
+            return Verdict::Drop;
+        }
+    }
+    // Opportunistic flush: most replies leave in the same loop iteration
+    // that produced them, without waiting for a writability event.
+    if !conn.outbox.is_empty() && conn.flush().is_err() {
+        return Verdict::Drop;
+    }
+    if conn.outbox.is_empty() {
+        if conn.peer_eof {
+            return Verdict::Drop;
+        }
+        if conn.closing {
+            conn.transport.shutdown_write();
+            conn.lingering = true;
+        }
+    }
+    Verdict::Keep
+}
+
+/// Reads everything the socket has, serving each complete frame as it
+/// appears. Frame-level violations (bad version, checksum, shape) queue
+/// a typed error and start the closing sequence; request-level failures
+/// are ordinary typed replies and the connection lives on.
+fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
+    let cap = shared.opts.max_outbound_bytes;
     loop {
-        match reader.recv::<_, Request>(&mut stream) {
-            Ok(None) => break,
-            Ok(Some(request)) => {
-                let shutdown = matches!(request, Request::Shutdown);
-                let response = handle_request(shared, request);
-                if protocol::send(&mut stream, &response).is_err() {
-                    break;
+        // Serve every frame already buffered (one fill can deliver many
+        // pipelined requests).
+        loop {
+            if conn.closing {
+                return Pump::Continue;
+            }
+            // `SelectBatch` dominates the frame mix under load; scan it
+            // without the generic Value tree, falling back to the full
+            // parser for every other (or non-canonical) payload.
+            let decoded = match conn.reader.pop_frame() {
+                Ok(Some(payload)) => match protocol::decode_select_batch(payload) {
+                    Some(features) => Ok(Request::SelectBatch { features }),
+                    None => protocol::decode_message::<Request>(payload),
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    conn.fail(e.to_string());
+                    return Pump::Continue;
                 }
-                if shutdown {
-                    shared.request_stop();
-                    break;
+            };
+            let request = match decoded {
+                Ok(request) => request,
+                Err(e) => {
+                    conn.fail(e.to_string());
+                    return Pump::Continue;
                 }
+            };
+            let is_shutdown = matches!(request, Request::Shutdown);
+            // Contain handler panics (including injected ones): the
+            // poisoned request costs this connection, never the loop.
+            let tenant = &mut conn.tenant;
+            match catch_unwind(AssertUnwindSafe(|| handle_request(shared, tenant, request))) {
+                Ok(response) => conn.queue(&response, cap),
+                Err(_) => {
+                    eprintln!("intune-daemon: a request handler panicked; connection dropped");
+                    return Pump::DropNow;
+                }
+            }
+            if is_shutdown {
+                *stop = true;
+                return Pump::Continue;
+            }
+        }
+        match conn.reader.fill(&mut conn.transport) {
+            Ok(Fill::Bytes(_)) => {}
+            Ok(Fill::WouldBlock) => return Pump::Continue,
+            Ok(Fill::Closed) => {
+                match conn.reader.pending_bytes() {
+                    0 => conn.peer_eof = true,
+                    n if n < protocol::HEADER_BYTES => {
+                        conn.fail("connection closed mid-header".to_string());
+                    }
+                    _ => conn.fail("connection closed mid-frame".to_string()),
+                }
+                return Pump::Continue;
             }
             Err(e) => {
-                // A malformed frame gets a typed reply, then the
-                // connection is dropped (framing state is untrusted).
-                let _ = protocol::send(
-                    &mut stream,
-                    &Response::Error {
-                        detail: e.to_string(),
-                    },
-                );
-                break;
+                conn.fail(e.to_string());
+                return Pump::Continue;
             }
         }
     }
 }
 
-/// Dispatches one request against the shared state.
-fn handle_request(shared: &Shared, request: Request) -> Response {
+/// Resolves the tenant a request should be served by: the connection's
+/// binding, or — for wire/2 clients that skip `Hello` — the sole tenant,
+/// bound lazily.
+fn bound(
+    shared: &Shared,
+    slot: &mut Option<Arc<Tenant>>,
+) -> std::result::Result<Arc<Tenant>, String> {
+    if let Some(tenant) = slot {
+        return Ok(Arc::clone(tenant));
+    }
+    let tenant = shared.registry.resolve("")?;
+    *slot = Some(Arc::clone(&tenant));
+    Ok(tenant)
+}
+
+/// Dispatches one request against the shared state, routing stateful
+/// requests through the connection's tenant binding.
+fn handle_request(shared: &Shared, tenant: &mut Option<Arc<Tenant>>, request: Request) -> Response {
     match request {
-        Request::Hello { client: _ } => {
-            let primary = shared.primary.load();
-            let artifact = primary.artifact();
-            Response::HelloAck {
-                server: SERVER_NAME.to_string(),
-                benchmark: artifact.benchmark.clone(),
-                revision: artifact.revision,
-                artifact_version: ARTIFACT_VERSION,
-                landmarks: artifact.landmarks.len() as u64,
+        Request::Hello {
+            client: _,
+            benchmark,
+        } => match shared.registry.resolve(&benchmark) {
+            Ok(resolved) => {
+                let primary = resolved.primary.load();
+                let artifact = primary.artifact();
+                let ack = Response::HelloAck {
+                    server: SERVER_NAME.to_string(),
+                    benchmark: artifact.benchmark.clone(),
+                    revision: artifact.revision,
+                    artifact_version: ARTIFACT_VERSION,
+                    landmarks: artifact.landmarks.len() as u64,
+                };
+                *tenant = Some(resolved);
+                ack
             }
-        }
-        Request::SelectBatch { features } => handle_select(shared, &features, &[]),
-        Request::SelectBatchTraced { features, payloads } => {
-            handle_select(shared, &features, &payloads)
-        }
-        Request::Stats => Response::StatsReply {
-            stats: snapshot(shared),
+            // An unknown benchmark refuses the *binding*, not the
+            // connection: the client may Hello again.
+            Err(detail) => Response::Error { detail },
         },
-        Request::LoadArtifact { document } => handle_load(shared, &document),
-        Request::Promote => handle_promote(shared),
+        Request::SelectBatch { features } => match bound(shared, tenant) {
+            Ok(tenant) => handle_select(&tenant, &features, &[]),
+            Err(detail) => Response::Error { detail },
+        },
+        Request::SelectBatchTraced { features, payloads } => match bound(shared, tenant) {
+            Ok(tenant) => handle_select(&tenant, &features, &payloads),
+            Err(detail) => Response::Error { detail },
+        },
+        Request::Stats => match bound(shared, tenant) {
+            Ok(tenant) => Response::StatsReply {
+                stats: snapshot(shared, &tenant),
+            },
+            Err(detail) => Response::Error { detail },
+        },
+        Request::LoadArtifact { document } => match bound(shared, tenant) {
+            Ok(tenant) => handle_load(shared, &tenant, &document),
+            Err(detail) => Response::Error { detail },
+        },
+        Request::Promote => match bound(shared, tenant) {
+            Ok(tenant) => handle_promote(shared, &tenant),
+            Err(detail) => Response::Error { detail },
+        },
         Request::InjectPanic => {
             if shared.opts.inject_faults {
                 panic!("injected fault: client requested a handler panic");
@@ -492,18 +913,19 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
     }
 }
 
-/// Primary answers off a wait-free pointer load; the shadow (if staged)
-/// mirrors *outside* any lock. A shadow whose drift monitor trips — or
-/// that cannot score the traffic at all — is auto-rejected afterwards,
-/// guarded by `staged_seq` so a newer shadow staged concurrently is
-/// never the one dropped. Mirroring a shadow that was replaced while we
-/// scored it is harmless: its agreement record dies with its `Arc`.
+/// Primary answers off a wait-free pointer load; the tenant's shadow (if
+/// staged) mirrors *outside* any lock. A shadow whose drift monitor
+/// trips — or that cannot score the traffic at all — is auto-rejected
+/// afterwards, guarded by `staged_seq` so a newer shadow staged
+/// concurrently is never the one dropped. Mirroring a shadow that was
+/// replaced while we scored it is harmless: its agreement record dies
+/// with its `Arc`.
 fn handle_select(
-    shared: &Shared,
+    tenant: &Tenant,
     features: &[FeatureVector],
     payloads: &[serde_json::Value],
 ) -> Response {
-    let primary = shared.primary.load();
+    let primary = tenant.primary.load();
     let selections = match primary.select_vector_batch_traced(features, payloads) {
         Ok(s) => s,
         Err(e) => {
@@ -513,7 +935,7 @@ fn handle_select(
         }
     };
     let staged = {
-        let slot = lock_unpoisoned(&shared.shadow);
+        let slot = lock_unpoisoned(&tenant.shadow);
         slot.shadow
             .as_ref()
             .map(|s| (Arc::clone(s), slot.staged_seq))
@@ -521,23 +943,23 @@ fn handle_select(
     if let Some((shadow, seq)) = staged {
         let tripped = shadow.mirror(features, &selections).unwrap_or(true);
         if tripped {
-            let mut slot = lock_unpoisoned(&shared.shadow);
+            let mut slot = lock_unpoisoned(&tenant.shadow);
             if slot.staged_seq == seq && slot.shadow.is_some() {
                 slot.shadow = None;
-                shared.shadow_rejections.fetch_add(1, Ordering::AcqRel);
+                tenant.shadow_rejections.fetch_add(1, Ordering::AcqRel);
             }
         }
     }
     Response::Selections { selections }
 }
 
-/// Stages a candidate artifact as the shadow (replacing any previous
-/// stage). The candidate must parse (any readable schema version), fit
-/// the primary's benchmark and feature declaration, and pass shape
-/// validation. Validation and service construction happen before the
-/// slot lock is taken — staging never blocks the select path for longer
-/// than a pointer assignment.
-fn handle_load(shared: &Shared, document: &str) -> Response {
+/// Stages a candidate artifact as the tenant's shadow (replacing any
+/// previous stage). The candidate must parse (any readable schema
+/// version), fit the tenant's benchmark and feature declaration, and
+/// pass shape validation. Validation and service construction happen
+/// before the slot lock is taken — staging never blocks the select path
+/// for longer than a pointer assignment.
+fn handle_load(shared: &Shared, tenant: &Tenant, document: &str) -> Response {
     let artifact = match ModelArtifact::from_document(document) {
         Ok(a) => a,
         Err(e) => {
@@ -546,12 +968,12 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
             }
         }
     };
-    let primary = shared.primary.load();
+    let primary = tenant.primary.load();
     let primary_artifact = primary.artifact();
     if artifact.benchmark != primary_artifact.benchmark {
         return Response::Error {
             detail: format!(
-                "staged artifact serves `{}`, daemon serves `{}`",
+                "staged artifact serves `{}`, this tenant serves `{}`",
                 artifact.benchmark, primary_artifact.benchmark
             ),
         };
@@ -559,7 +981,7 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
     if artifact.feature_defs != primary_artifact.feature_defs {
         return Response::Error {
             detail: "staged artifact declares a different feature space; \
-                     it cannot score this daemon's traffic"
+                     it cannot score this tenant's traffic"
                 .to_string(),
         };
     }
@@ -568,7 +990,7 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
     let landmarks = primary.landmarks().len();
     match VectorService::new(artifact, shared.opts.shadow_serve.clone()) {
         Ok(service) => {
-            let mut slot = lock_unpoisoned(&shared.shadow);
+            let mut slot = lock_unpoisoned(&tenant.shadow);
             slot.shadow = Some(Arc::new(ShadowState::new(service, landmarks)));
             slot.staged_seq += 1;
             Response::Loaded {
@@ -582,14 +1004,14 @@ fn handle_load(shared: &Shared, document: &str) -> Response {
     }
 }
 
-/// Promotes the staged shadow behind the policy gate. The promoted
-/// artifact becomes a fresh primary (counters zeroed), published with a
-/// single pointer store — in-flight selects finish on the old primary
-/// they already loaded; every later select sees the new one. Refusal
-/// leaves the shadow staged; a revalidation failure drops it (it could
-/// not be promoted and can no longer be trusted staged).
-fn handle_promote(shared: &Shared) -> Response {
-    let mut slot = lock_unpoisoned(&shared.shadow);
+/// Promotes the tenant's staged shadow behind the policy gate. The
+/// promoted artifact becomes a fresh primary (counters zeroed),
+/// published with a single pointer store — in-flight selects finish on
+/// the old primary they already loaded; every later select sees the new
+/// one. Refusal leaves the shadow staged; a revalidation failure drops
+/// it (it could not be promoted and can no longer be trusted staged).
+fn handle_promote(shared: &Shared, tenant: &Tenant) -> Response {
+    let mut slot = lock_unpoisoned(&tenant.shadow);
     let Some(shadow) = slot.shadow.take() else {
         return Response::Error {
             detail: "no shadow artifact is staged".to_string(),
@@ -604,10 +1026,10 @@ fn handle_promote(shared: &Shared) -> Response {
     match VectorService::new(artifact, shared.opts.serve.clone()) {
         Ok(mut primary) => {
             // The journal follows the primary role, not the artifact: a
-            // promoted revision keeps feeding the same trace sink.
-            primary.set_trace(shared.opts.trace.clone());
-            shared.primary.store(Arc::new(primary));
-            shared.promotions.fetch_add(1, Ordering::AcqRel);
+            // promoted revision keeps feeding the tenant's trace sink.
+            primary.set_trace(tenant.trace.clone());
+            tenant.primary.store(Arc::new(primary));
+            tenant.promotions.fetch_add(1, Ordering::AcqRel);
             Response::Promoted { revision }
         }
         Err(e) => Response::Error {
@@ -616,10 +1038,10 @@ fn handle_promote(shared: &Shared) -> Response {
     }
 }
 
-/// Assembles a `Stats` reply.
-fn snapshot(shared: &Shared) -> DaemonStats {
-    let primary = shared.primary.load();
-    let shadow_stats = lock_unpoisoned(&shared.shadow)
+/// Assembles a `Stats` reply for one tenant.
+fn snapshot(shared: &Shared, tenant: &Tenant) -> DaemonStats {
+    let primary = tenant.primary.load();
+    let shadow_stats = lock_unpoisoned(&tenant.shadow)
         .shadow
         .as_ref()
         .map(|s| ShadowState::stats(s));
@@ -628,14 +1050,14 @@ fn snapshot(shared: &Shared) -> DaemonStats {
         revision: primary.artifact().revision,
         primary: primary.stats(),
         shadow: shadow_stats,
-        shadow_rejections: shared.shadow_rejections.load(Ordering::Acquire),
-        promotions: shared.promotions.load(Ordering::Acquire),
+        shadow_rejections: tenant.shadow_rejections.load(Ordering::Acquire),
+        promotions: tenant.promotions.load(Ordering::Acquire),
         connections: shared.connections.load(Ordering::Acquire),
-        journaled: shared
-            .opts
+        journaled: tenant
             .trace
             .as_ref()
             .map(|sink| sink.appended())
             .unwrap_or(0),
+        tenants: shared.registry.len() as u64,
     }
 }

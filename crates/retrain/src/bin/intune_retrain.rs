@@ -19,9 +19,10 @@
 //! intune_retrain --case sort2 --scale micro --corpus corpus.json \
 //!     --dry-run --revision 7 --emit retrained.model.json
 //!
-//! # observability / control
-//! intune_retrain --daemon ADDR --stats
-//! intune_retrain --daemon ADDR --shutdown
+//! # observability / control (--benchmark routes to one tenant of a
+//! # multi-tenant daemon; omit it against a single-tenant one)
+//! intune_retrain --daemon ADDR [--benchmark NAME] --stats
+//! intune_retrain --daemon ADDR [--benchmark NAME] --shutdown
 //! ```
 //!
 //! Exit codes: 0 success (including an idle cycle), 3 the daemon's gate
@@ -54,6 +55,7 @@ struct Args {
     case: Option<TestCase>,
     scale: String,
     daemon: Option<String>,
+    benchmark: String,
     journal: Option<PathBuf>,
     corpus: Option<PathBuf>,
     cache: Option<PathBuf>,
@@ -88,6 +90,8 @@ fn main() {
                 addr: daemon_addr(&args),
                 frames: args.replay_frames,
             };
+            // ReplayVisitor binds to the tenant named by the case inside
+            // visit(), where `benchmark.name()` is in scope.
             exit_code(visit_case(case, &shifted, &engine, &mut replayer))
         }
         _ => {
@@ -211,11 +215,21 @@ impl CaseVisitor for RunVisitor<'_> {
                 Ok(0)
             }
             Mode::Cycle => {
+                // A multi-tenant daemon journals each benchmark under
+                // `DIR/<benchmark>/`; a sole tenant journals to DIR
+                // itself. Prefer the per-tenant subdirectory when it
+                // exists so one --journal flag works for both layouts.
+                let journal_root = args
+                    .journal
+                    .clone()
+                    .unwrap_or_else(|| die("--once/--loop require --journal DIR"));
+                let per_tenant = journal_root.join(benchmark.name());
                 let cfg = RetrainConfig {
-                    journal_dir: args
-                        .journal
-                        .clone()
-                        .unwrap_or_else(|| die("--once/--loop require --journal DIR")),
+                    journal_dir: if per_tenant.is_dir() {
+                        per_tenant
+                    } else {
+                        journal_root
+                    },
                     corpus_path: args
                         .corpus
                         .clone()
@@ -227,7 +241,7 @@ impl CaseVisitor for RunVisitor<'_> {
                     mirror_batch: args.mirror_batch,
                     remove_compacted: !args.keep_segments,
                 };
-                let client = connect(args);
+                let client = connect_tenant(args, benchmark.name());
                 let mut code = 0;
                 for i in 0..args.loops {
                     let report = run_cycle(benchmark, train, opts, engine, &cfg, &client)?;
@@ -299,7 +313,7 @@ impl CaseVisitor for ReplayVisitor {
     where
         B::Input: Sync + Clone,
     {
-        let client = DaemonClient::connect(&self.addr)?;
+        let client = DaemonClient::connect_to(&self.addr, benchmark.name())?;
         let features: Vec<intune_core::FeatureVector> =
             test.iter().map(|i| benchmark.extract_all(i)).collect();
         let payloads: Vec<serde_json::Value> = test
@@ -332,6 +346,7 @@ fn run_stats(args: &Args) -> i32 {
     match client.stats() {
         Ok(stats) => {
             println!("benchmark {}", stats.benchmark);
+            println!("tenants {}", stats.tenants);
             println!("revision {}", stats.revision);
             println!("promotions {}", stats.promotions);
             println!("shadow_rejections {}", stats.shadow_rejections);
@@ -366,8 +381,19 @@ fn run_shutdown(args: &Args) -> i32 {
     }
 }
 
+/// Dials the daemon bound to one tenant. `--benchmark` (for caseless
+/// modes) or the case's own name routes; empty means "the sole tenant".
+fn connect_tenant(args: &Args, benchmark: &str) -> DaemonClient {
+    let name = if args.benchmark.is_empty() {
+        benchmark
+    } else {
+        &args.benchmark
+    };
+    DaemonClient::connect_to(&daemon_addr(args), name).unwrap_or_else(|e| die(&e.to_string()))
+}
+
 fn connect(args: &Args) -> DaemonClient {
-    DaemonClient::connect(&daemon_addr(args)).unwrap_or_else(|e| die(&e.to_string()))
+    connect_tenant(args, "")
 }
 
 fn daemon_addr(args: &Args) -> String {
@@ -382,6 +408,7 @@ fn parse_args() -> Args {
         case: None,
         scale: "micro".to_string(),
         daemon: None,
+        benchmark: String::new(),
         journal: None,
         corpus: None,
         cache: None,
@@ -425,6 +452,7 @@ fn parse_args() -> Args {
                     "--case" => args.case = Some(parse_case(value)),
                     "--scale" => args.scale = value.clone(),
                     "--daemon" => args.daemon = Some(value.clone()),
+                    "--benchmark" => args.benchmark = value.clone(),
                     "--journal" => args.journal = Some(PathBuf::from(value)),
                     "--corpus" => args.corpus = Some(PathBuf::from(value)),
                     "--cache" => args.cache = Some(PathBuf::from(value)),
@@ -489,7 +517,7 @@ fn usage() -> ! {
          \x20 --dry-run         offline retrain from --corpus; --revision R --emit PATH\n\
          \x20 --stats           print daemon counters\n\
          \x20 --shutdown        stop the daemon\n\
-         options: --daemon ADDR --journal DIR --corpus PATH --cache PATH\n\
+         options: --daemon ADDR --benchmark NAME --journal DIR --corpus PATH --cache PATH\n\
          \x20 --capacity N --min-new N --drift-rate X --min-drift-obs N --cooldown N\n\
          \x20 --mirror N --mirror-batch N --keep-segments --sleep-ms MS"
     );

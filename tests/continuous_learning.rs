@@ -19,7 +19,8 @@ use intune_exec::Engine;
 use intune_learning::pipeline::learn;
 use intune_learning::{Level1Options, TwoLevelOptions};
 use intune_retrain::{
-    retrain_from_corpus, run_cycle, CorpusStore, CycleOutcome, RetrainConfig, RetrainPolicy,
+    compact_journal, retrain_from_corpus, run_cycle, CorpusStore, CycleOutcome, RetrainConfig,
+    RetrainPolicy,
 };
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::path::PathBuf;
@@ -177,6 +178,7 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
             },
             trace: Some(sink.clone() as Arc<dyn TraceSink>),
             inject_faults: false,
+            ..DaemonOptions::default()
         },
         &ListenConfig::default(),
     )
@@ -306,5 +308,82 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
         "same corpus, any worker count, same bytes"
     );
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A *real* Table-1 case through the traced wire path: clustering inputs
+/// (point sets with a precomputed canonical distance) journal via
+/// `encode_input`, compact into a retraining corpus, and decode back to
+/// inputs the benchmark treats identically — the same flow the sort and
+/// bin-packing cases already support.
+#[test]
+fn clustering_inputs_flow_from_traced_wire_to_retraining_corpus() {
+    use intune_clusterlib::{ClusterInputClass, Clustering};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let dir = tmp("cluster");
+    let journal_dir = dir.join("journal");
+    let b = Clustering::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let train: Vec<_> = (0..8)
+        .map(|_| ClusterInputClass::Blobs { k: 3 }.generate(60, &mut rng))
+        .collect();
+    let engine = Engine::serial();
+    let opts = train_options();
+    let result = learn(&b, &train, &opts, &engine).expect("clustering trains");
+    let artifact = ModelArtifact::export(&b, &result);
+
+    let sink = Arc::new(
+        JournalSink::open(&journal_dir, JournalOptions::default()).expect("journal opens"),
+    );
+    let daemon = Daemon::bind(
+        artifact,
+        DaemonOptions {
+            serve: ServeOptions {
+                drift_threshold: 1.0,
+                ..ServeOptions::default()
+            },
+            trace: Some(sink.clone() as Arc<dyn TraceSink>),
+            ..DaemonOptions::default()
+        },
+        &ListenConfig::default(),
+    )
+    .expect("daemon binds");
+    let addr = daemon.tcp_addr().to_string();
+    let handle = daemon.spawn();
+    // Tenant-named handshake against a single-tenant daemon.
+    let client = DaemonClient::connect_to(&addr, "clustering").expect("client connects");
+    assert_eq!(client.info().benchmark, "clustering");
+
+    // Production traffic from a different geometry, traced with raw
+    // point sets.
+    let served: Vec<_> = (0..6)
+        .map(|_| ClusterInputClass::Uniform.generate(80, &mut rng))
+        .collect();
+    let features: Vec<_> = served.iter().map(|i| b.extract_all(i)).collect();
+    let payloads: Vec<_> = served
+        .iter()
+        .map(|i| b.encode_input(i).expect("clustering journals"))
+        .collect();
+    client
+        .select_batch_traced(&features, &payloads)
+        .expect("traced batch");
+    assert_eq!(client.stats().expect("stats").journaled, 6);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+
+    // Journal → corpus: every payload lands, and decodes back to an
+    // input whose extracted features are bit-identical to what was
+    // served — so retraining re-measures exactly what production saw.
+    let mut corpus = CorpusStore::new(64);
+    let report = compact_journal(&journal_dir, &mut corpus).expect("journal compacts");
+    assert_eq!(report.records, 6);
+    assert_eq!(report.added, 6, "6 distinct point sets");
+    for entry in corpus.entries() {
+        let payload = entry.payload.as_ref().expect("payload journaled");
+        let decoded = b.decode_input(payload).expect("payload decodes");
+        assert_eq!(b.extract_all(&decoded).dense(), entry.features.dense());
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

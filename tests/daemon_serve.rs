@@ -53,6 +53,7 @@ fn daemon_options() -> DaemonOptions {
         },
         trace: None,
         inject_faults: false,
+        ..DaemonOptions::default()
     }
 }
 
