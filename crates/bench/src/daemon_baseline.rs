@@ -170,6 +170,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
         specs.push(TenantSpec {
             artifact,
             trace: None,
+            recorder: None,
         });
         tenant_features.push(features);
     }

@@ -29,12 +29,17 @@
 //! * `daemon_bench --journal` → `BENCH_retrain.json` — the
 //!   continuous-learning loop under load: journal append throughput,
 //!   compaction ratio, retrain wall time, and the cells the warm cost
-//!   cache saved ([`retrain_baseline`]).
+//!   cache saved ([`retrain_baseline`]);
+//! * `daemon_bench --replay` → `BENCH_replay.json` — the record/replay
+//!   round trip: capture wire traffic under load, replay it twice
+//!   in-process, and prove zero byte-wise divergence
+//!   ([`replay_baseline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod daemon_baseline;
+mod replay_baseline;
 pub mod report;
 mod retrain_baseline;
 mod serve_baseline;
@@ -42,6 +47,9 @@ mod serve_baseline;
 pub use daemon_baseline::{
     daemon_baseline, daemon_baseline_json, DaemonBenchConfig, DaemonBenchResult, LatencyHistogram,
     TenantBenchResult,
+};
+pub use replay_baseline::{
+    replay_baseline, replay_baseline_json, ReplayBenchConfig, ReplayBenchResult,
 };
 pub use retrain_baseline::{
     retrain_baseline, retrain_baseline_json, RetrainBenchConfig, RetrainBenchResult,

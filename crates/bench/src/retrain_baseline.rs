@@ -23,7 +23,7 @@ use intune_learning::pipeline::learn;
 use intune_learning::TwoLevelOptions;
 use intune_retrain::{
     compact_journal, input_fingerprint, retrain_from_corpus, run_cycle, save_warm_cache,
-    CorpusStore, CycleOutcome, RetrainConfig, RetrainPolicy,
+    AdmissionPolicy, CorpusStore, CycleOutcome, RetrainConfig, RetrainPolicy,
 };
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use serde_json::Value;
@@ -204,6 +204,7 @@ impl CaseVisitor for RetrainVisitor<'_> {
             mirror_target: test.len() as u64,
             mirror_batch: test.len().max(1),
             remove_compacted: true,
+            admission: AdmissionPolicy::default(),
         };
         let start = Instant::now();
         let report = run_cycle(benchmark, train, opts, engine, &retrain_cfg, &control)?;

@@ -5,6 +5,7 @@
 //!     --artifact artifacts/sort2.model.json [--artifact MORE.json ...] \
 //!     [--listen 127.0.0.1:0] \
 //!     [--uds /tmp/intune.sock] [--journal DIR] [--journal-segment N] \
+//!     [--record DIR] [--record-segment N] \
 //!     [--threads N] [--probe-every N] \
 //!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
 //!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
@@ -25,6 +26,12 @@
 //! tooling); with several, each tenant journals to `DIR/<benchmark>/`
 //! so the retrainer consumes one corpus per benchmark.
 //!
+//! `--record DIR` taps every inbound request frame (selections *and*
+//! control traffic) into a segmented `intune-datalog/1` wire recording
+//! that `intune_replay` can stream back for divergence checking. The
+//! directory layout mirrors `--journal`: the sole tenant records into
+//! DIR itself, several tenants into `DIR/<benchmark>/`.
+//!
 //! Prints exactly one `listening on ADDR` line to stdout once bound (so
 //! scripts can grab the resolved ephemeral port), then serves until a
 //! client sends `Shutdown`. `--drift-threshold 1` disables the fallback
@@ -33,6 +40,7 @@
 //! threads default to `INTUNE_THREADS` (hardened parse) or 1.
 
 use intune_daemon::{Daemon, DaemonOptions, ListenConfig, TenantSpec};
+use intune_datalog::{RecorderSink, RecordingOptions};
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -42,6 +50,8 @@ fn main() {
     let mut artifact_paths: Vec<PathBuf> = Vec::new();
     let mut journal_dir: Option<PathBuf> = None;
     let mut journal_segment = JournalOptions::default().segment_max_records;
+    let mut record_dir: Option<PathBuf> = None;
+    let mut record_segment = RecordingOptions::default().segment_max_frames;
     let mut listen = ListenConfig::default();
     let mut opts = DaemonOptions {
         serve: ServeOptions {
@@ -68,6 +78,8 @@ fn main() {
                     "--artifact" => artifact_paths.push(PathBuf::from(value)),
                     "--journal" => journal_dir = Some(PathBuf::from(value)),
                     "--journal-segment" => journal_segment = parse(flag, value),
+                    "--record" => record_dir = Some(PathBuf::from(value)),
+                    "--record-segment" => record_segment = parse(flag, value),
                     "--listen" => listen.tcp = value.clone(),
                     "--uds" => listen.uds = Some(PathBuf::from(value)),
                     "--threads" => opts.serve.threads = parse(flag, value),
@@ -118,7 +130,21 @@ fn main() {
                 };
                 open_journal(&tenant_dir, journal_segment)
             });
-            TenantSpec { artifact, trace }
+            let recorder = record_dir.as_ref().map(|dir| {
+                // Same layout rule as the journal: sole tenant records
+                // into DIR itself, several tenants one dir per benchmark.
+                let tenant_dir = if multi_tenant {
+                    dir.join(&artifact.benchmark)
+                } else {
+                    dir.clone()
+                };
+                open_recorder(&tenant_dir, record_segment)
+            });
+            TenantSpec {
+                artifact,
+                trace,
+                recorder,
+            }
         })
         .collect();
     opts.shadow_serve.threads = opts.serve.threads;
@@ -145,6 +171,19 @@ fn open_journal(dir: &Path, segment_max_records: usize) -> Arc<dyn TraceSink> {
     Arc::new(sink)
 }
 
+fn open_recorder(dir: &Path, segment_max_frames: usize) -> Arc<RecorderSink> {
+    let sink = RecorderSink::open(
+        dir,
+        RecordingOptions {
+            segment_max_frames,
+            ..RecordingOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!("recording wire traffic to {}", dir.display());
+    Arc::new(sink)
+}
+
 fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
     value
         .parse()
@@ -156,6 +195,7 @@ fn usage() -> ! {
         "usage: intune_daemon --artifact PATH [--artifact PATH ...] \
          [--listen ADDR] [--uds PATH] \
          [--journal DIR] [--journal-segment N] \
+         [--record DIR] [--record-segment N] \
          [--threads N] [--probe-every N] [--radius-factor X] \
          [--drift-threshold X] [--min-observations N] \
          [--shadow-drift-threshold X] [--shadow-min-observations N] \

@@ -221,6 +221,59 @@ impl DaemonClient {
         }
     }
 
+    /// Streams many selection batches through the connection with up to
+    /// `window` requests in flight, answering in request order — the
+    /// replay engine's throughput path. The daemon serves frames on one
+    /// connection strictly in order, so pipelining changes wire
+    /// utilization, never answers. `window` is clamped to at least 1 and
+    /// should stay small (≈16): both sides bound their buffers, and a
+    /// client that floods frames without draining replies can deadlock
+    /// against the daemon's outbound cap.
+    ///
+    /// Each batch pairs feature vectors with journal payloads; an empty
+    /// payload slice sends the lean `SelectBatch` frame.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure or a server-side
+    /// rejection of any batch in the stream.
+    pub fn select_batch_pipelined(
+        &self,
+        batches: &[(&[FeatureVector], &[serde_json::Value])],
+        window: usize,
+    ) -> Result<Vec<Vec<Selection>>> {
+        let window = window.max(1);
+        let mut guard = self
+            .io
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Reborrow through the guard so the reader and the stream can be
+        // borrowed as disjoint fields.
+        let io = &mut *guard;
+        let mut results = Vec::with_capacity(batches.len());
+        let mut sent = 0usize;
+        while results.len() < batches.len() {
+            while sent < batches.len() && sent - results.len() < window {
+                let (features, payloads) = batches[sent];
+                let body = if payloads.is_empty() {
+                    protocol::encode_select_batch(features)
+                } else {
+                    protocol::encode_message(&Request::SelectBatchTraced {
+                        features: features.to_vec(),
+                        payloads: payloads.to_vec(),
+                    })
+                };
+                protocol::write_frame(&mut io.conn, &body)?;
+                sent += 1;
+            }
+            match io.reader.recv::<_, Response>(&mut io.conn)? {
+                Some(Response::Selections { selections }) => results.push(selections),
+                Some(other) => return Err(unexpected("Selections", &other)),
+                None => return Err(Error::wire("daemon closed the connection mid-request")),
+            }
+        }
+        Ok(results)
+    }
+
     /// Fetches the daemon's counter snapshot.
     ///
     /// # Errors

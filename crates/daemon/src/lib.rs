@@ -161,10 +161,12 @@ mod tests {
             TenantSpec {
                 artifact: named_artifact("alpha", 1),
                 trace: None,
+                recorder: None,
             },
             TenantSpec {
                 artifact: named_artifact("beta", 1),
                 trace: None,
+                recorder: None,
             },
         ];
         let daemon = Daemon::bind_tenants(specs, opts, &ListenConfig::default()).unwrap();
@@ -643,6 +645,98 @@ mod tests {
         }
         // Mirror traffic (the staged shadow scored 4 vectors) was NOT
         // journaled: 16 primary answers, not 20 records.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_records_wire_traffic_that_replays_with_zero_divergence() {
+        use intune_datalog::{
+            divergence, load_recording, replay, FrameBody, RecorderSink, RecordingOptions,
+            ReplayOptions,
+        };
+        use intune_serve::VectorService;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!(
+            "intune-daemon-record-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let sink = Arc::new(RecorderSink::open(&dir, RecordingOptions::default()).unwrap());
+        let opts = DaemonOptions {
+            record: Some(Arc::clone(&sink)),
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+
+        let batch: Vec<FeatureVector> = (0..6).map(|i| vector(i as f64)).collect();
+        let expected = client.select_batch(&batch).unwrap();
+        let payloads = vec![serde_json::Value::Int(7)];
+        client.select_batch_traced(&batch[..1], &payloads).unwrap();
+        // Pipelined batches land as ordinary frames, one per batch, in
+        // request order.
+        let piped = client
+            .select_batch_pipelined(&[(&batch[..2], &[][..]), (&batch[2..], &[][..])], 4)
+            .unwrap();
+        assert_eq!(piped.concat(), expected);
+        let stats = client.stats().unwrap();
+        // Hello + 4 selection frames + the Stats request itself.
+        assert_eq!(stats.recorded, 6);
+        assert_eq!(sink.dropped(), 0);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        let recording = load_recording(&dir).unwrap();
+        assert_eq!(recording.torn_segments, 0);
+        assert_eq!(recording.frames.len(), 6);
+        assert!(
+            matches!(&recording.frames[0].body, FrameBody::Control { kind } if kind == "Hello")
+        );
+        assert!(recording.frames.iter().all(|f| f.tenant == "daemon-test"));
+        assert!(
+            recording.frames.iter().all(|f| f.conn == 0),
+            "one connection, id 0"
+        );
+        match &recording.frames[2].body {
+            FrameBody::Select { features, payloads } => {
+                assert_eq!(features.len(), 1);
+                assert_eq!(payloads, &vec![serde_json::Value::Int(7)]);
+            }
+            other => panic!("traced batch recorded as {other:?}"),
+        }
+
+        // Replay the capture in-process at two worker counts: transcripts
+        // byte-identical, zero divergence, and the answers are exactly
+        // what the daemon originally served.
+        let replay_service = |threads: usize| {
+            VectorService::new(
+                artifact(1),
+                ServeOptions {
+                    threads,
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = replay(
+            &recording.frames,
+            &replay_service(1),
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        let b = replay(
+            &recording.frames,
+            &replay_service(4),
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.control_skipped, 2, "Hello + Stats");
+        assert_eq!(a.selections(), 13);
+        assert_eq!(a.transcript(), b.transcript());
+        let report = divergence(&a, &b);
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(a.results[0].selections, expected);
         std::fs::remove_dir_all(&dir).ok();
     }
 

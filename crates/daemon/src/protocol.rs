@@ -210,6 +210,9 @@ pub struct DaemonStats {
     /// Selections durably appended to this tenant's request journal
     /// since startup (0 when the tenant runs without a journal).
     pub journaled: u64,
+    /// Request frames captured into this tenant's wire recording since
+    /// startup (0 when the tenant runs without a recorder).
+    pub recorded: u64,
     /// Benchmarks registered in the daemon's artifact registry.
     pub tenants: u64,
 }

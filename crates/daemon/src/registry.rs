@@ -12,6 +12,7 @@
 use crate::shadow::ShadowState;
 use arc_swap::ArcSwap;
 use intune_core::{Error, Result};
+use intune_datalog::RecorderSink;
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
@@ -26,6 +27,11 @@ pub struct TenantSpec {
     /// Optional request journal attached to this tenant's primary — the
     /// initial artifact and each promoted successor.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Optional wire-traffic recorder: every inbound request frame for
+    /// this tenant is captured into an `intune-datalog/1` recording
+    /// (per-tenant for the same reason traces are — replay and
+    /// divergence checks consume one recording per benchmark).
+    pub recorder: Option<Arc<RecorderSink>>,
 }
 
 impl std::fmt::Debug for TenantSpec {
@@ -34,6 +40,7 @@ impl std::fmt::Debug for TenantSpec {
             .field("benchmark", &self.artifact.benchmark)
             .field("revision", &self.artifact.revision)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("recorder", &self.recorder.as_ref().map(|_| "<sink>"))
             .finish()
     }
 }
@@ -63,6 +70,8 @@ pub(crate) struct Tenant {
     pub(crate) promotions: AtomicU64,
     /// This tenant's request journal; promoted primaries re-attach it.
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
+    /// This tenant's wire-traffic recorder (the `--record` tap).
+    pub(crate) recorder: Option<Arc<RecorderSink>>,
 }
 
 /// Benchmark name → tenant, in registration order.
@@ -105,6 +114,7 @@ impl ArtifactRegistry {
                 shadow_rejections: AtomicU64::new(0),
                 promotions: AtomicU64::new(0),
                 trace: spec.trace,
+                recorder: spec.recorder,
             }));
         }
         Ok(ArtifactRegistry { tenants })

@@ -37,6 +37,7 @@ use crate::protocol::{self, DaemonStats, Fill, Request, Response};
 use crate::registry::{ArtifactRegistry, Tenant, TenantSpec};
 use crate::shadow::{ShadowPolicy, ShadowState};
 use intune_core::{Error, FeatureVector, Result};
+use intune_datalog::FrameBody;
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
 use mio::unix::SourceFd;
 use mio::{Events, Interest, Poll, Token};
@@ -108,6 +109,13 @@ pub struct DaemonOptions {
     /// sink per tenant via [`TenantSpec`] instead; [`Daemon::bind_tenants`]
     /// ignores this field.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Optional wire-traffic recorder (the `--record` tap) for
+    /// [`Daemon::bind`]'s sole tenant: every inbound request frame is
+    /// appended to an `intune-datalog/1` recording for later replay and
+    /// divergence checking. Multi-tenant daemons pass one recorder per
+    /// tenant via [`TenantSpec`] instead; [`Daemon::bind_tenants`]
+    /// ignores this field.
+    pub record: Option<Arc<intune_datalog::RecorderSink>>,
     /// Honor `InjectPanic` requests by panicking inside the request
     /// handler. Off by default; only the crash-containment tests turn it
     /// on. A production daemon answers the request with a typed refusal.
@@ -126,6 +134,7 @@ impl Default for DaemonOptions {
             shadow_serve: ServeOptions::default(),
             shadow: ShadowPolicy::default(),
             trace: None,
+            record: None,
             inject_faults: false,
             max_outbound_bytes: DEFAULT_MAX_OUTBOUND_BYTES,
         }
@@ -139,6 +148,7 @@ impl std::fmt::Debug for DaemonOptions {
             .field("shadow_serve", &self.shadow_serve)
             .field("shadow", &self.shadow)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("record", &self.record.as_ref().map(|_| "<sink>"))
             .field("inject_faults", &self.inject_faults)
             .field("max_outbound_bytes", &self.max_outbound_bytes)
             .finish()
@@ -219,6 +229,7 @@ impl Daemon {
         let spec = TenantSpec {
             artifact,
             trace: opts.trace.clone(),
+            recorder: opts.record.clone(),
         };
         Daemon::bind_tenants(vec![spec], opts, listen)
     }
@@ -451,7 +462,10 @@ impl Slab {
 
     /// Registers a fresh connection with the poller and stores it.
     fn admit(&mut self, transport: Transport, poll: &Poll, shared: &Shared) {
-        shared.connections.fetch_add(1, Ordering::AcqRel);
+        // The accept counter doubles as the connection id: slab slots are
+        // reused, the counter never is, so recordings can tell two
+        // consecutive occupants of one slot apart.
+        let id = shared.connections.fetch_add(1, Ordering::AcqRel);
         if transport.set_nonblocking().is_err() {
             return; // dropping the transport closes the socket
         }
@@ -475,7 +489,7 @@ impl Slab {
             self.free.push(idx);
             return;
         }
-        self.slots[idx] = Some(Conn::new(transport));
+        self.slots[idx] = Some(Conn::new(transport, id));
     }
 
     /// Deregisters and drops one connection (closing its socket).
@@ -580,6 +594,9 @@ struct Conn {
     /// The tenant this connection is bound to (`Hello`, or lazily the
     /// sole tenant for wire/2 clients that skip `Hello`).
     tenant: Option<Arc<Tenant>>,
+    /// Stable connection id (the accept counter at admit time) stamped
+    /// onto recorded frames; unlike the slab slot it is never reused.
+    id: u64,
     /// Interest currently registered with the poller.
     registered: Interest,
     /// A fatal error reply is queued: stop reading, flush, half-close.
@@ -606,7 +623,7 @@ enum Pump {
 }
 
 impl Conn {
-    fn new(transport: Transport) -> Self {
+    fn new(transport: Transport, id: u64) -> Self {
         Conn {
             transport,
             reader: protocol::FrameReader::new(),
@@ -614,6 +631,7 @@ impl Conn {
             outbox_head: 0,
             outbox_bytes: 0,
             tenant: None,
+            id,
             registered: Interest::READABLE,
             closing: false,
             lingering: false,
@@ -805,8 +823,11 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
             let is_shutdown = matches!(request, Request::Shutdown);
             // Contain handler panics (including injected ones): the
             // poisoned request costs this connection, never the loop.
+            let conn_id = conn.id;
             let tenant = &mut conn.tenant;
-            match catch_unwind(AssertUnwindSafe(|| handle_request(shared, tenant, request))) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                handle_request(shared, tenant, conn_id, request)
+            })) {
                 Ok(response) => conn.queue(&response, cap),
                 Err(_) => {
                     eprintln!("intune-daemon: a request handler panicked; connection dropped");
@@ -854,15 +875,39 @@ fn bound(
     Ok(tenant)
 }
 
+/// Records a non-selection request into the tenant's wire recording (a
+/// no-op for tenants without one). A full recorder never fails the
+/// request — capture is best-effort by design; the sink itself counts
+/// and types its drops.
+fn tap_control(tenant: &Tenant, conn: u64, kind: &str) {
+    if let Some(recorder) = &tenant.recorder {
+        recorder.record(
+            &tenant.name,
+            conn,
+            FrameBody::Control {
+                kind: kind.to_string(),
+            },
+        );
+    }
+}
+
 /// Dispatches one request against the shared state, routing stateful
-/// requests through the connection's tenant binding.
-fn handle_request(shared: &Shared, tenant: &mut Option<Arc<Tenant>>, request: Request) -> Response {
+/// requests through the connection's tenant binding. `conn` is the
+/// connection's stable id, stamped onto recorded frames so replay can
+/// preserve per-connection ordering.
+fn handle_request(
+    shared: &Shared,
+    tenant: &mut Option<Arc<Tenant>>,
+    conn: u64,
+    request: Request,
+) -> Response {
     match request {
         Request::Hello {
             client: _,
             benchmark,
         } => match shared.registry.resolve(&benchmark) {
             Ok(resolved) => {
+                tap_control(&resolved, conn, "Hello");
                 let primary = resolved.primary.load();
                 let artifact = primary.artifact();
                 let ack = Response::HelloAck {
@@ -880,25 +925,34 @@ fn handle_request(shared: &Shared, tenant: &mut Option<Arc<Tenant>>, request: Re
             Err(detail) => Response::Error { detail },
         },
         Request::SelectBatch { features } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(&tenant, &features, &[]),
+            Ok(tenant) => handle_select(&tenant, conn, &features, &[]),
             Err(detail) => Response::Error { detail },
         },
         Request::SelectBatchTraced { features, payloads } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(&tenant, &features, &payloads),
+            Ok(tenant) => handle_select(&tenant, conn, &features, &payloads),
             Err(detail) => Response::Error { detail },
         },
         Request::Stats => match bound(shared, tenant) {
-            Ok(tenant) => Response::StatsReply {
-                stats: snapshot(shared, &tenant),
-            },
+            Ok(tenant) => {
+                tap_control(&tenant, conn, "Stats");
+                Response::StatsReply {
+                    stats: snapshot(shared, &tenant),
+                }
+            }
             Err(detail) => Response::Error { detail },
         },
         Request::LoadArtifact { document } => match bound(shared, tenant) {
-            Ok(tenant) => handle_load(shared, &tenant, &document),
+            Ok(tenant) => {
+                tap_control(&tenant, conn, "LoadArtifact");
+                handle_load(shared, &tenant, &document)
+            }
             Err(detail) => Response::Error { detail },
         },
         Request::Promote => match bound(shared, tenant) {
-            Ok(tenant) => handle_promote(shared, &tenant),
+            Ok(tenant) => {
+                tap_control(&tenant, conn, "Promote");
+                handle_promote(shared, &tenant)
+            }
             Err(detail) => Response::Error { detail },
         },
         Request::InjectPanic => {
@@ -922,9 +976,23 @@ fn handle_request(shared: &Shared, tenant: &mut Option<Arc<Tenant>>, request: Re
 /// with its `Arc`.
 fn handle_select(
     tenant: &Tenant,
+    conn: u64,
     features: &[FeatureVector],
     payloads: &[serde_json::Value],
 ) -> Response {
+    // The recorder tap sees the request *before* it is served: a replay
+    // must re-pose exactly what arrived, including batches the primary
+    // goes on to refuse. Clones happen only on recording tenants.
+    if let Some(recorder) = &tenant.recorder {
+        recorder.record(
+            &tenant.name,
+            conn,
+            FrameBody::Select {
+                features: features.to_vec(),
+                payloads: payloads.to_vec(),
+            },
+        );
+    }
     let primary = tenant.primary.load();
     let selections = match primary.select_vector_batch_traced(features, payloads) {
         Ok(s) => s,
@@ -1055,6 +1123,11 @@ fn snapshot(shared: &Shared, tenant: &Tenant) -> DaemonStats {
         connections: shared.connections.load(Ordering::Acquire),
         journaled: tenant
             .trace
+            .as_ref()
+            .map(|sink| sink.appended())
+            .unwrap_or(0),
+        recorded: tenant
+            .recorder
             .as_ref()
             .map(|sink| sink.appended())
             .unwrap_or(0),

@@ -217,6 +217,24 @@ impl PdeInputClass {
 /// deviation, and zeros fraction, each at three sampling levels.
 ///
 /// The residual measure deepens with its level, as the paper's costlier
+/// Encodes one scalar field for the journal codec (bit-exact: every
+/// value prints in shortest-round-trip decimal form).
+pub(crate) fn encode_field(field: &[f64]) -> serde_json::Value {
+    use serde::Serialize as _;
+    serde_json::Value::Array(field.iter().map(|v| v.to_value()).collect())
+}
+
+/// Decodes a scalar field encoded by [`encode_field`]; `None` on any
+/// non-numeric entry.
+pub(crate) fn decode_field(value: &serde_json::Value) -> Option<Vec<f64>> {
+    use serde::Deserialize as _;
+    value
+        .as_array()?
+        .iter()
+        .map(|v| f64::from_value(v).ok())
+        .collect()
+}
+
 /// sampling levels do: level 0 is the plain RMS of the sampled right-hand
 /// side (`‖f − A·0‖` on a sample); levels 1 and 2 report how much of the
 /// field survives 1 or 3 cheap 1-D smoothing passes — smoothing annihilates

@@ -68,6 +68,41 @@ impl Benchmark for Helmholtz3d {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         crate::generators::extract_field_feature(property, level, &input.rhs)
     }
+
+    fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+        Some(serde_json::Value::Object(vec![
+            ("n".to_string(), serde_json::Value::UInt(input.n as u64)),
+            (
+                "coeff".to_string(),
+                crate::generators::encode_field(&input.coeff),
+            ),
+            (
+                "rhs".to_string(),
+                crate::generators::encode_field(&input.rhs),
+            ),
+            (
+                "reference".to_string(),
+                crate::generators::encode_field(&input.reference),
+            ),
+        ]))
+    }
+
+    fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+        let n = usize::try_from(payload.get("n")?.as_u64()?).ok()?;
+        let coeff = crate::generators::decode_field(payload.get("coeff")?)?;
+        let rhs = crate::generators::decode_field(payload.get("rhs")?)?;
+        let reference = crate::generators::decode_field(payload.get("reference")?)?;
+        let cells = n.checked_mul(n)?.checked_mul(n)?;
+        if n == 0 || coeff.len() != cells || rhs.len() != cells || reference.len() != cells {
+            return None;
+        }
+        Some(PdeInput3d {
+            n,
+            coeff,
+            rhs,
+            reference,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +175,66 @@ mod tests {
         let cfg = b.space().default_config();
         let i = input(7);
         assert_eq!(b.run(&cfg, &i), b.run(&cfg, &i));
+    }
+
+    #[test]
+    fn inputs_round_trip_through_journal_codec_bit_exactly() {
+        let b = Helmholtz3d::new();
+        // A generated input plus a hand-built one of adversarial values:
+        // negative zero, a subnormal, a value with no short decimal form,
+        // and the finite extremes (coeff must stay ≥ 0 only physically —
+        // the codec itself is value-agnostic).
+        let adversarial = PdeInput3d {
+            n: 1,
+            coeff: vec![f64::MIN_POSITIVE / 2.0],
+            rhs: vec![0.1 + 0.2],
+            reference: vec![-0.0],
+        };
+        for input in [input(5), adversarial] {
+            let encoded = b.encode_input(&input).expect("helmholtz journals");
+            // Through the actual wire representation, not just the Value
+            // tree.
+            let text = serde_json::to_string(&encoded).unwrap();
+            let reparsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+            let decoded = b.decode_input(&reparsed).expect("codec round-trips");
+            assert_eq!(decoded.n, input.n);
+            for (field, decoded_field) in [
+                (&input.coeff, &decoded.coeff),
+                (&input.rhs, &decoded.rhs),
+                (&input.reference, &decoded.reference),
+            ] {
+                assert_eq!(field.len(), decoded_field.len());
+                for (a, c) in field.iter().zip(decoded_field) {
+                    assert_eq!(a.to_bits(), c.to_bits());
+                }
+            }
+            // Identical treatment: same features, bit for bit.
+            assert_eq!(
+                b.extract_all(&input).dense(),
+                b.extract_all(&decoded).dense()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        let b = Helmholtz3d::new();
+        for text in [
+            "null",
+            "{}",
+            // coeff shorter than n³.
+            r#"{"n": 2, "coeff": [1.0], "rhs": [0,0,0,0,0,0,0,0], "reference": [0,0,0,0,0,0,0,0]}"#,
+            // rhs shorter than n³.
+            r#"{"n": 1, "coeff": [1.0], "rhs": [], "reference": [0.0]}"#,
+            // Degenerate grid.
+            r#"{"n": 0, "coeff": [], "rhs": [], "reference": []}"#,
+            // Missing field.
+            r#"{"n": 1, "coeff": [1.0], "rhs": [1.0]}"#,
+            // Non-numeric entry.
+            r#"{"n": 1, "coeff": [1.0], "rhs": [1.0], "reference": [[]]}"#,
+        ] {
+            let payload: serde_json::Value = serde_json::from_str(text).unwrap();
+            assert!(b.decode_input(&payload).is_none(), "accepted {text}");
+        }
     }
 }

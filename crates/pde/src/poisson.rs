@@ -200,6 +200,31 @@ impl Benchmark for Poisson2d {
     fn extract(&self, property: usize, level: usize, input: &Self::Input) -> FeatureSample {
         crate::generators::extract_field_feature(property, level, &input.rhs)
     }
+
+    fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+        Some(serde_json::Value::Object(vec![
+            ("n".to_string(), serde_json::Value::UInt(input.n as u64)),
+            (
+                "rhs".to_string(),
+                crate::generators::encode_field(&input.rhs),
+            ),
+            (
+                "reference".to_string(),
+                crate::generators::encode_field(&input.reference),
+            ),
+        ]))
+    }
+
+    fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+        let n = usize::try_from(payload.get("n")?.as_u64()?).ok()?;
+        let rhs = crate::generators::decode_field(payload.get("rhs")?)?;
+        let reference = crate::generators::decode_field(payload.get("reference")?)?;
+        let cells = n.checked_mul(n)?;
+        if n == 0 || rhs.len() != cells || reference.len() != cells {
+            return None;
+        }
+        Some(PdeInput2d { n, rhs, reference })
+    }
 }
 
 #[cfg(test)]
@@ -331,5 +356,62 @@ mod tests {
     #[test]
     fn accuracy_threshold_is_papers() {
         assert_eq!(Poisson2d::new().accuracy().unwrap().threshold, 7.0);
+    }
+
+    #[test]
+    fn inputs_round_trip_through_journal_codec_bit_exactly() {
+        let b = Poisson2d::new();
+        // A generated input plus a hand-built one of adversarial values:
+        // negative zero, a subnormal, a value with no short decimal form,
+        // and huge magnitudes (kept below sqrt(f64::MAX) so the feature
+        // extractor's sum of squares stays finite — NaN features would
+        // void the bit-for-bit comparison below).
+        let adversarial = PdeInput2d {
+            n: 2,
+            rhs: vec![-0.0, f64::MIN_POSITIVE / 2.0, 0.1 + 0.2, 1e150],
+            reference: vec![-1e150, 1.0, -1.5, 0.0],
+        };
+        for input in [smooth_input(7), adversarial] {
+            let encoded = b.encode_input(&input).expect("poisson journals");
+            // Through the actual wire representation, not just the Value
+            // tree.
+            let text = serde_json::to_string(&encoded).unwrap();
+            let reparsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+            let decoded = b.decode_input(&reparsed).expect("codec round-trips");
+            assert_eq!(decoded.n, input.n);
+            for (a, c) in input.rhs.iter().zip(&decoded.rhs) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+            for (a, c) in input.reference.iter().zip(&decoded.reference) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+            // Identical treatment: same features, bit for bit.
+            assert_eq!(
+                b.extract_all(&input).dense(),
+                b.extract_all(&decoded).dense()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        let b = Poisson2d::new();
+        for text in [
+            "null",
+            "{}",
+            // rhs shorter than n².
+            r#"{"n": 2, "rhs": [1.0, 2.0, 3.0], "reference": [0.0, 0.0, 0.0, 0.0]}"#,
+            // reference shorter than n².
+            r#"{"n": 2, "rhs": [1.0, 2.0, 3.0, 4.0], "reference": [0.0]}"#,
+            // Degenerate grid.
+            r#"{"n": 0, "rhs": [], "reference": []}"#,
+            // Missing field.
+            r#"{"n": 1, "rhs": [1.0]}"#,
+            // Non-numeric entry.
+            r#"{"n": 1, "rhs": ["x"], "reference": [0.0]}"#,
+        ] {
+            let payload: serde_json::Value = serde_json::from_str(text).unwrap();
+            assert!(b.decode_input(&payload).is_none(), "accepted {text}");
+        }
     }
 }

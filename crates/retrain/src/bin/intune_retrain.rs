@@ -34,8 +34,8 @@ use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
 use intune_learning::TwoLevelOptions;
 use intune_retrain::{
-    compact_journal, retrain_from_corpus, run_cycle, CorpusStore, CycleOutcome, RetrainConfig,
-    RetrainPolicy,
+    compact_journal, compact_recording, retrain_from_corpus, run_cycle, AdmissionPolicy,
+    CorpusStore, CycleOutcome, RetrainConfig, RetrainPolicy,
 };
 use intune_serve::ModelArtifact;
 use std::path::PathBuf;
@@ -57,6 +57,7 @@ struct Args {
     daemon: Option<String>,
     benchmark: String,
     journal: Option<PathBuf>,
+    from_recording: Option<PathBuf>,
     corpus: Option<PathBuf>,
     cache: Option<PathBuf>,
     train_out: Option<PathBuf>,
@@ -71,6 +72,7 @@ struct Args {
     mirror: u64,
     mirror_batch: usize,
     keep_segments: bool,
+    admission: AdmissionPolicy,
 }
 
 fn main() {
@@ -185,10 +187,21 @@ impl CaseVisitor for RunVisitor<'_> {
                     .clone()
                     .unwrap_or_else(|| die("--dry-run requires --corpus PATH"));
                 let mut corpus = CorpusStore::load_or_new(&corpus_path, args.capacity)?;
+                corpus.set_admission_policy(args.admission);
                 if let Some(journal) = &args.journal {
                     // In-memory compaction only: a dry run never mutates
                     // the on-disk corpus or the journal.
                     compact_journal(journal, &mut corpus)?;
+                }
+                if let Some(recording) = &args.from_recording {
+                    // A wire recording (the daemon's `--record` tap) is
+                    // request traffic without served verdicts; its vectors
+                    // are folded in as neutral, quiet evidence.
+                    let folded = compact_recording(recording, &mut corpus)?;
+                    eprintln!(
+                        "recording: {} vectors from {} frames ({} added, {} merged)",
+                        folded.vectors, folded.select_frames, folded.added, folded.merged
+                    );
                 }
                 let retrained = retrain_from_corpus(
                     benchmark,
@@ -240,6 +253,7 @@ impl CaseVisitor for RunVisitor<'_> {
                     mirror_target: args.mirror,
                     mirror_batch: args.mirror_batch,
                     remove_compacted: !args.keep_segments,
+                    admission: args.admission,
                 };
                 let client = connect_tenant(args, benchmark.name());
                 let mut code = 0;
@@ -351,6 +365,7 @@ fn run_stats(args: &Args) -> i32 {
             println!("promotions {}", stats.promotions);
             println!("shadow_rejections {}", stats.shadow_rejections);
             println!("journaled {}", stats.journaled);
+            println!("recorded {}", stats.recorded);
             println!("requests {}", stats.primary.requests);
             if let Some(shadow) = &stats.shadow {
                 println!(
@@ -410,6 +425,7 @@ fn parse_args() -> Args {
         daemon: None,
         benchmark: String::new(),
         journal: None,
+        from_recording: None,
         corpus: None,
         cache: None,
         train_out: None,
@@ -424,6 +440,7 @@ fn parse_args() -> Args {
         mirror: 64,
         mirror_batch: 64,
         keep_segments: false,
+        admission: AdmissionPolicy::default(),
     };
     let mut mode: Option<Mode> = None;
     let set_mode = |m: Mode, current: &mut Option<Mode>| {
@@ -454,6 +471,16 @@ fn parse_args() -> Args {
                     "--daemon" => args.daemon = Some(value.clone()),
                     "--benchmark" => args.benchmark = value.clone(),
                     "--journal" => args.journal = Some(PathBuf::from(value)),
+                    "--from-recording" => args.from_recording = Some(PathBuf::from(value)),
+                    "--admission" => {
+                        args.admission = match value.as_str() {
+                            "uniform" => AdmissionPolicy::UniformHash,
+                            "novelty" => AdmissionPolicy::Novelty,
+                            other => die(&format!(
+                                "unknown --admission `{other}` (uniform or novelty)"
+                            )),
+                        }
+                    }
                     "--corpus" => args.corpus = Some(PathBuf::from(value)),
                     "--cache" => args.cache = Some(PathBuf::from(value)),
                     "--train" => {
@@ -518,6 +545,8 @@ fn usage() -> ! {
          \x20 --stats           print daemon counters\n\
          \x20 --shutdown        stop the daemon\n\
          options: --daemon ADDR --benchmark NAME --journal DIR --corpus PATH --cache PATH\n\
+         \x20 --from-recording DIR (dry-run: also fold a wire recording into the corpus)\n\
+         \x20 --admission uniform|novelty (corpus admission policy; default uniform)\n\
          \x20 --capacity N --min-new N --drift-rate X --min-drift-obs N --cooldown N\n\
          \x20 --mirror N --mirror-batch N --keep-segments --sleep-ms MS"
     );

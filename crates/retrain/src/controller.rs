@@ -26,14 +26,14 @@
 //!    drift monitor refuses the promote, and the cycle reports
 //!    [`CycleOutcome::Rejected`].
 
-use crate::corpus::CorpusStore;
+use crate::corpus::{AdmissionPolicy, CorpusStore};
 use crate::policy::{RetrainDecision, RetrainPolicy, RetrainReason};
 use intune_core::{codec, Benchmark, Error, FeatureVector, Result};
 use intune_daemon::DaemonClient;
 use intune_exec::{CostCache, Engine};
 use intune_learning::pipeline::{relearn_merged, TwoLevelResult};
 use intune_learning::TwoLevelOptions;
-use intune_serve::ModelArtifact;
+use intune_serve::{JournalRecord, ModelArtifact};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -66,6 +66,9 @@ pub struct RetrainConfig {
     /// Whether sealed, fully-absorbed journal segments are deleted after
     /// the corpus save (the journal's disk bound).
     pub remove_compacted: bool,
+    /// Corpus admission policy applied for this cycle's offers (runtime
+    /// behaviour only — never persisted in the corpus document).
+    pub admission: AdmissionPolicy,
 }
 
 impl RetrainConfig {
@@ -80,6 +83,7 @@ impl RetrainConfig {
             mirror_target: 64,
             mirror_batch: 64,
             remove_compacted: true,
+            admission: AdmissionPolicy::default(),
         }
     }
 }
@@ -166,6 +170,82 @@ fn compact_journal_impl(
         // everything older is sealed and now fully absorbed.
         if i != last {
             report.absorbed.push(path.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// What folding one wire recording into a corpus did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingCompaction {
+    /// Recording segment files scanned.
+    pub segments: u64,
+    /// Segments with a torn/corrupt tail (complete prefix still used).
+    pub torn_segments: u64,
+    /// Frames read (selection and control).
+    pub frames: u64,
+    /// Selection frames whose vectors were offered.
+    pub select_frames: u64,
+    /// Feature vectors offered to the corpus.
+    pub vectors: u64,
+    /// Vectors that created new corpus entries.
+    pub added: u64,
+    /// Vectors that merged into existing entries.
+    pub merged: u64,
+    /// Vectors rejected by the reservoir bound on arrival.
+    pub rejected: u64,
+}
+
+/// Folds a wire recording (`intune-datalog/1`, the daemon's `--record`
+/// tap) into `corpus`: every vector of every selection frame is offered,
+/// with its traced payload when one was shipped. A missing directory is
+/// an empty recording, not an error.
+///
+/// A recording captures *requests* — unlike a journal record it carries
+/// no served landmark, revision, or drift verdict — so synthesized
+/// records use neutral evidence (landmark 0, revision 0, never
+/// out-of-distribution) and are offered **quietly**: they feed dedup,
+/// statistics and the reservoir, but never the retrain policy's cycle
+/// evidence. Sequence numbers continue from the corpus's watermark, so
+/// re-compacting the same recording dedups by feature identity (merges)
+/// rather than by sequence.
+///
+/// # Errors
+/// Returns [`Error::Artifact`](intune_core::Error::Artifact) on
+/// unreadable segments.
+pub fn compact_recording(dir: &Path, corpus: &mut CorpusStore) -> Result<RecordingCompaction> {
+    let mut report = RecordingCompaction::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let recording = intune_datalog::load_recording(dir)?;
+    report.segments = recording.segments;
+    report.torn_segments = recording.torn_segments;
+    let mut seq = corpus.next_seq();
+    for frame in &recording.frames {
+        report.frames += 1;
+        let Some((features, payloads)) = frame.body.select_parts() else {
+            continue;
+        };
+        report.select_frames += 1;
+        for (i, features) in features.iter().enumerate() {
+            let record = JournalRecord {
+                seq,
+                revision: 0,
+                landmark: 0,
+                out_of_distribution: false,
+                fell_back: false,
+                features: features.clone(),
+                payload: payloads.get(i).filter(|v| !v.is_null()).cloned(),
+            };
+            seq += 1;
+            report.vectors += 1;
+            match corpus.offer_quiet(&record) {
+                crate::corpus::Offer::Added => report.added += 1,
+                crate::corpus::Offer::Merged => report.merged += 1,
+                crate::corpus::Offer::Rejected => report.rejected += 1,
+                crate::corpus::Offer::Stale => {}
+            }
         }
     }
     Ok(report)
@@ -380,6 +460,7 @@ where
     B::Input: Sync + Clone,
 {
     let mut corpus = CorpusStore::load_or_new(&cfg.corpus_path, cfg.capacity)?;
+    corpus.set_admission_policy(cfg.admission);
     let mut compaction = compact_journal(&cfg.journal_dir, &mut corpus)?;
     corpus.save(&cfg.corpus_path)?;
     if cfg.remove_compacted {
@@ -563,6 +644,76 @@ mod tests {
         let after = compact_journal(&jdir, &mut corpus).unwrap();
         assert_eq!(after.segments, 1, "only the active segment remains");
         std::fs::remove_dir_all(&jdir).ok();
+    }
+
+    #[test]
+    fn recording_compaction_folds_vectors_quietly_and_dedups_on_repeat() {
+        use intune_datalog::{FrameBody, RecordedFrame, RecordingOptions, RecordingWriter};
+
+        let rdir = tmp("recording");
+        let b = Synthetic;
+        let inputs = synthetic_corpus(6, 1);
+        let features: Vec<_> = inputs.iter().map(|i| b.extract_all(i)).collect();
+        let payloads: Vec<_> = inputs
+            .iter()
+            .map(|i| b.encode_input(i).expect("synthetic inputs encode"))
+            .collect();
+        let frame = |body| RecordedFrame {
+            seq: 0,
+            delta_micros: 0,
+            tenant: "synthetic".to_string(),
+            conn: 0,
+            body,
+        };
+        let mut w = RecordingWriter::open(&rdir, RecordingOptions::default()).unwrap();
+        w.append(frame(FrameBody::Control {
+            kind: "Hello".to_string(),
+        }))
+        .unwrap();
+        w.append(frame(FrameBody::Select {
+            features: features[..3].to_vec(),
+            payloads: payloads[..3].to_vec(),
+        }))
+        .unwrap();
+        // An untraced batch: vectors without payloads still feed stats.
+        w.append(frame(FrameBody::Select {
+            features: features[3..].to_vec(),
+            payloads: Vec::new(),
+        }))
+        .unwrap();
+        w.flush().unwrap();
+
+        let mut corpus = CorpusStore::new(64);
+        let report = compact_recording(&rdir, &mut corpus).unwrap();
+        assert_eq!(report.frames, 3);
+        assert_eq!(report.select_frames, 2, "the control frame is skipped");
+        assert_eq!(report.vectors, 6);
+        assert_eq!(report.added, 6);
+        assert_eq!(corpus.len(), 6);
+        let with_payload = corpus
+            .entries()
+            .iter()
+            .filter(|e| e.payload.is_some())
+            .count();
+        assert_eq!(with_payload, 3, "only the traced frame ships payloads");
+        assert_eq!(
+            corpus.evidence().offered,
+            0,
+            "recorded traffic carries no drift verdict and must stay out \
+             of the retrain policy's cycle evidence"
+        );
+
+        // Folding the same recording again dedups by feature identity:
+        // synthesized sequence numbers advance, so nothing reads stale.
+        let again = compact_recording(&rdir, &mut corpus).unwrap();
+        assert_eq!(again.added, 0);
+        assert_eq!(again.merged, 6);
+        assert_eq!(corpus.len(), 6);
+
+        // A missing directory is an empty recording, not an error.
+        let empty = compact_recording(&rdir.join("absent"), &mut corpus).unwrap();
+        assert_eq!(empty, RecordingCompaction::default());
+        std::fs::remove_dir_all(&rdir).ok();
     }
 
     #[test]

@@ -108,7 +108,33 @@ impl FeatureStat {
     }
 }
 
-/// What [`CorpusStore::offer`] did with one journal record.
+/// How the corpus draws reservoir priorities for newly-admitted entries.
+///
+/// A runtime-only knob, deliberately **not** persisted in the corpus
+/// document: the saved bytes of a corpus built under the default policy
+/// are identical to what every earlier version wrote, and a reloaded
+/// corpus defaults back to [`AdmissionPolicy::UniformHash`] until the
+/// operator opts in again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// The classic deterministic reservoir: priority is a pure hash of
+    /// the record's identity and sequence number, so every unique input
+    /// has an equal chance of surviving the capacity bound.
+    #[default]
+    UniformHash,
+    /// Novelty-weighted admission: the hash draw becomes the tiebreak
+    /// and the leading bits of the priority encode how far the record
+    /// sits from the per-slot streaming means (mean |z| over slots with
+    /// at least two observations and positive variance, measured
+    /// *before* the record updates the stats). Far-from-distribution
+    /// inputs outlive near-duplicates at a fixed capacity — the corpus
+    /// keeps the inputs retraining learns the most from. Records scored
+    /// while the statistics are immature (no qualifying slot) count as
+    /// maximally novel.
+    Novelty,
+}
+
+/// What happened to one journal record offered to the corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Offer {
     /// A new entry was added (possibly evicting another).
@@ -166,6 +192,8 @@ pub struct CorpusStore {
     doc: CorpusDoc,
     /// key → index into `doc.entries`; rebuilt on load and after evicts.
     index: HashMap<u64, usize>,
+    /// Runtime-only admission knob (see [`AdmissionPolicy`]).
+    policy: AdmissionPolicy,
 }
 
 impl CorpusStore {
@@ -187,6 +215,7 @@ impl CorpusStore {
                 entries: Vec::new(),
             },
             index: HashMap::new(),
+            policy: AdmissionPolicy::default(),
         }
     }
 
@@ -205,7 +234,11 @@ impl CorpusStore {
             .enumerate()
             .map(|(i, e)| (e.key, i))
             .collect();
-        Ok(CorpusStore { doc, index })
+        Ok(CorpusStore {
+            doc,
+            index,
+            policy: AdmissionPolicy::default(),
+        })
     }
 
     /// [`CorpusStore::load`] when `path` exists, otherwise a fresh corpus
@@ -268,6 +301,18 @@ impl CorpusStore {
         )
     }
 
+    /// Selects how new entries draw their reservoir priority. Applies to
+    /// offers from this point on; already-admitted entries keep the
+    /// priority they were admitted under.
+    pub fn set_admission_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
     /// Folds one journal record in (see module docs for dedup, reservoir
     /// and statistics semantics). Records whose sequence number was
     /// already absorbed are ignored ([`Offer::Stale`]), which makes
@@ -301,8 +346,15 @@ impl CorpusStore {
             }
         }
 
-        // Streaming per-slot statistics over every offered record.
+        // Novelty is scored against the statistics as they stood *before*
+        // this record — a record must not dilute its own distance.
         let dense = record.features.dense();
+        let novelty = match self.policy {
+            AdmissionPolicy::UniformHash => None,
+            AdmissionPolicy::Novelty => Some(novelty_score(&self.doc.stats, &dense)),
+        };
+
+        // Streaming per-slot statistics over every offered record.
         if self.doc.stats.is_empty() {
             self.doc.stats = vec![FeatureStat::empty(); dense.len()];
         }
@@ -333,7 +385,10 @@ impl CorpusStore {
         let entry = CorpusEntry {
             key,
             first_seq: record.seq,
-            priority: reservoir_priority(key, record.seq),
+            priority: match novelty {
+                None => reservoir_priority(key, record.seq),
+                Some(score) => novelty_priority(score, key, record.seq),
+            },
             count: 1,
             landmark: record.landmark,
             features: record.features.clone(),
@@ -477,6 +532,44 @@ fn reservoir_priority(key: u64, seq: u64) -> u64 {
     codec::fnv1a64(&bytes)
 }
 
+/// Distance of one dense vector from the corpus's streaming means: the
+/// mean absolute z-score over slots with at least two observations and
+/// positive variance. Infinite (maximally novel) when no slot qualifies
+/// — immature statistics must not condemn early records.
+fn novelty_score(stats: &[FeatureStat], dense: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut slots = 0u32;
+    for (stat, x) in stats.iter().zip(dense) {
+        if stat.count < 2 || !x.is_finite() {
+            continue;
+        }
+        let sd = stat.variance().sqrt();
+        if sd > 0.0 {
+            sum += ((x - stat.mean) / sd).abs();
+            slots += 1;
+        }
+    }
+    if slots == 0 {
+        f64::INFINITY
+    } else {
+        sum / f64::from(slots)
+    }
+}
+
+/// Novelty-weighted reservoir priority: the quantized score occupies the
+/// high 32 bits (inverted — eviction takes the *maximum* priority, so
+/// higher novelty must map lower) and the uniform hash draw survives in
+/// the low 32 bits as the deterministic tiebreak between equally-novel
+/// records.
+fn novelty_priority(score: f64, key: u64, seq: u64) -> u64 {
+    let quantized = if score.is_finite() {
+        (score * 1024.0).min(u32::MAX as f64) as u64
+    } else {
+        u64::from(u32::MAX)
+    };
+    ((u64::from(u32::MAX) - quantized) << 32) | (reservoir_priority(key, seq) & 0xffff_ffff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +650,65 @@ mod tests {
             s
         };
         assert_eq!(a, sorted, "entries stay in first-observation order");
+    }
+
+    #[test]
+    fn novelty_policy_displaces_near_duplicates_with_far_inputs() {
+        // A tight cluster of near-duplicate inputs fills the corpus,
+        // then a stream of far-from-distribution inputs arrives (each
+        // far from the cluster *and* from the previously-absorbed
+        // outliers, so every one scores novel at admission time).
+        let build = |policy: AdmissionPolicy| {
+            let mut c = CorpusStore::new(4);
+            c.set_admission_policy(policy);
+            for seq in 0..16 {
+                c.offer(&record(
+                    seq,
+                    1.0,
+                    100.0 + (seq % 8) as f64 * 0.25,
+                    false,
+                    true,
+                ));
+            }
+            for (i, seq) in (16u64..19).enumerate() {
+                let size = [1e4, 1e6, 1e8][i];
+                c.offer(&record(seq, 1.0, size, false, true));
+            }
+            c
+        };
+
+        let novel = build(AdmissionPolicy::Novelty);
+        assert_eq!(novel.len(), 4);
+        let outliers = novel
+            .entries()
+            .iter()
+            .filter(|e| e.features.dense()[1] >= 1e4)
+            .count();
+        // The first cluster records were admitted while the statistics
+        // were immature (maximally novel by definition), so up to two of
+        // them keep their protected slots; every other cluster member is
+        // displaced by the novel stream.
+        assert!(
+            outliers >= 2,
+            "novel inputs must displace near-duplicates, kept {outliers} of 3: {:?}",
+            novel
+                .entries()
+                .iter()
+                .map(|e| e.first_seq)
+                .collect::<Vec<_>>()
+        );
+        // Deterministic like the uniform reservoir: same stream, same
+        // survivors.
+        let again = build(AdmissionPolicy::Novelty);
+        assert_eq!(again.entries(), novel.entries());
+
+        // The default policy still assigns the pure hash draw, so an
+        // operator who never opts in gets byte-identical corpora to
+        // every earlier version.
+        let uniform = build(AdmissionPolicy::UniformHash);
+        for e in uniform.entries() {
+            assert_eq!(e.priority, reservoir_priority(e.key, e.first_seq));
+        }
     }
 
     #[test]

@@ -63,13 +63,14 @@ pub mod policy;
 pub use intune_serve::journal;
 
 pub use controller::{
-    compact_journal, input_fingerprint, load_warm_cache, remove_segments, retrain_from_corpus,
-    run_cycle, save_warm_cache, CompactionReport, CycleOutcome, CycleReport, RetrainConfig,
-    RetrainStats, RetrainedModel, RETRAIN_CACHE_SCHEMA, RETRAIN_CACHE_VERSION,
+    compact_journal, compact_recording, input_fingerprint, load_warm_cache, remove_segments,
+    retrain_from_corpus, run_cycle, save_warm_cache, CompactionReport, CycleOutcome, CycleReport,
+    RecordingCompaction, RetrainConfig, RetrainStats, RetrainedModel, RETRAIN_CACHE_SCHEMA,
+    RETRAIN_CACHE_VERSION,
 };
 pub use corpus::{
-    feature_key, CorpusEntry, CorpusStore, CycleEvidence, FeatureStat, Offer, CORPUS_SCHEMA,
-    CORPUS_VERSION,
+    feature_key, AdmissionPolicy, CorpusEntry, CorpusStore, CycleEvidence, FeatureStat, Offer,
+    CORPUS_SCHEMA, CORPUS_VERSION,
 };
 pub use policy::{RetrainDecision, RetrainPolicy, RetrainReason};
 

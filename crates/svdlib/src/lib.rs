@@ -128,6 +128,39 @@ impl Benchmark for SvdBench {
         }
         fv
     }
+
+    fn encode_input(&self, input: &Self::Input) -> Option<serde_json::Value> {
+        use serde::Serialize as _;
+        let a = &input.matrix;
+        Some(serde_json::Value::Object(vec![
+            ("rows".to_string(), serde_json::Value::UInt(a.rows() as u64)),
+            ("cols".to_string(), serde_json::Value::UInt(a.cols() as u64)),
+            (
+                "data".to_string(),
+                serde_json::Value::Array(a.data().iter().map(|v| v.to_value()).collect()),
+            ),
+        ]))
+    }
+
+    fn decode_input(&self, payload: &serde_json::Value) -> Option<Self::Input> {
+        use serde::Deserialize as _;
+        let rows = usize::try_from(payload.get("rows")?.as_u64()?).ok()?;
+        let cols = usize::try_from(payload.get("cols")?.as_u64()?).ok()?;
+        let data = payload
+            .get("data")?
+            .as_array()?
+            .iter()
+            .map(|v| f64::from_value(v).ok())
+            .collect::<Option<Vec<f64>>>()?;
+        // Validate the shape before `Matrix::from_rows` (which panics on
+        // a rows×cols/data mismatch — a decoder must reject, not panic).
+        if rows.checked_mul(cols)? != data.len() || rows == 0 || cols == 0 {
+            return None;
+        }
+        Some(SvdInput {
+            matrix: Matrix::from_rows(rows, cols, &data),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +264,62 @@ mod tests {
     #[test]
     fn accuracy_threshold_is_papers() {
         assert_eq!(SvdBench::new().accuracy().unwrap().threshold, 0.7);
+    }
+
+    #[test]
+    fn inputs_round_trip_through_journal_codec_bit_exactly() {
+        let b = SvdBench::new();
+        // A generated matrix plus a hand-built one of adversarial values:
+        // negative zero, a subnormal, a value with no short decimal form,
+        // and huge magnitudes (kept below sqrt(f64::MAX) so the feature
+        // probes' sums of squares stay finite — NaN features would void
+        // the bit-for-bit comparison below).
+        let adversarial = SvdInput {
+            matrix: Matrix::from_rows(
+                3,
+                2,
+                &[-0.0, f64::MIN_POSITIVE / 2.0, 0.1 + 0.2, 1e150, -1e150, 1.0],
+            ),
+        };
+        for input in [low_rank_input(), adversarial] {
+            let encoded = b.encode_input(&input).expect("svd journals");
+            // Through the actual wire representation, not just the Value
+            // tree.
+            let text = serde_json::to_string(&encoded).unwrap();
+            let reparsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+            let decoded = b.decode_input(&reparsed).expect("codec round-trips");
+            assert_eq!(decoded.matrix.rows(), input.matrix.rows());
+            assert_eq!(decoded.matrix.cols(), input.matrix.cols());
+            for (a, c) in input.matrix.data().iter().zip(decoded.matrix.data()) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+            // Identical treatment: same features, bit for bit.
+            assert_eq!(
+                b.extract_all(&input).dense(),
+                b.extract_all(&decoded).dense()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        let b = SvdBench::new();
+        for text in [
+            "null",
+            "{}",
+            // Shape/data mismatch (would panic in Matrix::from_rows).
+            r#"{"rows": 2, "cols": 2, "data": [1.0, 2.0, 3.0]}"#,
+            // Degenerate dimensions.
+            r#"{"rows": 0, "cols": 0, "data": []}"#,
+            // Missing field.
+            r#"{"rows": 1, "cols": 1}"#,
+            // Non-numeric entry.
+            r#"{"rows": 1, "cols": 1, "data": ["x"]}"#,
+            // Negative dimension.
+            r#"{"rows": -1, "cols": 1, "data": [1.0]}"#,
+        ] {
+            let payload: serde_json::Value = serde_json::from_str(text).unwrap();
+            assert!(b.decode_input(&payload).is_none(), "accepted {text}");
+        }
     }
 }

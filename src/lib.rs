@@ -22,6 +22,8 @@
 //!   drift monitoring, and the request journal
 //! * [`daemon`] — the long-running selection daemon (`intune-wire/1`),
 //!   hot artifact reload and shadow evaluation
+//! * [`datalog`] — wire-traffic record/replay: segmented capture of
+//!   daemon request traffic, deterministic playback, divergence reports
 //! * [`retrain`] — continuous learning: journal compaction, the
 //!   persistent input corpus, and drift-triggered retraining that pushes
 //!   artifact revisions into a live daemon
@@ -41,6 +43,7 @@ pub use intune_binpacklib as binpacklib;
 pub use intune_clusterlib as clusterlib;
 pub use intune_core as core;
 pub use intune_daemon as daemon;
+pub use intune_datalog as datalog;
 pub use intune_eval as eval;
 pub use intune_exec as exec;
 pub use intune_learning as learning;

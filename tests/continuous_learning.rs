@@ -19,8 +19,8 @@ use intune_exec::Engine;
 use intune_learning::pipeline::learn;
 use intune_learning::{Level1Options, TwoLevelOptions};
 use intune_retrain::{
-    compact_journal, retrain_from_corpus, run_cycle, CorpusStore, CycleOutcome, RetrainConfig,
-    RetrainPolicy,
+    compact_journal, retrain_from_corpus, run_cycle, AdmissionPolicy, CorpusStore, CycleOutcome,
+    RetrainConfig, RetrainPolicy,
 };
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::path::PathBuf;
@@ -225,6 +225,7 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
         mirror_target: 24,
         mirror_batch: 8,
         remove_compacted: true,
+        admission: AdmissionPolicy::default(),
     };
     let report = run_cycle(&b, &base, &opts, &engine, &cfg, &client).expect("cycle runs");
     assert_eq!(report.compaction.records, 24);
