@@ -26,6 +26,7 @@ use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
 use intune_learning::pipeline::learn;
 use intune_learning::TwoLevelOptions;
+use intune_obs::{Histogram, LatencySummary};
 use intune_serve::{ModelArtifact, ServeOptions, ARTIFACT_VERSION};
 use serde_json::Value;
 use std::time::Instant;
@@ -47,6 +48,14 @@ pub struct DaemonBenchConfig {
 }
 
 /// Frame round-trip latency distribution over every recorded sample.
+///
+/// Backed by [`intune_obs::Histogram`] — the same log-bucketed,
+/// wait-free histogram the daemon records its own stage timings into
+/// (16 sub-buckets per power of two, ≤6.25% relative bucket error; the
+/// bucket scheme and its readout are pinned by `intune_obs` unit
+/// tests). Clients record nanoseconds concurrently with no sorting or
+/// post-hoc merge; quantiles are nearest-rank over the bucket counts
+/// and the max is tracked exactly.
 #[derive(Debug, Clone, Copy)]
 pub struct LatencyHistogram {
     /// Number of samples behind the percentiles (one per frame).
@@ -64,15 +73,17 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    /// Nearest-rank percentiles of an ascending-sorted sample set.
-    fn from_sorted(sorted: &[f64]) -> LatencyHistogram {
+    /// Quantile readout of everything recorded into `histogram`.
+    fn of(histogram: &Histogram) -> LatencyHistogram {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let summary = LatencySummary::of(&histogram.snapshot());
         LatencyHistogram {
-            count: sorted.len() as u64,
-            p50_ms: percentile(sorted, 0.50),
-            p90_ms: percentile(sorted, 0.90),
-            p99_ms: percentile(sorted, 0.99),
-            p999_ms: percentile(sorted, 0.999),
-            max_ms: sorted.last().copied().unwrap_or(0.0),
+            count: summary.count,
+            p50_ms: ms(summary.p50_ns),
+            p90_ms: ms(summary.p90_ns),
+            p99_ms: ms(summary.p99_ns),
+            p999_ms: ms(summary.p999_ns),
+            max_ms: ms(summary.max_ns),
         }
     }
 }
@@ -223,14 +234,18 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
     // protocol directly with a request body encoded **once** — a load
     // generator re-serializing the identical batch every iteration
     // measures its own JSON printer, not the daemon. Responses are still
-    // fully decoded and checked per frame.
+    // fully decoded and checked per frame. Every client records each
+    // frame's round trip straight into one shared wait-free histogram —
+    // no per-thread sample vectors, no post-hoc sort/merge.
     let ready = std::sync::Barrier::new(cfg.clients + 1);
+    let latency = Histogram::new();
     let mut start = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
                 let addr = &addr;
                 let ready = &ready;
+                let latency = &latency;
                 let name = &tenant_names[i % cfg.cases.len()];
                 let features = &tenant_features[i % cfg.cases.len()];
                 scope.spawn(move || {
@@ -252,7 +267,6 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                     }
                     let body = protocol::encode_select_batch(features);
                     ready.wait();
-                    let mut lat = Vec::with_capacity(cfg.batches_per_client);
                     for _ in 0..cfg.batches_per_client {
                         let t = Instant::now();
                         protocol::write_frame(&mut stream, &body).expect("send batch");
@@ -260,7 +274,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                             .recv(&mut stream)
                             .expect("batch reply")
                             .expect("connection open");
-                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        latency.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         match reply {
                             protocol::Response::Selections { selections } => {
                                 assert_eq!(selections.len(), features.len());
@@ -268,19 +282,16 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
                             other => panic!("unexpected batch reply: {other:?}"),
                         }
                     }
-                    lat
                 })
             })
             .collect();
         ready.wait();
         start = Instant::now();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
     });
     let wall = start.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
     // Per-tenant accounting, promotes, and the final shutdown (sent once;
     // the daemon is one process).
@@ -324,7 +335,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
         } else {
             0.0
         },
-        latency: LatencyHistogram::from_sorted(&latencies),
+        latency: LatencyHistogram::of(&latency),
         tenants,
     }
 }
@@ -383,15 +394,6 @@ pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> S
         ("tenants", report::obj(tenants)),
     ]);
     report::render(&doc)
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -464,10 +466,24 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&xs, 0.5), 2.0);
-        assert_eq!(percentile(&xs, 0.95), 4.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    fn latency_histogram_readout_matches_obs_summary() {
+        // The bench's ms-facing view is a unit conversion over the
+        // shared obs histogram, nothing more: max is exact, quantiles
+        // are the obs nearest-rank readout.
+        let h = Histogram::new();
+        for ns in [1_000_000u64, 2_000_000, 3_000_000, 4_000_000] {
+            h.record(ns);
+        }
+        let lat = LatencyHistogram::of(&h);
+        assert_eq!(lat.count, 4);
+        assert_eq!(lat.max_ms, 4.0, "max tracked exactly");
+        assert!(lat.p50_ms <= lat.p90_ms && lat.p90_ms <= lat.p99_ms);
+        assert!(lat.p999_ms <= lat.max_ms);
+        // ≤6.25% bucket error around the true 2ms median.
+        assert!((lat.p50_ms - 2.0).abs() / 2.0 <= 0.0625, "{}", lat.p50_ms);
+
+        let empty = LatencyHistogram::of(&Histogram::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max_ms, 0.0);
     }
 }

@@ -122,10 +122,16 @@ impl CaseVisitor for RetrainVisitor<'_> {
             .collect();
         save_warm_cache(&cache_path, &prints, &result.level1.cache)?;
 
+        // One in-process lifecycle log shared by the daemon and the
+        // retrain controller: the cycle's RetrainCycle event interleaves
+        // with the ShadowStaged/Promoted events it causes.
+        let events_path = dir.join("events.log");
+        let events = Arc::new(intune_obs::EventLog::open(&events_path)?);
         let sink = Arc::new(JournalSink::open(&journal_dir, JournalOptions::default())?);
         let daemon = Daemon::bind(
             artifact,
             DaemonOptions {
+                events: Some(events.clone()),
                 serve: ServeOptions {
                     threads: cfg.threads,
                     drift_threshold: 1.0,
@@ -205,6 +211,7 @@ impl CaseVisitor for RetrainVisitor<'_> {
             mirror_batch: test.len().max(1),
             remove_compacted: true,
             admission: AdmissionPolicy::default(),
+            events: Some(events.clone()),
         };
         let start = Instant::now();
         let report = run_cycle(benchmark, train, opts, engine, &retrain_cfg, &control)?;
@@ -222,6 +229,31 @@ impl CaseVisitor for RetrainVisitor<'_> {
 
         control.shutdown().expect("shutdown");
         handle.join().expect("daemon exit");
+
+        // The shared lifecycle log must tell the cycle's whole story:
+        // the controller's stage, the gate's promote, and the cycle's
+        // own outcome record.
+        let logged = intune_obs::read_events(&events_path)?.events;
+        let cycle = logged
+            .iter()
+            .find_map(|e| match &e.kind {
+                intune_obs::EventKind::RetrainCycle { outcome, .. } => Some(outcome.as_str()),
+                _ => None,
+            })
+            .expect("cycle journaled");
+        assert_eq!(cycle, "promoted", "events: {logged:?}");
+        assert!(
+            logged
+                .iter()
+                .any(|e| matches!(e.kind, intune_obs::EventKind::ShadowStaged { .. })),
+            "push journaled: {logged:?}"
+        );
+        assert!(
+            logged
+                .iter()
+                .any(|e| matches!(e.kind, intune_obs::EventKind::Promoted { .. })),
+            "promote journaled: {logged:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
 
         let corpus_entries = report.compaction.added;

@@ -6,6 +6,7 @@
 //!     [--listen 127.0.0.1:0] \
 //!     [--uds /tmp/intune.sock] [--journal DIR] [--journal-segment N] \
 //!     [--record DIR] [--record-segment N] \
+//!     [--metrics 127.0.0.1:0] [--events events.log] \
 //!     [--threads N] [--probe-every N] \
 //!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
 //!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
@@ -41,6 +42,7 @@
 
 use intune_daemon::{Daemon, DaemonOptions, ListenConfig, TenantSpec};
 use intune_datalog::{RecorderSink, RecordingOptions};
+use intune_obs::EventLog;
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -82,6 +84,13 @@ fn main() {
                     "--record-segment" => record_segment = parse(flag, value),
                     "--listen" => listen.tcp = value.clone(),
                     "--uds" => listen.uds = Some(PathBuf::from(value)),
+                    "--metrics" => listen.metrics = Some(value.clone()),
+                    "--events" => {
+                        let log = EventLog::open(Path::new(value))
+                            .unwrap_or_else(|e| die(&e.to_string()));
+                        eprintln!("journaling lifecycle events to {value}");
+                        opts.events = Some(Arc::new(log));
+                    }
                     "--threads" => opts.serve.threads = parse(flag, value),
                     "--probe-every" => opts.serve.probe_every = parse(flag, value),
                     "--radius-factor" => opts.serve.radius_factor = parse(flag, value),
@@ -150,6 +159,10 @@ fn main() {
     opts.shadow_serve.threads = opts.serve.threads;
     let daemon = Daemon::bind_tenants(specs, opts, &listen).unwrap_or_else(|e| die(&e.to_string()));
     println!("listening on {}", daemon.tcp_addr());
+    if let Some(addr) = daemon.metrics_addr() {
+        // On stdout like the wire line: scripts scrape the resolved port.
+        println!("metrics on {addr}");
+    }
     if let Some(path) = &listen.uds {
         eprintln!("also listening on unix:{}", path.display());
     }
@@ -194,6 +207,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: intune_daemon --artifact PATH [--artifact PATH ...] \
          [--listen ADDR] [--uds PATH] \
+         [--metrics ADDR] [--events PATH] \
          [--journal DIR] [--journal-segment N] \
          [--record DIR] [--record-segment N] \
          [--threads N] [--probe-every N] [--radius-factor X] \

@@ -8,7 +8,7 @@
 //! daemon in place of the in-process production classifier — and prove
 //! the answers byte-identical.
 
-use crate::protocol::{self, DaemonStats, Request, Response};
+use crate::protocol::{self, DaemonStats, MetricsSnapshot, Request, Response};
 use intune_core::{Error, FeatureVector, Result};
 use intune_learning::pipeline::SelectionBackend;
 use intune_serve::{ModelArtifact, Selection};
@@ -282,6 +282,21 @@ impl DaemonClient {
         match self.roundtrip(&Request::Stats)? {
             Response::StatsReply { stats } => Ok(stats),
             other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Fetches the daemon-wide observability snapshot: per-tenant
+    /// request counters and latency percentiles, event-loop stage
+    /// timings, and event-log counters. Unlike [`DaemonClient::stats`]
+    /// the reply covers every tenant, not just the one this connection
+    /// is bound to.
+    ///
+    /// # Errors
+    /// Returns [`Error::Wire`] on transport failure.
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::MetricsReply { metrics } => Ok(metrics),
+            other => Err(unexpected("MetricsReply", &other)),
         }
     }
 

@@ -57,8 +57,8 @@ pub mod shadow;
 
 pub use client::{DaemonClient, ServerInfo};
 pub use protocol::{
-    DaemonStats, Fill, FrameReader, LandmarkAgreement, Request, Response, ShadowStats,
-    MAX_FRAME_BYTES, WIRE_VERSION,
+    DaemonStats, Fill, FrameReader, LandmarkAgreement, MetricsSnapshot, Request, Response,
+    ShadowStats, StageTimings, TenantMetrics, MAX_FRAME_BYTES, WIRE_VERSION,
 };
 pub use registry::TenantSpec;
 pub use server::{Daemon, DaemonHandle, DaemonOptions, ListenConfig, SERVER_NAME};
@@ -808,6 +808,7 @@ mod tests {
             &ListenConfig {
                 tcp: "127.0.0.1:0".to_string(),
                 uds: Some(path.clone()),
+                ..ListenConfig::default()
             },
         )
         .unwrap();
@@ -819,5 +820,176 @@ mod tests {
         client.shutdown().unwrap();
         handle.join().unwrap();
         assert!(!path.exists(), "socket file cleaned up on exit");
+    }
+
+    #[test]
+    fn metrics_wire_request_reports_tenant_counters_and_stage_timings() {
+        let (handle, client) = start(DaemonOptions::default());
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        client.select_batch(&batch).unwrap();
+        client.select_batch(&batch).unwrap();
+
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.tenants.len(), 1);
+        let tenant = &metrics.tenants[0];
+        assert_eq!(tenant.benchmark, "daemon-test");
+        assert_eq!(tenant.revision, 1);
+        assert_eq!(tenant.requests, 2);
+        assert_eq!(tenant.selections, 16);
+        assert_eq!(tenant.latency.count, 2);
+        assert!(tenant.latency.p50_ns > 0);
+        assert!(tenant.latency.max_ns >= tenant.latency.p999_ns);
+
+        // Stage histograms: two select frames were decoded, selected,
+        // encoded, and flushed (plus the handshake/metrics control
+        // frames on decode/encode).
+        assert_eq!(metrics.stages.select.count, 2);
+        assert!(metrics.stages.decode.count >= 2);
+        assert!(metrics.stages.encode.count >= 2);
+        assert!(metrics.stages.queued_write.count >= 2);
+        assert!(metrics.connections >= 1);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn http_scrape_exposes_per_tenant_series() {
+        use std::io::{Read as _, Write as _};
+        let specs = vec![
+            TenantSpec {
+                artifact: named_artifact("alpha", 1),
+                trace: None,
+                recorder: None,
+            },
+            TenantSpec {
+                artifact: named_artifact("beta", 1),
+                trace: None,
+                recorder: None,
+            },
+        ];
+        let listen = ListenConfig {
+            metrics: Some("127.0.0.1:0".to_string()),
+            ..ListenConfig::default()
+        };
+        let daemon = Daemon::bind_tenants(specs, DaemonOptions::default(), &listen).unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        let scrape_addr = daemon.metrics_addr().expect("metrics listener bound");
+        let handle = daemon.spawn();
+
+        let alpha = DaemonClient::connect_to(&addr, "alpha").unwrap();
+        let beta = DaemonClient::connect_to(&addr, "beta").unwrap();
+        let batch: Vec<FeatureVector> = (0..4).map(|i| vector(i as f64)).collect();
+        alpha.select_batch(&batch).unwrap();
+        alpha.select_batch(&batch).unwrap();
+        beta.select_batch(&batch).unwrap();
+
+        // A plain HTTP/1.0 scrape on the separate metrics listener,
+        // served by the same poll loop that is serving wire traffic.
+        let mut sock = std::net::TcpStream::connect(scrape_addr).unwrap();
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        sock.read_to_string(&mut body).unwrap();
+
+        assert!(body.starts_with("HTTP/1.0 200 OK\r\n"), "{body}");
+        assert!(
+            body.contains("Content-Type: text/plain; version=0.0.4"),
+            "{body}"
+        );
+        assert!(
+            body.contains("intune_requests_total{tenant=\"alpha\"} 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("intune_requests_total{tenant=\"beta\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("intune_selections_total{tenant=\"alpha\"} 8"),
+            "{body}"
+        );
+        assert!(
+            body.contains("intune_request_seconds{tenant=\"alpha\",quantile=\"0.99\"}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("intune_stage_seconds{stage=\"select\",quantile=\"0.5\"}"),
+            "{body}"
+        );
+        assert!(body.contains("intune_tenants 2"), "{body}");
+
+        alpha.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn lifecycle_events_are_journaled_through_promote() {
+        use intune_obs::{read_events, EventKind, EventLog};
+        let path =
+            std::env::temp_dir().join(format!("intune-daemon-events-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = DaemonOptions {
+            shadow: ShadowPolicy {
+                min_mirrored: 8,
+                min_agreement: 0.99,
+            },
+            events: Some(std::sync::Arc::new(EventLog::open(&path).unwrap())),
+            ..DaemonOptions::default()
+        };
+        let (handle, client) = start(opts);
+        client.load_artifact(&artifact(2)).unwrap();
+        let batch: Vec<FeatureVector> = (0..8).map(|i| vector(i as f64)).collect();
+        client.select_batch(&batch).unwrap();
+        assert_eq!(client.promote().unwrap(), 2);
+        // A Metrics wire request heartbeats each tenant's latency
+        // summary into the log.
+        client.metrics().unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        let scan = read_events(&path).unwrap();
+        assert!(scan.torn.is_none(), "clean shutdown leaves no torn tail");
+        let events = scan.events;
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::TenantBound { .. })
+                    && e.tenant == "daemon-test"
+                    && e.revision == 1),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e.kind, EventKind::ShadowStaged { trained_inputs: 8 })
+                    && e.revision == 2
+            ),
+            "{events:?}"
+        );
+        let promoted = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Promoted { .. }))
+            .expect("promote journaled");
+        assert_eq!(promoted.tenant, "daemon-test");
+        assert_eq!(promoted.revision, 2);
+        let EventKind::Promoted {
+            mirrored,
+            agreed,
+            agreement_rate,
+        } = &promoted.kind
+        else {
+            unreachable!()
+        };
+        assert_eq!(*mirrored, 8);
+        assert_eq!(*agreed, 8);
+        assert_eq!(*agreement_rate, 1.0);
+        let heartbeat = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::LatencySnapshot { .. }))
+            .expect("metrics request heartbeats latency");
+        let EventKind::LatencySnapshot { latency } = &heartbeat.kind else {
+            unreachable!()
+        };
+        assert_eq!(latency.count, 1, "one select frame before the snapshot");
+        let _ = std::fs::remove_file(&path);
     }
 }

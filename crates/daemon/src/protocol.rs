@@ -35,6 +35,7 @@
 //! [`intune_core::Error::Wire`].
 
 use intune_core::{codec, Error, FeatureVector, Result};
+use intune_obs::LatencySummary;
 use intune_serve::{Selection, ServeStats};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -90,6 +91,14 @@ pub enum Request {
     },
     /// Requests the daemon's counter snapshot.
     Stats,
+    /// Requests the daemon-wide observability snapshot: per-tenant
+    /// request counters and latency percentiles, event-loop stage-timing
+    /// histograms, and event-log counters. Unlike [`Request::Stats`]
+    /// this is **not** routed through the connection's tenant binding —
+    /// the reply covers every tenant, so a monitoring connection need
+    /// not `Hello` first. The same snapshot is what `--metrics` renders
+    /// as Prometheus text.
+    Metrics,
     /// Stages a candidate model artifact (a full
     /// `intune-model-artifact` document, any readable schema version) as
     /// the **shadow**: mirrored on every subsequent `SelectBatch`, never
@@ -137,6 +146,11 @@ pub enum Response {
     StatsReply {
         /// The daemon's counters.
         stats: DaemonStats,
+    },
+    /// Observability snapshot, answering [`Request::Metrics`].
+    MetricsReply {
+        /// The daemon-wide metrics snapshot.
+        metrics: MetricsSnapshot,
     },
     /// Shadow staged.
     Loaded {
@@ -213,8 +227,71 @@ pub struct DaemonStats {
     /// Request frames captured into this tenant's wire recording since
     /// startup (0 when the tenant runs without a recorder).
     pub recorded: u64,
+    /// Request frames the wire recorder **dropped** (encode failure or a
+    /// torn sink) since startup — nonzero means the recording is not a
+    /// faithful transcript (0 without a recorder).
+    pub recorded_dropped: u64,
     /// Benchmarks registered in the daemon's artifact registry.
     pub tenants: u64,
+    /// This tenant's end-to-end request latency (full frame service
+    /// time, decode through reply queueing), as percentiles over the
+    /// daemon's log-bucketed histogram.
+    pub latency: LatencySummary,
+}
+
+/// Event-loop stage timings: where a request frame's wall time goes.
+/// Each stage is a [`LatencySummary`] over the daemon-wide histogram for
+/// that stage (stages are per-loop, not per-tenant — the loop is shared).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Frame decode: checksum + payload parse into a [`Request`].
+    pub decode: LatencySummary,
+    /// Request handling: selection (or lifecycle work) producing the
+    /// reply message.
+    pub select: LatencySummary,
+    /// Reply encode: message serialization + frame assembly.
+    pub encode: LatencySummary,
+    /// Queued write: draining the connection's outbox to the socket.
+    pub queued_write: LatencySummary,
+}
+
+/// One tenant's slice of the [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// `Benchmark::name()` — the tenant key.
+    pub benchmark: String,
+    /// Rollout revision of the tenant's current primary.
+    pub revision: u64,
+    /// Selection request frames served for this tenant.
+    pub requests: u64,
+    /// Individual selections answered (a batch of B counts B).
+    pub selections: u64,
+    /// End-to-end request latency percentiles for this tenant.
+    pub latency: LatencySummary,
+    /// Shadows promoted to primary since startup.
+    pub promotions: u64,
+    /// Shadows auto-rejected by the drift monitor since startup.
+    pub shadow_rejections: u64,
+}
+
+/// The daemon-wide observability snapshot: what [`Request::Metrics`]
+/// returns and what the `--metrics` HTTP listener renders as Prometheus
+/// text.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Event-loop stage timings, daemon-wide.
+    pub stages: StageTimings,
+    /// Per-tenant counters and latency, in registration order.
+    pub tenants: Vec<TenantMetrics>,
+    /// Connections accepted since startup (wire connections; metrics
+    /// scrapes are not counted).
+    pub connections: u64,
+    /// Lifecycle events durably appended to the event log (0 without
+    /// `--events`).
+    pub events_appended: u64,
+    /// Lifecycle events dropped on encode/write failure (0 without
+    /// `--events`).
+    pub events_dropped: u64,
 }
 
 /// Encodes a message into its frame payload (compact JSON).

@@ -13,6 +13,7 @@ use crate::shadow::ShadowState;
 use arc_swap::ArcSwap;
 use intune_core::{Error, Result};
 use intune_datalog::RecorderSink;
+use intune_obs::{Counter, EventLog, Histogram};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
@@ -55,6 +56,21 @@ pub(crate) struct ShadowSlot {
     pub(crate) staged_seq: u64,
 }
 
+/// One tenant's wait-free metrics, recorded on the select hot path.
+/// They live *beside* the swappable primary, not inside it, so a
+/// promotion never resets the tenant's request history and recording
+/// never races the pointer store.
+#[derive(Debug, Default)]
+pub(crate) struct TenantObs {
+    /// Selection request frames served (one per `SelectBatch` frame).
+    pub(crate) requests: Counter,
+    /// Individual selections answered (a batch of B counts B).
+    pub(crate) selections: Counter,
+    /// End-to-end request latency in nanoseconds: frame decode through
+    /// reply queueing.
+    pub(crate) latency: Histogram,
+}
+
 /// One benchmark's serving state inside the daemon.
 pub(crate) struct Tenant {
     /// `Benchmark::name()` — the registry key and the `Hello` routing
@@ -72,6 +88,8 @@ pub(crate) struct Tenant {
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
     /// This tenant's wire-traffic recorder (the `--record` tap).
     pub(crate) recorder: Option<Arc<RecorderSink>>,
+    /// Per-tenant request metrics (counters + latency histogram).
+    pub(crate) obs: TenantObs,
 }
 
 /// Benchmark name → tenant, in registration order.
@@ -90,7 +108,11 @@ impl ArtifactRegistry {
     /// # Errors
     /// Returns [`Error::Artifact`] for an inconsistent artifact and
     /// [`Error::Wire`] for an empty registry or a duplicate benchmark.
-    pub(crate) fn build(specs: Vec<TenantSpec>, serve: &ServeOptions) -> Result<Self> {
+    pub(crate) fn build(
+        specs: Vec<TenantSpec>,
+        serve: &ServeOptions,
+        events: Option<&Arc<EventLog>>,
+    ) -> Result<Self> {
         if specs.is_empty() {
             return Err(Error::wire("a daemon needs at least one tenant artifact"));
         }
@@ -104,6 +126,10 @@ impl ArtifactRegistry {
             }
             let mut primary = VectorService::new(spec.artifact, serve.clone())?;
             primary.set_trace(spec.trace.clone());
+            // The event log follows the primary role (drift trips and
+            // fallback transitions are journaled per tenant); promoted
+            // successors re-attach it in `handle_promote`.
+            primary.set_events(events.cloned());
             tenants.push(Arc::new(Tenant {
                 name,
                 primary: ArcSwap::from_pointee(primary),
@@ -115,9 +141,15 @@ impl ArtifactRegistry {
                 promotions: AtomicU64::new(0),
                 trace: spec.trace,
                 recorder: spec.recorder,
+                obs: TenantObs::default(),
             }));
         }
         Ok(ArtifactRegistry { tenants })
+    }
+
+    /// Every tenant, in registration order — the `Metrics` snapshot walk.
+    pub(crate) fn tenants(&self) -> &[Arc<Tenant>] {
+        &self.tenants
     }
 
     /// Registered benchmark count.

@@ -33,11 +33,14 @@
 //! registered connection before exiting — no peer is left holding a
 //! half-open socket waiting for a FIN that never comes.
 
-use crate::protocol::{self, DaemonStats, Fill, Request, Response};
+use crate::protocol::{
+    self, DaemonStats, Fill, MetricsSnapshot, Request, Response, StageTimings, TenantMetrics,
+};
 use crate::registry::{ArtifactRegistry, Tenant, TenantSpec};
 use crate::shadow::{ShadowPolicy, ShadowState};
 use intune_core::{Error, FeatureVector, Result};
 use intune_datalog::FrameBody;
+use intune_obs::{EventKind, EventLog, Histogram, LatencySummary, TextExposition};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
 use mio::unix::SourceFd;
 use mio::{Events, Interest, Poll, Token};
@@ -51,7 +54,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Locks a mutex, recovering from poisoning. Every daemon mutex guards
 /// state that stays structurally valid across a panic (staged-shadow
@@ -71,8 +74,13 @@ pub const DEFAULT_MAX_OUTBOUND_BYTES: usize = 8 << 20;
 
 const TCP_LISTENER: Token = Token(0);
 const UDS_LISTENER: Token = Token(1);
-/// Connection tokens are `CONN_BASE + slab index`.
-const CONN_BASE: usize = 2;
+/// The optional `--metrics` plain-HTTP scrape listener.
+const METRICS_LISTENER: Token = Token(2);
+/// Connection tokens interleave the two connection kinds on an even/odd
+/// split: wire connection `idx` is `CONN_BASE + 2*idx`, metrics (HTTP)
+/// connection `idx` is `CONN_BASE + 2*idx + 1`. The two slabs stay
+/// independent — neither renumbers when the other grows.
+const CONN_BASE: usize = 3;
 /// Events delivered per poll call; level triggering makes the cap a
 /// latency knob, never a lost wakeup.
 const EVENTS_PER_POLL: usize = 256;
@@ -125,6 +133,12 @@ pub struct DaemonOptions {
     /// the slow reader is disconnected — backpressure instead of
     /// unbounded buffering.
     pub max_outbound_bytes: usize,
+    /// Optional structured event log (the `--events` journal): tenant
+    /// binds, shadow stages, promotions and rejections with their gating
+    /// counters, drift trips, and fallback recoveries are appended as
+    /// crash-tolerant records. Shared by every tenant (each event is
+    /// keyed by tenant and revision).
+    pub events: Option<Arc<EventLog>>,
 }
 
 impl Default for DaemonOptions {
@@ -137,6 +151,7 @@ impl Default for DaemonOptions {
             record: None,
             inject_faults: false,
             max_outbound_bytes: DEFAULT_MAX_OUTBOUND_BYTES,
+            events: None,
         }
     }
 }
@@ -151,6 +166,7 @@ impl std::fmt::Debug for DaemonOptions {
             .field("record", &self.record.as_ref().map(|_| "<sink>"))
             .field("inject_faults", &self.inject_faults)
             .field("max_outbound_bytes", &self.max_outbound_bytes)
+            .field("events", &self.events.as_ref().map(|_| "<log>"))
             .finish()
     }
 }
@@ -163,6 +179,11 @@ pub struct ListenConfig {
     /// Optional Unix-domain socket path (a stale socket file at this
     /// path is removed before binding).
     pub uds: Option<PathBuf>,
+    /// Optional metrics bind address: a plain HTTP/1.0 responder on a
+    /// separate listener in the same poll loop, answering every request
+    /// with the Prometheus text exposition of the daemon's metrics
+    /// snapshot (what `Request::Metrics` returns over the wire).
+    pub metrics: Option<String>,
 }
 
 impl Default for ListenConfig {
@@ -170,16 +191,52 @@ impl Default for ListenConfig {
         ListenConfig {
             tcp: "127.0.0.1:0".to_string(),
             uds: None,
+            metrics: None,
         }
     }
 }
 
+/// The daemon's own observability state: stage-timing histograms for the
+/// event loop (shared across tenants — the loop is shared) and the
+/// optional lifecycle event log. All recording is wait-free; rendering
+/// snapshots walks the buckets without stopping writers.
+struct DaemonObs {
+    /// Frame decode: checksum + payload parse into a `Request`.
+    decode: Histogram,
+    /// Request handling (selection or lifecycle work).
+    select: Histogram,
+    /// Reply encode: serialization + frame assembly.
+    encode: Histogram,
+    /// Draining a connection's outbox to its socket.
+    queued_write: Histogram,
+    /// The lifecycle event log, if one is attached.
+    events: Option<Arc<EventLog>>,
+}
+
+impl DaemonObs {
+    fn new(events: Option<Arc<EventLog>>) -> Self {
+        DaemonObs {
+            decode: Histogram::new(),
+            select: Histogram::new(),
+            encode: Histogram::new(),
+            queued_write: Histogram::new(),
+            events,
+        }
+    }
+}
+
+/// Nanoseconds since `t0`, saturating (a histogram value, so u64).
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Everything request handlers read: the tenant registry, the options,
-/// and the daemon-wide counters.
+/// the daemon-wide counters, and the observability state.
 struct Shared {
     registry: ArtifactRegistry,
     opts: DaemonOptions,
     connections: AtomicU64,
+    obs: DaemonObs,
 }
 
 /// A bound (but not yet serving) selection daemon.
@@ -187,8 +244,10 @@ pub struct Daemon {
     shared: Shared,
     tcp: TcpListener,
     uds: Option<UnixListener>,
+    metrics: Option<TcpListener>,
     tcp_addr: SocketAddr,
     uds_path: Option<PathBuf>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 /// Handle of a daemon serving on a background thread.
@@ -197,6 +256,8 @@ pub struct DaemonHandle {
     pub addr: SocketAddr,
     /// The Unix-domain socket path, if one is listening.
     pub uds: Option<PathBuf>,
+    /// The metrics HTTP address actually bound, if one is listening.
+    pub metrics: Option<SocketAddr>,
     thread: JoinHandle<Result<()>>,
 }
 
@@ -247,7 +308,7 @@ impl Daemon {
         opts: DaemonOptions,
         listen: &ListenConfig,
     ) -> Result<Self> {
-        let registry = ArtifactRegistry::build(specs, &opts.serve)?;
+        let registry = ArtifactRegistry::build(specs, &opts.serve, opts.events.as_ref())?;
         let tcp = TcpListener::bind(&listen.tcp)
             .map_err(|e| Error::wire(format!("cannot bind tcp {}: {e}", listen.tcp)))?;
         let tcp_addr = tcp
@@ -266,22 +327,45 @@ impl Daemon {
             }
             None => None,
         };
+        let metrics = match &listen.metrics {
+            Some(addr) => Some(
+                TcpListener::bind(addr)
+                    .map_err(|e| Error::wire(format!("cannot bind metrics {addr}: {e}")))?,
+            ),
+            None => None,
+        };
+        let metrics_addr =
+            match &metrics {
+                Some(listener) => Some(listener.local_addr().map_err(|e| {
+                    Error::wire(format!("cannot resolve bound metrics address: {e}"))
+                })?),
+                None => None,
+            };
+        let events = opts.events.clone();
         Ok(Daemon {
             shared: Shared {
                 registry,
                 opts,
                 connections: AtomicU64::new(0),
+                obs: DaemonObs::new(events),
             },
             tcp,
             uds,
+            metrics,
             tcp_addr,
             uds_path: listen.uds.clone(),
+            metrics_addr,
         })
     }
 
     /// The TCP address actually bound (resolves `:0` ports).
     pub fn tcp_addr(&self) -> SocketAddr {
         self.tcp_addr
+    }
+
+    /// The metrics HTTP address actually bound, if `--metrics` is on.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Serves until a client sends `Shutdown`: one readiness-driven loop
@@ -294,8 +378,10 @@ impl Daemon {
             shared,
             tcp,
             uds,
+            metrics,
             tcp_addr: _,
             uds_path,
+            metrics_addr: _,
         } = self;
         let mut poll =
             Poll::new().map_err(|e| Error::wire(format!("cannot create poller: {e}")))?;
@@ -318,9 +404,23 @@ impl Daemon {
             }
             None => None,
         };
+        let metrics_fd = match &metrics {
+            Some(listener) => {
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| Error::wire(format!("cannot unblock metrics listener: {e}")))?;
+                let fd = listener.as_raw_fd();
+                poll.registry()
+                    .register(&mut SourceFd(&fd), METRICS_LISTENER, Interest::READABLE)
+                    .map_err(|e| Error::wire(format!("cannot register metrics listener: {e}")))?;
+                Some(fd)
+            }
+            None => None,
+        };
 
         let mut events = Events::with_capacity(EVENTS_PER_POLL);
         let mut conns = Slab::default();
+        let mut http = HttpSlab::default();
         let mut stop = false;
         let mut requester: Option<usize> = None;
         while !stop {
@@ -336,8 +436,36 @@ impl Daemon {
                             accept_uds(listener, &poll, &mut conns, &shared);
                         }
                     }
+                    METRICS_LISTENER => {
+                        if let Some(listener) = &metrics {
+                            accept_metrics(listener, &poll, &mut http);
+                        }
+                    }
+                    Token(t) if (t - CONN_BASE) % 2 == 1 => {
+                        // Odd offset: a metrics (HTTP) connection.
+                        let idx = (t - CONN_BASE) / 2;
+                        let Some(conn) = http.get_mut(idx) else {
+                            continue;
+                        };
+                        match service_http(conn, &shared) {
+                            Verdict::Keep => {
+                                let want = conn.desired_interest();
+                                if want != conn.registered {
+                                    let fd = conn.stream.as_raw_fd();
+                                    if poll
+                                        .registry()
+                                        .reregister(&mut SourceFd(&fd), Token(t), want)
+                                        .is_ok()
+                                    {
+                                        conn.registered = want;
+                                    }
+                                }
+                            }
+                            Verdict::Drop => http.close(&poll, idx),
+                        }
+                    }
                     Token(t) => {
-                        let idx = t - CONN_BASE;
+                        let idx = (t - CONN_BASE) / 2;
                         let Some(conn) = conns.get_mut(idx) else {
                             // A stale event for a slot freed earlier in
                             // this batch; level triggering makes spurious
@@ -391,8 +519,14 @@ impl Daemon {
             }
             conns.close(&poll, idx);
         }
+        for idx in 0..http.slots.len() {
+            http.close(&poll, idx);
+        }
         let _ = poll.registry().deregister(&mut SourceFd(&tcp_fd));
         if let Some(fd) = uds_fd {
+            let _ = poll.registry().deregister(&mut SourceFd(&fd));
+        }
+        if let Some(fd) = metrics_fd {
             let _ = poll.registry().deregister(&mut SourceFd(&fd));
         }
         if let Some(path) = &uds_path {
@@ -405,9 +539,11 @@ impl Daemon {
     pub fn spawn(self) -> DaemonHandle {
         let addr = self.tcp_addr();
         let uds = self.uds_path.clone();
+        let metrics = self.metrics_addr;
         DaemonHandle {
             addr,
             uds,
+            metrics,
             thread: std::thread::spawn(move || self.run()),
         }
     }
@@ -446,9 +582,168 @@ fn accept_uds(listener: &UnixListener, poll: &Poll, conns: &mut Slab, shared: &S
     }
 }
 
-/// The connection table: `Token(CONN_BASE + index)` ↔ slot. Freed slots
-/// are reused, keeping tokens dense and the table at peak-connections
-/// size.
+/// Accepts every pending metrics (HTTP) connection.
+fn accept_metrics(listener: &TcpListener, poll: &Poll, http: &mut HttpSlab) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => http.admit(stream, poll),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Bound on a metrics request head: scrapers send a one-line GET plus a
+/// few headers; anything bigger is answered (and closed) early rather
+/// than buffered.
+const HTTP_REQUEST_CAP: usize = 8 << 10;
+
+/// The metrics-connection table, mirroring [`Slab`] on the odd half of
+/// the token space: `Token(CONN_BASE + 2*index + 1)` ↔ slot.
+#[derive(Default)]
+struct HttpSlab {
+    slots: Vec<Option<HttpConn>>,
+    free: Vec<usize>,
+}
+
+impl HttpSlab {
+    fn get_mut(&mut self, idx: usize) -> Option<&mut HttpConn> {
+        self.slots.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    fn admit(&mut self, stream: TcpStream, poll: &Poll) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        let fd = stream.as_raw_fd();
+        if poll
+            .registry()
+            .register(
+                &mut SourceFd(&fd),
+                Token(CONN_BASE + 2 * idx + 1),
+                Interest::READABLE,
+            )
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx] = Some(HttpConn {
+            stream,
+            inbuf: Vec::new(),
+            outbox: Vec::new(),
+            written: 0,
+            registered: Interest::READABLE,
+        });
+    }
+
+    fn close(&mut self, poll: &Poll, idx: usize) {
+        if let Some(conn) = self.slots.get_mut(idx).and_then(Option::take) {
+            let fd = conn.stream.as_raw_fd();
+            let _ = poll.registry().deregister(&mut SourceFd(&fd));
+            self.free.push(idx);
+        }
+    }
+}
+
+/// One metrics scrape connection: read the request head, answer with one
+/// `HTTP/1.0 200` carrying the Prometheus text body, close. The metrics
+/// path shares the poll loop but nothing else with the wire protocol —
+/// a stalled scraper is subject to the same nonblocking discipline as
+/// any client, and never touches tenant state.
+struct HttpConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbox: Vec<u8>,
+    written: usize,
+    registered: Interest,
+}
+
+impl HttpConn {
+    /// Readers want readable until the response is built, then only the
+    /// write side matters.
+    fn desired_interest(&self) -> Interest {
+        if self.outbox.is_empty() {
+            Interest::READABLE
+        } else {
+            Interest::WRITABLE
+        }
+    }
+}
+
+/// Services one readiness event on a metrics connection.
+fn service_http(conn: &mut HttpConn, shared: &Shared) -> Verdict {
+    if conn.outbox.is_empty() {
+        // Read until the head is complete (blank line), the peer is done
+        // sending, or the cap is hit — any of these triggers the reply.
+        let mut scratch = [0u8; 1024];
+        let mut respond = false;
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    respond = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    if conn.inbuf.windows(4).any(|w| w == b"\r\n\r\n")
+                        || conn.inbuf.len() > HTTP_REQUEST_CAP
+                    {
+                        respond = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Verdict::Drop,
+            }
+        }
+        if !respond {
+            return Verdict::Keep;
+        }
+        conn.outbox = render_scrape_response(shared);
+    }
+    loop {
+        match conn.stream.write(&conn.outbox[conn.written..]) {
+            Ok(0) => return Verdict::Drop,
+            Ok(n) => {
+                conn.written += n;
+                if conn.written == conn.outbox.len() {
+                    // HTTP/1.0 semantics: the response ends the exchange.
+                    return Verdict::Drop;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Verdict::Keep,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Drop,
+        }
+    }
+}
+
+/// One complete `HTTP/1.0 200` response carrying the Prometheus text
+/// exposition of the current metrics snapshot.
+fn render_scrape_response(shared: &Shared) -> Vec<u8> {
+    let body = render_metrics_text(shared);
+    let mut response = Vec::with_capacity(body.len() + 128);
+    response.extend_from_slice(b"HTTP/1.0 200 OK\r\n");
+    response.extend_from_slice(b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n");
+    response.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    response.extend_from_slice(b"Connection: close\r\n\r\n");
+    response.extend_from_slice(body.as_bytes());
+    response
+}
+
+/// The wire-connection table: `Token(CONN_BASE + 2*index)` ↔ slot (the
+/// even half of the token space; metrics connections take the odd half).
+/// Freed slots are reused, keeping tokens dense and the table at
+/// peak-connections size.
 #[derive(Default)]
 struct Slab {
     slots: Vec<Option<Conn>>,
@@ -481,7 +776,7 @@ impl Slab {
             .registry()
             .register(
                 &mut SourceFd(&fd),
-                Token(CONN_BASE + idx),
+                Token(CONN_BASE + 2 * idx),
                 Interest::READABLE,
             )
             .is_err()
@@ -664,10 +959,14 @@ impl Conn {
     /// Queues a reply, enforcing the outbound cap: a reply that would
     /// overflow it is replaced by a typed error and the connection
     /// enters its closing sequence — the slow reader gets told why.
-    fn queue(&mut self, response: &Response, cap: usize) {
+    /// Encode time (serialization + frame assembly) lands in the
+    /// `encode` stage histogram.
+    fn queue(&mut self, response: &Response, shared: &Shared) {
+        let cap = shared.opts.max_outbound_bytes;
         if self.closing {
             return;
         }
+        let encode_start = Instant::now();
         let frame = match protocol::encode_frame(&protocol::encode_message(response)) {
             Ok(frame) => frame,
             Err(e) => {
@@ -675,6 +974,7 @@ impl Conn {
                 return;
             }
         };
+        shared.obs.encode.record(elapsed_ns(encode_start));
         if self.outbox_bytes + frame.len() > cap {
             self.fail(format!(
                 "outbound queue overflow: {} bytes already queued toward a reader \
@@ -755,7 +1055,7 @@ impl Conn {
 fn service(conn: &mut Conn, event: mio::Event, shared: &Shared, stop: &mut bool) -> Verdict {
     // Writes first: draining the outbox both frees backpressure budget
     // and makes room for replies to the requests read below.
-    if event.is_writable() && !conn.outbox.is_empty() && conn.flush().is_err() {
+    if event.is_writable() && !conn.outbox.is_empty() && timed_flush(conn, shared).is_err() {
         return Verdict::Drop;
     }
     if conn.lingering {
@@ -771,7 +1071,7 @@ fn service(conn: &mut Conn, event: mio::Event, shared: &Shared, stop: &mut bool)
     }
     // Opportunistic flush: most replies leave in the same loop iteration
     // that produced them, without waiting for a writability event.
-    if !conn.outbox.is_empty() && conn.flush().is_err() {
+    if !conn.outbox.is_empty() && timed_flush(conn, shared).is_err() {
         return Verdict::Drop;
     }
     if conn.outbox.is_empty() {
@@ -786,12 +1086,20 @@ fn service(conn: &mut Conn, event: mio::Event, shared: &Shared, stop: &mut bool)
     Verdict::Keep
 }
 
+/// Drains a connection's outbox, recording the time in the
+/// `queued_write` stage histogram.
+fn timed_flush(conn: &mut Conn, shared: &Shared) -> std::io::Result<()> {
+    let flush_start = Instant::now();
+    let result = conn.flush();
+    shared.obs.queued_write.record(elapsed_ns(flush_start));
+    result
+}
+
 /// Reads everything the socket has, serving each complete frame as it
 /// appears. Frame-level violations (bad version, checksum, shape) queue
 /// a typed error and start the closing sequence; request-level failures
 /// are ordinary typed replies and the connection lives on.
 fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
-    let cap = shared.opts.max_outbound_bytes;
     loop {
         // Serve every frame already buffered (one fill can deliver many
         // pipelined requests).
@@ -802,6 +1110,7 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
             // `SelectBatch` dominates the frame mix under load; scan it
             // without the generic Value tree, falling back to the full
             // parser for every other (or non-canonical) payload.
+            let frame_start = Instant::now();
             let decoded = match conn.reader.pop_frame() {
                 Ok(Some(payload)) => match protocol::decode_select_batch(payload) {
                     Some(features) => Ok(Request::SelectBatch { features }),
@@ -820,15 +1129,36 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
                     return Pump::Continue;
                 }
             };
+            shared.obs.decode.record(elapsed_ns(frame_start));
             let is_shutdown = matches!(request, Request::Shutdown);
+            let batch_len = match &request {
+                Request::SelectBatch { features } => Some(features.len()),
+                Request::SelectBatchTraced { features, .. } => Some(features.len()),
+                _ => None,
+            };
             // Contain handler panics (including injected ones): the
             // poisoned request costs this connection, never the loop.
             let conn_id = conn.id;
             let tenant = &mut conn.tenant;
+            let select_start = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| {
                 handle_request(shared, tenant, conn_id, request)
             })) {
-                Ok(response) => conn.queue(&response, cap),
+                Ok(response) => {
+                    if batch_len.is_some() {
+                        shared.obs.select.record(elapsed_ns(select_start));
+                    }
+                    conn.queue(&response, shared);
+                    // Per-tenant request accounting: one request frame,
+                    // its batch size, and the end-to-end latency (decode
+                    // through reply queueing) into the tenant's own
+                    // wait-free histogram.
+                    if let (Some(n), Some(tenant)) = (batch_len, &conn.tenant) {
+                        tenant.obs.requests.incr();
+                        tenant.obs.selections.add(n as u64);
+                        tenant.obs.latency.record(elapsed_ns(frame_start));
+                    }
+                }
                 Err(_) => {
                     eprintln!("intune-daemon: a request handler panicked; connection dropped");
                     return Pump::DropNow;
@@ -910,6 +1240,13 @@ fn handle_request(
                 tap_control(&resolved, conn, "Hello");
                 let primary = resolved.primary.load();
                 let artifact = primary.artifact();
+                if let Some(events) = &shared.obs.events {
+                    events.record(
+                        &resolved.name,
+                        artifact.revision,
+                        EventKind::TenantBound { conn },
+                    );
+                }
                 let ack = Response::HelloAck {
                     server: SERVER_NAME.to_string(),
                     benchmark: artifact.benchmark.clone(),
@@ -925,11 +1262,11 @@ fn handle_request(
             Err(detail) => Response::Error { detail },
         },
         Request::SelectBatch { features } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(&tenant, conn, &features, &[]),
+            Ok(tenant) => handle_select(shared, &tenant, conn, &features, &[]),
             Err(detail) => Response::Error { detail },
         },
         Request::SelectBatchTraced { features, payloads } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(&tenant, conn, &features, &payloads),
+            Ok(tenant) => handle_select(shared, &tenant, conn, &features, &payloads),
             Err(detail) => Response::Error { detail },
         },
         Request::Stats => match bound(shared, tenant) {
@@ -941,6 +1278,29 @@ fn handle_request(
             }
             Err(detail) => Response::Error { detail },
         },
+        // Daemon-wide by design: a monitoring connection need not bind
+        // to (or even know) a tenant to read the snapshot.
+        Request::Metrics => {
+            // A wire snapshot is an operator looking: heartbeat each
+            // tenant's latency summary into the event log so recorded
+            // timelines carry latency context next to their lifecycle
+            // events. (HTTP scrapes don't — a 15-second Prometheus poll
+            // would drown the log.)
+            if let Some(log) = &shared.obs.events {
+                for tenant in shared.registry.tenants() {
+                    log.record(
+                        &tenant.name,
+                        tenant.primary.load().artifact().revision,
+                        EventKind::LatencySnapshot {
+                            latency: LatencySummary::of(&tenant.obs.latency.snapshot()),
+                        },
+                    );
+                }
+            }
+            Response::MetricsReply {
+                metrics: metrics_snapshot(shared),
+            }
+        }
         Request::LoadArtifact { document } => match bound(shared, tenant) {
             Ok(tenant) => {
                 tap_control(&tenant, conn, "LoadArtifact");
@@ -975,6 +1335,7 @@ fn handle_request(
 /// replaced while we scored it is harmless: its agreement record dies
 /// with its `Arc`.
 fn handle_select(
+    shared: &Shared,
     tenant: &Tenant,
     conn: u64,
     features: &[FeatureVector],
@@ -1015,6 +1376,15 @@ fn handle_select(
             if slot.staged_seq == seq && slot.shadow.is_some() {
                 slot.shadow = None;
                 tenant.shadow_rejections.fetch_add(1, Ordering::AcqRel);
+                if let Some(events) = &shared.obs.events {
+                    events.record(
+                        &tenant.name,
+                        shadow.service.artifact().revision,
+                        EventKind::ShadowAutoRejected {
+                            trip_rate: shadow.service.trip_rate(),
+                        },
+                    );
+                }
             }
         }
     }
@@ -1055,12 +1425,21 @@ fn handle_load(shared: &Shared, tenant: &Tenant, document: &str) -> Response {
     }
     let benchmark = artifact.benchmark.clone();
     let revision = artifact.revision;
+    let trained_inputs = artifact.trained_inputs;
     let landmarks = primary.landmarks().len();
     match VectorService::new(artifact, shared.opts.shadow_serve.clone()) {
         Ok(service) => {
             let mut slot = lock_unpoisoned(&tenant.shadow);
             slot.shadow = Some(Arc::new(ShadowState::new(service, landmarks)));
             slot.staged_seq += 1;
+            drop(slot);
+            if let Some(events) = &shared.obs.events {
+                events.record(
+                    &tenant.name,
+                    revision,
+                    EventKind::ShadowStaged { trained_inputs },
+                );
+            }
             Response::Loaded {
                 benchmark,
                 revision,
@@ -1086,23 +1465,58 @@ fn handle_promote(shared: &Shared, tenant: &Tenant) -> Response {
         };
     };
     if let Err(reason) = shadow.promotable(&shared.opts.shadow) {
+        if let Some(events) = &shared.obs.events {
+            events.record(
+                &tenant.name,
+                shadow.service.artifact().revision,
+                EventKind::PromoteRejected {
+                    reason: reason.clone(),
+                },
+            );
+        }
         slot.shadow = Some(shadow);
         return Response::Error { detail: reason };
     }
+    // The gating counters that justified this promotion, captured before
+    // the shadow's record dies with its `Arc` — they ride on the event.
+    let gate = shadow.stats();
     let artifact = shadow.service.artifact().clone();
     let revision = artifact.revision;
     match VectorService::new(artifact, shared.opts.serve.clone()) {
         Ok(mut primary) => {
             // The journal follows the primary role, not the artifact: a
             // promoted revision keeps feeding the tenant's trace sink.
+            // So does the event log (drift trips, fallback recoveries).
             primary.set_trace(tenant.trace.clone());
+            primary.set_events(shared.obs.events.clone());
             tenant.primary.store(Arc::new(primary));
             tenant.promotions.fetch_add(1, Ordering::AcqRel);
+            if let Some(events) = &shared.obs.events {
+                events.record(
+                    &tenant.name,
+                    revision,
+                    EventKind::Promoted {
+                        mirrored: gate.mirrored,
+                        agreed: gate.agreed,
+                        agreement_rate: gate.agreement_rate,
+                    },
+                );
+            }
             Response::Promoted { revision }
         }
-        Err(e) => Response::Error {
-            detail: format!("promoted artifact failed revalidation: {e}"),
-        },
+        Err(e) => {
+            let detail = format!("promoted artifact failed revalidation: {e}");
+            if let Some(events) = &shared.obs.events {
+                events.record(
+                    &tenant.name,
+                    revision,
+                    EventKind::PromoteRejected {
+                        reason: detail.clone(),
+                    },
+                );
+            }
+            Response::Error { detail }
+        }
     }
 }
 
@@ -1131,6 +1545,113 @@ fn snapshot(shared: &Shared, tenant: &Tenant) -> DaemonStats {
             .as_ref()
             .map(|sink| sink.appended())
             .unwrap_or(0),
+        recorded_dropped: tenant
+            .recorder
+            .as_ref()
+            .map(|sink| sink.dropped())
+            .unwrap_or(0),
         tenants: shared.registry.len() as u64,
+        latency: LatencySummary::of(&tenant.obs.latency.snapshot()),
     }
+}
+
+/// Assembles the daemon-wide `Metrics` reply: stage timings plus every
+/// tenant's counters, all read from wait-free snapshots.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let summarize = |h: &Histogram| LatencySummary::of(&h.snapshot());
+    MetricsSnapshot {
+        stages: StageTimings {
+            decode: summarize(&shared.obs.decode),
+            select: summarize(&shared.obs.select),
+            encode: summarize(&shared.obs.encode),
+            queued_write: summarize(&shared.obs.queued_write),
+        },
+        tenants: shared
+            .registry
+            .tenants()
+            .iter()
+            .map(|tenant| {
+                let primary = tenant.primary.load();
+                TenantMetrics {
+                    benchmark: tenant.name.clone(),
+                    revision: primary.artifact().revision,
+                    requests: tenant.obs.requests.get(),
+                    selections: tenant.obs.selections.get(),
+                    latency: summarize(&tenant.obs.latency),
+                    promotions: tenant.promotions.load(Ordering::Acquire),
+                    shadow_rejections: tenant.shadow_rejections.load(Ordering::Acquire),
+                }
+            })
+            .collect(),
+        connections: shared.connections.load(Ordering::Acquire),
+        events_appended: shared
+            .obs
+            .events
+            .as_ref()
+            .map(|log| log.appended())
+            .unwrap_or(0),
+        events_dropped: shared
+            .obs
+            .events
+            .as_ref()
+            .map(|log| log.dropped())
+            .unwrap_or(0),
+    }
+}
+
+/// Renders the metrics snapshot as the Prometheus 0.0.4 text body the
+/// `--metrics` scrape endpoint serves.
+fn render_metrics_text(shared: &Shared) -> String {
+    let mut expo = TextExposition::new();
+    for tenant in shared.registry.tenants() {
+        let name = tenant.name.as_str();
+        expo.counter(
+            "intune_requests_total",
+            &[("tenant", name)],
+            tenant.obs.requests.get(),
+        );
+        expo.counter(
+            "intune_selections_total",
+            &[("tenant", name)],
+            tenant.obs.selections.get(),
+        );
+        expo.summary_seconds(
+            "intune_request_seconds",
+            &[("tenant", name)],
+            &tenant.obs.latency.snapshot(),
+        );
+        expo.counter(
+            "intune_promotions_total",
+            &[("tenant", name)],
+            tenant.promotions.load(Ordering::Acquire),
+        );
+        expo.counter(
+            "intune_shadow_rejections_total",
+            &[("tenant", name)],
+            tenant.shadow_rejections.load(Ordering::Acquire),
+        );
+    }
+    for (stage, histogram) in [
+        ("decode", &shared.obs.decode),
+        ("select", &shared.obs.select),
+        ("encode", &shared.obs.encode),
+        ("queued_write", &shared.obs.queued_write),
+    ] {
+        expo.summary_seconds(
+            "intune_stage_seconds",
+            &[("stage", stage)],
+            &histogram.snapshot(),
+        );
+    }
+    expo.counter(
+        "intune_connections_total",
+        &[],
+        shared.connections.load(Ordering::Acquire),
+    );
+    if let Some(log) = &shared.obs.events {
+        expo.counter("intune_events_appended_total", &[], log.appended());
+        expo.counter("intune_events_dropped_total", &[], log.dropped());
+    }
+    expo.gauge("intune_tenants", &[], shared.registry.len() as f64);
+    expo.finish()
 }

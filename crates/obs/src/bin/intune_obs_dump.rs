@@ -1,0 +1,115 @@
+//! `intune_obs_dump` — render a recorded event log as a timeline.
+//!
+//! ```text
+//! intune_obs_dump PATH        human-readable timeline (one line/event)
+//! intune_obs_dump PATH --json one compact JSON object per line
+//! ```
+//!
+//! Exit codes: 0 on a clean log, 2 on usage errors, 3 when the log
+//! cannot be read. A torn tail is reported on stderr but the complete
+//! events still print and the exit stays 0 — a crash-truncated log is a
+//! recovered log, not a broken one.
+
+use intune_obs::timefmt::iso8601_utc_ms;
+use intune_obs::{read_events, Event, EventKind};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<PathBuf> = None;
+    let mut json = false;
+    for arg in &mut args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: intune_obs_dump PATH [--json]");
+                return;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("intune_obs_dump: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: intune_obs_dump PATH [--json]");
+        std::process::exit(2);
+    };
+    let scan = match read_events(&path) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("intune_obs_dump: {e}");
+            std::process::exit(3);
+        }
+    };
+    for event in &scan.events {
+        if json {
+            let text = serde_json::to_string(&serde_json::to_value(event))
+                .expect("value printing is infallible");
+            println!("{text}");
+        } else {
+            println!("{}", render(event));
+        }
+    }
+    if let Some(torn) = &scan.torn {
+        eprintln!(
+            "intune_obs_dump: torn tail after {} complete events ({} clean bytes): {torn}",
+            scan.events.len(),
+            scan.consumed
+        );
+    }
+}
+
+/// One timeline line: timestamp, seq, tenant@revision, then the event.
+fn render(event: &Event) -> String {
+    let head = format!(
+        "{} #{:<4} {}@r{}",
+        iso8601_utc_ms(event.unix_ms),
+        event.seq,
+        event.tenant,
+        event.revision
+    );
+    let body = match &event.kind {
+        EventKind::TenantBound { conn } => format!("tenant-bound conn={conn}"),
+        EventKind::ShadowStaged { trained_inputs } => {
+            format!("shadow-staged trained_inputs={trained_inputs}")
+        }
+        EventKind::Promoted {
+            mirrored,
+            agreed,
+            agreement_rate,
+        } => format!(
+            "PROMOTED mirrored={mirrored} agreed={agreed} agreement_rate={agreement_rate:.4}"
+        ),
+        EventKind::PromoteRejected { reason } => format!("promote-rejected: {reason}"),
+        EventKind::ShadowAutoRejected { trip_rate } => {
+            format!("shadow-auto-rejected trip_rate={trip_rate:.4}")
+        }
+        EventKind::DriftTripped {
+            probed,
+            ood,
+            trip_rate,
+        } => format!("DRIFT-TRIPPED probed={probed} ood={ood} trip_rate={trip_rate:.4}"),
+        EventKind::FallbackCleared { trip_rate } => {
+            format!("fallback-cleared trip_rate={trip_rate:.4}")
+        }
+        EventKind::RetrainCycle {
+            outcome,
+            detail,
+            new_inputs,
+        } => format!("retrain-cycle outcome={outcome} new_inputs={new_inputs}: {detail}"),
+        EventKind::LatencySnapshot { latency } => format!(
+            "latency count={} p50={}ns p90={}ns p99={}ns p999={}ns max={}ns",
+            latency.count,
+            latency.p50_ns,
+            latency.p90_ns,
+            latency.p99_ns,
+            latency.p999_ns,
+            latency.max_ns
+        ),
+    };
+    format!("{head} {body}")
+}

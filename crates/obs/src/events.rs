@@ -1,0 +1,416 @@
+//! The structured lifecycle event log.
+//!
+//! One append-only file of [`intune_core::codec::encode_record`] frames
+//! (schema `intune-obs-event` v1, the same 4-byte-length + checksummed
+//! compact-JSON envelope the selection journal uses), each frame one
+//! [`Event`]: a monotone sequence number, a wall-clock unix-millisecond
+//! timestamp, the tenant and revision it concerns, and a typed
+//! [`EventKind`]. Appends are **best-effort and infallible at the call
+//! site**: the serving path must never fail or block on observability,
+//! so an append that cannot be encoded or written is counted in
+//! [`EventLog::dropped`] and otherwise ignored — the same contract the
+//! datalog recorder tap makes.
+//!
+//! Crash tolerance mirrors the journal: [`EventLog::open`] scans an
+//! existing file with [`intune_core::codec::scan_records`], keeps every
+//! complete event, truncates a torn tail (a crash mid-append), and
+//! resumes the sequence after the highest recovered `seq`. Readers use
+//! [`read_events`]/[`scan_events`], which type the torn tail instead of
+//! panicking — truncation at *any* byte offset recovers every complete
+//! event (pinned by a property test).
+
+use crate::LatencySummary;
+use intune_core::codec::{encode_record, scan_records};
+use intune_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event-log record schema name.
+pub const EVENT_SCHEMA: &str = "intune-obs-event";
+/// Event-log record schema version.
+pub const EVENT_VERSION: u32 = 1;
+
+/// What happened. Externally tagged (the variant name is the JSON key),
+/// so a timeline renderer can dispatch without knowing every field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A connection sent `Hello` and bound to this tenant.
+    TenantBound {
+        /// Daemon-assigned connection id.
+        conn: u64,
+    },
+    /// `LoadArtifact` validated and staged a new artifact revision as
+    /// the tenant's shadow.
+    ShadowStaged {
+        /// Inputs the staged artifact was trained on.
+        trained_inputs: u64,
+    },
+    /// The shadow gate accepted: the staged revision is now primary.
+    /// Carries the gating counters the decision was made on.
+    Promoted {
+        /// Selections mirrored to the shadow before the gate opened.
+        mirrored: u64,
+        /// Mirrored selections where shadow agreed with primary.
+        agreed: u64,
+        /// `agreed / mirrored` at promotion time.
+        agreement_rate: f64,
+    },
+    /// `Promote` was refused (gate unsatisfied, or no shadow staged).
+    PromoteRejected {
+        /// The refusal reason, verbatim from the gate.
+        reason: String,
+    },
+    /// The staged shadow's own drift monitor tripped while mirroring;
+    /// the daemon discarded it without an operator `Promote`.
+    ShadowAutoRejected {
+        /// The shadow's OOD rate when it tripped.
+        trip_rate: f64,
+    },
+    /// A service's drift monitor crossed its threshold: probed traffic
+    /// looks out-of-distribution and fallback engaged.
+    DriftTripped {
+        /// Inputs probed since reset.
+        probed: u64,
+        /// Probed inputs classified out-of-distribution.
+        ood: u64,
+        /// `ood / probed` at the transition.
+        trip_rate: f64,
+    },
+    /// The drift monitor recovered below threshold: selection resumed
+    /// from the model instead of the safe fallback landmark.
+    FallbackCleared {
+        /// OOD rate at the transition back.
+        trip_rate: f64,
+    },
+    /// A retrain controller cycle finished.
+    RetrainCycle {
+        /// `"promoted"`, `"rejected"`, or `"idle"`.
+        outcome: String,
+        /// Outcome detail: the idle/rejection reason, or the promoted
+        /// revision's agreement rate rendered by the controller.
+        detail: String,
+        /// Journal-derived inputs in the retrained artifact (0 when the
+        /// cycle idled).
+        new_inputs: u64,
+    },
+    /// Per-tenant heartbeat with the request-latency summary at
+    /// snapshot time. The daemon writes one per tenant on every
+    /// `Metrics` wire request (an operator looking — never on HTTP
+    /// scrapes, which poll), so a recorded timeline carries latency
+    /// context next to its lifecycle events.
+    LatencySnapshot {
+        /// Per-request wire latency at snapshot time.
+        latency: LatencySummary,
+    },
+}
+
+/// One timestamped, tenant/revision-keyed lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone per-log sequence number (resumes across reopen).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the unix epoch.
+    pub unix_ms: u64,
+    /// The tenant the event concerns (`"-"` for daemon-wide events).
+    pub tenant: String,
+    /// The artifact revision in force (or being decided) at the event.
+    pub revision: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The crash-tolerant append-side handle. Cheap to share behind an
+/// `Arc`; appends serialize on an internal mutex but assemble the frame
+/// outside it and issue exactly one `write(2)` per event.
+pub struct EventLog {
+    path: PathBuf,
+    file: Mutex<File>,
+    seq: AtomicU64,
+    appended: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// Opens (or creates) the event log at `path`, recovering from a
+    /// torn tail: complete events are kept, the tail is truncated, and
+    /// the sequence resumes after the highest recovered `seq`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Artifact`] when the file cannot be read,
+    /// created, or truncated.
+    pub fn open(path: &Path) -> Result<EventLog> {
+        let (consumed, next_seq) = match std::fs::read(path) {
+            Ok(bytes) => {
+                let scan = scan_events(&bytes);
+                let next = scan.events.last().map_or(0, |e| e.seq + 1);
+                (Some(scan.consumed as u64), next)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (None, 0),
+            Err(e) => {
+                return Err(Error::artifact(format!(
+                    "cannot read event log {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| {
+                Error::artifact(format!("cannot open event log {}: {e}", path.display()))
+            })?;
+        if let Some(consumed) = consumed {
+            // Drop the torn tail so the next append starts on a frame
+            // boundary (append mode positions at EOF = consumed).
+            file.set_len(consumed).map_err(|e| {
+                Error::artifact(format!("cannot truncate event log {}: {e}", path.display()))
+            })?;
+        }
+        Ok(EventLog {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            seq: AtomicU64::new(next_seq),
+            appended: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one event, best-effort. Never returns an error and never
+    /// panics: encode or IO failures increment [`dropped`](Self::dropped)
+    /// and the caller proceeds — observability must not take down
+    /// serving.
+    pub fn record(&self, tenant: &str, revision: u64, kind: EventKind) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            unix_ms: unix_ms_now(),
+            tenant: tenant.to_string(),
+            revision,
+            kind,
+        };
+        // Assemble the full frame outside the writer lock; hold it only
+        // for the single write(2).
+        let value = serde_json::to_value(&event);
+        let Ok(frame) = encode_record(EVENT_SCHEMA, EVENT_VERSION, value) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let mut file = match self.file.lock() {
+            Ok(file) => file,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if file.write_all(&frame).is_ok() {
+            self.appended.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Where the log lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events successfully appended by this handle (not counting those
+    /// recovered from a previous process).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Events this handle failed to append (encode or IO error).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("path", &self.path)
+            .field("appended", &self.appended())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Outcome of scanning an event-log byte stream.
+#[derive(Debug)]
+pub struct EventScan {
+    /// Every complete, checksum-verified event, in append order.
+    pub events: Vec<Event>,
+    /// Bytes the complete events consumed (the safe truncation point).
+    pub consumed: usize,
+    /// Typed description of a torn or corrupt tail, if any.
+    pub torn: Option<Error>,
+}
+
+/// Scans a byte stream of event-log frames. Never panics: truncation at
+/// any offset yields every complete event plus a typed `torn` error.
+/// A frame whose payload no longer deserializes as an [`Event`] (schema
+/// drift) also stops the scan with a typed error.
+#[must_use]
+pub fn scan_events(bytes: &[u8]) -> EventScan {
+    let scan = scan_records(bytes, EVENT_SCHEMA, EVENT_VERSION);
+    let mut events = Vec::with_capacity(scan.records.len());
+    let mut torn = scan.torn;
+    for value in scan.records {
+        match serde_json::from_value::<Event>(&value) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                torn = Some(Error::artifact(format!(
+                    "event record does not deserialize: {e}"
+                )));
+                break;
+            }
+        }
+    }
+    EventScan {
+        events,
+        consumed: scan.consumed,
+        torn,
+    }
+}
+
+/// Reads and scans the event log at `path`.
+///
+/// # Errors
+/// Returns [`Error::Artifact`] when the file cannot be read. A torn
+/// tail is *not* an error — it comes back typed in [`EventScan::torn`].
+pub fn read_events(path: &Path) -> Result<EventScan> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::artifact(format!("cannot read event log {}: {e}", path.display())))?;
+    Ok(scan_events(&bytes))
+}
+
+/// Current wall clock as milliseconds since the unix epoch (0 if the
+/// clock reads before the epoch).
+#[must_use]
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("intune-obs-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("events.log")
+    }
+
+    #[test]
+    fn append_and_scan_round_trip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path).unwrap();
+        log.record("sort", 1, EventKind::TenantBound { conn: 7 });
+        log.record(
+            "sort",
+            2,
+            EventKind::Promoted {
+                mirrored: 128,
+                agreed: 127,
+                agreement_rate: 127.0 / 128.0,
+            },
+        );
+        assert_eq!(log.appended(), 2);
+        assert_eq!(log.dropped(), 0);
+        let scan = read_events(&path).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.events.len(), 2);
+        assert_eq!(scan.events[0].seq, 0);
+        assert_eq!(scan.events[0].tenant, "sort");
+        assert_eq!(scan.events[0].kind, EventKind::TenantBound { conn: 7 });
+        assert_eq!(scan.events[1].seq, 1);
+        assert!(matches!(scan.events[1].kind, EventKind::Promoted { .. }));
+        assert!(scan.events[1].unix_ms >= scan.events[0].unix_ms);
+    }
+
+    #[test]
+    fn reopen_resumes_sequence_and_truncates_torn_tail() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = EventLog::open(&path).unwrap();
+            log.record("a", 1, EventKind::TenantBound { conn: 0 });
+            log.record("a", 1, EventKind::TenantBound { conn: 1 });
+        }
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let log = EventLog::open(&path).unwrap();
+        log.record("a", 1, EventKind::TenantBound { conn: 2 });
+        let scan = read_events(&path).unwrap();
+        assert!(scan.torn.is_none(), "recovery left a torn tail");
+        let seqs: Vec<u64> = scan.events.iter().map(|e| e.seq).collect();
+        // Event 1 was torn away; the sequence resumes after the
+        // highest *recovered* seq.
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(
+            scan.events[1].kind,
+            EventKind::TenantBound { conn: 2 },
+            "resumed append must be the recovered-then-written event"
+        );
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let kinds = vec![
+            EventKind::TenantBound { conn: 3 },
+            EventKind::ShadowStaged { trained_inputs: 90 },
+            EventKind::Promoted {
+                mirrored: 10,
+                agreed: 9,
+                agreement_rate: 0.9,
+            },
+            EventKind::PromoteRejected {
+                reason: "gate unsatisfied".to_string(),
+            },
+            EventKind::ShadowAutoRejected { trip_rate: 0.5 },
+            EventKind::DriftTripped {
+                probed: 100,
+                ood: 31,
+                trip_rate: 0.31,
+            },
+            EventKind::FallbackCleared { trip_rate: 0.1 },
+            EventKind::RetrainCycle {
+                outcome: "idle".to_string(),
+                detail: "below volume threshold".to_string(),
+                new_inputs: 0,
+            },
+            EventKind::LatencySnapshot {
+                latency: LatencySummary {
+                    count: 5,
+                    sum_ns: 150,
+                    p50_ns: 30,
+                    p90_ns: 50,
+                    p99_ns: 50,
+                    p999_ns: 50,
+                    max_ns: 50,
+                },
+            },
+        ];
+        let path = tmp("kinds");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path).unwrap();
+        for (i, kind) in kinds.iter().enumerate() {
+            log.record("t", i as u64, kind.clone());
+        }
+        let scan = read_events(&path).unwrap();
+        assert!(scan.torn.is_none());
+        let back: Vec<EventKind> = scan.events.into_iter().map(|e| e.kind).collect();
+        assert_eq!(back, kinds);
+    }
+}

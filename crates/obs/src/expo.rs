@@ -1,0 +1,172 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders counters and histogram snapshots in the Prometheus 0.0.4
+//! text format: counters as `# TYPE name counter` + one sample line,
+//! histograms as summaries — `name{quantile="0.5"} ...` lines for
+//! p50/p90/p99/p999 plus `name_count` and `name_sum`. Durations are
+//! recorded in nanoseconds and exposed in **seconds** (the Prometheus
+//! base unit); callers name such series with a `_seconds` suffix.
+//!
+//! The renderer is a plain string builder — no IO, no locking — so the
+//! daemon can snapshot its metrics and render the scrape body without
+//! touching the serving hot path.
+
+use crate::HistogramSnapshot;
+
+/// The standard summary quantiles the runtime exposes.
+pub const QUANTILES: [(&str, f64); 4] = [
+    ("0.5", 0.50),
+    ("0.9", 0.90),
+    ("0.99", 0.99),
+    ("0.999", 0.999),
+];
+
+/// Accumulates one exposition body.
+#[derive(Default)]
+pub struct TextExposition {
+    out: String,
+}
+
+impl TextExposition {
+    /// An empty body.
+    #[must_use]
+    pub fn new() -> TextExposition {
+        TextExposition::default()
+    }
+
+    /// Renders one counter sample with optional labels.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.type_line(name, "counter");
+        self.sample(name, labels, &value.to_string());
+    }
+
+    /// Renders one gauge sample with optional labels.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.type_line(name, "gauge");
+        self.sample(name, labels, &format_float(value));
+    }
+
+    /// Renders a duration histogram as a summary: the four standard
+    /// quantiles plus `_count`/`_sum`. Recorded values are nanoseconds;
+    /// exposed values are seconds, so `name` should end in `_seconds`.
+    pub fn summary_seconds(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.type_line(name, "summary");
+        for (label, q) in QUANTILES {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", label));
+            self.sample(name, &with_q, &format_float(snap.quantile(q) as f64 / 1e9));
+        }
+        self.sample(&format!("{name}_count"), labels, &snap.count.to_string());
+        self.sample(
+            &format!("{name}_sum"),
+            labels,
+            &format_float(snap.sum as f64 / 1e9),
+        );
+    }
+
+    /// The rendered body.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str) {
+        // Emit each `# TYPE` once, before the series' first sample.
+        let marker = format!("# TYPE {name} {kind}\n");
+        if !self.out.contains(&marker) {
+            self.out.push_str(&marker);
+        }
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for ch in v.chars() {
+                    // Prometheus label-value escaping.
+                    match ch {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(ch),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+}
+
+/// Prints a float the way Prometheus expects: decimal, no exponent for
+/// ordinary magnitudes, and integral values without a trailing `.0`
+/// requirement (Prometheus accepts both; we keep them exact).
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut expo = TextExposition::new();
+        expo.counter("intune_requests_total", &[("tenant", "sort")], 42);
+        expo.counter("intune_requests_total", &[("tenant", "cluster")], 7);
+        expo.gauge("intune_connections", &[], 3.0);
+        let body = expo.finish();
+        assert_eq!(
+            body,
+            "# TYPE intune_requests_total counter\n\
+             intune_requests_total{tenant=\"sort\"} 42\n\
+             intune_requests_total{tenant=\"cluster\"} 7\n\
+             # TYPE intune_connections gauge\n\
+             intune_connections 3.0\n"
+        );
+    }
+
+    #[test]
+    fn summary_renders_quantiles_count_and_sum_in_seconds() {
+        let h = Histogram::new();
+        h.record(1_000_000_000); // 1 s
+        let mut expo = TextExposition::new();
+        expo.summary_seconds(
+            "intune_request_seconds",
+            &[("tenant", "sort")],
+            &h.snapshot(),
+        );
+        let body = expo.finish();
+        assert!(body.starts_with("# TYPE intune_request_seconds summary\n"));
+        assert!(body.contains("intune_request_seconds{tenant=\"sort\",quantile=\"0.5\"} 1.0\n"));
+        assert!(body.contains("intune_request_seconds{tenant=\"sort\",quantile=\"0.999\"} 1.0\n"));
+        assert!(body.contains("intune_request_seconds_count{tenant=\"sort\"} 1\n"));
+        assert!(body.contains("intune_request_seconds_sum{tenant=\"sort\"} 1.0\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut expo = TextExposition::new();
+        expo.counter("x", &[("k", "a\"b\\c\nd")], 1);
+        assert!(expo.finish().contains("x{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

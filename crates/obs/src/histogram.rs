@@ -1,0 +1,357 @@
+//! Log-bucketed wait-free latency histograms.
+//!
+//! # Bucket scheme
+//!
+//! Values are unsigned 64-bit integers (the runtime records
+//! nanoseconds). Buckets follow an HDR-style log-linear layout with
+//! [`SUB_BUCKETS`] = 16 sub-buckets per power of two:
+//!
+//! - `v < 16`: bucket `v` — one exact bucket per value.
+//! - `v >= 16`: let `e` be the position of the leading one bit
+//!   (`e = 63 - v.leading_zeros()`, so `e >= 4`) and `sub` the 4 bits
+//!   that follow it (`(v >> (e - 4)) & 0xF`). The bucket index is
+//!   `16 + (e - 4) * 16 + sub`.
+//!
+//! Each bucket spans `2^(e-4)` consecutive values starting at
+//! `(16 + sub) << (e - 4)`, so the worst-case relative width is
+//! 1/16 = **6.25%** — a reported quantile is the upper bound of its
+//! bucket, at most 6.25% above the true value. The last bucket
+//! (index [`NUM_BUCKETS`]` - 1`) ends exactly at `u64::MAX`; no value
+//! overflows the table.
+//!
+//! Recording is wait-free: one relaxed `fetch_add` on the bucket, one
+//! on the running sum, and one `fetch_max` for the exact maximum. The
+//! exact maximum lets the readout clamp every quantile, so
+//! `p999 <= max` holds even though buckets report upper bounds.
+//!
+//! A [`snapshot`](Histogram::snapshot) taken while writers are
+//! recording sees some consistent-enough interleaving: each recorded
+//! value is either fully present (bucket + sum + max) or not yet
+//! visible; counts never tear.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (4 bits of mantissa after the leading
+/// one). Fixed by the format: changing it changes every bucket bound.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total bucket count: 16 exact small-value buckets plus 16 sub-buckets
+/// for each exponent 4..=63.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - 4) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Total and monotone over `u64`.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let e = (63 - v.leading_zeros()) as usize;
+    let sub = ((v >> (e - 4)) & 0xF) as usize;
+    SUB_BUCKETS + (e - 4) * SUB_BUCKETS + sub
+}
+
+/// The inclusive `(low, high)` value range bucket `index` covers.
+///
+/// # Panics
+/// Panics when `index >= NUM_BUCKETS` — bucket indices come from
+/// [`bucket_index`], which never produces one.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let g = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let low = (SUB_BUCKETS as u64 + sub) << g;
+    let width = 1u64 << g;
+    (low, low + (width - 1))
+}
+
+/// A wait-free log-bucketed histogram of `u64` values.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (~7.6 KiB of zeroed buckets).
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free: three relaxed atomic ops, no
+    /// allocation, no branches beyond the bucket-index math.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current counts into an immutable snapshot for
+    /// readout. Safe to call while writers are recording.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                count += c;
+                buckets.push((i, c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// An immutable point-in-time copy of a [`Histogram`]'s counts.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps only past 2^64 total).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(bucket_index, count)`, index-ascending.
+    buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nearest-rank quantile readout: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th value, clamped to the exact
+    /// recorded maximum (so `quantile(0.999) <= max` always holds).
+    /// `q` is clamped to `[0, 1]`; an empty snapshot reads 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                let (_, high) = bucket_bounds(index);
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(low, high, count)` value ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().map(|&(index, count)| {
+            let (low, high) = bucket_bounds(index);
+            (low, high, count)
+        })
+    }
+}
+
+/// The standard percentile readout the runtime ships over the wire and
+/// prints in stats: p50/p90/p99/p999 plus the exact max, in
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Median, nanoseconds (bucket upper bound, <= 6.25% high).
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Reads the standard percentiles out of a snapshot.
+    #[must_use]
+    pub fn of(snap: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: snap.count,
+            sum_ns: snap.sum,
+            p50_ns: snap.quantile(0.50),
+            p90_ns: snap.quantile(0.90),
+            p99_ns: snap.quantile(0.99),
+            p999_ns: snap.quantile(0.999),
+            max_ns: snap.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bucket scheme is a format: pin it value by value.
+    #[test]
+    fn bucket_scheme_is_pinned() {
+        // Small values get exact buckets.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+        // 16..32 are still exact (width-1 buckets, e = 4).
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_bounds(31), (31, 31));
+        // e = 5: width-2 buckets.
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32);
+        assert_eq!(bucket_index(34), 33);
+        assert_eq!(bucket_bounds(32), (32, 33));
+        // A mid-range value: 1000 ns = 0b1111101000, e = 9, sub = 0b1111.
+        assert_eq!(bucket_index(1000), 16 + 5 * 16 + 15);
+        assert_eq!(bucket_bounds(bucket_index(1000)), (992, 1023));
+        // The table is total: u64::MAX lands in the last bucket, whose
+        // range ends exactly at u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    /// Every bucket's bounds round-trip through the index function and
+    /// tile the u64 line with no gaps or overlaps.
+    #[test]
+    fn buckets_tile_the_value_space() {
+        let mut expected_low = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(low, expected_low, "gap/overlap before bucket {i}");
+            assert_eq!(bucket_index(low), i);
+            assert_eq!(bucket_index(high), i);
+            if i + 1 == NUM_BUCKETS {
+                assert_eq!(high, u64::MAX);
+                break;
+            }
+            expected_low = high + 1;
+        }
+    }
+
+    /// Relative bucket width stays within the documented 6.25%.
+    #[test]
+    fn relative_error_bound_holds() {
+        for v in [17u64, 100, 999, 12_345, 1_000_000, 123_456_789] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(
+                (high - low) as f64 <= low as f64 / 16.0 + 1.0,
+                "bucket [{low}, {high}] too wide for {v}"
+            );
+        }
+    }
+
+    /// Quantile readout pinned on a known distribution.
+    #[test]
+    fn quantile_readout_is_pinned() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.max, 1000);
+        // True p50 is 500; bucket upper bound within 6.25% above.
+        let p50 = snap.quantile(0.50);
+        assert!((500..=531).contains(&p50), "p50 = {p50}");
+        let p90 = snap.quantile(0.90);
+        assert!((900..=956).contains(&p90), "p90 = {p90}");
+        // p999 and p100 clamp to the exact max.
+        assert_eq!(snap.quantile(0.999), 1000);
+        assert_eq!(snap.quantile(1.0), 1000);
+        // Percentiles are monotone.
+        assert!(snap.quantile(0.5) <= snap.quantile(0.9));
+        assert!(snap.quantile(0.9) <= snap.quantile(0.99));
+        assert!(snap.quantile(0.99) <= snap.quantile(0.999));
+    }
+
+    /// Quantiles never exceed the exact max even when the max's bucket
+    /// upper bound does.
+    #[test]
+    fn quantiles_clamp_to_exact_max() {
+        let h = Histogram::new();
+        h.record(1_000_003); // bucket upper bound is above the value
+        let snap = h.snapshot();
+        let (_, high) = bucket_bounds(bucket_index(1_000_003));
+        assert!(high > 1_000_003);
+        assert_eq!(snap.quantile(0.999), 1_000_003);
+        assert_eq!(snap.max, 1_000_003);
+    }
+
+    #[test]
+    fn empty_snapshot_reads_zero() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+        let summary = LatencySummary::of(&snap);
+        assert_eq!(summary, LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_reads_all_standard_percentiles() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        let s = LatencySummary::of(&h.snapshot());
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 150);
+        assert_eq!(s.p50_ns, 30);
+        assert_eq!(s.max_ns, 50);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns && s.p999_ns <= s.max_ns);
+    }
+}

@@ -1,0 +1,39 @@
+//! # intune_obs — the unified observability layer
+//!
+//! The paper's claim (input-adaptive selection beats any fixed
+//! configuration) is only auditable in production if the system can
+//! show its selection behaviour live. This crate is the shared
+//! substrate every layer records into:
+//!
+//! - **[`Counter`]** — sharded relaxed-atomic event counters and
+//!   **[`Histogram`]** — log-bucketed latency histograms with
+//!   p50/p90/p99/p999 readout ([`LatencySummary`]). Both are wait-free
+//!   on the record path: no locks, no CAS loops, so hot-path recording
+//!   cannot perturb the lock-free `ArcSwap` serving design.
+//! - **[`EventLog`]** — a crash-tolerant structured log of lifecycle
+//!   events (tenant bind, shadow stage, promote/reject with gating
+//!   counters, drift trip, fallback recovery, retrain cycle outcome)
+//!   on the same checksummed record framing as the selection journal
+//!   (`intune_core::codec::encode_record`/`scan_records`).
+//! - **[`expo::TextExposition`]** — Prometheus-style text rendering for
+//!   the daemon's `--metrics` HTTP scrape endpoint.
+//!
+//! The `intune_obs_dump` bin renders a recorded event log as a
+//! human-readable timeline. See `crates/obs/README.md` for the on-disk
+//! record schema and the exposition format spec.
+
+pub mod counter;
+pub mod events;
+pub mod expo;
+pub mod histogram;
+pub mod timefmt;
+
+pub use counter::Counter;
+pub use events::{
+    read_events, scan_events, Event, EventKind, EventLog, EventScan, EVENT_SCHEMA, EVENT_VERSION,
+};
+pub use expo::TextExposition;
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, LatencySummary, NUM_BUCKETS,
+    SUB_BUCKETS,
+};

@@ -1,0 +1,57 @@
+//! Unix-millisecond → ISO-8601 UTC rendering, dependency-free.
+//!
+//! The timeline dump needs human-readable timestamps and the container
+//! has no `chrono`; the civil-from-days algorithm (Howard Hinnant's
+//! `days_from_civil` inverse) is a handful of integer ops and exact
+//! over the whole representable range.
+
+/// Renders milliseconds-since-epoch as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+#[must_use]
+pub fn iso8601_utc_ms(unix_ms: u64) -> String {
+    let secs = (unix_ms / 1000) as i64;
+    let millis = unix_ms % 1000;
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let (year, month, day) = civil_from_days(days);
+    format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}.{millis:03}Z")
+}
+
+/// Proleptic-Gregorian date for a day count since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // March-based month [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_render_exactly() {
+        assert_eq!(iso8601_utc_ms(0), "1970-01-01T00:00:00.000Z");
+        // 2004-02-29 (leap day) 12:00:00 UTC = 1078056000.
+        assert_eq!(
+            iso8601_utc_ms(1_078_056_000_000),
+            "2004-02-29T12:00:00.000Z"
+        );
+        // 2026-08-08 00:00:00 UTC = 1786147200.
+        assert_eq!(
+            iso8601_utc_ms(1_786_147_200_123),
+            "2026-08-08T00:00:00.123Z"
+        );
+        // End-of-year boundary: 2023-12-31 23:59:59 UTC = 1704067199.
+        assert_eq!(
+            iso8601_utc_ms(1_704_067_199_999),
+            "2023-12-31T23:59:59.999Z"
+        );
+    }
+}

@@ -73,6 +73,7 @@ struct Args {
     mirror_batch: usize,
     keep_segments: bool,
     admission: AdmissionPolicy,
+    events: Option<PathBuf>,
 }
 
 fn main() {
@@ -254,6 +255,14 @@ impl CaseVisitor for RunVisitor<'_> {
                     mirror_batch: args.mirror_batch,
                     remove_compacted: !args.keep_segments,
                     admission: args.admission,
+                    // The controller's own cycle journal (one file per
+                    // writer — the daemon's `--events` log is separate).
+                    events: args.events.as_ref().map(|path| {
+                        std::sync::Arc::new(
+                            intune_obs::EventLog::open(path)
+                                .unwrap_or_else(|e| die(&e.to_string())),
+                        )
+                    }),
                 };
                 let client = connect_tenant(args, benchmark.name());
                 let mut code = 0;
@@ -366,7 +375,18 @@ fn run_stats(args: &Args) -> i32 {
             println!("shadow_rejections {}", stats.shadow_rejections);
             println!("journaled {}", stats.journaled);
             println!("recorded {}", stats.recorded);
+            println!("recorded_dropped {}", stats.recorded_dropped);
             println!("requests {}", stats.primary.requests);
+            let ms = |ns: u64| ns as f64 / 1e6;
+            println!(
+                "latency_ms count {} p50 {:.3} p90 {:.3} p99 {:.3} p999 {:.3} max {:.3}",
+                stats.latency.count,
+                ms(stats.latency.p50_ns),
+                ms(stats.latency.p90_ns),
+                ms(stats.latency.p99_ns),
+                ms(stats.latency.p999_ns),
+                ms(stats.latency.max_ns)
+            );
             if let Some(shadow) = &stats.shadow {
                 println!(
                     "shadow revision {} mirrored {} agreement {:.4}",
@@ -441,6 +461,7 @@ fn parse_args() -> Args {
         mirror_batch: 64,
         keep_segments: false,
         admission: AdmissionPolicy::default(),
+        events: None,
     };
     let mut mode: Option<Mode> = None;
     let set_mode = |m: Mode, current: &mut Option<Mode>| {
@@ -506,6 +527,7 @@ fn parse_args() -> Args {
                     "--cooldown" => args.policy.cooldown_records = parse(flag, value),
                     "--mirror" => args.mirror = parse(flag, value),
                     "--mirror-batch" => args.mirror_batch = parse(flag, value),
+                    "--events" => args.events = Some(PathBuf::from(value)),
                     other => die(&format!("unknown flag {other}")),
                 }
             }
@@ -548,7 +570,8 @@ fn usage() -> ! {
          \x20 --from-recording DIR (dry-run: also fold a wire recording into the corpus)\n\
          \x20 --admission uniform|novelty (corpus admission policy; default uniform)\n\
          \x20 --capacity N --min-new N --drift-rate X --min-drift-obs N --cooldown N\n\
-         \x20 --mirror N --mirror-batch N --keep-segments --sleep-ms MS"
+         \x20 --mirror N --mirror-batch N --keep-segments --sleep-ms MS\n\
+         \x20 --events PATH (cycle modes: append a RetrainCycle event per cycle)"
     );
     std::process::exit(0)
 }

@@ -33,10 +33,12 @@ use intune_daemon::DaemonClient;
 use intune_exec::{CostCache, Engine};
 use intune_learning::pipeline::{relearn_merged, TwoLevelResult};
 use intune_learning::TwoLevelOptions;
+use intune_obs::{EventKind, EventLog};
 use intune_serve::{JournalRecord, ModelArtifact};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Envelope schema name of the persisted retrain cost cache (cells plus
 /// per-input identity fingerprints).
@@ -69,6 +71,12 @@ pub struct RetrainConfig {
     /// Corpus admission policy applied for this cycle's offers (runtime
     /// behaviour only — never persisted in the corpus document).
     pub admission: AdmissionPolicy,
+    /// Optional lifecycle event log: every cycle appends one
+    /// [`EventKind::RetrainCycle`] with its outcome. An in-process
+    /// daemon can share the same `Arc` so cycles interleave with the
+    /// promotes they cause; across processes give each writer its own
+    /// file (sequence numbers are per-handle).
+    pub events: Option<Arc<EventLog>>,
 }
 
 impl RetrainConfig {
@@ -84,6 +92,7 @@ impl RetrainConfig {
             mirror_batch: 64,
             remove_compacted: true,
             admission: AdmissionPolicy::default(),
+            events: None,
         }
     }
 }
@@ -470,12 +479,25 @@ where
     let decision = cfg.policy.decide(&corpus.evidence());
     let reason = match decision {
         RetrainDecision::Idle(reason) => {
+            if let Some(log) = &cfg.events {
+                // Revision from the connect-time handshake: the idle
+                // path spends no extra wire round trip on it.
+                log.record(
+                    benchmark.name(),
+                    client.info().revision,
+                    EventKind::RetrainCycle {
+                        outcome: "idle".to_string(),
+                        detail: reason.clone(),
+                        new_inputs: 0,
+                    },
+                );
+            }
             return Ok(CycleReport {
                 outcome: CycleOutcome::Idle { reason },
                 compaction,
                 trigger: None,
                 retrain: None,
-            })
+            });
         }
         RetrainDecision::Retrain(reason) => reason,
     };
@@ -517,6 +539,30 @@ where
             },
         },
     };
+    if let Some(log) = &cfg.events {
+        let (name, detail, event_revision) = match &outcome {
+            CycleOutcome::Promoted {
+                revision,
+                agreement_rate,
+                ..
+            } => (
+                "promoted",
+                format!("agreement {agreement_rate:.4}"),
+                *revision,
+            ),
+            CycleOutcome::Rejected { revision, reason } => ("rejected", reason.clone(), *revision),
+            CycleOutcome::Idle { reason } => ("idle", reason.clone(), 0),
+        };
+        log.record(
+            benchmark.name(),
+            event_revision,
+            EventKind::RetrainCycle {
+                outcome: name.to_string(),
+                detail,
+                new_inputs: stats.new_inputs,
+            },
+        );
+    }
     // Absorb this cycle's own mirror-replay echoes (journaled like any
     // primary answer) *quietly*: dedup and statistics see them, the next
     // cycle's retrain evidence does not — otherwise a drift-responsive

@@ -25,7 +25,9 @@ use intune_core::{Benchmark, Configuration, ExecutionReport, FeatureSet, Result}
 use intune_exec::Executor;
 use intune_learning::selection::samples_for;
 use intune_learning::CompiledClassifier;
+use intune_obs::{EventKind, EventLog};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Tunables of the serving runtime.
 #[derive(Debug, Clone)]
@@ -133,6 +135,9 @@ pub struct SelectorService<'b, B: Benchmark> {
     executor: Executor,
     opts: ServeOptions,
     monitor: DriftMonitor,
+    /// Optional lifecycle event log: drift trips and fallback
+    /// recoveries are journaled as they happen.
+    events: Option<Arc<EventLog>>,
 }
 
 impl<'b, B: Benchmark> SelectorService<'b, B> {
@@ -155,7 +160,16 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
             executor: Executor::new(opts.threads),
             opts,
             monitor,
+            events: None,
         })
+    }
+
+    /// Attaches (or detaches) a lifecycle event log. The service emits
+    /// `DriftTripped` when its monitor engages fallback and
+    /// `FallbackCleared` when it recovers — best-effort, observation
+    /// only, off the hot path except for one state comparison.
+    pub fn set_events(&mut self, events: Option<Arc<EventLog>>) {
+        self.events = events;
     }
 
     /// The artifact being served.
@@ -183,9 +197,45 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
     }
 
     /// Resets the drift monitor (e.g. after retraining was scheduled or
-    /// the input shift was acknowledged); request counters keep counting.
+    /// the input shift was acknowledged); request counters keep
+    /// counting. An engaged fallback clearing through reset is
+    /// journaled like a recovery.
     pub fn reset_drift(&self) {
-        self.monitor.reset()
+        let was = self.monitor.fallback_active();
+        self.monitor.reset();
+        if was {
+            if let Some(events) = &self.events {
+                events.record(
+                    &self.artifact.benchmark,
+                    self.artifact.revision,
+                    EventKind::FallbackCleared { trip_rate: 0.0 },
+                );
+            }
+        }
+    }
+
+    /// Journals a fallback-state transition (entry snapshot `was` vs the
+    /// post-record state). One branch when no event log is attached;
+    /// both events carry the monitor's counters at the transition.
+    fn note_fallback_transition(&self, was: bool) {
+        let Some(events) = &self.events else { return };
+        let now = self.monitor.fallback_active();
+        if now == was {
+            return;
+        }
+        let stats = self.monitor.stats();
+        let kind = if now {
+            EventKind::DriftTripped {
+                probed: stats.probed,
+                ood: stats.ood,
+                trip_rate: self.monitor.trip_rate(),
+            }
+        } else {
+            EventKind::FallbackCleared {
+                trip_rate: self.monitor.trip_rate(),
+            }
+        };
+        events.record(&self.artifact.benchmark, self.artifact.revision, kind);
     }
 
     /// Counter snapshot.
@@ -238,6 +288,7 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
         let selection = self.classify(input, true, fall_back);
         self.monitor
             .record_single(true, selection.out_of_distribution, selection.fell_back);
+        self.note_fallback_transition(fall_back);
         selection
     }
 
@@ -268,6 +319,7 @@ impl<'b, B: Benchmark> SelectorService<'b, B> {
         };
         self.monitor
             .record_batch(selections.len() as u64, probed, ood, fallbacks);
+        self.note_fallback_transition(fall_back);
         selections
     }
 

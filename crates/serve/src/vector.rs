@@ -20,6 +20,7 @@ use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result};
 use intune_exec::Executor;
 use intune_learning::selection::samples_for;
 use intune_learning::CompiledClassifier;
+use intune_obs::{EventKind, EventLog};
 use std::sync::Arc;
 
 /// A serving runtime over pre-extracted feature vectors: validated
@@ -41,6 +42,9 @@ pub struct VectorService {
     monitor: DriftMonitor,
     /// Optional observer of every answered selection (request journal).
     trace: Option<Arc<dyn TraceSink>>,
+    /// Optional lifecycle event log: drift trips and fallback
+    /// recoveries are journaled as they happen.
+    events: Option<Arc<EventLog>>,
 }
 
 impl std::fmt::Debug for VectorService {
@@ -74,6 +78,7 @@ impl VectorService {
             opts,
             monitor,
             trace: None,
+            events: None,
         })
     }
 
@@ -82,6 +87,14 @@ impl VectorService {
     /// final selections only; they cannot change an answer.
     pub fn set_trace(&mut self, trace: Option<Arc<dyn TraceSink>>) {
         self.trace = trace;
+    }
+
+    /// Attaches (or detaches) a lifecycle event log. The service emits
+    /// `DriftTripped` when its monitor engages fallback and
+    /// `FallbackCleared` when it recovers — best-effort, observation
+    /// only, off the hot path except for one state comparison.
+    pub fn set_events(&mut self, events: Option<Arc<EventLog>>) {
+        self.events = events;
     }
 
     /// The artifact being served.
@@ -108,9 +121,45 @@ impl VectorService {
         self.monitor.trip_rate()
     }
 
-    /// Resets the drift monitor; request counters keep counting.
+    /// Resets the drift monitor; request counters keep counting. An
+    /// engaged fallback clearing through reset is journaled like a
+    /// recovery.
     pub fn reset_drift(&self) {
-        self.monitor.reset()
+        let was = self.monitor.fallback_active();
+        self.monitor.reset();
+        if was {
+            if let Some(events) = &self.events {
+                events.record(
+                    &self.artifact.benchmark,
+                    self.artifact.revision,
+                    EventKind::FallbackCleared { trip_rate: 0.0 },
+                );
+            }
+        }
+    }
+
+    /// Journals a fallback-state transition (entry snapshot `was` vs the
+    /// post-record state). One branch when no event log is attached;
+    /// both events carry the monitor's counters at the transition.
+    fn note_fallback_transition(&self, was: bool) {
+        let Some(events) = &self.events else { return };
+        let now = self.monitor.fallback_active();
+        if now == was {
+            return;
+        }
+        let stats = self.monitor.stats();
+        let kind = if now {
+            EventKind::DriftTripped {
+                probed: stats.probed,
+                ood: stats.ood,
+                trip_rate: self.monitor.trip_rate(),
+            }
+        } else {
+            EventKind::FallbackCleared {
+                trip_rate: self.monitor.trip_rate(),
+            }
+        };
+        events.record(&self.artifact.benchmark, self.artifact.revision, kind);
     }
 
     /// Counter snapshot.
@@ -179,6 +228,7 @@ impl VectorService {
         let selection = self.classify(fv, Some(&z), fall_back);
         self.monitor
             .record_single(true, selection.out_of_distribution, selection.fell_back);
+        self.note_fallback_transition(fall_back);
         if let Some(trace) = &self.trace {
             trace.record_batch(
                 self.artifact.revision,
@@ -257,6 +307,7 @@ impl VectorService {
         };
         self.monitor
             .record_batch(selections.len() as u64, probed, ood, fallbacks);
+        self.note_fallback_transition(fall_back);
         if let Some(trace) = &self.trace {
             trace.record_batch(self.artifact.revision, vectors, payloads, &selections);
         }
@@ -408,6 +459,52 @@ mod tests {
         );
         svc.reset_drift();
         assert_eq!(svc.trip_rate(), 0.0, "reset re-arms the rate");
+    }
+
+    #[test]
+    fn drift_transitions_are_journaled_to_the_event_log() {
+        use intune_obs::{read_events, EventKind, EventLog};
+
+        let dir = std::env::temp_dir().join(format!("intune-serve-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drift-events.log");
+        let _ = std::fs::remove_file(&path);
+        let events = Arc::new(EventLog::open(&path).unwrap());
+
+        let mut svc = vector_service(ServeOptions {
+            radius_factor: -1.0, // synthetic drift storm: everything OOD
+            min_observations: 8,
+            drift_threshold: 0.5,
+            ..ServeOptions::default()
+        });
+        svc.set_events(Some(events.clone()));
+        let vs = vectors(16, 5);
+        svc.select_vector_batch(&vs).unwrap(); // trips at batch exit
+        svc.select_vector_batch(&vs).unwrap(); // already tripped: no event
+        svc.reset_drift(); // recovery is journaled too
+
+        let scan = read_events(&path).unwrap();
+        assert!(scan.torn.is_none());
+        let kinds: Vec<&EventKind> = scan.events.iter().map(|e| &e.kind).collect();
+        assert_eq!(
+            kinds.len(),
+            2,
+            "one trip + one clear, no repeats: {kinds:?}"
+        );
+        match kinds[0] {
+            EventKind::DriftTripped {
+                probed,
+                ood,
+                trip_rate,
+            } => {
+                assert_eq!((*probed, *ood), (16, 16));
+                assert_eq!(*trip_rate, 1.0);
+            }
+            other => panic!("expected DriftTripped, got {other:?}"),
+        }
+        assert!(matches!(kinds[1], EventKind::FallbackCleared { .. }));
+        assert_eq!(scan.events[0].tenant, svc.artifact().benchmark);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -226,6 +226,7 @@ fn drifted_traffic_retrains_and_promotes_revision_n_plus_one_without_a_restart()
         mirror_batch: 8,
         remove_compacted: true,
         admission: AdmissionPolicy::default(),
+        events: None,
     };
     let report = run_cycle(&b, &base, &opts, &engine, &cfg, &client).expect("cycle runs");
     assert_eq!(report.compaction.records, 24);
