@@ -26,9 +26,10 @@ use intune_eval::{visit_case, CaseVisitor, SuiteConfig, TestCase};
 use intune_exec::Engine;
 use intune_learning::pipeline::learn;
 use intune_learning::TwoLevelOptions;
-use intune_obs::{Histogram, LatencySummary};
+use intune_obs::{Histogram, LatencySummary, SpanLog};
 use intune_serve::{ModelArtifact, ServeOptions, ARTIFACT_VERSION};
 use serde_json::Value;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Knobs of the daemon load test.
@@ -111,6 +112,23 @@ pub struct TenantBenchResult {
     pub promoted_revision: u64,
 }
 
+/// The tracing-overhead phase: the same load replayed against a second
+/// daemon that head-samples 1-in-64 requests into a span log. Wall-clock
+/// figures are environment-dependent; `spans_recorded` is deterministic
+/// (the sampler admits the first request and every 64th thereafter, and
+/// each sampled request records a fixed set of spans).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBenchResult {
+    /// Wall time of the traced load phase, milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate selections per second under 1-in-64 sampling.
+    pub selections_per_sec: f64,
+    /// Spans the daemon appended to its log during the phase.
+    pub spans_recorded: u64,
+    /// `traced wall / untraced wall` — ~1.0 when sampling is cheap.
+    pub overhead_ratio: f64,
+}
+
 /// The measured outcome (see module docs for what is deterministic).
 #[derive(Debug, Clone)]
 pub struct DaemonBenchResult {
@@ -130,6 +148,8 @@ pub struct DaemonBenchResult {
     pub latency: LatencyHistogram,
     /// Per-tenant counters, in `cases` order.
     pub tenants: Vec<TenantBenchResult>,
+    /// The 1-in-64 sampled re-run.
+    pub traced: TraceBenchResult,
 }
 
 /// Extracts the case's artifact and the full feature vectors of its
@@ -173,15 +193,25 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
     // `Benchmark::name()` keys tenants, not the case name: e.g. the
     // `sort2` case serves benchmark `sort`.
     let mut tenant_names: Vec<String> = Vec::with_capacity(cfg.cases.len());
+    // Artifacts for the traced re-run daemon, cloned before the specs
+    // consume them.
+    let mut traced_specs = Vec::with_capacity(cfg.cases.len());
     for case in &cfg.cases {
         let (artifact, features) =
             visit_case(*case, &cfg.suite, &engine, &mut ExportVisitor).expect("training failed");
         shadows.push(artifact.clone().with_revision(2));
         tenant_names.push(artifact.benchmark.clone());
+        traced_specs.push(TenantSpec {
+            artifact: artifact.clone(),
+            trace: None,
+            recorder: None,
+            trace_sample: None,
+        });
         specs.push(TenantSpec {
             artifact,
             trace: None,
             recorder: None,
+            trace_sample: None,
         });
         tenant_features.push(features);
     }
@@ -227,25 +257,133 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
         control.load_artifact(shadow).expect("stage shadow");
     }
 
-    // The load phase: N clients x R framed batches each, client i bound
-    // to tenant i mod cases. Thread spawns and the N `Hello` handshakes
-    // happen *before* the barrier so the timed window measures serving
-    // throughput, not connection setup. Each client drives the wire
-    // protocol directly with a request body encoded **once** — a load
-    // generator re-serializing the identical batch every iteration
-    // measures its own JSON printer, not the daemon. Responses are still
-    // fully decoded and checked per frame. Every client records each
-    // frame's round trip straight into one shared wait-free histogram —
-    // no per-thread sample vectors, no post-hoc sort/merge.
-    let ready = std::sync::Barrier::new(cfg.clients + 1);
     let latency = Histogram::new();
+    let wall = hammer(&addr, cfg, &tenant_names, &tenant_features, &latency);
+
+    // Per-tenant accounting, promotes, and the final shutdown (sent once;
+    // the daemon is one process).
+    let mut tenants = Vec::with_capacity(cfg.cases.len());
+    let mut total_requests = 0u64;
+    let mut total_selections = 0u64;
+    for (t, (case, control)) in cfg.cases.iter().zip(&controls).enumerate() {
+        let stats = control.stats().expect("stats");
+        let shadow = stats.shadow.expect("shadow still staged");
+        let promoted_revision = control.promote().expect("promote gate");
+        let clients =
+            (cfg.clients / cfg.cases.len() + usize::from(t < cfg.clients % cfg.cases.len())) as u64;
+        let batch_size = tenant_features[t].len() as u64;
+        let requests = clients * cfg.batches_per_client as u64;
+        let selections = requests * batch_size;
+        total_requests += requests;
+        total_selections += selections;
+        tenants.push(TenantBenchResult {
+            case: case.name().to_string(),
+            clients,
+            batch_size,
+            requests,
+            selections,
+            shadow_mirrored: shadow.mirrored,
+            shadow_agreed: shadow.agreed,
+            shadow_agreement_rate: shadow.agreement_rate,
+            promoted_revision,
+        });
+    }
+    controls[0].shutdown().expect("shutdown");
+    handle.join().expect("daemon exit");
+
+    // Tracing-overhead phase: the identical load against a fresh daemon
+    // that head-samples 1-in-64 requests into a span log (no shadows —
+    // the comparison isolates the sampling layer, not the mirror).
+    let span_path = std::env::temp_dir().join(format!(
+        "intune-bench-daemon-{}.spans.log",
+        std::process::id()
+    ));
+    std::fs::remove_file(&span_path).ok();
+    let spans = Arc::new(SpanLog::open(&span_path).expect("span log"));
+    let traced_daemon = Daemon::bind_tenants(
+        traced_specs,
+        DaemonOptions {
+            serve: ServeOptions {
+                threads: cfg.threads,
+                drift_threshold: 1.0,
+                ..ServeOptions::default()
+            },
+            trace_sample: 64,
+            spans: Some(Arc::clone(&spans)),
+            ..DaemonOptions::default()
+        },
+        &ListenConfig::default(),
+    )
+    .expect("traced daemon bind failed");
+    let traced_addr = traced_daemon.tcp_addr().to_string();
+    let traced_handle = traced_daemon.spawn();
+    let traced_latency = Histogram::new();
+    let traced_wall = hammer(
+        &traced_addr,
+        cfg,
+        &tenant_names,
+        &tenant_features,
+        &traced_latency,
+    );
+    DaemonClient::connect_to(&traced_addr, &tenant_names[0])
+        .expect("traced control client")
+        .shutdown()
+        .expect("traced shutdown");
+    traced_handle.join().expect("traced daemon exit");
+    let spans_recorded = spans.appended();
+    drop(spans);
+    std::fs::remove_file(&span_path).ok();
+
+    DaemonBenchResult {
+        clients: cfg.clients as u64,
+        batches_per_client: cfg.batches_per_client as u64,
+        requests: total_requests,
+        selections: total_selections,
+        wall_ms: wall * 1e3,
+        selections_per_sec: if wall > 0.0 {
+            total_selections as f64 / wall
+        } else {
+            0.0
+        },
+        latency: LatencyHistogram::of(&latency),
+        tenants,
+        traced: TraceBenchResult {
+            wall_ms: traced_wall * 1e3,
+            selections_per_sec: if traced_wall > 0.0 {
+                total_selections as f64 / traced_wall
+            } else {
+                0.0
+            },
+            spans_recorded,
+            overhead_ratio: if wall > 0.0 { traced_wall / wall } else { 0.0 },
+        },
+    }
+}
+
+/// The load phase: N clients x R framed batches each, client i bound
+/// to tenant i mod cases. Thread spawns and the N `Hello` handshakes
+/// happen *before* the barrier so the timed window measures serving
+/// throughput, not connection setup. Each client drives the wire
+/// protocol directly with a request body encoded **once** — a load
+/// generator re-serializing the identical batch every iteration
+/// measures its own JSON printer, not the daemon. Responses are still
+/// fully decoded and checked per frame. Every client records each
+/// frame's round trip straight into one shared wait-free histogram —
+/// no per-thread sample vectors, no post-hoc sort/merge. Returns the
+/// wall time of the timed window in seconds.
+fn hammer(
+    addr: &str,
+    cfg: &DaemonBenchConfig,
+    tenant_names: &[String],
+    tenant_features: &[Vec<FeatureVector>],
+    latency: &Histogram,
+) -> f64 {
+    let ready = std::sync::Barrier::new(cfg.clients + 1);
     let mut start = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
-                let addr = &addr;
                 let ready = &ready;
-                let latency = &latency;
                 let name = &tenant_names[i % cfg.cases.len()];
                 let features = &tenant_features[i % cfg.cases.len()];
                 scope.spawn(move || {
@@ -291,53 +429,7 @@ pub fn daemon_baseline(cfg: &DaemonBenchConfig) -> DaemonBenchResult {
             h.join().expect("client thread panicked");
         }
     });
-    let wall = start.elapsed().as_secs_f64();
-
-    // Per-tenant accounting, promotes, and the final shutdown (sent once;
-    // the daemon is one process).
-    let mut tenants = Vec::with_capacity(cfg.cases.len());
-    let mut total_requests = 0u64;
-    let mut total_selections = 0u64;
-    for (t, (case, control)) in cfg.cases.iter().zip(&controls).enumerate() {
-        let stats = control.stats().expect("stats");
-        let shadow = stats.shadow.expect("shadow still staged");
-        let promoted_revision = control.promote().expect("promote gate");
-        let clients =
-            (cfg.clients / cfg.cases.len() + usize::from(t < cfg.clients % cfg.cases.len())) as u64;
-        let batch_size = tenant_features[t].len() as u64;
-        let requests = clients * cfg.batches_per_client as u64;
-        let selections = requests * batch_size;
-        total_requests += requests;
-        total_selections += selections;
-        tenants.push(TenantBenchResult {
-            case: case.name().to_string(),
-            clients,
-            batch_size,
-            requests,
-            selections,
-            shadow_mirrored: shadow.mirrored,
-            shadow_agreed: shadow.agreed,
-            shadow_agreement_rate: shadow.agreement_rate,
-            promoted_revision,
-        });
-    }
-    controls[0].shutdown().expect("shutdown");
-    handle.join().expect("daemon exit");
-
-    DaemonBenchResult {
-        clients: cfg.clients as u64,
-        batches_per_client: cfg.batches_per_client as u64,
-        requests: total_requests,
-        selections: total_selections,
-        wall_ms: wall * 1e3,
-        selections_per_sec: if wall > 0.0 {
-            total_selections as f64 / wall
-        } else {
-            0.0
-        },
-        latency: LatencyHistogram::of(&latency),
-        tenants,
-    }
+    start.elapsed().as_secs_f64()
 }
 
 /// Renders the result as the `BENCH_daemon.json` document (through
@@ -368,7 +460,7 @@ pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> S
         })
         .collect();
     let doc = report::obj(vec![
-        ("schema", Value::String("intune-bench-daemon/2".into())),
+        ("schema", Value::String("intune-bench-daemon/3".into())),
         ("artifact_version", Value::UInt(ARTIFACT_VERSION as u64)),
         ("clients", Value::UInt(r.clients)),
         ("batches_per_client", Value::UInt(r.batches_per_client)),
@@ -389,6 +481,18 @@ pub fn daemon_baseline_json(cfg: &DaemonBenchConfig, r: &DaemonBenchResult) -> S
                 ("p99", report::ms(r.latency.p99_ms)),
                 ("p999", report::ms(r.latency.p999_ms)),
                 ("max", report::ms(r.latency.max_ms)),
+            ]),
+        ),
+        (
+            "trace_1_in_64",
+            report::obj(vec![
+                ("wall_ms", report::ms(r.traced.wall_ms)),
+                (
+                    "selections_per_sec",
+                    Value::Float(r.traced.selections_per_sec.round()),
+                ),
+                ("spans_recorded", Value::UInt(r.traced.spans_recorded)),
+                ("overhead_ratio", report::rate(r.traced.overhead_ratio)),
             ]),
         ),
         ("tenants", report::obj(tenants)),
@@ -438,6 +542,15 @@ mod tests {
             assert_eq!(t.shadow_agreement_rate, 1.0);
             assert_eq!(t.promoted_revision, 2, "{}", t.case);
         }
+        // The 1-in-64 sampler admits the first request, so at least one
+        // request traced end to end: server span + stage spans + the
+        // service's own selection span.
+        assert!(
+            r.traced.spans_recorded >= 4,
+            "expected spans from the sampled request, got {}",
+            r.traced.spans_recorded
+        );
+        assert!(r.traced.overhead_ratio > 0.0);
     }
 
     #[test]
@@ -446,7 +559,10 @@ mod tests {
         let r = daemon_baseline(&cfg);
         let json = daemon_baseline_json(&cfg, &r);
         for key in [
-            "\"schema\": \"intune-bench-daemon/2\"",
+            "\"schema\": \"intune-bench-daemon/3\"",
+            "\"trace_1_in_64\"",
+            "\"spans_recorded\"",
+            "\"overhead_ratio\"",
             "\"artifact_version\": 2",
             "\"frame_latency_ms\"",
             "\"count\": 6",

@@ -144,6 +144,7 @@ pub fn replay_baseline(cfg: &ReplayBenchConfig) -> ReplayBenchResult {
             artifact: artifact.clone(),
             trace: None,
             recorder: Some(sink.clone()),
+            trace_sample: None,
         }],
         DaemonOptions {
             serve: serve.clone(),

@@ -50,6 +50,7 @@ mod cost;
 mod error;
 mod features;
 mod selector;
+mod trace;
 
 pub use benchmark::{AccuracySpec, Benchmark, BenchmarkExt};
 pub use config::{
@@ -59,3 +60,4 @@ pub use cost::{Cost, ExecutionReport, Stopwatch};
 pub use error::{Error, Result};
 pub use features::{FeatureDef, FeatureId, FeatureSample, FeatureSet, FeatureVector};
 pub use selector::{Selector, SelectorSpec};
+pub use trace::TraceContext;

@@ -1,0 +1,106 @@
+//! Trace context: the per-request identity that follows one input
+//! across process boundaries.
+//!
+//! A [`TraceContext`] names one request's journey — client, wire,
+//! daemon stages, selection, journal, retrain — with a single
+//! `trace_id`. It rides the wire as an *optional* field on selection
+//! messages (absent = untraced, so the encoding of untraced traffic is
+//! byte-identical to a build that predates tracing) and is echoed into
+//! every span a layer records for the request (`intune_obs::trace`).
+//!
+//! Identifiers are minted deterministically (a per-process nonce mixed
+//! with a monotone counter — never wall-clock time), so tests and
+//! replays produce stable ids.
+
+use serde::{Deserialize, Serialize};
+
+/// The portable trace identity of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The trace this request belongs to (non-zero for a real trace).
+    pub trace_id: u64,
+    /// Span id of the caller's span, for parent/child linkage across
+    /// the wire (0 = the trace root has no parent).
+    pub parent_span: u64,
+    /// Head-based sampling verdict: only sampled requests record spans
+    /// downstream. Carried explicitly so an unsampled context can still
+    /// propagate its id without obliging servers to pay span cost.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled root context for `trace_id` (no parent span yet).
+    #[must_use]
+    pub fn root(trace_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+            sampled: true,
+        }
+    }
+
+    /// This context re-parented under `span_id` — what a layer passes
+    /// to its callee after opening its own span.
+    #[must_use]
+    pub fn child_of(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: span_id,
+            sampled: self.sampled,
+        }
+    }
+
+    /// Renders a trace id the way every tool prints and accepts it:
+    /// 16 lowercase hex digits.
+    #[must_use]
+    pub fn format_trace_id(trace_id: u64) -> String {
+        format!("{trace_id:016x}")
+    }
+
+    /// Parses a trace id printed by [`TraceContext::format_trace_id`]
+    /// (plain decimal is accepted too, for hand-typed ids).
+    #[must_use]
+    pub fn parse_trace_id(text: &str) -> Option<u64> {
+        if let Ok(v) = text.parse::<u64>() {
+            return Some(v);
+        }
+        u64::from_str_radix(text.trim_start_matches("0x"), 16).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_round_trips_and_elides_nothing() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef,
+            parent_span: 7,
+            sampled: true,
+        };
+        let v = serde_json::to_value(&ctx);
+        let back: TraceContext = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, ctx);
+    }
+
+    #[test]
+    fn child_links_to_the_parent_span() {
+        let root = TraceContext::root(42);
+        assert_eq!(root.parent_span, 0);
+        assert!(root.sampled);
+        let child = root.child_of(9);
+        assert_eq!(child.trace_id, 42);
+        assert_eq!(child.parent_span, 9);
+    }
+
+    #[test]
+    fn trace_ids_print_and_parse_as_hex() {
+        let text = TraceContext::format_trace_id(255);
+        assert_eq!(text, "00000000000000ff");
+        assert_eq!(TraceContext::parse_trace_id(&text), Some(255));
+        assert_eq!(TraceContext::parse_trace_id("255"), Some(255));
+        assert_eq!(TraceContext::parse_trace_id("0xff"), Some(255));
+        assert_eq!(TraceContext::parse_trace_id("nope"), None);
+    }
+}

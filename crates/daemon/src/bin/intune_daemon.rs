@@ -7,6 +7,7 @@
 //!     [--uds /tmp/intune.sock] [--journal DIR] [--journal-segment N] \
 //!     [--record DIR] [--record-segment N] \
 //!     [--metrics 127.0.0.1:0] [--events events.log] \
+//!     [--spans DIR] [--trace-sample N] \
 //!     [--threads N] [--probe-every N] \
 //!     [--radius-factor X] [--drift-threshold X] [--min-observations N] \
 //!     [--shadow-drift-threshold X] [--shadow-min-observations N] \
@@ -33,6 +34,12 @@
 //! directory layout mirrors `--journal`: the sole tenant records into
 //! DIR itself, several tenants into `DIR/<benchmark>/`.
 //!
+//! `--spans DIR` appends sampled request spans to
+//! `DIR/intune-daemon.spans.log` (`intune-obs-span/1`); `--trace-sample N`
+//! self-samples 1-in-N un-traced batch requests (0, the default, traces
+//! only requests whose clients shipped a sampled context). `intune_trace`
+//! reassembles the per-process logs in DIR into trace trees.
+//!
 //! Prints exactly one `listening on ADDR` line to stdout once bound (so
 //! scripts can grab the resolved ephemeral port), then serves until a
 //! client sends `Shutdown`. `--drift-threshold 1` disables the fallback
@@ -42,7 +49,7 @@
 
 use intune_daemon::{Daemon, DaemonOptions, ListenConfig, TenantSpec};
 use intune_datalog::{RecorderSink, RecordingOptions};
-use intune_obs::EventLog;
+use intune_obs::{EventLog, SpanLog};
 use intune_serve::{JournalOptions, JournalSink, ModelArtifact, ServeOptions, TraceSink};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -91,6 +98,17 @@ fn main() {
                         eprintln!("journaling lifecycle events to {value}");
                         opts.events = Some(Arc::new(log));
                     }
+                    "--spans" => {
+                        let dir = PathBuf::from(value);
+                        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                            die(&format!("cannot create span dir {value}: {e}"))
+                        });
+                        let path = dir.join("intune-daemon.spans.log");
+                        let log = SpanLog::open(&path).unwrap_or_else(|e| die(&e.to_string()));
+                        eprintln!("recording sampled spans to {}", path.display());
+                        opts.spans = Some(Arc::new(log));
+                    }
+                    "--trace-sample" => opts.trace_sample = parse(flag, value),
                     "--threads" => opts.serve.threads = parse(flag, value),
                     "--probe-every" => opts.serve.probe_every = parse(flag, value),
                     "--radius-factor" => opts.serve.radius_factor = parse(flag, value),
@@ -153,6 +171,7 @@ fn main() {
                 artifact,
                 trace,
                 recorder,
+                trace_sample: None,
             }
         })
         .collect();
@@ -208,6 +227,7 @@ fn usage() -> ! {
         "usage: intune_daemon --artifact PATH [--artifact PATH ...] \
          [--listen ADDR] [--uds PATH] \
          [--metrics ADDR] [--events PATH] \
+         [--spans DIR] [--trace-sample N] \
          [--journal DIR] [--journal-segment N] \
          [--record DIR] [--record-segment N] \
          [--threads N] [--probe-every N] [--radius-factor X] \

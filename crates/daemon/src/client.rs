@@ -9,14 +9,16 @@
 //! the answers byte-identical.
 
 use crate::protocol::{self, DaemonStats, MetricsSnapshot, Request, Response};
-use intune_core::{Error, FeatureVector, Result};
+use intune_core::{Error, FeatureVector, Result, TraceContext};
 use intune_learning::pipeline::SelectionBackend;
+use intune_obs::{IdMinter, Sampler, Span, SpanLog};
 use intune_serve::{ModelArtifact, Selection};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Address prefix selecting a Unix-domain socket connection
 /// (`unix:/path/to.sock`); anything else is dialed as TCP `host:port`.
@@ -86,6 +88,30 @@ struct Io {
 pub struct DaemonClient {
     io: Mutex<Io>,
     info: ServerInfo,
+    tracing: Option<ClientTracing>,
+}
+
+/// Client-side head sampling: the sampler decides, the minter names, and
+/// the span log receives the `client.select_batch` span that anchors the
+/// cross-process trace tree.
+struct ClientTracing {
+    sampler: Sampler,
+    minter: IdMinter,
+    spans: Arc<SpanLog>,
+}
+
+impl ClientTracing {
+    /// One sampling decision: `Some((context-to-send, client-span-id))`
+    /// on a hit. The context is already parented on the client span, so
+    /// the daemon's `server.request` nests under it.
+    fn sample(&self) -> Option<(TraceContext, u64)> {
+        if !self.sampler.decide() {
+            return None;
+        }
+        let trace_id = self.minter.next();
+        let span_id = self.minter.next();
+        Some((TraceContext::root(trace_id).child_of(span_id), span_id))
+    }
 }
 
 impl DaemonClient {
@@ -160,12 +186,48 @@ impl DaemonClient {
                 artifact_version,
                 landmarks,
             },
+            tracing: None,
         })
     }
 
     /// What the daemon reported at connect time.
     pub fn info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// Turns on head-based trace sampling: 1-in-`every` selection
+    /// requests (0 = none, 1 = all) carry a freshly minted trace context
+    /// onto the wire, and each sampled request records a
+    /// `client.select_batch` root span into `spans`. Ids are minted from
+    /// a per-connection deterministic counter — no wall clock.
+    pub fn enable_tracing(&mut self, every: u64, spans: Arc<SpanLog>) {
+        self.tracing = Some(ClientTracing {
+            sampler: Sampler::new(every),
+            minter: IdMinter::new(&format!(
+                "{}/{}/{}",
+                self.info.server,
+                self.info.benchmark,
+                std::process::id()
+            )),
+            spans,
+        });
+    }
+
+    /// Records the client-side root span for one sampled round trip.
+    fn record_client_span(&self, ctx: &TraceContext, span_id: u64, batch: usize, started: Instant) {
+        if let Some(tracing) = &self.tracing {
+            tracing.spans.record(
+                &Span::new(
+                    ctx.trace_id,
+                    span_id,
+                    0,
+                    "client.select_batch",
+                    &self.info.benchmark,
+                )
+                .annotate("batch", batch)
+                .lasting(elapsed_ns(started)),
+            );
+        }
     }
 
     fn roundtrip(&self, request: &Request) -> Result<Response> {
@@ -182,15 +244,24 @@ impl DaemonClient {
     /// Returns [`Error::Wire`] on transport failure or a server-side
     /// rejection (ill-shaped vectors).
     pub fn select_batch(&self, features: &[FeatureVector]) -> Result<Vec<Selection>> {
+        let sampled = self.tracing.as_ref().and_then(ClientTracing::sample);
+        let started = Instant::now();
         // Encoded from the borrowed slice: no clone of the batch on the
-        // hot path.
-        let body = protocol::encode_select_batch(features);
+        // hot path. A sampled request takes the trace-carrying encoder —
+        // byte-identical except for the appended `trace` field.
+        let body = match &sampled {
+            Some((ctx, _)) => protocol::encode_select_batch_with_trace(features, ctx),
+            None => protocol::encode_select_batch(features),
+        };
         let mut io = self
             .io
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let response = roundtrip_body(&mut io, &body)?;
         drop(io);
+        if let Some((ctx, span_id)) = &sampled {
+            self.record_client_span(ctx, *span_id, features.len(), started);
+        }
         match response {
             Response::Selections { selections } => Ok(selections),
             other => Err(unexpected("Selections", &other)),
@@ -211,10 +282,16 @@ impl DaemonClient {
         features: &[FeatureVector],
         payloads: &[serde_json::Value],
     ) -> Result<Vec<Selection>> {
+        let sampled = self.tracing.as_ref().and_then(ClientTracing::sample);
+        let started = Instant::now();
         let response = self.roundtrip(&Request::SelectBatchTraced {
             features: features.to_vec(),
             payloads: payloads.to_vec(),
+            trace: sampled.as_ref().map(|(ctx, _)| *ctx),
         })?;
+        if let Some((ctx, span_id)) = &sampled {
+            self.record_client_span(ctx, *span_id, features.len(), started);
+        }
         match response {
             Response::Selections { selections } => Ok(selections),
             other => Err(unexpected("Selections", &other)),
@@ -250,23 +327,45 @@ impl DaemonClient {
         // borrowed as disjoint fields.
         let io = &mut *guard;
         let mut results = Vec::with_capacity(batches.len());
+        // Sampling decisions for in-flight requests, indexed like
+        // `batches`: a sampled entry remembers its context, client span,
+        // and send time so the span can be closed when the in-order
+        // reply arrives.
+        let mut traces: Vec<Option<(TraceContext, u64, Instant)>> =
+            Vec::with_capacity(batches.len());
         let mut sent = 0usize;
         while results.len() < batches.len() {
             while sent < batches.len() && sent - results.len() < window {
                 let (features, payloads) = batches[sent];
+                let sampled = self.tracing.as_ref().and_then(ClientTracing::sample);
                 let body = if payloads.is_empty() {
-                    protocol::encode_select_batch(features)
+                    match &sampled {
+                        Some((ctx, _)) => protocol::encode_select_batch_with_trace(features, ctx),
+                        None => protocol::encode_select_batch(features),
+                    }
                 } else {
                     protocol::encode_message(&Request::SelectBatchTraced {
                         features: features.to_vec(),
                         payloads: payloads.to_vec(),
+                        trace: sampled.as_ref().map(|(ctx, _)| *ctx),
                     })
                 };
+                traces.push(sampled.map(|(ctx, span)| (ctx, span, Instant::now())));
                 protocol::write_frame(&mut io.conn, &body)?;
                 sent += 1;
             }
             match io.reader.recv::<_, Response>(&mut io.conn)? {
-                Some(Response::Selections { selections }) => results.push(selections),
+                Some(Response::Selections { selections }) => {
+                    if let Some(Some((ctx, span_id, started))) = traces.get(results.len()) {
+                        self.record_client_span(
+                            ctx,
+                            *span_id,
+                            batches[results.len()].0.len(),
+                            *started,
+                        );
+                    }
+                    results.push(selections);
+                }
                 Some(other) => return Err(unexpected("Selections", &other)),
                 None => return Err(Error::wire("daemon closed the connection mid-request")),
             }
@@ -382,6 +481,11 @@ impl SelectionBackend for DaemonClient {
             .map(|s| (s.landmark, s.extraction_cost))
             .collect())
     }
+}
+
+/// Nanoseconds since `start`, saturating at `u64::MAX`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One send + one receive on a connection.

@@ -162,11 +162,13 @@ mod tests {
                 artifact: named_artifact("alpha", 1),
                 trace: None,
                 recorder: None,
+                trace_sample: None,
             },
             TenantSpec {
                 artifact: named_artifact("beta", 1),
                 trace: None,
                 recorder: None,
+                trace_sample: None,
             },
         ];
         let daemon = Daemon::bind_tenants(specs, opts, &ListenConfig::default()).unwrap();
@@ -233,6 +235,7 @@ mod tests {
             &mut raw,
             &Request::SelectBatch {
                 features: vec![vector(7.0)],
+                trace: None,
             },
         )
         .unwrap();
@@ -699,7 +702,9 @@ mod tests {
             "one connection, id 0"
         );
         match &recording.frames[2].body {
-            FrameBody::Select { features, payloads } => {
+            FrameBody::Select {
+                features, payloads, ..
+            } => {
                 assert_eq!(features.len(), 1);
                 assert_eq!(payloads, &vec![serde_json::Value::Int(7)]);
             }
@@ -861,11 +866,13 @@ mod tests {
                 artifact: named_artifact("alpha", 1),
                 trace: None,
                 recorder: None,
+                trace_sample: None,
             },
             TenantSpec {
                 artifact: named_artifact("beta", 1),
                 trace: None,
                 recorder: None,
+                trace_sample: None,
             },
         ];
         let listen = ListenConfig {
@@ -991,5 +998,142 @@ mod tests {
         };
         assert_eq!(latency.count, 1, "one select frame before the snapshot");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// One sampled request leaves a connected span tree across layers —
+    /// client root span, server span parented on it, stage spans and the
+    /// service's selection span under the server span — plus a latency
+    /// exemplar carrying the same trace id into `Metrics` and the scrape.
+    #[test]
+    fn traced_request_spans_cross_every_layer() {
+        use intune_obs::{read_span_dir, SpanLog};
+        let dir = std::env::temp_dir().join(format!("intune-daemon-spans-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let daemon_log = std::sync::Arc::new(SpanLog::open(&dir.join("daemon.spans.log")).unwrap());
+        let client_log = std::sync::Arc::new(SpanLog::open(&dir.join("client.spans.log")).unwrap());
+
+        let opts = DaemonOptions {
+            trace_sample: 1,
+            spans: Some(std::sync::Arc::clone(&daemon_log)),
+            ..DaemonOptions::default()
+        };
+        let daemon = Daemon::bind(artifact(1), opts, &ListenConfig::default()).unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        let handle = daemon.spawn();
+        let mut client = DaemonClient::connect(&addr).unwrap();
+        client.enable_tracing(1, std::sync::Arc::clone(&client_log));
+
+        client.select_batch(&[vector(3.0)]).unwrap();
+        let metrics = client.metrics().unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        let scan = read_span_dir(&dir).unwrap();
+        assert!(scan.torn.is_none(), "clean shutdown leaves no torn tails");
+        let spans = scan.spans;
+        let client_span = spans
+            .iter()
+            .find(|s| s.name == "client.select_batch")
+            .expect("client root span recorded");
+        let trace = client_span.trace_id;
+        assert_ne!(trace, 0);
+        assert_eq!(
+            client_span.parent_span, 0,
+            "the client span roots the trace"
+        );
+        let server_span = spans
+            .iter()
+            .find(|s| s.name == "server.request")
+            .expect("server span recorded");
+        assert_eq!(server_span.trace_id, trace, "one id crosses the wire");
+        assert_eq!(
+            server_span.parent_span, client_span.span_id,
+            "the server span nests under the client's"
+        );
+        for stage in ["stage.decode", "stage.select", "stage.encode"] {
+            let span = spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("{stage} span recorded"));
+            assert_eq!(span.trace_id, trace);
+            assert_eq!(span.parent_span, server_span.span_id);
+        }
+        let service = spans
+            .iter()
+            .find(|s| s.name == "service.select")
+            .expect("service selection span recorded");
+        assert_eq!(service.trace_id, trace);
+        assert_eq!(service.parent_span, server_span.span_id);
+        assert!(
+            service
+                .annotations
+                .iter()
+                .any(|(k, v)| k == "revision" && v == "1"),
+            "{:?}",
+            service.annotations
+        );
+
+        // The same trace id surfaces as the tenant's latency exemplar.
+        let exemplar = metrics.tenants[0]
+            .exemplar
+            .as_ref()
+            .expect("sampled request leaves an exemplar");
+        assert_eq!(exemplar.trace_id, trace);
+        assert!(exemplar.value_ns > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The metrics endpoint is a GET-only scrape surface: non-GET
+    /// methods are refused with 405 (+ Allow), unknown paths with 404,
+    /// and a head that is not HTTP at all with 400 — each over a raw
+    /// socket, each on the same listener that serves real scrapes.
+    #[test]
+    fn http_metrics_endpoint_rejects_non_get_and_unknown_paths() {
+        use std::io::{Read as _, Write as _};
+        let listen = ListenConfig {
+            metrics: Some("127.0.0.1:0".to_string()),
+            ..ListenConfig::default()
+        };
+        let daemon = Daemon::bind(artifact(1), DaemonOptions::default(), &listen).unwrap();
+        let addr = daemon.tcp_addr().to_string();
+        let scrape_addr = daemon.metrics_addr().expect("metrics listener bound");
+        let handle = daemon.spawn();
+
+        let roundtrip = |request: &[u8]| {
+            let mut sock = std::net::TcpStream::connect(scrape_addr).unwrap();
+            sock.write_all(request).unwrap();
+            let mut reply = String::new();
+            sock.read_to_string(&mut reply).unwrap();
+            reply
+        };
+
+        let post = roundtrip(b"POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(
+            post.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"),
+            "{post}"
+        );
+        assert!(post.contains("Allow: GET\r\n"), "{post}");
+
+        let missing = roundtrip(b"GET /nope HTTP/1.0\r\n\r\n");
+        assert!(
+            missing.starts_with("HTTP/1.0 404 Not Found\r\n"),
+            "{missing}"
+        );
+
+        let garbage = roundtrip(b"definitely not http\r\n\r\n");
+        assert!(
+            garbage.starts_with("HTTP/1.0 400 Bad Request\r\n"),
+            "{garbage}"
+        );
+
+        // `/` and `/metrics` still scrape after the refusals.
+        let root = roundtrip(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(root.starts_with("HTTP/1.0 200 OK\r\n"), "{root}");
+        assert!(root.contains("intune_tenants 1"), "{root}");
+
+        let client = DaemonClient::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
     }
 }

@@ -74,6 +74,13 @@ pub enum Request {
         /// The vectors, shaped for the served artifact's feature
         /// declaration (`extract_all`-complete).
         features: Vec<FeatureVector>,
+        /// Optional trace context for end-to-end request tracing. The
+        /// field is **elided when absent** (`None` encodes nothing),
+        /// so untraced traffic is byte-identical to a wire/2 peer that
+        /// predates tracing — and the [`decode_select_batch`] fast
+        /// path, which only understands the canonical untraced shape,
+        /// keeps serving it. Traced frames take the generic route.
+        trace: Option<intune_core::TraceContext>,
     },
     /// [`Request::SelectBatch`] with opaque raw-input payloads riding
     /// along for the daemon's request journal (continuous learning
@@ -88,6 +95,10 @@ pub enum Request {
         features: Vec<FeatureVector>,
         /// One opaque input payload per vector (`null` allowed).
         payloads: Vec<serde_json::Value>,
+        /// Optional trace context, as in [`Request::SelectBatch`]
+        /// (elided when `None`; journaled requests carry the trace id
+        /// into the journal so retraining can cite its inputs).
+        trace: Option<intune_core::TraceContext>,
     },
     /// Requests the daemon's counter snapshot.
     Stats,
@@ -255,6 +266,18 @@ pub struct StageTimings {
     pub queued_write: LatencySummary,
 }
 
+/// A latency exemplar: one concrete traced request standing in for an
+/// aggregate — the link from a histogram reading to a trace an operator
+/// can pull up with `intune_trace --trace-id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyExemplar {
+    /// Trace id of the sampled request.
+    pub trace_id: u64,
+    /// Its latency reading, nanoseconds (bucket upper bound clamped to
+    /// the histogram max).
+    pub value_ns: u64,
+}
+
 /// One tenant's slice of the [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantMetrics {
@@ -272,6 +295,9 @@ pub struct TenantMetrics {
     pub promotions: u64,
     /// Shadows auto-rejected by the drift monitor since startup.
     pub shadow_rejections: u64,
+    /// The slowest sampled request since startup, when tracing sampled
+    /// one (elided when `None`, so pre-tracing peers interop).
+    pub exemplar: Option<LatencyExemplar>,
 }
 
 /// The daemon-wide observability snapshot: what [`Request::Metrics`]
@@ -311,6 +337,29 @@ pub fn encode_select_batch(features: &[FeatureVector]) -> String {
             "features".to_string(),
             serde::Serialize::to_value(&features),
         )]),
+    )]);
+    serde_json::to_string(&payload).expect("value printing is infallible")
+}
+
+/// [`encode_select_batch`] carrying a trace context — the sampled-path
+/// variant, still borrowing the vector slice. Byte-identical to the
+/// derive encoding of `Request::SelectBatch { features, trace: Some(..) }`
+/// (pinned by a unit test). The daemon's fast-path scanner does not
+/// recognize this shape and falls back to the generic parser: sampled
+/// requests pay the generic decode, untraced traffic never does.
+pub fn encode_select_batch_with_trace(
+    features: &[FeatureVector],
+    trace: &intune_core::TraceContext,
+) -> String {
+    let payload = serde_json::Value::Object(vec![(
+        "SelectBatch".to_string(),
+        serde_json::Value::Object(vec![
+            (
+                "features".to_string(),
+                serde::Serialize::to_value(&features),
+            ),
+            ("trace".to_string(), serde::Serialize::to_value(trace)),
+        ]),
     )]);
     serde_json::to_string(&payload).expect("value printing is infallible")
 }
@@ -799,6 +848,15 @@ mod tests {
             },
             Request::SelectBatch {
                 features: vec![vector(), vector()],
+                trace: None,
+            },
+            Request::SelectBatch {
+                features: vec![vector()],
+                trace: Some(intune_core::TraceContext {
+                    trace_id: 0xfeed_face,
+                    parent_span: 17,
+                    sampled: true,
+                }),
             },
             Request::SelectBatchTraced {
                 features: vec![vector(), vector()],
@@ -806,6 +864,16 @@ mod tests {
                     serde_json::Value::Array(vec![serde_json::Value::Float(0.1 + 0.2)]),
                     serde_json::Value::Null,
                 ],
+                trace: None,
+            },
+            Request::SelectBatchTraced {
+                features: vec![vector()],
+                payloads: vec![serde_json::Value::Bool(true)],
+                trace: Some(intune_core::TraceContext {
+                    trace_id: 1,
+                    parent_span: 0,
+                    sampled: false,
+                }),
             },
             Request::Stats,
             Request::LoadArtifact {
@@ -883,9 +951,24 @@ mod tests {
         assert_eq!(
             encode_select_batch(&features),
             encode_message(&Request::SelectBatch {
-                features: features.clone()
+                features: features.clone(),
+                trace: None,
             }),
-            "hand-tagged encoding must track the derive's external tagging"
+            "hand-tagged encoding must track the derive's external tagging \
+             (an absent trace context encodes nothing)"
+        );
+        let trace = intune_core::TraceContext {
+            trace_id: 0xabcd,
+            parent_span: 3,
+            sampled: true,
+        };
+        assert_eq!(
+            encode_select_batch_with_trace(&features, &trace),
+            encode_message(&Request::SelectBatch {
+                features,
+                trace: Some(trace),
+            }),
+            "traced hand-tagged encoding must track the derive too"
         );
     }
 
@@ -919,9 +1002,12 @@ mod tests {
         ] {
             let payload = encode_select_batch(&features);
             let fast = decode_select_batch(&payload).expect("canonical payload");
-            let Request::SelectBatch { features: generic } = decode_message(&payload).unwrap()
+            let Request::SelectBatch {
+                features: generic,
+                trace: None,
+            } = decode_message(&payload).unwrap()
             else {
-                panic!("generic parse must see a SelectBatch")
+                panic!("generic parse must see an untraced SelectBatch")
             };
             assert_eq!(fast, generic);
             // `PartialEq` treats -0.0 == 0.0; pin the bits as well.
@@ -938,14 +1024,17 @@ mod tests {
     #[test]
     fn fast_select_batch_decode_refuses_non_canonical_payloads() {
         let canonical = encode_select_batch(&[vector()]);
+        let traced =
+            encode_select_batch_with_trace(&[vector()], &intune_core::TraceContext::root(7));
         for payload in [
             "\"Stats\"".to_string(),
             "{\"Promote\":null}".to_string(),
-            format!(" {canonical}"),                     // leading whitespace
-            format!("{canonical} "),                     // trailing bytes
-            canonical.replace(":[", ": ["),              // inner whitespace
+            traced,                  // trace field: sampled requests take the generic route
+            format!(" {canonical}"), // leading whitespace
+            format!("{canonical} "), // trailing bytes
+            canonical.replace(":[", ": ["), // inner whitespace
             canonical.replace("\"slots\"", "\"stols\""), // foreign key
-            canonical.replace("1.5", "\"NaN\""),         // stringified float
+            canonical.replace("1.5", "\"NaN\""), // stringified float
             canonical[..canonical.len() - 1].to_string(), // truncated
         ] {
             assert!(
@@ -1032,6 +1121,7 @@ mod tests {
         let mut buf = Vec::new();
         let batch = Request::SelectBatch {
             features: vec![vector(); 16],
+            trace: None,
         };
         send(&mut buf, &batch).unwrap();
         send(&mut buf, &batch).unwrap();

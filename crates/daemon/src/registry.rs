@@ -13,7 +13,7 @@ use crate::shadow::ShadowState;
 use arc_swap::ArcSwap;
 use intune_core::{Error, Result};
 use intune_datalog::RecorderSink;
-use intune_obs::{Counter, EventLog, Histogram};
+use intune_obs::{Counter, EventLog, Histogram, Sampler, SpanLog};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
@@ -33,6 +33,11 @@ pub struct TenantSpec {
     /// (per-tenant for the same reason traces are — replay and
     /// divergence checks consume one recording per benchmark).
     pub recorder: Option<Arc<RecorderSink>>,
+    /// Per-tenant trace-sampling override: `Some(n)` samples 1-in-`n` of
+    /// this tenant's un-traced batch requests (`Some(0)` = never),
+    /// overriding the daemon-wide `--trace-sample` rate. `None` falls
+    /// through to the daemon's sampler.
+    pub trace_sample: Option<u64>,
 }
 
 impl std::fmt::Debug for TenantSpec {
@@ -42,6 +47,7 @@ impl std::fmt::Debug for TenantSpec {
             .field("revision", &self.artifact.revision)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("recorder", &self.recorder.as_ref().map(|_| "<sink>"))
+            .field("trace_sample", &self.trace_sample)
             .finish()
     }
 }
@@ -88,6 +94,8 @@ pub(crate) struct Tenant {
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
     /// This tenant's wire-traffic recorder (the `--record` tap).
     pub(crate) recorder: Option<Arc<RecorderSink>>,
+    /// Per-tenant sampler overriding the daemon-wide one, if configured.
+    pub(crate) sampler: Option<Sampler>,
     /// Per-tenant request metrics (counters + latency histogram).
     pub(crate) obs: TenantObs,
 }
@@ -112,6 +120,7 @@ impl ArtifactRegistry {
         specs: Vec<TenantSpec>,
         serve: &ServeOptions,
         events: Option<&Arc<EventLog>>,
+        spans: Option<&Arc<SpanLog>>,
     ) -> Result<Self> {
         if specs.is_empty() {
             return Err(Error::wire("a daemon needs at least one tenant artifact"));
@@ -130,6 +139,9 @@ impl ArtifactRegistry {
             // fallback transitions are journaled per tenant); promoted
             // successors re-attach it in `handle_promote`.
             primary.set_events(events.cloned());
+            // So does the span log: a traced request's `service.select`
+            // span must keep landing after a promotion.
+            primary.set_spans(spans.cloned());
             tenants.push(Arc::new(Tenant {
                 name,
                 primary: ArcSwap::from_pointee(primary),
@@ -141,6 +153,7 @@ impl ArtifactRegistry {
                 promotions: AtomicU64::new(0),
                 trace: spec.trace,
                 recorder: spec.recorder,
+                sampler: spec.trace_sample.map(Sampler::new),
                 obs: TenantObs::default(),
             }));
         }

@@ -34,13 +34,17 @@
 //! half-open socket waiting for a FIN that never comes.
 
 use crate::protocol::{
-    self, DaemonStats, Fill, MetricsSnapshot, Request, Response, StageTimings, TenantMetrics,
+    self, DaemonStats, Fill, LatencyExemplar, MetricsSnapshot, Request, Response, StageTimings,
+    TenantMetrics,
 };
 use crate::registry::{ArtifactRegistry, Tenant, TenantSpec};
 use crate::shadow::{ShadowPolicy, ShadowState};
-use intune_core::{Error, FeatureVector, Result};
+use intune_core::{Error, FeatureVector, Result, TraceContext};
 use intune_datalog::FrameBody;
-use intune_obs::{EventKind, EventLog, Histogram, LatencySummary, TextExposition};
+use intune_obs::{
+    EventKind, EventLog, Histogram, IdMinter, LatencySummary, Sampler, Span, SpanLog,
+    TextExposition,
+};
 use intune_serve::{ModelArtifact, ServeOptions, TraceSink, VectorService, ARTIFACT_VERSION};
 use mio::unix::SourceFd;
 use mio::{Events, Interest, Poll, Token};
@@ -139,6 +143,18 @@ pub struct DaemonOptions {
     /// crash-tolerant records. Shared by every tenant (each event is
     /// keyed by tenant and revision).
     pub events: Option<Arc<EventLog>>,
+    /// Head-based trace sampling for requests that arrive *without* a
+    /// trace context (`--trace-sample N` = 1-in-N, 0 = never — the
+    /// default). Requests that arrive inside a sampled context are
+    /// always traced: the client made the head decision. Per-tenant
+    /// overrides ride on [`TenantSpec::trace_sample`]. Only effective
+    /// when [`DaemonOptions::spans`] is attached.
+    pub trace_sample: u64,
+    /// Optional span log (the `--spans DIR` sink): sampled requests
+    /// append `server.request` plus per-stage child spans. `None`
+    /// disables server-side span capture entirely — the daemon still
+    /// propagates incoming contexts to journal and exemplars.
+    pub spans: Option<Arc<SpanLog>>,
 }
 
 impl Default for DaemonOptions {
@@ -152,6 +168,8 @@ impl Default for DaemonOptions {
             inject_faults: false,
             max_outbound_bytes: DEFAULT_MAX_OUTBOUND_BYTES,
             events: None,
+            trace_sample: 0,
+            spans: None,
         }
     }
 }
@@ -167,6 +185,8 @@ impl std::fmt::Debug for DaemonOptions {
             .field("inject_faults", &self.inject_faults)
             .field("max_outbound_bytes", &self.max_outbound_bytes)
             .field("events", &self.events.as_ref().map(|_| "<log>"))
+            .field("trace_sample", &self.trace_sample)
+            .field("spans", &self.spans.as_ref().map(|_| "<log>"))
             .finish()
     }
 }
@@ -211,16 +231,27 @@ struct DaemonObs {
     queued_write: Histogram,
     /// The lifecycle event log, if one is attached.
     events: Option<Arc<EventLog>>,
+    /// The span log, if `--spans` is attached.
+    spans: Option<Arc<SpanLog>>,
+    /// Daemon-wide head sampler for requests arriving without a trace
+    /// context (tenants may override with their own).
+    sampler: Sampler,
+    /// Mints trace and span ids — deterministic counter scrambles keyed
+    /// off a per-process nonce, never the wall clock.
+    minter: IdMinter,
 }
 
 impl DaemonObs {
-    fn new(events: Option<Arc<EventLog>>) -> Self {
+    fn new(events: Option<Arc<EventLog>>, spans: Option<Arc<SpanLog>>, trace_sample: u64) -> Self {
         DaemonObs {
             decode: Histogram::new(),
             select: Histogram::new(),
             encode: Histogram::new(),
             queued_write: Histogram::new(),
             events,
+            spans,
+            sampler: Sampler::new(trace_sample),
+            minter: IdMinter::new(&format!("intune-daemon/{}", std::process::id())),
         }
     }
 }
@@ -291,6 +322,7 @@ impl Daemon {
             artifact,
             trace: opts.trace.clone(),
             recorder: opts.record.clone(),
+            trace_sample: None,
         };
         Daemon::bind_tenants(vec![spec], opts, listen)
     }
@@ -308,7 +340,12 @@ impl Daemon {
         opts: DaemonOptions,
         listen: &ListenConfig,
     ) -> Result<Self> {
-        let registry = ArtifactRegistry::build(specs, &opts.serve, opts.events.as_ref())?;
+        let registry = ArtifactRegistry::build(
+            specs,
+            &opts.serve,
+            opts.events.as_ref(),
+            opts.spans.as_ref(),
+        )?;
         let tcp = TcpListener::bind(&listen.tcp)
             .map_err(|e| Error::wire(format!("cannot bind tcp {}: {e}", listen.tcp)))?;
         let tcp_addr = tcp
@@ -342,12 +379,14 @@ impl Daemon {
                 None => None,
             };
         let events = opts.events.clone();
+        let spans = opts.spans.clone();
+        let trace_sample = opts.trace_sample;
         Ok(Daemon {
             shared: Shared {
                 registry,
                 opts,
                 connections: AtomicU64::new(0),
-                obs: DaemonObs::new(events),
+                obs: DaemonObs::new(events, spans, trace_sample),
             },
             tcp,
             uds,
@@ -708,7 +747,7 @@ fn service_http(conn: &mut HttpConn, shared: &Shared) -> Verdict {
         if !respond {
             return Verdict::Keep;
         }
-        conn.outbox = render_scrape_response(shared);
+        conn.outbox = route_http(&conn.inbuf, shared);
     }
     loop {
         match conn.stream.write(&conn.outbox[conn.written..]) {
@@ -725,6 +764,56 @@ fn service_http(conn: &mut HttpConn, shared: &Shared) -> Verdict {
             Err(_) => return Verdict::Drop,
         }
     }
+}
+
+/// Routes one buffered request head: `GET /` and `GET /metrics` answer
+/// the scrape, any other method is refused with `405` (scrapes are
+/// reads — a `POST` here is a misconfigured client, not a scraper), any
+/// other path with `404`, and a head that is not even an HTTP request
+/// line with `400`. Error responses carry a one-line plain-text body so
+/// `curl` users see why.
+fn route_http(inbuf: &[u8], shared: &Shared) -> Vec<u8> {
+    let Some((method, path)) = parse_request_line(inbuf) else {
+        return render_http_error("400 Bad Request", "not an HTTP request\n");
+    };
+    if method != "GET" {
+        return render_http_error("405 Method Not Allowed", "only GET is served here\n");
+    }
+    if path != "/" && path != "/metrics" {
+        return render_http_error("404 Not Found", "try /metrics\n");
+    }
+    render_scrape_response(shared)
+}
+
+/// The `(method, path)` of the request line, or `None` when the head is
+/// not parseable as one. The path is taken up to any `?` — a scrape
+/// endpoint has no query parameters to honor.
+fn parse_request_line(inbuf: &[u8]) -> Option<(&str, &str)> {
+    let head = std::str::from_utf8(inbuf).ok()?;
+    let line = head.split("\r\n").next()?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+/// One complete `HTTP/1.0` error response.
+fn render_http_error(status: &str, body: &str) -> Vec<u8> {
+    let mut response = Vec::with_capacity(body.len() + 160);
+    response.extend_from_slice(format!("HTTP/1.0 {status}\r\n").as_bytes());
+    response.extend_from_slice(b"Content-Type: text/plain; charset=utf-8\r\n");
+    response.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    if status.starts_with("405") {
+        response.extend_from_slice(b"Allow: GET\r\n");
+    }
+    response.extend_from_slice(b"Connection: close\r\n\r\n");
+    response.extend_from_slice(body.as_bytes());
+    response
 }
 
 /// One complete `HTTP/1.0 200` response carrying the Prometheus text
@@ -901,6 +990,10 @@ struct Conn {
     lingering: bool,
     /// Peer sent EOF; serve out the outbox, then drop.
     peer_eof: bool,
+    /// `(trace_id, server_span)` of the most recent sampled request
+    /// whose reply is still in the outbox: the next flush is attributed
+    /// to it as a `stage.queued_write` span, then the slot clears.
+    pending_write_trace: Option<(u64, u64)>,
 }
 
 /// What the event loop should do with a connection after servicing it.
@@ -931,6 +1024,7 @@ impl Conn {
             closing: false,
             lingering: false,
             peer_eof: false,
+            pending_write_trace: None,
         }
     }
 
@@ -960,30 +1054,33 @@ impl Conn {
     /// overflow it is replaced by a typed error and the connection
     /// enters its closing sequence — the slow reader gets told why.
     /// Encode time (serialization + frame assembly) lands in the
-    /// `encode` stage histogram.
-    fn queue(&mut self, response: &Response, shared: &Shared) {
+    /// `encode` stage histogram and is returned so a traced request can
+    /// also attribute it to its `stage.encode` span.
+    fn queue(&mut self, response: &Response, shared: &Shared) -> u64 {
         let cap = shared.opts.max_outbound_bytes;
         if self.closing {
-            return;
+            return 0;
         }
         let encode_start = Instant::now();
         let frame = match protocol::encode_frame(&protocol::encode_message(response)) {
             Ok(frame) => frame,
             Err(e) => {
                 self.fail(e.to_string());
-                return;
+                return 0;
             }
         };
-        shared.obs.encode.record(elapsed_ns(encode_start));
+        let encode_ns = elapsed_ns(encode_start);
+        shared.obs.encode.record(encode_ns);
         if self.outbox_bytes + frame.len() > cap {
             self.fail(format!(
                 "outbound queue overflow: {} bytes already queued toward a reader \
                  that is not draining them (cap {cap}); disconnecting",
                 self.outbox_bytes
             ));
-            return;
+            return encode_ns;
         }
         self.push(frame);
+        encode_ns
     }
 
     /// Queues a typed error and starts the closing sequence: no more
@@ -1087,11 +1184,29 @@ fn service(conn: &mut Conn, event: mio::Event, shared: &Shared, stop: &mut bool)
 }
 
 /// Drains a connection's outbox, recording the time in the
-/// `queued_write` stage histogram.
+/// `queued_write` stage histogram — and, when a sampled request's reply
+/// is among the queued frames, as that trace's `stage.queued_write`
+/// span.
 fn timed_flush(conn: &mut Conn, shared: &Shared) -> std::io::Result<()> {
     let flush_start = Instant::now();
     let result = conn.flush();
-    shared.obs.queued_write.record(elapsed_ns(flush_start));
+    let flush_ns = elapsed_ns(flush_start);
+    shared.obs.queued_write.record(flush_ns);
+    if let Some((trace_id, server_span)) = conn.pending_write_trace.take() {
+        if let Some(spans) = &shared.obs.spans {
+            let tenant = conn.tenant.as_ref().map(|t| t.name.as_str()).unwrap_or("");
+            spans.record(
+                &Span::new(
+                    trace_id,
+                    shared.obs.minter.next(),
+                    server_span,
+                    "stage.queued_write",
+                    tenant,
+                )
+                .lasting(flush_ns),
+            );
+        }
+    }
     result
 }
 
@@ -1113,7 +1228,10 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
             let frame_start = Instant::now();
             let decoded = match conn.reader.pop_frame() {
                 Ok(Some(payload)) => match protocol::decode_select_batch(payload) {
-                    Some(features) => Ok(Request::SelectBatch { features }),
+                    Some(features) => Ok(Request::SelectBatch {
+                        features,
+                        trace: None,
+                    }),
                     None => protocol::decode_message::<Request>(payload),
                 },
                 Ok(None) => break,
@@ -1122,20 +1240,25 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
                     return Pump::Continue;
                 }
             };
-            let request = match decoded {
+            let mut request = match decoded {
                 Ok(request) => request,
                 Err(e) => {
                     conn.fail(e.to_string());
                     return Pump::Continue;
                 }
             };
-            shared.obs.decode.record(elapsed_ns(frame_start));
+            let decode_ns = elapsed_ns(frame_start);
+            shared.obs.decode.record(decode_ns);
             let is_shutdown = matches!(request, Request::Shutdown);
             let batch_len = match &request {
-                Request::SelectBatch { features } => Some(features.len()),
+                Request::SelectBatch { features, .. } => Some(features.len()),
                 Request::SelectBatchTraced { features, .. } => Some(features.len()),
                 _ => None,
             };
+            // Sampling decision before dispatch: a traced request has its
+            // context re-parented onto the server span so every span the
+            // handler records hangs off this request's node in the tree.
+            let traced = trace_decision(shared, &mut request, &conn.tenant);
             // Contain handler panics (including injected ones): the
             // poisoned request costs this connection, never the loop.
             let conn_id = conn.id;
@@ -1145,18 +1268,59 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
                 handle_request(shared, tenant, conn_id, request)
             })) {
                 Ok(response) => {
+                    let select_ns = elapsed_ns(select_start);
                     if batch_len.is_some() {
-                        shared.obs.select.record(elapsed_ns(select_start));
+                        shared.obs.select.record(select_ns);
                     }
-                    conn.queue(&response, shared);
+                    let encode_ns = conn.queue(&response, shared);
                     // Per-tenant request accounting: one request frame,
                     // its batch size, and the end-to-end latency (decode
                     // through reply queueing) into the tenant's own
-                    // wait-free histogram.
+                    // wait-free histogram. A sampled request also leaves
+                    // its trace id as the histogram's exemplar.
                     if let (Some(n), Some(tenant)) = (batch_len, &conn.tenant) {
                         tenant.obs.requests.incr();
                         tenant.obs.selections.add(n as u64);
-                        tenant.obs.latency.record(elapsed_ns(frame_start));
+                        let total_ns = elapsed_ns(frame_start);
+                        match traced {
+                            Some((ctx, _)) => {
+                                tenant.obs.latency.record_exemplar(total_ns, ctx.trace_id)
+                            }
+                            None => tenant.obs.latency.record(total_ns),
+                        }
+                    }
+                    if let (Some((ctx, server_span)), Some(spans)) = (traced, &shared.obs.spans) {
+                        let tenant_name =
+                            conn.tenant.as_ref().map(|t| t.name.as_str()).unwrap_or("");
+                        for (name, lasted) in [
+                            ("stage.decode", decode_ns),
+                            ("stage.select", select_ns),
+                            ("stage.encode", encode_ns),
+                        ] {
+                            spans.record(
+                                &Span::new(
+                                    ctx.trace_id,
+                                    shared.obs.minter.next(),
+                                    server_span,
+                                    name,
+                                    tenant_name,
+                                )
+                                .lasting(lasted),
+                            );
+                        }
+                        spans.record(
+                            &Span::new(
+                                ctx.trace_id,
+                                server_span,
+                                ctx.parent_span,
+                                "server.request",
+                                tenant_name,
+                            )
+                            .annotate("conn", conn_id)
+                            .annotate("batch", batch_len.unwrap_or(0))
+                            .lasting(elapsed_ns(frame_start)),
+                        );
+                        conn.pending_write_trace = Some((ctx.trace_id, server_span));
                     }
                 }
                 Err(_) => {
@@ -1188,6 +1352,48 @@ fn pump(conn: &mut Conn, shared: &Shared, stop: &mut bool) -> Pump {
             }
         }
     }
+}
+
+/// Decides whether this request is traced, and under which identity.
+///
+/// A client that shipped a sampled context always wins (head-based
+/// sampling: the client already paid the decision); a context with
+/// `sampled: false` is an explicit opt-out the daemon honors without
+/// re-sampling. A bare batch request consults the tenant's sampler when
+/// one is configured, else the daemon-wide one, and on a hit the daemon
+/// mints the root itself. Either way the request's embedded context is
+/// re-parented onto a freshly minted server span so downstream spans
+/// (service, stages) nest under this request. Returns the *incoming*
+/// context (original parent) plus the server span id, or `None` for an
+/// untraced request. Without a span log, nothing is ever traced.
+fn trace_decision(
+    shared: &Shared,
+    request: &mut Request,
+    tenant: &Option<Arc<Tenant>>,
+) -> Option<(TraceContext, u64)> {
+    shared.obs.spans.as_ref()?;
+    let slot = match request {
+        Request::SelectBatch { trace, .. } => trace,
+        Request::SelectBatchTraced { trace, .. } => trace,
+        _ => return None,
+    };
+    let ctx = match *slot {
+        Some(ctx) if ctx.sampled && ctx.trace_id != 0 => ctx,
+        Some(_) => return None,
+        None => {
+            let sampler = tenant
+                .as_ref()
+                .and_then(|t| t.sampler.as_ref())
+                .unwrap_or(&shared.obs.sampler);
+            if !sampler.decide() {
+                return None;
+            }
+            TraceContext::root(shared.obs.minter.next())
+        }
+    };
+    let server_span = shared.obs.minter.next();
+    *slot = Some(ctx.child_of(server_span));
+    Some((ctx, server_span))
 }
 
 /// Resolves the tenant a request should be served by: the connection's
@@ -1261,12 +1467,18 @@ fn handle_request(
             // connection: the client may Hello again.
             Err(detail) => Response::Error { detail },
         },
-        Request::SelectBatch { features } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(shared, &tenant, conn, &features, &[]),
+        Request::SelectBatch { features, trace } => match bound(shared, tenant) {
+            Ok(tenant) => handle_select(shared, &tenant, conn, &features, &[], trace.as_ref()),
             Err(detail) => Response::Error { detail },
         },
-        Request::SelectBatchTraced { features, payloads } => match bound(shared, tenant) {
-            Ok(tenant) => handle_select(shared, &tenant, conn, &features, &payloads),
+        Request::SelectBatchTraced {
+            features,
+            payloads,
+            trace,
+        } => match bound(shared, tenant) {
+            Ok(tenant) => {
+                handle_select(shared, &tenant, conn, &features, &payloads, trace.as_ref())
+            }
             Err(detail) => Response::Error { detail },
         },
         Request::Stats => match bound(shared, tenant) {
@@ -1340,10 +1552,13 @@ fn handle_select(
     conn: u64,
     features: &[FeatureVector],
     payloads: &[serde_json::Value],
+    trace: Option<&TraceContext>,
 ) -> Response {
     // The recorder tap sees the request *before* it is served: a replay
     // must re-pose exactly what arrived, including batches the primary
-    // goes on to refuse. Clones happen only on recording tenants.
+    // goes on to refuse. Clones happen only on recording tenants. The
+    // trace context rides along so a replayed recording reproduces the
+    // same trace ids.
     if let Some(recorder) = &tenant.recorder {
         recorder.record(
             &tenant.name,
@@ -1351,11 +1566,12 @@ fn handle_select(
             FrameBody::Select {
                 features: features.to_vec(),
                 payloads: payloads.to_vec(),
+                trace: trace.copied(),
             },
         );
     }
     let primary = tenant.primary.load();
-    let selections = match primary.select_vector_batch_traced(features, payloads) {
+    let selections = match primary.select_vector_batch_observed(features, payloads, trace) {
         Ok(s) => s,
         Err(e) => {
             return Response::Error {
@@ -1370,7 +1586,24 @@ fn handle_select(
             .map(|s| (Arc::clone(s), slot.staged_seq))
     };
     if let Some((shadow, seq)) = staged {
+        let mirror_start = Instant::now();
         let tripped = shadow.mirror(features, &selections).unwrap_or(true);
+        if let (Some(ctx), Some(spans)) = (
+            trace.filter(|c| c.sampled && c.trace_id != 0),
+            &shared.obs.spans,
+        ) {
+            spans.record(
+                &Span::new(
+                    ctx.trace_id,
+                    shared.obs.minter.next(),
+                    ctx.parent_span,
+                    "stage.shadow_mirror",
+                    &tenant.name,
+                )
+                .annotate("tripped", tripped)
+                .lasting(elapsed_ns(mirror_start)),
+            );
+        }
         if tripped {
             let mut slot = lock_unpoisoned(&tenant.shadow);
             if slot.staged_seq == seq && slot.shadow.is_some() {
@@ -1489,6 +1722,7 @@ fn handle_promote(shared: &Shared, tenant: &Tenant) -> Response {
             // So does the event log (drift trips, fallback recoveries).
             primary.set_trace(tenant.trace.clone());
             primary.set_events(shared.obs.events.clone());
+            primary.set_spans(shared.opts.spans.clone());
             tenant.primary.store(Arc::new(primary));
             tenant.promotions.fetch_add(1, Ordering::AcqRel);
             if let Some(events) = &shared.obs.events {
@@ -1572,12 +1806,16 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
             .iter()
             .map(|tenant| {
                 let primary = tenant.primary.load();
+                let latency = tenant.obs.latency.snapshot();
                 TenantMetrics {
                     benchmark: tenant.name.clone(),
                     revision: primary.artifact().revision,
                     requests: tenant.obs.requests.get(),
                     selections: tenant.obs.selections.get(),
-                    latency: summarize(&tenant.obs.latency),
+                    exemplar: latency
+                        .slowest_exemplar()
+                        .map(|(value_ns, trace_id)| LatencyExemplar { trace_id, value_ns }),
+                    latency: LatencySummary::of(&latency),
                     promotions: tenant.promotions.load(Ordering::Acquire),
                     shadow_rejections: tenant.shadow_rejections.load(Ordering::Acquire),
                 }
@@ -1615,7 +1853,7 @@ fn render_metrics_text(shared: &Shared) -> String {
             &[("tenant", name)],
             tenant.obs.selections.get(),
         );
-        expo.summary_seconds(
+        expo.summary_seconds_with_exemplar(
             "intune_request_seconds",
             &[("tenant", name)],
             &tenant.obs.latency.snapshot(),

@@ -12,7 +12,7 @@
 //! answer on yesterday's traffic" check.
 
 use crate::recording::RecordedFrame;
-use intune_core::{Error, FeatureVector, Result};
+use intune_core::{Error, FeatureVector, Result, TraceContext};
 use intune_serve::{Selection, VectorService};
 use serde_json::Value;
 use std::time::Duration;
@@ -32,6 +32,24 @@ pub trait ReplayTarget {
         payloads: &[Value],
     ) -> Result<Vec<Selection>>;
 
+    /// [`ReplayTarget::select`] plus the trace context the frame was
+    /// recorded with, so replay reproduces the original traces. The
+    /// default ignores the context; trace-aware targets (the in-process
+    /// service, wire clients) override it to re-attach the id.
+    ///
+    /// # Errors
+    /// Returns the target's own error when the batch cannot be served.
+    fn select_traced(
+        &self,
+        tenant: &str,
+        features: &[FeatureVector],
+        payloads: &[Value],
+        trace: Option<&TraceContext>,
+    ) -> Result<Vec<Selection>> {
+        let _ = trace;
+        self.select(tenant, features, payloads)
+    }
+
     /// Answers a run of consecutive selection frames. The default
     /// serves them one at a time; wire-backed targets override this to
     /// pipeline the run (several frames in flight on one connection).
@@ -47,7 +65,7 @@ pub trait ReplayTarget {
                     .body
                     .select_parts()
                     .ok_or_else(|| Error::artifact("control frame in a selection run"))?;
-                self.select(&frame.tenant, features, payloads)
+                self.select_traced(&frame.tenant, features, payloads, frame.body.trace())
             })
             .collect()
     }
@@ -71,6 +89,26 @@ impl ReplayTarget for VectorService {
             )));
         }
         self.select_vector_batch_traced(features, payloads)
+    }
+
+    /// Serves the frame in-process with its recorded trace context
+    /// re-attached, so a replay regenerates the original trace's
+    /// selection spans (when a span log is wired to the service).
+    fn select_traced(
+        &self,
+        tenant: &str,
+        features: &[FeatureVector],
+        payloads: &[Value],
+        trace: Option<&TraceContext>,
+    ) -> Result<Vec<Selection>> {
+        let benchmark = &self.artifact().benchmark;
+        if tenant != benchmark {
+            return Err(Error::artifact(format!(
+                "recorded frame is for tenant `{tenant}` but this service \
+                 serves `{benchmark}`"
+            )));
+        }
+        self.select_vector_batch_observed(features, payloads, trace)
     }
 }
 
@@ -158,7 +196,12 @@ pub fn replay<T: ReplayTarget + ?Sized>(
             }
             match frame.body.select_parts() {
                 Some((features, payloads)) => {
-                    let selections = target.select(&frame.tenant, features, payloads)?;
+                    let selections = target.select_traced(
+                        &frame.tenant,
+                        features,
+                        payloads,
+                        frame.body.trace(),
+                    )?;
                     results.push(FrameResult {
                         seq: frame.seq,
                         tenant: frame.tenant.clone(),
@@ -411,6 +454,7 @@ mod tests {
             body: FrameBody::Select {
                 features: xs.iter().map(|&x| vector(x)).collect(),
                 payloads: vec![],
+                trace: None,
             },
         };
         let control = |seq: u64, conn: u64, kind: &str| RecordedFrame {

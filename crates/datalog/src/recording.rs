@@ -66,6 +66,11 @@ pub enum FrameBody {
         features: Vec<FeatureVector>,
         /// Parallel raw-input payloads (`Null` = none), or empty.
         payloads: Vec<Value>,
+        /// The sampled trace context the request carried, when it was
+        /// traced (absent = untraced; the field is elided on disk, so
+        /// recordings without tracing are byte-identical to version 1
+        /// captures and old recordings load with `None`).
+        trace: Option<intune_core::TraceContext>,
     },
     /// A non-selection request (handshake, stats, artifact lifecycle),
     /// identified by its wire message name.
@@ -79,7 +84,17 @@ impl FrameBody {
     /// The selection parts of this body, or `None` for control frames.
     pub fn select_parts(&self) -> Option<(&[FeatureVector], &[Value])> {
         match self {
-            FrameBody::Select { features, payloads } => Some((features, payloads)),
+            FrameBody::Select {
+                features, payloads, ..
+            } => Some((features, payloads)),
+            FrameBody::Control { .. } => None,
+        }
+    }
+
+    /// The sampled trace context this frame carried, if any.
+    pub fn trace(&self) -> Option<&intune_core::TraceContext> {
+        match self {
+            FrameBody::Select { trace, .. } => trace.as_ref(),
             FrameBody::Control { .. } => None,
         }
     }
@@ -553,6 +568,7 @@ mod tests {
             body: FrameBody::Select {
                 features: vec![fv(x)],
                 payloads: vec![Value::Array(vec![Value::Float(x)])],
+                trace: None,
             },
         }
     }
@@ -694,6 +710,7 @@ mod tests {
             FrameBody::Select {
                 features: vec![fv(1.0)],
                 payloads: vec![],
+                trace: None,
             },
         );
         sink.record(
@@ -702,6 +719,7 @@ mod tests {
             FrameBody::Select {
                 features: vec![fv(2.0), fv(3.0)],
                 payloads: vec![Value::Null, Value::Int(4)],
+                trace: Some(intune_core::TraceContext::root(0xfeed)),
             },
         );
         assert_eq!(sink.appended(), 3);
@@ -717,6 +735,12 @@ mod tests {
         let (features, payloads) = recording.frames[2].body.select_parts().unwrap();
         assert_eq!(features.len(), 2);
         assert_eq!(payloads, [Value::Null, Value::Int(4)]);
+        assert!(recording.frames[1].body.trace().is_none());
+        assert_eq!(
+            recording.frames[2].body.trace().map(|t| t.trace_id),
+            Some(0xfeed),
+            "a traced frame's context round-trips through the recording"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -734,6 +758,7 @@ mod tests {
             FrameBody::Select {
                 features: vec![fv(1.0)],
                 payloads: vec![huge],
+                trace: None,
             },
         );
         assert_eq!(sink.dropped(), 1, "the oversized frame is lost");
@@ -748,6 +773,7 @@ mod tests {
             FrameBody::Select {
                 features: vec![fv(2.0)],
                 payloads: vec![],
+                trace: None,
             },
         );
         assert_eq!(sink.appended(), 1);

@@ -44,6 +44,8 @@ fn frame(i: usize) -> RecordedFrame {
                 } else {
                     vec![]
                 },
+                trace: (i.is_multiple_of(3))
+                    .then(|| intune_core::TraceContext::root(i as u64 * 31 + 1)),
             }
         },
     }

@@ -97,6 +97,11 @@ pub enum EventKind {
         /// Journal-derived inputs in the retrained artifact (0 when the
         /// cycle idled).
         new_inputs: u64,
+        /// Trace ids of the journaled requests that fed this cycle
+        /// (only traced requests appear; empty when tracing is off or
+        /// the cycle idled). Links a retrain decision back to the
+        /// concrete traffic that caused it.
+        trace_ids: Vec<u64>,
     },
     /// Per-tenant heartbeat with the request-latency summary at
     /// snapshot time. The daemon writes one per tenant on every
@@ -389,6 +394,13 @@ mod tests {
                 outcome: "idle".to_string(),
                 detail: "below volume threshold".to_string(),
                 new_inputs: 0,
+                trace_ids: vec![],
+            },
+            EventKind::RetrainCycle {
+                outcome: "promoted".to_string(),
+                detail: "agreement 0.98".to_string(),
+                new_inputs: 12,
+                trace_ids: vec![0xdead_beef, 0xcafe],
             },
             EventKind::LatencySnapshot {
                 latency: LatencySummary {

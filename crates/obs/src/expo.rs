@@ -69,6 +69,39 @@ impl TextExposition {
         );
     }
 
+    /// [`summary_seconds`](Self::summary_seconds) plus an OpenMetrics
+    /// exemplar: when the snapshot saw a sampled request, the `_count`
+    /// line carries `# {trace_id="<16-hex>"} <seconds>` referencing the
+    /// slowest traced request — the one an operator chasing a latency
+    /// spike wants to pull up in `intune_trace`. Without an exemplar
+    /// the output is byte-identical to `summary_seconds`.
+    pub fn summary_seconds_with_exemplar(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.type_line(name, "summary");
+        for (label, q) in QUANTILES {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", label));
+            self.sample(name, &with_q, &format_float(snap.quantile(q) as f64 / 1e9));
+        }
+        let mut count = snap.count.to_string();
+        if let Some((value_ns, trace_id)) = snap.slowest_exemplar() {
+            count.push_str(&format!(
+                " # {{trace_id=\"{trace_id:016x}\"}} {}",
+                format_float(value_ns as f64 / 1e9)
+            ));
+        }
+        self.sample(&format!("{name}_count"), labels, &count);
+        self.sample(
+            &format!("{name}_sum"),
+            labels,
+            &format_float(snap.sum as f64 / 1e9),
+        );
+    }
+
     /// The rendered body.
     #[must_use]
     pub fn finish(self) -> String {
@@ -161,6 +194,29 @@ mod tests {
         assert!(body.contains("intune_request_seconds{tenant=\"sort\",quantile=\"0.999\"} 1.0\n"));
         assert!(body.contains("intune_request_seconds_count{tenant=\"sort\"} 1\n"));
         assert!(body.contains("intune_request_seconds_sum{tenant=\"sort\"} 1.0\n"));
+    }
+
+    #[test]
+    fn summary_exemplar_rides_the_count_line() {
+        let h = Histogram::new();
+        h.record(500_000_000);
+        h.record_exemplar(1_000_000_000, 0xff);
+        let mut expo = TextExposition::new();
+        expo.summary_seconds_with_exemplar("s", &[("tenant", "sort")], &h.snapshot());
+        let body = expo.finish();
+        assert!(
+            body.contains("s_count{tenant=\"sort\"} 2 # {trace_id=\"00000000000000ff\"} 1.0\n"),
+            "exemplar missing from:\n{body}"
+        );
+
+        // No sampled traffic: byte-identical to the plain summary.
+        let h = Histogram::new();
+        h.record(500_000_000);
+        let mut plain = TextExposition::new();
+        plain.summary_seconds("s", &[], &h.snapshot());
+        let mut with = TextExposition::new();
+        with.summary_seconds_with_exemplar("s", &[], &h.snapshot());
+        assert_eq!(plain.finish(), with.finish());
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub fn bucket_bounds(index: usize) -> (u64, u64) {
 /// A wait-free log-bucketed histogram of `u64` values.
 pub struct Histogram {
     buckets: Box<[AtomicU64]>,
+    /// Last sampled trace id seen per bucket (0 = none): the OpenMetrics
+    /// exemplar slot linking an aggregate bucket back to one concrete
+    /// traced request. Written only for sampled requests, so the common
+    /// (untraced) record path never touches this array.
+    exemplars: Box<[AtomicU64]>,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -83,11 +88,12 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// A fresh empty histogram (~7.6 KiB of zeroed buckets).
+    /// A fresh empty histogram (~15 KiB of zeroed buckets + exemplars).
     #[must_use]
     pub fn new() -> Histogram {
         Histogram {
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
@@ -101,17 +107,36 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Records one value from a *sampled* request, remembering its
+    /// trace id as the bucket's exemplar (last writer wins; a zero
+    /// trace id degrades to a plain [`record`](Self::record)). Still
+    /// wait-free: one extra relaxed store.
+    pub fn record_exemplar(&self, v: u64, trace_id: u64) {
+        let index = bucket_index(v);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[index].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Copies the current counts into an immutable snapshot for
     /// readout. Safe to call while writers are recording.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
+        let mut exemplars = Vec::new();
         let mut count = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             let c = b.load(Ordering::Relaxed);
             if c > 0 {
                 count += c;
                 buckets.push((i, c));
+                let ex = self.exemplars[i].load(Ordering::Relaxed);
+                if ex != 0 {
+                    exemplars.push((i, ex));
+                }
             }
         }
         HistogramSnapshot {
@@ -119,6 +144,7 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             buckets,
+            exemplars,
         }
     }
 }
@@ -144,6 +170,9 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty buckets as `(bucket_index, count)`, index-ascending.
     buckets: Vec<(usize, u64)>,
+    /// Exemplar trace ids as `(bucket_index, trace_id)`,
+    /// index-ascending; only buckets that saw a sampled request appear.
+    exemplars: Vec<(usize, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -191,6 +220,83 @@ impl HistogramSnapshot {
             let (low, high) = bucket_bounds(index);
             (low, high, count)
         })
+    }
+
+    /// Bucket exemplars as `(low, high, trace_id)` value ranges.
+    pub fn exemplars(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.exemplars.iter().map(|&(index, trace_id)| {
+            let (low, high) = bucket_bounds(index);
+            (low, high, trace_id)
+        })
+    }
+
+    /// The most interesting exemplar: the trace id from the highest
+    /// (slowest) bucket that saw a sampled request, with the bucket's
+    /// upper-bound value. `None` when no sampled request was recorded.
+    #[must_use]
+    pub fn slowest_exemplar(&self) -> Option<(u64, u64)> {
+        self.exemplars.last().map(|&(index, trace_id)| {
+            let (_, high) = bucket_bounds(index);
+            (high.min(self.max), trace_id)
+        })
+    }
+
+    /// Merges two snapshots into the snapshot an aggregate histogram
+    /// would have produced: counts and sums add, maxima take the max,
+    /// and where both sides carry an exemplar for a bucket, `other`'s
+    /// (the right operand's) wins. Right bias makes the operation
+    /// associative: chaining merges left-to-right or right-to-left
+    /// lands on the same — rightmost — exemplar per bucket.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(usize, u64)> = Vec::new();
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            let next = match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        a.next();
+                        (ia, ca)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        b.next();
+                        (ib, cb)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        a.next();
+                        b.next();
+                        (ia, ca + cb)
+                    }
+                },
+                (Some(&&entry), None) => {
+                    a.next();
+                    entry
+                }
+                (None, Some(&&entry)) => {
+                    b.next();
+                    entry
+                }
+                (None, None) => break,
+            };
+            buckets.push(next);
+        }
+        let mut exemplars: Vec<(usize, u64)> = other.exemplars.clone();
+        for &(index, trace_id) in &self.exemplars {
+            if !exemplars.iter().any(|&(i, _)| i == index) {
+                exemplars.push((index, trace_id));
+            }
+        }
+        exemplars.sort_unstable_by_key(|&(i, _)| i);
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+            buckets,
+            exemplars,
+        }
     }
 }
 
@@ -338,6 +444,67 @@ mod tests {
         assert_eq!(snap.mean(), 0.0);
         let summary = LatencySummary::of(&snap);
         assert_eq!(summary, LatencySummary::default());
+    }
+
+    /// A single sample is every percentile: p50 through p999 and max
+    /// all read back the one recorded value exactly (the clamp to the
+    /// exact max defeats the bucket's upper-bound rounding).
+    #[test]
+    fn single_sample_reads_back_at_every_percentile() {
+        let h = Histogram::new();
+        h.record(777_777);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(snap.quantile(q), 777_777, "q = {q}");
+        }
+        let s = LatencySummary::of(&snap);
+        assert_eq!(s.p999_ns, 777_777);
+        assert_eq!(s.max_ns, 777_777);
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_sampled_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record(100); // untraced traffic leaves no exemplar
+        h.record_exemplar(100, 0xaaa);
+        h.record_exemplar(101, 0xbbb); // same bucket: last writer wins
+        h.record_exemplar(1_000_000, 0xccc);
+        h.record_exemplar(50, 0); // zero trace id leaves no exemplar
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        let exemplars: Vec<(u64, u64, u64)> = snap.exemplars().collect();
+        assert_eq!(exemplars.len(), 2);
+        assert_eq!(exemplars[0].2, 0xbbb);
+        assert_eq!(exemplars[1].2, 0xccc);
+        let (slowest_ns, slowest_trace) = snap.slowest_exemplar().unwrap();
+        assert_eq!(slowest_trace, 0xccc);
+        assert_eq!(slowest_ns, 1_000_000, "clamped to the exact max");
+        assert!(Histogram::new().snapshot().slowest_exemplar().is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_right_biases_exemplars() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        a.record_exemplar(100, 0x1);
+        a.record(40);
+        b.record_exemplar(100, 0x2);
+        b.record_exemplar(9_999, 0x3);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 100 + 40 + 100 + 9_999);
+        assert_eq!(merged.max, 9_999);
+        let exemplars: Vec<(u64, u64, u64)> = merged.exemplars().collect();
+        // Shared bucket: the right operand's exemplar wins.
+        assert_eq!(exemplars[0].2, 0x2);
+        assert_eq!(exemplars[1].2, 0x3);
+        // Quantiles read from the merged counts.
+        assert_eq!(merged.quantile(1.0), 9_999);
+        // Merging with an empty snapshot is the identity on counts.
+        let empty = Histogram::new().snapshot();
+        let same = a.snapshot().merge(&empty);
+        assert_eq!(same.count, a.snapshot().count);
+        assert_eq!(same.sum, a.snapshot().sum);
     }
 
     #[test]

@@ -17,16 +17,23 @@
 //!   (`intune_core::codec::encode_record`/`scan_records`).
 //! - **[`expo::TextExposition`]** — Prometheus-style text rendering for
 //!   the daemon's `--metrics` HTTP scrape endpoint.
+//! - **[`trace`]** — sampled per-request span capture ([`Span`] /
+//!   [`SpanLog`] / [`Sampler`]): the causality layer that links one
+//!   request's client call, wire hop, daemon stages, and selection into
+//!   a single trace id, persisted with the same crash-tolerant framing
+//!   as the event log.
 //!
 //! The `intune_obs_dump` bin renders a recorded event log as a
-//! human-readable timeline. See `crates/obs/README.md` for the on-disk
-//! record schema and the exposition format spec.
+//! human-readable timeline; `intune_trace` reconstructs trace trees
+//! from span logs. See `crates/obs/README.md` for the on-disk record
+//! schemas and the exposition format spec.
 
 pub mod counter;
 pub mod events;
 pub mod expo;
 pub mod histogram;
 pub mod timefmt;
+pub mod trace;
 
 pub use counter::Counter;
 pub use events::{
@@ -36,4 +43,8 @@ pub use expo::TextExposition;
 pub use histogram::{
     bucket_bounds, bucket_index, Histogram, HistogramSnapshot, LatencySummary, NUM_BUCKETS,
     SUB_BUCKETS,
+};
+pub use trace::{
+    read_span_dir, read_spans, scan_spans, IdMinter, Sampler, Span, SpanLog, SpanScan,
+    SPAN_LOG_SUFFIX, SPAN_SCHEMA, SPAN_VERSION,
 };

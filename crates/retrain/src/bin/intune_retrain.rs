@@ -74,6 +74,8 @@ struct Args {
     keep_segments: bool,
     admission: AdmissionPolicy,
     events: Option<PathBuf>,
+    trace_sample: u64,
+    spans: Option<PathBuf>,
 }
 
 fn main() {
@@ -92,6 +94,8 @@ fn main() {
             let mut replayer = ReplayVisitor {
                 addr: daemon_addr(&args),
                 frames: args.replay_frames,
+                trace_sample: args.trace_sample,
+                spans: args.spans.clone(),
             };
             // ReplayVisitor binds to the tenant named by the case inside
             // visit(), where `benchmark.name()` is in scope.
@@ -319,6 +323,11 @@ impl CaseVisitor for RunVisitor<'_> {
 struct ReplayVisitor {
     addr: String,
     frames: usize,
+    /// `--trace-sample N`: head-sample 1-in-N replayed frames into a
+    /// span log (0 = off).
+    trace_sample: u64,
+    /// `--spans DIR`: where the client's span log lives.
+    spans: Option<PathBuf>,
 }
 
 impl CaseVisitor for ReplayVisitor {
@@ -336,7 +345,19 @@ impl CaseVisitor for ReplayVisitor {
     where
         B::Input: Sync + Clone,
     {
-        let client = DaemonClient::connect_to(&self.addr, benchmark.name())?;
+        let mut client = DaemonClient::connect_to(&self.addr, benchmark.name())?;
+        if self.trace_sample > 0 {
+            let dir = self
+                .spans
+                .clone()
+                .unwrap_or_else(|| die("--trace-sample needs --spans DIR"));
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| die(&format!("cannot create span dir: {e}")));
+            let path = dir.join("intune-retrain.spans.log");
+            let log = intune_obs::SpanLog::open(&path).unwrap_or_else(|e| die(&e.to_string()));
+            eprintln!("recording sampled client spans to {}", path.display());
+            client.enable_tracing(self.trace_sample, std::sync::Arc::new(log));
+        }
         let features: Vec<intune_core::FeatureVector> =
             test.iter().map(|i| benchmark.extract_all(i)).collect();
         let payloads: Vec<serde_json::Value> = test
@@ -377,16 +398,22 @@ fn run_stats(args: &Args) -> i32 {
             println!("recorded {}", stats.recorded);
             println!("recorded_dropped {}", stats.recorded_dropped);
             println!("requests {}", stats.primary.requests);
-            let ms = |ns: u64| ns as f64 / 1e6;
-            println!(
-                "latency_ms count {} p50 {:.3} p90 {:.3} p99 {:.3} p999 {:.3} max {:.3}",
-                stats.latency.count,
-                ms(stats.latency.p50_ns),
-                ms(stats.latency.p90_ns),
-                ms(stats.latency.p99_ns),
-                ms(stats.latency.p999_ns),
-                ms(stats.latency.max_ns)
-            );
+            if stats.latency.count == 0 {
+                // No requests means no percentiles: print `-`, not a
+                // fake 0.000 a dashboard would ingest as a measurement.
+                println!("latency_ms count 0 p50 - p90 - p99 - p999 - max -");
+            } else {
+                let ms = |ns: u64| ns as f64 / 1e6;
+                println!(
+                    "latency_ms count {} p50 {:.3} p90 {:.3} p99 {:.3} p999 {:.3} max {:.3}",
+                    stats.latency.count,
+                    ms(stats.latency.p50_ns),
+                    ms(stats.latency.p90_ns),
+                    ms(stats.latency.p99_ns),
+                    ms(stats.latency.p999_ns),
+                    ms(stats.latency.max_ns)
+                );
+            }
             if let Some(shadow) = &stats.shadow {
                 println!(
                     "shadow revision {} mirrored {} agreement {:.4}",
@@ -462,6 +489,8 @@ fn parse_args() -> Args {
         keep_segments: false,
         admission: AdmissionPolicy::default(),
         events: None,
+        trace_sample: 0,
+        spans: None,
     };
     let mut mode: Option<Mode> = None;
     let set_mode = |m: Mode, current: &mut Option<Mode>| {
@@ -528,6 +557,8 @@ fn parse_args() -> Args {
                     "--mirror" => args.mirror = parse(flag, value),
                     "--mirror-batch" => args.mirror_batch = parse(flag, value),
                     "--events" => args.events = Some(PathBuf::from(value)),
+                    "--trace-sample" => args.trace_sample = parse(flag, value),
+                    "--spans" => args.spans = Some(PathBuf::from(value)),
                     other => die(&format!("unknown flag {other}")),
                 }
             }
@@ -571,7 +602,9 @@ fn usage() -> ! {
          \x20 --admission uniform|novelty (corpus admission policy; default uniform)\n\
          \x20 --capacity N --min-new N --drift-rate X --min-drift-obs N --cooldown N\n\
          \x20 --mirror N --mirror-batch N --keep-segments --sleep-ms MS\n\
-         \x20 --events PATH (cycle modes: append a RetrainCycle event per cycle)"
+         \x20 --events PATH (cycle modes: append a RetrainCycle event per cycle)\n\
+         \x20 --trace-sample N --spans DIR (replay: head-sample 1-in-N frames\n\
+         \x20 into DIR/intune-retrain.spans.log; the trace context rides the wire)"
     );
     std::process::exit(0)
 }

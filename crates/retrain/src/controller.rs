@@ -45,6 +45,9 @@ use std::sync::Arc;
 pub const RETRAIN_CACHE_SCHEMA: &str = "intune-retrain-cache";
 /// Current retrain-cache schema version.
 pub const RETRAIN_CACHE_VERSION: u32 = 1;
+/// Most trace ids one [`EventKind::RetrainCycle`] event carries (the
+/// compaction report itself is uncapped).
+pub const RETRAIN_EVENT_TRACE_CAP: usize = 64;
 
 /// Everything one controller instance needs besides the benchmark.
 #[derive(Debug, Clone)]
@@ -119,6 +122,11 @@ pub struct CompactionReport {
     /// Segments actually deleted (filled in by [`run_cycle`] after the
     /// corpus save, or by [`remove_segments`]).
     pub removed_segments: u64,
+    /// Distinct trace ids of the records this pass added or merged into
+    /// the corpus (ascending). Only traced requests carry one, so this
+    /// is usually a sparse sample of the absorbed traffic — enough to
+    /// walk from a retrain decision back to concrete request traces.
+    pub trace_ids: Vec<u64>,
 }
 
 /// Folds every journal segment in `dir` into `corpus` (idempotently —
@@ -174,6 +182,14 @@ fn compact_journal_impl(
                 crate::corpus::Offer::Rejected => report.rejected += 1,
                 crate::corpus::Offer::Stale => report.stale += 1,
             }
+            if matches!(
+                offer,
+                crate::corpus::Offer::Added | crate::corpus::Offer::Merged
+            ) {
+                if let Some(id) = record.trace_id.filter(|&id| id != 0) {
+                    report.trace_ids.push(id);
+                }
+            }
         }
         // The active (highest-index) segment is still being appended to;
         // everything older is sealed and now fully absorbed.
@@ -181,6 +197,8 @@ fn compact_journal_impl(
             report.absorbed.push(path.clone());
         }
     }
+    report.trace_ids.sort_unstable();
+    report.trace_ids.dedup();
     Ok(report)
 }
 
@@ -237,6 +255,7 @@ pub fn compact_recording(dir: &Path, corpus: &mut CorpusStore) -> Result<Recordi
             continue;
         };
         report.select_frames += 1;
+        let trace_id = frame.body.trace().map(|t| t.trace_id).filter(|&id| id != 0);
         for (i, features) in features.iter().enumerate() {
             let record = JournalRecord {
                 seq,
@@ -246,6 +265,7 @@ pub fn compact_recording(dir: &Path, corpus: &mut CorpusStore) -> Result<Recordi
                 fell_back: false,
                 features: features.clone(),
                 payload: payloads.get(i).filter(|v| !v.is_null()).cloned(),
+                trace_id,
             };
             seq += 1;
             report.vectors += 1;
@@ -489,6 +509,7 @@ where
                         outcome: "idle".to_string(),
                         detail: reason.clone(),
                         new_inputs: 0,
+                        trace_ids: Vec::new(),
                     },
                 );
             }
@@ -553,6 +574,12 @@ where
             CycleOutcome::Rejected { revision, reason } => ("rejected", reason.clone(), *revision),
             CycleOutcome::Idle { reason } => ("idle", reason.clone(), 0),
         };
+        // The event log bounds record size; a busy cycle can absorb far
+        // more traced inputs than one event should carry, so the stamp
+        // is the first `RETRAIN_EVENT_TRACE_CAP` ids (they are sorted —
+        // a deterministic sample, not a random one).
+        let mut trace_ids = compaction.trace_ids.clone();
+        trace_ids.truncate(RETRAIN_EVENT_TRACE_CAP);
         log.record(
             benchmark.name(),
             event_revision,
@@ -560,6 +587,7 @@ where
                 outcome: name.to_string(),
                 detail,
                 new_inputs: stats.new_inputs,
+                trace_ids,
             },
         );
     }
@@ -657,6 +685,7 @@ mod tests {
                 fell_back: false,
                 features: b.extract_all(input),
                 payload: b.encode_input(input),
+                trace_id: None,
             })
             .unwrap();
         }
@@ -719,12 +748,14 @@ mod tests {
         w.append(frame(FrameBody::Select {
             features: features[..3].to_vec(),
             payloads: payloads[..3].to_vec(),
+            trace: Some(intune_core::TraceContext::root(0xabc)),
         }))
         .unwrap();
         // An untraced batch: vectors without payloads still feed stats.
         w.append(frame(FrameBody::Select {
             features: features[3..].to_vec(),
             payloads: Vec::new(),
+            trace: None,
         }))
         .unwrap();
         w.flush().unwrap();

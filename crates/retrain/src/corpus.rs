@@ -606,6 +606,7 @@ mod tests {
             fell_back: false,
             features: features(kind, size),
             payload: payload.then(|| Value::Array(vec![Value::Float(kind), Value::Float(size)])),
+            trace_id: None,
         }
     }
 

@@ -78,6 +78,11 @@ pub struct JournalRecord {
     /// Opaque raw-input payload shipped by the client for retraining
     /// (`Benchmark::encode_input`), or `None` for feature-only requests.
     pub payload: Option<Value>,
+    /// Trace id of the sampled request that served this record, or
+    /// `None` for untraced traffic. Elided from the encoding when absent,
+    /// so journals written before tracing read back unchanged — and a
+    /// retrain cycle can name exactly which traces fed it.
+    pub trace_id: Option<u64>,
 }
 
 /// Journal writer tunables.
@@ -422,6 +427,17 @@ impl TraceSink for JournalSink {
         payloads: &[Value],
         selections: &[Selection],
     ) {
+        self.record_batch_traced(revision, features, payloads, selections, None);
+    }
+
+    fn record_batch_traced(
+        &self,
+        revision: u64,
+        features: &[FeatureVector],
+        payloads: &[Value],
+        selections: &[Selection],
+        trace_id: Option<u64>,
+    ) {
         // Recover from poisoning: a panic on one serving thread must not
         // wedge journaling (and with it every later traced batch) behind
         // a `PoisonError`. The writer's counters stay consistent across
@@ -442,6 +458,7 @@ impl TraceSink for JournalSink {
                 fell_back: selection.fell_back,
                 features: fv.clone(),
                 payload,
+                trace_id,
             };
             match writer.stage(record) {
                 Ok(_) => {}
@@ -507,6 +524,7 @@ mod tests {
             features: fv,
             payload: ((kind as u64).is_multiple_of(2))
                 .then(|| Value::Array(vec![Value::Float(kind)])),
+            trace_id: None,
         }
     }
 

@@ -35,6 +35,24 @@ pub trait TraceSink: Send + Sync {
         selections: &[Selection],
     );
 
+    /// [`TraceSink::record_batch`] plus the request's trace id, when the
+    /// batch arrived inside a sampled trace. The default forwards to
+    /// `record_batch`, so sinks that do not care about tracing (tests,
+    /// counters) implement nothing; the journal overrides it to stamp
+    /// the id onto every record — that is how a retrain cycle can later
+    /// name the traces whose inputs it consumed.
+    fn record_batch_traced(
+        &self,
+        revision: u64,
+        features: &[FeatureVector],
+        payloads: &[Value],
+        selections: &[Selection],
+        trace_id: Option<u64>,
+    ) {
+        let _ = trace_id;
+        self.record_batch(revision, features, payloads, selections);
+    }
+
     /// Total records this sink has durably recorded (0 for sinks that do
     /// not count). Surfaces in daemon `Stats` as `journaled`.
     fn appended(&self) -> u64 {

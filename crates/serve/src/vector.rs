@@ -16,11 +16,11 @@ use crate::artifact::ModelArtifact;
 use crate::monitor::DriftMonitor;
 use crate::service::{Selection, ServeOptions, ServeStats};
 use crate::trace::TraceSink;
-use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result};
+use intune_core::{Configuration, Error, FeatureSet, FeatureVector, Result, TraceContext};
 use intune_exec::Executor;
 use intune_learning::selection::samples_for;
 use intune_learning::CompiledClassifier;
-use intune_obs::{EventKind, EventLog};
+use intune_obs::{EventKind, EventLog, IdMinter, Span, SpanLog};
 use std::sync::Arc;
 
 /// A serving runtime over pre-extracted feature vectors: validated
@@ -45,6 +45,12 @@ pub struct VectorService {
     /// Optional lifecycle event log: drift trips and fallback
     /// recoveries are journaled as they happen.
     events: Option<Arc<EventLog>>,
+    /// Optional span log: sampled requests record a `service.select`
+    /// span (revision, batch size, drift score, fallback verdict).
+    spans: Option<Arc<SpanLog>>,
+    /// Span-id source for this service's spans (deterministic: seeded
+    /// from benchmark + revision + pid, never the clock).
+    span_ids: IdMinter,
 }
 
 impl std::fmt::Debug for VectorService {
@@ -70,6 +76,12 @@ impl VectorService {
         let monitor = DriftMonitor::new(&artifact, &opts);
         let compiled = CompiledClassifier::compile(artifact.classifier.clone());
         let set = compiled.feature_set();
+        let span_ids = IdMinter::new(&format!(
+            "service/{}/r{}/{}",
+            artifact.benchmark,
+            artifact.revision,
+            std::process::id()
+        ));
         Ok(VectorService {
             artifact,
             compiled,
@@ -79,6 +91,8 @@ impl VectorService {
             monitor,
             trace: None,
             events: None,
+            spans: None,
+            span_ids,
         })
     }
 
@@ -95,6 +109,13 @@ impl VectorService {
     /// only, off the hot path except for one state comparison.
     pub fn set_events(&mut self, events: Option<Arc<EventLog>>) {
         self.events = events;
+    }
+
+    /// Attaches (or detaches) a span log. With one attached, every
+    /// batch served under a sampled [`TraceContext`] records a
+    /// `service.select` span; untraced traffic never touches it.
+    pub fn set_spans(&mut self, spans: Option<Arc<SpanLog>>) {
+        self.spans = spans;
     }
 
     /// The artifact being served.
@@ -268,6 +289,26 @@ impl VectorService {
         vectors: &[FeatureVector],
         payloads: &[serde_json::Value],
     ) -> Result<Vec<Selection>> {
+        self.select_vector_batch_observed(vectors, payloads, None)
+    }
+
+    /// [`VectorService::select_vector_batch_traced`] under an optional
+    /// request [`TraceContext`]. A sampled context makes this batch
+    /// *observed*: the service records a `service.select` span (child of
+    /// the caller's span) annotated with the answering revision, batch
+    /// size, drift score, and fallback/probe verdicts, and the journal
+    /// sink receives the trace id alongside the records. Selections are
+    /// byte-identical to the untraced path — observation never steers.
+    ///
+    /// # Errors
+    /// Same as [`VectorService::select_vector_batch_traced`].
+    pub fn select_vector_batch_observed(
+        &self,
+        vectors: &[FeatureVector],
+        payloads: &[serde_json::Value],
+        trace: Option<&TraceContext>,
+    ) -> Result<Vec<Selection>> {
+        let started = std::time::Instant::now();
         if !payloads.is_empty() && payloads.len() != vectors.len() {
             return Err(Error::artifact(format!(
                 "batch ships {} payloads for {} vectors; payloads must be \
@@ -308,8 +349,33 @@ impl VectorService {
         self.monitor
             .record_batch(selections.len() as u64, probed, ood, fallbacks);
         self.note_fallback_transition(fall_back);
-        if let Some(trace) = &self.trace {
-            trace.record_batch(self.artifact.revision, vectors, payloads, &selections);
+        let sampled = trace.filter(|ctx| ctx.sampled && ctx.trace_id != 0);
+        if let Some(sink) = &self.trace {
+            sink.record_batch_traced(
+                self.artifact.revision,
+                vectors,
+                payloads,
+                &selections,
+                sampled.map(|ctx| ctx.trace_id),
+            );
+        }
+        if let (Some(ctx), Some(spans)) = (sampled, &self.spans) {
+            let duration = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            spans.record(
+                &Span::new(
+                    ctx.trace_id,
+                    self.span_ids.next(),
+                    ctx.parent_span,
+                    "service.select",
+                    &self.artifact.benchmark,
+                )
+                .annotate("revision", self.artifact.revision)
+                .annotate("batch", vectors.len())
+                .annotate("probed", probed)
+                .annotate("fallback", fall_back)
+                .annotate("drift", format!("{:.4}", self.trip_rate()))
+                .lasting(duration),
+            );
         }
         Ok(selections)
     }

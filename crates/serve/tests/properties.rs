@@ -191,6 +191,7 @@ proptest! {
                     payload: rng.gen::<bool>().then(|| serde_json::Value::Array(vec![
                         serde_json::Value::Float(rng.gen_range(-10.0..10.0)),
                     ])),
+                    trace_id: rng.gen::<bool>().then(|| rng.gen_range(1..1_000_000) as u64),
                 }).unwrap();
             }
         }

@@ -61,6 +61,15 @@ pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value,
         .ok_or_else(|| Error::new(format!("missing field `{name}`")))
 }
 
+/// Looks up a struct field that may be absent. Derive-generated code
+/// treats an absent field as `Null` (so `Option` fields read `None` and
+/// a document written before a field existed still parses), falling back
+/// to a missing-field error only when `Null` itself does not deserialize
+/// into the field's type.
+pub fn opt_field<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 /// Splits an externally-tagged enum payload (a single-entry object) into
 /// `(variant tag, inner value)`.
 ///

@@ -236,7 +236,15 @@ fn gen_serialize(item: &Item) -> String {
                     format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
                 })
                 .collect();
-            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+            // `Null` fields (`Option::None`) are omitted entirely, so a
+            // type can grow optional fields without changing the encoding
+            // of values that do not use them (the deserializer treats an
+            // absent field as `Null`, closing the round trip).
+            format!(
+                "::serde::Value::Object(vec![{}].into_iter().filter(|__kv| \
+                 !matches!(__kv.1, ::serde::Value::Null)).collect())",
+                items.join(", ")
+            )
         }
         Kind::Enum(variants) => {
             let arms: Vec<String> = variants
@@ -271,9 +279,12 @@ fn gen_serialize(item: &Item) -> String {
                                 )
                             })
                             .collect();
+                        // Same `Null`-elision rule as named-field structs.
                         format!(
                             "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
-                             (String::from(\"{v}\"), ::serde::Value::Object(vec![{}]))]),",
+                             (String::from(\"{v}\"), ::serde::Value::Object(vec![{}]\
+                             .into_iter().filter(|__kv| !matches!(__kv.1, \
+                             ::serde::Value::Null)).collect()))]),",
                             items.join(", ")
                         )
                     }
@@ -309,12 +320,18 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Kind::Struct(Fields::Named(fields)) => {
+            // An absent field reads as `Null` (so optional fields elided
+            // by the serializer round-trip); a field whose type cannot
+            // absorb `Null` still reports the missing-field error.
             let items: Vec<String> = fields
                 .iter()
                 .map(|f| {
                     format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::de::field(__fields, \"{f}\")?)?,"
+                        "{f}: match ::serde::de::opt_field(__fields, \"{f}\") {{ \
+                         Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                         None => ::serde::Deserialize::from_value(&::serde::Value::Null)\
+                         .map_err(|_| ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?, \
+                         }},"
                     )
                 })
                 .collect();
@@ -356,8 +373,12 @@ fn gen_deserialize(item: &Item) -> String {
                             .iter()
                             .map(|f| {
                                 format!(
-                                    "{f}: ::serde::Deserialize::from_value(\
-                                     ::serde::de::field(__fields, \"{f}\")?)?,"
+                                    "{f}: match ::serde::de::opt_field(__fields, \"{f}\") {{ \
+                                     Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                                     None => ::serde::Deserialize::from_value(\
+                                     &::serde::Value::Null).map_err(|_| \
+                                     ::serde::de::Error::missing_field(\"{name}::{v}\", \
+                                     \"{f}\"))?, }},"
                                 )
                             })
                             .collect();
